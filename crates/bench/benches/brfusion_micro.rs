@@ -1,0 +1,37 @@
+//! Figure 4 as a Criterion bench: one cell per configuration at 1280 B
+//! (simulated work is identical per iteration, so wall time compares the
+//! *simulation cost* of each path while the printed metrics come from the
+//! fig04 binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nestless::topology::Config;
+use simnet::SimDuration;
+use workloads::netperf::Netperf;
+
+fn bench(c: &mut Criterion) {
+    let np = Netperf {
+        duration: SimDuration::millis(60),
+        warmup: SimDuration::millis(10),
+        ..Netperf::with_size(1280)
+    };
+    let mut g = c.benchmark_group("fig04");
+    for config in [Config::Nat, Config::NoCont, Config::BrFusion] {
+        g.bench_function(format!("udp_rr/{config:?}"), |b| {
+            b.iter(|| np.udp_rr(config, 3).latency_us.unwrap().mean)
+        });
+        g.bench_function(format!("tcp_stream/{config:?}"), |b| {
+            b.iter(|| np.tcp_stream(config, 3).throughput_mbps.unwrap().mean)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 9 machinery as Criterion benches: trace generation, baseline
+//! packing, the Hostlo improvement pass, and the full parallel simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cloudsim::{hostlo_improve, kube_schedule, simulate, synthetic_trace, PAPER_USER_COUNT};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig09/synthetic_trace_492", |b| {
+        b.iter(|| synthetic_trace(PAPER_USER_COUNT, 2019).container_count())
+    });
+
+    let trace = synthetic_trace(PAPER_USER_COUNT, 2019);
+    let biggest = trace
+        .users
+        .iter()
+        .max_by_key(|u| u.pods.len())
+        .expect("nonempty trace")
+        .clone();
+    c.bench_function("fig09/kube_schedule_biggest_user", |b| {
+        b.iter(|| kube_schedule(&biggest).cost_per_h())
+    });
+    c.bench_function("fig09/hostlo_improve_biggest_user", |b| {
+        b.iter_batched(
+            || kube_schedule(&biggest),
+            |p| hostlo_improve(p).cost_per_h(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fig09/simulate_full_population", |b| {
+        b.iter(|| simulate(&trace).frac_users_saving())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Core DES engine benchmarks: raw event throughput of the simulator —
+//! the substrate's own performance, independent of any paper figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use metrics::{CpuCategory, CpuLocation};
+use simnet::bridge::Bridge;
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network};
+use simnet::shared::SharedStation;
+use simnet::testutil::{frame_between, CaptureSink};
+use simnet::{MacAddr, SimDuration};
+
+fn bridge_forwarding(c: &mut Criterion) {
+    c.bench_function("engine/bridge_10k_frames", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new(1);
+                let br = net.add_device(
+                    "br",
+                    CpuLocation::Host,
+                    Box::new(Bridge::new(
+                        2,
+                        StageCost::fixed(1_000, 0.3, CpuCategory::Sys),
+                        SharedStation::new(),
+                    )),
+                );
+                let sink = net.add_device("s", CpuLocation::Host, Box::new(CaptureSink::new("s")));
+                net.connect(br, PortId(1), sink, PortId::P0, LinkParams::default());
+                // Teach the bridge where the destination lives.
+                net.inject_frame(
+                    SimDuration::ZERO,
+                    br,
+                    PortId(1),
+                    frame_between(MacAddr::local(2), MacAddr::local(1), 1),
+                );
+                for i in 0..10_000u64 {
+                    net.inject_frame(
+                        SimDuration::nanos(i),
+                        br,
+                        PortId(0),
+                        frame_between(MacAddr::local(1), MacAddr::local(2), 512),
+                    );
+                }
+                net
+            },
+            |mut net| {
+                net.run_to_idle();
+                net.events_processed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn netperf_cell(c: &mut Criterion) {
+    use nestless::topology::Config;
+    use workloads::netperf::Netperf;
+    let np = Netperf {
+        duration: SimDuration::millis(50),
+        warmup: SimDuration::millis(10),
+        ..Netperf::with_size(1280)
+    };
+    c.bench_function("engine/netperf_rr_50ms_nat", |b| {
+        b.iter(|| np.udp_rr(Config::Nat, 7).latency_us.unwrap().count)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bridge_forwarding, netperf_cell
+}
+criterion_main!(benches);

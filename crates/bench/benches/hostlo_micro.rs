@@ -1,0 +1,35 @@
+//! Figure 10 as a Criterion bench: the four cross-VM configurations at
+//! 1024 B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nestless::topology::Config;
+use simnet::SimDuration;
+use workloads::netperf::Netperf;
+
+fn bench(c: &mut Criterion) {
+    let np = Netperf {
+        duration: SimDuration::millis(60),
+        warmup: SimDuration::millis(10),
+        ..Netperf::with_size(1024)
+    };
+    let mut g = c.benchmark_group("fig10");
+    for config in [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode] {
+        g.bench_function(format!("udp_rr/{config:?}"), |b| {
+            b.iter(|| np.udp_rr(config, 4).latency_us.unwrap().mean)
+        });
+        g.bench_function(format!("tcp_stream/{config:?}"), |b| {
+            b.iter(|| np.tcp_stream(config, 4).throughput_mbps.unwrap().mean)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

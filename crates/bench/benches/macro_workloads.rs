@@ -1,0 +1,44 @@
+//! Macro-benchmark drivers (figs. 5/11/13) as Criterion benches with
+//! shortened simulated durations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nestless::topology::Config;
+use simnet::SimDuration;
+use workloads::{run_kafka, run_memcached, run_nginx, KafkaParams, MemtierParams, Wrk2Params};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("macro");
+    let mt = MemtierParams {
+        duration: SimDuration::millis(100),
+        warmup: SimDuration::millis(20),
+        ..MemtierParams::paper()
+    };
+    g.bench_function("memcached/BrFusion", |b| {
+        b.iter(|| run_memcached(mt, Config::BrFusion, 1).throughput_per_s)
+    });
+    let wk = Wrk2Params {
+        duration: SimDuration::millis(100),
+        warmup: SimDuration::millis(20),
+        ..Wrk2Params::paper()
+    };
+    g.bench_function("nginx/Nat", |b| b.iter(|| run_nginx(wk, Config::Nat, 1).latency_us.mean));
+    let kf = KafkaParams {
+        duration: SimDuration::millis(100),
+        warmup: SimDuration::millis(20),
+        ..KafkaParams::paper()
+    };
+    g.bench_function("kafka/Hostlo", |b| {
+        b.iter(|| run_kafka(kf, Config::Hostlo, 1).latency_us.mean)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation 4: hostlo TAP fan-out — broadcast to all queues (the paper's
+//! driver) vs excluding the sender's queue.
+//!
+//! Broadcasting is faithful to §4.2 but wastes one copy per frame on the
+//! echo into the sender's own queue; this measures what that copy costs.
+
+use nestless::topology::{build_with, BuildOpts, Config};
+use nestless_bench::Figure;
+use simnet::{AppApi, Application, Incoming, Payload, SimDuration};
+use vmm::FanoutMode;
+
+struct Rr {
+    target: simnet::SockAddr,
+    n: u64,
+}
+
+impl Rr {
+    fn fire(&mut self, api: &mut AppApi<'_, '_>) {
+        self.n += 1;
+        let mut p = Payload::sized(1024);
+        p.tag = self.n;
+        api.send_udp(nestless::CLIENT_PORT, self.target, p);
+    }
+}
+
+impl Application for Rr {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        self.fire(api);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        self.fire(api);
+    }
+}
+
+fn run(mode: FanoutMode) -> (f64, f64) {
+    let opts = BuildOpts { hostlo_fanout: mode, ..BuildOpts::default() };
+    let mut tb = build_with(Config::Hostlo, 4, &opts);
+    let target = tb.target;
+    let s = tb.install(
+        "srv",
+        &tb.server.clone(),
+        [nestless::SERVER_PORT],
+        Box::new(workloads::UdpEchoServer),
+    );
+    let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Rr { target, n: 0 }));
+    tb.start(&[s, c]);
+    tb.vmm.network_mut().run_for(SimDuration::millis(300));
+    let xs = tb.vmm.network().store().samples("rtt_us");
+    let lat = xs.iter().sum::<f64>() / xs.len() as f64;
+    let copies = tb.vmm.network().store().counter("hostlo.queue_copies");
+    (lat, copies / xs.len() as f64)
+}
+
+fn main() {
+    let mut fig = Figure::new("ablation_hostlo_fanout", "Hostlo TAP fan-out: broadcast vs unicast");
+    for (label, mode) in [
+        ("broadcast (paper)", FanoutMode::AllQueues),
+        ("exclude ingress", FanoutMode::ExcludeIngress),
+    ] {
+        let (lat, copies_per_txn) = run(mode);
+        fig.push_row(format!("{label}: RR latency"), lat, "us");
+        fig.push_row(format!("{label}: TAP copies per transaction"), copies_per_txn, "copies");
+    }
+    fig.finish();
+}

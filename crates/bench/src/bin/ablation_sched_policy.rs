@@ -1,0 +1,35 @@
+//! Ablation 5: grouping policy in the baseline scheduler — most-requested
+//! (Kubernetes default, §5.3.1) vs least-requested vs first-fit, and what
+//! each leaves on the table for Hostlo to recover.
+
+use cloudsim::{hostlo_improve, kube_schedule_with, synthetic_trace, GroupingPolicy, PAPER_USER_COUNT};
+use nestless_bench::Figure;
+use rayon::prelude::*;
+
+fn main() {
+    let trace = synthetic_trace(PAPER_USER_COUNT, 2019);
+    let mut fig = Figure::new("ablation_sched_policy", "Baseline grouping policy vs Hostlo recovery");
+    for (label, policy) in [
+        ("most-requested", GroupingPolicy::MostRequested),
+        ("least-requested", GroupingPolicy::LeastRequested),
+        ("first-fit", GroupingPolicy::FirstFit),
+    ] {
+        let results: Vec<(f64, f64)> = trace
+            .users
+            .par_iter()
+            .map(|u| {
+                let base = kube_schedule_with(u, policy);
+                let improved = hostlo_improve(base.clone());
+                (base.cost_per_h(), improved.cost_per_h())
+            })
+            .collect();
+        let base: f64 = results.iter().map(|r| r.0).sum();
+        let hostlo: f64 = results.iter().map(|r| r.1).sum();
+        let savers = results.iter().filter(|(b, h)| b - h > 1e-9).count();
+        fig.push_row(format!("{label}: fleet baseline cost"), base, "$/h");
+        fig.push_row(format!("{label}: fleet cost with Hostlo"), hostlo, "$/h");
+        fig.push_row(format!("{label}: fleet saving"), (1.0 - hostlo / base) * 100.0, "%");
+        fig.push_row(format!("{label}: users saving"), savers as f64, "users");
+    }
+    fig.finish();
+}

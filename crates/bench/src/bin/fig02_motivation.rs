@@ -1,0 +1,39 @@
+//! Figure 2: the motivating measurement — network performance under nested
+//! vs single-level (no container) virtualization.
+//!
+//! "We can observe a throughput degradation of 68% and a latency increase
+//! of 31% with 1280B messages compared to single-level virtualization."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure, Mode, Sweep};
+
+fn main() {
+    let sweep = Sweep::default();
+    let mut fig = Figure::new("fig02", "Nested (NAT) vs single-level (NoCont) Netperf");
+
+    let tput = sweep.run_all(&[Config::Nat, Config::NoCont], Mode::Throughput);
+    let lat = sweep.run_all(&[Config::Nat, Config::NoCont], Mode::Latency);
+
+    let at = 1280.0;
+    let tput_nat = tput[0].at(at).expect("1280B point").mean;
+    let tput_nocont = tput[1].at(at).expect("1280B point").mean;
+    let lat_nat = lat[0].at(at).expect("1280B point").mean;
+    let lat_nocont = lat[1].at(at).expect("1280B point").mean;
+
+    let degradation = (1.0 - tput_nat / tput_nocont) * 100.0;
+    let increase = (lat_nat / lat_nocont - 1.0) * 100.0;
+
+    for s in tput {
+        let mut s = s;
+        s.name = format!("{} tput", s.name);
+        fig.push_series(s);
+    }
+    for s in lat {
+        let mut s = s;
+        s.name = format!("{} lat", s.name);
+        fig.push_series(s);
+    }
+    fig.push_claim(Claim::new("throughput degradation @1280B", 68.0, degradation, "%"));
+    fig.push_claim(Claim::new("latency increase @1280B", 31.0, increase, "%"));
+    fig.finish();
+}

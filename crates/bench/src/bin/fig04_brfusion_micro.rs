@@ -1,0 +1,50 @@
+//! Figure 4: BrFusion performance gain, micro-benchmark.
+//!
+//! "With 1280B packets BrFusion's throughput is 2.1 times greater than
+//! NAT's and the average latency is 18.4% lower. BrFusion is also within
+//! 3.5% of NoCont's performance. Finally, BrFusion scales like NoCont with
+//! message sizes, while NAT scales more slowly."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure, Mode, Sweep};
+
+fn main() {
+    let sweep = Sweep::default();
+    let configs = [Config::Nat, Config::NoCont, Config::BrFusion];
+    let mut fig = Figure::new("fig04", "BrFusion vs NAT vs NoCont (Netperf sweep)");
+
+    let tput = sweep.run_all(&configs, Mode::Throughput);
+    let lat = sweep.run_all(&configs, Mode::Latency);
+
+    let at = 1280.0;
+    let t = |i: usize| tput[i].at(at).expect("1280B").mean;
+    let l = |i: usize| lat[i].at(at).expect("1280B").mean;
+    // indexes: 0 = NAT, 1 = NoCont, 2 = BrFusion
+    fig.push_claim(Claim::new("BrFusion/NAT throughput @1280B", 2.1, t(2) / t(0), "x"));
+    fig.push_claim(Claim::new(
+        "BrFusion latency reduction vs NAT @1280B",
+        18.4,
+        (1.0 - l(2) / l(0)) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "BrFusion gap to NoCont (tput) @1280B",
+        3.5,
+        (t(1) - t(2)).abs() / t(1) * 100.0,
+        "%",
+    ));
+    fig.push_row("NAT tput max step change (stagnation)", tput[0].max_step_change(), "frac");
+    fig.push_row("BrFusion tput monotone", f64::from(tput[2].is_monotone_nondecreasing()), "bool");
+
+    for s in tput {
+        let mut s = s;
+        s.name = format!("{} tput", s.name);
+        fig.push_series(s);
+    }
+    for s in lat {
+        let mut s = s;
+        s.name = format!("{} lat", s.name);
+        fig.push_series(s);
+    }
+    fig.finish();
+}

@@ -1,0 +1,67 @@
+//! Figure 5 (+ Table 1): BrFusion macro-benchmarks — Memcached, NGINX,
+//! Kafka under NAT / BrFusion / NoCont.
+//!
+//! "For Kafka, BrFusion improves average request latency by 11.8% over
+//! NAT, which is 13.1% higher than NoCont. [...] For NGINX, BrFusion
+//! improves average request latency by 30.1% over NAT, but this is 120.3%
+//! slower than NoCont."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_kafka, run_memcached, run_nginx, KafkaParams, MemtierParams, Wrk2Params};
+
+fn main() {
+    let configs = [Config::Nat, Config::BrFusion, Config::NoCont];
+    let mut fig = Figure::new("fig05", "Macro-benchmarks under NAT / BrFusion / NoCont");
+
+    // Table 1 echo.
+    let mt = MemtierParams::paper();
+    let wk = Wrk2Params::paper();
+    let kf = KafkaParams::paper();
+    println!("Table 1: Memcached memtier {} thr x {} conn SET:GET {}:{}", mt.threads, mt.conns_per_thread, mt.set_weight, mt.get_weight);
+    println!("Table 1: NGINX wrk2 {} thr, {} conn, {} req/s on {} B file", wk.threads, wk.connections, wk.rate_per_s, wk.file_size);
+    println!("Table 1: Kafka {} msg/s, {} B messages, batch {} B", kf.msgs_per_s, kf.msg_size, kf.batch_size);
+
+    let mut lat = |label: &str, f: &dyn Fn(Config, u64) -> workloads::MacroResult| {
+        let mut out = Vec::new();
+        for (i, &c) in configs.iter().enumerate() {
+            let r = f(c, 100 + i as u64);
+            fig.push_row(format!("{label} {:?} latency", c), r.latency_us.mean, "us");
+            fig.push_row(format!("{label} {:?} throughput", c), r.throughput_per_s, "/s");
+            fig.push_row(format!("{label} {:?} latency stddev", c), r.latency_us.stddev, "us");
+            out.push(r.latency_us.mean);
+        }
+        out // [nat, brfusion, nocont]
+    };
+
+    let m = lat("memcached", &|c, s| run_memcached(MemtierParams::paper(), c, s));
+    let n = lat("nginx", &|c, s| run_nginx(Wrk2Params::paper(), c, s));
+    let k = lat("kafka", &|c, s| run_kafka(KafkaParams::paper(), c, s));
+    let _ = m;
+
+    fig.push_claim(Claim::new(
+        "Kafka: BrFusion latency improvement over NAT",
+        11.8,
+        (1.0 - k[1] / k[0]) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Kafka: BrFusion above NoCont",
+        13.1,
+        (k[1] / k[2] - 1.0) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "NGINX: BrFusion latency improvement over NAT",
+        30.1,
+        (1.0 - n[1] / n[0]) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "NGINX: BrFusion above NoCont",
+        120.3,
+        (n[1] / n[2] - 1.0) * 100.0,
+        "%",
+    ));
+    fig.finish();
+}

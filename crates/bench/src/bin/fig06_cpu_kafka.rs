@@ -1,0 +1,34 @@
+//! Figure 6: CPU usage breakdown running Kafka.
+//!
+//! "BrFusion reduces the CPU time spent serving software interrupts by
+//! 67.0% compared to NAT [...] NAT rules are applied on packets via hooks
+//! executed by software interrupts, and BrFusion simply removes the
+//! execution of these hooks."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_kafka, KafkaParams};
+
+fn main() {
+    let mut fig = Figure::new("fig06", "CPU usage breakdown, Kafka (usr/sys/soft/guest)");
+    let mut soft = Vec::new();
+    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont].into_iter().enumerate() {
+        let r = run_kafka(KafkaParams::paper(), c, 60 + i as u64);
+        let vm = r.cpu_server_vm.expect("server in VM");
+        fig.push_row(format!("{c:?} VM usr"), vm.usr, "cores");
+        fig.push_row(format!("{c:?} VM sys"), vm.sys, "cores");
+        fig.push_row(format!("{c:?} VM soft"), vm.soft, "cores");
+        fig.push_row(format!("{c:?} VM total"), vm.total(), "cores");
+        fig.push_row(format!("{c:?} host guest"), r.cpu_host.guest, "cores");
+        fig.push_row(format!("{c:?} host sys (vhost)"), r.cpu_host.sys, "cores");
+        soft.push(vm.soft);
+    }
+    // soft[0] = NAT, soft[1] = BrFusion.
+    fig.push_claim(Claim::new(
+        "BrFusion softirq CPU reduction vs NAT (in VM)",
+        67.0,
+        (1.0 - soft[1] / soft[0]) * 100.0,
+        "%",
+    ));
+    fig.finish();
+}

@@ -1,0 +1,30 @@
+//! Figure 7: CPU usage breakdown running NGINX.
+//!
+//! "Similar observations of higher magnitude can be done for NGINX" —
+//! BrFusion removes the guest softirq work of the Netfilter hooks.
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_nginx, Wrk2Params};
+
+fn main() {
+    let mut fig = Figure::new("fig07", "CPU usage breakdown, NGINX (usr/sys/soft/guest)");
+    let mut soft = Vec::new();
+    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont].into_iter().enumerate() {
+        let r = run_nginx(Wrk2Params::paper(), c, 70 + i as u64);
+        let vm = r.cpu_server_vm.expect("server in VM");
+        fig.push_row(format!("{c:?} VM usr"), vm.usr, "cores");
+        fig.push_row(format!("{c:?} VM sys"), vm.sys, "cores");
+        fig.push_row(format!("{c:?} VM soft"), vm.soft, "cores");
+        fig.push_row(format!("{c:?} VM total"), vm.total(), "cores");
+        fig.push_row(format!("{c:?} host guest"), r.cpu_host.guest, "cores");
+        soft.push(vm.soft);
+    }
+    fig.push_claim(Claim::new(
+        "BrFusion softirq CPU reduction vs NAT (in VM)",
+        67.0,
+        (1.0 - soft[1] / soft[0]) * 100.0,
+        "%",
+    ));
+    fig.finish();
+}

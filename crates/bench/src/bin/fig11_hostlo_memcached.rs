@@ -1,0 +1,29 @@
+//! Figure 11: Hostlo macro overhead — Memcached throughput and latency
+//! under Hostlo / NAT / Overlay / SameNode.
+//!
+//! "For Memcached, Hostlo unexpectedly reaches the throughput and latency
+//! levels of SameNode."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_memcached, MemtierParams};
+
+fn main() {
+    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let mut fig = Figure::new("fig11", "Memcached under Hostlo / NAT / Overlay / SameNode");
+    let mut lat = Vec::new();
+    let mut tput = Vec::new();
+    for (i, &c) in configs.iter().enumerate() {
+        let r = run_memcached(MemtierParams::paper(), c, 110 + i as u64);
+        fig.push_row(format!("{c:?} responses/s"), r.throughput_per_s, "/s");
+        fig.push_row(format!("{c:?} latency"), r.latency_us.mean, "us");
+        fig.push_row(format!("{c:?} latency stddev"), r.latency_us.stddev, "us");
+        lat.push(r.latency_us.mean);
+        tput.push(r.throughput_per_s);
+    }
+    // indexes: 0 = Hostlo, 3 = SameNode.
+    fig.push_claim(Claim::new("Hostlo/SameNode throughput", 1.0, tput[0] / tput[3], "x"));
+    fig.push_claim(Claim::new("Hostlo beats NAT (latency ratio NAT/Hostlo)", 2.0, lat[1] / lat[0], "x"));
+    fig.push_claim(Claim::new("Hostlo beats Overlay (latency ratio Overlay/Hostlo)", 2.0, lat[2] / lat[0], "x"));
+    fig.finish();
+}

@@ -1,0 +1,33 @@
+//! Figure 12: Memcached latency variability per configuration.
+//!
+//! "This is linked to SameNode showing extreme variability in its
+//! latencies. To the opposite, queries over Hostlo report stable latency."
+//!
+//! SameNode's single VM runs client, server and loopback on one guest
+//! kernel; under 200 closed-loop connections that shared station saturates
+//! and its latencies swing wildly, while Hostlo spreads the two fractions
+//! over two VMs.
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_memcached, MemtierParams};
+
+fn main() {
+    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let mut fig = Figure::new("fig12", "Memcached latency variability (coefficient of variation)");
+    let mut cv = Vec::new();
+    for (i, &c) in configs.iter().enumerate() {
+        let r = run_memcached(MemtierParams::paper(), c, 120 + i as u64);
+        fig.push_row(format!("{c:?} latency cv"), r.latency_us.cv(), "frac");
+        fig.push_row(format!("{c:?} latency min"), r.latency_us.min, "us");
+        fig.push_row(format!("{c:?} latency max"), r.latency_us.max, "us");
+        cv.push(r.latency_us.cv());
+    }
+    fig.push_claim(Claim::new(
+        "Hostlo latency is the most stable (cv(Hostlo) < cv(SameNode))",
+        1.0,
+        f64::from(cv[0] < cv[3]),
+        "bool",
+    ));
+    fig.finish();
+}

@@ -1,0 +1,30 @@
+//! Figure 13: NGINX latency under Hostlo / NAT / Overlay / SameNode.
+//!
+//! "Hostlo shows 49.4% higher latency than SameNode, but performs much
+//! better than NAT and Overlay." (Hostlo vs Overlay: "up to 30% higher
+//! throughput and 92% lower latency.")
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_nginx, Wrk2Params};
+
+fn main() {
+    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let mut fig = Figure::new("fig13", "NGINX under Hostlo / NAT / Overlay / SameNode");
+    let mut lat = Vec::new();
+    for (i, &c) in configs.iter().enumerate() {
+        let r = run_nginx(Wrk2Params::paper(), c, 130 + i as u64);
+        fig.push_row(format!("{c:?} latency"), r.latency_us.mean, "us");
+        fig.push_row(format!("{c:?} latency stddev"), r.latency_us.stddev, "us");
+        let (p50, p95, p99) = r.latency_percentiles_us;
+        fig.push_row(format!("{c:?} latency p50"), p50, "us");
+        fig.push_row(format!("{c:?} latency p95"), p95, "us");
+        fig.push_row(format!("{c:?} latency p99"), p99, "us");
+        fig.push_row(format!("{c:?} responses/s"), r.throughput_per_s, "/s");
+        lat.push(r.latency_us.mean);
+    }
+    fig.push_claim(Claim::new("Hostlo above SameNode", 49.4, (lat[0] / lat[3] - 1.0) * 100.0, "%"));
+    fig.push_claim(Claim::new("Hostlo latency below Overlay", 92.0, (1.0 - lat[0] / lat[2]) * 100.0, "%"));
+    fig.push_claim(Claim::new("Hostlo latency below NAT", 80.0, (1.0 - lat[0] / lat[1]) * 100.0, "%"));
+    fig.finish();
+}

@@ -1,0 +1,49 @@
+//! Figure 14: CPU usage running Memcached across the fig. 10 setups.
+//!
+//! "The main increase due to Hostlo is the kernel CPU usage of the client
+//! and the server [...] From the host, the CPU time given to the guests is
+//! increased [...] some CPU time is used by the host kernel on behalf of
+//! the VMs [Vhost]."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_memcached, MemtierParams};
+
+fn main() {
+    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let mut fig = Figure::new("fig14", "CPU usage, Memcached (guests + host view)");
+    let mut guest = Vec::new();
+    let mut hostsys = Vec::new();
+    for (i, &c) in configs.iter().enumerate() {
+        let r = run_memcached(MemtierParams::paper(), c, 140 + i as u64);
+        let mut total_vm = 0.0;
+        if let Some(vm) = r.cpu_server_vm {
+            fig.push_row(format!("{c:?} server VM total"), vm.total(), "cores");
+            total_vm += vm.total();
+        }
+        if let Some(vm) = r.cpu_client_vm {
+            fig.push_row(format!("{c:?} client VM total"), vm.total(), "cores");
+            total_vm += vm.total();
+        }
+        fig.push_row(format!("{c:?} guests total"), total_vm, "cores");
+        fig.push_row(format!("{c:?} host guest"), r.cpu_host.guest, "cores");
+        fig.push_row(format!("{c:?} host sys (vhost+hostlo)"), r.cpu_host.sys, "cores");
+        guest.push(r.cpu_host.guest);
+        hostsys.push(r.cpu_host.sys);
+    }
+    // Hostlo vs SameNode guest CPU increase (paper: +89.8%, two VMs vs one).
+    fig.push_claim(Claim::new(
+        "Hostlo guest CPU increase vs SameNode",
+        89.8,
+        (guest[0] / guest[3] - 1.0) * 100.0,
+        "%",
+    ));
+    // Host kernel work on behalf of VMs similar across Hostlo/NAT/Overlay.
+    fig.push_claim(Claim::new(
+        "host-kernel CPU: Hostlo vs NAT ratio",
+        1.0,
+        hostsys[0] / hostsys[1],
+        "x",
+    ));
+    fig.finish();
+}

@@ -1,0 +1,34 @@
+//! Figure 15: CPU usage running NGINX across the fig. 10 setups.
+//!
+//! "For NGINX, the CPU increases of Hostlo compared to SameNode are much
+//! smaller: client and server CPU usage increases by 17.1%, and guest CPU
+//! usage increases by 36.9%."
+
+use nestless::topology::Config;
+use nestless_bench::{Claim, Figure};
+use workloads::{run_nginx, Wrk2Params};
+
+fn main() {
+    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let mut fig = Figure::new("fig15", "CPU usage, NGINX (guests + host view)");
+    let mut guest = Vec::new();
+    for (i, &c) in configs.iter().enumerate() {
+        let r = run_nginx(Wrk2Params::paper(), c, 150 + i as u64);
+        if let Some(vm) = r.cpu_server_vm {
+            fig.push_row(format!("{c:?} server VM total"), vm.total(), "cores");
+        }
+        if let Some(vm) = r.cpu_client_vm {
+            fig.push_row(format!("{c:?} client VM total"), vm.total(), "cores");
+        }
+        fig.push_row(format!("{c:?} host guest"), r.cpu_host.guest, "cores");
+        fig.push_row(format!("{c:?} host sys"), r.cpu_host.sys, "cores");
+        guest.push(r.cpu_host.guest);
+    }
+    fig.push_claim(Claim::new(
+        "Hostlo guest CPU increase vs SameNode",
+        36.9,
+        (guest[0] / guest[3] - 1.0) * 100.0,
+        "%",
+    ));
+    fig.finish();
+}

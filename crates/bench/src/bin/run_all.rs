@@ -1,0 +1,56 @@
+//! Runs every figure and ablation binary's logic in sequence by invoking
+//! the sibling binaries; writes all `results/*.json` artifacts.
+//!
+//! `cargo run -p nestless-bench --release --bin run_all`
+
+use std::process::Command;
+
+const BINS: [&str; 24] = [
+    "fig02_motivation",
+    "fig04_brfusion_micro",
+    "fig05_brfusion_macro",
+    "fig06_cpu_kafka",
+    "fig07_cpu_nginx",
+    "fig08_boot_time",
+    "fig09_cost_savings",
+    "fig10_hostlo_micro",
+    "fig11_hostlo_memcached",
+    "fig12_hostlo_memcached_var",
+    "fig13_hostlo_nginx",
+    "fig14_cpu_memcached",
+    "fig15_cpu_nginx",
+    "ablation_stage_count",
+    "ablation_vhost",
+    "ablation_batching",
+    "ablation_hostlo_fanout",
+    "ablation_sched_policy",
+    "ablation_ring_size",
+    "table_substrate_inventory",
+    "pathfinder",
+    "ext_online_costs",
+    "ext_shaped_pod",
+    "topology_dot",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("[{bin} failed: {other:?}]");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll figures regenerated; see results/*.json");
+    } else {
+        eprintln!("\nFailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Prints the system inventory: every substrate built for this
+//! reproduction and its headline statistics on a demo topology — a quick
+//! sanity map of what exists (mirrors DESIGN.md §2).
+
+use nestless::topology::{build, Config};
+use nestless_bench::Figure;
+
+fn main() {
+    let mut fig = Figure::new("inventory", "Substrate inventory (devices on each testbed)");
+    for c in Config::ALL {
+        let tb = build(c, 1);
+        fig.push_row(format!("{c:?} devices"), tb.vmm.network().device_count() as f64, "devices");
+        fig.push_row(format!("{c:?} VMs"), tb.vmm.vms().len() as f64, "VMs");
+    }
+    fig.finish();
+}

@@ -1,0 +1,115 @@
+//! Message-size sweeps for the Netperf figures.
+//!
+//! Each (configuration, message size, mode) cell is an independent
+//! deterministic simulation, so the sweep parallelizes over rayon with
+//! per-cell seeds derived from the base seed.
+
+use metrics::Series;
+use nestless::topology::Config;
+use rayon::prelude::*;
+use simnet::SimDuration;
+use workloads::netperf::{Netperf, MESSAGE_SIZES};
+
+/// Which Netperf mode a sweep measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// UDP_RR latency (microseconds).
+    Latency,
+    /// TCP_STREAM throughput (Mbit/s).
+    Throughput,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    /// Simulated measurement duration per cell.
+    pub duration: SimDuration,
+    /// Warm-up per cell.
+    pub warmup: SimDuration,
+    /// Base seed; cell seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep {
+            duration: SimDuration::millis(400),
+            warmup: SimDuration::millis(50),
+            seed: 42,
+        }
+    }
+}
+
+impl Sweep {
+    /// Runs one series: `config` across all message sizes.
+    pub fn run(&self, config: Config, mode: Mode) -> Series {
+        let unit = match mode {
+            Mode::Latency => "us",
+            Mode::Throughput => "Mbit/s",
+        };
+        let mut series = Series::new(config.label(), unit);
+        let points: Vec<_> = MESSAGE_SIZES
+            .par_iter()
+            .map(|&size| {
+                let np = Netperf {
+                    msg_size: size,
+                    duration: self.duration,
+                    warmup: self.warmup,
+                    window: 64,
+                };
+                // Derive a distinct, deterministic seed per cell.
+                let seed = self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(size) * 7 + mode as u64);
+                let summary = match mode {
+                    Mode::Latency => np.udp_rr(config, seed).latency_us.expect("latency run"),
+                    Mode::Throughput => {
+                        np.tcp_stream(config, seed).throughput_mbps.expect("throughput run")
+                    }
+                };
+                (size, summary)
+            })
+            .collect();
+        for (size, summary) in points {
+            series.push(f64::from(size), summary);
+        }
+        series
+    }
+
+    /// Runs several configs for one mode (each config in parallel too).
+    pub fn run_all(&self, configs: &[Config], mode: Mode) -> Vec<Series> {
+        configs.par_iter().map(|&c| self.run(c, mode)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Sweep {
+        Sweep { duration: SimDuration::millis(60), warmup: SimDuration::millis(20), seed: 3 }
+    }
+
+    #[test]
+    fn sweep_produces_full_series() {
+        let s = tiny().run(Config::NoCont, Mode::Throughput);
+        assert_eq!(s.points.len(), MESSAGE_SIZES.len());
+        assert!(s.is_monotone_nondecreasing(), "throughput grows with size");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = tiny().run(Config::Nat, Mode::Latency);
+        let b = tiny().run(Config::Nat, Mode::Latency);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_all_returns_one_series_per_config() {
+        let all = tiny().run_all(&[Config::Nat, Config::NoCont], Mode::Latency);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "NAT");
+        assert_eq!(all[1].name, "NoCont");
+    }
+}

@@ -1,0 +1,295 @@
+//! The default (bridge + NAT) per-VM container dataplane.
+//!
+//! This is the vanilla Docker networking the paper's fig. 1 shows inside the
+//! VM: a `docker0` bridge multiplexing the VM NIC between containers, NAT
+//! rules installed by the engine for published ports, and one veth pair per
+//! container crossing into its network namespace. BrFusion's whole point is
+//! to make this module unnecessary; it is the `NAT` baseline of every
+//! experiment.
+
+use crate::container::PortMapping;
+use simnet::bridge::Bridge;
+use simnet::device::{DeviceId, PortId};
+use simnet::endpoint::IfaceConf;
+use simnet::engine::LinkParams;
+use simnet::nat::{DnatRule, Interface, NatControl, NatRouter, Route};
+use simnet::veth::VethPair;
+use simnet::{Ip4, Ip4Net, MacAddr, SockAddr};
+use vmm::{NicInfo, VmId, Vmm};
+
+/// Docker's default container subnet.
+pub const DOCKER_SUBNET: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+
+/// Network attachment data for one container, handed to whoever creates the
+/// container's endpoint (a workload or an orchestrator agent).
+#[derive(Debug, Clone)]
+pub struct ContainerNet {
+    /// Container IP.
+    pub ip: Ip4,
+    /// Container-side MAC.
+    pub mac: MacAddr,
+    /// Where the container endpoint must be connected.
+    pub attach: (DeviceId, PortId),
+    /// Ready-made interface configuration (gateway preset).
+    pub iface: IfaceConf,
+}
+
+/// The bridge+NAT dataplane of one VM.
+#[derive(Debug)]
+pub struct NodeDataplane {
+    /// Owning VM.
+    pub vm: VmId,
+    /// The VM's external IP (owned by the guest NAT router's eth0 side).
+    pub vm_ip: Ip4,
+    /// The VM's external MAC.
+    pub vm_mac: MacAddr,
+    /// Guest NAT router device.
+    pub nat: DeviceId,
+    /// Runtime NAT administration handle (iptables stand-in).
+    pub nat_ctl: NatControl,
+    /// docker0 bridge device.
+    pub docker0: DeviceId,
+    /// Container subnet.
+    pub subnet: Ip4Net,
+    next_host: u32,
+    next_bridge_port: usize,
+    bridge_capacity: usize,
+    mac_seq: u32,
+}
+
+impl NodeDataplane {
+    /// Builds the dataplane behind an existing VM NIC: wires
+    /// `eth0 (virtio) <-> guest NAT <-> docker0`.
+    ///
+    /// `vm_ip`/`host_subnet` give the NAT's external identity;
+    /// `bridge_capacity` bounds the number of containers.
+    pub fn new(
+        vmm: &mut Vmm,
+        vm: VmId,
+        eth0: &NicInfo,
+        vm_ip: Ip4,
+        host_subnet: Ip4Net,
+        bridge_capacity: usize,
+    ) -> NodeDataplane {
+        let nat_cost = vmm.costs().guest_nat;
+        Self::with_nat_cost(vmm, vm, eth0, vm_ip, host_subnet, bridge_capacity, nat_cost)
+    }
+
+    /// Like [`Self::new`] but with an explicit guest-NAT stage cost (used
+    /// by the cross-VM experiments to model the conntrack/scheduling
+    /// stalls the paper observes on that path, §5.3.2).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_nat_cost(
+        vmm: &mut Vmm,
+        vm: VmId,
+        eth0: &NicInfo,
+        vm_ip: Ip4,
+        host_subnet: Ip4Net,
+        bridge_capacity: usize,
+        nat_cost: simnet::costs::StageCost,
+    ) -> NodeDataplane {
+        let station = vmm.guest_station(vm);
+        let costs = vmm.costs().clone();
+        let vm_name = vmm.vm(vm).spec.name.clone();
+        let loc = metrics::CpuLocation::Vm(vm.0);
+
+        let vm_mac = MacAddr::local(0x00B0_0000 + vm.0);
+        let gw_ip = DOCKER_SUBNET.host(1);
+        let gw_mac = MacAddr::local(0x00B1_0000 + vm.0);
+
+        let router = NatRouter::new(
+            vec![
+                Interface::new(vm_mac, vm_ip, host_subnet),
+                Interface::new(gw_mac, gw_ip, DOCKER_SUBNET),
+            ],
+            nat_cost,
+            station.clone(),
+        );
+        let nat_ctl = router.control();
+        nat_ctl.masquerade_on(PortId(0));
+        let nat = vmm
+            .network_mut()
+            .add_device(format!("{vm_name}/nat"), loc, Box::new(router));
+
+        let docker0 = vmm.network_mut().add_device(
+            format!("{vm_name}/docker0"),
+            loc,
+            Box::new(Bridge::new(bridge_capacity, costs.guest_bridge, station)),
+        );
+
+        // eth0 guest side -> NAT external port; NAT internal port -> docker0.
+        vmm.network_mut().connect(
+            eth0.guest_attach.0,
+            eth0.guest_attach.1,
+            nat,
+            PortId(0),
+            LinkParams::default(),
+        );
+        vmm.network_mut()
+            .connect(nat, PortId(1), docker0, PortId(0), LinkParams::default());
+
+        NodeDataplane {
+            vm,
+            vm_ip,
+            vm_mac,
+            nat,
+            nat_ctl,
+            docker0,
+            subnet: DOCKER_SUBNET,
+            next_host: 2, // .1 is the gateway
+            next_bridge_port: 1, // port 0 faces the NAT
+            bridge_capacity,
+            mac_seq: 0,
+        }
+    }
+
+    /// Gateway socket identity (for tests).
+    pub fn gateway(&self) -> (Ip4, MacAddr) {
+        (self.subnet.host(1), self.nat_ctl.iface_mac(PortId(1)))
+    }
+
+    /// Plumbs networking for one container: allocates IP/MAC, creates the
+    /// veth pair, attaches it to docker0, installs DNAT rules for the
+    /// published `ports`, and registers the neighbor entry.
+    pub fn attach_container(
+        &mut self,
+        vmm: &mut Vmm,
+        name: &str,
+        ports: &[PortMapping],
+    ) -> ContainerNet {
+        assert!(
+            self.next_bridge_port < self.bridge_capacity,
+            "docker0 on {:?} is out of ports",
+            self.vm
+        );
+        let ip = self.subnet.host(self.next_host);
+        self.next_host += 1;
+        let mac = MacAddr::local(0x00C0_0000 + (self.vm.0 << 12) + self.mac_seq);
+        self.mac_seq += 1;
+
+        let costs = vmm.costs().clone();
+        let station = vmm.guest_station(self.vm);
+        let loc = metrics::CpuLocation::Vm(self.vm.0);
+        let veth = vmm.network_mut().add_device(
+            format!("veth-{name}"),
+            loc,
+            Box::new(VethPair::new(costs.veth, station)),
+        );
+        let br_port = PortId(self.next_bridge_port);
+        self.next_bridge_port += 1;
+        vmm.network_mut()
+            .connect(self.docker0, br_port, veth, PortId::P0, LinkParams::default());
+
+        // iptables: publish ports on the VM address.
+        for pm in ports {
+            self.nat_ctl.add_dnat(DnatRule {
+                proto: pm.proto,
+                match_ip: None,
+                match_port: pm.host_port,
+                to: SockAddr::new(ip, pm.container_port),
+            });
+        }
+        // ARP entry so the NAT can address the container through docker0.
+        self.nat_ctl.add_neigh(PortId(1), ip, mac);
+
+        let (gw_ip, gw_mac) = self.gateway();
+        let iface = IfaceConf::new(mac, ip, self.subnet).with_gateway(gw_ip, gw_mac);
+        ContainerNet { ip, mac, attach: (veth, PortId::P1), iface }
+    }
+
+    /// Adds a default route on the NAT towards the host gateway (needed for
+    /// container-originated traffic to leave the VM).
+    pub fn set_default_route(&self, via_ip: Ip4, via_mac: MacAddr) {
+        self.nat_ctl.add_route(Route {
+            net: Ip4Net::new(Ip4::UNSPECIFIED, 0),
+            port: PortId(0),
+            via: Some(via_ip),
+        });
+        self.nat_ctl.add_neigh(PortId(0), via_ip, via_mac);
+    }
+
+    /// Registers a neighbor on the NAT's external interface (another VM or
+    /// the host-side client reachable through the host bridge).
+    pub fn add_external_neighbor(&self, ip: Ip4, mac: MacAddr) {
+        self.nat_ctl.add_neigh(PortId(0), ip, mac);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::nat::Proto;
+    use vmm::VmSpec;
+
+    fn setup() -> (Vmm, NodeDataplane) {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let eth0 = vmm.add_nic(vm, br, true, false);
+        let host_subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let dp = NodeDataplane::new(&mut vmm, vm, &eth0, host_subnet.host(10), host_subnet, 8);
+        (vmm, dp)
+    }
+
+    #[test]
+    fn dataplane_wires_eth0_nat_docker0() {
+        let (vmm, dp) = setup();
+        // NAT port 1 is connected to docker0 port 0.
+        assert_eq!(vmm.network().peer(dp.nat, PortId(1)), Some((dp.docker0, PortId(0))));
+        // eth0 virtio guest side is connected to NAT port 0.
+        let eth0 = &vmm.vm(dp.vm).nics[0];
+        assert_eq!(
+            vmm.network().peer(eth0.guest_attach.0, eth0.guest_attach.1),
+            Some((dp.nat, PortId(0)))
+        );
+    }
+
+    #[test]
+    fn containers_get_sequential_ips_and_unique_macs() {
+        let (mut vmm, mut dp) = setup();
+        let a = dp.attach_container(&mut vmm, "a", &[]);
+        let b = dp.attach_container(&mut vmm, "b", &[]);
+        assert_eq!(a.ip, Ip4::new(172, 17, 0, 2));
+        assert_eq!(b.ip, Ip4::new(172, 17, 0, 3));
+        assert_ne!(a.mac, b.mac);
+        // Both veths hang off docker0.
+        assert_eq!(vmm.network().peer(dp.docker0, PortId(1)), Some((a.attach.0, PortId::P0)));
+        assert_eq!(vmm.network().peer(dp.docker0, PortId(2)), Some((b.attach.0, PortId::P0)));
+    }
+
+    #[test]
+    fn published_ports_install_dnat() {
+        let (mut vmm, mut dp) = setup();
+        let before = dp.nat_ctl.dnat_len();
+        dp.attach_container(
+            &mut vmm,
+            "web",
+            &[PortMapping { proto: Proto::Tcp, host_port: 8080, container_port: 80 }],
+        );
+        assert_eq!(dp.nat_ctl.dnat_len(), before + 1);
+    }
+
+    #[test]
+    fn iface_conf_has_gateway() {
+        let (mut vmm, mut dp) = setup();
+        let c = dp.attach_container(&mut vmm, "c", &[]);
+        let (gw_ip, gw_mac) = dp.gateway();
+        assert_eq!(c.iface.gateway, Some((gw_ip, gw_mac)));
+        assert_eq!(c.iface.ip, c.ip);
+    }
+
+    #[test]
+    fn bridge_capacity_enforced() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let eth0 = vmm.add_nic(vm, br, true, false);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let mut dp = NodeDataplane::new(&mut vmm, vm, &eth0, subnet.host(10), subnet, 2);
+        dp.attach_container(&mut vmm, "one", &[]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dp.attach_container(&mut vmm, "two", &[])
+        }));
+        assert!(r.is_err(), "capacity 2 leaves one port after the NAT uplink");
+    }
+}

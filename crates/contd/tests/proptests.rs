@@ -1,0 +1,52 @@
+//! Property-based tests for the container engine substrate.
+
+extern crate nestless_contd as contd;
+
+use contd::{BootPipeline, Image, ImageStore};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (prop::collection::vec(1u64..500, 1..6), 0u8..5, 0u8..3).prop_map(|(sizes, name, tag)| {
+        Image::new(format!("app{name}"), format!("v{tag}"), &sizes)
+    })
+}
+
+proptest! {
+    /// Pulling any sequence of images transfers each distinct layer at
+    /// most once; re-pulls are free.
+    #[test]
+    fn image_store_deduplicates(images in prop::collection::vec(arb_image(), 1..20)) {
+        let mut store = ImageStore::new();
+        let mut seen = std::collections::HashSet::new();
+        for img in &images {
+            let fresh_mib: u64 = img
+                .layers
+                .iter()
+                .filter(|l| !seen.contains(&l.digest))
+                .map(|l| l.size_mib)
+                .sum();
+            let transferred = store.pull(img);
+            prop_assert_eq!(transferred, fresh_mib, "transfer only uncached layers");
+            for l in &img.layers {
+                seen.insert(l.digest.clone());
+            }
+            prop_assert!(store.has(&img.reference()));
+        }
+        prop_assert_eq!(store.cached_layer_count(), seen.len());
+        for img in &images {
+            prop_assert_eq!(store.pull(img), 0);
+        }
+    }
+
+    /// Boot samples are positive, deterministic per seed, and the NAT and
+    /// BrFusion pipelines only differ in network setup.
+    #[test]
+    fn boot_samples_consistent(seed in any::<u64>(), runs in 1usize..50) {
+        for pipeline in [BootPipeline::nat(), BootPipeline::brfusion()] {
+            let a = pipeline.run(runs, seed);
+            let b = pipeline.run(runs, seed);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.iter().all(|&ms| ms > 0.0));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! CPU-time accounting in the paper's four categories.
+//!
+//! Figures 6, 7, 14 and 15 break CPU usage down between:
+//!
+//! * `usr` — software (application) work,
+//! * `sys` — kernel work excluding interrupt handling,
+//! * `soft` — kernel time servicing software interrupts (where NAT/Netfilter
+//!   hooks run, and exactly what BrFusion removes),
+//! * `guest` — host CPU time given to a guest VM (only meaningful at the
+//!   host location).
+//!
+//! Accounting is attributed to a *location*: the physical host, or a guest
+//! VM. The simulator charges nanoseconds of CPU work as packets traverse the
+//! stack; harnesses then normalize by wall-clock time to report "cores used",
+//! the unit of the paper's bar charts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where CPU time is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpuLocation {
+    /// The physical host kernel/userspace.
+    Host,
+    /// Inside guest VM `id` (as seen from within the VM).
+    Vm(u32),
+}
+
+impl fmt::Display for CpuLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuLocation::Host => write!(f, "host"),
+            CpuLocation::Vm(id) => write!(f, "vm{id}"),
+        }
+    }
+}
+
+/// The paper's CPU usage categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpuCategory {
+    /// Application (user-space) work.
+    Usr,
+    /// Kernel work excluding interrupt handling.
+    Sys,
+    /// Kernel time servicing software interrupts (softirq).
+    Soft,
+    /// Host CPU time handed to a guest vCPU (host location only).
+    Guest,
+}
+
+impl CpuCategory {
+    /// All categories in the paper's plotting order.
+    pub const ALL: [CpuCategory; 4] =
+        [CpuCategory::Usr, CpuCategory::Sys, CpuCategory::Soft, CpuCategory::Guest];
+}
+
+impl fmt::Display for CpuCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CpuCategory::Usr => "usr",
+            CpuCategory::Sys => "sys",
+            CpuCategory::Soft => "soft",
+            CpuCategory::Guest => "guest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulator of CPU nanoseconds per (location, category).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuAccount {
+    ns: BTreeMap<(CpuLocation, CpuCategory), u64>,
+}
+
+impl CpuAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `ns` nanoseconds of CPU time.
+    pub fn charge(&mut self, loc: CpuLocation, cat: CpuCategory, ns: u64) {
+        *self.ns.entry((loc, cat)).or_insert(0) += ns;
+    }
+
+    /// Total nanoseconds charged to (location, category).
+    pub fn get(&self, loc: CpuLocation, cat: CpuCategory) -> u64 {
+        self.ns.get(&(loc, cat)).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds charged at a location across all categories.
+    pub fn total_at(&self, loc: CpuLocation) -> u64 {
+        self.ns
+            .iter()
+            .filter(|((l, _), _)| *l == loc)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total nanoseconds over everything.
+    pub fn total(&self) -> u64 {
+        self.ns.values().sum()
+    }
+
+    /// All locations that received any charge, in order.
+    pub fn locations(&self) -> Vec<CpuLocation> {
+        let mut locs: Vec<_> = self.ns.keys().map(|(l, _)| *l).collect();
+        locs.dedup();
+        locs
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &CpuAccount) {
+        for (&k, &v) in &other.ns {
+            *self.ns.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Difference `self - other` per cell, saturating at zero. Used to
+    /// isolate the CPU cost of one benchmark phase.
+    pub fn saturating_sub(&self, other: &CpuAccount) -> CpuAccount {
+        let mut out = self.clone();
+        for (&k, &v) in &other.ns {
+            let e = out.ns.entry(k).or_insert(0);
+            *e = e.saturating_sub(v);
+        }
+        out
+    }
+
+    /// Converts to a "cores used" breakdown at a location given the run's
+    /// wall-clock duration in nanoseconds (the paper's bar-chart unit).
+    ///
+    /// # Panics
+    /// Panics if `wall_ns == 0`.
+    pub fn breakdown(&self, loc: CpuLocation, wall_ns: u64) -> CpuBreakdown {
+        assert!(wall_ns > 0, "wall-clock duration must be positive");
+        let cores = |cat| self.get(loc, cat) as f64 / wall_ns as f64;
+        CpuBreakdown {
+            location: loc,
+            usr: cores(CpuCategory::Usr),
+            sys: cores(CpuCategory::Sys),
+            soft: cores(CpuCategory::Soft),
+            guest: cores(CpuCategory::Guest),
+        }
+    }
+}
+
+/// One bar of the paper's CPU figures: cores used per category at a location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuBreakdown {
+    /// Which machine the bar describes.
+    pub location: CpuLocation,
+    /// Cores of application work.
+    pub usr: f64,
+    /// Cores of kernel (non-interrupt) work.
+    pub sys: f64,
+    /// Cores servicing software interrupts.
+    pub soft: f64,
+    /// Cores handed to guest vCPUs (host bars only).
+    pub guest: f64,
+}
+
+impl CpuBreakdown {
+    /// Total cores used across categories.
+    pub fn total(&self) -> f64 {
+        self.usr + self.sys + self.soft + self.guest
+    }
+}
+
+impl fmt::Display for CpuBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: usr={:.3} sys={:.3} soft={:.3} guest={:.3} (total {:.3} cores)",
+            self.location,
+            self.usr,
+            self.sys,
+            self.soft,
+            self.guest,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_get() {
+        let mut a = CpuAccount::new();
+        a.charge(CpuLocation::Host, CpuCategory::Sys, 100);
+        a.charge(CpuLocation::Host, CpuCategory::Sys, 50);
+        a.charge(CpuLocation::Vm(1), CpuCategory::Soft, 7);
+        assert_eq!(a.get(CpuLocation::Host, CpuCategory::Sys), 150);
+        assert_eq!(a.get(CpuLocation::Vm(1), CpuCategory::Soft), 7);
+        assert_eq!(a.get(CpuLocation::Vm(2), CpuCategory::Usr), 0);
+        assert_eq!(a.total_at(CpuLocation::Host), 150);
+        assert_eq!(a.total(), 157);
+    }
+
+    #[test]
+    fn breakdown_normalizes_to_cores() {
+        let mut a = CpuAccount::new();
+        // half a second of usr over a one second run = 0.5 cores
+        a.charge(CpuLocation::Vm(0), CpuCategory::Usr, 500_000_000);
+        a.charge(CpuLocation::Vm(0), CpuCategory::Soft, 250_000_000);
+        let b = a.breakdown(CpuLocation::Vm(0), 1_000_000_000);
+        assert!((b.usr - 0.5).abs() < 1e-12);
+        assert!((b.soft - 0.25).abs() < 1e-12);
+        assert!((b.total() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_sub() {
+        let mut a = CpuAccount::new();
+        a.charge(CpuLocation::Host, CpuCategory::Guest, 10);
+        let mut b = CpuAccount::new();
+        b.charge(CpuLocation::Host, CpuCategory::Guest, 5);
+        b.charge(CpuLocation::Host, CpuCategory::Usr, 3);
+        a.merge(&b);
+        assert_eq!(a.get(CpuLocation::Host, CpuCategory::Guest), 15);
+        let d = a.saturating_sub(&b);
+        assert_eq!(d.get(CpuLocation::Host, CpuCategory::Guest), 10);
+        assert_eq!(d.get(CpuLocation::Host, CpuCategory::Usr), 0);
+    }
+
+    #[test]
+    fn locations_listed_once() {
+        let mut a = CpuAccount::new();
+        a.charge(CpuLocation::Vm(1), CpuCategory::Usr, 1);
+        a.charge(CpuLocation::Vm(1), CpuCategory::Sys, 1);
+        a.charge(CpuLocation::Host, CpuCategory::Sys, 1);
+        assert_eq!(a.locations(), vec![CpuLocation::Host, CpuLocation::Vm(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn breakdown_rejects_zero_wall() {
+        CpuAccount::new().breakdown(CpuLocation::Host, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Statistics and accounting substrate for the nestless simulation stack.
+//!
+//! The paper reports four kinds of quantities and this crate models all of
+//! them:
+//!
+//! * scalar summary statistics with dispersion (average latency ± standard
+//!   deviation, as drawn on the error bars of figs. 4, 5, 10–13) — [`stats`];
+//! * distributions (the start-up-time CDF of fig. 8, the savings histogram of
+//!   fig. 9) — [`histogram`] and [`cdf`];
+//! * CPU-time breakdowns between `usr`/`sys`/`soft`/`guest` as measured for
+//!   figs. 6, 7, 14 and 15 — [`cpu`];
+//! * series indexed by a swept parameter (message size on the x-axis of
+//!   figs. 2, 4 and 10) — [`series`].
+//!
+//! Everything here is plain data: no simulation types leak in, so the crate
+//! sits at the bottom of the workspace dependency graph.
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod cpu;
+pub mod histogram;
+pub mod series;
+pub mod stats;
+
+pub use cdf::Cdf;
+pub use cpu::{CpuAccount, CpuBreakdown, CpuCategory, CpuLocation};
+pub use histogram::Histogram;
+pub use series::{Series, SeriesPoint};
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,164 @@
+//! Parameter-swept result series.
+//!
+//! The x-axis of figs. 2, 4 and 10 is the Netperf message size; each solution
+//! (NAT, BrFusion, NoCont, Hostlo, Overlay, SameNode) contributes one
+//! [`Series`] of `(x, summary)` points. The figure harnesses in `bench`
+//! serialize these to JSON and print the paper-style tables.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One point of a swept series: parameter value plus summarized samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Swept parameter (e.g. message size in bytes).
+    pub x: f64,
+    /// Summary of the measured metric at this parameter value.
+    pub y: Summary,
+}
+
+/// A named, ordered series of measurements over a swept parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Label shown in the figure legend (e.g. "BrFusion").
+    pub name: String,
+    /// Metric unit, for table headers (e.g. "Mbit/s", "us").
+    pub unit: String,
+    /// Points in ascending `x` order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>, unit: impl Into<String>) -> Self {
+        Self { name: name.into(), unit: unit.into(), points: Vec::new() }
+    }
+
+    /// Appends a point; `x` must be strictly greater than the previous point.
+    ///
+    /// # Panics
+    /// Panics if `x` does not increase (a sweep must be ordered to plot).
+    pub fn push(&mut self, x: f64, y: Summary) {
+        if let Some(last) = self.points.last() {
+            assert!(x > last.x, "series points must have increasing x");
+        }
+        self.points.push(SeriesPoint { x, y });
+    }
+
+    /// Looks up the summary at an exact parameter value.
+    pub fn at(&self, x: f64) -> Option<&Summary> {
+        self.points.iter().find(|p| p.x == x).map(|p| &p.y)
+    }
+
+    /// Ratio of this series' mean to `other`'s mean at each shared `x`.
+    /// Useful for "BrFusion throughput is 2.1x NAT's at 1280 B" style checks.
+    pub fn ratio_to(&self, other: &Series) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                other.at(p.x).and_then(|o| {
+                    (o.mean != 0.0).then(|| (p.x, p.y.mean / o.mean))
+                })
+            })
+            .collect()
+    }
+
+    /// True when means are non-decreasing along the sweep — the paper's
+    /// "scales with message sizes" claim.
+    pub fn is_monotone_nondecreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].y.mean <= w[1].y.mean)
+    }
+
+    /// Renders the series as CSV (`x,mean,stddev,min,max,count`), one row
+    /// per point — for spreadsheet/gnuplot consumers of `results/*.json`'s
+    /// sibling data.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("x,mean,stddev,min,max,count\n");
+        for p in &self.points {
+            writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                p.x, p.y.mean, p.y.stddev, p.y.min, p.y.max, p.y.count
+            )
+            .expect("write to String");
+        }
+        out
+    }
+
+    /// Largest relative change between consecutive points:
+    /// `max |y[i+1]-y[i]| / y[i]`. Low values mean the series is flat
+    /// ("Hostlo's latency remains stable across all message sizes").
+    pub fn max_step_change(&self) -> f64 {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].y.mean != 0.0)
+            .map(|w| ((w[1].y.mean - w[0].y.mean) / w[0].y.mean).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(mean: f64) -> Summary {
+        Summary { count: 1, mean, stddev: 0.0, min: mean, max: mean }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = Series::new("NAT", "Mbit/s");
+        s.push(64.0, sum(10.0));
+        s.push(128.0, sum(20.0));
+        assert_eq!(s.at(64.0).unwrap().mean, 10.0);
+        assert!(s.at(100.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing x")]
+    fn push_rejects_unordered() {
+        let mut s = Series::new("x", "u");
+        s.push(10.0, sum(1.0));
+        s.push(10.0, sum(2.0));
+    }
+
+    #[test]
+    fn ratio_to_other_series() {
+        let mut a = Series::new("a", "u");
+        let mut b = Series::new("b", "u");
+        for (x, ya, yb) in [(1.0, 4.0, 2.0), (2.0, 9.0, 3.0)] {
+            a.push(x, sum(ya));
+            b.push(x, sum(yb));
+        }
+        let r = a.ratio_to(&b);
+        assert_eq!(r, vec![(1.0, 2.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut s = Series::new("NAT", "Mbit/s");
+        s.push(64.0, Summary { count: 3, mean: 10.0, stddev: 1.0, min: 9.0, max: 11.0 });
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,mean,stddev,min,max,count"));
+        assert_eq!(lines.next(), Some("64,10,1,9,11,3"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn monotonicity_and_flatness() {
+        let mut s = Series::new("s", "u");
+        s.push(1.0, sum(1.0));
+        s.push(2.0, sum(1.05));
+        s.push(3.0, sum(1.1));
+        assert!(s.is_monotone_nondecreasing());
+        assert!(s.max_step_change() < 0.06);
+
+        let mut t = Series::new("t", "u");
+        t.push(1.0, sum(1.0));
+        t.push(2.0, sum(0.5));
+        assert!(!t.is_monotone_nondecreasing());
+        assert!((t.max_step_change() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the statistics substrate.
+
+extern crate nestless_metrics as metrics;
+
+use metrics::{Cdf, Histogram, OnlineStats};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..200)
+}
+
+proptest! {
+    /// Parallel merge must agree with sequential accumulation.
+    #[test]
+    fn merge_equals_sequential(xs in finite_samples(), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..split].iter().copied().collect();
+        let b: OnlineStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-6);
+        if xs.len() > 1 {
+            prop_assert!((a.stddev().unwrap() - seq.stddev().unwrap()).abs() < 1e-5);
+        }
+        prop_assert_eq!(a.min(), seq.min());
+        prop_assert_eq!(a.max(), seq.max());
+    }
+
+    /// The mean always lies between the extremes; variance is non-negative.
+    #[test]
+    fn mean_bounded_variance_nonnegative(xs in finite_samples()) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let m = s.mean().unwrap();
+        prop_assert!(s.min().unwrap() <= m + 1e-9);
+        prop_assert!(m <= s.max().unwrap() + 1e-9);
+        prop_assert!(s.variance().unwrap() >= -1e-9);
+    }
+
+    /// Percentiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn percentiles_monotone(mut xs in finite_samples(), q1 in 0.0..100.0f64, q2 in 0.0..100.0f64) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = metrics::stats::percentile(&mut xs, lo_q).unwrap();
+        let hi = metrics::stats::percentile(&mut xs, hi_q).unwrap();
+        prop_assert!(lo <= hi + 1e-9);
+        let min = metrics::stats::percentile(&mut xs, 0.0).unwrap();
+        let max = metrics::stats::percentile(&mut xs, 100.0).unwrap();
+        prop_assert!(min <= lo + 1e-9 && hi <= max + 1e-9);
+    }
+
+    /// Histograms conserve every recorded sample.
+    #[test]
+    fn histogram_conserves_samples(xs in finite_samples(), bins in 1usize..50) {
+        let mut h = Histogram::new(-1e5, 1e5, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let in_range: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    /// Merging histograms adds counts cell-wise.
+    #[test]
+    fn histogram_merge_adds(xs in finite_samples(), ys in finite_samples()) {
+        let mk = |zs: &[f64]| {
+            let mut h = Histogram::new(-1e6, 1e6, 16);
+            for &z in zs { h.record(z); }
+            h
+        };
+        let mut a = mk(&xs);
+        let b = mk(&ys);
+        a.merge(&b);
+        let both = mk(&xs.iter().chain(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(a, both);
+    }
+
+    /// ECDF is monotone and reaches 1 at the max sample.
+    #[test]
+    fn cdf_monotone_and_complete(xs in finite_samples()) {
+        let c = Cdf::from_samples(xs.clone());
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let p = c.eval(x);
+            prop_assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        prop_assert!((c.eval(sorted[sorted.len() - 1]) - 1.0).abs() < 1e-12);
+    }
+
+    /// Quantiles invert the CDF: eval(quantile(q)) >= q.
+    #[test]
+    fn cdf_quantile_inverts(xs in finite_samples(), q in 0.01..1.0f64) {
+        let c = Cdf::from_samples(xs);
+        let v = c.quantile(q).unwrap();
+        prop_assert!(c.eval(v) + 1e-12 >= q);
+    }
+}

@@ -1,0 +1,249 @@
+//! BrFusion: network virtualization de-duplication (§3).
+//!
+//! "Our solution revolves around the principle of giving each pod its own
+//! NIC. Upon spawning the pod, a new NIC is provisioned by the VMM for the
+//! target VM. This interface is exclusive to the pod, so it can be directly
+//! inserted into the pod's network namespace, without the intermediary of
+//! NAT, a bridge and another vNIC in the VM" (§3.1).
+//!
+//! The CNI plugin implements the four-step interaction of §3.1:
+//! 1. ask the VMM (over the QMP side channel) for a new NIC on the chosen
+//!    VM, naming the host-level networking domain (bridge);
+//! 2. the VMM hot-plugs the NIC and wires its vhost backend to that bridge;
+//! 3. the VMM returns the NIC's MAC address;
+//! 4. the in-VM agent finds the NIC by MAC, configures it and hands it to
+//!    the pod.
+//!
+//! Host-level configuration is "exactly the same as the current situation —
+//! i.e. it includes NAT, at the host level": the plugin publishes the pod's
+//! ports on the *host* NAT instead of a guest NAT.
+
+use orchestrator::{ClusterCtx, CniError, CniPlugin, PodAttachment, PodSpec, VmAgent};
+use simnet::device::PortId;
+use simnet::nat::{DnatRule, NatControl};
+use simnet::{Ip4, Ip4Net, SockAddr};
+use vmm::{QmpCommand, QmpResponse, VmId};
+
+/// The BrFusion CNI plugin.
+pub struct BrFusionCni {
+    /// Host bridge (networking domain) pod NICs are plugged into.
+    bridge: String,
+    /// Subnet pod NICs live in (the host-level subnet).
+    subnet: Ip4Net,
+    /// Next host index to allocate for a pod NIC.
+    next_host: u32,
+    /// Host-level NAT administration handle: "the configuration is exactly
+    /// the same [...] it includes NAT, at the host level".
+    host_nat: NatControl,
+    /// Host NAT port facing the bridge (where pod neighbors are learned).
+    host_nat_bridge_port: PortId,
+}
+
+impl BrFusionCni {
+    /// Creates the plugin.
+    ///
+    /// * `bridge` — host bridge name passed to the VMM in `netdev_add`;
+    /// * `subnet` — the host-level subnet to allocate pod addresses from;
+    /// * `first_host` — first host index handed to a pod;
+    /// * `host_nat` — the host NAT's control handle;
+    /// * `host_nat_bridge_port` — the host NAT interface on the bridge side.
+    pub fn new(
+        bridge: impl Into<String>,
+        subnet: Ip4Net,
+        first_host: u32,
+        host_nat: NatControl,
+        host_nat_bridge_port: PortId,
+    ) -> BrFusionCni {
+        BrFusionCni {
+            bridge: bridge.into(),
+            subnet,
+            next_host: first_host,
+            host_nat,
+            host_nat_bridge_port,
+        }
+    }
+
+    /// Allocates the next pod IP.
+    fn alloc_ip(&mut self) -> Ip4 {
+        let ip = self.subnet.host(self.next_host);
+        self.next_host += 1;
+        ip
+    }
+}
+
+impl CniPlugin for BrFusionCni {
+    fn name(&self) -> &str {
+        "brfusion"
+    }
+
+    fn setup(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        placement: &[VmId],
+    ) -> Result<Vec<PodAttachment>, CniError> {
+        // BrFusion de-duplicates the stack on one VM; cross-VM pods are
+        // Hostlo's job.
+        let first = placement.first().ok_or_else(|| CniError {
+            reason: "empty placement".to_owned(),
+        })?;
+        if placement.iter().any(|vm| vm != first) {
+            return Err(CniError {
+                reason: "BrFusion wires per-VM pods; use Hostlo for cross-VM".to_owned(),
+            });
+        }
+
+        let mut out = Vec::with_capacity(pod.containers.len());
+        for (idx, c) in pod.containers.iter().enumerate() {
+            let vm = placement[idx];
+            // Step 1-2: ask the VMM for a NIC on the pod's networking domain.
+            let resp = ctx.vmm.qmp(QmpCommand::NetdevAdd {
+                vm: vm.0,
+                bridge: self.bridge.clone(),
+                coalesce: true,
+            });
+            // Step 3: the VMM answers with the NIC identifier (MAC).
+            let QmpResponse::NicAdded(nic) = resp else {
+                return Err(CniError { reason: format!("VMM refused netdev_add: {resp:?}") });
+            };
+            // Step 4: the VM agent configures the NIC inside the VM and
+            // gives it to the pod.
+            let ip = self.alloc_ip();
+            let agent = VmAgent::new(vm);
+            let conf = agent.configure_pod_nic(ctx.vmm, &nic.mac, ip, self.subnet).ok_or_else(
+                || CniError { reason: format!("agent cannot find NIC {}", nic.mac) },
+            )?;
+
+            // Host-level NAT keeps its usual role: publish the pod's ports
+            // and learn the pod as a neighbor on the bridge.
+            let mac = conf.iface.mac;
+            self.host_nat.add_neigh(self.host_nat_bridge_port, ip, mac);
+            for pm in &c.ports {
+                self.host_nat.add_dnat(DnatRule {
+                    proto: pm.proto,
+                    match_ip: None,
+                    match_port: pm.host_port,
+                    to: SockAddr::new(ip, pm.container_port),
+                });
+            }
+
+            // The pod routes outbound traffic via the host NAT.
+            let gw_ip = self.host_nat.iface_ip(self.host_nat_bridge_port);
+            let gw_mac = self.host_nat.iface_mac(self.host_nat_bridge_port);
+            let iface = conf.iface.with_gateway(gw_ip, gw_mac);
+
+            out.push(PodAttachment {
+                container_idx: idx,
+                vm,
+                net: contd::ContainerNet { ip, mac, attach: conf.attach, iface },
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contd::ContainerSpec;
+    use simnet::nat::{Interface, NatRouter, Proto};
+    use simnet::shared::SharedStation;
+    use std::collections::BTreeMap;
+    use vmm::{VmSpec, Vmm};
+
+    fn testbed() -> (Vmm, NatControl, BrFusionCni) {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 16);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        // Host NAT: port 0 towards the external client, port 1 on the bridge.
+        let costs = vmm.costs().clone();
+        let host_station = vmm.host_station();
+        let router = NatRouter::new(
+            vec![
+                Interface::new(simnet::MacAddr::local(900), Ip4::new(10, 99, 0, 1), Ip4Net::new(Ip4::new(10, 99, 0, 0), 24)),
+                Interface::new(simnet::MacAddr::local(901), subnet.host(1), subnet),
+            ],
+            costs.host_nat,
+            host_station,
+        );
+        let ctl = router.control();
+        let nat_dev = vmm
+            .network_mut()
+            .add_device("host-nat", metrics::CpuLocation::Host, Box::new(router));
+        let (br_dev, br_port) = vmm.alloc_bridge_port(br);
+        vmm.network_mut().connect(nat_dev, PortId(1), br_dev, br_port, Default::default());
+
+        vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let cni = BrFusionCni::new("br0", subnet, 50, ctl.clone(), PortId(1));
+        (vmm, ctl, cni)
+    }
+
+    fn pod() -> PodSpec {
+        PodSpec::new(
+            "p",
+            vec![ContainerSpec::new("srv", "app:1").with_port(Proto::Udp, 7000, 7000)],
+        )
+    }
+
+    #[test]
+    fn brfusion_hot_plugs_and_configures() {
+        let (mut vmm, ctl, mut cni) = testbed();
+        let mut engines = BTreeMap::new();
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let atts = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap();
+        assert_eq!(atts.len(), 1);
+        let a = &atts[0];
+        // Pod IP from the host subnet.
+        assert_eq!(a.net.ip, Ip4::new(192, 168, 0, 50));
+        // The NIC is hot-plugged on the VM.
+        let nic = vmm.vm(VmId(0)).nic_by_mac(a.net.mac).expect("NIC exists");
+        assert!(nic.hot_plugged);
+        // DNAT published at the host level.
+        assert_eq!(ctl.dnat_len(), 1);
+        // No guest bridge / NAT devices were created for this pod: count
+        // devices named like the guest dataplane.
+        let names: Vec<String> = (0..vmm.network().device_count())
+            .map(|i| vmm.network().device_name(simnet::DeviceId(i)).to_owned())
+            .collect();
+        assert!(!names.iter().any(|n| n.contains("docker0") || n.contains("/nat")));
+        let _ = SharedStation::new();
+    }
+
+    #[test]
+    fn brfusion_allocates_distinct_ips() {
+        let (mut vmm, _ctl, mut cni) = testbed();
+        let mut engines = BTreeMap::new();
+        let two = PodSpec::new(
+            "p2",
+            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+        );
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let atts = cni.setup(&mut ctx, &two, &[VmId(0), VmId(0)]).unwrap();
+        assert_ne!(atts[0].net.ip, atts[1].net.ip);
+        assert_ne!(atts[0].net.mac, atts[1].net.mac);
+    }
+
+    #[test]
+    fn brfusion_rejects_cross_vm() {
+        let (mut vmm, _ctl, mut cni) = testbed();
+        vmm.create_vm(VmSpec::paper_eval("vm1"));
+        let mut engines = BTreeMap::new();
+        let two = PodSpec::new(
+            "p2",
+            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+        );
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let err = cni.setup(&mut ctx, &two, &[VmId(0), VmId(1)]).unwrap_err();
+        assert!(err.reason.contains("Hostlo"));
+    }
+
+    #[test]
+    fn brfusion_unknown_bridge_fails_cleanly() {
+        let (mut vmm, ctl, _) = testbed();
+        let mut cni = BrFusionCni::new("ghost", Ip4Net::new(Ip4::new(192, 168, 0, 0), 24), 50, ctl, PortId(1));
+        let mut engines = BTreeMap::new();
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let err = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap_err();
+        assert!(err.reason.contains("netdev_add"));
+    }
+}

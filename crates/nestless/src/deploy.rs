@@ -1,0 +1,335 @@
+//! One-stop cluster assembly: "the way forward for nested virtualization is
+//! to clearly put the orchestrator as the only manager of the datacenter,
+//! and to integrate the VMM as a tool for the orchestrator" (§7).
+//!
+//! [`ClusterBuilder`] stands up the whole stack — host bridge, host NAT,
+//! VMs, container engines, control plane with the chosen CNI — so that
+//! downstream users deploy pods and attach applications without touching
+//! the plumbing the paper abstracts away.
+
+use crate::brfusion::BrFusionCni;
+use crate::hostlo::{HostloCni, SpreadScheduler};
+use contd::ContainerEngine;
+use metrics::CpuLocation;
+use orchestrator::{
+    ClusterCtx, CniPlugin, ControlPlane, DefaultCni, DeployError, MostRequestedScheduler,
+    PodAttachment, PodId, PodSpec, Scheduler,
+};
+use simnet::device::{DeviceId, PortId};
+use simnet::endpoint::{Application, Endpoint, START_TOKEN};
+use simnet::engine::LinkParams;
+use simnet::nat::{Interface, NatControl, NatRouter};
+use simnet::shared::SharedStation;
+use simnet::{Ip4Net, MacAddr, SimDuration};
+use std::collections::BTreeMap;
+use vmm::{BridgeHandle, VmId, VmSpec, Vmm};
+
+/// Which networking model the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CniKind {
+    /// Vanilla nested virtualization: per-VM bridge+NAT dataplanes.
+    Default,
+    /// BrFusion: per-pod hot-plugged NICs, NAT only at host level (§3).
+    BrFusion,
+    /// Hostlo: cross-VM pods over host-backed loopbacks (§4).
+    Hostlo,
+}
+
+/// The host subnet clusters are built on.
+pub const CLUSTER_NET: Ip4Net = crate::topology::HOST_NET;
+
+/// Builder for a ready-to-deploy cluster.
+///
+/// ```
+/// use nestless::{ClusterBuilder, CniKind};
+/// use orchestrator::PodSpec;
+/// use contd::{ContainerSpec, ResourceRequest};
+///
+/// let mut cluster = ClusterBuilder::new().cni(CniKind::Hostlo).vms(2).build();
+/// // A 6-vCPU pod no single 5-vCPU node could host whole:
+/// let pod = PodSpec::new("big", vec![
+///     ContainerSpec::new("a", "app:1").with_resources(ResourceRequest::new(3000, 512)),
+///     ContainerSpec::new("b", "app:1").with_resources(ResourceRequest::new(3000, 512)),
+/// ]);
+/// let id = cluster.deploy(pod).expect("cross-VM deployment");
+/// assert_eq!(cluster.attachments(id).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    vms: usize,
+    vm_spec: VmSpec,
+    cni: CniKind,
+    seed: u64,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            vms: 2,
+            vm_spec: VmSpec::paper_eval("node"),
+            cni: CniKind::BrFusion,
+            seed: 0,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with the paper's defaults (2 nodes, BrFusion).
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Number of VMs (nodes).
+    pub fn vms(mut self, n: usize) -> ClusterBuilder {
+        assert!(n >= 1, "a cluster needs at least one node");
+        self.vms = n;
+        self
+    }
+
+    /// Shape of every VM.
+    pub fn vm_spec(mut self, spec: VmSpec) -> ClusterBuilder {
+        self.vm_spec = spec;
+        self
+    }
+
+    /// Networking model.
+    pub fn cni(mut self, kind: CniKind) -> ClusterBuilder {
+        self.cni = kind;
+        self
+    }
+
+    /// RNG seed for the underlying simulation.
+    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Assembles the cluster.
+    pub fn build(self) -> Cluster {
+        let mut vmm = Vmm::new(self.seed);
+        let bridge = vmm.create_bridge("br0", 16 + 2 * self.vms);
+
+        // Host NAT fronting the bridge (every model keeps host-level NAT).
+        let nat_br_mac = MacAddr::local(0x00F1_0001);
+        let router = NatRouter::new(
+            vec![
+                Interface::new(
+                    MacAddr::local(0x00F1_0000),
+                    crate::topology::CLIENT_NET.host(1),
+                    crate::topology::CLIENT_NET,
+                ),
+                Interface::new(nat_br_mac, CLUSTER_NET.host(1), CLUSTER_NET),
+            ],
+            vmm.costs().host_nat,
+            SharedStation::new(),
+        );
+        let host_nat_ctl = router.control();
+        host_nat_ctl.masquerade_on(PortId(1));
+        let host_nat = vmm
+            .network_mut()
+            .add_device("host-nat", CpuLocation::Host, Box::new(router));
+        let (br_dev, br_port) = vmm.alloc_bridge_port(bridge);
+        let link = LinkParams::with_latency(vmm.costs().link_latency);
+        vmm.network_mut().connect(host_nat, PortId(1), br_dev, br_port, link);
+
+        // Nodes + engines.
+        let mut engines = BTreeMap::new();
+        for i in 0..self.vms {
+            let mut spec = self.vm_spec.clone();
+            spec.name = format!("{}{i}", self.vm_spec.name);
+            let vm = vmm.create_vm(spec);
+            let eth0 = vmm.add_nic(vm, bridge, true, false);
+            let engine = match self.cni {
+                CniKind::Default => ContainerEngine::with_default_bridge(
+                    &mut vmm,
+                    vm,
+                    &eth0,
+                    CLUSTER_NET.host(10 + i as u32),
+                    CLUSTER_NET,
+                    16,
+                ),
+                // BrFusion/Hostlo pods bypass the per-VM dataplane.
+                CniKind::BrFusion | CniKind::Hostlo => ContainerEngine::new(vm),
+            };
+            engines.insert(vm, engine);
+        }
+
+        // Control plane with the matching scheduler + plugin.
+        let (scheduler, cni): (Box<dyn Scheduler>, Box<dyn CniPlugin>) = match self.cni {
+            CniKind::Default => (Box::new(MostRequestedScheduler), Box::new(DefaultCni)),
+            CniKind::BrFusion => (
+                Box::new(MostRequestedScheduler),
+                Box::new(BrFusionCni::new("br0", CLUSTER_NET, 100, host_nat_ctl.clone(), PortId(1))),
+            ),
+            CniKind::Hostlo => (Box::new(SpreadScheduler), Box::new(HostloCni::new())),
+        };
+        let mut control_plane = ControlPlane::new(scheduler, cni);
+        for &vm in engines.keys() {
+            control_plane.register_node(&vmm, vm);
+        }
+
+        Cluster { vmm, engines, control_plane, bridge, host_nat_ctl, host_nat, kind: self.cni }
+    }
+}
+
+/// A fully assembled datacenter: VMM + engines + control plane.
+pub struct Cluster {
+    /// The VMM (owns the simulated network).
+    pub vmm: Vmm,
+    /// Per-VM container engines.
+    pub engines: BTreeMap<VmId, ContainerEngine>,
+    /// The orchestrator control plane.
+    pub control_plane: ControlPlane,
+    /// The host bridge.
+    pub bridge: BridgeHandle,
+    /// Host NAT administration handle.
+    pub host_nat_ctl: NatControl,
+    /// The host NAT device (its port 0 faces the external client subnet).
+    pub host_nat: DeviceId,
+    kind: CniKind,
+}
+
+impl Cluster {
+    /// The networking model in use.
+    pub fn kind(&self) -> CniKind {
+        self.kind
+    }
+
+    /// Deploys a pod through the control plane.
+    pub fn deploy(&mut self, pod: PodSpec) -> Result<PodId, DeployError> {
+        let mut ctx = ClusterCtx { vmm: &mut self.vmm, engines: &mut self.engines };
+        self.control_plane.deploy_pod(&mut ctx, pod)
+    }
+
+    /// Attachments of a deployed pod.
+    pub fn attachments(&self, pod: PodId) -> &[PodAttachment] {
+        &self.control_plane.pod(pod).attachments
+    }
+
+    /// Installs an application endpoint on a pod attachment and schedules
+    /// its start; returns the endpoint's device id.
+    pub fn attach_app(
+        &mut self,
+        att: &PodAttachment,
+        name: &str,
+        bound: impl IntoIterator<Item = u16>,
+        app: Box<dyn Application>,
+    ) -> DeviceId {
+        let sock_cost = self.vmm.costs().socket;
+        let ep = Endpoint::new(
+            name,
+            vec![att.net.iface.clone()],
+            bound,
+            sock_cost,
+            SharedStation::new(),
+            app,
+        );
+        let dev = self
+            .vmm
+            .network_mut()
+            .add_device(name, CpuLocation::Vm(att.vm.0), Box::new(ep));
+        self.vmm.network_mut().connect(
+            dev,
+            PortId::P0,
+            att.net.attach.0,
+            att.net.attach.1,
+            LinkParams::default(),
+        );
+        self.vmm.network_mut().schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
+        dev
+    }
+
+    /// Runs the datacenter for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.vmm.network_mut().run_for(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contd::{ContainerSpec, ResourceRequest};
+    use simnet::endpoint::{AppApi, Incoming};
+    use simnet::{Payload, SockAddr};
+
+    struct Echo;
+    impl Application for Echo {
+        fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+        fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+            let mut p = Payload::sized(8);
+            p.tag = msg.payload.tag;
+            api.send_udp(7000, msg.src, p);
+        }
+    }
+
+    struct Once {
+        dst: SockAddr,
+    }
+    impl Application for Once {
+        fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+            api.send_udp(7001, self.dst, Payload::sized(100));
+        }
+        fn on_message(&mut self, _: Incoming, api: &mut AppApi<'_, '_>) {
+            api.count("cluster.pong", 1.0);
+        }
+    }
+
+    fn two_container_pod(cpu: u64) -> PodSpec {
+        PodSpec::new(
+            "p",
+            vec![
+                ContainerSpec::new("a", "app:1").with_resources(ResourceRequest::new(cpu, 256)),
+                ContainerSpec::new("b", "app:1").with_resources(ResourceRequest::new(cpu, 256)),
+            ],
+        )
+    }
+
+    #[test]
+    fn default_cluster_deploys_single_vm_pods() {
+        let mut cluster = ClusterBuilder::new().cni(CniKind::Default).vms(2).build();
+        let id = cluster.deploy(two_container_pod(500)).expect("deploys");
+        assert_eq!(cluster.attachments(id).len(), 2);
+    }
+
+    #[test]
+    fn brfusion_cluster_hot_plugs_pod_nics() {
+        let mut cluster = ClusterBuilder::new().cni(CniKind::BrFusion).vms(1).build();
+        let id = cluster.deploy(two_container_pod(500)).expect("deploys");
+        let atts: Vec<_> = cluster.attachments(id).to_vec();
+        assert_eq!(atts.len(), 2);
+        // Each container got its own hot-plugged NIC on the cluster subnet.
+        for a in &atts {
+            assert!(CLUSTER_NET.contains(a.net.ip));
+            assert!(cluster.vmm.vm(a.vm).nic_by_mac(a.net.mac).unwrap().hot_plugged);
+        }
+    }
+
+    #[test]
+    fn hostlo_cluster_serves_cross_vm_traffic() {
+        let mut cluster = ClusterBuilder::new().cni(CniKind::Hostlo).vms(2).build();
+        // 4+4 vCPUs cannot fit one 5-vCPU node.
+        let id = cluster.deploy(two_container_pod(4000)).expect("cross-VM deploys");
+        let atts: Vec<_> = cluster.attachments(id).to_vec();
+        assert_ne!(atts[0].vm, atts[1].vm, "spread across nodes");
+
+        let target = SockAddr::new(atts[1].net.ip, 7000);
+        cluster.attach_app(&atts[1], "srv", [7000], Box::new(Echo));
+        cluster.attach_app(&atts[0], "cli", [7001], Box::new(Once { dst: target }));
+        cluster.run_for(SimDuration::millis(10));
+        assert_eq!(cluster.vmm.network().store().counter("cluster.pong"), 1.0);
+    }
+
+    #[test]
+    fn oversized_pod_fails_cleanly_on_default() {
+        let mut cluster = ClusterBuilder::new().cni(CniKind::Default).vms(2).build();
+        let err = cluster.deploy(two_container_pod(4000)).unwrap_err();
+        assert!(matches!(err, DeployError::Unschedulable(_)));
+    }
+
+    #[test]
+    fn builder_validates() {
+        let c = ClusterBuilder::new().vms(3).seed(9).build();
+        assert_eq!(c.engines.len(), 3);
+        assert_eq!(c.control_plane.nodes().len(), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-VM shared-memory channels (§4.3.2).
+//!
+//! "The best-suited solution for our context is MemPipe, which provides
+//! cross-VM shared memory on KVM at the transport layer, i.e. in a manner
+//! that is transparent to the containerized applications."
+//!
+//! The model: a bounded SPSC byte-message ring shared between two VM
+//! fractions of a pod. `send` fails when the ring is full (bounded shared
+//! segment), `recv` drains in FIFO order; counters expose the throughput
+//! accounting a MemPipe evaluation would report.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vmm::VmId;
+
+/// Error returned when the shared segment is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeFull;
+
+/// Error returned when the pipe is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeEmpty;
+
+#[derive(Debug)]
+struct Shared {
+    ring: ArrayQueue<Vec<u8>>,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    msgs_sent: AtomicU64,
+    msgs_received: AtomicU64,
+}
+
+/// Sending half of a MemPipe (lives in one VM).
+#[derive(Debug, Clone)]
+pub struct MemPipeTx {
+    /// The VM holding this half.
+    pub vm: VmId,
+    shared: Arc<Shared>,
+}
+
+/// Receiving half of a MemPipe (lives in the other VM).
+#[derive(Debug, Clone)]
+pub struct MemPipeRx {
+    /// The VM holding this half.
+    pub vm: VmId,
+    shared: Arc<Shared>,
+}
+
+/// Creates a MemPipe between two VMs with room for `capacity` messages.
+pub fn mempipe(tx_vm: VmId, rx_vm: VmId, capacity: usize) -> (MemPipeTx, MemPipeRx) {
+    assert!(capacity > 0, "a MemPipe needs a non-empty shared segment");
+    let shared = Arc::new(Shared {
+        ring: ArrayQueue::new(capacity),
+        bytes_sent: AtomicU64::new(0),
+        bytes_received: AtomicU64::new(0),
+        msgs_sent: AtomicU64::new(0),
+        msgs_received: AtomicU64::new(0),
+    });
+    (
+        MemPipeTx { vm: tx_vm, shared: shared.clone() },
+        MemPipeRx { vm: rx_vm, shared },
+    )
+}
+
+impl MemPipeTx {
+    /// Sends a message; fails when the shared segment is full.
+    pub fn send(&self, msg: Vec<u8>) -> Result<(), PipeFull> {
+        let len = msg.len() as u64;
+        self.shared.ring.push(msg).map_err(|_| PipeFull)?;
+        self.shared.bytes_sent.fetch_add(len, Ordering::Relaxed);
+        self.shared.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.shared.msgs_sent.load(Ordering::Relaxed)
+    }
+}
+
+impl MemPipeRx {
+    /// Receives the oldest message; fails when empty.
+    pub fn recv(&self) -> Result<Vec<u8>, PipeEmpty> {
+        let msg = self.shared.ring.pop().ok_or(PipeEmpty)?;
+        self.shared.bytes_received.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.shared.msgs_received.fetch_add(1, Ordering::Relaxed);
+        Ok(msg)
+    }
+
+    /// Messages received so far.
+    pub fn received(&self) -> u64 {
+        self.shared.msgs_received.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently buffered.
+    pub fn backlog(&self) -> usize {
+        self.shared.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = mempipe(VmId(0), VmId(1), 8);
+        tx.send(b"one".to_vec()).unwrap();
+        tx.send(b"two".to_vec()).unwrap();
+        assert_eq!(rx.recv().unwrap(), b"one");
+        assert_eq!(rx.recv().unwrap(), b"two");
+        assert_eq!(rx.recv(), Err(PipeEmpty));
+        assert_eq!(tx.sent(), 2);
+        assert_eq!(rx.received(), 2);
+    }
+
+    #[test]
+    fn bounded_segment_rejects_overflow() {
+        let (tx, rx) = mempipe(VmId(0), VmId(1), 2);
+        tx.send(vec![1]).unwrap();
+        tx.send(vec![2]).unwrap();
+        assert_eq!(tx.send(vec![3]), Err(PipeFull));
+        assert_eq!(rx.backlog(), 2);
+        rx.recv().unwrap();
+        tx.send(vec![3]).unwrap();
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = mempipe(VmId(0), VmId(1), 1024);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                loop {
+                    if tx.send(i.to_le_bytes().to_vec()).is_ok() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut got = 0u32;
+        while got < 1000 {
+            if let Ok(m) = rx.recv() {
+                let v = u32::from_le_bytes(m.try_into().unwrap());
+                assert_eq!(v, got, "FIFO order preserved");
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.received(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_capacity_rejected() {
+        mempipe(VmId(0), VmId(1), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-VM shared volumes (§4.3.1).
+//!
+//! "Jujiuri et al. designed a para-virtualized file system in QEMU/KVM
+//! called VirtFS [...] it allows, among other things, to mount the same
+//! file system into multiple guests. It is then a simple matter of
+//! synchronizing the orchestrator and the VMM to adequately mount the
+//! VirtFS into the VMs, and then the virtual volume into the parts of the
+//! pod."
+//!
+//! The model: a volume's state lives on the *host* (one authoritative
+//! store, so no guest-cache inconsistency is possible by construction);
+//! VMs get mounts, and pods get mounts-of-mounts. Reads and writes go
+//! through the mount chain to the single host store.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vmm::VmId;
+
+/// Identifier of a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub u32);
+
+#[derive(Debug, Default)]
+struct VolumeState {
+    files: BTreeMap<String, Vec<u8>>,
+    writes: u64,
+}
+
+/// A host-backed shared volume (the VirtFS export).
+#[derive(Debug, Clone)]
+pub struct Volume {
+    id: VolumeId,
+    state: Arc<RwLock<VolumeState>>,
+}
+
+/// A guest-side mount of a [`Volume`] (the VirtFS mount in one VM).
+///
+/// All mounts of the same volume observe each other's writes immediately —
+/// the paravirtual protocol forwards operations to the host instead of
+/// caching guest-side, which is exactly why the paper picks VirtFS over
+/// naive double-mounting.
+#[derive(Debug, Clone)]
+pub struct VolumeMount {
+    /// The VM this mount lives in.
+    pub vm: VmId,
+    volume: Volume,
+}
+
+impl Volume {
+    /// Volume id.
+    pub fn id(&self) -> VolumeId {
+        self.id
+    }
+
+    /// Total write operations across all mounts.
+    pub fn write_count(&self) -> u64 {
+        self.state.read().writes
+    }
+}
+
+impl VolumeMount {
+    /// Writes a file through the mount.
+    pub fn write(&self, path: &str, data: impl Into<Vec<u8>>) {
+        let mut st = self.volume.state.write();
+        st.files.insert(path.to_owned(), data.into());
+        st.writes += 1;
+    }
+
+    /// Reads a file through the mount.
+    pub fn read(&self, path: &str) -> Option<Vec<u8>> {
+        self.volume.state.read().files.get(path).cloned()
+    }
+
+    /// Lists files.
+    pub fn list(&self) -> Vec<String> {
+        self.volume.state.read().files.keys().cloned().collect()
+    }
+}
+
+/// The orchestrator/VMM-coordinated volume manager.
+#[derive(Debug, Default)]
+pub struct VolumeManager {
+    volumes: Vec<Volume>,
+}
+
+impl VolumeManager {
+    /// Creates an empty manager.
+    pub fn new() -> VolumeManager {
+        VolumeManager::default()
+    }
+
+    /// Creates a volume on the host.
+    pub fn create(&mut self) -> Volume {
+        let v = Volume {
+            id: VolumeId(self.volumes.len() as u32),
+            state: Arc::new(RwLock::new(VolumeState::default())),
+        };
+        self.volumes.push(v.clone());
+        v
+    }
+
+    /// Mounts a volume into a VM (the VMM attaches the VirtFS transport;
+    /// the in-VM agent mounts it for the pod fraction).
+    pub fn mount(&self, volume: &Volume, vm: VmId) -> VolumeMount {
+        VolumeMount { vm, volume: volume.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_visible_across_vms() {
+        let mut mgr = VolumeManager::new();
+        let vol = mgr.create();
+        let m0 = mgr.mount(&vol, VmId(0));
+        let m1 = mgr.mount(&vol, VmId(1));
+        m0.write("data/state.json", b"{\"x\":1}".to_vec());
+        assert_eq!(m1.read("data/state.json").as_deref(), Some(b"{\"x\":1}".as_ref()));
+        m1.write("data/state.json", b"{\"x\":2}".to_vec());
+        assert_eq!(m0.read("data/state.json").as_deref(), Some(b"{\"x\":2}".as_ref()));
+        assert_eq!(vol.write_count(), 2);
+    }
+
+    #[test]
+    fn volumes_are_isolated_from_each_other() {
+        let mut mgr = VolumeManager::new();
+        let va = mgr.create();
+        let vb = mgr.create();
+        assert_ne!(va.id(), vb.id());
+        let ma = mgr.mount(&va, VmId(0));
+        let mb = mgr.mount(&vb, VmId(0));
+        ma.write("f", b"a".to_vec());
+        assert!(mb.read("f").is_none());
+        assert_eq!(mb.list().len(), 0);
+        assert_eq!(ma.list(), vec!["f".to_owned()]);
+    }
+
+    #[test]
+    fn missing_files_read_none() {
+        let mut mgr = VolumeManager::new();
+        let vol = mgr.create();
+        let m = mgr.mount(&vol, VmId(3));
+        assert!(m.read("ghost").is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! §4.3 integration: a cross-VM pod's shared volume (VirtFS) and shared
+//! memory (MemPipe) work alongside its hostlo localhost.
+
+extern crate nestless;
+
+use contd::ContainerSpec;
+use nestless::{mempipe, ClusterBuilder, CniKind, VolumeManager};
+use orchestrator::PodSpec;
+use simnet::endpoint::{AppApi, Application, Incoming};
+use simnet::{Payload, SimDuration, SockAddr};
+
+struct Ack;
+impl Application for Ack {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count("it43.requests", 1.0);
+        let mut p = Payload::sized(8);
+        p.tag = msg.payload.tag;
+        api.send_udp(8080, msg.src, p);
+    }
+}
+
+struct Ping {
+    dst: SockAddr,
+    n: u64,
+}
+impl Application for Ping {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(100);
+        p.tag = 1;
+        api.send_udp(8081, self.dst, p);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        if msg.payload.tag < self.n {
+            let mut p = Payload::sized(100);
+            p.tag = msg.payload.tag + 1;
+            api.send_udp(8081, self.dst, p);
+        } else {
+            api.count("it43.done", 1.0);
+        }
+    }
+}
+
+#[test]
+fn cross_vm_pod_gets_localhost_volume_and_mempipe() {
+    let mut cluster = ClusterBuilder::new().cni(CniKind::Hostlo).vms(2).seed(17).build();
+    let pod = PodSpec::new(
+        "data",
+        vec![
+            ContainerSpec::new("writer", "app:1")
+                .with_resources(contd::ResourceRequest::new(3000, 512)),
+            ContainerSpec::new("reader", "app:1")
+                .with_resources(contd::ResourceRequest::new(3000, 512)),
+        ],
+    );
+    let id = cluster.deploy(pod).expect("cross-VM pod");
+    let atts: Vec<_> = cluster.attachments(id).to_vec();
+    assert_ne!(atts[0].vm, atts[1].vm);
+
+    // 1. Localhost over hostlo: a 20-message ping-pong completes.
+    let dst = SockAddr::new(atts[1].net.ip, 8080);
+    cluster.attach_app(&atts[1], "reader", [8080], Box::new(Ack));
+    cluster.attach_app(&atts[0], "writer", [8081], Box::new(Ping { dst, n: 20 }));
+    cluster.run_for(SimDuration::millis(20));
+    let store = cluster.vmm.network().store();
+    assert_eq!(store.counter("it43.requests"), 20.0);
+    assert_eq!(store.counter("it43.done"), 1.0);
+
+    // 2. VirtFS volume: both fractions see each other's writes, and a
+    //    different pod's volume stays isolated.
+    let mut volumes = VolumeManager::new();
+    let shared = volumes.create();
+    let other = volumes.create();
+    let m_writer = volumes.mount(&shared, atts[0].vm);
+    let m_reader = volumes.mount(&shared, atts[1].vm);
+    let m_other = volumes.mount(&other, atts[1].vm);
+    m_writer.write("wal/0001.log", vec![7u8; 1024]);
+    assert_eq!(m_reader.read("wal/0001.log").map(|v| v.len()), Some(1024));
+    assert!(m_other.read("wal/0001.log").is_none(), "volumes are isolated");
+    m_reader.write("wal/ack", b"ok".to_vec());
+    assert_eq!(m_writer.read("wal/ack").as_deref(), Some(b"ok".as_ref()));
+
+    // 3. MemPipe: bounded FIFO transfer between the fractions.
+    let (tx, rx) = mempipe(atts[0].vm, atts[1].vm, 16);
+    for i in 0..16u8 {
+        tx.send(vec![i; 128]).expect("fits");
+    }
+    assert!(tx.send(vec![0; 1]).is_err(), "ring is bounded");
+    let mut total = 0usize;
+    let mut expected = 0u8;
+    while let Ok(chunk) = rx.recv() {
+        assert_eq!(chunk[0], expected, "FIFO order");
+        expected += 1;
+        total += chunk.len();
+    }
+    assert_eq!(total, 16 * 128);
+}

@@ -1,0 +1,92 @@
+//! Property-based tests over the experiment topologies: every
+//! configuration completes request/response traffic for arbitrary seeds
+//! and message sizes, deterministically.
+
+extern crate nestless;
+
+use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
+use proptest::prelude::*;
+use simnet::endpoint::{AppApi, Application, Incoming};
+use simnet::{Payload, SimDuration, SockAddr};
+
+struct Echo;
+impl Application for Echo {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(msg.payload.len);
+        p.tag = msg.payload.tag;
+        api.send_udp(SERVER_PORT, msg.src, p);
+    }
+}
+
+struct Loop {
+    dst: SockAddr,
+    size: u32,
+    want: u64,
+    done: u64,
+}
+impl Application for Loop {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(self.size);
+        p.tag = 1;
+        api.send_udp(CLIENT_PORT, self.dst, p);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        self.done += 1;
+        api.count("prop.replies", 1.0);
+        api.record("prop.rtt_ns", api.now().since(msg.payload.sent_at).as_nanos() as f64);
+        if self.done < self.want {
+            let mut p = Payload::sized(self.size);
+            p.tag = msg.payload.tag + 1;
+            api.send_udp(CLIENT_PORT, self.dst, p);
+        }
+    }
+}
+
+fn run(config: Config, seed: u64, size: u32, want: u64) -> (f64, Vec<f64>) {
+    let mut tb = build(config, seed);
+    let target = tb.target;
+    let s = tb.install("srv", &tb.server.clone(), [SERVER_PORT], Box::new(Echo));
+    let c = tb.install(
+        "cli",
+        &tb.client.clone(),
+        [CLIENT_PORT],
+        Box::new(Loop { dst: target, size, want, done: 0 }),
+    );
+    tb.start(&[s, c]);
+    tb.vmm.network_mut().run_for(SimDuration::millis(200));
+    (
+        tb.vmm.network().store().counter("prop.replies"),
+        tb.vmm.network().store().samples("prop.rtt_ns").to_vec(),
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    prop::sample::select(Config::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every topology completes every requested transaction, whatever the
+    /// seed and message size.
+    #[test]
+    fn every_topology_serves_traffic(
+        config in arb_config(),
+        seed in any::<u64>(),
+        size in 16u32..8192,
+        want in 1u64..30,
+    ) {
+        let (replies, rtts) = run(config, seed, size, want);
+        prop_assert_eq!(replies, want as f64, "{:?} dropped transactions", config);
+        prop_assert!(rtts.iter().all(|&r| r > 0.0));
+    }
+
+    /// Topology + workload + seed is bit-reproducible.
+    #[test]
+    fn every_topology_is_deterministic(config in arb_config(), seed in any::<u64>()) {
+        let a = run(config, seed, 512, 10);
+        let b = run(config, seed, 512, 10);
+        prop_assert_eq!(a, b);
+    }
+}

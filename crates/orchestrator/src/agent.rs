@@ -1,0 +1,131 @@
+//! The orchestrator's in-VM agent.
+//!
+//! "The orchestrator is already a datacenter-global entity with local agents
+//! running inside each VM" (§3.1). After the VMM hot-plugs a NIC and returns
+//! its MAC over the management channel, the agent is the piece that — inside
+//! the VM — detects the device, configures addresses on it, and inserts it
+//! into the pod's network namespace (§3.1 step 4, §4.1 step 4).
+
+use simnet::device::{DeviceId, PortId};
+use simnet::endpoint::IfaceConf;
+use simnet::{Ip4, Ip4Net, MacAddr};
+use std::str::FromStr;
+use vmm::{VmId, Vmm};
+
+/// The VM agent of one node.
+#[derive(Debug, Clone, Copy)]
+pub struct VmAgent {
+    /// The VM this agent runs in.
+    pub vm: VmId,
+}
+
+/// Agent-side view of a configured pod NIC: where to attach the pod's
+/// endpoint and the ready-made interface configuration.
+#[derive(Debug, Clone)]
+pub struct ConfiguredNic {
+    /// Attachment point (the NIC's guest-facing port).
+    pub attach: (DeviceId, PortId),
+    /// Interface configuration for the pod's endpoint.
+    pub iface: IfaceConf,
+}
+
+impl VmAgent {
+    /// Creates the agent for `vm`.
+    pub fn new(vm: VmId) -> VmAgent {
+        VmAgent { vm }
+    }
+
+    /// Finds the hot-plugged NIC the VMM reported as `mac` (the identifier
+    /// from the management channel) and configures `ip`/`subnet` on it.
+    ///
+    /// Returns `None` when no active NIC has that MAC — e.g. the hot-plug
+    /// has not completed, or the identifier was corrupted.
+    pub fn configure_pod_nic(
+        &self,
+        vmm: &Vmm,
+        mac: &str,
+        ip: Ip4,
+        subnet: Ip4Net,
+    ) -> Option<ConfiguredNic> {
+        let mac = MacAddr::from_str(mac).ok()?;
+        let nic = vmm.vm(self.vm).nic_by_mac(mac)?;
+        Some(ConfiguredNic {
+            attach: nic.guest_attach,
+            iface: IfaceConf::new(mac, ip, subnet),
+        })
+    }
+
+    /// Like [`Self::configure_pod_nic`] but for a hostlo endpoint: the
+    /// interface is used as the pod's localhost, so unresolved on-link
+    /// neighbors fall back to broadcast (the hostlo TAP floods to every
+    /// queue and receivers filter, §4.2).
+    pub fn configure_hostlo_nic(
+        &self,
+        vmm: &Vmm,
+        mac: &str,
+        ip: Ip4,
+        subnet: Ip4Net,
+    ) -> Option<ConfiguredNic> {
+        let c = self.configure_pod_nic(vmm, mac, ip, subnet)?;
+        Some(ConfiguredNic {
+            attach: c.attach,
+            iface: c.iface.with_broadcast_unresolved(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmm::{QmpCommand, QmpResponse, VmSpec};
+
+    #[test]
+    fn agent_finds_hot_plugged_nic_by_reported_mac() {
+        let mut vmm = Vmm::new(0);
+        vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let QmpResponse::NicAdded(nic) =
+            vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: false })
+        else {
+            panic!("hot-plug failed")
+        };
+
+        let agent = VmAgent::new(vm);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let conf = agent
+            .configure_pod_nic(&vmm, &nic.mac, subnet.host(50), subnet)
+            .expect("NIC must be found by MAC");
+        assert_eq!(conf.iface.ip, subnet.host(50));
+        assert_eq!(conf.iface.mac.to_string(), nic.mac);
+        // The attach point is the virtio guest port, still unconnected.
+        assert_eq!(vmm.network().peer(conf.attach.0, conf.attach.1), None);
+    }
+
+    #[test]
+    fn unknown_mac_yields_none() {
+        let mut vmm = Vmm::new(0);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let agent = VmAgent::new(vm);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        assert!(agent.configure_pod_nic(&vmm, "52:54:00:00:00:99", subnet.host(2), subnet).is_none());
+        assert!(agent.configure_pod_nic(&vmm, "not-a-mac", subnet.host(2), subnet).is_none());
+    }
+
+    #[test]
+    fn hostlo_configuration_broadcasts_unresolved() {
+        let mut vmm = Vmm::new(0);
+        vmm.create_vm(VmSpec::paper_eval("vm0"));
+        vmm.create_vm(VmSpec::paper_eval("vm1"));
+        let QmpResponse::HostloCreated { endpoints } =
+            vmm.qmp(QmpCommand::HostloCreate { vms: vec![0, 1] })
+        else {
+            panic!("hostlo failed")
+        };
+        let agent = VmAgent::new(VmId(0));
+        let subnet = Ip4Net::new(Ip4::new(169, 254, 0, 0), 24);
+        let conf = agent
+            .configure_hostlo_nic(&vmm, &endpoints[0].mac, subnet.host(1), subnet)
+            .unwrap();
+        assert!(conf.iface.broadcast_unresolved);
+    }
+}

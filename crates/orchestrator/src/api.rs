@@ -1,0 +1,339 @@
+//! The control plane: node registry, pod deployment, CNI dispatch.
+
+use crate::cni::{ClusterCtx, CniPlugin, PodAttachment};
+use crate::node::{Node, NodeId};
+use crate::pod::{PodId, PodSpec};
+use crate::scheduler::{Placement, SchedError, Scheduler};
+use contd::{Image, NetworkMode};
+use std::fmt;
+use vmm::{VmId, Vmm};
+
+/// A deployed pod as the control plane tracks it.
+#[derive(Debug)]
+pub struct PodRecord {
+    /// Identity.
+    pub id: PodId,
+    /// Spec as deployed.
+    pub spec: PodSpec,
+    /// Where each container landed.
+    pub placement: Placement,
+    /// Per-container network attachments from the CNI plugin.
+    pub attachments: Vec<PodAttachment>,
+    /// False once deleted (ids stay stable; records are tombstoned).
+    pub live: bool,
+}
+
+/// Deployment failure.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The scheduler found no placement.
+    Unschedulable(SchedError),
+    /// The CNI plugin failed.
+    Network(crate::cni::CniError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Unschedulable(e) => write!(f, "{e}"),
+            DeployError::Network(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The orchestrator control plane.
+pub struct ControlPlane {
+    nodes: Vec<Node>,
+    pods: Vec<PodRecord>,
+    scheduler: Box<dyn Scheduler>,
+    cni: Box<dyn CniPlugin>,
+}
+
+impl ControlPlane {
+    /// Creates a control plane with a scheduler and a CNI plugin.
+    pub fn new(scheduler: Box<dyn Scheduler>, cni: Box<dyn CniPlugin>) -> ControlPlane {
+        ControlPlane { nodes: Vec::new(), pods: Vec::new(), scheduler, cni }
+    }
+
+    /// Registers a VM as a schedulable node.
+    pub fn register_node(&mut self, vmm: &Vmm, vm: VmId) -> NodeId {
+        let node = Node::from_vm(vm, &vmm.vm(vm).spec);
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Registered nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Deployed pods.
+    pub fn pods(&self) -> &[PodRecord] {
+        &self.pods
+    }
+
+    /// Looks up a pod.
+    pub fn pod(&self, id: PodId) -> &PodRecord {
+        &self.pods[id.0 as usize]
+    }
+
+    /// Deletes a pod: frees its node allocations and tombstones the
+    /// record. Simulated network devices stay in the graph (they just go
+    /// quiet), like a real pod's veths pending GC.
+    ///
+    /// # Panics
+    /// Panics if the pod is already deleted.
+    pub fn delete_pod(&mut self, id: PodId) {
+        let rec = &mut self.pods[id.0 as usize];
+        assert!(rec.live, "pod {id:?} already deleted");
+        rec.live = false;
+        for (c, &node) in rec.spec.containers.iter().zip(&rec.placement.assignments) {
+            let n = &mut self.nodes[node.0];
+            n.allocated = contd::ResourceRequest::new(
+                n.allocated.cpu_millis.saturating_sub(c.resources.cpu_millis),
+                n.allocated.memory_mib.saturating_sub(c.resources.memory_mib),
+            );
+        }
+    }
+
+    /// Live (non-deleted) pods.
+    pub fn live_pods(&self) -> impl Iterator<Item = &PodRecord> {
+        self.pods.iter().filter(|p| p.live)
+    }
+
+    /// Cordons and drains a node: marks it unschedulable and re-deploys
+    /// every pod that had containers there. Returns the re-deployed pod
+    /// ids (paired old -> new). Pods that no longer fit anywhere are
+    /// reported in the error side.
+    ///
+    /// The network attachments of evicted pods are re-wired by the CNI
+    /// plugin for the new placement; the old simulated devices stay in the
+    /// graph (as a real drain leaves garbage until GC).
+    pub fn drain_node(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        node: NodeId,
+    ) -> (Vec<(PodId, PodId)>, Vec<PodId>) {
+        // Cordon: zero allocatable capacity.
+        let drained_vm = self.nodes[node.0].vm;
+        self.nodes[node.0].capacity = contd::ResourceRequest::default();
+        self.nodes[node.0].allocated = contd::ResourceRequest::default();
+
+        let victims: Vec<PodId> = self
+            .pods
+            .iter()
+            .filter(|p| p.live && p.placement.assignments.contains(&node))
+            .map(|p| p.id)
+            .collect();
+        let mut moved = Vec::new();
+        let mut failed = Vec::new();
+        for pod in victims {
+            let spec = self.pods[pod.0 as usize].spec.clone();
+            match self.deploy_pod(ctx, spec) {
+                Ok(new_id) => {
+                    debug_assert!(self
+                        .pods
+                        .last()
+                        .expect("just deployed")
+                        .placement
+                        .assignments
+                        .iter()
+                        .all(|n| self.nodes[n.0].vm != drained_vm));
+                    self.pods[pod.0 as usize].live = false;
+                    moved.push((pod, new_id));
+                }
+                Err(_) => failed.push(pod),
+            }
+        }
+        (moved, failed)
+    }
+
+    /// Deploys a pod: schedule, commit allocations, wire the network via
+    /// the CNI plugin, create the containers.
+    pub fn deploy_pod(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        spec: PodSpec,
+    ) -> Result<PodId, DeployError> {
+        let placement =
+            self.scheduler.place(&spec, &self.nodes).map_err(DeployError::Unschedulable)?;
+        assert_eq!(
+            placement.assignments.len(),
+            spec.containers.len(),
+            "scheduler must assign every container"
+        );
+
+        // Commit resource allocations.
+        for (c, &node) in spec.containers.iter().zip(&placement.assignments) {
+            self.nodes[node.0].allocate(c.resources);
+        }
+
+        // Resolve node -> VM for the CNI plugin.
+        let vm_placement: Vec<VmId> =
+            placement.assignments.iter().map(|n| self.nodes[n.0].vm).collect();
+        let attachments =
+            self.cni.setup(ctx, &spec, &vm_placement).map_err(DeployError::Network)?;
+
+        // Create the containers (network handled above).
+        for (c, &vm) in spec.containers.iter().zip(&vm_placement) {
+            let engine = ctx
+                .engines
+                .get_mut(&vm)
+                .unwrap_or_else(|| panic!("no engine on {vm:?} after CNI success"));
+            ensure_image(engine, &c.image);
+            engine.create_container(ctx.vmm, c.clone(), NetworkMode::External);
+        }
+
+        let id = PodId(self.pods.len() as u32);
+        self.pods.push(PodRecord { id, spec, placement, attachments, live: true });
+        Ok(id)
+    }
+}
+
+/// Pulls a synthetic image for `reference` if the engine does not have it
+/// (the orchestrator's imagePull behaviour).
+fn ensure_image(engine: &mut contd::ContainerEngine, reference: &str) {
+    let (name, tag) = reference.split_once(':').unwrap_or((reference, "latest"));
+    engine.pull(&Image::new(name, tag, &[64, 16, 4]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cni::DefaultCni;
+    use crate::scheduler::MostRequestedScheduler;
+    use contd::{ContainerEngine, ContainerSpec, ResourceRequest};
+    use simnet::{Ip4, Ip4Net};
+    use std::collections::BTreeMap;
+    use vmm::VmSpec;
+
+    fn cluster(n: usize) -> (Vmm, BTreeMap<VmId, ContainerEngine>, ControlPlane) {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 32);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let mut engines = BTreeMap::new();
+        let mut cp = ControlPlane::new(
+            Box::new(MostRequestedScheduler),
+            Box::new(DefaultCni),
+        );
+        for i in 0..n {
+            let vm = vmm.create_vm(VmSpec::paper_eval(format!("vm{i}")));
+            let eth0 = vmm.add_nic(vm, br, true, false);
+            let eng = ContainerEngine::with_default_bridge(
+                &mut vmm,
+                vm,
+                &eth0,
+                subnet.host(10 + i as u32),
+                subnet,
+                16,
+            );
+            engines.insert(vm, eng);
+            cp.register_node(&vmm, vm);
+        }
+        (vmm, engines, cp)
+    }
+
+    fn pod(name: &str, cpu: u64) -> PodSpec {
+        PodSpec::new(
+            name,
+            vec![
+                ContainerSpec::new(format!("{name}-a"), "app:1")
+                    .with_resources(ResourceRequest::new(cpu, 256)),
+                ContainerSpec::new(format!("{name}-b"), "app:1")
+                    .with_resources(ResourceRequest::new(cpu, 256)),
+            ],
+        )
+    }
+
+    #[test]
+    fn deploy_places_wires_and_creates() {
+        let (mut vmm, mut engines, mut cp) = cluster(2);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 1000)).unwrap();
+        let rec = cp.pod(id);
+        assert!(rec.placement.is_single_node());
+        assert_eq!(rec.attachments.len(), 2);
+        let vm = cp.nodes()[rec.placement.assignments[0].0].vm;
+        assert_eq!(engines[&vm].containers().len(), 2);
+    }
+
+    #[test]
+    fn allocations_accumulate_and_gate() {
+        let (mut vmm, mut engines, mut cp) = cluster(1);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        // 2 x 2000 mCPU fits a 5000 node...
+        cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
+        // ...but a second such pod does not (4000 + 4000 > 5000).
+        let err = cp.deploy_pod(&mut ctx, pod("p1", 2000)).unwrap_err();
+        assert!(matches!(err, DeployError::Unschedulable(_)));
+        assert_eq!(cp.pods().len(), 1);
+    }
+
+    #[test]
+    fn delete_pod_frees_allocations() {
+        let (mut vmm, mut engines, mut cp) = cluster(1);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
+        // The node is full: a second pod is refused...
+        assert!(cp.deploy_pod(&mut ctx, pod("p1", 2000)).is_err());
+        // ...until the first is deleted.
+        cp.delete_pod(id);
+        assert_eq!(cp.live_pods().count(), 0);
+        let id2 = cp.deploy_pod(&mut ctx, pod("p1", 2000)).unwrap();
+        assert_ne!(id, id2);
+        assert_eq!(cp.live_pods().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already deleted")]
+    fn double_delete_panics() {
+        let (mut vmm, mut engines, mut cp) = cluster(1);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 100)).unwrap();
+        cp.delete_pod(id);
+        cp.delete_pod(id);
+    }
+
+    #[test]
+    fn drain_reschedules_pods_elsewhere() {
+        let (mut vmm, mut engines, mut cp) = cluster(2);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 500)).unwrap();
+        let old_node = cp.pod(id).placement.assignments[0];
+        let (moved, failed) = cp.drain_node(&mut ctx, old_node);
+        assert_eq!(moved.len(), 1);
+        assert!(failed.is_empty());
+        let (_, new_id) = moved[0];
+        assert_ne!(cp.pod(new_id).placement.assignments[0], old_node);
+        // Drained node takes no further pods.
+        let id2 = cp.deploy_pod(&mut ctx, pod("p1", 500)).unwrap();
+        assert_ne!(cp.pod(id2).placement.assignments[0], old_node);
+    }
+
+    #[test]
+    fn drain_reports_unschedulable_victims() {
+        let (mut vmm, mut engines, mut cp) = cluster(1);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
+        let node = cp.pod(id).placement.assignments[0];
+        // Only node drained: nowhere to go.
+        let (moved, failed) = cp.drain_node(&mut ctx, node);
+        assert!(moved.is_empty());
+        assert_eq!(failed, vec![id]);
+    }
+
+    #[test]
+    fn most_requested_groups_pods() {
+        let (mut vmm, mut engines, mut cp) = cluster(3);
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let a = cp.deploy_pod(&mut ctx, pod("p0", 500)).unwrap();
+        let b = cp.deploy_pod(&mut ctx, pod("p1", 500)).unwrap();
+        // Second pod lands on the same (now fullest) node.
+        assert_eq!(
+            cp.pod(a).placement.assignments[0],
+            cp.pod(b).placement.assignments[0]
+        );
+    }
+}

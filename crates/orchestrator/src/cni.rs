@@ -1,0 +1,173 @@
+//! The Container Network Interface plugin boundary.
+//!
+//! "Extending the Kubernetes orchestrator to ask the VMM for a new NIC when
+//! scheduling a pod is easily done with a CNI plugin. CNI plugins follow a
+//! standard specification and are used to provide new networking models"
+//! (§3.2). The `nestless` crate ships the BrFusion and Hostlo plugins; this
+//! module defines the interface plus the default (bridge+NAT) plugin that
+//! models vanilla Kubernetes-on-Docker networking.
+
+use crate::pod::PodSpec;
+use contd::{ContainerEngine, ContainerNet};
+use std::collections::BTreeMap;
+use std::fmt;
+use vmm::{VmId, Vmm};
+
+/// Everything a CNI plugin may touch while wiring a pod: the VMM (and
+/// through it the network) and the per-VM container engines.
+pub struct ClusterCtx<'a> {
+    /// The datacenter's VMM.
+    pub vmm: &'a mut Vmm,
+    /// Container engines, one per VM.
+    pub engines: &'a mut BTreeMap<VmId, ContainerEngine>,
+}
+
+/// Network attachment produced for one container of a pod.
+#[derive(Debug, Clone)]
+pub struct PodAttachment {
+    /// Index into `pod.containers`.
+    pub container_idx: usize,
+    /// VM the container landed on.
+    pub vm: VmId,
+    /// Attachment point + interface configuration for the workload
+    /// endpoint.
+    pub net: ContainerNet,
+}
+
+/// CNI failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CniError {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for CniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CNI setup failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CniError {}
+
+/// A CNI plugin: wires pod networking for a placement decided by the
+/// scheduler.
+pub trait CniPlugin {
+    /// Plugin name (for logs and assertions).
+    fn name(&self) -> &str;
+
+    /// Sets up networking for `pod`; `placement[i]` is the VM of container
+    /// `i`.
+    fn setup(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        placement: &[VmId],
+    ) -> Result<Vec<PodAttachment>, CniError>;
+}
+
+/// The default plugin: each container goes through the VM's bridge+NAT
+/// dataplane (fig. 1's nested design — the `NAT` baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultCni;
+
+impl CniPlugin for DefaultCni {
+    fn name(&self) -> &str {
+        "default-bridge-nat"
+    }
+
+    fn setup(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        placement: &[VmId],
+    ) -> Result<Vec<PodAttachment>, CniError> {
+        // VM-local network virtualization cannot span VMs (§2, issue 2).
+        let first = placement.first().ok_or_else(|| CniError {
+            reason: "empty placement".to_owned(),
+        })?;
+        if placement.iter().any(|vm| vm != first) {
+            return Err(CniError {
+                reason: "default CNI cannot wire a cross-VM pod".to_owned(),
+            });
+        }
+        let mut out = Vec::with_capacity(pod.containers.len());
+        for (idx, c) in pod.containers.iter().enumerate() {
+            let vm = placement[idx];
+            let engine = ctx.engines.get_mut(&vm).ok_or_else(|| CniError {
+                reason: format!("no container engine on {vm:?}"),
+            })?;
+            let dp = engine.dataplane_mut().ok_or_else(|| CniError {
+                reason: format!("no default dataplane on {vm:?}"),
+            })?;
+            let net = dp.attach_container(ctx.vmm, &c.name, &c.ports);
+            out.push(PodAttachment { container_idx: idx, vm, net });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contd::ContainerSpec;
+    use simnet::{Ip4, Ip4Net};
+    use vmm::VmSpec;
+
+    fn cluster() -> (Vmm, BTreeMap<VmId, ContainerEngine>) {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 16);
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let mut engines = BTreeMap::new();
+        for i in 0..2 {
+            let vm = vmm.create_vm(VmSpec::paper_eval(format!("vm{i}")));
+            let eth0 = vmm.add_nic(vm, br, true, false);
+            let eng = ContainerEngine::with_default_bridge(
+                &mut vmm,
+                vm,
+                &eth0,
+                subnet.host(10 + i),
+                subnet,
+                8,
+            );
+            engines.insert(vm, eng);
+        }
+        (vmm, engines)
+    }
+
+    #[test]
+    fn default_cni_wires_single_vm_pod() {
+        let (mut vmm, mut engines) = cluster();
+        let pod = PodSpec::new(
+            "p",
+            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+        );
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let atts = DefaultCni.setup(&mut ctx, &pod, &[VmId(0), VmId(0)]).unwrap();
+        assert_eq!(atts.len(), 2);
+        assert_ne!(atts[0].net.ip, atts[1].net.ip);
+        assert!(atts.iter().all(|a| a.vm == VmId(0)));
+    }
+
+    #[test]
+    fn default_cni_rejects_cross_vm() {
+        let (mut vmm, mut engines) = cluster();
+        let pod = PodSpec::new(
+            "p",
+            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+        );
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let err = DefaultCni.setup(&mut ctx, &pod, &[VmId(0), VmId(1)]).unwrap_err();
+        assert!(err.reason.contains("cross-VM"));
+    }
+
+    #[test]
+    fn default_cni_requires_engine() {
+        let (mut vmm, _) = cluster();
+        let vm9 = vmm.create_vm(VmSpec::paper_eval("vm9"));
+        let pod = PodSpec::new("p", vec![ContainerSpec::new("a", "i:1")]);
+        let mut empty = BTreeMap::new();
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut empty };
+        let err = DefaultCni.setup(&mut ctx, &pod, &[vm9]).unwrap_err();
+        assert!(err.reason.contains("no container engine"));
+    }
+}

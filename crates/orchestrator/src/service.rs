@@ -1,0 +1,122 @@
+//! Services: a stable virtual IP load-balanced over pod endpoints.
+//!
+//! Kubernetes exposes replicated pods behind a Service VIP; kube-proxy
+//! realizes it as round-robin DNAT chains in the node's Netfilter. Here the
+//! same rule is installed on whichever NAT fronts the pods — with BrFusion
+//! that is the *host* NAT, which is exactly the "orchestrator drives the
+//! host-level network" integration the paper argues for.
+
+use crate::cni::PodAttachment;
+use simnet::nat::{LbRule, NatControl, Proto};
+use simnet::SockAddr;
+
+/// A service exposed behind a VIP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Service name.
+    pub name: String,
+    /// Virtual address clients target.
+    pub vip: SockAddr,
+    /// Backend endpoints, in rotation order.
+    pub backends: Vec<SockAddr>,
+}
+
+impl Service {
+    /// Exposes `attachments` behind `vip`: each backend is the attachment's
+    /// pod address on `backend_port`. Installs the round-robin rule on
+    /// `nat` (the NAT fronting the pods) and returns the service record.
+    ///
+    /// # Panics
+    /// Panics if `attachments` is empty.
+    pub fn expose(
+        name: impl Into<String>,
+        nat: &NatControl,
+        vip: SockAddr,
+        proto: Proto,
+        backend_port: u16,
+        attachments: &[PodAttachment],
+    ) -> Service {
+        assert!(!attachments.is_empty(), "a service needs at least one endpoint");
+        let backends: Vec<SockAddr> = attachments
+            .iter()
+            .map(|a| SockAddr::new(a.net.ip, backend_port))
+            .collect();
+        nat.add_lb(LbRule { proto, vip, backends: backends.clone() });
+        Service { name: name.into(), vip, backends }
+    }
+
+    /// Number of backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contd::ContainerNet;
+    use simnet::device::{DeviceId, PortId};
+    use simnet::endpoint::IfaceConf;
+    use simnet::nat::{Interface, NatRouter};
+    use simnet::shared::SharedStation;
+    use simnet::{Ip4, Ip4Net, MacAddr};
+    use vmm::VmId;
+
+    fn attachment(i: u32) -> PodAttachment {
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let ip = subnet.host(50 + i);
+        let mac = MacAddr::local(500 + i);
+        PodAttachment {
+            container_idx: i as usize,
+            vm: VmId(0),
+            net: ContainerNet {
+                ip,
+                mac,
+                attach: (DeviceId(0), PortId(0)),
+                iface: IfaceConf::new(mac, ip, subnet),
+            },
+        }
+    }
+
+    #[test]
+    fn expose_installs_rotation_rule() {
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let router = NatRouter::new(
+            vec![Interface::new(MacAddr::local(1), subnet.host(1), subnet)],
+            simnet::costs::StageCost::fixed(100, 0.0, metrics::CpuCategory::Soft),
+            SharedStation::new(),
+        );
+        let ctl = router.control();
+        let atts = [attachment(0), attachment(1), attachment(2)];
+        let svc = Service::expose(
+            "web",
+            &ctl,
+            SockAddr::new(subnet.host(1), 80),
+            Proto::Udp,
+            8080,
+            &atts,
+        );
+        assert_eq!(svc.backend_count(), 3);
+        assert_eq!(svc.backends[0], SockAddr::new(subnet.host(50), 8080));
+        assert_eq!(svc.backends[2], SockAddr::new(subnet.host(52), 8080));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn expose_rejects_empty() {
+        let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+        let router = NatRouter::new(
+            vec![Interface::new(MacAddr::local(1), subnet.host(1), subnet)],
+            simnet::costs::StageCost::fixed(100, 0.0, metrics::CpuCategory::Soft),
+            SharedStation::new(),
+        );
+        Service::expose(
+            "none",
+            &router.control(),
+            SockAddr::new(subnet.host(1), 80),
+            Proto::Udp,
+            8080,
+            &[],
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for scheduling and reconciliation invariants.
+
+extern crate nestless_orchestrator as orchestrator;
+
+use contd::{ContainerSpec, ResourceRequest};
+use orchestrator::{MostRequestedScheduler, Node, PodSpec, Scheduler};
+use proptest::prelude::*;
+use vmm::{VmId, VmSpec};
+
+fn arb_pod() -> impl Strategy<Value = PodSpec> {
+    prop::collection::vec((50u64..2_500, 32u64..1_024), 1..5).prop_map(|reqs| {
+        PodSpec::new(
+            "p",
+            reqs.into_iter()
+                .enumerate()
+                .map(|(i, (cpu, mem))| {
+                    ContainerSpec::new(format!("c{i}"), "app:1")
+                        .with_resources(ResourceRequest::new(cpu, mem))
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_nodes() -> impl Strategy<Value = Vec<Node>> {
+    prop::collection::vec((1u32..=16, 512u64..16_384), 1..8).prop_map(|shapes| {
+        shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (vcpus, mem))| {
+                Node::from_vm(
+                    VmId(i as u32),
+                    &VmSpec { name: format!("vm{i}"), vcpus, memory_mib: mem },
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whole-pod placements always fit and always use one node; when the
+    /// scheduler refuses, no node could actually hold the pod.
+    #[test]
+    fn most_requested_is_sound_and_complete(pod in arb_pod(), nodes in arb_nodes()) {
+        let total = pod.total_resources();
+        match MostRequestedScheduler.place(&pod, &nodes) {
+            Ok(placement) => {
+                prop_assert!(placement.is_single_node());
+                prop_assert_eq!(placement.assignments.len(), pod.containers.len());
+                let node = &nodes[placement.assignments[0].0];
+                prop_assert!(node.fits(total));
+            }
+            Err(_) => {
+                prop_assert!(
+                    nodes.iter().all(|n| !n.fits(total)),
+                    "scheduler refused a feasible pod"
+                );
+            }
+        }
+    }
+
+    /// The most-requested choice is maximal: no other feasible node has a
+    /// strictly higher requested fraction.
+    #[test]
+    fn most_requested_picks_the_fullest(pod in arb_pod(), nodes in arb_nodes()) {
+        let total = pod.total_resources();
+        if let Ok(placement) = MostRequestedScheduler.place(&pod, &nodes) {
+            let chosen = &nodes[placement.assignments[0].0];
+            let chosen_frac = chosen.requested_fraction_with(total);
+            for n in nodes.iter().filter(|n| n.fits(total)) {
+                prop_assert!(n.requested_fraction_with(total) <= chosen_frac + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Learning Ethernet bridge.
+//!
+//! Both virtualization layers in the paper's fig. 1 rest on a Linux bridge:
+//! the host bridge multiplexes the physical NIC between VMs, and the in-VM
+//! bridge (the one BrFusion removes) multiplexes the VM's NIC between
+//! containers. This implementation is a standard learning switch with a
+//! forwarding database (FDB), ageing, and flooding of unknown/broadcast
+//! destinations.
+
+use crate::costs::StageCost;
+use crate::device::{Device, DeviceKind, PortId};
+use crate::engine::DevCtx;
+use crate::frame::Frame;
+use crate::shared::SharedStation;
+use crate::time::{SimDuration, SimTime};
+use crate::addr::MacAddr;
+use std::collections::HashMap;
+
+/// Default FDB entry lifetime (Linux default is 300 s).
+pub const DEFAULT_AGEING: SimDuration = SimDuration::secs(300);
+
+/// A learning Ethernet switch with `nports` ports.
+pub struct Bridge {
+    nports: usize,
+    cost: StageCost,
+    station: SharedStation,
+    ageing: SimDuration,
+    fdb: HashMap<MacAddr, (PortId, SimTime)>,
+}
+
+impl Bridge {
+    /// Creates a bridge with `nports` ports, per-frame switching `cost`, and
+    /// the (possibly shared) service station of the kernel it runs in.
+    pub fn new(nports: usize, cost: StageCost, station: SharedStation) -> Bridge {
+        assert!(nports >= 2, "a bridge needs at least two ports");
+        Bridge { nports, cost, station, ageing: DEFAULT_AGEING, fdb: HashMap::new() }
+    }
+
+    /// Overrides the FDB ageing time.
+    pub fn with_ageing(mut self, ageing: SimDuration) -> Bridge {
+        self.ageing = ageing;
+        self
+    }
+
+    /// Number of ports.
+    pub fn nports(&self) -> usize {
+        self.nports
+    }
+
+    /// Current FDB size (live entries only are counted at lookup time; this
+    /// includes possibly-stale entries).
+    pub fn fdb_len(&self) -> usize {
+        self.fdb.len()
+    }
+
+    fn lookup(&self, mac: MacAddr, now: SimTime) -> Option<PortId> {
+        self.fdb
+            .get(&mac)
+            .filter(|(_, learned)| now.since(*learned) <= self.ageing)
+            .map(|(p, _)| *p)
+    }
+}
+
+impl Device for Bridge {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Bridge
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        assert!(port.0 < self.nports, "frame on nonexistent bridge port");
+        let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+
+        // Learn the source address on the ingress port.
+        if !frame.src_mac.is_multicast() {
+            self.fdb.insert(frame.src_mac, (port, ctx.now()));
+        }
+
+        if frame.dst_mac.is_multicast() {
+            ctx.count("bridge.flooded", 1.0);
+            for p in 0..self.nports {
+                if p != port.0 && ctx.is_linked(PortId(p)) {
+                    ctx.transmit_at(done, PortId(p), frame.clone());
+                }
+            }
+            return;
+        }
+
+        match self.lookup(frame.dst_mac, ctx.now()) {
+            Some(out) if out == port => {
+                // Destination learned on the ingress port: the frame does not
+                // need switching (fig. 1 step 2 — it is NAT's job, upstream).
+                ctx.count("bridge.same_port_drop", 1.0);
+            }
+            Some(out) => {
+                ctx.count("bridge.switched", 1.0);
+                ctx.transmit_at(done, out, frame);
+            }
+            None => {
+                ctx.count("bridge.flooded", 1.0);
+                for p in 0..self.nports {
+                    if p != port.0 && ctx.is_linked(PortId(p)) {
+                        ctx.transmit_at(done, PortId(p), frame.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ip4, SockAddr};
+    use crate::engine::{LinkParams, Network};
+    use crate::frame::Payload;
+    use crate::testutil::{CaptureSink, frame_between};
+    use metrics::{CpuCategory, CpuLocation};
+
+    fn mk_net() -> (Network, crate::device::DeviceId, Vec<crate::device::DeviceId>) {
+        let mut net = Network::new(1);
+        let bridge = net.add_device(
+            "br0",
+            CpuLocation::Host,
+            Box::new(Bridge::new(
+                3,
+                StageCost::fixed(1_000, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
+        );
+        let sinks: Vec<_> = (0..3)
+            .map(|i| {
+                let s = net.add_device(format!("sink{i}"), CpuLocation::Host, Box::new(CaptureSink::new(format!("sink{i}"))));
+                net.connect(bridge, PortId(i), s, PortId::P0, LinkParams::default());
+                s
+            })
+            .collect();
+        (net, bridge, sinks)
+    }
+
+    #[test]
+    fn floods_unknown_then_switches_learned() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+
+        // a (on port 0) sends to unknown b: flood to ports 1 and 2.
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 100));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("bridge.flooded"), 1.0);
+        assert_eq!(net.store().counter("sink1.received"), 1.0);
+        assert_eq!(net.store().counter("sink2.received"), 1.0);
+
+        // b replies from port 1: a was learned on port 0 -> unicast switch.
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(b, a, 100));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("bridge.switched"), 1.0);
+        assert_eq!(net.store().counter("sink0.received"), 1.0);
+        // no extra flood
+        assert_eq!(net.store().counter("bridge.flooded"), 1.0);
+    }
+
+    #[test]
+    fn broadcast_always_floods() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let a = MacAddr::local(1);
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(2),
+            frame_between(a, MacAddr::BROADCAST, 64),
+        );
+        net.run_to_idle();
+        assert_eq!(net.store().counter("sink0.received"), 1.0);
+        assert_eq!(net.store().counter("sink1.received"), 1.0);
+        assert_eq!(net.store().counter("sink2.received"), 0.0, "no echo to ingress");
+    }
+
+    #[test]
+    fn same_port_destination_is_dropped() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        // Learn a on port 0 (b unknown: floods), then b on port 0 — at which
+        // point a is already learned on the ingress port, so it drops.
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(b, a, 64));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("bridge.same_port_drop"), 1.0);
+        // Now a->b arrives on port 0 and b is learned on port 0 too.
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("bridge.same_port_drop"), 2.0);
+    }
+
+    #[test]
+    fn fdb_entries_age_out() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.run_to_idle();
+        // After ageing, a is forgotten: a frame to a floods again.
+        net.run_until(crate::time::SimTime::ZERO + DEFAULT_AGEING + SimDuration::secs(1));
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(b, a, 64));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("bridge.flooded"), 2.0);
+    }
+
+    #[test]
+    fn switching_charges_cpu() {
+        let (mut net, bridge, _sinks) = mk_net();
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(MacAddr::local(1), MacAddr::local(2), 64),
+        );
+        net.run_to_idle();
+        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Sys), 1_000);
+    }
+
+    #[test]
+    fn queueing_serializes_service() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        // Two frames at t=0; 1us service each -> second leaves at 2us.
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.run_to_idle();
+        let arr = net.store().samples("sink1.arrival_ns").to_vec();
+        assert_eq!(arr, vec![1_000.0, 2_000.0]);
+    }
+
+    #[test]
+    fn multicast_source_not_learned() {
+        let (mut net, bridge, _sinks) = mk_net();
+        let mcast = MacAddr([0x01, 0, 0x5e, 0, 0, 1]);
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(mcast, MacAddr::local(9), 64));
+        net.run_to_idle();
+        // Frame towards mcast from another port must flood (not unicast).
+        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(MacAddr::local(9), mcast, 64));
+        net.run_to_idle();
+        // Both the unknown-unicast and the multicast frame flooded.
+        assert_eq!(net.store().counter("bridge.flooded"), 2.0);
+    }
+
+    #[test]
+    fn frame_between_helper_sets_sizes() {
+        let f = frame_between(MacAddr::local(1), MacAddr::local(2), 256);
+        assert_eq!(f.wire_len(), 18 + 20 + 8 + 256);
+        let _ = SockAddr::new(Ip4::UNSPECIFIED, 0);
+        let _ = Payload::sized(0);
+    }
+}

@@ -1,0 +1,598 @@
+//! Netfilter-style NAT router.
+//!
+//! Docker publishes container ports by installing DNAT rules in the node's
+//! PREROUTING chain and masquerading egress traffic; the VMM does the same at
+//! the host level. This device models that whole traversal — conntrack
+//! lookup, rule walk, rewrite, routing — as a single softirq-charged stage,
+//! which is exactly the work BrFusion removes from the guest ("NAT rules are
+//! applied on packets via hooks executed by software interrupts", §5.2.3).
+
+use crate::addr::{Ip4, Ip4Net, MacAddr, SockAddr};
+use crate::costs::StageCost;
+use crate::device::{Device, DeviceKind, PortId};
+use crate::engine::DevCtx;
+use crate::frame::{Frame, Transport};
+use crate::shared::SharedStation;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Transport protocol selector for NAT rules and conntrack keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// UDP.
+    Udp,
+    /// TCP.
+    Tcp,
+}
+
+impl Proto {
+    fn of(t: &Transport) -> Option<Proto> {
+        match t {
+            Transport::Udp { .. } => Some(Proto::Udp),
+            Transport::Tcp { .. } => Some(Proto::Tcp),
+            Transport::Vxlan { .. } => None,
+        }
+    }
+}
+
+/// One network interface of the router (index = port id).
+#[derive(Debug, Clone)]
+pub struct Interface {
+    /// Interface MAC address.
+    pub mac: MacAddr,
+    /// Interface IPv4 address.
+    pub ip: Ip4,
+    /// Directly-connected subnet.
+    pub net: Ip4Net,
+    /// Static neighbor (ARP) table for this interface.
+    pub neigh: HashMap<Ip4, MacAddr>,
+}
+
+impl Interface {
+    /// Builds an interface with an empty neighbor table.
+    pub fn new(mac: MacAddr, ip: Ip4, net: Ip4Net) -> Interface {
+        Interface { mac, ip, net, neigh: HashMap::new() }
+    }
+
+    /// Adds a neighbor entry.
+    pub fn with_neigh(mut self, ip: Ip4, mac: MacAddr) -> Interface {
+        self.neigh.insert(ip, mac);
+        self
+    }
+}
+
+/// A destination-NAT (port publishing) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnatRule {
+    /// Protocol the rule applies to.
+    pub proto: Proto,
+    /// Destination IP to match; `None` matches any of the router's own
+    /// interface addresses (Docker's `-p` behaviour).
+    pub match_ip: Option<Ip4>,
+    /// Destination port to match.
+    pub match_port: u16,
+    /// Translated destination.
+    pub to: SockAddr,
+}
+
+/// A load-balancing DNAT rule: new flows rotate round-robin over the
+/// backends (iptables' `statistic --mode nth`, what kube-proxy installs
+/// for a Service). Established flows stick to their backend via conntrack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LbRule {
+    /// Protocol the rule applies to.
+    pub proto: Proto,
+    /// Virtual (service) address to match.
+    pub vip: SockAddr,
+    /// Backend endpoints, rotated per new flow.
+    pub backends: Vec<SockAddr>,
+}
+
+/// A static route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination subnet.
+    pub net: Ip4Net,
+    /// Egress port.
+    pub port: PortId,
+    /// Next-hop IP; `None` means the destination is on-link.
+    pub via: Option<Ip4>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConnKey {
+    proto: Proto,
+    src: SockAddr,
+    dst: SockAddr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConnEntry {
+    new_src: SockAddr,
+    new_dst: SockAddr,
+    last_used: crate::time::SimTime,
+}
+
+#[derive(Debug, Default)]
+struct NatConfig {
+    ifaces: Vec<Interface>,
+    dnat: Vec<DnatRule>,
+    lb: Vec<(LbRule, usize)>,
+    masquerade: HashSet<PortId>,
+    routes: Vec<Route>,
+}
+
+impl NatConfig {
+    fn is_local_ip(&self, ip: Ip4) -> bool {
+        self.ifaces.iter().any(|i| i.ip == ip)
+    }
+
+    fn route_for(&self, dst: Ip4) -> Option<Route> {
+        // Directly-connected subnets take precedence, then static routes.
+        for (idx, iface) in self.ifaces.iter().enumerate() {
+            if iface.net.contains(dst) {
+                return Some(Route { net: iface.net, port: PortId(idx), via: None });
+            }
+        }
+        self.routes.iter().copied().find(|r| r.net.contains(dst))
+    }
+}
+
+/// A cloneable handle to a router's runtime-mutable configuration.
+///
+/// This models `iptables`/`ip` administration: Docker and the orchestrator
+/// install DNAT rules, routes and neighbor entries while the datapath is
+/// live, long after the router device was inserted into the network.
+#[derive(Debug, Clone, Default)]
+pub struct NatControl(std::sync::Arc<parking_lot::Mutex<NatConfig>>);
+
+impl NatControl {
+    /// Adds a DNAT (port-publishing) rule.
+    pub fn add_dnat(&self, rule: DnatRule) {
+        self.0.lock().dnat.push(rule);
+    }
+
+    /// Enables masquerade (source NAT to the interface address) on `port`.
+    pub fn masquerade_on(&self, port: PortId) {
+        self.0.lock().masquerade.insert(port);
+    }
+
+    /// Adds a static route. Routes are matched longest-prefix-first.
+    pub fn add_route(&self, route: Route) {
+        let mut cfg = self.0.lock();
+        cfg.routes.push(route);
+        cfg.routes.sort_by_key(|r| std::cmp::Reverse(r.net.prefix));
+    }
+
+    /// Adds a neighbor (ARP) entry on interface `port`.
+    pub fn add_neigh(&self, port: PortId, ip: Ip4, mac: MacAddr) {
+        self.0.lock().ifaces[port.0].neigh.insert(ip, mac);
+    }
+
+    /// MAC of interface `port`.
+    pub fn iface_mac(&self, port: PortId) -> MacAddr {
+        self.0.lock().ifaces[port.0].mac
+    }
+
+    /// IP of interface `port`.
+    pub fn iface_ip(&self, port: PortId) -> Ip4 {
+        self.0.lock().ifaces[port.0].ip
+    }
+
+    /// Number of DNAT rules installed.
+    pub fn dnat_len(&self) -> usize {
+        self.0.lock().dnat.len()
+    }
+
+    /// Installs a round-robin load-balancing rule for a service VIP.
+    ///
+    /// # Panics
+    /// Panics on an empty backend list.
+    pub fn add_lb(&self, rule: LbRule) {
+        assert!(!rule.backends.is_empty(), "a service needs at least one backend");
+        self.0.lock().lb.push((rule, 0));
+    }
+}
+
+/// The NAT router device.
+pub struct NatRouter {
+    cfg: NatControl,
+    conntrack: HashMap<ConnKey, ConnEntry>,
+    conntrack_timeout: crate::time::SimDuration,
+    frames_since_gc: u32,
+    next_nat_port: u16,
+    cost: StageCost,
+    station: SharedStation,
+}
+
+impl NatRouter {
+    /// First local port used for masquerade allocations (Linux default
+    /// ephemeral range starts near here).
+    pub const NAT_PORT_BASE: u16 = 32768;
+
+    /// Default conntrack entry lifetime (Linux UDP stream default).
+    pub const DEFAULT_CONNTRACK_TIMEOUT: crate::time::SimDuration =
+        crate::time::SimDuration::secs(120);
+
+    /// Creates a router with the given interfaces (one per port).
+    pub fn new(ifaces: Vec<Interface>, cost: StageCost, station: SharedStation) -> NatRouter {
+        assert!(!ifaces.is_empty(), "router needs at least one interface");
+        let cfg = NatControl::default();
+        cfg.0.lock().ifaces = ifaces;
+        NatRouter {
+            cfg,
+            conntrack: HashMap::new(),
+            conntrack_timeout: Self::DEFAULT_CONNTRACK_TIMEOUT,
+            frames_since_gc: 0,
+            next_nat_port: Self::NAT_PORT_BASE,
+            cost,
+            station,
+        }
+    }
+
+    /// Overrides the conntrack entry timeout (`nf_conntrack_udp_timeout`
+    /// analogue; default 120 s).
+    pub fn with_conntrack_timeout(mut self, t: crate::time::SimDuration) -> NatRouter {
+        self.conntrack_timeout = t;
+        self
+    }
+
+    /// The runtime configuration handle (clone and keep it to administer
+    /// the router after inserting it into the network).
+    pub fn control(&self) -> NatControl {
+        self.cfg.clone()
+    }
+
+    /// Adds a DNAT (port-publishing) rule.
+    pub fn add_dnat(&mut self, rule: DnatRule) {
+        self.cfg.add_dnat(rule);
+    }
+
+    /// Enables masquerade (source NAT to the interface address) on `port`.
+    pub fn masquerade_on(&mut self, port: PortId) {
+        self.cfg.masquerade_on(port);
+    }
+
+    /// Adds a static route. Routes are matched longest-prefix-first.
+    pub fn add_route(&mut self, route: Route) {
+        self.cfg.add_route(route);
+    }
+
+    /// Number of live conntrack entries.
+    pub fn conntrack_len(&self) -> usize {
+        self.conntrack.len()
+    }
+
+    fn alloc_nat_port(&mut self) -> u16 {
+        let p = self.next_nat_port;
+        self.next_nat_port = self.next_nat_port.checked_add(1).unwrap_or(Self::NAT_PORT_BASE);
+        p
+    }
+}
+
+impl Device for NatRouter {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::NatRouter
+    }
+
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
+        let cfg_handle = self.cfg.clone();
+        let mut cfg = cfg_handle.0.lock();
+        assert!(port.0 < cfg.ifaces.len(), "frame on nonexistent router port");
+
+        // Routers only process frames addressed to their own interface (or
+        // broadcast); bridge floods towards other hosts are ignored at L2.
+        if frame.dst_mac != cfg.ifaces[port.0].mac && !frame.dst_mac.is_multicast() {
+            ctx.count("nat.not_for_us", 1.0);
+            return;
+        }
+        let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+
+        if frame.ip.ttl == 0 {
+            ctx.count("nat.drop_ttl", 1.0);
+            return;
+        }
+        frame.ip.ttl -= 1;
+
+        let (src_sock, dst_sock, proto) = match (
+            frame.ip.src_sock(),
+            frame.ip.dst_sock(),
+            Proto::of(&frame.ip.transport),
+        ) {
+            (Some(s), Some(d), Some(p)) => (s, d, p),
+            // Port-less traffic (e.g. VXLAN between VTEPs) is routed
+            // without translation.
+            _ => {
+                let Some(route) = cfg.route_for(frame.ip.dst) else {
+                    ctx.count("nat.drop_no_route", 1.0);
+                    return;
+                };
+                let next_hop = route.via.unwrap_or(frame.ip.dst);
+                let iface = &cfg.ifaces[route.port.0];
+                let Some(&dst_mac) = iface.neigh.get(&next_hop) else {
+                    ctx.count("nat.drop_no_neigh", 1.0);
+                    return;
+                };
+                frame.src_mac = iface.mac;
+                frame.dst_mac = dst_mac;
+                ctx.count("nat.routed", 1.0);
+                ctx.transmit_at(done, route.port, frame);
+                return;
+            }
+        };
+
+        // Periodic conntrack garbage collection (as the kernel's GC
+        // worker does): entries idle longer than the timeout vanish.
+        self.frames_since_gc += 1;
+        if self.frames_since_gc >= 256 {
+            self.frames_since_gc = 0;
+            let now = ctx.now();
+            let timeout = self.conntrack_timeout;
+            self.conntrack.retain(|_, e| now.since(e.last_used) <= timeout);
+        }
+
+        let key = ConnKey { proto, src: src_sock, dst: dst_sock };
+        let live = self.conntrack.get(&key).filter(|e| {
+            ctx.now().since(e.last_used) <= self.conntrack_timeout
+        }).copied();
+        let (new_src, new_dst) = if let Some(entry) = live {
+            ctx.count("nat.conntrack_hit", 1.0);
+            let now = ctx.now();
+            if let Some(e) = self.conntrack.get_mut(&key) {
+                e.last_used = now;
+            }
+            (entry.new_src, entry.new_dst)
+        } else {
+            // New flow: service VIP rules first (round-robin over
+            // backends, like kube-proxy's statistic-mode chains), then the
+            // plain DNAT walk; SNAT decided after routing.
+            let mut new_dst = dst_sock;
+            let mut lb_matched = false;
+            for (rule, next) in &mut cfg.lb {
+                if rule.proto == proto && rule.vip == dst_sock {
+                    new_dst = rule.backends[*next % rule.backends.len()];
+                    *next = (*next + 1) % rule.backends.len();
+                    lb_matched = true;
+                    ctx.count("nat.lb_assigned", 1.0);
+                    break;
+                }
+            }
+            for rule in &cfg.dnat {
+                if lb_matched {
+                    break;
+                }
+                let ip_match = match rule.match_ip {
+                    Some(ip) => ip == dst_sock.ip,
+                    None => cfg.is_local_ip(dst_sock.ip),
+                };
+                if rule.proto == proto && ip_match && rule.match_port == dst_sock.port {
+                    new_dst = rule.to;
+                    break;
+                }
+            }
+            let Some(route) = cfg.route_for(new_dst.ip) else {
+                ctx.count("nat.drop_no_route", 1.0);
+                return;
+            };
+            let new_src = if cfg.masquerade.contains(&route.port) {
+                SockAddr::new(cfg.ifaces[route.port.0].ip, self.alloc_nat_port())
+            } else {
+                src_sock
+            };
+            // Install both directions.
+            let now = ctx.now();
+            self.conntrack.insert(key, ConnEntry { new_src, new_dst, last_used: now });
+            self.conntrack.insert(
+                ConnKey { proto, src: new_dst, dst: new_src },
+                ConnEntry { new_src: dst_sock, new_dst: src_sock, last_used: now },
+            );
+            ctx.count("nat.conntrack_new", 1.0);
+            (new_src, new_dst)
+        };
+
+        frame.ip.src = new_src.ip;
+        frame.ip.dst = new_dst.ip;
+        frame.ip.transport.set_src_port(new_src.port);
+        frame.ip.transport.set_dst_port(new_dst.port);
+
+        let Some(route) = cfg.route_for(new_dst.ip) else {
+            ctx.count("nat.drop_no_route", 1.0);
+            return;
+        };
+        let next_hop = route.via.unwrap_or(new_dst.ip);
+        let iface = &cfg.ifaces[route.port.0];
+        let Some(&dst_mac) = iface.neigh.get(&next_hop) else {
+            ctx.count("nat.drop_no_neigh", 1.0);
+            return;
+        };
+        frame.src_mac = iface.mac;
+        frame.dst_mac = dst_mac;
+        ctx.count("nat.translated", 1.0);
+        ctx.transmit_at(done, route.port, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LinkParams, Network};
+    use crate::frame::Payload;
+    use crate::testutil::CaptureSink;
+    use crate::time::SimDuration;
+    use metrics::{CpuCategory, CpuLocation};
+
+    const EXT_NET: Ip4Net = Ip4Net { addr: Ip4(0xC0A8_0000), prefix: 24 }; // 192.168.0.0/24
+    const POD_NET: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+
+    fn router() -> NatRouter {
+        let ext = Interface::new(MacAddr::local(10), Ip4::new(192, 168, 0, 1), EXT_NET)
+            .with_neigh(Ip4::new(192, 168, 0, 100), MacAddr::local(100));
+        let pod = Interface::new(MacAddr::local(11), Ip4::new(172, 17, 0, 1), POD_NET)
+            .with_neigh(Ip4::new(172, 17, 0, 2), MacAddr::local(2));
+        let mut r = NatRouter::new(
+            vec![ext, pod],
+            StageCost::fixed(1_000, 0.0, CpuCategory::Soft),
+            SharedStation::new(),
+        );
+        // Publish container port: :8080 on the router -> 172.17.0.2:80
+        r.add_dnat(DnatRule {
+            proto: Proto::Udp,
+            match_ip: None,
+            match_port: 8080,
+            to: SockAddr::new(Ip4::new(172, 17, 0, 2), 80),
+        });
+        r.masquerade_on(PortId(0));
+        r
+    }
+
+    fn wire(net: &mut Network, r: NatRouter) -> (crate::device::DeviceId, crate::device::DeviceId, crate::device::DeviceId) {
+        let rid = net.add_device("nat", CpuLocation::Vm(1), Box::new(r));
+        let ext = net.add_device("ext", CpuLocation::Host, Box::new(CaptureSink::new("ext")));
+        let pod = net.add_device("pod", CpuLocation::Vm(1), Box::new(CaptureSink::new("pod")));
+        net.connect(rid, PortId(0), ext, PortId::P0, LinkParams::default());
+        net.connect(rid, PortId(1), pod, PortId::P0, LinkParams::default());
+        (rid, ext, pod)
+    }
+
+    fn udp(src: SockAddr, dst: SockAddr) -> Frame {
+        Frame::udp(MacAddr::local(100), MacAddr::local(10), src, dst, Payload::sized(64))
+    }
+
+    #[test]
+    fn dnat_publishes_container_port() {
+        let mut net = Network::new(0);
+        let (rid, _ext, _pod) = wire(&mut net, router());
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("pod.received"), 1.0);
+        assert_eq!(net.store().counter("nat.conntrack_new"), 1.0);
+    }
+
+    #[test]
+    fn reply_is_reverse_translated() {
+        let mut net = Network::new(0);
+        let r = router();
+        let rid = net.add_device("nat", CpuLocation::Vm(1), Box::new(r));
+        let ext = CaptureSink::new("ext");
+        let ext_id = net.add_device("ext", CpuLocation::Host, Box::new(ext));
+        let pod_id = net.add_device("pod", CpuLocation::Vm(1), Box::new(CaptureSink::new("pod")));
+        net.connect(rid, PortId(0), ext_id, PortId::P0, LinkParams::default());
+        net.connect(rid, PortId(1), pod_id, PortId::P0, LinkParams::default());
+
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run_to_idle();
+
+        // Pod replies: 172.17.0.2:80 -> client (as it saw it).
+        let pod_addr = SockAddr::new(Ip4::new(172, 17, 0, 2), 80);
+        let reply = Frame::udp(MacAddr::local(2), MacAddr::local(11), pod_addr, client, Payload::sized(64));
+        net.inject_frame(SimDuration::ZERO, rid, PortId(1), reply);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("ext.received"), 1.0);
+        assert_eq!(net.store().counter("nat.conntrack_hit"), 1.0);
+    }
+
+    #[test]
+    fn masquerade_rewrites_source_for_egress() {
+        let mut net = Network::new(0);
+        let mut r = router();
+        // Route everything unknown out the external interface.
+        r.add_route(Route { net: Ip4Net::new(Ip4::UNSPECIFIED, 0), port: PortId(0), via: Some(Ip4::new(192, 168, 0, 100)) });
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        // Pod-originated traffic to the outside world.
+        let pod_addr = SockAddr::new(Ip4::new(172, 17, 0, 2), 4242);
+        let outside = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
+        let f = Frame::udp(MacAddr::local(2), MacAddr::local(11), pod_addr, outside, Payload::sized(64));
+        net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("ext.received"), 1.0);
+        assert_eq!(net.store().counter("nat.conntrack_new"), 1.0);
+    }
+
+    #[test]
+    fn unroutable_is_dropped() {
+        let mut net = Network::new(0);
+        let (rid, _, _) = wire(&mut net, router());
+        let f = udp(
+            SockAddr::new(Ip4::new(192, 168, 0, 100), 1),
+            SockAddr::new(Ip4::new(8, 8, 8, 8), 53),
+        );
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("nat.drop_no_route"), 1.0);
+        assert_eq!(net.store().counter("pod.received") + net.store().counter("ext.received"), 0.0);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let mut net = Network::new(0);
+        let (rid, _, _) = wire(&mut net, router());
+        let mut f = udp(
+            SockAddr::new(Ip4::new(192, 168, 0, 100), 1),
+            SockAddr::new(Ip4::new(192, 168, 0, 1), 8080),
+        );
+        f.ip.ttl = 0;
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("nat.drop_ttl"), 1.0);
+    }
+
+    #[test]
+    fn missing_neighbor_drops() {
+        let mut net = Network::new(0);
+        let mut r = router();
+        r.add_dnat(DnatRule {
+            proto: Proto::Udp,
+            match_ip: None,
+            match_port: 8081,
+            to: SockAddr::new(Ip4::new(172, 17, 0, 99), 80), // no ARP entry
+        });
+        let (rid, _, _) = wire(&mut net, r);
+        let f = udp(
+            SockAddr::new(Ip4::new(192, 168, 0, 100), 1),
+            SockAddr::new(Ip4::new(192, 168, 0, 1), 8081),
+        );
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("nat.drop_no_neigh"), 1.0);
+    }
+
+    #[test]
+    fn nat_work_is_charged_as_softirq() {
+        let mut net = Network::new(0);
+        let (rid, _, _) = wire(&mut net, router());
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run_to_idle();
+        assert_eq!(net.cpu().get(CpuLocation::Vm(1), CpuCategory::Soft), 1_000);
+        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 1_000);
+    }
+
+    #[test]
+    fn five_tuple_flows_get_distinct_masquerade_ports() {
+        let mut net = Network::new(0);
+        let mut r = router();
+        r.add_route(Route { net: Ip4Net::new(Ip4::UNSPECIFIED, 0), port: PortId(0), via: Some(Ip4::new(192, 168, 0, 100)) });
+        let rid = net.add_device("nat", CpuLocation::Vm(1), Box::new(r));
+        let mut sink = CaptureSink::new("ext");
+        // Drive the device directly is awkward; instead check conntrack count
+        // after two flows through the network.
+        let ext_id = net.add_device("ext", CpuLocation::Host, Box::new(CaptureSink::new("ext2")));
+        net.connect(rid, PortId(0), ext_id, PortId::P0, LinkParams::default());
+        let pod1 = SockAddr::new(Ip4::new(172, 17, 0, 2), 1111);
+        let pod2 = SockAddr::new(Ip4::new(172, 17, 0, 2), 2222);
+        let outside = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
+        for s in [pod1, pod2] {
+            let f = Frame::udp(MacAddr::local(2), MacAddr::local(11), s, outside, Payload::sized(10));
+            net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
+        }
+        net.run_to_idle();
+        assert_eq!(net.store().counter("nat.conntrack_new"), 2.0);
+        assert_eq!(net.store().counter("ext2.received"), 2.0);
+        let _ = &mut sink;
+    }
+}

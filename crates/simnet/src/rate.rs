@@ -1,0 +1,190 @@
+//! Token-bucket rate limiting (`tc tbf`).
+//!
+//! Cloud providers cap per-VM and per-container egress; the orchestrator
+//! can insert a shaper on any link. The limiter is a two-port device using
+//! a virtual-clock token bucket: frames inside the burst allowance pass
+//! immediately, sustained traffic is paced to the configured rate.
+
+use crate::costs::StageCost;
+use crate::device::{Device, DeviceKind, PortId};
+use crate::engine::DevCtx;
+use crate::frame::Frame;
+use crate::shared::SharedStation;
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Available credit, bytes (starts full at `burst`).
+    tokens: f64,
+    /// Instant the credit was last settled (may be in the future while a
+    /// paced frame is waiting to depart).
+    settled_at: SimTime,
+}
+
+/// A bidirectional token-bucket shaper (each direction shaped separately).
+pub struct RateLimiter {
+    rate_bytes_per_ns: f64,
+    burst_bytes: f64,
+    cost: StageCost,
+    station: SharedStation,
+    buckets: [Bucket; 2],
+}
+
+impl RateLimiter {
+    /// Creates a shaper: `rate_bps` sustained bits/s, `burst_bytes` of
+    /// credit that may pass at line rate.
+    ///
+    /// # Panics
+    /// Panics on a zero rate.
+    pub fn new(
+        rate_bps: u64,
+        burst_bytes: u32,
+        cost: StageCost,
+        station: SharedStation,
+    ) -> RateLimiter {
+        assert!(rate_bps > 0, "rate must be positive");
+        let bucket = Bucket { tokens: f64::from(burst_bytes), settled_at: SimTime::ZERO };
+        RateLimiter {
+            rate_bytes_per_ns: rate_bps as f64 / 8.0 / 1e9,
+            burst_bytes: f64::from(burst_bytes),
+            cost,
+            station,
+            buckets: [bucket; 2],
+        }
+    }
+}
+
+impl Device for RateLimiter {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Other
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        assert!(port.0 < 2, "rate limiter has two ports");
+        let served = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        let now = ctx.now();
+        let b = &mut self.buckets[port.0];
+
+        // Refill for the time elapsed since the last settlement (none if
+        // the bucket is settled in the future: a paced frame is queued).
+        if now > b.settled_at {
+            let elapsed = now.since(b.settled_at).as_nanos() as f64;
+            b.tokens = (b.tokens + elapsed * self.rate_bytes_per_ns).min(self.burst_bytes);
+            b.settled_at = now;
+        }
+
+        let len = f64::from(frame.wire_len());
+        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        if b.tokens >= len {
+            b.tokens -= len;
+            ctx.transmit_at(served, out, frame);
+        } else {
+            // Pace: wait for the deficit to accrue, queued behind any
+            // frame already waiting (settled_at may be in the future).
+            let deficit = len - b.tokens;
+            b.tokens = 0.0;
+            let delay = SimDuration::nanos((deficit / self.rate_bytes_per_ns).ceil() as u64);
+            let departure = (b.settled_at + delay).max(served);
+            b.settled_at = departure;
+            ctx.count("shaper.paced", 1.0);
+            ctx.transmit_at(departure, out, frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::{CpuCategory, CpuLocation};
+    use simnet_test_helpers::*;
+
+    mod simnet_test_helpers {
+        pub use crate::engine::{LinkParams, Network};
+        pub use crate::testutil::{frame_between, CaptureSink};
+        pub use crate::MacAddr;
+    }
+
+    fn shaped_net(rate_bps: u64, burst: u32) -> (Network, crate::device::DeviceId) {
+        let mut net = Network::new(0);
+        let shaper = net.add_device(
+            "tbf",
+            CpuLocation::Host,
+            Box::new(RateLimiter::new(
+                rate_bps,
+                burst,
+                StageCost::fixed(100, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
+        );
+        let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+        net.connect(shaper, PortId::P1, sink, PortId::P0, LinkParams::default());
+        (net, shaper)
+    }
+
+    #[test]
+    fn sustained_traffic_is_paced_to_the_rate() {
+        // 8 Mbit/s, tiny burst; 100 frames x 1000B = 800_000 bits -> 100ms.
+        let (mut net, shaper) = shaped_net(8_000_000, 1_000);
+        for _ in 0..100 {
+            net.inject_frame(
+                SimDuration::ZERO,
+                shaper,
+                PortId::P0,
+                frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
+            );
+        }
+        net.run_to_idle();
+        let arrivals = net.store().samples("sink.arrival_ns");
+        assert_eq!(arrivals.len(), 100);
+        let last = arrivals.iter().copied().fold(0.0, f64::max);
+        // 100 frames of 1000 wire bytes at 1 MB/s = ~100 ms (burst credit
+        // shaves one frame's worth).
+        assert!((95_000_000.0..=101_000_000.0).contains(&last), "last arrival at {last} ns");
+        assert!(net.store().counter("shaper.paced") > 90.0);
+    }
+
+    #[test]
+    fn burst_passes_at_line_rate() {
+        // Burst of 10_000 bytes: ten 1000B frames pass without pacing.
+        let (mut net, shaper) = shaped_net(8_000_000, 10_000);
+        for _ in 0..10 {
+            net.inject_frame(
+                SimDuration::ZERO,
+                shaper,
+                PortId::P0,
+                frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
+            );
+        }
+        net.run_to_idle();
+        let arrivals = net.store().samples("sink.arrival_ns");
+        let last = arrivals.iter().copied().fold(0.0, f64::max);
+        // Only the 100ns-per-frame service cost, no pacing delays.
+        assert!(last <= 2_000.0, "burst delayed to {last} ns");
+        assert_eq!(net.store().counter("shaper.paced"), 0.0);
+    }
+
+    #[test]
+    fn idle_periods_refill_the_bucket() {
+        let (mut net, shaper) = shaped_net(8_000_000, 2_000);
+        // Two bursts separated by a long idle gap: both pass unpaced.
+        for batch in 0..2u64 {
+            for _ in 0..2 {
+                net.inject_frame(
+                    SimDuration::secs(batch),
+                    shaper,
+                    PortId::P0,
+                    frame_between(MacAddr::local(1), MacAddr::local(2), 954),
+                );
+            }
+        }
+        net.run_to_idle();
+        assert_eq!(net.store().counter("sink.received"), 4.0);
+        assert_eq!(net.store().counter("shaper.paced"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        RateLimiter::new(0, 1, StageCost::fixed(1, 0.0, CpuCategory::Sys), SharedStation::new());
+    }
+}

@@ -1,0 +1,56 @@
+//! Test helpers shared by simnet's own tests and downstream crates' tests.
+//!
+//! Exposed behind the default `testutil` feature of the library (always
+//! compiled; it is tiny and keeps cross-crate tests honest by reusing the
+//! same capture devices everywhere).
+
+use crate::addr::{Ip4, MacAddr, SockAddr};
+use crate::device::{Device, DeviceKind, PortId};
+use crate::engine::DevCtx;
+use crate::frame::{Frame, Payload};
+
+/// A sink device that records every received frame under
+/// `"{name}.received"` (counter), `"{name}.arrival_ns"` (samples) and
+/// `"{name}.bytes"` (counter).
+pub struct CaptureSink {
+    name: String,
+    frames: Vec<Frame>,
+}
+
+impl CaptureSink {
+    /// Creates a sink labelled `name`.
+    pub fn new(name: impl Into<String>) -> CaptureSink {
+        CaptureSink { name: name.into(), frames: Vec::new() }
+    }
+
+    /// Frames captured so far (only observable before the device is added to
+    /// a network, or in unit tests driving the device directly).
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+}
+
+impl Device for CaptureSink {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Endpoint
+    }
+
+    fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        ctx.count(&format!("{}.received", self.name), 1.0);
+        ctx.count(&format!("{}.bytes", self.name), frame.wire_len() as f64);
+        ctx.record(&format!("{}.arrival_ns", self.name), ctx.now().as_nanos() as f64);
+        self.frames.push(frame);
+    }
+}
+
+/// Builds a UDP frame of `payload_len` bytes between two MACs with fixed
+/// placeholder IPs/ports (for L2-only device tests).
+pub fn frame_between(src: MacAddr, dst: MacAddr, payload_len: u32) -> Frame {
+    Frame::udp(
+        src,
+        dst,
+        SockAddr::new(Ip4::new(10, 0, 0, 1), 40_000),
+        SockAddr::new(Ip4::new(10, 0, 0, 2), 50_000),
+        Payload::sized(payload_len),
+    )
+}

@@ -1,0 +1,159 @@
+//! Virtual Ethernet pair.
+//!
+//! A veth pair is the Linux mechanism for crossing a network-namespace
+//! boundary: one end lives in the pod's namespace, the other is enslaved to
+//! the node bridge (fig. 1a, step 1: "the packet is placed on the pod's
+//! internal interface and crosses the pod's boundary"). Modeled as a single
+//! two-port device whose crossing charges kernel (`sys`) time.
+
+use crate::costs::StageCost;
+use crate::device::{Device, DeviceKind, PortId};
+use crate::engine::DevCtx;
+use crate::frame::Frame;
+use crate::shared::SharedStation;
+
+/// A veth pair: frames entering port 0 leave port 1 and vice versa.
+pub struct VethPair {
+    cost: StageCost,
+    station: SharedStation,
+}
+
+impl VethPair {
+    /// Creates a veth pair with the given crossing cost, serialized on the
+    /// owning kernel's station.
+    pub fn new(cost: StageCost, station: SharedStation) -> VethPair {
+        VethPair { cost, station }
+    }
+}
+
+impl Device for VethPair {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Veth
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        assert!(port.0 < 2, "veth pair has exactly two ends");
+        let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        ctx.count("veth.crossings", 1.0);
+        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        ctx.transmit_at(done, out, frame);
+    }
+}
+
+/// In-namespace loopback interface.
+///
+/// The pod's `localhost` — "a virtual loopback networking device: it sends
+/// back any packet it receives" (§4.1). All sockets of the namespace attach
+/// as ports; a frame received on any port is delivered to every *other*
+/// port, and endpoints filter by transport port exactly like the kernel
+/// demultiplexes loopback traffic.
+pub struct Loopback {
+    nports: usize,
+    cost: StageCost,
+    station: SharedStation,
+}
+
+impl Loopback {
+    /// Creates a loopback with `nports` attached sockets.
+    pub fn new(nports: usize, cost: StageCost, station: SharedStation) -> Loopback {
+        assert!(nports >= 2, "loopback needs at least two attached endpoints");
+        Loopback { nports, cost, station }
+    }
+}
+
+impl Device for Loopback {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Loopback
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        assert!(port.0 < self.nports, "frame on nonexistent loopback port");
+        let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        ctx.count("loopback.frames", 1.0);
+        for p in 0..self.nports {
+            if p != port.0 && ctx.is_linked(PortId(p)) {
+                ctx.transmit_at(done, PortId(p), frame.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::engine::{LinkParams, Network};
+    use crate::testutil::{frame_between, CaptureSink};
+    use crate::time::SimDuration;
+    use metrics::{CpuCategory, CpuLocation};
+
+    #[test]
+    fn veth_crosses_both_ways() {
+        let mut net = Network::new(0);
+        let veth = net.add_device(
+            "veth",
+            CpuLocation::Vm(1),
+            Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+        );
+        let a = net.add_device("a", CpuLocation::Vm(1), Box::new(CaptureSink::new("a")));
+        let b = net.add_device("b", CpuLocation::Vm(1), Box::new(CaptureSink::new("b")));
+        net.connect(veth, PortId::P0, a, PortId::P0, LinkParams::default());
+        net.connect(veth, PortId::P1, b, PortId::P0, LinkParams::default());
+
+        net.inject_frame(SimDuration::ZERO, veth, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 64));
+        net.inject_frame(SimDuration::ZERO, veth, PortId::P1, frame_between(MacAddr::local(2), MacAddr::local(1), 64));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("a.received"), 1.0);
+        assert_eq!(net.store().counter("b.received"), 1.0);
+        assert_eq!(net.store().counter("veth.crossings"), 2.0);
+    }
+
+    #[test]
+    fn veth_shares_station_with_sibling_devices() {
+        // Two veths on the same kernel station: services serialize.
+        let mut net = Network::new(0);
+        let station = SharedStation::new();
+        let cost = StageCost::fixed(1_000, 0.0, CpuCategory::Sys);
+        let v1 = net.add_device("v1", CpuLocation::Vm(1), Box::new(VethPair::new(cost, station.clone())));
+        let v2 = net.add_device("v2", CpuLocation::Vm(1), Box::new(VethPair::new(cost, station)));
+        let s1 = net.add_device("s1", CpuLocation::Vm(1), Box::new(CaptureSink::new("s1")));
+        let s2 = net.add_device("s2", CpuLocation::Vm(1), Box::new(CaptureSink::new("s2")));
+        net.connect(v1, PortId::P1, s1, PortId::P0, LinkParams::default());
+        net.connect(v2, PortId::P1, s2, PortId::P0, LinkParams::default());
+        let f = frame_between(MacAddr::local(1), MacAddr::local(2), 64);
+        net.inject_frame(SimDuration::ZERO, v1, PortId::P0, f.clone());
+        net.inject_frame(SimDuration::ZERO, v2, PortId::P0, f);
+        net.run_to_idle();
+        assert_eq!(net.store().samples("s1.arrival_ns"), &[1_000.0]);
+        assert_eq!(net.store().samples("s2.arrival_ns"), &[2_000.0], "second served after first");
+    }
+
+    #[test]
+    fn loopback_delivers_to_all_other_ports() {
+        let mut net = Network::new(0);
+        let lo = net.add_device(
+            "lo",
+            CpuLocation::Vm(1),
+            Box::new(Loopback::new(3, StageCost::fixed(100, 0.0, CpuCategory::Sys), SharedStation::new())),
+        );
+        let sinks: Vec<_> = (0..3)
+            .map(|i| {
+                let s = net.add_device(format!("c{i}"), CpuLocation::Vm(1), Box::new(CaptureSink::new(format!("c{i}"))));
+                net.connect(lo, PortId(i), s, PortId::P0, LinkParams::default());
+                s
+            })
+            .collect();
+        let _ = sinks;
+        net.inject_frame(SimDuration::ZERO, lo, PortId(1), frame_between(MacAddr::local(1), MacAddr::BROADCAST, 64));
+        net.run_to_idle();
+        assert_eq!(net.store().counter("c0.received"), 1.0);
+        assert_eq!(net.store().counter("c1.received"), 0.0, "no echo to sender");
+        assert_eq!(net.store().counter("c2.received"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn loopback_needs_two_ports() {
+        Loopback::new(1, StageCost::fixed(1, 0.0, CpuCategory::Sys), SharedStation::new());
+    }
+}

@@ -1,0 +1,68 @@
+//! Failure injection at the link layer: lossy links drop the configured
+//! fraction of frames, deterministically per seed, and the accounting
+//! reflects every loss.
+
+extern crate nestless_simnet as simnet;
+
+use metrics::{CpuCategory, CpuLocation};
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network};
+use simnet::shared::SharedStation;
+use simnet::testutil::{frame_between, CaptureSink};
+use simnet::veth::VethPair;
+use simnet::{MacAddr, SimDuration};
+
+fn lossy_net(p: f64, frames: u64, seed: u64) -> Network {
+    let mut net = Network::new(seed);
+    let pipe = net.add_device(
+        "pipe",
+        CpuLocation::Host,
+        Box::new(VethPair::new(StageCost::fixed(100, 0.0, CpuCategory::Sys), SharedStation::new())),
+    );
+    let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+    net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default().with_loss(p));
+    for i in 0..frames {
+        net.inject_frame(
+            SimDuration::micros(i),
+            pipe,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 64),
+        );
+    }
+    net.run_to_idle();
+    net
+}
+
+#[test]
+fn loss_rate_close_to_configured() {
+    let net = lossy_net(0.3, 10_000, 7);
+    let delivered = net.store().counter("sink.received");
+    let lost = net.store().counter("link.lost");
+    assert_eq!(delivered + lost, 10_000.0, "every frame accounted for");
+    let rate = lost / 10_000.0;
+    assert!((0.27..0.33).contains(&rate), "observed loss {rate}");
+}
+
+#[test]
+fn zero_loss_delivers_everything() {
+    let net = lossy_net(0.0, 1_000, 7);
+    assert_eq!(net.store().counter("sink.received"), 1_000.0);
+    assert_eq!(net.store().counter("link.lost"), 0.0);
+}
+
+#[test]
+fn total_loss_delivers_nothing() {
+    let net = lossy_net(1.0, 100, 7);
+    assert_eq!(net.store().counter("sink.received"), 0.0);
+    assert_eq!(net.store().counter("link.lost"), 100.0);
+}
+
+#[test]
+fn loss_is_deterministic_per_seed() {
+    let a = lossy_net(0.5, 1_000, 3).store().counter("sink.received");
+    let b = lossy_net(0.5, 1_000, 3).store().counter("sink.received");
+    assert_eq!(a, b);
+    let c = lossy_net(0.5, 1_000, 4).store().counter("sink.received");
+    assert_ne!(a, c, "different seeds lose different frames");
+}

@@ -1,0 +1,108 @@
+//! Load-balancing DNAT (the kube-proxy rule): round-robin over backends
+//! for new flows, conntrack stickiness for established ones.
+
+extern crate nestless_simnet as simnet;
+
+use metrics::{CpuCategory, CpuLocation};
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network};
+use simnet::frame::{Frame, Payload};
+use simnet::nat::{Interface, LbRule, NatRouter, Proto};
+use simnet::shared::SharedStation;
+use simnet::testutil::CaptureSink;
+use simnet::{Ip4, Ip4Net, MacAddr, SimDuration, SockAddr};
+
+const EXT: Ip4Net = Ip4Net { addr: Ip4(0xC0A8_0000), prefix: 24 }; // 192.168.0.0/24
+const POD: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+
+fn lb_net(backends: usize) -> (Network, simnet::DeviceId) {
+    let mut ext_if = Interface::new(MacAddr::local(10), EXT.host(1), EXT)
+        .with_neigh(EXT.host(100), MacAddr::local(100));
+    let mut pod_if = Interface::new(MacAddr::local(11), POD.host(1), POD);
+    for b in 0..backends as u32 {
+        pod_if = pod_if.with_neigh(POD.host(2 + b), MacAddr::local(200 + b));
+    }
+    let _ = &mut ext_if;
+    let router = NatRouter::new(
+        vec![ext_if, pod_if],
+        StageCost::fixed(100, 0.0, CpuCategory::Soft),
+        SharedStation::new(),
+    );
+    let ctl = router.control();
+    ctl.add_lb(LbRule {
+        proto: Proto::Udp,
+        vip: SockAddr::new(EXT.host(1), 80),
+        backends: (0..backends as u32).map(|b| SockAddr::new(POD.host(2 + b), 8080)).collect(),
+    });
+
+    let mut net = Network::new(0);
+    let nat = net.add_device("nat", CpuLocation::Host, Box::new(router));
+    let ext = net.add_device("ext", CpuLocation::Host, Box::new(CaptureSink::new("ext")));
+    net.connect(nat, PortId(0), ext, PortId::P0, LinkParams::default());
+    for b in 0..backends {
+        let s = net.add_device(
+            format!("pod{b}"),
+            CpuLocation::Host,
+            Box::new(CaptureSink::new(format!("pod{b}"))),
+        );
+        // All pods hang off one switch in reality; wire each via its own
+        // port through a tiny bridge to keep MAC-level addressing exact.
+        let _ = s;
+    }
+    (net, nat)
+}
+
+fn request(src_port: u16) -> Frame {
+    Frame::udp(
+        MacAddr::local(100),
+        MacAddr::local(10),
+        SockAddr::new(EXT.host(100), src_port),
+        SockAddr::new(EXT.host(1), 80),
+        Payload::sized(64),
+    )
+}
+
+/// With a single pod-side port the frames all leave port 1; backend choice
+/// is visible in the destination address of what arrives beyond it.
+#[test]
+fn new_flows_rotate_across_backends() {
+    let (mut net, nat) = lb_net(3);
+    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
+    for i in 0..6 {
+        net.inject_frame(SimDuration::ZERO, nat, PortId(0), request(40_000 + i));
+    }
+    net.run_to_idle();
+    assert_eq!(net.store().counter("nat.lb_assigned"), 6.0);
+    assert_eq!(net.store().counter("podside.received"), 6.0);
+}
+
+#[test]
+fn established_flows_stick_to_their_backend() {
+    let (mut net, nat) = lb_net(3);
+    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
+    // Same 5-tuple three times: one LB assignment, two conntrack hits.
+    for _ in 0..3 {
+        net.inject_frame(SimDuration::ZERO, nat, PortId(0), request(55_555));
+    }
+    net.run_to_idle();
+    assert_eq!(net.store().counter("nat.lb_assigned"), 1.0);
+    assert_eq!(net.store().counter("nat.conntrack_hit"), 2.0);
+}
+
+#[test]
+fn lb_rules_do_not_shadow_other_ports() {
+    let (mut net, nat) = lb_net(2);
+    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
+    // Traffic to a non-VIP port is not balanced (and with no DNAT rule it
+    // is routed to the literal destination — here the router itself, so
+    // it is effectively dropped with no route out).
+    let mut f = request(1);
+    f.ip.transport.set_dst_port(9999);
+    net.inject_frame(SimDuration::ZERO, nat, PortId(0), f);
+    net.run_to_idle();
+    assert_eq!(net.store().counter("nat.lb_assigned"), 0.0);
+}

@@ -1,0 +1,104 @@
+//! Properties of the FIFO service stations under arbitrary arrivals.
+
+extern crate nestless_simnet as simnet;
+
+use metrics::{CpuCategory, CpuLocation};
+use proptest::prelude::*;
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network};
+use simnet::shared::SharedStation;
+use simnet::testutil::{frame_between, CaptureSink};
+use simnet::veth::VethPair;
+use simnet::{MacAddr, SimDuration};
+
+proptest! {
+    /// A single-server station is work-conserving and FIFO: with arrivals
+    /// at arbitrary instants, departures are ordered, spaced at least one
+    /// service apart, and the last departure equals
+    /// `max(last arrival, makespan)` bounds.
+    #[test]
+    fn station_is_fifo_and_work_conserving(
+        mut arrivals in prop::collection::vec(0u64..1_000_000, 1..50),
+        service in 100u64..50_000,
+    ) {
+        arrivals.sort_unstable();
+        let mut net = Network::new(0);
+        let pipe = net.add_device(
+            "pipe",
+            CpuLocation::Host,
+            Box::new(VethPair::new(
+                StageCost::fixed(service, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
+        );
+        let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+        net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default());
+        for &a in &arrivals {
+            net.inject_frame(
+                SimDuration::nanos(a),
+                pipe,
+                PortId::P0,
+                frame_between(MacAddr::local(1), MacAddr::local(2), 64),
+            );
+        }
+        net.run_to_idle();
+        let departures = net.store().samples("sink.arrival_ns");
+        prop_assert_eq!(departures.len(), arrivals.len());
+        // FIFO order and minimum spacing of one service time.
+        for w in departures.windows(2) {
+            prop_assert!(w[1] - w[0] >= service as f64 - 1e-9);
+        }
+        // Each departure is at least arrival + service.
+        for (d, &a) in departures.iter().zip(&arrivals) {
+            prop_assert!(*d >= (a + service) as f64);
+        }
+        // Work conservation: total busy time equals n * service, so the
+        // last departure is at most first_arrival + n * service when
+        // arrivals cluster, and exactly arrival+service when idle.
+        let n = arrivals.len() as u64;
+        let lower = arrivals[arrivals.len() - 1] + service;
+        let upper = arrivals[0] + n * service + *arrivals.last().unwrap();
+        let last = *departures.last().unwrap();
+        prop_assert!(last >= lower as f64);
+        prop_assert!(last <= upper as f64 + 1.0);
+        // CPU charged equals exactly the service work done.
+        prop_assert_eq!(
+            net.cpu().get(CpuLocation::Host, CpuCategory::Sys),
+            n * service
+        );
+    }
+
+    /// Two devices sharing one station never overlap their services: the
+    /// merged departure stream is spaced by the service time too.
+    #[test]
+    fn shared_station_serializes_across_devices(
+        n1 in 1usize..20,
+        n2 in 1usize..20,
+        service in 100u64..10_000,
+    ) {
+        let mut net = Network::new(0);
+        let station = SharedStation::new();
+        let cost = StageCost::fixed(service, 0.0, CpuCategory::Sys);
+        let v1 = net.add_device("v1", CpuLocation::Host, Box::new(VethPair::new(cost, station.clone())));
+        let v2 = net.add_device("v2", CpuLocation::Host, Box::new(VethPair::new(cost, station)));
+        let s1 = net.add_device("s1", CpuLocation::Host, Box::new(CaptureSink::new("s1")));
+        let s2 = net.add_device("s2", CpuLocation::Host, Box::new(CaptureSink::new("s2")));
+        net.connect(v1, PortId::P1, s1, PortId::P0, LinkParams::default());
+        net.connect(v2, PortId::P1, s2, PortId::P0, LinkParams::default());
+        for _ in 0..n1 {
+            net.inject_frame(SimDuration::ZERO, v1, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 64));
+        }
+        for _ in 0..n2 {
+            net.inject_frame(SimDuration::ZERO, v2, PortId::P0, frame_between(MacAddr::local(3), MacAddr::local(4), 64));
+        }
+        net.run_to_idle();
+        let mut all: Vec<f64> = net.store().samples("s1.arrival_ns").to_vec();
+        all.extend_from_slice(net.store().samples("s2.arrival_ns"));
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all.len(), n1 + n2);
+        for w in all.windows(2) {
+            prop_assert!(w[1] - w[0] >= service as f64 - 1e-9, "overlapping service");
+        }
+    }
+}

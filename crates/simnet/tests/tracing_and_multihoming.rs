@@ -1,0 +1,99 @@
+//! Event tracing and multi-homed endpoints.
+
+extern crate nestless_simnet as simnet;
+
+use metrics::{CpuCategory, CpuLocation};
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
+use simnet::engine::{LinkParams, Network};
+use simnet::shared::SharedStation;
+use simnet::testutil::CaptureSink;
+use simnet::veth::VethPair;
+use simnet::{Ip4, Ip4Net, MacAddr, Payload, SimDuration, SockAddr};
+
+#[test]
+fn tracing_records_hops_in_time_order() {
+    let mut net = Network::new(0);
+    net.set_tracing(true);
+    let v1 = net.add_device(
+        "veth-a",
+        CpuLocation::Host,
+        Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+    );
+    let v2 = net.add_device(
+        "veth-b",
+        CpuLocation::Host,
+        Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+    );
+    let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+    net.connect(v1, PortId::P1, v2, PortId::P0, LinkParams::default());
+    net.connect(v2, PortId::P1, sink, PortId::P0, LinkParams::default());
+    net.inject_frame(
+        SimDuration::ZERO,
+        v1,
+        PortId::P0,
+        simnet::testutil::frame_between(MacAddr::local(1), MacAddr::local(2), 64),
+    );
+    net.run_to_idle();
+
+    let trace = net.trace();
+    let hops: Vec<&str> = trace.iter().map(|e| e.device.as_str()).collect();
+    assert_eq!(hops, vec!["veth-a", "veth-b", "sink"]);
+    assert!(trace.windows(2).all(|w| w[0].at <= w[1].at), "time-ordered");
+    assert!(trace.iter().all(|e| e.what.starts_with("frame UDP")));
+
+    // Tracing off -> empty.
+    net.set_tracing(false);
+    assert!(net.trace().is_empty());
+}
+
+/// Sends over iface 1 (on-link) and iface 0's gateway depending on dst.
+struct DualHomed {
+    on_link: SockAddr,
+    remote: SockAddr,
+}
+impl Application for DualHomed {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        api.send_udp(1000, self.on_link, Payload::sized(10));
+        api.send_udp(1000, self.remote, Payload::sized(10));
+    }
+    fn on_message(&mut self, _: Incoming, _: &mut AppApi<'_, '_>) {}
+}
+
+#[test]
+fn multi_homed_endpoint_routes_per_interface() {
+    // iface 0: 10.0.0.0/24 with a gateway; iface 1: 192.168.5.0/24 on-link.
+    let net_a = Ip4Net::new(Ip4::new(10, 0, 0, 0), 24);
+    let net_b = Ip4Net::new(Ip4::new(192, 168, 5, 0), 24);
+    let gw_mac = MacAddr::local(90);
+    let peer_mac = MacAddr::local(91);
+
+    let mut net = Network::new(0);
+    let ep = Endpoint::new(
+        "dual",
+        vec![
+            IfaceConf::new(MacAddr::local(1), net_a.host(2), net_a).with_gateway(net_a.host(1), gw_mac),
+            IfaceConf::new(MacAddr::local(2), net_b.host(2), net_b).with_neigh(net_b.host(3), peer_mac),
+        ],
+        [1000],
+        StageCost::fixed(100, 0.0, CpuCategory::Usr),
+        SharedStation::new(),
+        Box::new(DualHomed {
+            on_link: SockAddr::new(net_b.host(3), 2000),
+            remote: SockAddr::new(Ip4::new(8, 8, 8, 8), 53),
+        }),
+    );
+    let ep_dev = net.add_device("dual", CpuLocation::Host, Box::new(ep));
+    let wan = net.add_device("wan", CpuLocation::Host, Box::new(CaptureSink::new("wan")));
+    let lan = net.add_device("lan", CpuLocation::Host, Box::new(CaptureSink::new("lan")));
+    net.connect(ep_dev, PortId(0), wan, PortId::P0, LinkParams::default());
+    net.connect(ep_dev, PortId(1), lan, PortId::P0, LinkParams::default());
+    net.schedule_timer(SimDuration::ZERO, ep_dev, START_TOKEN);
+    net.run_to_idle();
+
+    // The on-link message left iface 1, the remote one left iface 0 via
+    // its gateway.
+    assert_eq!(net.store().counter("lan.received"), 1.0);
+    assert_eq!(net.store().counter("wan.received"), 1.0);
+}

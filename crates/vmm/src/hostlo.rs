@@ -1,0 +1,208 @@
+//! The Hostlo TAP device (§4.2).
+//!
+//! The paper modifies the Linux TAP driver so that one TAP device:
+//!
+//! * "provides at least one RX/TX queue for each VM that is served", and
+//! * "sends back any received Ethernet frame to all of its queues".
+//!
+//! Here each queue is a port of the device; the VM-side vhost workers attach
+//! to the queues. The broadcast fan-out means the device does per-queue copy
+//! work for every frame — that is the host-kernel CPU cost the paper
+//! measures in §5.3.4 (and notes is mis-attributed to host `sys`).
+
+use simnet::costs::StageCost;
+use simnet::device::{Device, DeviceKind, PortId};
+use simnet::engine::DevCtx;
+use simnet::frame::Frame;
+use simnet::shared::SharedStation;
+
+/// How the TAP distributes a received frame to its queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanoutMode {
+    /// Paper-faithful: echo to *all* queues, including the sender's. The
+    /// sender's guest stack receives its own frame back and discards it at
+    /// the socket layer (no bound socket matches).
+    AllQueues,
+    /// Echo to all queues except the ingress one (saves one copy per frame;
+    /// evaluated by the `ablation_hostlo_fanout` bench).
+    ExcludeIngress,
+}
+
+/// A multi-queue loopback TAP multiplexed between VMs.
+pub struct HostloTap {
+    nqueues: usize,
+    cost_per_queue: StageCost,
+    mode: FanoutMode,
+    station: SharedStation,
+}
+
+impl HostloTap {
+    /// Creates a hostlo TAP with `nqueues` queues (one per served VM).
+    pub fn new(
+        nqueues: usize,
+        cost_per_queue: StageCost,
+        mode: FanoutMode,
+        station: SharedStation,
+    ) -> HostloTap {
+        assert!(nqueues >= 2, "a hostlo TAP serves at least two VMs");
+        HostloTap { nqueues, cost_per_queue, mode, station }
+    }
+
+    /// Number of queues.
+    pub fn nqueues(&self) -> usize {
+        self.nqueues
+    }
+}
+
+impl Device for HostloTap {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::HostloTap
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+        assert!(port.0 < self.nqueues, "frame on nonexistent hostlo queue");
+        ctx.count("hostlo.frames", 1.0);
+        // Copies serialize on the TAP's kernel worker; destination queues
+        // are served before the echo back into the sender's own queue, so
+        // the echo never delays actual deliveries.
+        let order = (0..self.nqueues)
+            .filter(|&q| q != port.0)
+            .chain(std::iter::once(port.0));
+        for q in order {
+            if self.mode == FanoutMode::ExcludeIngress && q == port.0 {
+                continue;
+            }
+            if !ctx.is_linked(PortId(q)) {
+                continue;
+            }
+            let done = self.station.serve(&self.cost_per_queue, frame.wire_len(), ctx);
+            ctx.count("hostlo.queue_copies", 1.0);
+            ctx.transmit_at(done, PortId(q), frame.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::{CpuCategory, CpuLocation};
+    use simnet::engine::{LinkParams, Network};
+    use simnet::testutil::{frame_between, CaptureSink};
+    use simnet::time::SimDuration;
+    use simnet::MacAddr;
+
+    fn build(mode: FanoutMode, nqueues: usize) -> (Network, simnet::DeviceId) {
+        let mut net = Network::new(0);
+        let tap = net.add_device(
+            "hostlo0",
+            CpuLocation::Host,
+            Box::new(HostloTap::new(
+                nqueues,
+                StageCost::fixed(1_000, 0.0, CpuCategory::Sys),
+                mode,
+                SharedStation::new(),
+            )),
+        );
+        for q in 0..nqueues {
+            let s = net.add_device(
+                format!("vm{q}"),
+                CpuLocation::Vm(q as u32),
+                Box::new(CaptureSink::new(format!("vm{q}"))),
+            );
+            net.connect(tap, PortId(q), s, PortId::P0, LinkParams::default());
+        }
+        (net, tap)
+    }
+
+    #[test]
+    fn broadcasts_to_all_queues_including_sender() {
+        let (mut net, tap) = build(FanoutMode::AllQueues, 3);
+        net.inject_frame(
+            SimDuration::ZERO,
+            tap,
+            PortId(1),
+            frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
+        );
+        net.run_to_idle();
+        for q in 0..3 {
+            assert_eq!(net.store().counter(&format!("vm{q}.received")), 1.0, "queue {q}");
+        }
+        assert_eq!(net.store().counter("hostlo.queue_copies"), 3.0);
+    }
+
+    #[test]
+    fn exclude_ingress_skips_sender_queue() {
+        let (mut net, tap) = build(FanoutMode::ExcludeIngress, 3);
+        net.inject_frame(
+            SimDuration::ZERO,
+            tap,
+            PortId(1),
+            frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
+        );
+        net.run_to_idle();
+        assert_eq!(net.store().counter("vm0.received"), 1.0);
+        assert_eq!(net.store().counter("vm1.received"), 0.0);
+        assert_eq!(net.store().counter("vm2.received"), 1.0);
+        assert_eq!(net.store().counter("hostlo.queue_copies"), 2.0);
+    }
+
+    #[test]
+    fn per_queue_copies_serialize_and_charge_host() {
+        let (mut net, tap) = build(FanoutMode::AllQueues, 4);
+        net.inject_frame(
+            SimDuration::ZERO,
+            tap,
+            PortId(0),
+            frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
+        );
+        net.run_to_idle();
+        // Four copies at 1us each, serialized: arrivals at 1,2,3,4us.
+        let mut arrivals: Vec<f64> = (0..4)
+            .flat_map(|q| net.store().samples(&format!("vm{q}.arrival_ns")).to_vec())
+            .collect();
+        arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(arrivals, vec![1_000.0, 2_000.0, 3_000.0, 4_000.0]);
+        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Sys), 4_000);
+        // The hostlo copy work lands on the host, not on any guest.
+        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 0);
+    }
+
+    #[test]
+    fn unlinked_queue_is_skipped() {
+        let mut net = Network::new(0);
+        let tap = net.add_device(
+            "hostlo0",
+            CpuLocation::Host,
+            Box::new(HostloTap::new(
+                3,
+                StageCost::fixed(1_000, 0.0, CpuCategory::Sys),
+                FanoutMode::AllQueues,
+                SharedStation::new(),
+            )),
+        );
+        // Only queue 2 is linked.
+        let s = net.add_device("vm2", CpuLocation::Vm(2), Box::new(CaptureSink::new("vm2")));
+        net.connect(tap, PortId(2), s, PortId::P0, LinkParams::default());
+        net.inject_frame(
+            SimDuration::ZERO,
+            tap,
+            PortId(0),
+            frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
+        );
+        net.run_to_idle();
+        assert_eq!(net.store().counter("vm2.received"), 1.0);
+        assert_eq!(net.store().counter("hostlo.queue_copies"), 1.0);
+        assert_eq!(net.dropped_no_link(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn needs_two_queues() {
+        HostloTap::new(
+            1,
+            StageCost::fixed(1, 0.0, CpuCategory::Sys),
+            FanoutMode::AllQueues,
+            SharedStation::new(),
+        );
+    }
+}

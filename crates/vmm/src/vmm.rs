@@ -1,0 +1,474 @@
+//! The virtual machine monitor.
+//!
+//! [`Vmm`] plays QEMU/KVM's role over the simulated network: it owns the
+//! [`Network`], creates VMs, provisions virtio/vhost NIC pairs, attaches
+//! them to host bridges, and creates hostlo TAPs multiplexed between VMs.
+//! The management-socket surface (what the orchestrator's CNI plugin talks
+//! to) is in [`crate::qmp`].
+
+use crate::hostlo::{FanoutMode, HostloTap};
+use crate::vm::{NicId, Vm, VmId, VmNic, VmSpec, VmState};
+use metrics::CpuLocation;
+use simnet::bridge::Bridge;
+use simnet::costs::CostModel;
+use simnet::device::{DeviceId, PortId};
+use simnet::engine::{LinkParams, Network};
+use simnet::nic::{Vhost, VirtioNic};
+use simnet::shared::SharedStation;
+use simnet::MacAddr;
+
+/// Handle to a host bridge created by the VMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BridgeHandle(pub usize);
+
+/// Handle to a hostlo TAP created by the VMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostloHandle(pub usize);
+
+/// Everything the orchestrator needs to use a freshly provisioned NIC.
+#[derive(Debug, Clone, Copy)]
+pub struct NicInfo {
+    /// NIC id.
+    pub nic: NicId,
+    /// Owning VM.
+    pub vm: VmId,
+    /// MAC address — the identifier sent back over the management channel.
+    pub mac: MacAddr,
+    /// Guest-side attachment point for the in-VM agent to wire up.
+    pub guest_attach: (DeviceId, PortId),
+    /// Host-side vhost device (for diagnostics).
+    pub vhost: DeviceId,
+}
+
+struct BridgeInfo {
+    name: String,
+    dev: DeviceId,
+    capacity: usize,
+    next_port: usize,
+}
+
+struct HostloInfo {
+    tap: DeviceId,
+    endpoints: Vec<NicInfo>,
+}
+
+/// Physical host description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Physical CPU count (the paper's testbed has 12, §5.1).
+    pub cpus: u32,
+    /// Physical memory in MiB.
+    pub memory_mib: u64,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        // The evaluation machine: 2x Xeon E5-2420 v2, 12 CPUs, HT off.
+        HostSpec { cpus: 12, memory_mib: 32 * 1024 }
+    }
+}
+
+/// The VMM: owns the simulated network and all virtualization state.
+pub struct Vmm {
+    net: Network,
+    costs: CostModel,
+    host: HostSpec,
+    host_station: SharedStation,
+    vms: Vec<Vm>,
+    bridges: Vec<BridgeInfo>,
+    hostlos: Vec<HostloInfo>,
+    nic_seq: u32,
+    hostlo_fanout: FanoutMode,
+}
+
+impl Vmm {
+    /// Creates a VMM over a fresh network with the calibrated cost model.
+    pub fn new(seed: u64) -> Vmm {
+        Vmm::with_costs(seed, CostModel::calibrated(), HostSpec::default())
+    }
+
+    /// Creates a VMM with explicit costs and host shape (for ablations).
+    pub fn with_costs(seed: u64, costs: CostModel, host: HostSpec) -> Vmm {
+        Vmm {
+            net: Network::new(seed),
+            costs,
+            host,
+            host_station: SharedStation::new(),
+            vms: Vec::new(),
+            bridges: Vec::new(),
+            hostlos: Vec::new(),
+            nic_seq: 0,
+            hostlo_fanout: FanoutMode::AllQueues,
+        }
+    }
+
+    /// Overrides the fan-out mode used for hostlo TAPs created over the
+    /// management channel (ablation knob; the paper's driver broadcasts).
+    pub fn set_hostlo_fanout(&mut self, mode: FanoutMode) {
+        self.hostlo_fanout = mode;
+    }
+
+    /// The fan-out mode for management-channel hostlo creations.
+    pub fn hostlo_fanout(&self) -> FanoutMode {
+        self.hostlo_fanout
+    }
+
+    /// The simulated network (to attach endpoints, run, read results).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable network access.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The calibrated cost model in use.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Host description.
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// The host kernel's network-stack station (bridges, host NAT).
+    pub fn host_station(&self) -> SharedStation {
+        self.host_station.clone()
+    }
+
+    /// Creates a host bridge with room for `capacity` ports.
+    pub fn create_bridge(&mut self, name: impl Into<String>, capacity: usize) -> BridgeHandle {
+        let name = name.into();
+        let dev = self.net.add_device(
+            name.clone(),
+            CpuLocation::Host,
+            Box::new(Bridge::new(capacity, self.costs.host_bridge, self.host_station.clone())),
+        );
+        self.bridges.push(BridgeInfo { name, dev, capacity, next_port: 0 });
+        BridgeHandle(self.bridges.len() - 1)
+    }
+
+    /// Looks up a bridge by name.
+    pub fn bridge_by_name(&self, name: &str) -> Option<BridgeHandle> {
+        self.bridges.iter().position(|b| b.name == name).map(BridgeHandle)
+    }
+
+    /// The bridge's device id.
+    pub fn bridge_device(&self, h: BridgeHandle) -> DeviceId {
+        self.bridges[h.0].dev
+    }
+
+    /// Allocates the next free port on a bridge.
+    ///
+    /// # Panics
+    /// Panics when the bridge is full — size bridges for the experiment.
+    pub fn alloc_bridge_port(&mut self, h: BridgeHandle) -> (DeviceId, PortId) {
+        let b = &mut self.bridges[h.0];
+        assert!(b.next_port < b.capacity, "bridge {} is out of ports", b.name);
+        let p = PortId(b.next_port);
+        b.next_port += 1;
+        (b.dev, p)
+    }
+
+    /// Defines and boots a VM.
+    pub fn create_vm(&mut self, spec: VmSpec) -> VmId {
+        let id = VmId(self.vms.len() as u32);
+        self.vms.push(Vm {
+            id,
+            spec,
+            state: VmState::Running,
+            nics: Vec::new(),
+            station: SharedStation::new(),
+        });
+        id
+    }
+
+    /// The VM's guest-kernel station (for in-VM devices and endpoints).
+    pub fn guest_station(&self, vm: VmId) -> SharedStation {
+        self.vms[vm.0 as usize].station.clone()
+    }
+
+    /// Read access to a VM.
+    pub fn vm(&self, vm: VmId) -> &Vm {
+        &self.vms[vm.0 as usize]
+    }
+
+    /// All VMs.
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Total vCPUs across running VMs (oversubscription check helper).
+    pub fn provisioned_vcpus(&self) -> u32 {
+        self.vms
+            .iter()
+            .filter(|v| v.state == VmState::Running)
+            .map(|v| v.spec.vcpus)
+            .sum()
+    }
+
+    /// Stops a VM (it stays in the inventory; its devices go quiet because
+    /// nothing injects traffic to them anymore).
+    pub fn stop_vm(&mut self, vm: VmId) {
+        self.vms[vm.0 as usize].state = VmState::Stopped;
+    }
+
+    fn next_mac(&mut self) -> (NicId, MacAddr) {
+        let id = NicId(self.nic_seq);
+        // Leave room under the locally-administered prefix for test MACs.
+        let mac = MacAddr::local(0x00A0_0000 + self.nic_seq);
+        self.nic_seq += 1;
+        (id, mac)
+    }
+
+    /// Provisions a virtio/vhost NIC for `vm` and plugs its host side into
+    /// `bridge`. `coalesce` enables adaptive interrupt coalescing on the
+    /// vhost worker (the default for a VM's shared primary NIC; per-pod
+    /// BrFusion NICs and hostlo endpoints run uncoalesced).
+    /// `hot_plugged` records whether this happened after boot.
+    pub fn add_nic(
+        &mut self,
+        vm: VmId,
+        bridge: BridgeHandle,
+        coalesce: bool,
+        hot_plugged: bool,
+    ) -> NicInfo {
+        let (nic_id, mac) = self.next_mac();
+        let guest_station = self.guest_station(vm);
+        let vm_name = self.vms[vm.0 as usize].spec.name.clone();
+
+        let virtio = self.net.add_device(
+            format!("{vm_name}/virtio{}", nic_id.0),
+            CpuLocation::Vm(vm.0),
+            Box::new(VirtioNic::new(self.costs.virtio_guest, guest_station)),
+        );
+        let kick = simnet::costs::StageCost::fixed(
+            self.costs.vhost.fixed_ns,
+            0.0,
+            self.costs.vhost.cpu_cat,
+        );
+        let per_frame = simnet::costs::StageCost {
+            fixed_ns: self.costs.vhost.fixed_ns / 8,
+            ..self.costs.vhost
+        };
+        let vhost = self.net.add_device(
+            format!("{vm_name}/vhost{}", nic_id.0),
+            CpuLocation::Host,
+            // Each vhost device gets its own worker thread (as vhost-net
+            // does), hence a fresh station.
+            Box::new(Vhost::new(per_frame, kick, coalesce, SharedStation::new())),
+        );
+        self.net.connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
+        let (br_dev, br_port) = self.alloc_bridge_port(bridge);
+        self.net.connect(
+            vhost,
+            PortId::P1,
+            br_dev,
+            br_port,
+            LinkParams::with_latency(self.costs.link_latency),
+        );
+
+        let info = NicInfo { nic: nic_id, vm, mac, guest_attach: (virtio, PortId::P0), vhost };
+        self.vms[vm.0 as usize].nics.push(VmNic {
+            id: nic_id,
+            mac,
+            virtio,
+            vhost,
+            guest_attach: info.guest_attach,
+            hostlo: false,
+            hot_plugged,
+            active: true,
+        });
+        info
+    }
+
+    /// Marks a NIC as removed. The simulation graph is static, so the
+    /// devices stay, but the VMM stops reporting the NIC and the agent is
+    /// expected to stop using it.
+    pub fn detach_nic(&mut self, vm: VmId, nic: NicId) -> bool {
+        if let Some(n) = self.vms[vm.0 as usize].nics.iter_mut().find(|n| n.id == nic && n.active)
+        {
+            n.active = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Creates a hostlo TAP multiplexed between `vms` and hot-plugs one
+    /// uncoalesced endpoint NIC into each (§4.2: "creates and adds one
+    /// RX/TX queue of it to each VM that needs it").
+    pub fn create_hostlo(&mut self, vms: &[VmId], mode: FanoutMode) -> (HostloHandle, Vec<NicInfo>) {
+        assert!(vms.len() >= 2, "hostlo spans at least two VMs");
+        let tap = self.net.add_device(
+            format!("hostlo{}", self.hostlos.len()),
+            CpuLocation::Host,
+            Box::new(HostloTap::new(
+                vms.len(),
+                self.costs.hostlo_queue,
+                mode,
+                SharedStation::new(),
+            )),
+        );
+        let mut endpoints = Vec::with_capacity(vms.len());
+        for (q, &vm) in vms.iter().enumerate() {
+            let (nic_id, mac) = self.next_mac();
+            let guest_station = self.guest_station(vm);
+            let vm_name = self.vms[vm.0 as usize].spec.name.clone();
+            let virtio = self.net.add_device(
+                format!("{vm_name}/hostlo-virtio{}", nic_id.0),
+                CpuLocation::Vm(vm.0),
+                Box::new(VirtioNic::new(self.costs.virtio_guest, guest_station)),
+            );
+            let kick = simnet::costs::StageCost::fixed(
+                self.costs.vhost.fixed_ns,
+                0.0,
+                self.costs.vhost.cpu_cat,
+            );
+            let per_frame = simnet::costs::StageCost {
+                fixed_ns: self.costs.vhost.fixed_ns / 8,
+                ..self.costs.vhost
+            };
+            let vhost = self.net.add_device(
+                format!("{vm_name}/hostlo-vhost{}", nic_id.0),
+                CpuLocation::Host,
+                // Standard virtio notification suppression, like any NIC;
+                // the hostlo TAP itself is the path's added cost.
+                Box::new(Vhost::new(per_frame, kick, true, SharedStation::new())),
+            );
+            self.net.connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
+            self.net.connect(
+                vhost,
+                PortId::P1,
+                tap,
+                PortId(q),
+                LinkParams::with_latency(self.costs.link_latency),
+            );
+            let info = NicInfo { nic: nic_id, vm, mac, guest_attach: (virtio, PortId::P0), vhost };
+            self.vms[vm.0 as usize].nics.push(VmNic {
+                id: nic_id,
+                mac,
+                virtio,
+                vhost,
+                guest_attach: info.guest_attach,
+                hostlo: true,
+                hot_plugged: true,
+                active: true,
+            });
+            endpoints.push(info);
+        }
+        self.hostlos.push(HostloInfo { tap, endpoints: endpoints.clone() });
+        (HostloHandle(self.hostlos.len() - 1), endpoints)
+    }
+
+    /// The hostlo TAP device id.
+    pub fn hostlo_device(&self, h: HostloHandle) -> DeviceId {
+        self.hostlos[h.0].tap
+    }
+
+    /// Endpoints of a hostlo TAP.
+    pub fn hostlo_endpoints(&self, h: HostloHandle) -> &[NicInfo] {
+        &self.hostlos[h.0].endpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_vm_and_nic_wires_the_chain() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let nic = vmm.add_nic(vm, br, true, false);
+
+        assert_eq!(nic.vm, vm);
+        // virtio.P1 <-> vhost.P0
+        assert_eq!(
+            vmm.network().peer(nic.guest_attach.0, PortId::P1),
+            Some((nic.vhost, PortId::P0))
+        );
+        // vhost.P1 <-> bridge port 0
+        assert_eq!(
+            vmm.network().peer(nic.vhost, PortId::P1),
+            Some((vmm.bridge_device(br), PortId(0)))
+        );
+        // guest side still free
+        assert_eq!(vmm.network().peer(nic.guest_attach.0, PortId::P0), None);
+        assert_eq!(vmm.vm(vm).nics.len(), 1);
+    }
+
+    #[test]
+    fn macs_are_unique_and_reported() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let a = vmm.add_nic(vm, br, true, false);
+        let b = vmm.add_nic(vm, br, true, true);
+        assert_ne!(a.mac, b.mac);
+        assert_eq!(vmm.vm(vm).nic_by_mac(b.mac).unwrap().id, b.nic);
+        assert!(vmm.vm(vm).nic_by_mac(b.mac).unwrap().hot_plugged);
+    }
+
+    #[test]
+    fn bridge_ports_exhaust() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 2);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        vmm.add_nic(vm, br, false, false);
+        vmm.add_nic(vm, br, false, false);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vmm.add_nic(vm, br, false, false)
+        }));
+        assert!(r.is_err(), "third port allocation must panic");
+    }
+
+    #[test]
+    fn detach_nic_hides_it() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let nic = vmm.add_nic(vm, br, false, false);
+        assert!(vmm.detach_nic(vm, nic.nic));
+        assert!(vmm.vm(vm).nic_by_mac(nic.mac).is_none());
+        assert!(!vmm.detach_nic(vm, nic.nic), "double detach fails");
+    }
+
+    #[test]
+    fn hostlo_creates_one_endpoint_per_vm() {
+        let mut vmm = Vmm::new(0);
+        let vm1 = vmm.create_vm(VmSpec::paper_eval("vm1"));
+        let vm2 = vmm.create_vm(VmSpec::paper_eval("vm2"));
+        let vm3 = vmm.create_vm(VmSpec::paper_eval("vm3"));
+        let (h, eps) = vmm.create_hostlo(&[vm1, vm2, vm3], FanoutMode::AllQueues);
+        assert_eq!(eps.len(), 3);
+        let tap = vmm.hostlo_device(h);
+        for (q, ep) in eps.iter().enumerate() {
+            assert_eq!(vmm.network().peer(ep.vhost, PortId::P1), Some((tap, PortId(q))));
+            assert!(vmm.vm(ep.vm).nic_by_mac(ep.mac).unwrap().hostlo);
+        }
+    }
+
+    #[test]
+    fn provisioned_vcpus_tracks_lifecycle() {
+        let mut vmm = Vmm::new(0);
+        let a = vmm.create_vm(VmSpec::paper_eval("a"));
+        let _b = vmm.create_vm(VmSpec::paper_eval("b"));
+        assert_eq!(vmm.provisioned_vcpus(), 10);
+        vmm.stop_vm(a);
+        assert_eq!(vmm.provisioned_vcpus(), 5);
+    }
+
+    #[test]
+    fn bridge_lookup_by_name() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 4);
+        let tenant = vmm.create_bridge("tenant-a", 4);
+        assert_eq!(vmm.bridge_by_name("br0"), Some(br));
+        assert_eq!(vmm.bridge_by_name("tenant-a"), Some(tenant));
+        assert_eq!(vmm.bridge_by_name("nope"), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the VMM: NIC identity uniqueness and QMP
+//! inventory consistency under arbitrary command sequences.
+
+extern crate nestless_vmm as vmm;
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vmm::{QmpCommand, QmpResponse, VmSpec, Vmm};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { vm: u8, coalesce: bool },
+    Del { vm: u8, nic: u8 },
+    Hostlo { a: u8, b: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, any::<bool>()).prop_map(|(vm, coalesce)| Op::Add { vm, coalesce }),
+        (0u8..4, 0u8..32).prop_map(|(vm, nic)| Op::Del { vm, nic }),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| Op::Hostlo { a, b }),
+    ]
+}
+
+proptest! {
+    /// Whatever the orchestrator throws at the management socket, MACs
+    /// stay unique, the inventory matches QueryNics, and nothing panics.
+    #[test]
+    fn qmp_inventory_is_consistent(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let mut vmm = Vmm::new(7);
+        vmm.create_bridge("br0", 64);
+        for i in 0..4 {
+            vmm.create_vm(VmSpec::paper_eval(format!("vm{i}")));
+        }
+        let mut live: Vec<HashSet<u32>> = vec![HashSet::new(); 4];
+        let mut macs = HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Add { vm, coalesce } => {
+                    let r = vmm.qmp(QmpCommand::NetdevAdd {
+                        vm: u32::from(vm),
+                        bridge: "br0".into(),
+                        coalesce,
+                    });
+                    if let QmpResponse::NicAdded(nic) = r {
+                        prop_assert!(macs.insert(nic.mac.clone()), "duplicate MAC {}", nic.mac);
+                        live[vm as usize].insert(nic.nic);
+                    }
+                }
+                Op::Del { vm, nic } => {
+                    let r = vmm.qmp(QmpCommand::DeviceDel { vm: u32::from(vm), nic: u32::from(nic) });
+                    match r {
+                        QmpResponse::Removed => {
+                            prop_assert!(
+                                live[vm as usize].remove(&u32::from(nic)),
+                                "removed a NIC we did not track"
+                            );
+                        }
+                        QmpResponse::Error { .. } => {
+                            prop_assert!(!live[vm as usize].contains(&u32::from(nic)));
+                        }
+                        other => prop_assert!(false, "unexpected response {other:?}"),
+                    }
+                }
+                Op::Hostlo { a, b } => {
+                    let r = vmm.qmp(QmpCommand::HostloCreate { vms: vec![u32::from(a), u32::from(b)] });
+                    match r {
+                        QmpResponse::HostloCreated { endpoints } => {
+                            for ep in endpoints {
+                                prop_assert!(macs.insert(ep.mac.clone()));
+                                live[ep.vm as usize].insert(ep.nic);
+                            }
+                        }
+                        QmpResponse::Error { .. } => {}
+                        other => prop_assert!(false, "unexpected response {other:?}"),
+                    }
+                }
+            }
+            for vm in 0..4u32 {
+                let r = vmm.qmp(QmpCommand::QueryNics { vm });
+                let QmpResponse::Nics(nics) = r else {
+                    return Err(TestCaseError::fail("query failed"));
+                };
+                let reported: HashSet<u32> = nics.iter().map(|n| n.nic).collect();
+                prop_assert_eq!(&reported, &live[vm as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared result types for the macro-benchmarks.
+
+use metrics::{CpuBreakdown, CpuLocation, Summary};
+use nestless::topology::{Config, Testbed};
+use simnet::SimDuration;
+
+/// Baseline guest kernel housekeeping per running VM (timer ticks,
+/// kworkers, RCU...), in cores. This is why "by nature, the SameNode setup
+/// features only one VM, whereas Hostlo, NAT and Overlay include two VMs,
+/// which necessarily increases guest CPU usage" (§5.3.4).
+pub const VM_HOUSEKEEPING_CORES: f64 = 0.35;
+
+/// Result of one macro-benchmark run: the paper's Table 1 metrics plus the
+//  CPU accounting behind figs. 6/7/14/15.
+#[derive(Debug, Clone)]
+pub struct MacroResult {
+    /// Configuration measured.
+    pub config: Config,
+    /// Completed responses per second.
+    pub throughput_per_s: f64,
+    /// Request latency, microseconds.
+    pub latency_us: Summary,
+    /// Latency percentiles `(p50, p95, p99)`, microseconds.
+    pub latency_percentiles_us: (f64, f64, f64),
+    /// Measured wall-clock (simulated) duration.
+    pub wall: SimDuration,
+    /// CPU breakdown of the server-side VM, if the server runs in one.
+    pub cpu_server_vm: Option<CpuBreakdown>,
+    /// CPU breakdown of the client-side VM, if the client runs in one.
+    pub cpu_client_vm: Option<CpuBreakdown>,
+    /// CPU breakdown of the physical host.
+    pub cpu_host: CpuBreakdown,
+}
+
+impl MacroResult {
+    /// Collects metrics out of a finished testbed.
+    ///
+    /// `latency_sample` names the sample series holding per-request
+    /// latencies (microseconds) and `wall` is the measured window.
+    pub fn collect(tb: &Testbed, latency_sample: &str, wall: SimDuration) -> MacroResult {
+        let samples = tb.vmm.network().store().samples(latency_sample);
+        assert!(
+            !samples.is_empty(),
+            "{:?}: no latency samples under {latency_sample:?}",
+            tb.config
+        );
+        let stats: metrics::OnlineStats = samples.iter().copied().collect();
+        let latency_us = stats.summary();
+        let mut sorted = samples.to_vec();
+        let latency_percentiles_us = (
+            metrics::stats::percentile(&mut sorted, 50.0).unwrap_or(0.0),
+            metrics::stats::percentile(&mut sorted, 95.0).unwrap_or(0.0),
+            metrics::stats::percentile(&mut sorted, 99.0).unwrap_or(0.0),
+        );
+        let throughput_per_s = samples.len() as f64 / wall.as_secs_f64();
+        let cpu = tb.vmm.network().cpu();
+        let wall_ns = wall.as_nanos() + 1;
+        let housekeep = |mut b: CpuBreakdown| {
+            b.sys += VM_HOUSEKEEPING_CORES;
+            b
+        };
+        let cpu_server_vm = tb
+            .server_vm
+            .map(|vm| housekeep(cpu.breakdown(CpuLocation::Vm(vm.0), wall_ns)));
+        let cpu_client_vm = tb
+            .client_vm
+            .filter(|vm| Some(*vm) != tb.server_vm)
+            .map(|vm| housekeep(cpu.breakdown(CpuLocation::Vm(vm.0), wall_ns)));
+        let mut cpu_host = cpu.breakdown(CpuLocation::Host, wall_ns);
+        // The host hands each running VM its housekeeping time too.
+        let nvms = cpu_server_vm.iter().count() + cpu_client_vm.iter().count();
+        cpu_host.guest += VM_HOUSEKEEPING_CORES * nvms as f64;
+        MacroResult {
+            config: tb.config,
+            throughput_per_s,
+            latency_us,
+            latency_percentiles_us,
+            wall,
+            cpu_server_vm,
+            cpu_client_vm,
+            cpu_host,
+        }
+    }
+}
+
+/// Per-request service-time profile of an application (the "software
+/// itself" part of latency the paper separates from networking in §5.2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceProfile {
+    /// Mean service time, microseconds.
+    pub base_us: f64,
+    /// Uniform multiplicative jitter fraction.
+    pub jitter_frac: f64,
+    /// Probability of a slow request (GC pause, page-cache miss, log
+    /// flush...).
+    pub spike_prob: f64,
+    /// Multiplier applied on a spike.
+    pub spike_mult: f64,
+}
+
+impl ServiceProfile {
+    /// Samples one service time.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> SimDuration {
+        let mut us = self.base_us * (1.0 + self.jitter_frac * rng.gen_range(-1.0..1.0f64));
+        if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
+            us *= self.spike_mult;
+        }
+        SimDuration::nanos((us.max(0.1) * 1_000.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn service_profile_samples_in_band() {
+        let p = ServiceProfile { base_us: 10.0, jitter_frac: 0.2, spike_prob: 0.0, spike_mult: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let d = p.sample(&mut rng);
+            assert!((8_000..=12_000).contains(&d.as_nanos()), "{d}");
+        }
+    }
+
+    #[test]
+    fn spikes_inflate_tail() {
+        let p = ServiceProfile { base_us: 10.0, jitter_frac: 0.0, spike_prob: 0.5, spike_mult: 10.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let spiky = (0..1000).filter(|_| p.sample(&mut rng).as_nanos() > 50_000).count();
+        assert!((350..650).contains(&spiky));
+    }
+}

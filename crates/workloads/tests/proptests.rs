@@ -1,0 +1,74 @@
+//! Property-based tests over the benchmark drivers: every macro workload
+//! completes, reports sane metrics, and reproduces per seed on sampled
+//! configurations.
+
+extern crate nestless_workloads as workloads;
+
+use nestless::topology::Config;
+use proptest::prelude::*;
+use simnet::SimDuration;
+use workloads::{run_kafka, run_memcached, run_nginx, KafkaParams, MemtierParams, Wrk2Params};
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    prop::sample::select(Config::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Memcached: throughput and latency positive, cv finite, CPU
+    /// accounted, reproducible.
+    #[test]
+    fn memcached_sane_on_any_config(config in arb_config(), seed in 0u64..1000) {
+        let params = MemtierParams {
+            duration: SimDuration::millis(120),
+            warmup: SimDuration::millis(30),
+            ..MemtierParams::paper()
+        };
+        let a = run_memcached(params, config, seed);
+        prop_assert!(a.throughput_per_s > 100.0, "{config:?}: {}", a.throughput_per_s);
+        prop_assert!(a.latency_us.mean > 0.0 && a.latency_us.mean.is_finite());
+        prop_assert!(a.latency_us.min <= a.latency_us.mean);
+        prop_assert!(a.latency_us.mean <= a.latency_us.max);
+        let (p50, p95, p99) = a.latency_percentiles_us;
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        prop_assert!(a.cpu_host.guest > 0.0, "guest time visible from host");
+        let b = run_memcached(params, config, seed);
+        prop_assert_eq!(a.latency_us, b.latency_us);
+    }
+
+    /// NGINX: the offered open-loop rate is approximately met on every
+    /// healthy configuration.
+    #[test]
+    fn nginx_meets_offered_rate(config in arb_config(), seed in 0u64..1000) {
+        let params = Wrk2Params {
+            duration: SimDuration::millis(120),
+            warmup: SimDuration::millis(30),
+            ..Wrk2Params::paper()
+        };
+        let r = run_nginx(params, config, seed);
+        prop_assert!(
+            (6_000.0..=11_500.0).contains(&r.throughput_per_s),
+            "{config:?}: {} resp/s",
+            r.throughput_per_s
+        );
+    }
+
+    /// Kafka: batches are acked and the effective message rate is within
+    /// the offered rate's ballpark.
+    #[test]
+    fn kafka_sustains_batches(config in arb_config(), seed in 0u64..1000) {
+        let params = KafkaParams {
+            duration: SimDuration::millis(120),
+            warmup: SimDuration::millis(30),
+            ..KafkaParams::paper()
+        };
+        let r = run_kafka(params, config, seed);
+        prop_assert!(
+            (60_000.0..=140_000.0).contains(&r.throughput_per_s),
+            "{config:?}: {} msg/s",
+            r.throughput_per_s
+        );
+        prop_assert!(r.latency_us.mean > 0.0);
+    }
+}

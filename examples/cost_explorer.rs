@@ -1,0 +1,56 @@
+//! Explore the Hostlo cost simulation (fig. 9) interactively:
+//!
+//! ```sh
+//! cargo run -p nestless-bench --release --example cost_explorer -- [users] [seed]
+//! cargo run -p nestless-bench --release --example cost_explorer -- --csv my_trace.csv
+//! ```
+//!
+//! The CSV format is `user,pod,container,cpu_rel,mem_rel` with resources
+//! relative to the largest machine, like the Google traces.
+
+use cloudsim::{parse_csv, simulate, synthetic_trace, Trace, PAPER_USER_COUNT};
+
+fn load_trace(args: &[String]) -> Trace {
+    if args.first().map(String::as_str) == Some("--csv") {
+        let path = args.get(1).expect("--csv needs a path");
+        let text = std::fs::read_to_string(path).expect("readable CSV trace");
+        return parse_csv(&text).expect("valid trace CSV");
+    }
+    let users = args.first().and_then(|s| s.parse().ok()).unwrap_or(PAPER_USER_COUNT);
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
+    synthetic_trace(users, seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = load_trace(&args);
+    println!(
+        "trace: {} users, {} containers",
+        trace.users.len(),
+        trace.container_count()
+    );
+
+    let report = simulate(&trace);
+    let base: f64 = report.per_user.iter().map(|u| u.base_cost).sum();
+    let hostlo: f64 = report.per_user.iter().map(|u| u.hostlo_cost).sum();
+    println!("fleet bill: ${base:.2}/h whole-pod -> ${hostlo:.2}/h with Hostlo");
+    println!(
+        "{:.1}% of users save; of those, {:.1}% save more than 5%",
+        report.frac_users_saving() * 100.0,
+        report.frac_savers_above(0.05) * 100.0
+    );
+    let (abs, rel) = report.max_abs_saving();
+    println!(
+        "max relative saving {:.1}%; biggest absolute saver keeps ${abs:.2}/h ({:.1}%)",
+        report.max_rel_saving() * 100.0,
+        rel * 100.0
+    );
+
+    println!("\nsavings histogram (savers only):");
+    let hist = report.histogram(10);
+    let peak = (1..hist.bins()).map(|i| hist.count(i)).max().unwrap_or(1).max(1);
+    for (lo, hi, count) in hist.iter_bins() {
+        let bar = "#".repeat((count * 40 / peak) as usize);
+        println!("  {lo:>4.0}-{hi:<4.0}% {count:>4} {bar}");
+    }
+}

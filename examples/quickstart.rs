@@ -1,0 +1,48 @@
+//! Quickstart: build a BrFusion testbed, run one Netperf sweep point, and
+//! print the gain over vanilla nested (NAT) networking.
+//!
+//! ```sh
+//! cargo run -p nestless-bench --release --example quickstart
+//! ```
+
+use nestless::topology::Config;
+use simnet::SimDuration;
+use workloads::netperf::Netperf;
+
+fn main() {
+    let netperf = Netperf {
+        msg_size: 1280,
+        duration: SimDuration::millis(500),
+        warmup: SimDuration::millis(50),
+        window: 64,
+    };
+
+    println!("Netperf, 1280 B messages, server in a VM, client on the host:\n");
+    let mut results = Vec::new();
+    for config in [Config::Nat, Config::BrFusion, Config::NoCont] {
+        let lat = netperf.udp_rr(config, 7).latency_us.expect("latency");
+        let tput = netperf.tcp_stream(config, 7).throughput_mbps.expect("throughput");
+        println!(
+            "  {:<9} UDP_RR {:>7.1} us (+-{:.1})   TCP_STREAM {:>7.0} Mbit/s",
+            config.label(),
+            lat.mean,
+            lat.stddev,
+            tput.mean
+        );
+        results.push((config, lat.mean, tput.mean));
+    }
+
+    let (_, nat_lat, nat_tput) = results[0];
+    let (_, brf_lat, brf_tput) = results[1];
+    let (_, _, nocont_tput) = results[2];
+    println!();
+    println!(
+        "BrFusion removes the in-VM bridge/NAT layer: {:.1}x the throughput of NAT,",
+        brf_tput / nat_tput
+    );
+    println!(
+        "{:.0}% lower latency, and within {:.1}% of the no-container baseline.",
+        (1.0 - brf_lat / nat_lat) * 100.0,
+        (nocont_tput - brf_tput).abs() / nocont_tput * 100.0
+    );
+}

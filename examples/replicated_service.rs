@@ -1,0 +1,148 @@
+//! Run a replicated micro-service on a BrFusion cluster: the
+//! ReplicaSet controller keeps N replicas deployed, each replica gets its
+//! own hot-plugged NIC, and a host-side client load-balances requests
+//! round-robin across them.
+//!
+//! ```sh
+//! cargo run -p nestless-bench --release --example replicated_service
+//! ```
+
+use contd::{ContainerSpec, ResourceRequest};
+use nestless::{ClusterBuilder, CniKind};
+use orchestrator::{ClusterCtx, PodSpec, ReplicaSetController};
+use simnet::endpoint::{AppApi, Application, Incoming};
+use simnet::nat::Proto;
+use simnet::{Payload, SimDuration, SockAddr};
+
+struct Replica {
+    id: usize,
+}
+impl Application for Replica {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count(&format!("replica{}.served", self.id), 1.0);
+        let mut p = Payload::sized(256);
+        p.tag = msg.payload.tag;
+        p.sent_at = msg.payload.sent_at;
+        api.send_udp(8080, msg.src, p);
+    }
+}
+
+struct RoundRobin {
+    targets: Vec<SockAddr>,
+    next: usize,
+    want: u64,
+    sent: u64,
+}
+impl RoundRobin {
+    fn fire(&mut self, api: &mut AppApi<'_, '_>) {
+        let dst = self.targets[self.next % self.targets.len()];
+        self.next += 1;
+        self.sent += 1;
+        let mut p = Payload::sized(100);
+        p.tag = self.sent;
+        api.send_udp(9000, dst, p);
+    }
+}
+impl Application for RoundRobin {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        self.fire(api);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.record("lb.rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        if self.sent < self.want {
+            self.fire(api);
+        }
+    }
+}
+
+fn main() {
+    let mut cluster = ClusterBuilder::new().cni(CniKind::BrFusion).vms(3).seed(5).build();
+
+    // Declare 3 replicas of a single-container service pod.
+    let template = PodSpec::new(
+        "api",
+        vec![ContainerSpec::new("srv", "api:2")
+            .with_resources(ResourceRequest::new(1500, 512))
+            .with_port(Proto::Udp, 8080, 8080)],
+    );
+    let mut rsc = ReplicaSetController::new();
+    let rs = rsc.create(template, 3);
+    let report = {
+        let mut ctx = ClusterCtx { vmm: &mut cluster.vmm, engines: &mut cluster.engines };
+        rsc.reconcile(&mut cluster.control_plane, &mut ctx)
+    };
+    println!("reconcile: created {} replicas ({} failed)", report.created, report.failed);
+    assert_eq!(rsc.get(rs).ready(), 3);
+
+    // Attach an application to each replica's hot-plugged pod NIC.
+    let mut targets = Vec::new();
+    for (i, &pod) in rsc.get(rs).pods.to_vec().iter().enumerate() {
+        let att = cluster.attachments(pod)[0].clone();
+        println!(
+            "replica {i}: pod {:?} on {:?} at {} (hot-plugged NIC {})",
+            pod, att.vm, att.net.ip, att.net.mac
+        );
+        targets.push(SockAddr::new(att.net.ip, 8080));
+        cluster.attach_app(&att, &format!("replica{i}"), [8080], Box::new(Replica { id: i }));
+    }
+
+    // A host-side load balancer fires 600 requests round-robin. It lives
+    // on the cluster bridge like any external client behind the host NAT;
+    // attach it to a fresh bridge port with neighbors for all replicas.
+    let lb_iface = {
+        let mut iface = simnet::IfaceConf::new(
+            simnet::MacAddr::local(0x00F2_0001),
+            nestless::deploy::CLUSTER_NET.host(200),
+            nestless::deploy::CLUSTER_NET,
+        );
+        for (t, &pod) in targets.iter().zip(rsc.get(rs).pods.iter()) {
+            let att = &cluster.attachments(pod)[0];
+            iface = iface.with_neigh(t.ip, att.net.mac);
+        }
+        iface
+    };
+    // The host NAT proxies replies from the pods back to the LB: teach it
+    // the LB's address (the orchestrator would install this with the LB
+    // service object).
+    cluster.host_nat_ctl.add_neigh(
+        simnet::PortId(1),
+        nestless::deploy::CLUSTER_NET.host(200),
+        simnet::MacAddr::local(0x00F2_0001),
+    );
+    let (br_dev, br_port) = cluster.vmm.alloc_bridge_port(cluster.bridge);
+    let sock_cost = cluster.vmm.costs().socket;
+    let lb = simnet::Endpoint::new(
+        "lb",
+        vec![lb_iface],
+        [9000],
+        sock_cost,
+        simnet::SharedStation::new(),
+        Box::new(RoundRobin { targets, next: 0, want: 600, sent: 0 }),
+    );
+    let lb_dev = cluster
+        .vmm
+        .network_mut()
+        .add_device("lb", metrics::CpuLocation::Host, Box::new(lb));
+    cluster
+        .vmm
+        .network_mut()
+        .connect(lb_dev, simnet::PortId::P0, br_dev, br_port, Default::default());
+    cluster
+        .vmm
+        .network_mut()
+        .schedule_timer(SimDuration::ZERO, lb_dev, simnet::START_TOKEN);
+
+    cluster.run_for(SimDuration::millis(500));
+
+    let store = cluster.vmm.network().store();
+    let rtts = store.samples("lb.rtt_us");
+    println!(
+        "\nserved {} requests, avg {:.1} us over the per-pod NICs",
+        rtts.len(),
+        rtts.iter().sum::<f64>() / rtts.len() as f64
+    );
+    for i in 0..3 {
+        println!("  replica {i}: {} requests", store.counter(&format!("replica{i}.served")));
+    }
+}

@@ -1,0 +1,90 @@
+//! Determinism guarantees across the whole stack: a given (topology,
+//! workload, seed) triple must reproduce bit-identical results — including
+//! under rayon-parallel sweeps — and different seeds must actually differ.
+
+use cloudsim::{simulate, synthetic_trace};
+use contd::BootPipeline;
+use nestless::topology::Config;
+use nestless_bench::{Mode, Sweep};
+use simnet::SimDuration;
+use workloads::netperf::Netperf;
+use workloads::{run_memcached, MemtierParams};
+
+fn quick_np() -> Netperf {
+    Netperf {
+        msg_size: 1024,
+        duration: SimDuration::millis(100),
+        warmup: SimDuration::millis(20),
+        window: 64,
+    }
+}
+
+#[test]
+fn netperf_is_bit_identical_per_seed() {
+    for config in Config::ALL {
+        let a = quick_np().udp_rr(config, 99).latency_us.unwrap();
+        let b = quick_np().udp_rr(config, 99).latency_us.unwrap();
+        assert_eq!(a, b, "{config:?} UDP_RR not reproducible");
+        let a = quick_np().tcp_stream(config, 99).throughput_mbps.unwrap();
+        let b = quick_np().tcp_stream(config, 99).throughput_mbps.unwrap();
+        assert_eq!(a, b, "{config:?} TCP_STREAM not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = quick_np().udp_rr(Config::Nat, 1).latency_us.unwrap();
+    let b = quick_np().udp_rr(Config::Nat, 2).latency_us.unwrap();
+    assert_ne!(a.mean, b.mean, "seeds must matter");
+}
+
+#[test]
+fn parallel_sweep_equals_itself() {
+    let sweep = Sweep {
+        duration: SimDuration::millis(50),
+        warmup: SimDuration::millis(10),
+        seed: 5,
+    };
+    let a = sweep.run_all(&[Config::Nat, Config::Hostlo], Mode::Latency);
+    let b = sweep.run_all(&[Config::Nat, Config::Hostlo], Mode::Latency);
+    assert_eq!(a, b, "rayon parallelism must not leak nondeterminism");
+}
+
+#[test]
+fn macro_benchmark_reproducible() {
+    let params = MemtierParams {
+        duration: SimDuration::millis(100),
+        warmup: SimDuration::millis(20),
+        ..MemtierParams::paper()
+    };
+    let a = run_memcached(params, Config::Hostlo, 7);
+    let b = run_memcached(params, Config::Hostlo, 7);
+    assert_eq!(a.latency_us, b.latency_us);
+    assert_eq!(a.throughput_per_s, b.throughput_per_s);
+}
+
+#[test]
+fn cost_simulation_reproducible() {
+    let t = synthetic_trace(150, 11);
+    assert_eq!(simulate(&t), simulate(&t));
+    assert_eq!(t, synthetic_trace(150, 11));
+}
+
+#[test]
+fn boot_model_reproducible() {
+    assert_eq!(BootPipeline::brfusion().run(50, 3), BootPipeline::brfusion().run(50, 3));
+}
+
+#[test]
+fn cpu_accounting_reproducible() {
+    let a = quick_np().tcp_stream(Config::Nat, 13);
+    let b = quick_np().tcp_stream(Config::Nat, 13);
+    assert_eq!(
+        a.testbed.vmm.network().cpu().total(),
+        b.testbed.vmm.network().cpu().total()
+    );
+    assert_eq!(
+        a.testbed.vmm.network().events_processed(),
+        b.testbed.vmm.network().events_processed()
+    );
+}

@@ -1,0 +1,307 @@
+//! End-to-end integration: control plane + CNI plugins + engines + live
+//! traffic through every layer of the stack.
+
+use contd::{ContainerEngine, ContainerSpec, Image, NetworkMode, ResourceRequest};
+use metrics::CpuLocation;
+use nestless::{HostloCni, SpreadScheduler};
+use orchestrator::{ClusterCtx, ControlPlane, DefaultCni, MostRequestedScheduler, PodSpec, Scheduler};
+use simnet::device::PortId;
+use simnet::endpoint::{AppApi, Application, Endpoint, Incoming, START_TOKEN};
+use simnet::nat::Proto;
+use simnet::shared::SharedStation;
+use simnet::{Ip4, Ip4Net, Payload, SimDuration, SockAddr};
+use std::collections::BTreeMap;
+use vmm::{VmId, VmSpec, Vmm};
+
+struct Echo {
+    port: u16,
+}
+impl Application for Echo {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(msg.payload.len);
+        p.tag = msg.payload.tag;
+        api.send_udp(self.port, msg.src, p);
+    }
+}
+
+struct Burst {
+    dst: SockAddr,
+    port: u16,
+    want: u32,
+}
+impl Application for Burst {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(128);
+        p.tag = 1;
+        api.send_udp(self.port, self.dst, p);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count("e2e.replies", 1.0);
+        if msg.payload.tag < u64::from(self.want) {
+            let mut p = Payload::sized(128);
+            p.tag = msg.payload.tag + 1;
+            api.send_udp(self.port, self.dst, p);
+        }
+    }
+}
+
+/// Full Kubernetes-over-VMs flow with the default (NAT) CNI: register
+/// nodes, deploy a pod, attach traffic endpoints, verify conversations.
+#[test]
+fn default_cni_pod_serves_traffic_within_a_vm() {
+    let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+    let mut vmm = Vmm::new(21);
+    let br = vmm.create_bridge("br0", 16);
+    let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+    let eth0 = vmm.add_nic(vm, br, true, false);
+    let mut engines = BTreeMap::new();
+    engines.insert(
+        vm,
+        ContainerEngine::with_default_bridge(&mut vmm, vm, &eth0, subnet.host(10), subnet, 8),
+    );
+
+    let mut cp = ControlPlane::new(Box::new(MostRequestedScheduler), Box::new(DefaultCni));
+    cp.register_node(&vmm, vm);
+    let pod = PodSpec::new(
+        "web",
+        vec![
+            ContainerSpec::new("srv", "app:1")
+                .with_resources(ResourceRequest::new(500, 256))
+                .with_port(Proto::Udp, 8080, 8080),
+            ContainerSpec::new("cli", "app:1").with_resources(ResourceRequest::new(500, 256)),
+        ],
+    );
+    let id = {
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        cp.deploy_pod(&mut ctx, pod).expect("single-VM pod deploys")
+    };
+    let rec = cp.pod(id);
+    assert!(rec.placement.is_single_node());
+
+    // Wire the two containers and run an intra-VM conversation through
+    // docker0 (both are on the same bridge, different IPs).
+    let costs = vmm.costs().socket;
+    let srv_att = &rec.attachments[0];
+    let cli_att = &rec.attachments[1];
+    let srv = Endpoint::new(
+        "srv",
+        vec![srv_att.net.iface.clone().with_neigh(cli_att.net.ip, cli_att.net.mac)],
+        [8080],
+        costs,
+        SharedStation::new(),
+        Box::new(Echo { port: 8080 }),
+    );
+    let srv_dev = vmm.network_mut().add_device("srv", CpuLocation::Vm(vm.0), Box::new(srv));
+    vmm.network_mut().connect(srv_dev, PortId::P0, srv_att.net.attach.0, srv_att.net.attach.1, Default::default());
+    let cli = Endpoint::new(
+        "cli",
+        vec![cli_att.net.iface.clone().with_neigh(srv_att.net.ip, srv_att.net.mac)],
+        [8081],
+        costs,
+        SharedStation::new(),
+        Box::new(Burst { dst: SockAddr::new(srv_att.net.ip, 8080), port: 8081, want: 50 }),
+    );
+    let cli_dev = vmm.network_mut().add_device("cli", CpuLocation::Vm(vm.0), Box::new(cli));
+    vmm.network_mut().connect(cli_dev, PortId::P0, cli_att.net.attach.0, cli_att.net.attach.1, Default::default());
+
+    vmm.network_mut().schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
+    vmm.network_mut().schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
+    vmm.network_mut().run_for(SimDuration::millis(100));
+    assert_eq!(vmm.network().store().counter("e2e.replies"), 50.0);
+}
+
+/// The headline Hostlo capability: a pod too big for any single VM deploys
+/// across two and its fractions converse over the pod localhost.
+#[test]
+fn hostlo_cni_deploys_and_serves_cross_vm() {
+    let mut vmm = Vmm::new(22);
+    let vm0 = vmm.create_vm(VmSpec::paper_eval("vm0"));
+    let vm1 = vmm.create_vm(VmSpec::paper_eval("vm1"));
+    let mut engines = BTreeMap::new();
+    engines.insert(vm0, ContainerEngine::new(vm0));
+    engines.insert(vm1, ContainerEngine::new(vm1));
+
+    let mut cp = ControlPlane::new(Box::new(SpreadScheduler), Box::new(HostloCni::new()));
+    cp.register_node(&vmm, vm0);
+    cp.register_node(&vmm, vm1);
+
+    // 4+4 vCPUs: does not fit any single 5-vCPU node.
+    let pod = PodSpec::new(
+        "big",
+        vec![
+            ContainerSpec::new("a", "app:1").with_resources(ResourceRequest::new(4000, 1024)),
+            ContainerSpec::new("b", "app:1").with_resources(ResourceRequest::new(4000, 1024)),
+        ],
+    );
+    // Whole-pod scheduling refuses it...
+    assert!(MostRequestedScheduler
+        .place(&pod, cp.nodes())
+        .is_err());
+    // ...the Hostlo control plane deploys it.
+    let id = {
+        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        cp.deploy_pod(&mut ctx, pod).expect("cross-VM pod deploys")
+    };
+    let rec = cp.pod(id);
+    assert_eq!(rec.placement.nodes().len(), 2);
+    assert_eq!(engines[&vm0].containers().len(), 1);
+    assert_eq!(engines[&vm1].containers().len(), 1);
+
+    // Conversation over the hostlo localhost.
+    let costs = vmm.costs().socket;
+    let a = &rec.attachments[0];
+    let b = &rec.attachments[1];
+    let srv = Endpoint::new("b", vec![b.net.iface.clone()], [8080], costs, SharedStation::new(), Box::new(Echo { port: 8080 }));
+    let srv_dev = vmm.network_mut().add_device("b", CpuLocation::Vm(b.vm.0), Box::new(srv));
+    vmm.network_mut().connect(srv_dev, PortId::P0, b.net.attach.0, b.net.attach.1, Default::default());
+    let cli = Endpoint::new(
+        "a",
+        vec![a.net.iface.clone()],
+        [8081],
+        costs,
+        SharedStation::new(),
+        Box::new(Burst { dst: SockAddr::new(b.net.ip, 8080), port: 8081, want: 25 }),
+    );
+    let cli_dev = vmm.network_mut().add_device("a", CpuLocation::Vm(a.vm.0), Box::new(cli));
+    vmm.network_mut().connect(cli_dev, PortId::P0, a.net.attach.0, a.net.attach.1, Default::default());
+
+    vmm.network_mut().schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
+    vmm.network_mut().schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
+    vmm.network_mut().run_for(SimDuration::millis(100));
+    assert_eq!(vmm.network().store().counter("e2e.replies"), 25.0);
+
+    // The hostlo TAP did the multiplexing on the host.
+    assert!(vmm.network().store().counter("hostlo.queue_copies") > 0.0);
+}
+
+/// Engines track containers across the deployment (images pulled, states).
+#[test]
+fn engines_track_pod_containers() {
+    let mut vmm = Vmm::new(23);
+    let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+    let mut engine = ContainerEngine::new(vm);
+    engine.pull(&Image::new("app", "1", &[32, 8]));
+    let (id, net) = engine.create_container(
+        &mut vmm,
+        ContainerSpec::new("solo", "app:1"),
+        NetworkMode::External,
+    );
+    assert!(net.is_none());
+    assert_eq!(engine.container(id).spec.name, "solo");
+    engine.stop(id);
+    assert_eq!(engine.container(id).state, contd::ContainerState::Exited);
+}
+
+/// VM agent + QMP round trip as the orchestrator uses it (§3.1 steps 1-4).
+#[test]
+fn qmp_hot_plug_visible_to_agent_and_datapath() {
+    use orchestrator::VmAgent;
+    use vmm::{QmpCommand, QmpResponse};
+
+    let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
+    let mut vmm = Vmm::new(24);
+    vmm.create_bridge("br0", 4);
+    vmm.create_vm(VmSpec::paper_eval("vm0"));
+    let QmpResponse::NicAdded(nic) =
+        vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: true })
+    else {
+        panic!("hot-plug refused")
+    };
+    let conf = VmAgent::new(VmId(0))
+        .configure_pod_nic(&vmm, &nic.mac, subnet.host(50), subnet)
+        .expect("agent finds the NIC by MAC");
+    // The guest attach point is live in the same network the VMM owns.
+    assert!(vmm.network().peer(conf.attach.0, PortId::P1).is_some(), "backend wired");
+    assert_eq!(vmm.network().peer(conf.attach.0, conf.attach.1), None, "guest side free");
+}
+
+/// A Service VIP round-robins new flows across BrFusion pod NICs, with
+/// conntrack keeping established flows sticky.
+#[test]
+fn service_vip_balances_across_brfusion_pods() {
+    use nestless::{ClusterBuilder, CniKind};
+    use orchestrator::Service;
+
+    let mut cluster = ClusterBuilder::new().cni(CniKind::BrFusion).vms(2).seed(31).build();
+    let pod = PodSpec::new(
+        "web",
+        vec![
+            ContainerSpec::new("r0", "app:1").with_resources(ResourceRequest::new(500, 128)),
+            ContainerSpec::new("r1", "app:1").with_resources(ResourceRequest::new(500, 128)),
+            ContainerSpec::new("r2", "app:1").with_resources(ResourceRequest::new(500, 128)),
+        ],
+    );
+    let id = cluster.deploy(pod).expect("deploys");
+    let atts: Vec<_> = cluster.attachments(id).to_vec();
+
+    // Expose the three replicas behind the host NAT's bridge address.
+    let vip = SockAddr::new(nestless::deploy::CLUSTER_NET.host(1), 80);
+    let svc = Service::expose("web", &cluster.host_nat_ctl, vip, Proto::Udp, 8080, &atts);
+    assert_eq!(svc.backend_count(), 3);
+
+    struct Count {
+        id: usize,
+    }
+    impl Application for Count {
+        fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+        fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+            api.count(&format!("svc.r{}", self.id), 1.0);
+            let mut p = Payload::sized(32);
+            p.tag = msg.payload.tag;
+            api.send_udp(8080, msg.src, p);
+        }
+    }
+    for (i, a) in atts.iter().enumerate() {
+        cluster.attach_app(a, &format!("r{i}"), [8080], Box::new(Count { id: i }));
+    }
+
+    // One external client opening six flows (six source ports): the LB
+    // assigns them round-robin, two per backend.
+    struct SixFlows {
+        vip: SockAddr,
+    }
+    impl Application for SixFlows {
+        fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+            for p in 0..6u16 {
+                api.send_udp(9100 + p, self.vip, Payload::sized(64));
+            }
+        }
+        fn on_message(&mut self, _: Incoming, api: &mut AppApi<'_, '_>) {
+            api.count("svc.replies", 1.0);
+        }
+    }
+    let client_net = nestless::topology::CLIENT_NET;
+    let mac = simnet::MacAddr::local(0x00F3_00FF);
+    let ip = client_net.host(99);
+    cluster.host_nat_ctl.add_neigh(PortId(0), ip, mac);
+    let iface = simnet::IfaceConf::new(mac, ip, client_net)
+        .with_gateway(client_net.host(1), cluster.host_nat_ctl.iface_mac(PortId(0)));
+    let sock = cluster.vmm.costs().socket;
+    let ep = Endpoint::new(
+        "sixflows",
+        vec![iface],
+        (0..6).map(|p| 9100 + p),
+        sock,
+        SharedStation::new(),
+        Box::new(SixFlows { vip }),
+    );
+    let dev = cluster
+        .vmm
+        .network_mut()
+        .add_device("sixflows", CpuLocation::Host, Box::new(ep));
+    let host_nat = cluster.host_nat;
+    cluster
+        .vmm
+        .network_mut()
+        .connect(dev, PortId::P0, host_nat, PortId(0), Default::default());
+    cluster.vmm.network_mut().schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
+    cluster.run_for(SimDuration::millis(50));
+
+    let store = cluster.vmm.network().store();
+    assert_eq!(store.counter("nat.lb_assigned"), 6.0, "six new flows balanced");
+    for i in 0..3 {
+        assert_eq!(store.counter(&format!("svc.r{i}")), 2.0, "backend {i}");
+    }
+    assert_eq!(store.counter("svc.replies"), 6.0, "all replies reached the client");
+}
