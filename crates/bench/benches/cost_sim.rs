@@ -1,8 +1,8 @@
 //! Figure 9 machinery as Criterion benches: trace generation, baseline
 //! packing, the Hostlo improvement pass, and the full parallel simulation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cloudsim::{hostlo_improve, kube_schedule, simulate, synthetic_trace, PAPER_USER_COUNT};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig09/synthetic_trace_492", |b| {

@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
         ..Netperf::with_size(1024)
     };
     let mut g = c.benchmark_group("fig10");
-    for config in [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode] {
+    for config in [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ] {
         g.bench_function(format!("udp_rr/{config:?}"), |b| {
             b.iter(|| np.udp_rr(config, 4).latency_us.unwrap().mean)
         });

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
         warmup: SimDuration::millis(20),
         ..Wrk2Params::paper()
     };
-    g.bench_function("nginx/Nat", |b| b.iter(|| run_nginx(wk, Config::Nat, 1).latency_us.mean));
+    g.bench_function("nginx/Nat", |b| {
+        b.iter(|| run_nginx(wk, Config::Nat, 1).latency_us.mean)
+    });
     let kf = KafkaParams {
         duration: SimDuration::millis(100),
         warmup: SimDuration::millis(20),

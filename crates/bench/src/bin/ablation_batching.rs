@@ -14,7 +14,10 @@ fn main() {
         "Notification suppression on the primary NIC (NoCont path)",
     );
     for (label, on) in [("suppression on", true), ("suppression off", false)] {
-        let opts = BuildOpts { suppression_primary: on, ..BuildOpts::default() };
+        let opts = BuildOpts {
+            suppression_primary: on,
+            ..BuildOpts::default()
+        };
         let tput = helpers::tput(&opts, 1280);
         let lat = helpers::lat(&opts, 1280);
         fig.push_row(format!("{label}: throughput"), tput, "Mbit/s");
@@ -32,9 +35,17 @@ mod helpers {
         impl Application for Srv {
             fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
             fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-                let Some((seq, TcpKind::Data)) = msg.tcp else { return };
+                let Some((seq, TcpKind::Data)) = msg.tcp else {
+                    return;
+                };
                 api.count("rx_bytes", msg.payload.len as f64);
-                api.send_tcp(nestless::SERVER_PORT, msg.src, seq, TcpKind::Ack, Payload::sized(0));
+                api.send_tcp(
+                    nestless::SERVER_PORT,
+                    msg.src,
+                    seq,
+                    TcpKind::Ack,
+                    Payload::sized(0),
+                );
             }
         }
         struct Cli {
@@ -66,8 +77,22 @@ mod helpers {
         }
         let mut tb = build_with(Config::NoCont, 9, opts);
         let target = tb.target;
-        let s = tb.install("srv", &tb.server.clone(), [nestless::SERVER_PORT], Box::new(Srv));
-        let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Cli { target, size, seq: 0 }));
+        let s = tb.install(
+            "srv",
+            &tb.server.clone(),
+            [nestless::SERVER_PORT],
+            Box::new(Srv),
+        );
+        let c = tb.install(
+            "cli",
+            &tb.client.clone(),
+            [nestless::CLIENT_PORT],
+            Box::new(Cli {
+                target,
+                size,
+                seq: 0,
+            }),
+        );
         tb.start(&[s, c]);
         let dur = SimDuration::millis(400);
         tb.vmm.network_mut().run_for(dur);
@@ -93,7 +118,10 @@ mod helpers {
                 self.fire(api);
             }
             fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-                api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+                api.record(
+                    "rtt_us",
+                    api.now().since(msg.payload.sent_at).as_micros_f64(),
+                );
                 self.fire(api);
             }
         }
@@ -105,7 +133,12 @@ mod helpers {
             [nestless::SERVER_PORT],
             Box::new(workloads::UdpEchoServer),
         );
-        let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Rr { target, size, n: 0 }));
+        let c = tb.install(
+            "cli",
+            &tb.client.clone(),
+            [nestless::CLIENT_PORT],
+            Box::new(Rr { target, size, n: 0 }),
+        );
         tb.start(&[s, c]);
         tb.vmm.network_mut().run_for(SimDuration::millis(300));
         let xs = tb.vmm.network().store().samples("rtt_us");

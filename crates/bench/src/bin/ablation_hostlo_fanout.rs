@@ -28,13 +28,19 @@ impl Application for Rr {
         self.fire(api);
     }
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        api.record(
+            "rtt_us",
+            api.now().since(msg.payload.sent_at).as_micros_f64(),
+        );
         self.fire(api);
     }
 }
 
 fn run(mode: FanoutMode) -> (f64, f64) {
-    let opts = BuildOpts { hostlo_fanout: mode, ..BuildOpts::default() };
+    let opts = BuildOpts {
+        hostlo_fanout: mode,
+        ..BuildOpts::default()
+    };
     let mut tb = build_with(Config::Hostlo, 4, &opts);
     let target = tb.target;
     let s = tb.install(
@@ -43,7 +49,12 @@ fn run(mode: FanoutMode) -> (f64, f64) {
         [nestless::SERVER_PORT],
         Box::new(workloads::UdpEchoServer),
     );
-    let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Rr { target, n: 0 }));
+    let c = tb.install(
+        "cli",
+        &tb.client.clone(),
+        [nestless::CLIENT_PORT],
+        Box::new(Rr { target, n: 0 }),
+    );
     tb.start(&[s, c]);
     tb.vmm.network_mut().run_for(SimDuration::millis(300));
     let xs = tb.vmm.network().store().samples("rtt_us");
@@ -53,14 +64,21 @@ fn run(mode: FanoutMode) -> (f64, f64) {
 }
 
 fn main() {
-    let mut fig = Figure::new("ablation_hostlo_fanout", "Hostlo TAP fan-out: broadcast vs unicast");
+    let mut fig = Figure::new(
+        "ablation_hostlo_fanout",
+        "Hostlo TAP fan-out: broadcast vs unicast",
+    );
     for (label, mode) in [
         ("broadcast (paper)", FanoutMode::AllQueues),
         ("exclude ingress", FanoutMode::ExcludeIngress),
     ] {
         let (lat, copies_per_txn) = run(mode);
         fig.push_row(format!("{label}: RR latency"), lat, "us");
-        fig.push_row(format!("{label}: TAP copies per transaction"), copies_per_txn, "copies");
+        fig.push_row(
+            format!("{label}: TAP copies per transaction"),
+            copies_per_txn,
+            "copies",
+        );
     }
     fig.finish();
 }

@@ -30,7 +30,11 @@ fn run(ring: usize, burst: u64) -> (f64, f64) {
             .with_ring_size(ring),
         ),
     );
-    let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+    let sink = net.add_device(
+        "sink",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("sink")),
+    );
     net.connect(vhost, PortId::P1, sink, PortId::P0, LinkParams::default());
     for _ in 0..burst {
         net.inject_frame(
@@ -41,7 +45,10 @@ fn run(ring: usize, burst: u64) -> (f64, f64) {
         );
     }
     net.run_to_idle();
-    (net.store().counter("sink.received"), net.store().counter("vhost.ring_full"))
+    (
+        net.store().counter("sink.received"),
+        net.store().counter("vhost.ring_full"),
+    )
 }
 
 fn main() {
@@ -49,7 +56,11 @@ fn main() {
     let burst = 512;
     for ring in [16usize, 64, 128, 256, 512, 1024] {
         let (delivered, dropped) = run(ring, burst);
-        fig.push_row(format!("ring {ring}: delivered of {burst}"), delivered, "frames");
+        fig.push_row(
+            format!("ring {ring}: delivered of {burst}"),
+            delivered,
+            "frames",
+        );
         fig.push_row(format!("ring {ring}: ring-full drops"), dropped, "frames");
     }
     fig.finish();

@@ -2,13 +2,18 @@
 //! (Kubernetes default, §5.3.1) vs least-requested vs first-fit, and what
 //! each leaves on the table for Hostlo to recover.
 
-use cloudsim::{hostlo_improve, kube_schedule_with, synthetic_trace, GroupingPolicy, PAPER_USER_COUNT};
+use cloudsim::{
+    hostlo_improve, kube_schedule_with, synthetic_trace, GroupingPolicy, PAPER_USER_COUNT,
+};
 use nestless_bench::Figure;
 use rayon::prelude::*;
 
 fn main() {
     let trace = synthetic_trace(PAPER_USER_COUNT, 2019);
-    let mut fig = Figure::new("ablation_sched_policy", "Baseline grouping policy vs Hostlo recovery");
+    let mut fig = Figure::new(
+        "ablation_sched_policy",
+        "Baseline grouping policy vs Hostlo recovery",
+    );
     for (label, policy) in [
         ("most-requested", GroupingPolicy::MostRequested),
         ("least-requested", GroupingPolicy::LeastRequested),
@@ -28,7 +33,11 @@ fn main() {
         let savers = results.iter().filter(|(b, h)| b - h > 1e-9).count();
         fig.push_row(format!("{label}: fleet baseline cost"), base, "$/h");
         fig.push_row(format!("{label}: fleet cost with Hostlo"), hostlo, "$/h");
-        fig.push_row(format!("{label}: fleet saving"), (1.0 - hostlo / base) * 100.0, "%");
+        fig.push_row(
+            format!("{label}: fleet saving"),
+            (1.0 - hostlo / base) * 100.0,
+            "%",
+        );
         fig.push_row(format!("{label}: users saving"), savers as f64, "users");
     }
     fig.finish();

@@ -22,10 +22,21 @@ fn run_with(opts: &BuildOpts, seed: u64) -> f64 {
         [nestless::SERVER_PORT],
         Box::new(workloads::UdpEchoServer),
     );
-    let client_app = OneLoop { target, size: np.msg_size, next: 0 };
-    let client = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(client_app));
+    let client_app = OneLoop {
+        target,
+        size: np.msg_size,
+        next: 0,
+    };
+    let client = tb.install(
+        "cli",
+        &tb.client.clone(),
+        [nestless::CLIENT_PORT],
+        Box::new(client_app),
+    );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(simnet::SimDuration::millis(300));
+    tb.vmm
+        .network_mut()
+        .run_for(simnet::SimDuration::millis(300));
     let samples = tb.vmm.network().store().samples("rtt_us");
     samples.iter().sum::<f64>() / samples.len() as f64
 }
@@ -42,7 +53,10 @@ impl simnet::Application for OneLoop {
         self.fire(api);
     }
     fn on_message(&mut self, msg: simnet::Incoming, api: &mut simnet::AppApi<'_, '_>) {
-        api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        api.record(
+            "rtt_us",
+            api.now().since(msg.payload.sent_at).as_micros_f64(),
+        );
         let _ = msg;
         self.fire(api);
     }
@@ -58,16 +72,28 @@ impl OneLoop {
 }
 
 fn main() {
-    let mut fig = Figure::new("ablation_stage_count", "Per-stage contribution to the NAT path");
+    let mut fig = Figure::new(
+        "ablation_stage_count",
+        "Per-stage contribution to the NAT path",
+    );
     let base = run_with(&BuildOpts::default(), 1);
     fig.push_row("NAT latency (all stages)", base, "us");
 
     let zero = StageCost::fixed(1, 0.0, metrics::CpuCategory::Soft);
     #[allow(clippy::type_complexity)]
     let variants: [(&str, Box<dyn Fn(&mut simnet::CostModel)>); 3] = [
-        ("guest NAT zeroed", Box::new(|c: &mut simnet::CostModel| c.guest_nat = zero)),
-        ("guest bridge zeroed", Box::new(|c: &mut simnet::CostModel| c.guest_bridge = zero)),
-        ("veth zeroed", Box::new(|c: &mut simnet::CostModel| c.veth = zero)),
+        (
+            "guest NAT zeroed",
+            Box::new(|c: &mut simnet::CostModel| c.guest_nat = zero),
+        ),
+        (
+            "guest bridge zeroed",
+            Box::new(|c: &mut simnet::CostModel| c.guest_bridge = zero),
+        ),
+        (
+            "veth zeroed",
+            Box::new(|c: &mut simnet::CostModel| c.veth = zero),
+        ),
     ];
     for (label, f) in variants {
         let mut opts = BuildOpts::default();

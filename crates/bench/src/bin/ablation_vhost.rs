@@ -10,8 +10,14 @@ use simnet::SimDuration;
 use workloads::netperf::Netperf;
 
 fn main() {
-    let mut fig = Figure::new("ablation_vhost", "vhost backend vs QEMU userspace emulation");
-    let np = Netperf { duration: SimDuration::millis(400), ..Netperf::with_size(1280) };
+    let mut fig = Figure::new(
+        "ablation_vhost",
+        "vhost backend vs QEMU userspace emulation",
+    );
+    let np = Netperf {
+        duration: SimDuration::millis(400),
+        ..Netperf::with_size(1280)
+    };
 
     let vhost = np.tcp_stream(Config::NoCont, 5).throughput_mbps.unwrap();
     let vhost_lat = np.udp_rr(Config::NoCont, 5).latency_us.unwrap();
@@ -35,14 +41,22 @@ fn main() {
 }
 
 fn run_tput(opts: &BuildOpts, size: u32) -> f64 {
-    use simnet::{Application, AppApi, Incoming, Payload, TcpKind};
+    use simnet::{AppApi, Application, Incoming, Payload, TcpKind};
     struct Srv;
     impl Application for Srv {
         fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
         fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-            let Some((seq, TcpKind::Data)) = msg.tcp else { return };
+            let Some((seq, TcpKind::Data)) = msg.tcp else {
+                return;
+            };
             api.count("rx_bytes", msg.payload.len as f64);
-            api.send_tcp(nestless::SERVER_PORT, msg.src, seq, TcpKind::Ack, Payload::sized(0));
+            api.send_tcp(
+                nestless::SERVER_PORT,
+                msg.src,
+                seq,
+                TcpKind::Ack,
+                Payload::sized(0),
+            );
         }
     }
     struct Cli {
@@ -53,7 +67,13 @@ fn run_tput(opts: &BuildOpts, size: u32) -> f64 {
     impl Cli {
         fn send(&mut self, api: &mut AppApi<'_, '_>) {
             self.seq += 1;
-            api.send_tcp(nestless::CLIENT_PORT, self.target, self.seq, TcpKind::Data, Payload::sized(self.size));
+            api.send_tcp(
+                nestless::CLIENT_PORT,
+                self.target,
+                self.seq,
+                TcpKind::Data,
+                Payload::sized(self.size),
+            );
         }
     }
     impl Application for Cli {
@@ -68,8 +88,22 @@ fn run_tput(opts: &BuildOpts, size: u32) -> f64 {
     }
     let mut tb = nestless::topology::build_with(Config::NoCont, 5, opts);
     let target = tb.target;
-    let s = tb.install("srv", &tb.server.clone(), [nestless::SERVER_PORT], Box::new(Srv));
-    let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Cli { target, size, seq: 0 }));
+    let s = tb.install(
+        "srv",
+        &tb.server.clone(),
+        [nestless::SERVER_PORT],
+        Box::new(Srv),
+    );
+    let c = tb.install(
+        "cli",
+        &tb.client.clone(),
+        [nestless::CLIENT_PORT],
+        Box::new(Cli {
+            target,
+            size,
+            seq: 0,
+        }),
+    );
     tb.start(&[s, c]);
     let dur = simnet::SimDuration::millis(400);
     tb.vmm.network_mut().run_for(dur);
@@ -96,16 +130,31 @@ fn run_lat(opts: &BuildOpts, size: u32) -> f64 {
             self.fire(api);
         }
         fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-            api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+            api.record(
+                "rtt_us",
+                api.now().since(msg.payload.sent_at).as_micros_f64(),
+            );
             self.fire(api);
         }
     }
     let mut tb = nestless::topology::build_with(Config::NoCont, 5, opts);
     let target = tb.target;
-    let s = tb.install("srv", &tb.server.clone(), [nestless::SERVER_PORT], Box::new(workloads::UdpEchoServer));
-    let c = tb.install("cli", &tb.client.clone(), [nestless::CLIENT_PORT], Box::new(Rr { target, size, n: 0 }));
+    let s = tb.install(
+        "srv",
+        &tb.server.clone(),
+        [nestless::SERVER_PORT],
+        Box::new(workloads::UdpEchoServer),
+    );
+    let c = tb.install(
+        "cli",
+        &tb.client.clone(),
+        [nestless::CLIENT_PORT],
+        Box::new(Rr { target, size, n: 0 }),
+    );
     tb.start(&[s, c]);
-    tb.vmm.network_mut().run_for(simnet::SimDuration::millis(300));
+    tb.vmm
+        .network_mut()
+        .run_for(simnet::SimDuration::millis(300));
     let xs = tb.vmm.network().store().samples("rtt_us");
     xs.iter().sum::<f64>() / xs.len() as f64
 }

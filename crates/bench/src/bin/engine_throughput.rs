@@ -1,0 +1,97 @@
+//! Standalone event-throughput harness for the simnet DES engine.
+//!
+//! Runs the same bridge-forwarding scenario as `benches/engine.rs` but as a
+//! plain binary so before/after numbers can be recorded without the
+//! criterion feature:
+//!
+//! ```text
+//! cargo run --release -p nestless-bench --bin engine_throughput [reps] [frames]
+//! ```
+//!
+//! Prints one JSON object with the per-rep best (peak) and median
+//! events/sec; `results/engine_baseline.json` records these for the engine
+//! fast-path change.
+
+use metrics::{CpuCategory, CpuLocation};
+use simnet::bridge::Bridge;
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network};
+use simnet::shared::SharedStation;
+use simnet::testutil::{frame_between, CaptureSink};
+use simnet::{MacAddr, SimDuration};
+use std::time::Instant;
+
+fn build_net(frames: u64) -> Network {
+    let mut net = Network::new(1);
+    let br = net.add_device(
+        "br",
+        CpuLocation::Host,
+        Box::new(Bridge::new(
+            2,
+            StageCost::fixed(1_000, 0.3, CpuCategory::Sys),
+            SharedStation::new(),
+        )),
+    );
+    let sink = net.add_device("s", CpuLocation::Host, Box::new(CaptureSink::new("s")));
+    net.connect(br, PortId(1), sink, PortId::P0, LinkParams::default());
+    // Teach the bridge where the destination lives, then flood it.
+    net.inject_frame(
+        SimDuration::ZERO,
+        br,
+        PortId(1),
+        frame_between(MacAddr::local(2), MacAddr::local(1), 1),
+    );
+    for i in 0..frames {
+        net.inject_frame(
+            SimDuration::nanos(i),
+            br,
+            PortId(0),
+            frame_between(MacAddr::local(1), MacAddr::local(2), 512),
+        );
+    }
+    net
+}
+
+fn arg_or(arg: Option<String>, name: &str, default: u64) -> u64 {
+    match arg {
+        None => default,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: {name} must be a positive integer, got {s:?}");
+                eprintln!("usage: engine_throughput [reps] [frames]");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps = usize::try_from(arg_or(args.next(), "reps", 30)).unwrap();
+    let frames = arg_or(args.next(), "frames", 10_000);
+
+    // Warm-up rep (page in code, size allocator pools).
+    build_net(frames).run_to_idle();
+
+    let mut rates = Vec::with_capacity(reps);
+    let mut total_events = 0u64;
+    for _ in 0..reps {
+        let mut net = build_net(frames);
+        let start = Instant::now();
+        net.run_to_idle();
+        let elapsed = start.elapsed();
+        total_events += net.events_processed();
+        rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = rates[rates.len() / 2];
+    let peak = *rates.last().unwrap();
+
+    println!(
+        "{{\"scenario\":\"bridge_forwarding\",\"reps\":{reps},\"frames_per_rep\":{frames},\
+         \"events_total\":{total_events},\
+         \"events_per_sec_median\":{median:.0},\"events_per_sec_peak\":{peak:.0}}}"
+    );
+}

@@ -21,11 +21,31 @@ fn main() {
         let fine = run_online(&trace, OnlineMode::PerContainer);
         whole_total += whole.total_cost;
         fine_total += fine.total_cost;
-        fig.push_row(format!("seed {seed}: whole-pod bill"), whole.total_cost, "$");
-        fig.push_row(format!("seed {seed}: per-container bill"), fine.total_cost, "$");
-        fig.push_row(format!("seed {seed}: whole-pod peak VMs"), whole.peak_vms as f64, "VMs");
-        fig.push_row(format!("seed {seed}: per-container peak VMs"), fine.peak_vms as f64, "VMs");
+        fig.push_row(
+            format!("seed {seed}: whole-pod bill"),
+            whole.total_cost,
+            "$",
+        );
+        fig.push_row(
+            format!("seed {seed}: per-container bill"),
+            fine.total_cost,
+            "$",
+        );
+        fig.push_row(
+            format!("seed {seed}: whole-pod peak VMs"),
+            whole.peak_vms as f64,
+            "VMs",
+        );
+        fig.push_row(
+            format!("seed {seed}: per-container peak VMs"),
+            fine.peak_vms as f64,
+            "VMs",
+        );
     }
-    fig.push_row("aggregate saving under churn", (1.0 - fine_total / whole_total) * 100.0, "%");
+    fig.push_row(
+        "aggregate saving under churn",
+        (1.0 - fine_total / whole_total) * 100.0,
+        "%",
+    );
     fig.finish();
 }

@@ -43,7 +43,13 @@ struct Cli {
 impl Cli {
     fn stream_one(&mut self, api: &mut AppApi<'_, '_>) {
         self.seq += 1;
-        api.send_tcp(1000, self.dst, self.seq, TcpKind::Data, Payload::sized(1400));
+        api.send_tcp(
+            1000,
+            self.dst,
+            self.seq,
+            TcpKind::Data,
+            Payload::sized(1400),
+        );
     }
 }
 impl Application for Cli {
@@ -58,7 +64,10 @@ impl Application for Cli {
         match msg.tcp {
             Some((_, TcpKind::Ack)) => self.stream_one(api),
             _ => {
-                api.record("probe_rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+                api.record(
+                    "probe_rtt_us",
+                    api.now().since(msg.payload.sent_at).as_micros_f64(),
+                );
             }
         }
     }
@@ -83,7 +92,11 @@ fn run(rate_mbps: u64) -> (f64, f64) {
         [1000],
         sock,
         SharedStation::new(),
-        Box::new(Cli { dst: SockAddr::new(subnet.host(2), 2000), seq: 0, probes: 0 }),
+        Box::new(Cli {
+            dst: SockAddr::new(subnet.host(2), 2000),
+            seq: 0,
+            probes: 0,
+        }),
     );
     let srv = Endpoint::new(
         "srv",
@@ -118,10 +131,17 @@ fn run(rate_mbps: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let mut fig = Figure::new("ext_shaped_pod", "Egress cap sweep on a pod link (extension)");
+    let mut fig = Figure::new(
+        "ext_shaped_pod",
+        "Egress cap sweep on a pod link (extension)",
+    );
     for rate in [50u64, 100, 250, 500, 1000, 4000] {
         let (tput, lat) = run(rate);
-        fig.push_row(format!("cap {rate} Mbit/s: stream throughput"), tput, "Mbit/s");
+        fig.push_row(
+            format!("cap {rate} Mbit/s: stream throughput"),
+            tput,
+            "Mbit/s",
+        );
         fig.push_row(format!("cap {rate} Mbit/s: probe latency"), lat, "us");
     }
     fig.finish();

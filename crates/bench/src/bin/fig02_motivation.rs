@@ -33,7 +33,12 @@ fn main() {
         s.name = format!("{} lat", s.name);
         fig.push_series(s);
     }
-    fig.push_claim(Claim::new("throughput degradation @1280B", 68.0, degradation, "%"));
+    fig.push_claim(Claim::new(
+        "throughput degradation @1280B",
+        68.0,
+        degradation,
+        "%",
+    ));
     fig.push_claim(Claim::new("latency increase @1280B", 31.0, increase, "%"));
     fig.finish();
 }

@@ -20,7 +20,12 @@ fn main() {
     let t = |i: usize| tput[i].at(at).expect("1280B").mean;
     let l = |i: usize| lat[i].at(at).expect("1280B").mean;
     // indexes: 0 = NAT, 1 = NoCont, 2 = BrFusion
-    fig.push_claim(Claim::new("BrFusion/NAT throughput @1280B", 2.1, t(2) / t(0), "x"));
+    fig.push_claim(Claim::new(
+        "BrFusion/NAT throughput @1280B",
+        2.1,
+        t(2) / t(0),
+        "x",
+    ));
     fig.push_claim(Claim::new(
         "BrFusion latency reduction vs NAT @1280B",
         18.4,
@@ -33,8 +38,16 @@ fn main() {
         (t(1) - t(2)).abs() / t(1) * 100.0,
         "%",
     ));
-    fig.push_row("NAT tput max step change (stagnation)", tput[0].max_step_change(), "frac");
-    fig.push_row("BrFusion tput monotone", f64::from(tput[2].is_monotone_nondecreasing()), "bool");
+    fig.push_row(
+        "NAT tput max step change (stagnation)",
+        tput[0].max_step_change(),
+        "frac",
+    );
+    fig.push_row(
+        "BrFusion tput monotone",
+        f64::from(tput[2].is_monotone_nondecreasing()),
+        "bool",
+    );
 
     for s in tput {
         let mut s = s;

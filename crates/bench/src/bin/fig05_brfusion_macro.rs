@@ -18,23 +18,42 @@ fn main() {
     let mt = MemtierParams::paper();
     let wk = Wrk2Params::paper();
     let kf = KafkaParams::paper();
-    println!("Table 1: Memcached memtier {} thr x {} conn SET:GET {}:{}", mt.threads, mt.conns_per_thread, mt.set_weight, mt.get_weight);
-    println!("Table 1: NGINX wrk2 {} thr, {} conn, {} req/s on {} B file", wk.threads, wk.connections, wk.rate_per_s, wk.file_size);
-    println!("Table 1: Kafka {} msg/s, {} B messages, batch {} B", kf.msgs_per_s, kf.msg_size, kf.batch_size);
+    println!(
+        "Table 1: Memcached memtier {} thr x {} conn SET:GET {}:{}",
+        mt.threads, mt.conns_per_thread, mt.set_weight, mt.get_weight
+    );
+    println!(
+        "Table 1: NGINX wrk2 {} thr, {} conn, {} req/s on {} B file",
+        wk.threads, wk.connections, wk.rate_per_s, wk.file_size
+    );
+    println!(
+        "Table 1: Kafka {} msg/s, {} B messages, batch {} B",
+        kf.msgs_per_s, kf.msg_size, kf.batch_size
+    );
 
     let mut lat = |label: &str, f: &dyn Fn(Config, u64) -> workloads::MacroResult| {
         let mut out = Vec::new();
         for (i, &c) in configs.iter().enumerate() {
             let r = f(c, 100 + i as u64);
             fig.push_row(format!("{label} {:?} latency", c), r.latency_us.mean, "us");
-            fig.push_row(format!("{label} {:?} throughput", c), r.throughput_per_s, "/s");
-            fig.push_row(format!("{label} {:?} latency stddev", c), r.latency_us.stddev, "us");
+            fig.push_row(
+                format!("{label} {:?} throughput", c),
+                r.throughput_per_s,
+                "/s",
+            );
+            fig.push_row(
+                format!("{label} {:?} latency stddev", c),
+                r.latency_us.stddev,
+                "us",
+            );
             out.push(r.latency_us.mean);
         }
         out // [nat, brfusion, nocont]
     };
 
-    let m = lat("memcached", &|c, s| run_memcached(MemtierParams::paper(), c, s));
+    let m = lat("memcached", &|c, s| {
+        run_memcached(MemtierParams::paper(), c, s)
+    });
     let n = lat("nginx", &|c, s| run_nginx(Wrk2Params::paper(), c, s));
     let k = lat("kafka", &|c, s| run_kafka(KafkaParams::paper(), c, s));
     let _ = m;

@@ -12,7 +12,10 @@ use workloads::{run_kafka, KafkaParams};
 fn main() {
     let mut fig = Figure::new("fig06", "CPU usage breakdown, Kafka (usr/sys/soft/guest)");
     let mut soft = Vec::new();
-    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont].into_iter().enumerate() {
+    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont]
+        .into_iter()
+        .enumerate()
+    {
         let r = run_kafka(KafkaParams::paper(), c, 60 + i as u64);
         let vm = r.cpu_server_vm.expect("server in VM");
         fig.push_row(format!("{c:?} VM usr"), vm.usr, "cores");

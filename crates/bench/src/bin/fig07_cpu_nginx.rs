@@ -10,7 +10,10 @@ use workloads::{run_nginx, Wrk2Params};
 fn main() {
     let mut fig = Figure::new("fig07", "CPU usage breakdown, NGINX (usr/sys/soft/guest)");
     let mut soft = Vec::new();
-    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont].into_iter().enumerate() {
+    for (i, c) in [Config::Nat, Config::BrFusion, Config::NoCont]
+        .into_iter()
+        .enumerate()
+    {
         let r = run_nginx(Wrk2Params::paper(), c, 70 + i as u64);
         let vm = r.cpu_server_vm.expect("server in VM");
         fig.push_row(format!("{c:?} VM usr"), vm.usr, "cores");

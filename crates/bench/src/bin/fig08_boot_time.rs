@@ -13,8 +13,16 @@ fn main() {
 
     // CDF rows at the paper's quartile landmarks.
     for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
-        fig.push_row(format!("NAT p{:.0}", q * 100.0), nat.quantile(q).unwrap(), "ms");
-        fig.push_row(format!("BrFusion p{:.0}", q * 100.0), brf.quantile(q).unwrap(), "ms");
+        fig.push_row(
+            format!("NAT p{:.0}", q * 100.0),
+            nat.quantile(q).unwrap(),
+            "ms",
+        );
+        fig.push_row(
+            format!("BrFusion p{:.0}", q * 100.0),
+            brf.quantile(q).unwrap(),
+            "ms",
+        );
     }
     fig.push_row("NAT median", nat.median().unwrap(), "ms");
     fig.push_row("BrFusion median", brf.median().unwrap(), "ms");

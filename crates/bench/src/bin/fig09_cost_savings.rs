@@ -11,7 +11,10 @@ use nestless_bench::{Claim, Figure};
 fn main() {
     // Table 2 echo.
     println!("Table 2: AWS EC2 m5 on-demand models");
-    println!("{:<14} {:>5} {:>8} {:>10} {:>10} {:>9}", "model", "vCPU", "mem GiB", "vCPU rel", "mem rel", "$/h");
+    println!(
+        "{:<14} {:>5} {:>8} {:>10} {:>10} {:>9}",
+        "model", "vCPU", "mem GiB", "vCPU rel", "mem rel", "$/h"
+    );
     for m in &M5_CATALOG {
         println!(
             "{:<14} {:>5} {:>8} {:>10.4} {:>10.4} {:>9.3}",
@@ -27,7 +30,10 @@ fn main() {
 
     let trace = synthetic_trace(PAPER_USER_COUNT, 2019);
     let report = simulate(&trace);
-    let mut fig = Figure::new("fig09", "Hostlo cost savings distribution (synthetic Google-like trace)");
+    let mut fig = Figure::new(
+        "fig09",
+        "Hostlo cost savings distribution (synthetic Google-like trace)",
+    );
 
     let hist = report.histogram(10);
     for (lo, hi, count) in hist.iter_bins() {
@@ -35,17 +41,53 @@ fn main() {
     }
 
     let (max_abs, rel_of_max) = report.max_abs_saving();
-    fig.push_claim(Claim::new("fraction of users saving", 11.4, report.frac_users_saving() * 100.0, "%"));
-    fig.push_claim(Claim::new("savers above 5%", 66.7, report.frac_savers_above(0.05) * 100.0, "%"));
-    fig.push_claim(Claim::new("max relative saving", 40.0, report.max_rel_saving() * 100.0, "%"));
+    fig.push_claim(Claim::new(
+        "fraction of users saving",
+        11.4,
+        report.frac_users_saving() * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "savers above 5%",
+        66.7,
+        report.frac_savers_above(0.05) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "max relative saving",
+        40.0,
+        report.max_rel_saving() * 100.0,
+        "%",
+    ));
     fig.push_claim(Claim::new("max absolute saving", 237.0, max_abs, "$/h"));
-    fig.push_claim(Claim::new("relative saving of max-abs user", 35.0, rel_of_max * 100.0, "%"));
+    fig.push_claim(Claim::new(
+        "relative saving of max-abs user",
+        35.0,
+        rel_of_max * 100.0,
+        "%",
+    ));
 
     // Dispersion across ten trace seeds (beyond the paper's single trace).
     let bands = cloudsim::simulate_bands(PAPER_USER_COUNT, &(0..10).collect::<Vec<u64>>());
-    fig.push_row("frac saving, 10-seed mean", bands.frac_saving.0 * 100.0, "%");
-    fig.push_row("frac saving, 10-seed stddev", bands.frac_saving.1 * 100.0, "%");
-    fig.push_row("max rel saving, 10-seed mean", bands.max_rel_saving.0 * 100.0, "%");
-    fig.push_row("max rel saving, 10-seed stddev", bands.max_rel_saving.1 * 100.0, "%");
+    fig.push_row(
+        "frac saving, 10-seed mean",
+        bands.frac_saving.0 * 100.0,
+        "%",
+    );
+    fig.push_row(
+        "frac saving, 10-seed stddev",
+        bands.frac_saving.1 * 100.0,
+        "%",
+    );
+    fig.push_row(
+        "max rel saving, 10-seed mean",
+        bands.max_rel_saving.0 * 100.0,
+        "%",
+    );
+    fig.push_row(
+        "max rel saving, 10-seed stddev",
+        bands.max_rel_saving.1 * 100.0,
+        "%",
+    );
     fig.finish();
 }

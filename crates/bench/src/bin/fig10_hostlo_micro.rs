@@ -11,8 +11,16 @@ use nestless_bench::{Claim, Figure, Mode, Sweep};
 
 fn main() {
     let sweep = Sweep::default();
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
-    let mut fig = Figure::new("fig10", "Hostlo vs NAT vs Overlay vs SameNode (cross-VM Netperf)");
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
+    let mut fig = Figure::new(
+        "fig10",
+        "Hostlo vs NAT vs Overlay vs SameNode (cross-VM Netperf)",
+    );
 
     let tput = sweep.run_all(&configs, Mode::Throughput);
     let lat = sweep.run_all(&configs, Mode::Latency);
@@ -21,12 +29,42 @@ fn main() {
     let t = |i: usize| tput[i].at(at).expect("1024B").mean;
     let l = |i: usize| lat[i].at(at).expect("1024B").mean;
     // indexes: 0 = Hostlo, 1 = NAT, 2 = Overlay, 3 = SameNode
-    fig.push_claim(Claim::new("Hostlo tput above NAT @1024B", 17.9, (t(0) / t(1) - 1.0) * 100.0, "%"));
-    fig.push_claim(Claim::new("Hostlo tput below Overlay @1024B", 27.0, (1.0 - t(0) / t(2)) * 100.0, "%"));
-    fig.push_claim(Claim::new("SameNode/Hostlo tput @1024B", 5.3, t(3) / t(0), "x"));
-    fig.push_claim(Claim::new("Hostlo latency below NAT @1024B", 87.3, (1.0 - l(0) / l(1)) * 100.0, "%"));
-    fig.push_claim(Claim::new("Hostlo latency below Overlay @1024B", 89.8, (1.0 - l(0) / l(2)) * 100.0, "%"));
-    fig.push_claim(Claim::new("Hostlo/SameNode latency @1024B", 2.0, l(0) / l(3), "x"));
+    fig.push_claim(Claim::new(
+        "Hostlo tput above NAT @1024B",
+        17.9,
+        (t(0) / t(1) - 1.0) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo tput below Overlay @1024B",
+        27.0,
+        (1.0 - t(0) / t(2)) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "SameNode/Hostlo tput @1024B",
+        5.3,
+        t(3) / t(0),
+        "x",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo latency below NAT @1024B",
+        87.3,
+        (1.0 - l(0) / l(1)) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo latency below Overlay @1024B",
+        89.8,
+        (1.0 - l(0) / l(2)) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo/SameNode latency @1024B",
+        2.0,
+        l(0) / l(3),
+        "x",
+    ));
 
     // Worst case across the sweep (paper: 6.1x lower tput, 2.1x latency).
     let worst_tput = tput[3]
@@ -41,9 +79,23 @@ fn main() {
         .zip(&lat[3].points)
         .map(|(h, s)| h.y.mean / s.y.mean)
         .fold(0.0f64, f64::max);
-    fig.push_claim(Claim::new("worst-case SameNode/Hostlo tput", 6.1, worst_tput, "x"));
-    fig.push_claim(Claim::new("worst-case Hostlo/SameNode latency", 2.1, worst_lat, "x"));
-    fig.push_row("Hostlo latency max step change (stability)", lat[0].max_step_change(), "frac");
+    fig.push_claim(Claim::new(
+        "worst-case SameNode/Hostlo tput",
+        6.1,
+        worst_tput,
+        "x",
+    ));
+    fig.push_claim(Claim::new(
+        "worst-case Hostlo/SameNode latency",
+        2.1,
+        worst_lat,
+        "x",
+    ));
+    fig.push_row(
+        "Hostlo latency max step change (stability)",
+        lat[0].max_step_change(),
+        "frac",
+    );
 
     for s in tput {
         let mut s = s;

@@ -9,7 +9,12 @@ use nestless_bench::{Claim, Figure};
 use workloads::{run_memcached, MemtierParams};
 
 fn main() {
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
     let mut fig = Figure::new("fig11", "Memcached under Hostlo / NAT / Overlay / SameNode");
     let mut lat = Vec::new();
     let mut tput = Vec::new();
@@ -22,8 +27,23 @@ fn main() {
         tput.push(r.throughput_per_s);
     }
     // indexes: 0 = Hostlo, 3 = SameNode.
-    fig.push_claim(Claim::new("Hostlo/SameNode throughput", 1.0, tput[0] / tput[3], "x"));
-    fig.push_claim(Claim::new("Hostlo beats NAT (latency ratio NAT/Hostlo)", 2.0, lat[1] / lat[0], "x"));
-    fig.push_claim(Claim::new("Hostlo beats Overlay (latency ratio Overlay/Hostlo)", 2.0, lat[2] / lat[0], "x"));
+    fig.push_claim(Claim::new(
+        "Hostlo/SameNode throughput",
+        1.0,
+        tput[0] / tput[3],
+        "x",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo beats NAT (latency ratio NAT/Hostlo)",
+        2.0,
+        lat[1] / lat[0],
+        "x",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo beats Overlay (latency ratio Overlay/Hostlo)",
+        2.0,
+        lat[2] / lat[0],
+        "x",
+    ));
     fig.finish();
 }

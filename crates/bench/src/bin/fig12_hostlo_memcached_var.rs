@@ -13,8 +13,16 @@ use nestless_bench::{Claim, Figure};
 use workloads::{run_memcached, MemtierParams};
 
 fn main() {
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
-    let mut fig = Figure::new("fig12", "Memcached latency variability (coefficient of variation)");
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
+    let mut fig = Figure::new(
+        "fig12",
+        "Memcached latency variability (coefficient of variation)",
+    );
     let mut cv = Vec::new();
     for (i, &c) in configs.iter().enumerate() {
         let r = run_memcached(MemtierParams::paper(), c, 120 + i as u64);

@@ -9,7 +9,12 @@ use nestless_bench::{Claim, Figure};
 use workloads::{run_nginx, Wrk2Params};
 
 fn main() {
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
     let mut fig = Figure::new("fig13", "NGINX under Hostlo / NAT / Overlay / SameNode");
     let mut lat = Vec::new();
     for (i, &c) in configs.iter().enumerate() {
@@ -23,8 +28,23 @@ fn main() {
         fig.push_row(format!("{c:?} responses/s"), r.throughput_per_s, "/s");
         lat.push(r.latency_us.mean);
     }
-    fig.push_claim(Claim::new("Hostlo above SameNode", 49.4, (lat[0] / lat[3] - 1.0) * 100.0, "%"));
-    fig.push_claim(Claim::new("Hostlo latency below Overlay", 92.0, (1.0 - lat[0] / lat[2]) * 100.0, "%"));
-    fig.push_claim(Claim::new("Hostlo latency below NAT", 80.0, (1.0 - lat[0] / lat[1]) * 100.0, "%"));
+    fig.push_claim(Claim::new(
+        "Hostlo above SameNode",
+        49.4,
+        (lat[0] / lat[3] - 1.0) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo latency below Overlay",
+        92.0,
+        (1.0 - lat[0] / lat[2]) * 100.0,
+        "%",
+    ));
+    fig.push_claim(Claim::new(
+        "Hostlo latency below NAT",
+        80.0,
+        (1.0 - lat[0] / lat[1]) * 100.0,
+        "%",
+    ));
     fig.finish();
 }

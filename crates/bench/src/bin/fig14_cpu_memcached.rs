@@ -10,7 +10,12 @@ use nestless_bench::{Claim, Figure};
 use workloads::{run_memcached, MemtierParams};
 
 fn main() {
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
     let mut fig = Figure::new("fig14", "CPU usage, Memcached (guests + host view)");
     let mut guest = Vec::new();
     let mut hostsys = Vec::new();
@@ -27,7 +32,11 @@ fn main() {
         }
         fig.push_row(format!("{c:?} guests total"), total_vm, "cores");
         fig.push_row(format!("{c:?} host guest"), r.cpu_host.guest, "cores");
-        fig.push_row(format!("{c:?} host sys (vhost+hostlo)"), r.cpu_host.sys, "cores");
+        fig.push_row(
+            format!("{c:?} host sys (vhost+hostlo)"),
+            r.cpu_host.sys,
+            "cores",
+        );
         guest.push(r.cpu_host.guest);
         hostsys.push(r.cpu_host.sys);
     }

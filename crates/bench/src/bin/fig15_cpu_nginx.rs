@@ -9,7 +9,12 @@ use nestless_bench::{Claim, Figure};
 use workloads::{run_nginx, Wrk2Params};
 
 fn main() {
-    let configs = [Config::Hostlo, Config::NatCross, Config::Overlay, Config::SameNode];
+    let configs = [
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+        Config::SameNode,
+    ];
     let mut fig = Figure::new("fig15", "CPU usage, NGINX (guests + host view)");
     let mut guest = Vec::new();
     for (i, &c) in configs.iter().enumerate() {

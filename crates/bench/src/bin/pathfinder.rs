@@ -40,11 +40,20 @@ fn main() {
         tb.vmm.network_mut().set_tracing(true);
         let target = tb.target;
         let s = tb.install("server", &tb.server.clone(), [SERVER_PORT], Box::new(Echo));
-        let c = tb.install("client", &tb.client.clone(), [CLIENT_PORT], Box::new(Once { dst: target }));
+        let c = tb.install(
+            "client",
+            &tb.client.clone(),
+            [CLIENT_PORT],
+            Box::new(Once { dst: target }),
+        );
         tb.start(&[s, c]);
         tb.vmm.network_mut().run_for(SimDuration::millis(50));
 
-        println!("== {:?} ({} hops) ==", config, tb.vmm.network().trace().len());
+        println!(
+            "== {:?} ({} hops) ==",
+            config,
+            tb.vmm.network().trace().len()
+        );
         for e in tb.vmm.network().trace() {
             println!("  {:>10}  {:<22} {}", e.at.to_string(), e.device, e.what);
         }

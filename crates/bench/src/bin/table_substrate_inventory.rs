@@ -9,7 +9,11 @@ fn main() {
     let mut fig = Figure::new("inventory", "Substrate inventory (devices on each testbed)");
     for c in Config::ALL {
         let tb = build(c, 1);
-        fig.push_row(format!("{c:?} devices"), tb.vmm.network().device_count() as f64, "devices");
+        fig.push_row(
+            format!("{c:?} devices"),
+            tb.vmm.network().device_count() as f64,
+            "devices",
+        );
         fig.push_row(format!("{c:?} VMs"), tb.vmm.vms().len() as f64, "VMs");
     }
     fig.finish();

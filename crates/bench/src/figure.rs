@@ -40,8 +40,18 @@ pub struct Claim {
 
 impl Claim {
     /// Builds a claim.
-    pub fn new(what: impl Into<String>, paper: f64, measured: f64, unit: impl Into<String>) -> Claim {
-        Claim { what: what.into(), paper, measured, unit: unit.into() }
+    pub fn new(
+        what: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: impl Into<String>,
+    ) -> Claim {
+        Claim {
+            what: what.into(),
+            paper,
+            measured,
+            unit: unit.into(),
+        }
     }
 }
 
@@ -117,7 +127,10 @@ impl Figure {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("figure serializes"))?;
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("figure serializes"),
+        )?;
         Ok(path)
     }
 
@@ -140,7 +153,16 @@ mod tests {
     fn figure_serializes_and_writes() {
         let mut f = Figure::new("figtest", "test figure");
         let mut s = Series::new("NAT", "Mbit/s");
-        s.push(64.0, Summary { count: 1, mean: 10.0, stddev: 1.0, min: 9.0, max: 11.0 });
+        s.push(
+            64.0,
+            Summary {
+                count: 1,
+                mean: 10.0,
+                stddev: 1.0,
+                min: 9.0,
+                max: 11.0,
+            },
+        );
         f.push_series(s);
         f.push_row("degradation", 68.0, "%");
         f.push_claim(Claim::new("tput ratio", 2.1, 2.3, "x"));

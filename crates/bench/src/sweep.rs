@@ -64,9 +64,10 @@ impl Sweep {
                     .wrapping_add(u64::from(size) * 7 + mode as u64);
                 let summary = match mode {
                     Mode::Latency => np.udp_rr(config, seed).latency_us.expect("latency run"),
-                    Mode::Throughput => {
-                        np.tcp_stream(config, seed).throughput_mbps.expect("throughput run")
-                    }
+                    Mode::Throughput => np
+                        .tcp_stream(config, seed)
+                        .throughput_mbps
+                        .expect("throughput run"),
                 };
                 (size, summary)
             })
@@ -88,7 +89,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Sweep {
-        Sweep { duration: SimDuration::millis(60), warmup: SimDuration::millis(20), seed: 3 }
+        Sweep {
+            duration: SimDuration::millis(60),
+            warmup: SimDuration::millis(20),
+            seed: 3,
+        }
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct VmModel {
 impl VmModel {
     /// Capacity in absolute resource units.
     pub fn capacity(&self) -> Res {
-        Res::new(u64::from(self.vcpus) * 1000, u64::from(self.memory_gib) * 1024)
+        Res::new(
+            u64::from(self.vcpus) * 1000,
+            u64::from(self.memory_gib) * 1024,
+        )
     }
 
     /// vCPUs relative to the largest model (Table 2's "vCPU (rel.)").
@@ -39,24 +42,62 @@ impl VmModel {
 
 /// Table 2, in ascending size order.
 pub const M5_CATALOG: [VmModel; 6] = [
-    VmModel { name: "m5.large", vcpus: 2, memory_gib: 8, price_per_h: 0.112 },
-    VmModel { name: "m5.xlarge", vcpus: 4, memory_gib: 16, price_per_h: 0.224 },
-    VmModel { name: "m5.2xlarge", vcpus: 8, memory_gib: 32, price_per_h: 0.448 },
-    VmModel { name: "m5.4xlarge", vcpus: 16, memory_gib: 64, price_per_h: 0.896 },
-    VmModel { name: "m5.12xlarge", vcpus: 48, memory_gib: 192, price_per_h: 2.689 },
-    VmModel { name: "m5.24xlarge", vcpus: 96, memory_gib: 384, price_per_h: 5.376 },
+    VmModel {
+        name: "m5.large",
+        vcpus: 2,
+        memory_gib: 8,
+        price_per_h: 0.112,
+    },
+    VmModel {
+        name: "m5.xlarge",
+        vcpus: 4,
+        memory_gib: 16,
+        price_per_h: 0.224,
+    },
+    VmModel {
+        name: "m5.2xlarge",
+        vcpus: 8,
+        memory_gib: 32,
+        price_per_h: 0.448,
+    },
+    VmModel {
+        name: "m5.4xlarge",
+        vcpus: 16,
+        memory_gib: 64,
+        price_per_h: 0.896,
+    },
+    VmModel {
+        name: "m5.12xlarge",
+        vcpus: 48,
+        memory_gib: 192,
+        price_per_h: 2.689,
+    },
+    VmModel {
+        name: "m5.24xlarge",
+        vcpus: 96,
+        memory_gib: 384,
+        price_per_h: 5.376,
+    },
 ];
 
 /// The largest model (reference for relative units).
-pub const LARGEST: VmModel =
-    VmModel { name: "m5.24xlarge", vcpus: 96, memory_gib: 384, price_per_h: 5.376 };
+pub const LARGEST: VmModel = VmModel {
+    name: "m5.24xlarge",
+    vcpus: 96,
+    memory_gib: 384,
+    price_per_h: 5.376,
+};
 
 /// The cheapest model able to host `req`, if any.
 pub fn cheapest_fitting(req: Res) -> Option<&'static VmModel> {
     M5_CATALOG
         .iter()
         .filter(|m| req.fits_in(m.capacity()))
-        .min_by(|a, b| a.price_per_h.partial_cmp(&b.price_per_h).expect("prices are finite"))
+        .min_by(|a, b| {
+            a.price_per_h
+                .partial_cmp(&b.price_per_h)
+                .expect("prices are finite")
+        })
 }
 
 /// Converts a Google-trace-style relative request into absolute units.

@@ -19,8 +19,14 @@ pub mod sched;
 pub mod trace;
 
 pub use catalog::{cheapest_fitting, res_from_relative, VmModel, LARGEST, M5_CATALOG};
-pub use online::{run_online, synthetic_online_trace, OnlineEvent, OnlineMode, OnlineReport, OnlineTrace};
+pub use online::{
+    run_online, synthetic_online_trace, OnlineEvent, OnlineMode, OnlineReport, OnlineTrace,
+};
 pub use resources::Res;
 pub use savings::{simulate, simulate_bands, SavingsBands, SavingsReport, UserSavings};
-pub use sched::{hostlo_improve, kube_schedule, kube_schedule_with, GroupingPolicy, Placement, SimVm};
-pub use trace::{parse_csv, synthetic_trace, Trace, TraceContainer, TracePod, TraceUser, PAPER_USER_COUNT};
+pub use sched::{
+    hostlo_improve, kube_schedule, kube_schedule_with, GroupingPolicy, Placement, SimVm,
+};
+pub use trace::{
+    parse_csv, synthetic_trace, Trace, TraceContainer, TracePod, TraceUser, PAPER_USER_COUNT,
+};

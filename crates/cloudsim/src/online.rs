@@ -59,7 +59,13 @@ pub fn synthetic_online_trace(n_pods: usize, horizon_h: f64, seed: u64) -> Onlin
                 }
             })
             .collect();
-        events.push((arrive, OnlineEvent::Arrive { pod, spec: TracePod { containers } }));
+        events.push((
+            arrive,
+            OnlineEvent::Arrive {
+                pod,
+                spec: TracePod { containers },
+            },
+        ));
         events.push((depart, OnlineEvent::Depart { pod }));
     }
     events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
@@ -175,7 +181,12 @@ pub fn run_online(trace: &OnlineTrace, mode: OnlineMode) -> OnlineReport {
     for v in &vms {
         total_cost += v.price_per_h * (trace.horizon_h - v.bought_at);
     }
-    OnlineReport { mode, total_cost, peak_vms: peak, vms_bought: bought }
+    OnlineReport {
+        mode,
+        total_cost,
+        peak_vms: peak,
+        vms_bought: bought,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +198,9 @@ mod tests {
         TracePod {
             containers: containers
                 .iter()
-                .map(|&(c, m)| TraceContainer { res: Res::new(c, m) })
+                .map(|&(c, m)| TraceContainer {
+                    res: Res::new(c, m),
+                })
                 .collect(),
         }
     }
@@ -196,7 +209,13 @@ mod tests {
     fn single_pod_billed_for_its_stay() {
         let trace = OnlineTrace {
             events: vec![
-                (1.0, OnlineEvent::Arrive { pod: 0, spec: pod(&[(1000, 4096)]) }),
+                (
+                    1.0,
+                    OnlineEvent::Arrive {
+                        pod: 0,
+                        spec: pod(&[(1000, 4096)]),
+                    },
+                ),
                 (5.0, OnlineEvent::Depart { pod: 0 }),
             ],
             horizon_h: 10.0,
@@ -221,8 +240,20 @@ mod tests {
         let newcomer = pod(&[(1000, 2048), (2000, 4096)]);
         let trace = OnlineTrace {
             events: vec![
-                (0.0, OnlineEvent::Arrive { pod: 0, spec: resident }),
-                (1.0, OnlineEvent::Arrive { pod: 1, spec: newcomer }),
+                (
+                    0.0,
+                    OnlineEvent::Arrive {
+                        pod: 0,
+                        spec: resident,
+                    },
+                ),
+                (
+                    1.0,
+                    OnlineEvent::Arrive {
+                        pod: 1,
+                        spec: newcomer,
+                    },
+                ),
                 (9.0, OnlineEvent::Depart { pod: 1 }),
                 (10.0, OnlineEvent::Depart { pod: 0 }),
             ],
@@ -230,7 +261,12 @@ mod tests {
         };
         let whole = run_online(&trace, OnlineMode::WholePod);
         let fine = run_online(&trace, OnlineMode::PerContainer);
-        assert!(fine.total_cost < whole.total_cost, "fine {} < whole {}", fine.total_cost, whole.total_cost);
+        assert!(
+            fine.total_cost < whole.total_cost,
+            "fine {} < whole {}",
+            fine.total_cost,
+            whole.total_cost
+        );
         assert!(fine.peak_vms <= whole.peak_vms);
     }
 
@@ -238,9 +274,21 @@ mod tests {
     fn empty_vms_are_released() {
         let trace = OnlineTrace {
             events: vec![
-                (0.0, OnlineEvent::Arrive { pod: 0, spec: pod(&[(1000, 1024)]) }),
+                (
+                    0.0,
+                    OnlineEvent::Arrive {
+                        pod: 0,
+                        spec: pod(&[(1000, 1024)]),
+                    },
+                ),
                 (1.0, OnlineEvent::Depart { pod: 0 }),
-                (2.0, OnlineEvent::Arrive { pod: 1, spec: pod(&[(1000, 1024)]) }),
+                (
+                    2.0,
+                    OnlineEvent::Arrive {
+                        pod: 1,
+                        spec: pod(&[(1000, 1024)]),
+                    },
+                ),
                 (3.0, OnlineEvent::Depart { pod: 1 }),
             ],
             horizon_h: 10.0,
@@ -255,7 +303,10 @@ mod tests {
         let a = synthetic_online_trace(100, 24.0, 5);
         assert_eq!(a, synthetic_online_trace(100, 24.0, 5));
         assert_eq!(a.events.len(), 200);
-        assert!(a.events.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by time");
+        assert!(
+            a.events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "sorted by time"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct Res {
 
 impl Res {
     /// Zero resources.
-    pub const ZERO: Res = Res { cpu_m: 0, mem_mib: 0 };
+    pub const ZERO: Res = Res {
+        cpu_m: 0,
+        mem_mib: 0,
+    };
 
     /// Builds a resource vector.
     pub const fn new(cpu_m: u64, mem_mib: u64) -> Res {
@@ -58,7 +61,10 @@ impl Res {
 impl Add for Res {
     type Output = Res;
     fn add(self, o: Res) -> Res {
-        Res { cpu_m: self.cpu_m + o.cpu_m, mem_mib: self.mem_mib + o.mem_mib }
+        Res {
+            cpu_m: self.cpu_m + o.cpu_m,
+            mem_mib: self.mem_mib + o.mem_mib,
+        }
     }
 }
 
@@ -73,7 +79,10 @@ impl Sub for Res {
     fn sub(self, o: Res) -> Res {
         Res {
             cpu_m: self.cpu_m.checked_sub(o.cpu_m).expect("CPU underflow"),
-            mem_mib: self.mem_mib.checked_sub(o.mem_mib).expect("memory underflow"),
+            mem_mib: self
+                .mem_mib
+                .checked_sub(o.mem_mib)
+                .expect("memory underflow"),
         }
     }
 }
@@ -101,7 +110,10 @@ mod tests {
         let a = Res::new(100, 200) + Res::new(1, 2);
         assert_eq!(a, Res::new(101, 202));
         assert_eq!(a - Res::new(1, 2), Res::new(100, 200));
-        assert_eq!(Res::new(1, 1).saturating_sub(Res::new(5, 0)), Res::new(0, 1));
+        assert_eq!(
+            Res::new(1, 1).saturating_sub(Res::new(5, 0)),
+            Res::new(0, 1)
+        );
         let total: Res = [Res::new(1, 2), Res::new(3, 4)].into_iter().sum();
         assert_eq!(total, Res::new(4, 6));
     }

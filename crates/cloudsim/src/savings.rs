@@ -68,7 +68,10 @@ impl SavingsReport {
 
     /// Largest relative saving.
     pub fn max_rel_saving(&self) -> f64 {
-        self.per_user.iter().map(UserSavings::rel_saving).fold(0.0, f64::max)
+        self.per_user
+            .iter()
+            .map(UserSavings::rel_saving)
+            .fold(0.0, f64::max)
     }
 
     /// Largest absolute saving and that user's relative saving.
@@ -198,14 +201,23 @@ mod tests {
         );
         // Paper: of the savers, ~66.7% save more than 5%.
         let above5 = report.frac_savers_above(0.05);
-        assert!((0.45..=0.90).contains(&above5), "savers above 5% = {above5}");
+        assert!(
+            (0.45..=0.90).contains(&above5),
+            "savers above 5% = {above5}"
+        );
         // Paper: max relative savings ~40%.
         let max_rel = report.max_rel_saving();
-        assert!((0.25..=0.50).contains(&max_rel), "max relative saving = {max_rel}");
+        assert!(
+            (0.25..=0.50).contains(&max_rel),
+            "max relative saving = {max_rel}"
+        );
         // Paper: the max absolute saver is a whale with a ~35% reduction.
         let (max_abs, rel_of_max) = report.max_abs_saving();
         assert!(max_abs > 20.0, "max absolute saving = {max_abs} $/h");
-        assert!((0.15..=0.45).contains(&rel_of_max), "whale relative saving = {rel_of_max}");
+        assert!(
+            (0.15..=0.45).contains(&rel_of_max),
+            "whale relative saving = {rel_of_max}"
+        );
         // Savings never negative.
         assert!(report.per_user.iter().all(|u| u.abs_saving() >= -1e-9));
     }
@@ -249,7 +261,11 @@ mod tests {
 
     #[test]
     fn zero_cost_user_is_handled() {
-        let s = UserSavings { user: 0, base_cost: 0.0, hostlo_cost: 0.0 };
+        let s = UserSavings {
+            user: 0,
+            base_cost: 0.0,
+            hostlo_cost: 0.0,
+        };
         assert_eq!(s.rel_saving(), 0.0);
     }
 }

@@ -73,7 +73,9 @@ impl Placement {
 
     /// Every placed container respects its VM's capacity.
     pub fn is_feasible(&self) -> bool {
-        self.vms.iter().all(|v| v.used().fits_in(v.model.capacity()))
+        self.vms
+            .iter()
+            .all(|v| v.used().fits_in(v.model.capacity()))
     }
 }
 
@@ -125,7 +127,10 @@ pub fn kube_schedule_with(user: &TraceUser, policy: GroupingPolicy) -> Placement
                 let model = cheapest_fitting(total)
                     .unwrap_or_else(|| panic!("pod {pod_idx} exceeds the largest model"))
                     .clone();
-                placement.vms.push(SimVm { model, containers: Vec::new() });
+                placement.vms.push(SimVm {
+                    model,
+                    containers: Vec::new(),
+                });
                 placement.vms.last_mut().expect("just pushed")
             }
         };
@@ -148,7 +153,10 @@ fn pack_ffd(mut conts: Vec<PlacedContainer>) -> Vec<SimVm> {
                 let model = cheapest_fitting(pc.2)
                     .expect("container exceeds the largest model")
                     .clone();
-                vms.push(SimVm { model, containers: vec![pc] });
+                vms.push(SimVm {
+                    model,
+                    containers: vec![pc],
+                });
             }
         }
     }
@@ -244,15 +252,14 @@ pub fn hostlo_improve(mut placement: Placement) -> Placement {
                     free[t] = free[t] - pc.2;
                     remaining = remaining - pc.2;
                     moves.push((t, pc));
-                    let cheaper = cheapest_fitting(remaining)
-                        .filter(|m| m.price_per_h < victim_price - 1e-9);
+                    let cheaper =
+                        cheapest_fitting(remaining).filter(|m| m.price_per_h < victim_price - 1e-9);
                     if let Some(model) = cheaper {
                         // Commit this prefix of moves and shrink.
                         for &(t, pc) in &moves {
                             placement.vms[t].containers.push(pc);
                         }
-                        let moved: Vec<PlacedContainer> =
-                            moves.iter().map(|&(_, pc)| pc).collect();
+                        let moved: Vec<PlacedContainer> = moves.iter().map(|&(_, pc)| pc).collect();
                         placement.vms[victim]
                             .containers
                             .retain(|pc| !moved.contains(pc));
@@ -296,7 +303,9 @@ mod tests {
         TracePod {
             containers: containers
                 .iter()
-                .map(|&(c, m)| TraceContainer { res: Res::new(c, m) })
+                .map(|&(c, m)| TraceContainer {
+                    res: Res::new(c, m),
+                })
                 .collect(),
         }
     }

@@ -102,11 +102,18 @@ pub fn synthetic_trace(users: usize, seed: u64) -> Trace {
             // waste — the marginal Hostlo saving.
             pods.push(TracePod {
                 containers: vec![
-                    TraceContainer { res: res_from_relative(1.0 / 96.0, 3.0 / 384.0) },
-                    TraceContainer { res: res_from_relative(1.0 / 96.0, 3.0 / 384.0) },
+                    TraceContainer {
+                        res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
+                    },
+                    TraceContainer {
+                        res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
+                    },
                 ],
             });
-            out.push(TraceUser { id: id as u32, pods });
+            out.push(TraceUser {
+                id: id as u32,
+                pods,
+            });
             continue;
         }
         let whale = rng.gen_bool(0.015);
@@ -145,22 +152,28 @@ pub fn synthetic_trace(users: usize, seed: u64) -> Trace {
                 // with scatter.
                 let ratio: f64 = rng.gen_range(0.8..1.1);
                 let mem_rel = (cpu_rel * ratio).min(1.0);
-                containers.push(TraceContainer { res: res_from_relative(cpu_rel, mem_rel) });
+                containers.push(TraceContainer {
+                    res: res_from_relative(cpu_rel, mem_rel),
+                });
             }
             // Keep every pod hostable on the largest model.
             let pod = TracePod { containers };
-            if !pod.containers.is_empty()
-                && pod.total().fits_in(crate::catalog::LARGEST.capacity())
+            if !pod.containers.is_empty() && pod.total().fits_in(crate::catalog::LARGEST.capacity())
             {
                 pods.push(pod);
             }
         }
         if pods.is_empty() {
             pods.push(TracePod {
-                containers: vec![TraceContainer { res: res_from_relative(0.005, 0.005) }],
+                containers: vec![TraceContainer {
+                    res: res_from_relative(0.005, 0.005),
+                }],
             });
         }
-        out.push(TraceUser { id: id as u32, pods });
+        out.push(TraceUser {
+            id: id as u32,
+            pods,
+        });
     }
     Trace { users: out }
 }
@@ -177,10 +190,15 @@ pub fn parse_csv(text: &str) -> Result<Trace, String> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 5 {
-            return Err(format!("line {}: expected 5 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse_u32 = |s: &str, what: &str| {
-            s.parse::<u32>().map_err(|_| format!("line {}: bad {what}: {s:?}", lineno + 1))
+            s.parse::<u32>()
+                .map_err(|_| format!("line {}: bad {what}: {s:?}", lineno + 1))
         };
         let parse_rel = |s: &str, what: &str| {
             s.parse::<f64>()

@@ -13,8 +13,9 @@ use proptest::prelude::*;
 /// Containers sized so that any pod of up to 6 always fits the largest
 /// model (96 vCPU / 384 GiB).
 fn arb_container() -> impl Strategy<Value = TraceContainer> {
-    (100u64..16_000, 64u64..65_536)
-        .prop_map(|(cpu_m, mem_mib)| TraceContainer { res: Res::new(cpu_m, mem_mib) })
+    (100u64..16_000, 64u64..65_536).prop_map(|(cpu_m, mem_mib)| TraceContainer {
+        res: Res::new(cpu_m, mem_mib),
+    })
 }
 
 fn arb_pod() -> impl Strategy<Value = TracePod> {

@@ -38,7 +38,13 @@ pub struct BootPhase {
 
 impl BootPhase {
     fn new(name: &str, base_ms: f64, jitter_frac: f64) -> BootPhase {
-        BootPhase { name: name.into(), base_ms, jitter_frac, spike_prob: 0.0, spike_mult: 1.0 }
+        BootPhase {
+            name: name.into(),
+            base_ms,
+            jitter_frac,
+            spike_prob: 0.0,
+            spike_mult: 1.0,
+        }
     }
 
     fn with_spikes(mut self, prob: f64, mult: f64) -> BootPhase {
@@ -111,8 +117,11 @@ impl BootPipeline {
 
     /// Samples one boot.
     pub fn sample(&self, rng: &mut StdRng) -> BootSample {
-        let phases: Vec<(String, f64)> =
-            self.phases.iter().map(|p| (p.name.clone(), p.sample(rng))).collect();
+        let phases: Vec<(String, f64)> = self
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.sample(rng)))
+            .collect();
         let total_ms = phases.iter().map(|(_, ms)| ms).sum();
         BootSample { phases, total_ms }
     }
@@ -148,8 +157,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(BootPipeline::nat().run(10, 7), BootPipeline::nat().run(10, 7));
-        assert_ne!(BootPipeline::nat().run(10, 7), BootPipeline::nat().run(10, 8));
+        assert_eq!(
+            BootPipeline::nat().run(10, 7),
+            BootPipeline::nat().run(10, 7)
+        );
+        assert_ne!(
+            BootPipeline::nat().run(10, 7),
+            BootPipeline::nat().run(10, 8)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct ResourceRequest {
 impl ResourceRequest {
     /// Builds a request.
     pub const fn new(cpu_millis: u64, memory_mib: u64) -> ResourceRequest {
-        ResourceRequest { cpu_millis, memory_mib }
+        ResourceRequest {
+            cpu_millis,
+            memory_mib,
+        }
     }
 
     /// Component-wise sum.
@@ -114,7 +117,11 @@ impl ContainerSpec {
 
     /// Publishes a port.
     pub fn with_port(mut self, proto: Proto, host_port: u16, container_port: u16) -> ContainerSpec {
-        self.ports.push(PortMapping { proto, host_port, container_port });
+        self.ports.push(PortMapping {
+            proto,
+            host_port,
+            container_port,
+        });
         self
     }
 }

@@ -18,7 +18,10 @@ use simnet::{Ip4, Ip4Net, MacAddr, SockAddr};
 use vmm::{NicInfo, VmId, Vmm};
 
 /// Docker's default container subnet.
-pub const DOCKER_SUBNET: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+pub const DOCKER_SUBNET: Ip4Net = Ip4Net {
+    addr: Ip4(0xAC11_0000),
+    prefix: 24,
+}; // 172.17.0.0/24
 
 /// Network attachment data for one container, handed to whoever creates the
 /// container's endpoint (a workload or an orchestrator agent).
@@ -136,7 +139,7 @@ impl NodeDataplane {
             nat_ctl,
             docker0,
             subnet: DOCKER_SUBNET,
-            next_host: 2, // .1 is the gateway
+            next_host: 2,        // .1 is the gateway
             next_bridge_port: 1, // port 0 faces the NAT
             bridge_capacity,
             mac_seq: 0,
@@ -177,8 +180,13 @@ impl NodeDataplane {
         );
         let br_port = PortId(self.next_bridge_port);
         self.next_bridge_port += 1;
-        vmm.network_mut()
-            .connect(self.docker0, br_port, veth, PortId::P0, LinkParams::default());
+        vmm.network_mut().connect(
+            self.docker0,
+            br_port,
+            veth,
+            PortId::P0,
+            LinkParams::default(),
+        );
 
         // iptables: publish ports on the VM address.
         for pm in ports {
@@ -194,7 +202,12 @@ impl NodeDataplane {
 
         let (gw_ip, gw_mac) = self.gateway();
         let iface = IfaceConf::new(mac, ip, self.subnet).with_gateway(gw_ip, gw_mac);
-        ContainerNet { ip, mac, attach: (veth, PortId::P1), iface }
+        ContainerNet {
+            ip,
+            mac,
+            attach: (veth, PortId::P1),
+            iface,
+        }
     }
 
     /// Adds a default route on the NAT towards the host gateway (needed for
@@ -235,7 +248,10 @@ mod tests {
     fn dataplane_wires_eth0_nat_docker0() {
         let (vmm, dp) = setup();
         // NAT port 1 is connected to docker0 port 0.
-        assert_eq!(vmm.network().peer(dp.nat, PortId(1)), Some((dp.docker0, PortId(0))));
+        assert_eq!(
+            vmm.network().peer(dp.nat, PortId(1)),
+            Some((dp.docker0, PortId(0)))
+        );
         // eth0 virtio guest side is connected to NAT port 0.
         let eth0 = &vmm.vm(dp.vm).nics[0];
         assert_eq!(
@@ -253,8 +269,14 @@ mod tests {
         assert_eq!(b.ip, Ip4::new(172, 17, 0, 3));
         assert_ne!(a.mac, b.mac);
         // Both veths hang off docker0.
-        assert_eq!(vmm.network().peer(dp.docker0, PortId(1)), Some((a.attach.0, PortId::P0)));
-        assert_eq!(vmm.network().peer(dp.docker0, PortId(2)), Some((b.attach.0, PortId::P0)));
+        assert_eq!(
+            vmm.network().peer(dp.docker0, PortId(1)),
+            Some((a.attach.0, PortId::P0))
+        );
+        assert_eq!(
+            vmm.network().peer(dp.docker0, PortId(2)),
+            Some((b.attach.0, PortId::P0))
+        );
     }
 
     #[test]
@@ -264,7 +286,11 @@ mod tests {
         dp.attach_container(
             &mut vmm,
             "web",
-            &[PortMapping { proto: Proto::Tcp, host_port: 8080, container_port: 80 }],
+            &[PortMapping {
+                proto: Proto::Tcp,
+                host_port: 8080,
+                container_port: 80,
+            }],
         );
         assert_eq!(dp.nat_ctl.dnat_len(), before + 1);
     }
@@ -290,6 +316,9 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             dp.attach_container(&mut vmm, "two", &[])
         }));
-        assert!(r.is_err(), "capacity 2 leaves one port after the NAT uplink");
+        assert!(
+            r.is_err(),
+            "capacity 2 leaves one port after the NAT uplink"
+        );
     }
 }

@@ -74,8 +74,14 @@ impl ContainerEngine {
         host_subnet: Ip4Net,
         bridge_capacity: usize,
     ) -> ContainerEngine {
-        let dataplane =
-            Some(NodeDataplane::new(vmm, vm, eth0, vm_ip, host_subnet, bridge_capacity));
+        let dataplane = Some(NodeDataplane::new(
+            vmm,
+            vm,
+            eth0,
+            vm_ip,
+            host_subnet,
+            bridge_capacity,
+        ));
         ContainerEngine {
             vm,
             images: ImageStore::new(),
@@ -97,7 +103,11 @@ impl ContainerEngine {
 
     fn log(&mut self, container: ContainerId, kind: EngineEventKind) {
         let seq = self.events.len() as u64;
-        self.events.push(EngineEvent { seq, container, kind });
+        self.events.push(EngineEvent {
+            seq,
+            container,
+            kind,
+        });
     }
 
     /// Pulls an image into the node-local store; returns MiB transferred.
@@ -252,7 +262,11 @@ mod tests {
         let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
         let mut eng = ContainerEngine::new(vm);
         eng.pull(&Image::new("app", "1", &[10]));
-        let (id, net) = eng.create_container(&mut vmm, ContainerSpec::new("a", "app:1"), NetworkMode::External);
+        let (id, net) = eng.create_container(
+            &mut vmm,
+            ContainerSpec::new("a", "app:1"),
+            NetworkMode::External,
+        );
         assert!(net.is_none());
         assert_eq!(eng.container(id).ip, None);
     }
@@ -261,7 +275,11 @@ mod tests {
     #[should_panic(expected = "not pulled")]
     fn create_requires_pulled_image() {
         let (mut vmm, mut eng) = engine_with_bridge();
-        eng.create_container(&mut vmm, ContainerSpec::new("x", "ghost:1"), NetworkMode::Bridge);
+        eng.create_container(
+            &mut vmm,
+            ContainerSpec::new("x", "ghost:1"),
+            NetworkMode::Bridge,
+        );
     }
 
     #[test]
@@ -271,15 +289,22 @@ mod tests {
         let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
         let mut eng = ContainerEngine::new(vm);
         eng.pull(&Image::new("app", "1", &[10]));
-        eng.create_container(&mut vmm, ContainerSpec::new("a", "app:1"), NetworkMode::Bridge);
+        eng.create_container(
+            &mut vmm,
+            ContainerSpec::new("a", "app:1"),
+            NetworkMode::Bridge,
+        );
     }
 
     #[test]
     fn stop_transitions_state() {
         let (mut vmm, mut eng) = engine_with_bridge();
         eng.pull(&Image::new("app", "1", &[10]));
-        let (id, _) =
-            eng.create_container(&mut vmm, ContainerSpec::new("a", "app:1"), NetworkMode::Bridge);
+        let (id, _) = eng.create_container(
+            &mut vmm,
+            ContainerSpec::new("a", "app:1"),
+            NetworkMode::Bridge,
+        );
         eng.stop(id);
         assert_eq!(eng.container(id).state, ContainerState::Exited);
     }
@@ -291,7 +316,11 @@ mod tests {
         let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
         let mut eng = ContainerEngine::new(vm);
         eng.pull(&Image::new("app", "1", &[10]));
-        let (no, _) = eng.create_container(&mut vmm, ContainerSpec::new("no", "app:1"), NetworkMode::External);
+        let (no, _) = eng.create_container(
+            &mut vmm,
+            ContainerSpec::new("no", "app:1"),
+            NetworkMode::External,
+        );
         let (always, _) = eng.create_container(
             &mut vmm,
             ContainerSpec::new("always", "app:1").with_restart(RestartPolicy::Always),

@@ -35,7 +35,10 @@ impl Image {
         let layers = layer_sizes_mib
             .iter()
             .enumerate()
-            .map(|(i, &size_mib)| Layer { digest: format!("sha256:{name}-{tag}-{i}"), size_mib })
+            .map(|(i, &size_mib)| Layer {
+                digest: format!("sha256:{name}-{tag}-{i}"),
+                size_mib,
+            })
             .collect();
         Image { name, tag, layers }
     }
@@ -70,7 +73,8 @@ impl ImageStore {
         let mut transferred = 0;
         for layer in &image.layers {
             if !self.cached_layers.contains_key(&layer.digest) {
-                self.cached_layers.insert(layer.digest.clone(), layer.size_mib);
+                self.cached_layers
+                    .insert(layer.digest.clone(), layer.size_mib);
                 transferred += layer.size_mib;
             }
         }
@@ -113,9 +117,32 @@ mod tests {
         let mut store = ImageStore::new();
         // Same name/tag prefix scheme gives distinct digests, so craft
         // explicit sharing: same base layer object.
-        let base = Layer { digest: "sha256:base".into(), size_mib: 100 };
-        let a = Image { name: "a".into(), tag: "1".into(), layers: vec![base.clone(), Layer { digest: "sha256:a1".into(), size_mib: 5 }] };
-        let b = Image { name: "b".into(), tag: "1".into(), layers: vec![base, Layer { digest: "sha256:b1".into(), size_mib: 7 }] };
+        let base = Layer {
+            digest: "sha256:base".into(),
+            size_mib: 100,
+        };
+        let a = Image {
+            name: "a".into(),
+            tag: "1".into(),
+            layers: vec![
+                base.clone(),
+                Layer {
+                    digest: "sha256:a1".into(),
+                    size_mib: 5,
+                },
+            ],
+        };
+        let b = Image {
+            name: "b".into(),
+            tag: "1".into(),
+            layers: vec![
+                base,
+                Layer {
+                    digest: "sha256:b1".into(),
+                    size_mib: 7,
+                },
+            ],
+        };
         assert_eq!(store.pull(&a), 105);
         assert_eq!(store.pull(&b), 7, "base layer already cached");
         assert_eq!(store.cached_layer_count(), 3);

@@ -21,7 +21,10 @@ use std::collections::HashMap;
 use vmm::{NicInfo, VmId, Vmm};
 
 /// The overlay (inner) subnet Docker assigns to the network.
-pub const OVERLAY_SUBNET: Ip4Net = Ip4Net { addr: Ip4(0x0A00_0000), prefix: 24 }; // 10.0.0.0/24
+pub const OVERLAY_SUBNET: Ip4Net = Ip4Net {
+    addr: Ip4(0x0A00_0000),
+    prefix: 24,
+}; // 10.0.0.0/24
 
 /// A VXLAN tunnel endpoint living in a VM kernel.
 ///
@@ -48,7 +51,14 @@ impl Vtep {
         cost: StageCost,
         station: SharedStation,
     ) -> Vtep {
-        Vtep { vni, local_ip, local_mac, fdb, cost, station }
+        Vtep {
+            vni,
+            local_ip,
+            local_mac,
+            fdb,
+            cost,
+            station,
+        }
     }
 }
 
@@ -159,7 +169,14 @@ pub fn build_two_node_overlay_with(
         let vtep = vmm.network_mut().add_device(
             format!("{vm_name}/vtep"),
             loc,
-            Box::new(Vtep::new(vni, underlay_ip, my_underlay_mac, fdb, vtep_cost, station.clone())),
+            Box::new(Vtep::new(
+                vni,
+                underlay_ip,
+                my_underlay_mac,
+                fdb,
+                vtep_cost,
+                station.clone(),
+            )),
         );
         let ovl_br = vmm.network_mut().add_device(
             format!("{vm_name}/br-ovl"),
@@ -172,8 +189,10 @@ pub fn build_two_node_overlay_with(
             Box::new(VethPair::new(costs.veth, station)),
         );
         // container <-> veth <-> bridge <-> vtep <-> eth (underlay)
-        vmm.network_mut().connect(veth, PortId::P0, ovl_br, PortId(0), LinkParams::default());
-        vmm.network_mut().connect(ovl_br, PortId(1), vtep, PortId::P0, LinkParams::default());
+        vmm.network_mut()
+            .connect(veth, PortId::P0, ovl_br, PortId(0), LinkParams::default());
+        vmm.network_mut()
+            .connect(ovl_br, PortId(1), vtep, PortId::P0, LinkParams::default());
         vmm.network_mut().connect(
             vtep,
             PortId::P1,
@@ -184,7 +203,12 @@ pub fn build_two_node_overlay_with(
 
         let iface = IfaceConf::new(my_inner_mac, my_ip, OVERLAY_SUBNET)
             .with_neigh(OVERLAY_SUBNET.host(2 + (1 - my_idx)), peer_inner_mac);
-        OverlayAttachment { attach: (veth, PortId::P1), iface, ip: my_ip, mac: my_inner_mac }
+        OverlayAttachment {
+            attach: (veth, PortId::P1),
+            iface,
+            ip: my_ip,
+            mac: my_inner_mac,
+        }
     };
 
     // Pre-compute both sides' identities so each FDB can point at the peer.
@@ -205,13 +229,13 @@ pub fn build_two_node_overlay_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metrics::CpuCategory;
     use metrics::CpuLocation;
     use simnet::engine::Network;
     use simnet::frame::Payload;
     use simnet::testutil::CaptureSink;
     use simnet::time::SimDuration;
     use simnet::SockAddr;
-    use metrics::CpuCategory;
 
     fn inner_frame(src_mac: MacAddr, dst_mac: MacAddr) -> Frame {
         Frame::udp(
@@ -237,19 +261,48 @@ mod tests {
         let vtep_a = net.add_device(
             "vtep-a",
             CpuLocation::Vm(1),
-            Box::new(Vtep::new(42, a_ip, MacAddr::local(11), fdb_a, cost, SharedStation::new())),
+            Box::new(Vtep::new(
+                42,
+                a_ip,
+                MacAddr::local(11),
+                fdb_a,
+                cost,
+                SharedStation::new(),
+            )),
         );
         let vtep_b = net.add_device(
             "vtep-b",
             CpuLocation::Vm(2),
-            Box::new(Vtep::new(42, b_ip, MacAddr::local(12), HashMap::new(), cost, SharedStation::new())),
+            Box::new(Vtep::new(
+                42,
+                b_ip,
+                MacAddr::local(12),
+                HashMap::new(),
+                cost,
+                SharedStation::new(),
+            )),
         );
-        let sink = net.add_device("sink", CpuLocation::Vm(2), Box::new(CaptureSink::new("sink")));
+        let sink = net.add_device(
+            "sink",
+            CpuLocation::Vm(2),
+            Box::new(CaptureSink::new("sink")),
+        );
         // Underlay: direct wire for this unit test.
-        net.connect(vtep_a, PortId::P1, vtep_b, PortId::P1, LinkParams::default());
+        net.connect(
+            vtep_a,
+            PortId::P1,
+            vtep_b,
+            PortId::P1,
+            LinkParams::default(),
+        );
         net.connect(vtep_b, PortId::P0, sink, PortId::P0, LinkParams::default());
 
-        net.inject_frame(SimDuration::ZERO, vtep_a, PortId::P0, inner_frame(a_mac, b_mac));
+        net.inject_frame(
+            SimDuration::ZERO,
+            vtep_a,
+            PortId::P0,
+            inner_frame(a_mac, b_mac),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("vtep.encapsulated"), 1.0);
         assert_eq!(net.store().counter("vtep.decapsulated"), 1.0);
@@ -263,7 +316,14 @@ mod tests {
         let vtep = net.add_device(
             "vtep",
             CpuLocation::Vm(1),
-            Box::new(Vtep::new(42, Ip4::new(1, 1, 1, 1), MacAddr::local(1), HashMap::new(), cost, SharedStation::new())),
+            Box::new(Vtep::new(
+                42,
+                Ip4::new(1, 1, 1, 1),
+                MacAddr::local(1),
+                HashMap::new(),
+                cost,
+                SharedStation::new(),
+            )),
         );
         let inner = inner_frame(MacAddr::local(5), MacAddr::local(6));
         let outer = inner.vxlan_encap(
@@ -285,7 +345,14 @@ mod tests {
         let vtep = net.add_device(
             "vtep",
             CpuLocation::Vm(1),
-            Box::new(Vtep::new(42, Ip4::new(1, 1, 1, 1), MacAddr::local(1), HashMap::new(), cost, SharedStation::new())),
+            Box::new(Vtep::new(
+                42,
+                Ip4::new(1, 1, 1, 1),
+                MacAddr::local(1),
+                HashMap::new(),
+                cost,
+                SharedStation::new(),
+            )),
         );
         net.inject_frame(
             SimDuration::ZERO,
@@ -304,7 +371,14 @@ mod tests {
         let vtep = net.add_device(
             "vtep",
             CpuLocation::Vm(1),
-            Box::new(Vtep::new(42, Ip4::new(1, 1, 1, 1), MacAddr::local(1), HashMap::new(), cost, SharedStation::new())),
+            Box::new(Vtep::new(
+                42,
+                Ip4::new(1, 1, 1, 1),
+                MacAddr::local(1),
+                HashMap::new(),
+                cost,
+                SharedStation::new(),
+            )),
         );
         net.inject_frame(
             SimDuration::ZERO,

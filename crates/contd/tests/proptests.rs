@@ -6,9 +6,8 @@ use contd::{BootPipeline, Image, ImageStore};
 use proptest::prelude::*;
 
 fn arb_image() -> impl Strategy<Value = Image> {
-    (prop::collection::vec(1u64..500, 1..6), 0u8..5, 0u8..3).prop_map(|(sizes, name, tag)| {
-        Image::new(format!("app{name}"), format!("v{tag}"), &sizes)
-    })
+    (prop::collection::vec(1u64..500, 1..6), 0u8..5, 0u8..3)
+        .prop_map(|(sizes, name, tag)| Image::new(format!("app{name}"), format!("v{tag}"), &sizes))
 }
 
 proptest! {

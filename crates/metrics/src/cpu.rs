@@ -51,8 +51,12 @@ pub enum CpuCategory {
 
 impl CpuCategory {
     /// All categories in the paper's plotting order.
-    pub const ALL: [CpuCategory; 4] =
-        [CpuCategory::Usr, CpuCategory::Sys, CpuCategory::Soft, CpuCategory::Guest];
+    pub const ALL: [CpuCategory; 4] = [
+        CpuCategory::Usr,
+        CpuCategory::Sys,
+        CpuCategory::Soft,
+        CpuCategory::Guest,
+    ];
 }
 
 impl fmt::Display for CpuCategory {

@@ -20,11 +20,13 @@
 pub mod cdf;
 pub mod cpu;
 pub mod histogram;
+pub mod intern;
 pub mod series;
 pub mod stats;
 
 pub use cdf::Cdf;
 pub use cpu::{CpuAccount, CpuBreakdown, CpuCategory, CpuLocation};
 pub use histogram::Histogram;
+pub use intern::{Interner, MetricId};
 pub use series::{Series, SeriesPoint};
 pub use stats::{OnlineStats, Summary};

@@ -31,7 +31,11 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>, unit: impl Into<String>) -> Self {
-        Self { name: name.into(), unit: unit.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            unit: unit.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point; `x` must be strictly greater than the previous point.
@@ -56,9 +60,9 @@ impl Series {
         self.points
             .iter()
             .filter_map(|p| {
-                other.at(p.x).and_then(|o| {
-                    (o.mean != 0.0).then(|| (p.x, p.y.mean / o.mean))
-                })
+                other
+                    .at(p.x)
+                    .and_then(|o| (o.mean != 0.0).then(|| (p.x, p.y.mean / o.mean)))
             })
             .collect()
     }
@@ -103,7 +107,13 @@ mod tests {
     use super::*;
 
     fn sum(mean: f64) -> Summary {
-        Summary { count: 1, mean, stddev: 0.0, min: mean, max: mean }
+        Summary {
+            count: 1,
+            mean,
+            stddev: 0.0,
+            min: mean,
+            max: mean,
+        }
     }
 
     #[test]
@@ -138,7 +148,16 @@ mod tests {
     #[test]
     fn csv_rendering() {
         let mut s = Series::new("NAT", "Mbit/s");
-        s.push(64.0, Summary { count: 3, mean: 10.0, stddev: 1.0, min: 9.0, max: 11.0 });
+        s.push(
+            64.0,
+            Summary {
+                count: 3,
+                mean: 10.0,
+                stddev: 1.0,
+                min: 9.0,
+                max: 11.0,
+            },
+        );
         let csv = s.to_csv();
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("x,mean,stddev,min,max,count"));

@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_stddev() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         // population variance is 4.0
         assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
@@ -244,8 +246,20 @@ mod tests {
 
     #[test]
     fn summary_relative_helpers() {
-        let base = Summary { count: 1, mean: 100.0, stddev: 10.0, min: 0.0, max: 0.0 };
-        let other = Summary { count: 1, mean: 68.0, stddev: 0.0, min: 0.0, max: 0.0 };
+        let base = Summary {
+            count: 1,
+            mean: 100.0,
+            stddev: 10.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        let other = Summary {
+            count: 1,
+            mean: 68.0,
+            stddev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert!((other.rel_to(&base) + 0.32).abs() < 1e-12);
         assert!((base.cv() - 0.1).abs() < 1e-12);
     }

@@ -104,15 +104,19 @@ impl CniPlugin for BrFusionCni {
             });
             // Step 3: the VMM answers with the NIC identifier (MAC).
             let QmpResponse::NicAdded(nic) = resp else {
-                return Err(CniError { reason: format!("VMM refused netdev_add: {resp:?}") });
+                return Err(CniError {
+                    reason: format!("VMM refused netdev_add: {resp:?}"),
+                });
             };
             // Step 4: the VM agent configures the NIC inside the VM and
             // gives it to the pod.
             let ip = self.alloc_ip();
             let agent = VmAgent::new(vm);
-            let conf = agent.configure_pod_nic(ctx.vmm, &nic.mac, ip, self.subnet).ok_or_else(
-                || CniError { reason: format!("agent cannot find NIC {}", nic.mac) },
-            )?;
+            let conf = agent
+                .configure_pod_nic(ctx.vmm, &nic.mac, ip, self.subnet)
+                .ok_or_else(|| CniError {
+                    reason: format!("agent cannot find NIC {}", nic.mac),
+                })?;
 
             // Host-level NAT keeps its usual role: publish the pod's ports
             // and learn the pod as a neighbor on the bridge.
@@ -135,7 +139,12 @@ impl CniPlugin for BrFusionCni {
             out.push(PodAttachment {
                 container_idx: idx,
                 vm,
-                net: contd::ContainerNet { ip, mac, attach: conf.attach, iface },
+                net: contd::ContainerNet {
+                    ip,
+                    mac,
+                    attach: conf.attach,
+                    iface,
+                },
             });
         }
         Ok(out)
@@ -160,18 +169,23 @@ mod tests {
         let host_station = vmm.host_station();
         let router = NatRouter::new(
             vec![
-                Interface::new(simnet::MacAddr::local(900), Ip4::new(10, 99, 0, 1), Ip4Net::new(Ip4::new(10, 99, 0, 0), 24)),
+                Interface::new(
+                    simnet::MacAddr::local(900),
+                    Ip4::new(10, 99, 0, 1),
+                    Ip4Net::new(Ip4::new(10, 99, 0, 0), 24),
+                ),
                 Interface::new(simnet::MacAddr::local(901), subnet.host(1), subnet),
             ],
             costs.host_nat,
             host_station,
         );
         let ctl = router.control();
-        let nat_dev = vmm
-            .network_mut()
-            .add_device("host-nat", metrics::CpuLocation::Host, Box::new(router));
+        let nat_dev =
+            vmm.network_mut()
+                .add_device("host-nat", metrics::CpuLocation::Host, Box::new(router));
         let (br_dev, br_port) = vmm.alloc_bridge_port(br);
-        vmm.network_mut().connect(nat_dev, PortId(1), br_dev, br_port, Default::default());
+        vmm.network_mut()
+            .connect(nat_dev, PortId(1), br_dev, br_port, Default::default());
 
         vmm.create_vm(VmSpec::paper_eval("vm0"));
         let cni = BrFusionCni::new("br0", subnet, 50, ctl.clone(), PortId(1));
@@ -189,7 +203,10 @@ mod tests {
     fn brfusion_hot_plugs_and_configures() {
         let (mut vmm, ctl, mut cni) = testbed();
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let atts = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap();
         assert_eq!(atts.len(), 1);
         let a = &atts[0];
@@ -205,7 +222,9 @@ mod tests {
         let names: Vec<String> = (0..vmm.network().device_count())
             .map(|i| vmm.network().device_name(simnet::DeviceId(i)).to_owned())
             .collect();
-        assert!(!names.iter().any(|n| n.contains("docker0") || n.contains("/nat")));
+        assert!(!names
+            .iter()
+            .any(|n| n.contains("docker0") || n.contains("/nat")));
         let _ = SharedStation::new();
     }
 
@@ -215,9 +234,15 @@ mod tests {
         let mut engines = BTreeMap::new();
         let two = PodSpec::new(
             "p2",
-            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+            vec![
+                ContainerSpec::new("a", "i:1"),
+                ContainerSpec::new("b", "i:1"),
+            ],
         );
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let atts = cni.setup(&mut ctx, &two, &[VmId(0), VmId(0)]).unwrap();
         assert_ne!(atts[0].net.ip, atts[1].net.ip);
         assert_ne!(atts[0].net.mac, atts[1].net.mac);
@@ -230,9 +255,15 @@ mod tests {
         let mut engines = BTreeMap::new();
         let two = PodSpec::new(
             "p2",
-            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+            vec![
+                ContainerSpec::new("a", "i:1"),
+                ContainerSpec::new("b", "i:1"),
+            ],
         );
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let err = cni.setup(&mut ctx, &two, &[VmId(0), VmId(1)]).unwrap_err();
         assert!(err.reason.contains("Hostlo"));
     }
@@ -240,9 +271,18 @@ mod tests {
     #[test]
     fn brfusion_unknown_bridge_fails_cleanly() {
         let (mut vmm, ctl, _) = testbed();
-        let mut cni = BrFusionCni::new("ghost", Ip4Net::new(Ip4::new(192, 168, 0, 0), 24), 50, ctl, PortId(1));
+        let mut cni = BrFusionCni::new(
+            "ghost",
+            Ip4Net::new(Ip4::new(192, 168, 0, 0), 24),
+            50,
+            ctl,
+            PortId(1),
+        );
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let err = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap_err();
         assert!(err.reason.contains("netdev_add"));
     }

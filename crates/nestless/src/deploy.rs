@@ -125,12 +125,13 @@ impl ClusterBuilder {
         );
         let host_nat_ctl = router.control();
         host_nat_ctl.masquerade_on(PortId(1));
-        let host_nat = vmm
-            .network_mut()
-            .add_device("host-nat", CpuLocation::Host, Box::new(router));
+        let host_nat =
+            vmm.network_mut()
+                .add_device("host-nat", CpuLocation::Host, Box::new(router));
         let (br_dev, br_port) = vmm.alloc_bridge_port(bridge);
         let link = LinkParams::with_latency(vmm.costs().link_latency);
-        vmm.network_mut().connect(host_nat, PortId(1), br_dev, br_port, link);
+        vmm.network_mut()
+            .connect(host_nat, PortId(1), br_dev, br_port, link);
 
         // Nodes + engines.
         let mut engines = BTreeMap::new();
@@ -159,7 +160,13 @@ impl ClusterBuilder {
             CniKind::Default => (Box::new(MostRequestedScheduler), Box::new(DefaultCni)),
             CniKind::BrFusion => (
                 Box::new(MostRequestedScheduler),
-                Box::new(BrFusionCni::new("br0", CLUSTER_NET, 100, host_nat_ctl.clone(), PortId(1))),
+                Box::new(BrFusionCni::new(
+                    "br0",
+                    CLUSTER_NET,
+                    100,
+                    host_nat_ctl.clone(),
+                    PortId(1),
+                )),
             ),
             CniKind::Hostlo => (Box::new(SpreadScheduler), Box::new(HostloCni::new())),
         };
@@ -168,7 +175,15 @@ impl ClusterBuilder {
             control_plane.register_node(&vmm, vm);
         }
 
-        Cluster { vmm, engines, control_plane, bridge, host_nat_ctl, host_nat, kind: self.cni }
+        Cluster {
+            vmm,
+            engines,
+            control_plane,
+            bridge,
+            host_nat_ctl,
+            host_nat,
+            kind: self.cni,
+        }
     }
 }
 
@@ -197,7 +212,10 @@ impl Cluster {
 
     /// Deploys a pod through the control plane.
     pub fn deploy(&mut self, pod: PodSpec) -> Result<PodId, DeployError> {
-        let mut ctx = ClusterCtx { vmm: &mut self.vmm, engines: &mut self.engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut self.vmm,
+            engines: &mut self.engines,
+        };
         self.control_plane.deploy_pod(&mut ctx, pod)
     }
 
@@ -235,7 +253,9 @@ impl Cluster {
             att.net.attach.1,
             LinkParams::default(),
         );
-        self.vmm.network_mut().schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
+        self.vmm
+            .network_mut()
+            .schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
         dev
     }
 
@@ -300,7 +320,14 @@ mod tests {
         // Each container got its own hot-plugged NIC on the cluster subnet.
         for a in &atts {
             assert!(CLUSTER_NET.contains(a.net.ip));
-            assert!(cluster.vmm.vm(a.vm).nic_by_mac(a.net.mac).unwrap().hot_plugged);
+            assert!(
+                cluster
+                    .vmm
+                    .vm(a.vm)
+                    .nic_by_mac(a.net.mac)
+                    .unwrap()
+                    .hot_plugged
+            );
         }
     }
 
@@ -308,7 +335,9 @@ mod tests {
     fn hostlo_cluster_serves_cross_vm_traffic() {
         let mut cluster = ClusterBuilder::new().cni(CniKind::Hostlo).vms(2).build();
         // 4+4 vCPUs cannot fit one 5-vCPU node.
-        let id = cluster.deploy(two_container_pod(4000)).expect("cross-VM deploys");
+        let id = cluster
+            .deploy(two_container_pod(4000))
+            .expect("cross-VM deploys");
         let atts: Vec<_> = cluster.attachments(id).to_vec();
         assert_ne!(atts[0].vm, atts[1].vm, "spread across nodes");
 

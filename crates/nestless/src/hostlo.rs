@@ -11,17 +11,20 @@
 //! every frame to all queues and the endpoints filter (§4.2), so no
 //! neighbor resolution is needed.
 
+use orchestrator::NodeId;
 use orchestrator::{
     ClusterCtx, CniError, CniPlugin, Node, Placement, PodAttachment, PodSpec, SchedError,
     Scheduler, VmAgent,
 };
-use orchestrator::NodeId;
 use simnet::veth::Loopback;
 use simnet::{Ip4, Ip4Net};
 use vmm::{QmpCommand, QmpResponse, VmId};
 
 /// The link-local subnet pods' hostlo interfaces live in.
-pub const HOSTLO_SUBNET: Ip4Net = Ip4Net { addr: Ip4(0xA9FE_0000), prefix: 24 }; // 169.254.0.0/24
+pub const HOSTLO_SUBNET: Ip4Net = Ip4Net {
+    addr: Ip4(0xA9FE_0000),
+    prefix: 24,
+}; // 169.254.0.0/24
 
 /// The shared pod-localhost address on a hostlo interface.
 pub const POD_LOCALHOST: Ip4 = Ip4(0xA9FE_0001); // 169.254.0.1
@@ -57,7 +60,9 @@ impl CniPlugin for HostloCni {
         placement: &[VmId],
     ) -> Result<Vec<PodAttachment>, CniError> {
         if placement.len() != pod.containers.len() {
-            return Err(CniError { reason: "placement/container arity mismatch".to_owned() });
+            return Err(CniError {
+                reason: "placement/container arity mismatch".to_owned(),
+            });
         }
         // Distinct VMs, in first-seen order.
         let mut vms: Vec<VmId> = Vec::new();
@@ -78,7 +83,9 @@ impl CniPlugin for HostloCni {
             vms: vms.iter().map(|v| v.0).collect(),
         });
         let QmpResponse::HostloCreated { endpoints } = resp else {
-            return Err(CniError { reason: format!("VMM refused hostlo_create: {resp:?}") });
+            return Err(CniError {
+                reason: format!("VMM refused hostlo_create: {resp:?}"),
+            });
         };
 
         // Step 3-4: each VM agent configures its endpoint as the pod
@@ -102,7 +109,9 @@ impl CniPlugin for HostloCni {
             let ep = endpoints
                 .iter()
                 .find(|e| e.vm == vm.0)
-                .ok_or_else(|| CniError { reason: format!("no hostlo endpoint for {vm:?}") })?;
+                .ok_or_else(|| CniError {
+                    reason: format!("no hostlo endpoint for {vm:?}"),
+                })?;
             let agent = VmAgent::new(vm);
             let conf = agent
                 .configure_hostlo_nic(ctx.vmm, &ep.mac, POD_LOCALHOST, HOSTLO_SUBNET)
@@ -173,7 +182,9 @@ pub struct SpreadScheduler;
 impl Scheduler for SpreadScheduler {
     fn place(&self, pod: &PodSpec, nodes: &[Node]) -> Result<Placement, SchedError> {
         if nodes.is_empty() {
-            return Err(SchedError { reason: "no nodes".to_owned() });
+            return Err(SchedError {
+                reason: "no nodes".to_owned(),
+            });
         }
         let mut free: Vec<_> = nodes.iter().map(Node::free).collect();
         let mut assignments = Vec::with_capacity(pod.containers.len());
@@ -205,7 +216,10 @@ mod tests {
     fn two_container_pod() -> PodSpec {
         PodSpec::new(
             "p",
-            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+            vec![
+                ContainerSpec::new("a", "i:1"),
+                ContainerSpec::new("b", "i:1"),
+            ],
         )
     }
 
@@ -215,7 +229,10 @@ mod tests {
         vmm.create_vm(VmSpec::paper_eval("vm0"));
         vmm.create_vm(VmSpec::paper_eval("vm1"));
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let atts = HostloCni::new()
             .setup(&mut ctx, &two_container_pod(), &[VmId(0), VmId(1)])
             .unwrap();
@@ -235,7 +252,10 @@ mod tests {
         let mut vmm = Vmm::new(0);
         vmm.create_vm(VmSpec::paper_eval("vm0"));
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let atts = HostloCni::new()
             .setup(&mut ctx, &two_container_pod(), &[VmId(0), VmId(0)])
             .unwrap();
@@ -266,10 +286,8 @@ mod tests {
         let pod = PodSpec::new(
             "p",
             vec![
-                ContainerSpec::new("a", "i:1")
-                    .with_resources(contd::ResourceRequest::new(100, 64)),
-                ContainerSpec::new("b", "i:1")
-                    .with_resources(contd::ResourceRequest::new(100, 64)),
+                ContainerSpec::new("a", "i:1").with_resources(contd::ResourceRequest::new(100, 64)),
+                ContainerSpec::new("b", "i:1").with_resources(contd::ResourceRequest::new(100, 64)),
             ],
         );
         let placement = SpreadScheduler.place(&pod, &nodes).unwrap();
@@ -290,7 +308,10 @@ mod tests {
             ],
         );
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let err = HostloCni::new()
             .setup(&mut ctx, &pod, &[VmId(0), VmId(1), VmId(0)])
             .unwrap_err();
@@ -303,8 +324,13 @@ mod tests {
         vmm.create_vm(VmSpec::paper_eval("vm0"));
         let pod = PodSpec::new("p1", vec![ContainerSpec::new("a", "i:1")]);
         let mut engines = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
-        let err = HostloCni::new().setup(&mut ctx, &pod, &[VmId(0)]).unwrap_err();
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let err = HostloCni::new()
+            .setup(&mut ctx, &pod, &[VmId(0)])
+            .unwrap_err();
         assert!(err.reason.contains("intra-pod"));
     }
 }

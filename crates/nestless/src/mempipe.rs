@@ -58,7 +58,10 @@ pub fn mempipe(tx_vm: VmId, rx_vm: VmId, capacity: usize) -> (MemPipeTx, MemPipe
         msgs_received: AtomicU64::new(0),
     });
     (
-        MemPipeTx { vm: tx_vm, shared: shared.clone() },
+        MemPipeTx {
+            vm: tx_vm,
+            shared: shared.clone(),
+        },
         MemPipeRx { vm: rx_vm, shared },
     )
 }
@@ -83,7 +86,9 @@ impl MemPipeRx {
     /// Receives the oldest message; fails when empty.
     pub fn recv(&self) -> Result<Vec<u8>, PipeEmpty> {
         let msg = self.shared.ring.pop().ok_or(PipeEmpty)?;
-        self.shared.bytes_received.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.shared
+            .bytes_received
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.shared.msgs_received.fetch_add(1, Ordering::Relaxed);
         Ok(msg)
     }

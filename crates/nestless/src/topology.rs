@@ -27,9 +27,15 @@ use std::collections::BTreeMap;
 use vmm::{VmId, VmSpec, Vmm};
 
 /// The host-bridge subnet of the testbed.
-pub const HOST_NET: Ip4Net = Ip4Net { addr: Ip4(0xC0A8_0000), prefix: 24 }; // 192.168.0.0/24
+pub const HOST_NET: Ip4Net = Ip4Net {
+    addr: Ip4(0xC0A8_0000),
+    prefix: 24,
+}; // 192.168.0.0/24
 /// The external client subnet behind the host NAT.
-pub const CLIENT_NET: Ip4Net = Ip4Net { addr: Ip4(0x0A63_0000), prefix: 24 }; // 10.99.0.0/24
+pub const CLIENT_NET: Ip4Net = Ip4Net {
+    addr: Ip4(0x0A63_0000),
+    prefix: 24,
+}; // 10.99.0.0/24
 
 /// The port every benchmark server binds.
 pub const SERVER_PORT: u16 = 7000;
@@ -124,8 +130,18 @@ impl Testbed {
         app: Box<dyn Application>,
     ) -> DeviceId {
         let sock_cost = self.vmm.costs().socket;
-        let ep = Endpoint::new(name, vec![slot.iface.clone()], bound, sock_cost, slot.station.clone(), app);
-        let id = self.vmm.network_mut().add_device(name, slot.loc, Box::new(ep));
+        let ep = Endpoint::new(
+            name,
+            vec![slot.iface.clone()],
+            bound,
+            sock_cost,
+            slot.station.clone(),
+            app,
+        );
+        let id = self
+            .vmm
+            .network_mut()
+            .add_device(name, slot.loc, Box::new(ep));
         self.vmm.network_mut().connect(
             id,
             PortId::P0,
@@ -255,7 +271,8 @@ fn build_host_side(seed: u64, opts: &BuildOpts) -> HostSide {
         .add_device("host-nat", CpuLocation::Host, Box::new(router));
     let (br_dev, br_port) = vmm.alloc_bridge_port(bridge);
     let link = LinkParams::with_latency(vmm.costs().link_latency);
-    vmm.network_mut().connect(host_nat, PortId(1), br_dev, br_port, link);
+    vmm.network_mut()
+        .connect(host_nat, PortId(1), br_dev, br_port, link);
 
     let client = Slot {
         attach: (host_nat, PortId(0)),
@@ -265,7 +282,13 @@ fn build_host_side(seed: u64, opts: &BuildOpts) -> HostSide {
         // "The client runs on different CPUs of the physical host" (§5.1).
         station: SharedStation::new(),
     };
-    HostSide { vmm, bridge, host_nat, host_nat_ctl, client }
+    HostSide {
+        vmm,
+        bridge,
+        host_nat,
+        host_nat_ctl,
+        client,
+    }
 }
 
 fn vm_ip(i: u32) -> Ip4 {
@@ -275,7 +298,9 @@ fn vm_ip(i: u32) -> Ip4 {
 fn build_nocont(seed: u64, opts: &BuildOpts) -> Testbed {
     let mut hs = build_host_side(seed, opts);
     let vm = hs.vmm.create_vm(VmSpec::paper_eval("vm0"));
-    let eth0 = hs.vmm.add_nic(vm, hs.bridge, opts.suppression_primary, false);
+    let eth0 = hs
+        .vmm
+        .add_nic(vm, hs.bridge, opts.suppression_primary, false);
     let ip = vm_ip(0);
 
     // The server endpoint *is* the guest stack's owner of eth0.
@@ -302,7 +327,9 @@ fn build_nocont(seed: u64, opts: &BuildOpts) -> Testbed {
 fn build_nat(seed: u64, opts: &BuildOpts) -> Testbed {
     let mut hs = build_host_side(seed, opts);
     let vm = hs.vmm.create_vm(VmSpec::paper_eval("vm0"));
-    let eth0 = hs.vmm.add_nic(vm, hs.bridge, opts.suppression_primary, false);
+    let eth0 = hs
+        .vmm
+        .add_nic(vm, hs.bridge, opts.suppression_primary, false);
     let ip = vm_ip(0);
 
     let mut dp = NodeDataplane::new(&mut hs.vmm, vm, &eth0, ip, HOST_NET, 8);
@@ -311,8 +338,16 @@ fn build_nat(seed: u64, opts: &BuildOpts) -> Testbed {
         &mut hs.vmm,
         "server",
         &[
-            contd::PortMapping { proto: Proto::Udp, host_port: SERVER_PORT, container_port: SERVER_PORT },
-            contd::PortMapping { proto: Proto::Tcp, host_port: SERVER_PORT, container_port: SERVER_PORT },
+            contd::PortMapping {
+                proto: Proto::Udp,
+                host_port: SERVER_PORT,
+                container_port: SERVER_PORT,
+            },
+            contd::PortMapping {
+                proto: Proto::Tcp,
+                host_port: SERVER_PORT,
+                container_port: SERVER_PORT,
+            },
         ],
     );
     // Mutual neighbor knowledge across the host bridge.
@@ -342,7 +377,9 @@ fn build_brfusion(seed: u64, opts: &BuildOpts) -> Testbed {
     let mut hs = build_host_side(seed, opts);
     let vm = hs.vmm.create_vm(VmSpec::paper_eval("vm0"));
     // The VM keeps a primary NIC (management); pod traffic bypasses it.
-    let _eth0 = hs.vmm.add_nic(vm, hs.bridge, opts.suppression_primary, false);
+    let _eth0 = hs
+        .vmm
+        .add_nic(vm, hs.bridge, opts.suppression_primary, false);
 
     let mut cni = BrFusionCni::new("br0", HOST_NET, 50, hs.host_nat_ctl.clone(), PortId(1));
     let pod = PodSpec::new(
@@ -353,8 +390,12 @@ fn build_brfusion(seed: u64, opts: &BuildOpts) -> Testbed {
     );
     let mut engines = BTreeMap::new();
     let atts = {
-        let mut ctx = ClusterCtx { vmm: &mut hs.vmm, engines: &mut engines };
-        cni.setup(&mut ctx, &pod, &[vm]).expect("BrFusion CNI setup")
+        let mut ctx = ClusterCtx {
+            vmm: &mut hs.vmm,
+            engines: &mut engines,
+        };
+        cni.setup(&mut ctx, &pod, &[vm])
+            .expect("BrFusion CNI setup")
     };
     let att = &atts[0];
 
@@ -391,7 +432,10 @@ fn build_same_node(seed: u64, opts: &BuildOpts) -> Testbed {
     let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
     let mut engines = BTreeMap::new();
     let atts = {
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         HostloCni::new()
             .setup(&mut ctx, &pod_two(), &[vm, vm])
             .expect("same-node CNI setup")
@@ -421,7 +465,10 @@ fn build_hostlo(seed: u64, opts: &BuildOpts) -> Testbed {
     let vm1 = vmm.create_vm(VmSpec::paper_eval("vm1"));
     let mut engines = BTreeMap::new();
     let atts = {
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         HostloCni::new()
             .setup(&mut ctx, &pod_two(), &[vm0, vm1])
             .expect("hostlo CNI setup")
@@ -468,8 +515,16 @@ fn build_nat_cross(seed: u64, opts: &BuildOpts) -> Testbed {
         &mut vmm,
         "server",
         &[
-            contd::PortMapping { proto: Proto::Udp, host_port: SERVER_PORT, container_port: SERVER_PORT },
-            contd::PortMapping { proto: Proto::Tcp, host_port: SERVER_PORT, container_port: SERVER_PORT },
+            contd::PortMapping {
+                proto: Proto::Udp,
+                host_port: SERVER_PORT,
+                container_port: SERVER_PORT,
+            },
+            contd::PortMapping {
+                proto: Proto::Tcp,
+                host_port: SERVER_PORT,
+                container_port: SERVER_PORT,
+            },
         ],
     );
     // The two VMs are L2 neighbors on the host bridge.
@@ -571,8 +626,12 @@ mod tests {
         let mut tb = build(config, 7);
         let target = tb.target;
         let server = tb.install("server", &tb.server.clone(), [SERVER_PORT], Box::new(Echo));
-        let client =
-            tb.install("client", &tb.client.clone(), [CLIENT_PORT], Box::new(OneShot { target }));
+        let client = tb.install(
+            "client",
+            &tb.client.clone(),
+            [CLIENT_PORT],
+            Box::new(OneShot { target }),
+        );
         tb.start(&[server, client]);
         tb.vmm.network_mut().run_for(SimDuration::secs(1));
         let rtts = tb.vmm.network().store().samples("rtt_us");
@@ -638,6 +697,9 @@ mod tests {
         let hostlo = smoke(Config::Hostlo);
         let cross = smoke(Config::NatCross);
         assert!(same < hostlo, "SameNode ({same}) fastest");
-        assert!(hostlo < cross, "Hostlo ({hostlo}) beats NAT cross-VM ({cross})");
+        assert!(
+            hostlo < cross,
+            "Hostlo ({hostlo}) beats NAT cross-VM ({cross})"
+        );
     }
 }

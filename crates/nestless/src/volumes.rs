@@ -103,7 +103,10 @@ impl VolumeManager {
     /// Mounts a volume into a VM (the VMM attaches the VirtFS transport;
     /// the in-VM agent mounts it for the pod fraction).
     pub fn mount(&self, volume: &Volume, vm: VmId) -> VolumeMount {
-        VolumeMount { vm, volume: volume.clone() }
+        VolumeMount {
+            vm,
+            volume: volume.clone(),
+        }
     }
 }
 
@@ -118,9 +121,15 @@ mod tests {
         let m0 = mgr.mount(&vol, VmId(0));
         let m1 = mgr.mount(&vol, VmId(1));
         m0.write("data/state.json", b"{\"x\":1}".to_vec());
-        assert_eq!(m1.read("data/state.json").as_deref(), Some(b"{\"x\":1}".as_ref()));
+        assert_eq!(
+            m1.read("data/state.json").as_deref(),
+            Some(b"{\"x\":1}".as_ref())
+        );
         m1.write("data/state.json", b"{\"x\":2}".to_vec());
-        assert_eq!(m0.read("data/state.json").as_deref(), Some(b"{\"x\":2}".as_ref()));
+        assert_eq!(
+            m0.read("data/state.json").as_deref(),
+            Some(b"{\"x\":2}".as_ref())
+        );
         assert_eq!(vol.write_count(), 2);
     }
 

@@ -43,7 +43,11 @@ impl Application for Ping {
 
 #[test]
 fn cross_vm_pod_gets_localhost_volume_and_mempipe() {
-    let mut cluster = ClusterBuilder::new().cni(CniKind::Hostlo).vms(2).seed(17).build();
+    let mut cluster = ClusterBuilder::new()
+        .cni(CniKind::Hostlo)
+        .vms(2)
+        .seed(17)
+        .build();
     let pod = PodSpec::new(
         "data",
         vec![
@@ -76,7 +80,10 @@ fn cross_vm_pod_gets_localhost_volume_and_mempipe() {
     let m_other = volumes.mount(&other, atts[1].vm);
     m_writer.write("wal/0001.log", vec![7u8; 1024]);
     assert_eq!(m_reader.read("wal/0001.log").map(|v| v.len()), Some(1024));
-    assert!(m_other.read("wal/0001.log").is_none(), "volumes are isolated");
+    assert!(
+        m_other.read("wal/0001.log").is_none(),
+        "volumes are isolated"
+    );
     m_reader.write("wal/ack", b"ok".to_vec());
     assert_eq!(m_writer.read("wal/ack").as_deref(), Some(b"ok".as_ref()));
 

@@ -34,7 +34,10 @@ impl Application for Loop {
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
         self.done += 1;
         api.count("prop.replies", 1.0);
-        api.record("prop.rtt_ns", api.now().since(msg.payload.sent_at).as_nanos() as f64);
+        api.record(
+            "prop.rtt_ns",
+            api.now().since(msg.payload.sent_at).as_nanos() as f64,
+        );
         if self.done < self.want {
             let mut p = Payload::sized(self.size);
             p.tag = msg.payload.tag + 1;
@@ -51,7 +54,12 @@ fn run(config: Config, seed: u64, size: u32, want: u64) -> (f64, Vec<f64>) {
         "cli",
         &tb.client.clone(),
         [CLIENT_PORT],
-        Box::new(Loop { dst: target, size, want, done: 0 }),
+        Box::new(Loop {
+            dst: target,
+            size,
+            want,
+            done: 0,
+        }),
     );
     tb.start(&[s, c]);
     tb.vmm.network_mut().run_for(SimDuration::millis(200));

@@ -84,9 +84,11 @@ mod tests {
         let mut vmm = Vmm::new(0);
         vmm.create_bridge("br0", 8);
         let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
-        let QmpResponse::NicAdded(nic) =
-            vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: false })
-        else {
+        let QmpResponse::NicAdded(nic) = vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 0,
+            bridge: "br0".into(),
+            coalesce: false,
+        }) else {
             panic!("hot-plug failed")
         };
 
@@ -107,8 +109,12 @@ mod tests {
         let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
         let agent = VmAgent::new(vm);
         let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
-        assert!(agent.configure_pod_nic(&vmm, "52:54:00:00:00:99", subnet.host(2), subnet).is_none());
-        assert!(agent.configure_pod_nic(&vmm, "not-a-mac", subnet.host(2), subnet).is_none());
+        assert!(agent
+            .configure_pod_nic(&vmm, "52:54:00:00:00:99", subnet.host(2), subnet)
+            .is_none());
+        assert!(agent
+            .configure_pod_nic(&vmm, "not-a-mac", subnet.host(2), subnet)
+            .is_none());
     }
 
     #[test]

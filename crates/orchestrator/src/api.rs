@@ -54,7 +54,12 @@ pub struct ControlPlane {
 impl ControlPlane {
     /// Creates a control plane with a scheduler and a CNI plugin.
     pub fn new(scheduler: Box<dyn Scheduler>, cni: Box<dyn CniPlugin>) -> ControlPlane {
-        ControlPlane { nodes: Vec::new(), pods: Vec::new(), scheduler, cni }
+        ControlPlane {
+            nodes: Vec::new(),
+            pods: Vec::new(),
+            scheduler,
+            cni,
+        }
     }
 
     /// Registers a VM as a schedulable node.
@@ -92,8 +97,12 @@ impl ControlPlane {
         for (c, &node) in rec.spec.containers.iter().zip(&rec.placement.assignments) {
             let n = &mut self.nodes[node.0];
             n.allocated = contd::ResourceRequest::new(
-                n.allocated.cpu_millis.saturating_sub(c.resources.cpu_millis),
-                n.allocated.memory_mib.saturating_sub(c.resources.memory_mib),
+                n.allocated
+                    .cpu_millis
+                    .saturating_sub(c.resources.cpu_millis),
+                n.allocated
+                    .memory_mib
+                    .saturating_sub(c.resources.memory_mib),
             );
         }
     }
@@ -157,8 +166,10 @@ impl ControlPlane {
         ctx: &mut ClusterCtx<'_>,
         spec: PodSpec,
     ) -> Result<PodId, DeployError> {
-        let placement =
-            self.scheduler.place(&spec, &self.nodes).map_err(DeployError::Unschedulable)?;
+        let placement = self
+            .scheduler
+            .place(&spec, &self.nodes)
+            .map_err(DeployError::Unschedulable)?;
         assert_eq!(
             placement.assignments.len(),
             spec.containers.len(),
@@ -171,10 +182,15 @@ impl ControlPlane {
         }
 
         // Resolve node -> VM for the CNI plugin.
-        let vm_placement: Vec<VmId> =
-            placement.assignments.iter().map(|n| self.nodes[n.0].vm).collect();
-        let attachments =
-            self.cni.setup(ctx, &spec, &vm_placement).map_err(DeployError::Network)?;
+        let vm_placement: Vec<VmId> = placement
+            .assignments
+            .iter()
+            .map(|n| self.nodes[n.0].vm)
+            .collect();
+        let attachments = self
+            .cni
+            .setup(ctx, &spec, &vm_placement)
+            .map_err(DeployError::Network)?;
 
         // Create the containers (network handled above).
         for (c, &vm) in spec.containers.iter().zip(&vm_placement) {
@@ -187,7 +203,13 @@ impl ControlPlane {
         }
 
         let id = PodId(self.pods.len() as u32);
-        self.pods.push(PodRecord { id, spec, placement, attachments, live: true });
+        self.pods.push(PodRecord {
+            id,
+            spec,
+            placement,
+            attachments,
+            live: true,
+        });
         Ok(id)
     }
 }
@@ -214,10 +236,7 @@ mod tests {
         let br = vmm.create_bridge("br0", 32);
         let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
         let mut engines = BTreeMap::new();
-        let mut cp = ControlPlane::new(
-            Box::new(MostRequestedScheduler),
-            Box::new(DefaultCni),
-        );
+        let mut cp = ControlPlane::new(Box::new(MostRequestedScheduler), Box::new(DefaultCni));
         for i in 0..n {
             let vm = vmm.create_vm(VmSpec::paper_eval(format!("vm{i}")));
             let eth0 = vmm.add_nic(vm, br, true, false);
@@ -250,7 +269,10 @@ mod tests {
     #[test]
     fn deploy_places_wires_and_creates() {
         let (mut vmm, mut engines, mut cp) = cluster(2);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let id = cp.deploy_pod(&mut ctx, pod("p0", 1000)).unwrap();
         let rec = cp.pod(id);
         assert!(rec.placement.is_single_node());
@@ -262,7 +284,10 @@ mod tests {
     #[test]
     fn allocations_accumulate_and_gate() {
         let (mut vmm, mut engines, mut cp) = cluster(1);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         // 2 x 2000 mCPU fits a 5000 node...
         cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
         // ...but a second such pod does not (4000 + 4000 > 5000).
@@ -274,7 +299,10 @@ mod tests {
     #[test]
     fn delete_pod_frees_allocations() {
         let (mut vmm, mut engines, mut cp) = cluster(1);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let id = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
         // The node is full: a second pod is refused...
         assert!(cp.deploy_pod(&mut ctx, pod("p1", 2000)).is_err());
@@ -290,7 +318,10 @@ mod tests {
     #[should_panic(expected = "already deleted")]
     fn double_delete_panics() {
         let (mut vmm, mut engines, mut cp) = cluster(1);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let id = cp.deploy_pod(&mut ctx, pod("p0", 100)).unwrap();
         cp.delete_pod(id);
         cp.delete_pod(id);
@@ -299,7 +330,10 @@ mod tests {
     #[test]
     fn drain_reschedules_pods_elsewhere() {
         let (mut vmm, mut engines, mut cp) = cluster(2);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let id = cp.deploy_pod(&mut ctx, pod("p0", 500)).unwrap();
         let old_node = cp.pod(id).placement.assignments[0];
         let (moved, failed) = cp.drain_node(&mut ctx, old_node);
@@ -315,7 +349,10 @@ mod tests {
     #[test]
     fn drain_reports_unschedulable_victims() {
         let (mut vmm, mut engines, mut cp) = cluster(1);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let id = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap();
         let node = cp.pod(id).placement.assignments[0];
         // Only node drained: nowhere to go.
@@ -327,7 +364,10 @@ mod tests {
     #[test]
     fn most_requested_groups_pods() {
         let (mut vmm, mut engines, mut cp) = cluster(3);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let a = cp.deploy_pod(&mut ctx, pod("p0", 500)).unwrap();
         let b = cp.deploy_pod(&mut ctx, pod("p1", 500)).unwrap();
         // Second pod lands on the same (now fullest) node.

@@ -100,7 +100,11 @@ impl CniPlugin for DefaultCni {
                 reason: format!("no default dataplane on {vm:?}"),
             })?;
             let net = dp.attach_container(ctx.vmm, &c.name, &c.ports);
-            out.push(PodAttachment { container_idx: idx, vm, net });
+            out.push(PodAttachment {
+                container_idx: idx,
+                vm,
+                net,
+            });
         }
         Ok(out)
     }
@@ -139,10 +143,18 @@ mod tests {
         let (mut vmm, mut engines) = cluster();
         let pod = PodSpec::new(
             "p",
-            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+            vec![
+                ContainerSpec::new("a", "i:1"),
+                ContainerSpec::new("b", "i:1"),
+            ],
         );
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
-        let atts = DefaultCni.setup(&mut ctx, &pod, &[VmId(0), VmId(0)]).unwrap();
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let atts = DefaultCni
+            .setup(&mut ctx, &pod, &[VmId(0), VmId(0)])
+            .unwrap();
         assert_eq!(atts.len(), 2);
         assert_ne!(atts[0].net.ip, atts[1].net.ip);
         assert!(atts.iter().all(|a| a.vm == VmId(0)));
@@ -153,10 +165,18 @@ mod tests {
         let (mut vmm, mut engines) = cluster();
         let pod = PodSpec::new(
             "p",
-            vec![ContainerSpec::new("a", "i:1"), ContainerSpec::new("b", "i:1")],
+            vec![
+                ContainerSpec::new("a", "i:1"),
+                ContainerSpec::new("b", "i:1"),
+            ],
         );
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
-        let err = DefaultCni.setup(&mut ctx, &pod, &[VmId(0), VmId(1)]).unwrap_err();
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let err = DefaultCni
+            .setup(&mut ctx, &pod, &[VmId(0), VmId(1)])
+            .unwrap_err();
         assert!(err.reason.contains("cross-VM"));
     }
 
@@ -166,7 +186,10 @@ mod tests {
         let vm9 = vmm.create_vm(VmSpec::paper_eval("vm9"));
         let pod = PodSpec::new("p", vec![ContainerSpec::new("a", "i:1")]);
         let mut empty = BTreeMap::new();
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut empty };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut empty,
+        };
         let err = DefaultCni.setup(&mut ctx, &pod, &[vm9]).unwrap_err();
         assert!(err.reason.contains("no container engine"));
     }

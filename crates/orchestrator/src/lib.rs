@@ -24,5 +24,5 @@ pub use cni::{ClusterCtx, CniError, CniPlugin, DefaultCni, PodAttachment};
 pub use node::{Node, NodeId};
 pub use pod::{PodId, PodSpec};
 pub use replicaset::{ReconcileReport, ReplicaSet, ReplicaSetController, ReplicaSetId};
-pub use service::Service;
 pub use scheduler::{MostRequestedScheduler, Placement, SchedError, Scheduler};
+pub use service::Service;

@@ -32,8 +32,12 @@ impl Node {
     /// Resources still free.
     pub fn free(&self) -> ResourceRequest {
         ResourceRequest::new(
-            self.capacity.cpu_millis.saturating_sub(self.allocated.cpu_millis),
-            self.capacity.memory_mib.saturating_sub(self.allocated.memory_mib),
+            self.capacity
+                .cpu_millis
+                .saturating_sub(self.allocated.cpu_millis),
+            self.capacity
+                .memory_mib
+                .saturating_sub(self.allocated.memory_mib),
         )
     }
 
@@ -47,7 +51,11 @@ impl Node {
     /// # Panics
     /// Panics if the request does not fit (callers must check first).
     pub fn allocate(&mut self, req: ResourceRequest) {
-        assert!(self.fits(req), "allocation does not fit on node {:?}", self.vm);
+        assert!(
+            self.fits(req),
+            "allocation does not fit on node {:?}",
+            self.vm
+        );
         self.allocated = self.allocated.plus(req);
     }
 

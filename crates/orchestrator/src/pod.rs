@@ -23,8 +23,14 @@ pub struct PodSpec {
 impl PodSpec {
     /// Builds a pod.
     pub fn new(name: impl Into<String>, containers: Vec<ContainerSpec>) -> PodSpec {
-        let spec = PodSpec { name: name.into(), containers };
-        assert!(!spec.containers.is_empty(), "a pod has at least one container");
+        let spec = PodSpec {
+            name: name.into(),
+            containers,
+        };
+        assert!(
+            !spec.containers.is_empty(),
+            "a pod has at least one container"
+        );
         spec
     }
 

@@ -61,7 +61,13 @@ impl ReplicaSetController {
     /// Declares a replica set.
     pub fn create(&mut self, template: PodSpec, replicas: u32) -> ReplicaSetId {
         let id = ReplicaSetId(self.sets.len() as u32);
-        self.sets.push(ReplicaSet { id, template, replicas, pods: Vec::new(), next_ordinal: 0 });
+        self.sets.push(ReplicaSet {
+            id,
+            template,
+            replicas,
+            pods: Vec::new(),
+            next_ordinal: 0,
+        });
         id
     }
 
@@ -86,7 +92,10 @@ impl ReplicaSetController {
         cp: &mut ControlPlane,
         ctx: &mut ClusterCtx<'_>,
     ) -> ReconcileReport {
-        let mut report = ReconcileReport { created: 0, failed: 0 };
+        let mut report = ReconcileReport {
+            created: 0,
+            failed: 0,
+        };
         for set in &mut self.sets {
             while set.ready() < set.replicas {
                 let mut spec = set.template.clone();
@@ -161,9 +170,18 @@ mod tests {
         let (mut vmm, mut engines, mut cp) = cluster(2);
         let mut rsc = ReplicaSetController::new();
         let rs = rsc.create(template(500), 4);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let report = rsc.reconcile(&mut cp, &mut ctx);
-        assert_eq!(report, ReconcileReport { created: 4, failed: 0 });
+        assert_eq!(
+            report,
+            ReconcileReport {
+                created: 4,
+                failed: 0
+            }
+        );
         assert_eq!(rsc.get(rs).ready(), 4);
         // Replica pods are named with ordinals.
         assert_eq!(cp.pods()[0].spec.name, "web-0");
@@ -178,7 +196,10 @@ mod tests {
         let (mut vmm, mut engines, mut cp) = cluster(2);
         let mut rsc = ReplicaSetController::new();
         let rs = rsc.create(template(500), 2);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         rsc.reconcile(&mut cp, &mut ctx);
         rsc.scale(rs, 5);
         let report = rsc.reconcile(&mut cp, &mut ctx);
@@ -192,17 +213,25 @@ mod tests {
         let (mut vmm, mut engines, mut cp) = cluster(1);
         let mut rsc = ReplicaSetController::new();
         let rs = rsc.create(template(2000), 5);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let report = rsc.reconcile(&mut cp, &mut ctx);
         assert_eq!(report.created, 2);
         assert_eq!(report.failed, 1);
         assert_eq!(rsc.get(rs).ready(), 2);
         // More capacity appears -> the next pass finishes the job.
-        let vm = ctx.vmm.create_vm(VmSpec { name: "big".into(), vcpus: 8, memory_mib: 8192 });
+        let vm = ctx.vmm.create_vm(VmSpec {
+            name: "big".into(),
+            vcpus: 8,
+            memory_mib: 8192,
+        });
         let br = ctx.vmm.bridge_by_name("br0").unwrap();
         let eth = ctx.vmm.add_nic(vm, br, true, false);
         let subnet = Ip4Net::new(Ip4::new(192, 168, 0, 0), 24);
-        let eng = ContainerEngine::with_default_bridge(ctx.vmm, vm, &eth, subnet.host(90), subnet, 16);
+        let eng =
+            ContainerEngine::with_default_bridge(ctx.vmm, vm, &eth, subnet.host(90), subnet, 16);
         ctx.engines.insert(vm, eng);
         cp.register_node(ctx.vmm, vm);
         let report = rsc.reconcile(&mut cp, &mut ctx);
@@ -216,7 +245,10 @@ mod tests {
         let mut rsc = ReplicaSetController::new();
         let a = rsc.create(template(300), 2);
         let b = rsc.create(template(400), 3);
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         let report = rsc.reconcile(&mut cp, &mut ctx);
         assert_eq!(report.created, 5);
         assert_eq!(rsc.get(a).ready(), 2);

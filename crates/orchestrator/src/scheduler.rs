@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn placement_node_helpers() {
-        let pl = Placement { assignments: vec![NodeId(2), NodeId(0), NodeId(2)] };
+        let pl = Placement {
+            assignments: vec![NodeId(2), NodeId(0), NodeId(2)],
+        };
         assert_eq!(pl.nodes(), vec![NodeId(2), NodeId(0)]);
         assert!(!pl.is_single_node());
     }

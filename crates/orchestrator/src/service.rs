@@ -36,13 +36,24 @@ impl Service {
         backend_port: u16,
         attachments: &[PodAttachment],
     ) -> Service {
-        assert!(!attachments.is_empty(), "a service needs at least one endpoint");
+        assert!(
+            !attachments.is_empty(),
+            "a service needs at least one endpoint"
+        );
         let backends: Vec<SockAddr> = attachments
             .iter()
             .map(|a| SockAddr::new(a.net.ip, backend_port))
             .collect();
-        nat.add_lb(LbRule { proto, vip, backends: backends.clone() });
-        Service { name: name.into(), vip, backends }
+        nat.add_lb(LbRule {
+            proto,
+            vip,
+            backends: backends.clone(),
+        });
+        Service {
+            name: name.into(),
+            vip,
+            backends,
+        }
     }
 
     /// Number of backends.

@@ -30,7 +30,11 @@ fn arb_nodes() -> impl Strategy<Value = Vec<Node>> {
             .map(|(i, (vcpus, mem))| {
                 Node::from_vm(
                     VmId(i as u32),
-                    &VmSpec { name: format!("vm{i}"), vcpus, memory_mib: mem },
+                    &VmSpec {
+                        name: format!("vm{i}"),
+                        vcpus,
+                        memory_mib: mem,
+                    },
                 )
             })
             .collect()

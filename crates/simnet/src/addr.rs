@@ -132,7 +132,10 @@ impl Ip4Net {
     /// Panics if `prefix > 32`.
     pub fn new(addr: Ip4, prefix: u8) -> Ip4Net {
         assert!(prefix <= 32, "prefix length must be <= 32");
-        Ip4Net { addr: Ip4(addr.0 & Self::mask_bits(prefix)), prefix }
+        Ip4Net {
+            addr: Ip4(addr.0 & Self::mask_bits(prefix)),
+            prefix,
+        }
     }
 
     fn mask_bits(prefix: u8) -> u32 {

@@ -7,17 +7,36 @@
 //! forwarding database (FDB), ageing, and flooding of unknown/broadcast
 //! destinations.
 
+use crate::addr::MacAddr;
 use crate::costs::StageCost;
 use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
 use crate::frame::Frame;
 use crate::shared::SharedStation;
 use crate::time::{SimDuration, SimTime};
-use crate::addr::MacAddr;
+use metrics::MetricId;
 use std::collections::HashMap;
 
 /// Default FDB entry lifetime (Linux default is 300 s).
 pub const DEFAULT_AGEING: SimDuration = SimDuration::secs(300);
+
+/// Interned counter ids, resolved on the first frame and cached.
+#[derive(Clone, Copy)]
+struct BridgeIds {
+    flooded: MetricId,
+    same_port_drop: MetricId,
+    switched: MetricId,
+}
+
+impl BridgeIds {
+    fn resolve(ctx: &mut DevCtx<'_>) -> BridgeIds {
+        BridgeIds {
+            flooded: ctx.metric("bridge.flooded"),
+            same_port_drop: ctx.metric("bridge.same_port_drop"),
+            switched: ctx.metric("bridge.switched"),
+        }
+    }
+}
 
 /// A learning Ethernet switch with `nports` ports.
 pub struct Bridge {
@@ -26,6 +45,7 @@ pub struct Bridge {
     station: SharedStation,
     ageing: SimDuration,
     fdb: HashMap<MacAddr, (PortId, SimTime)>,
+    ids: Option<BridgeIds>,
 }
 
 impl Bridge {
@@ -33,7 +53,14 @@ impl Bridge {
     /// the (possibly shared) service station of the kernel it runs in.
     pub fn new(nports: usize, cost: StageCost, station: SharedStation) -> Bridge {
         assert!(nports >= 2, "a bridge needs at least two ports");
-        Bridge { nports, cost, station, ageing: DEFAULT_AGEING, fdb: HashMap::new() }
+        Bridge {
+            nports,
+            cost,
+            station,
+            ageing: DEFAULT_AGEING,
+            fdb: HashMap::new(),
+            ids: None,
+        }
     }
 
     /// Overrides the FDB ageing time.
@@ -68,6 +95,7 @@ impl Device for Bridge {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < self.nports, "frame on nonexistent bridge port");
+        let ids = *self.ids.get_or_insert_with(|| BridgeIds::resolve(ctx));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
 
         // Learn the source address on the ingress port.
@@ -76,7 +104,7 @@ impl Device for Bridge {
         }
 
         if frame.dst_mac.is_multicast() {
-            ctx.count("bridge.flooded", 1.0);
+            ctx.count_id(ids.flooded, 1.0);
             for p in 0..self.nports {
                 if p != port.0 && ctx.is_linked(PortId(p)) {
                     ctx.transmit_at(done, PortId(p), frame.clone());
@@ -89,14 +117,14 @@ impl Device for Bridge {
             Some(out) if out == port => {
                 // Destination learned on the ingress port: the frame does not
                 // need switching (fig. 1 step 2 — it is NAT's job, upstream).
-                ctx.count("bridge.same_port_drop", 1.0);
+                ctx.count_id(ids.same_port_drop, 1.0);
             }
             Some(out) => {
-                ctx.count("bridge.switched", 1.0);
+                ctx.count_id(ids.switched, 1.0);
                 ctx.transmit_at(done, out, frame);
             }
             None => {
-                ctx.count("bridge.flooded", 1.0);
+                ctx.count_id(ids.flooded, 1.0);
                 for p in 0..self.nports {
                     if p != port.0 && ctx.is_linked(PortId(p)) {
                         ctx.transmit_at(done, PortId(p), frame.clone());
@@ -113,10 +141,14 @@ mod tests {
     use crate::addr::{Ip4, SockAddr};
     use crate::engine::{LinkParams, Network};
     use crate::frame::Payload;
-    use crate::testutil::{CaptureSink, frame_between};
+    use crate::testutil::{frame_between, CaptureSink};
     use metrics::{CpuCategory, CpuLocation};
 
-    fn mk_net() -> (Network, crate::device::DeviceId, Vec<crate::device::DeviceId>) {
+    fn mk_net() -> (
+        Network,
+        crate::device::DeviceId,
+        Vec<crate::device::DeviceId>,
+    ) {
         let mut net = Network::new(1);
         let bridge = net.add_device(
             "br0",
@@ -129,7 +161,11 @@ mod tests {
         );
         let sinks: Vec<_> = (0..3)
             .map(|i| {
-                let s = net.add_device(format!("sink{i}"), CpuLocation::Host, Box::new(CaptureSink::new(format!("sink{i}"))));
+                let s = net.add_device(
+                    format!("sink{i}"),
+                    CpuLocation::Host,
+                    Box::new(CaptureSink::new(format!("sink{i}"))),
+                );
                 net.connect(bridge, PortId(i), s, PortId::P0, LinkParams::default());
                 s
             })
@@ -144,14 +180,24 @@ mod tests {
         let b = MacAddr::local(2);
 
         // a (on port 0) sends to unknown b: flood to ports 1 and 2.
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 100));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 100),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("bridge.flooded"), 1.0);
         assert_eq!(net.store().counter("sink1.received"), 1.0);
         assert_eq!(net.store().counter("sink2.received"), 1.0);
 
         // b replies from port 1: a was learned on port 0 -> unicast switch.
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(b, a, 100));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(1),
+            frame_between(b, a, 100),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("bridge.switched"), 1.0);
         assert_eq!(net.store().counter("sink0.received"), 1.0);
@@ -172,7 +218,11 @@ mod tests {
         net.run_to_idle();
         assert_eq!(net.store().counter("sink0.received"), 1.0);
         assert_eq!(net.store().counter("sink1.received"), 1.0);
-        assert_eq!(net.store().counter("sink2.received"), 0.0, "no echo to ingress");
+        assert_eq!(
+            net.store().counter("sink2.received"),
+            0.0,
+            "no echo to ingress"
+        );
     }
 
     #[test]
@@ -182,12 +232,27 @@ mod tests {
         let b = MacAddr::local(2);
         // Learn a on port 0 (b unknown: floods), then b on port 0 — at which
         // point a is already learned on the ingress port, so it drops.
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(b, a, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 64),
+        );
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(b, a, 64),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("bridge.same_port_drop"), 1.0);
         // Now a->b arrives on port 0 and b is learned on port 0 too.
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 64),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("bridge.same_port_drop"), 2.0);
     }
@@ -197,11 +262,21 @@ mod tests {
         let (mut net, bridge, _sinks) = mk_net();
         let a = MacAddr::local(1);
         let b = MacAddr::local(2);
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 64),
+        );
         net.run_to_idle();
         // After ageing, a is forgotten: a frame to a floods again.
         net.run_until(crate::time::SimTime::ZERO + DEFAULT_AGEING + SimDuration::secs(1));
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(b, a, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(1),
+            frame_between(b, a, 64),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("bridge.flooded"), 2.0);
     }
@@ -225,8 +300,18 @@ mod tests {
         let a = MacAddr::local(1);
         let b = MacAddr::local(2);
         // Two frames at t=0; 1us service each -> second leaves at 2us.
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(a, b, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 64),
+        );
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(a, b, 64),
+        );
         net.run_to_idle();
         let arr = net.store().samples("sink1.arrival_ns").to_vec();
         assert_eq!(arr, vec![1_000.0, 2_000.0]);
@@ -236,10 +321,20 @@ mod tests {
     fn multicast_source_not_learned() {
         let (mut net, bridge, _sinks) = mk_net();
         let mcast = MacAddr([0x01, 0, 0x5e, 0, 0, 1]);
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(0), frame_between(mcast, MacAddr::local(9), 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            frame_between(mcast, MacAddr::local(9), 64),
+        );
         net.run_to_idle();
         // Frame towards mcast from another port must flood (not unicast).
-        net.inject_frame(SimDuration::ZERO, bridge, PortId(1), frame_between(MacAddr::local(9), mcast, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(1),
+            frame_between(MacAddr::local(9), mcast, 64),
+        );
         net.run_to_idle();
         // Both the unknown-unicast and the multicast frame flooded.
         assert_eq!(net.store().counter("bridge.flooded"), 2.0);

@@ -60,14 +60,20 @@ impl StageCost {
 
     /// Adds uniform jitter.
     pub fn with_jitter(mut self, frac: f64) -> StageCost {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
         self.jitter_frac = frac;
         self
     }
 
     /// Adds a stall regime (latency-only delays; see `stall_prob`).
     pub fn with_stalls(mut self, prob: f64, mean: SimDuration) -> StageCost {
-        assert!((0.0..=1.0).contains(&prob), "stall probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "stall probability must be in [0,1]"
+        );
         self.stall_prob = prob;
         self.stall_ns = mean.as_nanos();
         self
@@ -85,7 +91,10 @@ impl StageCost {
 
     /// Adds a spike regime.
     pub fn with_spikes(mut self, prob: f64, mult: f64) -> StageCost {
-        assert!((0.0..=1.0).contains(&prob), "spike probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "spike probability must be in [0,1]"
+        );
         assert!(mult >= 1.0, "spike multiplier must be >= 1");
         self.spike_prob = prob;
         self.spike_mult = mult;
@@ -162,8 +171,12 @@ impl CostModel {
         CostModel {
             host_bridge: StageCost::fixed(1_500, 0.30, Sys).with_jitter(0.05),
             guest_bridge: StageCost::fixed(1_200, 0.40, Soft).with_jitter(0.08),
-            host_nat: StageCost::fixed(3_200, 0.45, Soft).with_jitter(0.10).with_spikes(0.002, 8.0),
-            guest_nat: StageCost::fixed(3_400, 0.90, Soft).with_jitter(0.12).with_spikes(0.012, 14.0),
+            host_nat: StageCost::fixed(3_200, 0.45, Soft)
+                .with_jitter(0.10)
+                .with_spikes(0.002, 8.0),
+            guest_nat: StageCost::fixed(3_400, 0.90, Soft)
+                .with_jitter(0.12)
+                .with_spikes(0.012, 14.0),
             veth: StageCost::fixed(600, 0.15, Sys).with_jitter(0.05),
             virtio_guest: StageCost::fixed(2_600, 0.50, Soft).with_jitter(0.06),
             vhost: StageCost::fixed(3_800, 1.05, Sys).with_jitter(0.06),
@@ -174,7 +187,9 @@ impl CostModel {
                 // scheduler): pure latency, does not occupy the softirq.
                 .with_stalls(1.0, SimDuration::micros(10)),
             hostlo_queue: StageCost::fixed(1_500, 4.30, Sys).with_jitter(0.12),
-            vxlan: StageCost::fixed(1_200, 0.25, Soft).with_jitter(0.10).with_spikes(0.003, 9.0),
+            vxlan: StageCost::fixed(1_200, 0.25, Soft)
+                .with_jitter(0.10)
+                .with_spikes(0.003, 9.0),
             phys_nic: StageCost::fixed(1_200, 0.25, Sys).with_jitter(0.03),
             socket: StageCost::fixed(1_200, 0.08, Usr).with_jitter(0.05),
             link_latency: SimDuration::micros(2),
@@ -207,7 +222,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..1000 {
             let s = c.sample_service(0, &mut rng).as_nanos();
-            assert!((9_000..=11_000).contains(&s), "sample {s} outside jitter bounds");
+            assert!(
+                (9_000..=11_000).contains(&s),
+                "sample {s} outside jitter bounds"
+            );
         }
     }
 
@@ -218,7 +236,10 @@ mod tests {
         let spikes = (0..10_000)
             .filter(|_| c.sample_service(0, &mut rng).as_nanos() > 50_000)
             .count();
-        assert!((800..1200).contains(&spikes), "spike count {spikes} far from 10%");
+        assert!(
+            (800..1200).contains(&spikes),
+            "spike count {spikes} far from 10%"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::engine::DevCtx;
 use crate::frame::{Frame, Payload, TcpKind};
 use crate::shared::SharedStation;
 use crate::time::{SimDuration, SimTime};
-use metrics::CpuCategory;
+use metrics::{CpuCategory, MetricId};
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet};
 
@@ -98,12 +98,35 @@ pub trait Application: Send {
     }
 }
 
+/// Interned metric ids for an endpoint, resolved on first event.
+#[derive(Clone, Copy)]
+struct EndpointIds {
+    filtered_l2: MetricId,
+    filtered_l3: MetricId,
+    delivered: MetricId,
+    sent: MetricId,
+    unroutable: MetricId,
+}
+
+impl EndpointIds {
+    fn resolve(name: &str, ctx: &mut DevCtx<'_>) -> EndpointIds {
+        EndpointIds {
+            filtered_l2: ctx.metric(&format!("{name}.filtered_l2")),
+            filtered_l3: ctx.metric(&format!("{name}.filtered_l3")),
+            delivered: ctx.metric(&format!("{name}.delivered")),
+            sent: ctx.metric("endpoint.sent"),
+            unroutable: ctx.metric("endpoint.send_unroutable"),
+        }
+    }
+}
+
 /// The capability surface an [`Application`] sees.
 pub struct AppApi<'a, 'b> {
     ctx: &'a mut DevCtx<'b>,
     ifaces: &'a [IfaceConf],
     sock_cost: &'a StageCost,
     station: &'a SharedStation,
+    ids: EndpointIds,
 }
 
 impl AppApi<'_, '_> {
@@ -201,7 +224,7 @@ impl AppApi<'_, '_> {
             });
 
         let Some((idx, iface, Some(dst_mac))) = choice else {
-            self.ctx.count("endpoint.send_unroutable", 1.0);
+            self.ctx.count_id(self.ids.unroutable, 1.0);
             return;
         };
         let src = SockAddr::new(iface.ip, src_port);
@@ -209,8 +232,10 @@ impl AppApi<'_, '_> {
             None => Frame::udp(iface.mac, dst_mac, src, dst, payload),
             Some((seq, kind)) => Frame::tcp(iface.mac, dst_mac, src, dst, seq, kind, payload),
         };
-        let done = self.station.serve(self.sock_cost, frame.wire_len(), self.ctx);
-        self.ctx.count("endpoint.sent", 1.0);
+        let done = self
+            .station
+            .serve(self.sock_cost, frame.wire_len(), self.ctx);
+        self.ctx.count_id(self.ids.sent, 1.0);
         self.ctx.transmit_at(done, PortId(idx), frame);
     }
 }
@@ -223,6 +248,7 @@ pub struct Endpoint {
     app: Option<Box<dyn Application>>,
     sock_cost: StageCost,
     station: SharedStation,
+    ids: Option<EndpointIds>,
 }
 
 impl Endpoint {
@@ -248,7 +274,15 @@ impl Endpoint {
             app: Some(app),
             sock_cost,
             station,
+            ids: None,
         }
+    }
+
+    fn ids(&mut self, ctx: &mut DevCtx<'_>) -> EndpointIds {
+        let name = &self.name;
+        *self
+            .ids
+            .get_or_insert_with(|| EndpointIds::resolve(name, ctx))
     }
 
     fn with_app<R>(
@@ -256,12 +290,14 @@ impl Endpoint {
         ctx: &mut DevCtx<'_>,
         f: impl FnOnce(&mut dyn Application, &mut AppApi<'_, '_>) -> R,
     ) -> R {
+        let ids = self.ids(ctx);
         let mut app = self.app.take().expect("application re-entered");
         let mut api = AppApi {
             ctx,
             ifaces: &self.ifaces,
             sock_cost: &self.sock_cost,
             station: &self.station,
+            ids,
         };
         let r = f(app.as_mut(), &mut api);
         self.app = Some(app);
@@ -275,43 +311,47 @@ impl Device for Endpoint {
     }
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
-        assert!(port.0 < self.ifaces.len(), "frame on nonexistent endpoint port");
+        assert!(
+            port.0 < self.ifaces.len(),
+            "frame on nonexistent endpoint port"
+        );
+        let ids = self.ids(ctx);
         let iface = &self.ifaces[port.0];
 
         // L2 filter.
         if frame.dst_mac != iface.mac && !frame.dst_mac.is_multicast() {
-            ctx.count(&format!("{}.filtered_l2", self.name), 1.0);
+            ctx.count_id(ids.filtered_l2, 1.0);
             return;
         }
         // L3/L4 filter: addressed to me, on a bound port.
         let Some(dst) = frame.ip.dst_sock() else {
-            ctx.count(&format!("{}.filtered_l3", self.name), 1.0);
+            ctx.count_id(ids.filtered_l3, 1.0);
             return;
         };
         if dst.ip != iface.ip || !self.bound.contains(&dst.port) {
-            ctx.count(&format!("{}.filtered_l3", self.name), 1.0);
+            ctx.count_id(ids.filtered_l3, 1.0);
             return;
         }
         let Some(src) = frame.ip.src_sock() else {
-            ctx.count(&format!("{}.filtered_l3", self.name), 1.0);
+            ctx.count_id(ids.filtered_l3, 1.0);
             return;
         };
 
         // Receive syscall cost.
         self.station.serve(&self.sock_cost, frame.wire_len(), ctx);
-        ctx.count(&format!("{}.delivered", self.name), 1.0);
+        ctx.count_id(ids.delivered, 1.0);
 
         let tcp = match &frame.ip.transport {
             crate::frame::Transport::Tcp { seq, kind, .. } => Some((*seq, *kind)),
             _ => None,
         };
-        let payload = frame
-            .ip
-            .transport
-            .payload()
-            .cloned()
-            .unwrap_or_default();
-        let msg = Incoming { src, dst, payload, tcp };
+        let payload = frame.ip.transport.payload().cloned().unwrap_or_default();
+        let msg = Incoming {
+            src,
+            dst,
+            payload,
+            tcp,
+        };
         self.with_app(ctx, |app, api| app.on_message(msg, api));
     }
 
@@ -378,7 +418,10 @@ mod tests {
             [4000],
             cost,
             SharedStation::new(),
-            Box::new(Once { dst: SockAddr::new(b_ip, 5000), port: 4000 }),
+            Box::new(Once {
+                dst: SockAddr::new(b_ip, 5000),
+                port: 4000,
+            }),
         );
         let server = Endpoint::new(
             "server",
@@ -390,7 +433,13 @@ mod tests {
         );
         let c = net.add_device("client", CpuLocation::Host, Box::new(client));
         let s = net.add_device("server", CpuLocation::Host, Box::new(server));
-        net.connect(c, PortId::P0, s, PortId::P0, LinkParams::with_latency(SimDuration::micros(1)));
+        net.connect(
+            c,
+            PortId::P0,
+            s,
+            PortId::P0,
+            LinkParams::with_latency(SimDuration::micros(1)),
+        );
         net.schedule_timer(SimDuration::ZERO, s, START_TOKEN);
         net.schedule_timer(SimDuration::ZERO, c, START_TOKEN);
         net
@@ -443,14 +492,22 @@ mod tests {
         struct SendNowhere;
         impl Application for SendNowhere {
             fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
-                api.send_udp(1, SockAddr::new(Ip4::new(99, 99, 99, 99), 1), Payload::sized(1));
+                api.send_udp(
+                    1,
+                    SockAddr::new(Ip4::new(99, 99, 99, 99), 1),
+                    Payload::sized(1),
+                );
             }
             fn on_message(&mut self, _: Incoming, _: &mut AppApi<'_, '_>) {}
         }
         let mut net = Network::new(0);
         let e = Endpoint::new(
             "e",
-            vec![IfaceConf::new(MacAddr::local(1), Ip4::new(10, 0, 0, 1), Ip4Net::new(Ip4::new(10, 0, 0, 0), 24))],
+            vec![IfaceConf::new(
+                MacAddr::local(1),
+                Ip4::new(10, 0, 0, 1),
+                Ip4Net::new(Ip4::new(10, 0, 0, 0), 24),
+            )],
             [1],
             StageCost::fixed(1, 0.0, CpuCategory::Usr),
             SharedStation::new(),
@@ -467,7 +524,11 @@ mod tests {
         struct SendOnLink;
         impl Application for SendOnLink {
             fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
-                api.send_udp(1, SockAddr::new(Ip4::new(10, 0, 0, 9), 2), Payload::sized(1));
+                api.send_udp(
+                    1,
+                    SockAddr::new(Ip4::new(10, 0, 0, 9), 2),
+                    Payload::sized(1),
+                );
             }
             fn on_message(&mut self, _: Incoming, _: &mut AppApi<'_, '_>) {}
         }
@@ -486,7 +547,11 @@ mod tests {
             Box::new(SendOnLink),
         );
         let id = net.add_device("e", CpuLocation::Host, Box::new(e));
-        let sink = net.add_device("sink", CpuLocation::Host, Box::new(crate::testutil::CaptureSink::new("sink")));
+        let sink = net.add_device(
+            "sink",
+            CpuLocation::Host,
+            Box::new(crate::testutil::CaptureSink::new("sink")),
+        );
         net.connect(id, PortId::P0, sink, PortId::P0, LinkParams::default());
         net.schedule_timer(SimDuration::ZERO, id, START_TOKEN);
         net.run_to_idle();
@@ -515,10 +580,16 @@ mod tests {
             [1],
             StageCost::fixed(1_000, 0.0, CpuCategory::Usr),
             SharedStation::new(),
-            Box::new(Busy { dst: SockAddr::new(subnet.host(2), 2) }),
+            Box::new(Busy {
+                dst: SockAddr::new(subnet.host(2), 2),
+            }),
         );
         let id = net.add_device("e", CpuLocation::Host, Box::new(e));
-        let sink = net.add_device("sink", CpuLocation::Host, Box::new(crate::testutil::CaptureSink::new("sink")));
+        let sink = net.add_device(
+            "sink",
+            CpuLocation::Host,
+            Box::new(crate::testutil::CaptureSink::new("sink")),
+        );
         net.connect(id, PortId::P0, sink, PortId::P0, LinkParams::default());
         net.schedule_timer(SimDuration::ZERO, id, START_TOKEN);
         net.run_to_idle();

@@ -5,15 +5,28 @@
 //! are ordered by `(time, insertion sequence)`, and all randomness flows from
 //! one seeded [`StdRng`], so a given (topology, workload, seed) reproduces
 //! bit-identical results.
+//!
+//! # Fast path
+//!
+//! The three structures every event touches are laid out for throughput
+//! (see DESIGN.md, "Engine fast path"):
+//!
+//! * metrics are interned ([`MetricId`]) so recording is a vector index,
+//!   not a `String` hash — the `&str` API survives as a shim;
+//! * the link table is a dense per-device, port-indexed vector, making
+//!   `peer`/`is_linked`/delivery O(1) array loads;
+//! * the heap orders 24-byte [`EventKey`]s while event payloads live in a
+//!   pooled slab, so heap sifts never memcpy a [`Frame`] and the
+//!   steady-state loop allocates nothing.
 
 use crate::device::{Device, DeviceId, PortId};
 use crate::frame::Frame;
 use crate::time::{SimDuration, SimTime};
-use metrics::{CpuAccount, CpuCategory, CpuLocation};
+use metrics::{CpuAccount, CpuCategory, CpuLocation, Interner, MetricId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Propagation parameters of a link between two device ports.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +41,10 @@ pub struct LinkParams {
 impl LinkParams {
     /// A loss-free link with the given latency.
     pub fn with_latency(latency: SimDuration) -> LinkParams {
-        LinkParams { latency, loss_prob: 0.0 }
+        LinkParams {
+            latency,
+            loss_prob: 0.0,
+        }
     }
 
     /// Adds frame loss.
@@ -41,36 +57,88 @@ impl LinkParams {
 
 impl Default for LinkParams {
     fn default() -> Self {
-        LinkParams { latency: SimDuration::ZERO, loss_prob: 0.0 }
+        LinkParams {
+            latency: SimDuration::ZERO,
+            loss_prob: 0.0,
+        }
     }
 }
 
 #[derive(Debug)]
 enum EventKind {
-    Frame { dev: DeviceId, port: PortId, frame: Frame },
-    Timer { dev: DeviceId, token: u64 },
+    Frame {
+        dev: DeviceId,
+        port: PortId,
+        frame: Frame,
+    },
+    Timer {
+        dev: DeviceId,
+        token: u64,
+    },
 }
 
-struct Event {
+/// What the binary heap actually orders: a small fixed-size key. The
+/// payload ([`EventKind`], which embeds a whole [`Frame`]) stays put in the
+/// pool slab at `slot`, so heap sifts move 24 bytes instead of ~100+.
+#[derive(Debug, Clone, Copy)]
+struct EventKey {
     at: SimTime,
     seq: u64,
-    kind: EventKind,
+    slot: u32,
 }
 
-impl PartialEq for Event {
+impl PartialEq for EventKey {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Event {
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `seq` is unique, so (at, seq) is already a total order; `slot`
+        // deliberately does not participate.
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Slab of in-flight event payloads plus a free list. Slots are recycled,
+/// so after warm-up the event loop performs no allocation per event.
+#[derive(Debug, Default)]
+struct EventPool {
+    slots: Vec<Option<EventKind>>,
+    free: Vec<u32>,
+}
+
+impl EventPool {
+    /// Stores `kind`, returning the slot index it now occupies.
+    fn insert(&mut self, kind: EventKind) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX in-flight events");
+                self.slots.push(Some(kind));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot`, recycling the slot.
+    fn take(&mut self, slot: u32) -> EventKind {
+        let kind = self.slots[slot as usize]
+            .take()
+            .expect("event slot already drained");
+        self.free.push(slot);
+        kind
     }
 }
 
@@ -82,36 +150,90 @@ struct DeviceSlot {
 
 /// Collected measurements: named sample vectors (latencies, sizes...) and
 /// named counters (bytes delivered, frames dropped...).
+///
+/// Names are interned to dense [`MetricId`]s; recording through an id is a
+/// vector index. The `&str` methods ([`record`](SampleStore::record),
+/// [`add`](SampleStore::add), ...) remain as a compatibility shim that
+/// interns on the fly — one hash lookup, no allocation once the name has
+/// been seen.
 #[derive(Debug, Default)]
 pub struct SampleStore {
-    samples: HashMap<String, Vec<f64>>,
-    counters: HashMap<String, f64>,
+    interner: Interner,
+    samples: Vec<Vec<f64>>,
+    counters: Vec<f64>,
 }
 
 impl SampleStore {
-    /// Records one sample under `name`.
-    pub fn record(&mut self, name: &str, value: f64) {
-        self.samples.entry(name.to_owned()).or_default().push(value);
+    /// Interns `name`, returning the id to record through. Devices cache
+    /// this at first use and skip the name hash on every later event.
+    pub fn metric_id(&mut self, name: &str) -> MetricId {
+        let id = self.interner.intern(name);
+        if self.samples.len() <= id.index() {
+            self.samples.resize_with(id.index() + 1, Vec::new);
+            self.counters.resize(id.index() + 1, 0.0);
+        }
+        id
     }
 
-    /// Adds `delta` to counter `name`.
+    /// Records one sample under `id`.
+    #[inline]
+    pub fn record_id(&mut self, id: MetricId, value: f64) {
+        self.samples[id.index()].push(value);
+    }
+
+    /// Adds `delta` to counter `id`.
+    #[inline]
+    pub fn add_id(&mut self, id: MetricId, delta: f64) {
+        self.counters[id.index()] += delta;
+    }
+
+    /// All samples recorded under `id`.
+    #[inline]
+    pub fn samples_by_id(&self, id: MetricId) -> &[f64] {
+        &self.samples[id.index()]
+    }
+
+    /// Current value of counter `id`.
+    #[inline]
+    pub fn counter_by_id(&self, id: MetricId) -> f64 {
+        self.counters[id.index()]
+    }
+
+    /// Records one sample under `name` (shim; interns `name`).
+    pub fn record(&mut self, name: &str, value: f64) {
+        let id = self.metric_id(name);
+        self.record_id(id, value);
+    }
+
+    /// Adds `delta` to counter `name` (shim; interns `name`).
     pub fn add(&mut self, name: &str, delta: f64) {
-        *self.counters.entry(name.to_owned()).or_insert(0.0) += delta;
+        let id = self.metric_id(name);
+        self.add_id(id, delta);
     }
 
     /// All samples recorded under `name` (empty slice if none).
     pub fn samples(&self, name: &str) -> &[f64] {
-        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.interner
+            .get(name)
+            .map(|id| self.samples_by_id(id))
+            .unwrap_or(&[])
     }
 
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> f64 {
-        self.counters.get(name).copied().unwrap_or(0.0)
+        self.interner
+            .get(name)
+            .map_or(0.0, |id| self.counter_by_id(id))
     }
 
-    /// Names of all sample series.
+    /// Names of all sample series (in first-intern order — deterministic
+    /// for a deterministic run, unlike the old `HashMap` key order).
     pub fn sample_names(&self) -> impl Iterator<Item = &str> {
-        self.samples.keys().map(String::as_str)
+        self.interner
+            .names()
+            .enumerate()
+            .filter(|&(i, _)| !self.samples[i].is_empty())
+            .map(|(_, n)| n)
     }
 }
 
@@ -129,11 +251,23 @@ pub struct TraceEntry {
 /// Cap on stored trace entries (tracing is a debugging aid, not a log).
 const TRACE_CAP: usize = 100_000;
 
+/// One endpoint's view of a link: who is on the other side, and with what
+/// propagation parameters.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    peer: DeviceId,
+    peer_port: PortId,
+    params: LinkParams,
+}
+
 /// The simulated network: device graph + event queue + clock + accounting.
 pub struct Network {
     devices: Vec<DeviceSlot>,
-    links: HashMap<(DeviceId, PortId), (DeviceId, PortId, LinkParams)>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Dense adjacency: `links[dev.0][port.0]` is the link attached to that
+    /// port, if any. Rows grow on demand (ports are small integers).
+    links: Vec<Vec<Option<Link>>>,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    pool: EventPool,
     now: SimTime,
     seq: u64,
     processed: u64,
@@ -141,23 +275,28 @@ pub struct Network {
     cpu: CpuAccount,
     rng: StdRng,
     store: SampleStore,
+    link_lost: MetricId,
     trace: Option<Vec<TraceEntry>>,
 }
 
 impl Network {
     /// Creates an empty network with the given RNG seed.
     pub fn new(seed: u64) -> Network {
+        let mut store = SampleStore::default();
+        let link_lost = store.metric_id("link.lost");
         Network {
             devices: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             queue: BinaryHeap::new(),
+            pool: EventPool::default(),
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
             dropped_no_link: 0,
             cpu: CpuAccount::new(),
             rng: StdRng::seed_from_u64(seed),
-            store: SampleStore::default(),
+            store,
+            link_lost,
             trace: None,
         }
     }
@@ -183,8 +322,29 @@ impl Network {
         dev: Box<dyn Device>,
     ) -> DeviceId {
         let id = DeviceId(self.devices.len());
-        self.devices.push(DeviceSlot { name: name.into(), loc, dev: Some(dev) });
+        self.devices.push(DeviceSlot {
+            name: name.into(),
+            loc,
+            dev: Some(dev),
+        });
+        self.links.push(Vec::new());
         id
+    }
+
+    /// The link slot for `(dev, port)`, growing the port row to fit.
+    fn link_slot(&mut self, dev: DeviceId, port: PortId) -> &mut Option<Link> {
+        let row = &mut self.links[dev.0];
+        if row.len() <= port.0 {
+            row.resize(port.0 + 1, None);
+        }
+        &mut row[port.0]
+    }
+
+    /// The link attached to `(dev, port)`, if any. Out-of-range devices and
+    /// ports read as unlinked.
+    #[inline]
+    fn link_at(&self, dev: DeviceId, port: PortId) -> Option<Link> {
+        self.links.get(dev.0)?.get(port.0).copied().flatten()
     }
 
     /// Connects `(a, pa)` and `(b, pb)` bidirectionally.
@@ -192,26 +352,45 @@ impl Network {
     /// # Panics
     /// Panics if either port is already linked — the port graph is static.
     pub fn connect(&mut self, a: DeviceId, pa: PortId, b: DeviceId, pb: PortId, p: LinkParams) {
-        let prev = self.links.insert((a, pa), (b, pb, p));
-        assert!(prev.is_none(), "port {:?}:{:?} already linked", a, pa);
-        let prev = self.links.insert((b, pb), (a, pa, p));
-        assert!(prev.is_none(), "port {:?}:{:?} already linked", b, pb);
+        assert!(a.0 < self.devices.len(), "device {a:?} does not exist");
+        assert!(b.0 < self.devices.len(), "device {b:?} does not exist");
+        let fwd = self.link_slot(a, pa);
+        assert!(fwd.is_none(), "port {:?}:{:?} already linked", a, pa);
+        *fwd = Some(Link {
+            peer: b,
+            peer_port: pb,
+            params: p,
+        });
+        let rev = self.link_slot(b, pb);
+        assert!(rev.is_none(), "port {:?}:{:?} already linked", b, pb);
+        *rev = Some(Link {
+            peer: a,
+            peer_port: pa,
+            params: p,
+        });
     }
 
     /// Peer of `(dev, port)` if linked.
     pub fn peer(&self, dev: DeviceId, port: PortId) -> Option<(DeviceId, PortId)> {
-        self.links.get(&(dev, port)).map(|&(d, p, _)| (d, p))
+        self.link_at(dev, port).map(|l| (l.peer, l.peer_port))
     }
 
     /// All links, each reported once as `(a, pa, b, pb)` with `a < b` (or
     /// `pa < pb` for self-links), sorted for determinism.
     pub fn links(&self) -> Vec<(DeviceId, PortId, DeviceId, PortId)> {
-        let mut out: Vec<_> = self
-            .links
-            .iter()
-            .filter(|(&(a, pa), &(b, pb, _))| (a, pa) < (b, pb))
-            .map(|(&(a, pa), &(b, pb, _))| (a, pa, b, pb))
-            .collect();
+        let mut out = Vec::new();
+        for (a, row) in self.links.iter().enumerate() {
+            for (pa, slot) in row.iter().enumerate() {
+                if let Some(l) = slot {
+                    let (a, pa) = (DeviceId(a), PortId(pa));
+                    if (a, pa) < (l.peer, l.peer_port) {
+                        out.push((a, pa, l.peer, l.peer_port));
+                    }
+                }
+            }
+        }
+        // Dense row-major iteration already yields sorted order; keep the
+        // sort as a cheap guarantee of the documented contract.
         out.sort();
         out
     }
@@ -222,8 +401,12 @@ impl Network {
         use std::fmt::Write;
         let mut dot = String::new();
         writeln!(dot, "graph {title:?} {{").unwrap();
-        writeln!(dot, "  label={title:?};
-  node [shape=box];").unwrap();
+        writeln!(
+            dot,
+            "  label={title:?};
+  node [shape=box];"
+        )
+        .unwrap();
         for (i, d) in self.devices.iter().enumerate() {
             writeln!(dot, "  d{i} [label={:?}];", d.name).unwrap();
         }
@@ -298,28 +481,30 @@ impl Network {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        let slot = self.pool.insert(kind);
+        self.queue.push(Reverse(EventKey { at, seq, slot }));
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(Reverse(key)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event in the past");
-        self.now = ev.at;
+        debug_assert!(key.at >= self.now, "event in the past");
+        self.now = key.at;
         self.processed += 1;
-        let dev_id = match &ev.kind {
+        let kind = self.pool.take(key.slot);
+        let dev_id = match &kind {
             EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
         };
         if let Some(trace) = &mut self.trace {
             if trace.len() < TRACE_CAP {
-                let what = match &ev.kind {
+                let what = match &kind {
                     EventKind::Frame { frame, .. } => format!("frame {frame}"),
                     EventKind::Timer { token, .. } => format!("timer {token}"),
                 };
                 trace.push(TraceEntry {
-                    at: ev.at,
+                    at: key.at,
                     device: self.devices[dev_id.0].name.clone(),
                     what,
                 });
@@ -331,8 +516,12 @@ impl Network {
             .unwrap_or_else(|| panic!("device {} re-entered", self.devices[dev_id.0].name));
         let loc = self.devices[dev_id.0].loc;
         {
-            let mut ctx = DevCtx { net: self, id: dev_id, loc };
-            match ev.kind {
+            let mut ctx = DevCtx {
+                net: self,
+                id: dev_id,
+                loc,
+            };
+            match kind {
                 EventKind::Frame { port, frame, .. } => dev.on_frame(port, frame, &mut ctx),
                 EventKind::Timer { token, .. } => dev.on_timer(token, &mut ctx),
             }
@@ -344,8 +533,8 @@ impl Network {
     /// Runs until the clock reaches `deadline` or the queue empties.
     /// Events at exactly `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.at > deadline {
                 break;
             }
             self.step();
@@ -372,7 +561,8 @@ impl Network {
         // guest: mirror it into the host's `guest` bucket, as `top` on the
         // host would report it (figs. 14/15 rely on this attribution).
         if let CpuLocation::Vm(_) = loc {
-            self.cpu.charge(CpuLocation::Host, CpuCategory::Guest, d.as_nanos());
+            self.cpu
+                .charge(CpuLocation::Host, CpuCategory::Guest, d.as_nanos());
         }
     }
 }
@@ -421,17 +611,29 @@ impl<'a> DevCtx<'a> {
     /// Dropped (and counted) if the port is unlinked.
     pub fn transmit_at(&mut self, when: SimTime, port: PortId, frame: Frame) {
         debug_assert!(when >= self.net.now, "transmit in the past");
-        match self.net.links.get(&(self.id, port)) {
-            Some(&(peer, peer_port, params)) => {
+        match self.net.link_at(self.id, port) {
+            Some(Link {
+                peer,
+                peer_port,
+                params,
+            }) => {
                 if params.loss_prob > 0.0 {
                     use rand::Rng;
                     if self.net.rng.gen_bool(params.loss_prob) {
-                        self.net.store.add("link.lost", 1.0);
+                        let id = self.net.link_lost;
+                        self.net.store.add_id(id, 1.0);
                         return;
                     }
                 }
                 let at = when + params.latency;
-                self.net.push(at, EventKind::Frame { dev: peer, port: peer_port, frame });
+                self.net.push(
+                    at,
+                    EventKind::Frame {
+                        dev: peer,
+                        port: peer_port,
+                        frame,
+                    },
+                );
             }
             None => {
                 self.net.dropped_no_link += 1;
@@ -448,21 +650,46 @@ impl<'a> DevCtx<'a> {
     /// this to flood only to connected ports, so that hot-pluggable
     /// (pre-sized) bridges do not spray frames at empty slots.
     pub fn is_linked(&self, port: PortId) -> bool {
-        self.net.links.contains_key(&(self.id, port))
+        self.net.link_at(self.id, port).is_some()
     }
 
     /// Schedules `on_timer(token)` for this device after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.net.now + delay;
-        self.net.push(at, EventKind::Timer { dev: self.id, token });
+        self.net.push(
+            at,
+            EventKind::Timer {
+                dev: self.id,
+                token,
+            },
+        );
     }
 
-    /// Records a measurement sample.
+    /// Interns a metric name, returning an id for the allocation-free
+    /// [`record_id`](DevCtx::record_id)/[`count_id`](DevCtx::count_id)
+    /// paths. Devices call this once (first event) and cache the result.
+    pub fn metric(&mut self, name: &str) -> MetricId {
+        self.net.store.metric_id(name)
+    }
+
+    /// Records a measurement sample under a pre-interned id.
+    #[inline]
+    pub fn record_id(&mut self, id: MetricId, value: f64) {
+        self.net.store.record_id(id, value);
+    }
+
+    /// Bumps a counter under a pre-interned id.
+    #[inline]
+    pub fn count_id(&mut self, id: MetricId, delta: f64) {
+        self.net.store.add_id(id, delta);
+    }
+
+    /// Records a measurement sample (shim; interns `name` each call).
     pub fn record(&mut self, name: &str, value: f64) {
         self.net.store.record(name, value);
     }
 
-    /// Bumps a counter.
+    /// Bumps a counter (shim; interns `name` each call).
     pub fn count(&mut self, name: &str, delta: f64) {
         self.net.store.add(name, delta);
     }
@@ -488,7 +715,11 @@ mod tests {
         fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
             ctx.count("pipe.frames", 1.0);
             ctx.charge(CpuCategory::Sys, SimDuration::nanos(10));
-            let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+            let out = if port == PortId::P0 {
+                PortId::P1
+            } else {
+                PortId::P0
+            };
             let when = ctx.now() + self.delay;
             ctx.transmit_at(when, out, frame);
         }
@@ -520,9 +751,21 @@ mod tests {
     #[test]
     fn frames_flow_through_links_with_latency() {
         let mut net = Network::new(0);
-        let pipe = net.add_device("pipe", CpuLocation::Host, Box::new(Pipe { delay: SimDuration::micros(5) }));
+        let pipe = net.add_device(
+            "pipe",
+            CpuLocation::Host,
+            Box::new(Pipe {
+                delay: SimDuration::micros(5),
+            }),
+        );
         let sink = net.add_device("sink", CpuLocation::Host, Box::new(Sink));
-        net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::with_latency(SimDuration::micros(3)));
+        net.connect(
+            pipe,
+            PortId::P1,
+            sink,
+            PortId::P0,
+            LinkParams::with_latency(SimDuration::micros(3)),
+        );
         net.inject_frame(SimDuration::micros(1), pipe, PortId::P0, test_frame());
         net.run_to_idle();
         // 1us inject + 5us pipe delay + 3us link
@@ -535,7 +778,13 @@ mod tests {
     #[test]
     fn unlinked_port_drops_and_counts() {
         let mut net = Network::new(0);
-        let pipe = net.add_device("pipe", CpuLocation::Host, Box::new(Pipe { delay: SimDuration::ZERO }));
+        let pipe = net.add_device(
+            "pipe",
+            CpuLocation::Host,
+            Box::new(Pipe {
+                delay: SimDuration::ZERO,
+            }),
+        );
         net.inject_frame(SimDuration::ZERO, pipe, PortId::P0, test_frame());
         net.run_to_idle();
         assert_eq!(net.dropped_no_link(), 1);
@@ -544,7 +793,13 @@ mod tests {
     #[test]
     fn vm_work_mirrors_into_host_guest_bucket() {
         let mut net = Network::new(0);
-        let pipe = net.add_device("vmpipe", CpuLocation::Vm(3), Box::new(Pipe { delay: SimDuration::ZERO }));
+        let pipe = net.add_device(
+            "vmpipe",
+            CpuLocation::Vm(3),
+            Box::new(Pipe {
+                delay: SimDuration::ZERO,
+            }),
+        );
         net.inject_frame(SimDuration::ZERO, pipe, PortId::P0, test_frame());
         net.run_to_idle();
         assert_eq!(net.cpu().get(CpuLocation::Vm(3), CpuCategory::Sys), 10);
@@ -601,13 +856,121 @@ mod tests {
     }
 
     #[test]
+    fn str_shim_and_id_paths_are_equivalent() {
+        // The same metric recorded through the &str shim and through its
+        // interned id must land in the same series.
+        let mut store = SampleStore::default();
+        store.record("lat", 1.0);
+        let id = store.metric_id("lat");
+        store.record_id(id, 2.0);
+        store.record("lat", 3.0);
+        assert_eq!(store.samples("lat"), &[1.0, 2.0, 3.0]);
+        assert_eq!(store.samples_by_id(id), store.samples("lat"));
+
+        store.add("n", 1.0);
+        let n = store.metric_id("n");
+        store.add_id(n, 2.0);
+        assert_eq!(store.counter("n"), 3.0);
+        assert_eq!(store.counter_by_id(n), 3.0);
+
+        // Unknown names read as empty/zero without interning them.
+        assert!(store.samples("never").is_empty());
+        assert_eq!(store.counter("never"), 0.0);
+        assert!(store.sample_names().all(|name| name != "never"));
+    }
+
+    #[test]
+    fn sample_names_follow_first_intern_order() {
+        let mut store = SampleStore::default();
+        store.record("z", 1.0);
+        store.add("counter_only", 1.0);
+        store.record("a", 1.0);
+        let names: Vec<&str> = store.sample_names().collect();
+        // Counters without samples are not sample series.
+        assert_eq!(names, ["z", "a"]);
+    }
+
+    #[test]
+    fn unconnected_and_out_of_range_ports_read_unlinked() {
+        let mut net = Network::new(0);
+        let a = net.add_device("a", CpuLocation::Host, Box::new(Sink));
+        let b = net.add_device("b", CpuLocation::Host, Box::new(Sink));
+        // No connect yet: nothing is linked, even far past any grown row.
+        assert_eq!(net.peer(a, PortId(0)), None);
+        assert_eq!(net.peer(a, PortId(4096)), None);
+        net.connect(a, PortId(3), b, PortId(0), LinkParams::default());
+        // Ports below the linked one exist in the grown row but stay empty.
+        assert_eq!(net.peer(a, PortId(0)), None);
+        assert_eq!(net.peer(a, PortId(2)), None);
+        assert_eq!(net.peer(a, PortId(3)), Some((b, PortId(0))));
+        assert_eq!(net.peer(b, PortId(0)), Some((a, PortId(3))));
+        // Beyond the row end is simply unlinked, not a panic.
+        assert_eq!(net.peer(a, PortId(4)), None);
+    }
+
+    #[test]
+    fn transmit_on_unlinked_high_port_drops() {
+        // A device transmitting on a port index beyond its grown link row
+        // must take the dropped_no_link path, not index out of bounds.
+        struct Scatter;
+        impl Device for Scatter {
+            fn kind(&self) -> DeviceKind {
+                DeviceKind::Other
+            }
+            fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+                let when = ctx.now();
+                ctx.transmit_at(when, PortId(7), frame);
+            }
+        }
+        let mut net = Network::new(0);
+        let s = net.add_device("scatter", CpuLocation::Host, Box::new(Scatter));
+        net.inject_frame(SimDuration::ZERO, s, PortId::P0, test_frame());
+        net.run_to_idle();
+        assert_eq!(net.dropped_no_link(), 1);
+    }
+
+    #[test]
+    fn event_pool_recycles_slots() {
+        // Drive far more events through the engine than are ever in flight
+        // at once: the pool must stay small by recycling freed slots.
+        let mut net = Network::new(0);
+        let pipe = net.add_device(
+            "pipe",
+            CpuLocation::Host,
+            Box::new(Pipe {
+                delay: SimDuration::nanos(1),
+            }),
+        );
+        let sink = net.add_device("sink", CpuLocation::Host, Box::new(Sink));
+        net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default());
+        for i in 0..1_000 {
+            net.inject_frame(SimDuration::micros(i), pipe, PortId::P0, test_frame());
+        }
+        net.run_to_idle();
+        assert_eq!(net.events_processed(), 2_000);
+        // At most the initial 1000 injected events were pending at once.
+        assert!(
+            net.pool.slots.len() <= 1_000,
+            "pool grew to {}",
+            net.pool.slots.len()
+        );
+        assert_eq!(
+            net.pool.free.len(),
+            net.pool.slots.len(),
+            "all slots drained"
+        );
+    }
+
+    #[test]
     fn determinism_same_seed_same_results() {
         let run = |seed| {
             let mut net = Network::new(seed);
             let pipe = net.add_device(
                 "pipe",
                 CpuLocation::Host,
-                Box::new(Pipe { delay: SimDuration::micros(2) }),
+                Box::new(Pipe {
+                    delay: SimDuration::micros(2),
+                }),
             );
             let sink = net.add_device("sink", CpuLocation::Host, Box::new(Sink));
             net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default());

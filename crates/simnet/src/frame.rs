@@ -45,12 +45,19 @@ pub struct Payload {
 impl Payload {
     /// A payload of `len` bytes with tag 0 and no body.
     pub fn sized(len: u32) -> Payload {
-        Payload { len, ..Default::default() }
+        Payload {
+            len,
+            ..Default::default()
+        }
     }
 
     /// A payload carrying literal bytes; `len` is set from the body.
     pub fn bytes(body: Bytes) -> Payload {
-        Payload { len: body.len() as u32, body: Some(body), ..Default::default() }
+        Payload {
+            len: body.len() as u32,
+            body: Some(body),
+            ..Default::default()
+        }
     }
 }
 
@@ -171,12 +178,16 @@ impl Ipv4 {
 
     /// Source socket address, when ports exist.
     pub fn src_sock(&self) -> Option<SockAddr> {
-        self.transport.src_port().map(|p| SockAddr::new(self.src, p))
+        self.transport
+            .src_port()
+            .map(|p| SockAddr::new(self.src, p))
     }
 
     /// Destination socket address, when ports exist.
     pub fn dst_sock(&self) -> Option<SockAddr> {
-        self.transport.dst_port().map(|p| SockAddr::new(self.dst, p))
+        self.transport
+            .dst_port()
+            .map(|p| SockAddr::new(self.dst, p))
     }
 }
 
@@ -265,7 +276,10 @@ impl Frame {
                 src: outer_src,
                 dst: outer_dst,
                 ttl: Self::DEFAULT_TTL,
-                transport: Transport::Vxlan { vni, inner: Box::new(self) },
+                transport: Transport::Vxlan {
+                    vni,
+                    inner: Box::new(self),
+                },
             },
         }
     }
@@ -288,18 +302,32 @@ impl Frame {
 impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.ip.transport {
-            Transport::Udp { src_port, dst_port, payload } => write!(
+            Transport::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => write!(
                 f,
                 "UDP {}:{} -> {}:{} ({}B tag={})",
                 self.ip.src, src_port, self.ip.dst, dst_port, payload.len, payload.tag
             ),
-            Transport::Tcp { src_port, dst_port, seq, kind, payload } => write!(
+            Transport::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                kind,
+                payload,
+            } => write!(
                 f,
                 "TCP {}:{} -> {}:{} seq={} {:?} ({}B)",
                 self.ip.src, src_port, self.ip.dst, dst_port, seq, kind, payload.len
             ),
             Transport::Vxlan { vni, inner } => {
-                write!(f, "VXLAN vni={} {} -> {} [{}]", vni, self.ip.src, self.ip.dst, inner)
+                write!(
+                    f,
+                    "VXLAN vni={} {} -> {} [{}]",
+                    vni, self.ip.src, self.ip.dst, inner
+                )
             }
         }
     }

@@ -13,6 +13,7 @@ use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
 use crate::frame::{Frame, Transport};
 use crate::shared::SharedStation;
+use metrics::MetricId;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -51,7 +52,12 @@ pub struct Interface {
 impl Interface {
     /// Builds an interface with an empty neighbor table.
     pub fn new(mac: MacAddr, ip: Ip4, net: Ip4Net) -> Interface {
-        Interface { mac, ip, net, neigh: HashMap::new() }
+        Interface {
+            mac,
+            ip,
+            net,
+            neigh: HashMap::new(),
+        }
     }
 
     /// Adds a neighbor entry.
@@ -131,7 +137,11 @@ impl NatConfig {
         // Directly-connected subnets take precedence, then static routes.
         for (idx, iface) in self.ifaces.iter().enumerate() {
             if iface.net.contains(dst) {
-                return Some(Route { net: iface.net, port: PortId(idx), via: None });
+                return Some(Route {
+                    net: iface.net,
+                    port: PortId(idx),
+                    via: None,
+                });
             }
         }
         self.routes.iter().copied().find(|r| r.net.contains(dst))
@@ -189,7 +199,10 @@ impl NatControl {
     /// # Panics
     /// Panics on an empty backend list.
     pub fn add_lb(&self, rule: LbRule) {
-        assert!(!rule.backends.is_empty(), "a service needs at least one backend");
+        assert!(
+            !rule.backends.is_empty(),
+            "a service needs at least one backend"
+        );
         self.0.lock().lb.push((rule, 0));
     }
 }
@@ -203,6 +216,37 @@ pub struct NatRouter {
     next_nat_port: u16,
     cost: StageCost,
     station: SharedStation,
+    ids: Option<NatIds>,
+}
+
+/// Interned counter ids, resolved on the first frame and cached.
+#[derive(Clone, Copy)]
+struct NatIds {
+    not_for_us: MetricId,
+    drop_ttl: MetricId,
+    drop_no_route: MetricId,
+    drop_no_neigh: MetricId,
+    routed: MetricId,
+    conntrack_hit: MetricId,
+    conntrack_new: MetricId,
+    lb_assigned: MetricId,
+    translated: MetricId,
+}
+
+impl NatIds {
+    fn resolve(ctx: &mut DevCtx<'_>) -> NatIds {
+        NatIds {
+            not_for_us: ctx.metric("nat.not_for_us"),
+            drop_ttl: ctx.metric("nat.drop_ttl"),
+            drop_no_route: ctx.metric("nat.drop_no_route"),
+            drop_no_neigh: ctx.metric("nat.drop_no_neigh"),
+            routed: ctx.metric("nat.routed"),
+            conntrack_hit: ctx.metric("nat.conntrack_hit"),
+            conntrack_new: ctx.metric("nat.conntrack_new"),
+            lb_assigned: ctx.metric("nat.lb_assigned"),
+            translated: ctx.metric("nat.translated"),
+        }
+    }
 }
 
 impl NatRouter {
@@ -227,6 +271,7 @@ impl NatRouter {
             next_nat_port: Self::NAT_PORT_BASE,
             cost,
             station,
+            ids: None,
         }
     }
 
@@ -265,7 +310,10 @@ impl NatRouter {
 
     fn alloc_nat_port(&mut self) -> u16 {
         let p = self.next_nat_port;
-        self.next_nat_port = self.next_nat_port.checked_add(1).unwrap_or(Self::NAT_PORT_BASE);
+        self.next_nat_port = self
+            .next_nat_port
+            .checked_add(1)
+            .unwrap_or(Self::NAT_PORT_BASE);
         p
     }
 }
@@ -276,20 +324,24 @@ impl Device for NatRouter {
     }
 
     fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
+        let ids = *self.ids.get_or_insert_with(|| NatIds::resolve(ctx));
         let cfg_handle = self.cfg.clone();
         let mut cfg = cfg_handle.0.lock();
-        assert!(port.0 < cfg.ifaces.len(), "frame on nonexistent router port");
+        assert!(
+            port.0 < cfg.ifaces.len(),
+            "frame on nonexistent router port"
+        );
 
         // Routers only process frames addressed to their own interface (or
         // broadcast); bridge floods towards other hosts are ignored at L2.
         if frame.dst_mac != cfg.ifaces[port.0].mac && !frame.dst_mac.is_multicast() {
-            ctx.count("nat.not_for_us", 1.0);
+            ctx.count_id(ids.not_for_us, 1.0);
             return;
         }
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
 
         if frame.ip.ttl == 0 {
-            ctx.count("nat.drop_ttl", 1.0);
+            ctx.count_id(ids.drop_ttl, 1.0);
             return;
         }
         frame.ip.ttl -= 1;
@@ -304,18 +356,18 @@ impl Device for NatRouter {
             // without translation.
             _ => {
                 let Some(route) = cfg.route_for(frame.ip.dst) else {
-                    ctx.count("nat.drop_no_route", 1.0);
+                    ctx.count_id(ids.drop_no_route, 1.0);
                     return;
                 };
                 let next_hop = route.via.unwrap_or(frame.ip.dst);
                 let iface = &cfg.ifaces[route.port.0];
                 let Some(&dst_mac) = iface.neigh.get(&next_hop) else {
-                    ctx.count("nat.drop_no_neigh", 1.0);
+                    ctx.count_id(ids.drop_no_neigh, 1.0);
                     return;
                 };
                 frame.src_mac = iface.mac;
                 frame.dst_mac = dst_mac;
-                ctx.count("nat.routed", 1.0);
+                ctx.count_id(ids.routed, 1.0);
                 ctx.transmit_at(done, route.port, frame);
                 return;
             }
@@ -328,15 +380,22 @@ impl Device for NatRouter {
             self.frames_since_gc = 0;
             let now = ctx.now();
             let timeout = self.conntrack_timeout;
-            self.conntrack.retain(|_, e| now.since(e.last_used) <= timeout);
+            self.conntrack
+                .retain(|_, e| now.since(e.last_used) <= timeout);
         }
 
-        let key = ConnKey { proto, src: src_sock, dst: dst_sock };
-        let live = self.conntrack.get(&key).filter(|e| {
-            ctx.now().since(e.last_used) <= self.conntrack_timeout
-        }).copied();
+        let key = ConnKey {
+            proto,
+            src: src_sock,
+            dst: dst_sock,
+        };
+        let live = self
+            .conntrack
+            .get(&key)
+            .filter(|e| ctx.now().since(e.last_used) <= self.conntrack_timeout)
+            .copied();
         let (new_src, new_dst) = if let Some(entry) = live {
-            ctx.count("nat.conntrack_hit", 1.0);
+            ctx.count_id(ids.conntrack_hit, 1.0);
             let now = ctx.now();
             if let Some(e) = self.conntrack.get_mut(&key) {
                 e.last_used = now;
@@ -353,7 +412,7 @@ impl Device for NatRouter {
                     new_dst = rule.backends[*next % rule.backends.len()];
                     *next = (*next + 1) % rule.backends.len();
                     lb_matched = true;
-                    ctx.count("nat.lb_assigned", 1.0);
+                    ctx.count_id(ids.lb_assigned, 1.0);
                     break;
                 }
             }
@@ -371,7 +430,7 @@ impl Device for NatRouter {
                 }
             }
             let Some(route) = cfg.route_for(new_dst.ip) else {
-                ctx.count("nat.drop_no_route", 1.0);
+                ctx.count_id(ids.drop_no_route, 1.0);
                 return;
             };
             let new_src = if cfg.masquerade.contains(&route.port) {
@@ -381,12 +440,27 @@ impl Device for NatRouter {
             };
             // Install both directions.
             let now = ctx.now();
-            self.conntrack.insert(key, ConnEntry { new_src, new_dst, last_used: now });
             self.conntrack.insert(
-                ConnKey { proto, src: new_dst, dst: new_src },
-                ConnEntry { new_src: dst_sock, new_dst: src_sock, last_used: now },
+                key,
+                ConnEntry {
+                    new_src,
+                    new_dst,
+                    last_used: now,
+                },
             );
-            ctx.count("nat.conntrack_new", 1.0);
+            self.conntrack.insert(
+                ConnKey {
+                    proto,
+                    src: new_dst,
+                    dst: new_src,
+                },
+                ConnEntry {
+                    new_src: dst_sock,
+                    new_dst: src_sock,
+                    last_used: now,
+                },
+            );
+            ctx.count_id(ids.conntrack_new, 1.0);
             (new_src, new_dst)
         };
 
@@ -396,18 +470,18 @@ impl Device for NatRouter {
         frame.ip.transport.set_dst_port(new_dst.port);
 
         let Some(route) = cfg.route_for(new_dst.ip) else {
-            ctx.count("nat.drop_no_route", 1.0);
+            ctx.count_id(ids.drop_no_route, 1.0);
             return;
         };
         let next_hop = route.via.unwrap_or(new_dst.ip);
         let iface = &cfg.ifaces[route.port.0];
         let Some(&dst_mac) = iface.neigh.get(&next_hop) else {
-            ctx.count("nat.drop_no_neigh", 1.0);
+            ctx.count_id(ids.drop_no_neigh, 1.0);
             return;
         };
         frame.src_mac = iface.mac;
         frame.dst_mac = dst_mac;
-        ctx.count("nat.translated", 1.0);
+        ctx.count_id(ids.translated, 1.0);
         ctx.transmit_at(done, route.port, frame);
     }
 }
@@ -421,8 +495,14 @@ mod tests {
     use crate::time::SimDuration;
     use metrics::{CpuCategory, CpuLocation};
 
-    const EXT_NET: Ip4Net = Ip4Net { addr: Ip4(0xC0A8_0000), prefix: 24 }; // 192.168.0.0/24
-    const POD_NET: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+    const EXT_NET: Ip4Net = Ip4Net {
+        addr: Ip4(0xC0A8_0000),
+        prefix: 24,
+    }; // 192.168.0.0/24
+    const POD_NET: Ip4Net = Ip4Net {
+        addr: Ip4(0xAC11_0000),
+        prefix: 24,
+    }; // 172.17.0.0/24
 
     fn router() -> NatRouter {
         let ext = Interface::new(MacAddr::local(10), Ip4::new(192, 168, 0, 1), EXT_NET)
@@ -445,7 +525,14 @@ mod tests {
         r
     }
 
-    fn wire(net: &mut Network, r: NatRouter) -> (crate::device::DeviceId, crate::device::DeviceId, crate::device::DeviceId) {
+    fn wire(
+        net: &mut Network,
+        r: NatRouter,
+    ) -> (
+        crate::device::DeviceId,
+        crate::device::DeviceId,
+        crate::device::DeviceId,
+    ) {
         let rid = net.add_device("nat", CpuLocation::Vm(1), Box::new(r));
         let ext = net.add_device("ext", CpuLocation::Host, Box::new(CaptureSink::new("ext")));
         let pod = net.add_device("pod", CpuLocation::Vm(1), Box::new(CaptureSink::new("pod")));
@@ -455,7 +542,13 @@ mod tests {
     }
 
     fn udp(src: SockAddr, dst: SockAddr) -> Frame {
-        Frame::udp(MacAddr::local(100), MacAddr::local(10), src, dst, Payload::sized(64))
+        Frame::udp(
+            MacAddr::local(100),
+            MacAddr::local(10),
+            src,
+            dst,
+            Payload::sized(64),
+        )
     }
 
     #[test]
@@ -488,7 +581,13 @@ mod tests {
 
         // Pod replies: 172.17.0.2:80 -> client (as it saw it).
         let pod_addr = SockAddr::new(Ip4::new(172, 17, 0, 2), 80);
-        let reply = Frame::udp(MacAddr::local(2), MacAddr::local(11), pod_addr, client, Payload::sized(64));
+        let reply = Frame::udp(
+            MacAddr::local(2),
+            MacAddr::local(11),
+            pod_addr,
+            client,
+            Payload::sized(64),
+        );
         net.inject_frame(SimDuration::ZERO, rid, PortId(1), reply);
         net.run_to_idle();
         assert_eq!(net.store().counter("ext.received"), 1.0);
@@ -500,12 +599,22 @@ mod tests {
         let mut net = Network::new(0);
         let mut r = router();
         // Route everything unknown out the external interface.
-        r.add_route(Route { net: Ip4Net::new(Ip4::UNSPECIFIED, 0), port: PortId(0), via: Some(Ip4::new(192, 168, 0, 100)) });
+        r.add_route(Route {
+            net: Ip4Net::new(Ip4::UNSPECIFIED, 0),
+            port: PortId(0),
+            via: Some(Ip4::new(192, 168, 0, 100)),
+        });
         let (rid, _ext, _pod) = wire(&mut net, r);
         // Pod-originated traffic to the outside world.
         let pod_addr = SockAddr::new(Ip4::new(172, 17, 0, 2), 4242);
         let outside = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
-        let f = Frame::udp(MacAddr::local(2), MacAddr::local(11), pod_addr, outside, Payload::sized(64));
+        let f = Frame::udp(
+            MacAddr::local(2),
+            MacAddr::local(11),
+            pod_addr,
+            outside,
+            Payload::sized(64),
+        );
         net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
         net.run_to_idle();
         assert_eq!(net.store().counter("ext.received"), 1.0);
@@ -523,7 +632,10 @@ mod tests {
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
         net.run_to_idle();
         assert_eq!(net.store().counter("nat.drop_no_route"), 1.0);
-        assert_eq!(net.store().counter("pod.received") + net.store().counter("ext.received"), 0.0);
+        assert_eq!(
+            net.store().counter("pod.received") + net.store().counter("ext.received"),
+            0.0
+        );
     }
 
     #[test]
@@ -576,7 +688,11 @@ mod tests {
     fn five_tuple_flows_get_distinct_masquerade_ports() {
         let mut net = Network::new(0);
         let mut r = router();
-        r.add_route(Route { net: Ip4Net::new(Ip4::UNSPECIFIED, 0), port: PortId(0), via: Some(Ip4::new(192, 168, 0, 100)) });
+        r.add_route(Route {
+            net: Ip4Net::new(Ip4::UNSPECIFIED, 0),
+            port: PortId(0),
+            via: Some(Ip4::new(192, 168, 0, 100)),
+        });
         let rid = net.add_device("nat", CpuLocation::Vm(1), Box::new(r));
         let mut sink = CaptureSink::new("ext");
         // Drive the device directly is awkward; instead check conntrack count
@@ -587,7 +703,13 @@ mod tests {
         let pod2 = SockAddr::new(Ip4::new(172, 17, 0, 2), 2222);
         let outside = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
         for s in [pod1, pod2] {
-            let f = Frame::udp(MacAddr::local(2), MacAddr::local(11), s, outside, Payload::sized(10));
+            let f = Frame::udp(
+                MacAddr::local(2),
+                MacAddr::local(11),
+                s,
+                outside,
+                Payload::sized(10),
+            );
             net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
         }
         net.run_to_idle();

@@ -20,6 +20,7 @@ use crate::engine::DevCtx;
 use crate::frame::Frame;
 use crate::shared::SharedStation;
 use crate::time::SimTime;
+use metrics::MetricId;
 use std::collections::VecDeque;
 
 /// Default virtqueue depth (QEMU's default tx/rx ring size).
@@ -32,12 +33,17 @@ pub const DEFAULT_RING_SIZE: usize = 256;
 pub struct VirtioNic {
     cost: StageCost,
     station: SharedStation,
+    frames_id: Option<MetricId>,
 }
 
 impl VirtioNic {
     /// Creates the frontend with the guest kernel's station.
     pub fn new(cost: StageCost, station: SharedStation) -> VirtioNic {
-        VirtioNic { cost, station }
+        VirtioNic {
+            cost,
+            station,
+            frames_id: None,
+        }
     }
 }
 
@@ -48,9 +54,16 @@ impl Device for VirtioNic {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "virtio frontend has two ports");
+        let frames_id = *self
+            .frames_id
+            .get_or_insert_with(|| ctx.metric("virtio.frames"));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        ctx.count("virtio.frames", 1.0);
-        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        ctx.count_id(frames_id, 1.0);
+        let out = if port == PortId::P0 {
+            PortId::P1
+        } else {
+            PortId::P0
+        };
         ctx.transmit_at(done, out, frame);
     }
 }
@@ -75,6 +88,16 @@ pub struct Vhost {
     /// Completion times of in-flight descriptors (per direction).
     inflight: [VecDeque<SimTime>; 2],
     station: SharedStation,
+    ids: Option<VhostIds>,
+}
+
+/// Interned counter ids, resolved on the first frame and cached.
+#[derive(Clone, Copy)]
+struct VhostIds {
+    frames: MetricId,
+    ring_full: MetricId,
+    kicks: MetricId,
+    suppressed: MetricId,
 }
 
 impl Vhost {
@@ -93,6 +116,7 @@ impl Vhost {
             ring_size: DEFAULT_RING_SIZE,
             inflight: [VecDeque::new(), VecDeque::new()],
             station,
+            ids: None,
         }
     }
 
@@ -119,7 +143,13 @@ impl Device for Vhost {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "vhost has two ports");
-        ctx.count("vhost.frames", 1.0);
+        let ids = *self.ids.get_or_insert_with(|| VhostIds {
+            frames: ctx.metric("vhost.frames"),
+            ring_full: ctx.metric("vhost.ring_full"),
+            kicks: ctx.metric("vhost.kicks"),
+            suppressed: ctx.metric("vhost.suppressed"),
+        });
+        ctx.count_id(ids.frames, 1.0);
 
         // Descriptor accounting: retire completed descriptors, then check
         // ring occupancy; a full ring drops the frame (virtio backpressure).
@@ -129,16 +159,16 @@ impl Device for Vhost {
             self.inflight[dir].pop_front();
         }
         if self.inflight[dir].len() >= self.ring_size {
-            ctx.count("vhost.ring_full", 1.0);
+            ctx.count_id(ids.ring_full, 1.0);
             return;
         }
 
         let idle = self.station.busy_until() <= ctx.now();
         if idle || !self.suppression {
-            ctx.count("vhost.kicks", 1.0);
+            ctx.count_id(ids.kicks, 1.0);
             self.station.serve(&self.kick, 0, ctx);
         } else {
-            ctx.count("vhost.suppressed", 1.0);
+            ctx.count_id(ids.suppressed, 1.0);
         }
         let done = self.station.serve(&self.per_frame, frame.wire_len(), ctx);
         self.inflight[dir].push_back(done);
@@ -168,7 +198,11 @@ impl Device for PhysNic {
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "physical NIC has two ports");
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        let out = if port == PortId::P0 {
+            PortId::P1
+        } else {
+            PortId::P0
+        };
         ctx.transmit_at(done, out, frame);
     }
 }
@@ -195,9 +229,18 @@ mod tests {
         let vhost = net.add_device(
             "vhost",
             CpuLocation::Host,
-            Box::new(Vhost::new(per_frame(), kick(), suppression, SharedStation::new())),
+            Box::new(Vhost::new(
+                per_frame(),
+                kick(),
+                suppression,
+                SharedStation::new(),
+            )),
         );
-        let sink = net.add_device("host", CpuLocation::Host, Box::new(CaptureSink::new("host")));
+        let sink = net.add_device(
+            "host",
+            CpuLocation::Host,
+            Box::new(CaptureSink::new("host")),
+        );
         net.connect(vhost, PortId::P1, sink, PortId::P0, LinkParams::default());
         (net, vhost)
     }
@@ -218,13 +261,21 @@ mod tests {
         assert_eq!(net.store().counter("vhost.kicks"), 3.0);
         // 3 kicks (3000) + 3 frames (500 + 146 bytes wire)
         let expect = 3 * 3_000 + 3 * (500 + 146);
-        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Sys), expect as u64);
+        assert_eq!(
+            net.cpu().get(CpuLocation::Host, CpuCategory::Sys),
+            expect as u64
+        );
     }
 
     #[test]
     fn idle_arrival_is_processed_immediately() {
         let (mut net, vhost) = build(true);
-        net.inject_frame(SimDuration::ZERO, vhost, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 100));
+        net.inject_frame(
+            SimDuration::ZERO,
+            vhost,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 100),
+        );
         net.run_to_idle();
         // kick 3000 + frame 646 = 3646 ns; no batching delay.
         assert_eq!(net.store().samples("host.arrival_ns"), &[3_646.0]);
@@ -247,7 +298,10 @@ mod tests {
         assert_eq!(net.store().counter("vhost.kicks"), 1.0);
         assert_eq!(net.store().counter("vhost.suppressed"), 4.0);
         let expect = 3_000 + 5 * 646;
-        assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Sys), expect as u64);
+        assert_eq!(
+            net.cpu().get(CpuLocation::Host, CpuCategory::Sys),
+            expect as u64
+        );
     }
 
     #[test]
@@ -256,11 +310,13 @@ mod tests {
         let vhost = net.add_device(
             "vhost",
             CpuLocation::Host,
-            Box::new(
-                Vhost::new(per_frame(), kick(), true, SharedStation::new()).with_ring_size(4),
-            ),
+            Box::new(Vhost::new(per_frame(), kick(), true, SharedStation::new()).with_ring_size(4)),
         );
-        let sink = net.add_device("host", CpuLocation::Host, Box::new(CaptureSink::new("host")));
+        let sink = net.add_device(
+            "host",
+            CpuLocation::Host,
+            Box::new(CaptureSink::new("host")),
+        );
         net.connect(vhost, PortId::P1, sink, PortId::P0, LinkParams::default());
         // 10 frames at the same instant against a 4-deep ring.
         for _ in 0..10 {
@@ -288,9 +344,19 @@ mod tests {
     #[test]
     fn suppression_resets_once_idle_again() {
         let (mut net, vhost) = build(true);
-        net.inject_frame(SimDuration::ZERO, vhost, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 100));
+        net.inject_frame(
+            SimDuration::ZERO,
+            vhost,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 100),
+        );
         // Second frame long after the first completed: idle again -> kick.
-        net.inject_frame(SimDuration::millis(1), vhost, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 100));
+        net.inject_frame(
+            SimDuration::millis(1),
+            vhost,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 100),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("vhost.kicks"), 2.0);
     }
@@ -300,8 +366,18 @@ mod tests {
         let (mut net, vhost) = build(true);
         let vm = net.add_device("vm", CpuLocation::Vm(1), Box::new(CaptureSink::new("vm")));
         net.connect(vhost, PortId::P0, vm, PortId::P0, LinkParams::default());
-        net.inject_frame(SimDuration::ZERO, vhost, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 10));
-        net.inject_frame(SimDuration::ZERO, vhost, PortId::P1, frame_between(MacAddr::local(2), MacAddr::local(1), 10));
+        net.inject_frame(
+            SimDuration::ZERO,
+            vhost,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 10),
+        );
+        net.inject_frame(
+            SimDuration::ZERO,
+            vhost,
+            PortId::P1,
+            frame_between(MacAddr::local(2), MacAddr::local(1), 10),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("host.received"), 1.0);
         assert_eq!(net.store().counter("vm.received"), 1.0);
@@ -313,11 +389,19 @@ mod tests {
         let nic = net.add_device(
             "virtio",
             CpuLocation::Vm(7),
-            Box::new(VirtioNic::new(StageCost::fixed(2_000, 0.0, CpuCategory::Sys), SharedStation::new())),
+            Box::new(VirtioNic::new(
+                StageCost::fixed(2_000, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
         );
         let sink = net.add_device("s", CpuLocation::Vm(7), Box::new(CaptureSink::new("s")));
         net.connect(nic, PortId::P0, sink, PortId::P0, LinkParams::default());
-        net.inject_frame(SimDuration::ZERO, nic, PortId::P1, frame_between(MacAddr::local(1), MacAddr::local(2), 10));
+        net.inject_frame(
+            SimDuration::ZERO,
+            nic,
+            PortId::P1,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 10),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("s.received"), 1.0);
         assert_eq!(net.cpu().get(CpuLocation::Vm(7), CpuCategory::Sys), 2_000);
@@ -330,11 +414,19 @@ mod tests {
         let nic = net.add_device(
             "eth0",
             CpuLocation::Host,
-            Box::new(PhysNic::new(StageCost::fixed(1_000, 0.0, CpuCategory::Sys), SharedStation::new())),
+            Box::new(PhysNic::new(
+                StageCost::fixed(1_000, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
         );
         let sink = net.add_device("s", CpuLocation::Host, Box::new(CaptureSink::new("s")));
         net.connect(nic, PortId::P1, sink, PortId::P0, LinkParams::default());
-        net.inject_frame(SimDuration::ZERO, nic, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 10));
+        net.inject_frame(
+            SimDuration::ZERO,
+            nic,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 10),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("s.received"), 1.0);
     }

@@ -11,6 +11,7 @@ use crate::engine::DevCtx;
 use crate::frame::Frame;
 use crate::shared::SharedStation;
 use crate::time::{SimDuration, SimTime};
+use metrics::MetricId;
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
@@ -28,6 +29,7 @@ pub struct RateLimiter {
     cost: StageCost,
     station: SharedStation,
     buckets: [Bucket; 2],
+    paced_id: Option<MetricId>,
 }
 
 impl RateLimiter {
@@ -43,13 +45,17 @@ impl RateLimiter {
         station: SharedStation,
     ) -> RateLimiter {
         assert!(rate_bps > 0, "rate must be positive");
-        let bucket = Bucket { tokens: f64::from(burst_bytes), settled_at: SimTime::ZERO };
+        let bucket = Bucket {
+            tokens: f64::from(burst_bytes),
+            settled_at: SimTime::ZERO,
+        };
         RateLimiter {
             rate_bytes_per_ns: rate_bps as f64 / 8.0 / 1e9,
             burst_bytes: f64::from(burst_bytes),
             cost,
             station,
             buckets: [bucket; 2],
+            paced_id: None,
         }
     }
 }
@@ -61,6 +67,9 @@ impl Device for RateLimiter {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "rate limiter has two ports");
+        let paced_id = *self
+            .paced_id
+            .get_or_insert_with(|| ctx.metric("shaper.paced"));
         let served = self.station.serve(&self.cost, frame.wire_len(), ctx);
         let now = ctx.now();
         let b = &mut self.buckets[port.0];
@@ -74,7 +83,11 @@ impl Device for RateLimiter {
         }
 
         let len = f64::from(frame.wire_len());
-        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        let out = if port == PortId::P0 {
+            PortId::P1
+        } else {
+            PortId::P0
+        };
         if b.tokens >= len {
             b.tokens -= len;
             ctx.transmit_at(served, out, frame);
@@ -86,7 +99,7 @@ impl Device for RateLimiter {
             let delay = SimDuration::nanos((deficit / self.rate_bytes_per_ns).ceil() as u64);
             let departure = (b.settled_at + delay).max(served);
             b.settled_at = departure;
-            ctx.count("shaper.paced", 1.0);
+            ctx.count_id(paced_id, 1.0);
             ctx.transmit_at(departure, out, frame);
         }
     }
@@ -116,7 +129,11 @@ mod tests {
                 SharedStation::new(),
             )),
         );
-        let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+        let sink = net.add_device(
+            "sink",
+            CpuLocation::Host,
+            Box::new(CaptureSink::new("sink")),
+        );
         net.connect(shaper, PortId::P1, sink, PortId::P0, LinkParams::default());
         (net, shaper)
     }
@@ -139,7 +156,10 @@ mod tests {
         let last = arrivals.iter().copied().fold(0.0, f64::max);
         // 100 frames of 1000 wire bytes at 1 MB/s = ~100 ms (burst credit
         // shaves one frame's worth).
-        assert!((95_000_000.0..=101_000_000.0).contains(&last), "last arrival at {last} ns");
+        assert!(
+            (95_000_000.0..=101_000_000.0).contains(&last),
+            "last arrival at {last} ns"
+        );
         assert!(net.store().counter("shaper.paced") > 90.0);
     }
 
@@ -185,6 +205,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
-        RateLimiter::new(0, 1, StageCost::fixed(1, 0.0, CpuCategory::Sys), SharedStation::new());
+        RateLimiter::new(
+            0,
+            1,
+            StageCost::fixed(1, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        );
     }
 }

@@ -8,6 +8,7 @@ use crate::addr::{Ip4, MacAddr, SockAddr};
 use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
 use crate::frame::{Frame, Payload};
+use metrics::MetricId;
 
 /// A sink device that records every received frame under
 /// `"{name}.received"` (counter), `"{name}.arrival_ns"` (samples) and
@@ -15,12 +16,25 @@ use crate::frame::{Frame, Payload};
 pub struct CaptureSink {
     name: String,
     frames: Vec<Frame>,
+    ids: Option<SinkIds>,
+}
+
+/// Interned metric ids, resolved from the name once on the first frame.
+#[derive(Clone, Copy)]
+struct SinkIds {
+    received: MetricId,
+    bytes: MetricId,
+    arrival_ns: MetricId,
 }
 
 impl CaptureSink {
     /// Creates a sink labelled `name`.
     pub fn new(name: impl Into<String>) -> CaptureSink {
-        CaptureSink { name: name.into(), frames: Vec::new() }
+        CaptureSink {
+            name: name.into(),
+            frames: Vec::new(),
+            ids: None,
+        }
     }
 
     /// Frames captured so far (only observable before the device is added to
@@ -36,9 +50,15 @@ impl Device for CaptureSink {
     }
 
     fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
-        ctx.count(&format!("{}.received", self.name), 1.0);
-        ctx.count(&format!("{}.bytes", self.name), frame.wire_len() as f64);
-        ctx.record(&format!("{}.arrival_ns", self.name), ctx.now().as_nanos() as f64);
+        let name = &self.name;
+        let ids = *self.ids.get_or_insert_with(|| SinkIds {
+            received: ctx.metric(&format!("{name}.received")),
+            bytes: ctx.metric(&format!("{name}.bytes")),
+            arrival_ns: ctx.metric(&format!("{name}.arrival_ns")),
+        });
+        ctx.count_id(ids.received, 1.0);
+        ctx.count_id(ids.bytes, frame.wire_len() as f64);
+        ctx.record_id(ids.arrival_ns, ctx.now().as_nanos() as f64);
         self.frames.push(frame);
     }
 }

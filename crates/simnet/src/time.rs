@@ -74,7 +74,10 @@ impl SimDuration {
 
     /// Builds from fractional seconds (rounds to nearest nanosecond).
     pub fn secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -128,11 +131,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(other.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(other.0).expect("SimDuration underflow"))
     }
 }
 
@@ -192,7 +191,13 @@ mod tests {
 
     #[test]
     fn saturating_mul() {
-        assert_eq!(SimDuration::nanos(3).saturating_mul(4), SimDuration::nanos(12));
-        assert_eq!(SimDuration(u64::MAX).saturating_mul(2), SimDuration(u64::MAX));
+        assert_eq!(
+            SimDuration::nanos(3).saturating_mul(4),
+            SimDuration::nanos(12)
+        );
+        assert_eq!(
+            SimDuration(u64::MAX).saturating_mul(2),
+            SimDuration(u64::MAX)
+        );
     }
 }

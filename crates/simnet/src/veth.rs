@@ -11,18 +11,24 @@ use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
 use crate::frame::Frame;
 use crate::shared::SharedStation;
+use metrics::MetricId;
 
 /// A veth pair: frames entering port 0 leave port 1 and vice versa.
 pub struct VethPair {
     cost: StageCost,
     station: SharedStation,
+    crossings_id: Option<MetricId>,
 }
 
 impl VethPair {
     /// Creates a veth pair with the given crossing cost, serialized on the
     /// owning kernel's station.
     pub fn new(cost: StageCost, station: SharedStation) -> VethPair {
-        VethPair { cost, station }
+        VethPair {
+            cost,
+            station,
+            crossings_id: None,
+        }
     }
 }
 
@@ -33,9 +39,16 @@ impl Device for VethPair {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "veth pair has exactly two ends");
+        let id = *self
+            .crossings_id
+            .get_or_insert_with(|| ctx.metric("veth.crossings"));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        ctx.count("veth.crossings", 1.0);
-        let out = if port == PortId::P0 { PortId::P1 } else { PortId::P0 };
+        ctx.count_id(id, 1.0);
+        let out = if port == PortId::P0 {
+            PortId::P1
+        } else {
+            PortId::P0
+        };
         ctx.transmit_at(done, out, frame);
     }
 }
@@ -51,13 +64,22 @@ pub struct Loopback {
     nports: usize,
     cost: StageCost,
     station: SharedStation,
+    frames_id: Option<MetricId>,
 }
 
 impl Loopback {
     /// Creates a loopback with `nports` attached sockets.
     pub fn new(nports: usize, cost: StageCost, station: SharedStation) -> Loopback {
-        assert!(nports >= 2, "loopback needs at least two attached endpoints");
-        Loopback { nports, cost, station }
+        assert!(
+            nports >= 2,
+            "loopback needs at least two attached endpoints"
+        );
+        Loopback {
+            nports,
+            cost,
+            station,
+            frames_id: None,
+        }
     }
 }
 
@@ -68,8 +90,11 @@ impl Device for Loopback {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < self.nports, "frame on nonexistent loopback port");
+        let id = *self
+            .frames_id
+            .get_or_insert_with(|| ctx.metric("loopback.frames"));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        ctx.count("loopback.frames", 1.0);
+        ctx.count_id(id, 1.0);
         for p in 0..self.nports {
             if p != port.0 && ctx.is_linked(PortId(p)) {
                 ctx.transmit_at(done, PortId(p), frame.clone());
@@ -93,15 +118,28 @@ mod tests {
         let veth = net.add_device(
             "veth",
             CpuLocation::Vm(1),
-            Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+            Box::new(VethPair::new(
+                StageCost::fixed(500, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
         );
         let a = net.add_device("a", CpuLocation::Vm(1), Box::new(CaptureSink::new("a")));
         let b = net.add_device("b", CpuLocation::Vm(1), Box::new(CaptureSink::new("b")));
         net.connect(veth, PortId::P0, a, PortId::P0, LinkParams::default());
         net.connect(veth, PortId::P1, b, PortId::P0, LinkParams::default());
 
-        net.inject_frame(SimDuration::ZERO, veth, PortId::P0, frame_between(MacAddr::local(1), MacAddr::local(2), 64));
-        net.inject_frame(SimDuration::ZERO, veth, PortId::P1, frame_between(MacAddr::local(2), MacAddr::local(1), 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            veth,
+            PortId::P0,
+            frame_between(MacAddr::local(1), MacAddr::local(2), 64),
+        );
+        net.inject_frame(
+            SimDuration::ZERO,
+            veth,
+            PortId::P1,
+            frame_between(MacAddr::local(2), MacAddr::local(1), 64),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("a.received"), 1.0);
         assert_eq!(net.store().counter("b.received"), 1.0);
@@ -114,8 +152,16 @@ mod tests {
         let mut net = Network::new(0);
         let station = SharedStation::new();
         let cost = StageCost::fixed(1_000, 0.0, CpuCategory::Sys);
-        let v1 = net.add_device("v1", CpuLocation::Vm(1), Box::new(VethPair::new(cost, station.clone())));
-        let v2 = net.add_device("v2", CpuLocation::Vm(1), Box::new(VethPair::new(cost, station)));
+        let v1 = net.add_device(
+            "v1",
+            CpuLocation::Vm(1),
+            Box::new(VethPair::new(cost, station.clone())),
+        );
+        let v2 = net.add_device(
+            "v2",
+            CpuLocation::Vm(1),
+            Box::new(VethPair::new(cost, station)),
+        );
         let s1 = net.add_device("s1", CpuLocation::Vm(1), Box::new(CaptureSink::new("s1")));
         let s2 = net.add_device("s2", CpuLocation::Vm(1), Box::new(CaptureSink::new("s2")));
         net.connect(v1, PortId::P1, s1, PortId::P0, LinkParams::default());
@@ -125,7 +171,11 @@ mod tests {
         net.inject_frame(SimDuration::ZERO, v2, PortId::P0, f);
         net.run_to_idle();
         assert_eq!(net.store().samples("s1.arrival_ns"), &[1_000.0]);
-        assert_eq!(net.store().samples("s2.arrival_ns"), &[2_000.0], "second served after first");
+        assert_eq!(
+            net.store().samples("s2.arrival_ns"),
+            &[2_000.0],
+            "second served after first"
+        );
     }
 
     #[test]
@@ -134,17 +184,30 @@ mod tests {
         let lo = net.add_device(
             "lo",
             CpuLocation::Vm(1),
-            Box::new(Loopback::new(3, StageCost::fixed(100, 0.0, CpuCategory::Sys), SharedStation::new())),
+            Box::new(Loopback::new(
+                3,
+                StageCost::fixed(100, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
         );
         let sinks: Vec<_> = (0..3)
             .map(|i| {
-                let s = net.add_device(format!("c{i}"), CpuLocation::Vm(1), Box::new(CaptureSink::new(format!("c{i}"))));
+                let s = net.add_device(
+                    format!("c{i}"),
+                    CpuLocation::Vm(1),
+                    Box::new(CaptureSink::new(format!("c{i}"))),
+                );
                 net.connect(lo, PortId(i), s, PortId::P0, LinkParams::default());
                 s
             })
             .collect();
         let _ = sinks;
-        net.inject_frame(SimDuration::ZERO, lo, PortId(1), frame_between(MacAddr::local(1), MacAddr::BROADCAST, 64));
+        net.inject_frame(
+            SimDuration::ZERO,
+            lo,
+            PortId(1),
+            frame_between(MacAddr::local(1), MacAddr::BROADCAST, 64),
+        );
         net.run_to_idle();
         assert_eq!(net.store().counter("c0.received"), 1.0);
         assert_eq!(net.store().counter("c1.received"), 0.0, "no echo to sender");
@@ -154,6 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn loopback_needs_two_ports() {
-        Loopback::new(1, StageCost::fixed(1, 0.0, CpuCategory::Sys), SharedStation::new());
+        Loopback::new(
+            1,
+            StageCost::fixed(1, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        );
     }
 }

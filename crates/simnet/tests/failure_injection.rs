@@ -18,10 +18,23 @@ fn lossy_net(p: f64, frames: u64, seed: u64) -> Network {
     let pipe = net.add_device(
         "pipe",
         CpuLocation::Host,
-        Box::new(VethPair::new(StageCost::fixed(100, 0.0, CpuCategory::Sys), SharedStation::new())),
+        Box::new(VethPair::new(
+            StageCost::fixed(100, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        )),
     );
-    let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
-    net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default().with_loss(p));
+    let sink = net.add_device(
+        "sink",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("sink")),
+    );
+    net.connect(
+        pipe,
+        PortId::P1,
+        sink,
+        PortId::P0,
+        LinkParams::default().with_loss(p),
+    );
     for i in 0..frames {
         net.inject_frame(
             SimDuration::micros(i),

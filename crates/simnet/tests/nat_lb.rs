@@ -13,8 +13,14 @@ use simnet::shared::SharedStation;
 use simnet::testutil::CaptureSink;
 use simnet::{Ip4, Ip4Net, MacAddr, SimDuration, SockAddr};
 
-const EXT: Ip4Net = Ip4Net { addr: Ip4(0xC0A8_0000), prefix: 24 }; // 192.168.0.0/24
-const POD: Ip4Net = Ip4Net { addr: Ip4(0xAC11_0000), prefix: 24 }; // 172.17.0.0/24
+const EXT: Ip4Net = Ip4Net {
+    addr: Ip4(0xC0A8_0000),
+    prefix: 24,
+}; // 192.168.0.0/24
+const POD: Ip4Net = Ip4Net {
+    addr: Ip4(0xAC11_0000),
+    prefix: 24,
+}; // 172.17.0.0/24
 
 fn lb_net(backends: usize) -> (Network, simnet::DeviceId) {
     let mut ext_if = Interface::new(MacAddr::local(10), EXT.host(1), EXT)
@@ -33,7 +39,9 @@ fn lb_net(backends: usize) -> (Network, simnet::DeviceId) {
     ctl.add_lb(LbRule {
         proto: Proto::Udp,
         vip: SockAddr::new(EXT.host(1), 80),
-        backends: (0..backends as u32).map(|b| SockAddr::new(POD.host(2 + b), 8080)).collect(),
+        backends: (0..backends as u32)
+            .map(|b| SockAddr::new(POD.host(2 + b), 8080))
+            .collect(),
     });
 
     let mut net = Network::new(0);
@@ -68,7 +76,11 @@ fn request(src_port: u16) -> Frame {
 #[test]
 fn new_flows_rotate_across_backends() {
     let (mut net, nat) = lb_net(3);
-    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    let sink = net.add_device(
+        "podside",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("podside")),
+    );
     net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
     for i in 0..6 {
         net.inject_frame(SimDuration::ZERO, nat, PortId(0), request(40_000 + i));
@@ -81,7 +93,11 @@ fn new_flows_rotate_across_backends() {
 #[test]
 fn established_flows_stick_to_their_backend() {
     let (mut net, nat) = lb_net(3);
-    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    let sink = net.add_device(
+        "podside",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("podside")),
+    );
     net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
     // Same 5-tuple three times: one LB assignment, two conntrack hits.
     for _ in 0..3 {
@@ -95,7 +111,11 @@ fn established_flows_stick_to_their_backend() {
 #[test]
 fn lb_rules_do_not_shadow_other_ports() {
     let (mut net, nat) = lb_net(2);
-    let sink = net.add_device("podside", CpuLocation::Host, Box::new(CaptureSink::new("podside")));
+    let sink = net.add_device(
+        "podside",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("podside")),
+    );
     net.connect(nat, PortId(1), sink, PortId::P0, LinkParams::default());
     // Traffic to a non-VIP port is not balanced (and with no DNAT rule it
     // is routed to the literal destination — here the router itself, so

@@ -19,14 +19,24 @@ fn tracing_records_hops_in_time_order() {
     let v1 = net.add_device(
         "veth-a",
         CpuLocation::Host,
-        Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+        Box::new(VethPair::new(
+            StageCost::fixed(500, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        )),
     );
     let v2 = net.add_device(
         "veth-b",
         CpuLocation::Host,
-        Box::new(VethPair::new(StageCost::fixed(500, 0.0, CpuCategory::Sys), SharedStation::new())),
+        Box::new(VethPair::new(
+            StageCost::fixed(500, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        )),
     );
-    let sink = net.add_device("sink", CpuLocation::Host, Box::new(CaptureSink::new("sink")));
+    let sink = net.add_device(
+        "sink",
+        CpuLocation::Host,
+        Box::new(CaptureSink::new("sink")),
+    );
     net.connect(v1, PortId::P1, v2, PortId::P0, LinkParams::default());
     net.connect(v2, PortId::P1, sink, PortId::P0, LinkParams::default());
     net.inject_frame(
@@ -73,8 +83,10 @@ fn multi_homed_endpoint_routes_per_interface() {
     let ep = Endpoint::new(
         "dual",
         vec![
-            IfaceConf::new(MacAddr::local(1), net_a.host(2), net_a).with_gateway(net_a.host(1), gw_mac),
-            IfaceConf::new(MacAddr::local(2), net_b.host(2), net_b).with_neigh(net_b.host(3), peer_mac),
+            IfaceConf::new(MacAddr::local(1), net_a.host(2), net_a)
+                .with_gateway(net_a.host(1), gw_mac),
+            IfaceConf::new(MacAddr::local(2), net_b.host(2), net_b)
+                .with_neigh(net_b.host(3), peer_mac),
         ],
         [1000],
         StageCost::fixed(100, 0.0, CpuCategory::Usr),

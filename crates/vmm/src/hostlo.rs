@@ -45,7 +45,12 @@ impl HostloTap {
         station: SharedStation,
     ) -> HostloTap {
         assert!(nqueues >= 2, "a hostlo TAP serves at least two VMs");
-        HostloTap { nqueues, cost_per_queue, mode, station }
+        HostloTap {
+            nqueues,
+            cost_per_queue,
+            mode,
+            station,
+        }
     }
 
     /// Number of queues.
@@ -75,7 +80,9 @@ impl Device for HostloTap {
             if !ctx.is_linked(PortId(q)) {
                 continue;
             }
-            let done = self.station.serve(&self.cost_per_queue, frame.wire_len(), ctx);
+            let done = self
+                .station
+                .serve(&self.cost_per_queue, frame.wire_len(), ctx);
             ctx.count("hostlo.queue_copies", 1.0);
             ctx.transmit_at(done, PortId(q), frame.clone());
         }
@@ -125,7 +132,11 @@ mod tests {
         );
         net.run_to_idle();
         for q in 0..3 {
-            assert_eq!(net.store().counter(&format!("vm{q}.received")), 1.0, "queue {q}");
+            assert_eq!(
+                net.store().counter(&format!("vm{q}.received")),
+                1.0,
+                "queue {q}"
+            );
         }
         assert_eq!(net.store().counter("hostlo.queue_copies"), 3.0);
     }

@@ -82,24 +82,40 @@ impl Vmm {
     /// Executes one management command, QMP-style.
     pub fn qmp(&mut self, cmd: QmpCommand) -> QmpResponse {
         match cmd {
-            QmpCommand::NetdevAdd { vm, bridge, coalesce } => {
+            QmpCommand::NetdevAdd {
+                vm,
+                bridge,
+                coalesce,
+            } => {
                 if vm as usize >= self.vms().len() {
-                    return QmpResponse::Error { desc: format!("no such VM: {vm}") };
+                    return QmpResponse::Error {
+                        desc: format!("no such VM: {vm}"),
+                    };
                 }
                 let Some(br) = self.bridge_by_name(&bridge) else {
-                    return QmpResponse::Error { desc: format!("no such bridge: {bridge}") };
+                    return QmpResponse::Error {
+                        desc: format!("no such bridge: {bridge}"),
+                    };
                 };
                 let info = self.add_nic(VmId(vm), br, coalesce, true);
-                QmpResponse::NicAdded(QmpNic { vm, nic: info.nic.0, mac: info.mac.to_string() })
+                QmpResponse::NicAdded(QmpNic {
+                    vm,
+                    nic: info.nic.0,
+                    mac: info.mac.to_string(),
+                })
             }
             QmpCommand::DeviceDel { vm, nic } => {
                 if vm as usize >= self.vms().len() {
-                    return QmpResponse::Error { desc: format!("no such VM: {vm}") };
+                    return QmpResponse::Error {
+                        desc: format!("no such VM: {vm}"),
+                    };
                 }
                 if self.detach_nic(VmId(vm), NicId(nic)) {
                     QmpResponse::Removed
                 } else {
-                    QmpResponse::Error { desc: format!("no such NIC: {nic} on VM {vm}") }
+                    QmpResponse::Error {
+                        desc: format!("no such NIC: {nic} on VM {vm}"),
+                    }
                 }
             }
             QmpCommand::HostloCreate { vms } => {
@@ -109,7 +125,9 @@ impl Vmm {
                     };
                 }
                 if let Some(&bad) = vms.iter().find(|&&v| v as usize >= self.vms().len()) {
-                    return QmpResponse::Error { desc: format!("no such VM: {bad}") };
+                    return QmpResponse::Error {
+                        desc: format!("no such VM: {bad}"),
+                    };
                 }
                 let ids: Vec<VmId> = vms.iter().map(|&v| VmId(v)).collect();
                 let mode = self.hostlo_fanout();
@@ -117,18 +135,28 @@ impl Vmm {
                 QmpResponse::HostloCreated {
                     endpoints: eps
                         .iter()
-                        .map(|e| QmpNic { vm: e.vm.0, nic: e.nic.0, mac: e.mac.to_string() })
+                        .map(|e| QmpNic {
+                            vm: e.vm.0,
+                            nic: e.nic.0,
+                            mac: e.mac.to_string(),
+                        })
                         .collect(),
                 }
             }
             QmpCommand::QueryNics { vm } => {
                 if vm as usize >= self.vms().len() {
-                    return QmpResponse::Error { desc: format!("no such VM: {vm}") };
+                    return QmpResponse::Error {
+                        desc: format!("no such VM: {vm}"),
+                    };
                 }
                 QmpResponse::Nics(
                     self.vm(VmId(vm))
                         .active_nics()
-                        .map(|n| QmpNic { vm, nic: n.id.0, mac: n.mac.to_string() })
+                        .map(|n| QmpNic {
+                            vm,
+                            nic: n.id.0,
+                            mac: n.mac.to_string(),
+                        })
                         .collect(),
                 )
             }
@@ -145,7 +173,9 @@ impl Vmm {
     pub fn qmp_json(&mut self, line: &str) -> String {
         let resp = match serde_json::from_str::<QmpCommand>(line) {
             Ok(cmd) => self.qmp(cmd),
-            Err(e) => QmpResponse::Error { desc: format!("malformed command: {e}") },
+            Err(e) => QmpResponse::Error {
+                desc: format!("malformed command: {e}"),
+            },
         };
         serde_json::to_string(&resp).expect("responses always serialize")
     }
@@ -166,10 +196,20 @@ mod tests {
     #[test]
     fn netdev_add_returns_mac() {
         let mut vmm = vmm_with_vm();
-        let r = vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: false });
-        let QmpResponse::NicAdded(nic) = r else { panic!("expected NicAdded, got {r:?}") };
+        let r = vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 0,
+            bridge: "br0".into(),
+            coalesce: false,
+        });
+        let QmpResponse::NicAdded(nic) = r else {
+            panic!("expected NicAdded, got {r:?}")
+        };
         assert_eq!(nic.vm, 0);
-        assert!(nic.mac.starts_with("52:54:"), "QEMU OUI prefix: {}", nic.mac);
+        assert!(
+            nic.mac.starts_with("52:54:"),
+            "QEMU OUI prefix: {}",
+            nic.mac
+        );
         // The agent can find the NIC by that MAC.
         let mac: Vec<&str> = vec![]; // silence unused in older rustc
         let _ = mac;
@@ -178,26 +218,41 @@ mod tests {
     #[test]
     fn netdev_add_unknown_bridge_errors() {
         let mut vmm = vmm_with_vm();
-        let r = vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "nope".into(), coalesce: false });
+        let r = vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 0,
+            bridge: "nope".into(),
+            coalesce: false,
+        });
         assert!(matches!(r, QmpResponse::Error { .. }));
     }
 
     #[test]
     fn netdev_add_unknown_vm_errors() {
         let mut vmm = vmm_with_vm();
-        let r = vmm.qmp(QmpCommand::NetdevAdd { vm: 9, bridge: "br0".into(), coalesce: false });
+        let r = vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 9,
+            bridge: "br0".into(),
+            coalesce: false,
+        });
         assert!(matches!(r, QmpResponse::Error { .. }));
     }
 
     #[test]
     fn query_and_delete_roundtrip() {
         let mut vmm = vmm_with_vm();
-        vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: false });
+        vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 0,
+            bridge: "br0".into(),
+            coalesce: false,
+        });
         let QmpResponse::Nics(nics) = vmm.qmp(QmpCommand::QueryNics { vm: 0 }) else {
             panic!("expected Nics")
         };
         assert_eq!(nics.len(), 1);
-        let r = vmm.qmp(QmpCommand::DeviceDel { vm: 0, nic: nics[0].nic });
+        let r = vmm.qmp(QmpCommand::DeviceDel {
+            vm: 0,
+            nic: nics[0].nic,
+        });
         assert_eq!(r, QmpResponse::Removed);
         let QmpResponse::Nics(nics) = vmm.qmp(QmpCommand::QueryNics { vm: 0 }) else {
             panic!("expected Nics")
@@ -214,7 +269,9 @@ mod tests {
         vmm.create_vm(VmSpec::paper_eval("vm0"));
         vmm.create_vm(VmSpec::paper_eval("vm1"));
         let r = vmm.qmp(QmpCommand::HostloCreate { vms: vec![0, 1] });
-        let QmpResponse::HostloCreated { endpoints } = r else { panic!("expected HostloCreated") };
+        let QmpResponse::HostloCreated { endpoints } = r else {
+            panic!("expected HostloCreated")
+        };
         assert_eq!(endpoints.len(), 2);
         assert_eq!(endpoints[0].vm, 0);
         assert_eq!(endpoints[1].vm, 1);
@@ -224,9 +281,7 @@ mod tests {
     #[test]
     fn json_wire_roundtrip() {
         let mut vmm = vmm_with_vm();
-        let resp = vmm.qmp_json(
-            r#"{"NetdevAdd":{"vm":0,"bridge":"br0","coalesce":true}}"#,
-        );
+        let resp = vmm.qmp_json(r#"{"NetdevAdd":{"vm":0,"bridge":"br0","coalesce":true}}"#);
         assert!(resp.contains("NicAdded"), "got {resp}");
         assert!(resp.contains("52:54:"));
         let listing = vmm.qmp_json(r#"{"QueryNics":{"vm":0}}"#);

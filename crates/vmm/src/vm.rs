@@ -39,7 +39,11 @@ pub struct VmSpec {
 impl VmSpec {
     /// The paper's evaluation VM shape: 5 vCPUs, 4 GB RAM (§5.1).
     pub fn paper_eval(name: impl Into<String>) -> VmSpec {
-        VmSpec { name: name.into(), vcpus: 5, memory_mib: 4096 }
+        VmSpec {
+            name: name.into(),
+            vcpus: 5,
+            memory_mib: 4096,
+        }
     }
 }
 

@@ -64,7 +64,10 @@ pub struct HostSpec {
 impl Default for HostSpec {
     fn default() -> Self {
         // The evaluation machine: 2x Xeon E5-2420 v2, 12 CPUs, HT off.
-        HostSpec { cpus: 12, memory_mib: 32 * 1024 }
+        HostSpec {
+            cpus: 12,
+            memory_mib: 32 * 1024,
+        }
     }
 }
 
@@ -144,15 +147,27 @@ impl Vmm {
         let dev = self.net.add_device(
             name.clone(),
             CpuLocation::Host,
-            Box::new(Bridge::new(capacity, self.costs.host_bridge, self.host_station.clone())),
+            Box::new(Bridge::new(
+                capacity,
+                self.costs.host_bridge,
+                self.host_station.clone(),
+            )),
         );
-        self.bridges.push(BridgeInfo { name, dev, capacity, next_port: 0 });
+        self.bridges.push(BridgeInfo {
+            name,
+            dev,
+            capacity,
+            next_port: 0,
+        });
         BridgeHandle(self.bridges.len() - 1)
     }
 
     /// Looks up a bridge by name.
     pub fn bridge_by_name(&self, name: &str) -> Option<BridgeHandle> {
-        self.bridges.iter().position(|b| b.name == name).map(BridgeHandle)
+        self.bridges
+            .iter()
+            .position(|b| b.name == name)
+            .map(BridgeHandle)
     }
 
     /// The bridge's device id.
@@ -166,7 +181,11 @@ impl Vmm {
     /// Panics when the bridge is full — size bridges for the experiment.
     pub fn alloc_bridge_port(&mut self, h: BridgeHandle) -> (DeviceId, PortId) {
         let b = &mut self.bridges[h.0];
-        assert!(b.next_port < b.capacity, "bridge {} is out of ports", b.name);
+        assert!(
+            b.next_port < b.capacity,
+            "bridge {} is out of ports",
+            b.name
+        );
         let p = PortId(b.next_port);
         b.next_port += 1;
         (b.dev, p)
@@ -260,7 +279,8 @@ impl Vmm {
             // does), hence a fresh station.
             Box::new(Vhost::new(per_frame, kick, coalesce, SharedStation::new())),
         );
-        self.net.connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
+        self.net
+            .connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
         let (br_dev, br_port) = self.alloc_bridge_port(bridge);
         self.net.connect(
             vhost,
@@ -270,7 +290,13 @@ impl Vmm {
             LinkParams::with_latency(self.costs.link_latency),
         );
 
-        let info = NicInfo { nic: nic_id, vm, mac, guest_attach: (virtio, PortId::P0), vhost };
+        let info = NicInfo {
+            nic: nic_id,
+            vm,
+            mac,
+            guest_attach: (virtio, PortId::P0),
+            vhost,
+        };
         self.vms[vm.0 as usize].nics.push(VmNic {
             id: nic_id,
             mac,
@@ -288,7 +314,10 @@ impl Vmm {
     /// devices stay, but the VMM stops reporting the NIC and the agent is
     /// expected to stop using it.
     pub fn detach_nic(&mut self, vm: VmId, nic: NicId) -> bool {
-        if let Some(n) = self.vms[vm.0 as usize].nics.iter_mut().find(|n| n.id == nic && n.active)
+        if let Some(n) = self.vms[vm.0 as usize]
+            .nics
+            .iter_mut()
+            .find(|n| n.id == nic && n.active)
         {
             n.active = false;
             true
@@ -300,7 +329,11 @@ impl Vmm {
     /// Creates a hostlo TAP multiplexed between `vms` and hot-plugs one
     /// uncoalesced endpoint NIC into each (§4.2: "creates and adds one
     /// RX/TX queue of it to each VM that needs it").
-    pub fn create_hostlo(&mut self, vms: &[VmId], mode: FanoutMode) -> (HostloHandle, Vec<NicInfo>) {
+    pub fn create_hostlo(
+        &mut self,
+        vms: &[VmId],
+        mode: FanoutMode,
+    ) -> (HostloHandle, Vec<NicInfo>) {
         assert!(vms.len() >= 2, "hostlo spans at least two VMs");
         let tap = self.net.add_device(
             format!("hostlo{}", self.hostlos.len()),
@@ -338,7 +371,8 @@ impl Vmm {
                 // the hostlo TAP itself is the path's added cost.
                 Box::new(Vhost::new(per_frame, kick, true, SharedStation::new())),
             );
-            self.net.connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
+            self.net
+                .connect(virtio, PortId::P1, vhost, PortId::P0, LinkParams::default());
             self.net.connect(
                 vhost,
                 PortId::P1,
@@ -346,7 +380,13 @@ impl Vmm {
                 PortId(q),
                 LinkParams::with_latency(self.costs.link_latency),
             );
-            let info = NicInfo { nic: nic_id, vm, mac, guest_attach: (virtio, PortId::P0), vhost };
+            let info = NicInfo {
+                nic: nic_id,
+                vm,
+                mac,
+                guest_attach: (virtio, PortId::P0),
+                vhost,
+            };
             self.vms[vm.0 as usize].nics.push(VmNic {
                 id: nic_id,
                 mac,
@@ -359,7 +399,10 @@ impl Vmm {
             });
             endpoints.push(info);
         }
-        self.hostlos.push(HostloInfo { tap, endpoints: endpoints.clone() });
+        self.hostlos.push(HostloInfo {
+            tap,
+            endpoints: endpoints.clone(),
+        });
         (HostloHandle(self.hostlos.len() - 1), endpoints)
     }
 
@@ -447,7 +490,10 @@ mod tests {
         assert_eq!(eps.len(), 3);
         let tap = vmm.hostlo_device(h);
         for (q, ep) in eps.iter().enumerate() {
-            assert_eq!(vmm.network().peer(ep.vhost, PortId::P1), Some((tap, PortId(q))));
+            assert_eq!(
+                vmm.network().peer(ep.vhost, PortId::P1),
+                Some((tap, PortId(q)))
+            );
             assert!(vmm.vm(ep.vm).nic_by_mac(ep.mac).unwrap().hostlo);
         }
     }

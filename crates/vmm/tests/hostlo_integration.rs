@@ -83,7 +83,10 @@ fn tap_copies_charge_the_host_not_the_guests() {
     // host's share: the §5.3.4 attribution question.
     let host_sys = cpu.get(CpuLocation::Host, metrics::CpuCategory::Sys);
     let guest_total: u64 = (0..3).map(|i| cpu.total_at(CpuLocation::Vm(i))).sum();
-    assert!(host_sys > guest_total / 4, "host does real per-queue copy work");
+    assert!(
+        host_sys > guest_total / 4,
+        "host does real per-queue copy work"
+    );
 }
 
 #[test]
@@ -104,5 +107,8 @@ fn sustained_load_serializes_on_the_tap_worker() {
     // ...and the peer saw them in order, spaced by the copy service time.
     let arrivals = vmm.network().store().samples("cap1.arrival_ns");
     assert_eq!(arrivals.len(), 200);
-    assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "FIFO through the TAP");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] < w[1]),
+        "FIFO through the TAP"
+    );
 }

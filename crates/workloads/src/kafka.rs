@@ -61,9 +61,19 @@ impl KafkaBroker {
     /// Creates the broker; `containerized` adds container runtime overhead.
     pub fn new(containerized: bool) -> KafkaBroker {
         let service = if containerized {
-            ServiceProfile { base_us: 46.0, jitter_frac: 0.08, spike_prob: 0.004, spike_mult: 4.0 }
+            ServiceProfile {
+                base_us: 46.0,
+                jitter_frac: 0.08,
+                spike_prob: 0.004,
+                spike_mult: 4.0,
+            }
         } else {
-            ServiceProfile { base_us: 42.0, jitter_frac: 0.06, spike_prob: 0.003, spike_mult: 4.0 }
+            ServiceProfile {
+                base_us: 42.0,
+                jitter_frac: 0.06,
+                spike_prob: 0.003,
+                spike_mult: 4.0,
+            }
         };
         KafkaBroker { service }
     }
@@ -95,7 +105,12 @@ pub struct KafkaProducer {
 impl KafkaProducer {
     /// Creates the producer.
     pub fn new(target: SockAddr, params: KafkaParams, warmup_until: SimTime) -> KafkaProducer {
-        KafkaProducer { target, params, warmup_until, seq: 0 }
+        KafkaProducer {
+            target,
+            params,
+            warmup_until,
+            seq: 0,
+        }
     }
 
     fn fire(&mut self, api: &mut AppApi<'_, '_>) {
@@ -124,10 +139,7 @@ impl Application for KafkaProducer {
         if api.now() >= self.warmup_until {
             let latency = api.now().since(msg.payload.sent_at);
             api.record("kafka.latency_us", latency.as_micros_f64());
-            api.count(
-                "kafka.msgs_acked",
-                self.params.msgs_per_batch() as f64,
-            );
+            api.count("kafka.msgs_acked", self.params.msgs_per_batch() as f64);
         }
     }
 }
@@ -151,11 +163,13 @@ pub fn run_kafka(params: KafkaParams, config: Config, seed: u64) -> MacroResult 
         Box::new(KafkaProducer::new(target, params, warmup_until)),
     );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(params.warmup + params.duration);
+    tb.vmm
+        .network_mut()
+        .run_for(params.warmup + params.duration);
     let mut r = MacroResult::collect(&tb, "kafka.latency_us", params.duration);
     // Throughput in messages/s, not batches/s.
-    r.throughput_per_s = tb.vmm.network().store().counter("kafka.msgs_acked")
-        / params.duration.as_secs_f64();
+    r.throughput_per_s =
+        tb.vmm.network().store().counter("kafka.msgs_acked") / params.duration.as_secs_f64();
     r
 }
 

@@ -67,11 +67,24 @@ impl MemcachedServer {
     /// overhead to the per-request work.
     pub fn new(value_size: u32, containerized: bool) -> MemcachedServer {
         let service = if containerized {
-            ServiceProfile { base_us: 2.4, jitter_frac: 0.3, spike_prob: 0.01, spike_mult: 8.0 }
+            ServiceProfile {
+                base_us: 2.4,
+                jitter_frac: 0.3,
+                spike_prob: 0.01,
+                spike_mult: 8.0,
+            }
         } else {
-            ServiceProfile { base_us: 2.0, jitter_frac: 0.25, spike_prob: 0.008, spike_mult: 8.0 }
+            ServiceProfile {
+                base_us: 2.0,
+                jitter_frac: 0.25,
+                spike_prob: 0.008,
+                spike_mult: 8.0,
+            }
         };
-        MemcachedServer { service, value_size }
+        MemcachedServer {
+            service,
+            value_size,
+        }
     }
 }
 
@@ -103,14 +116,23 @@ pub struct MemtierClient {
 impl MemtierClient {
     /// Creates the driver.
     pub fn new(target: SockAddr, params: MemtierParams, warmup_until: SimTime) -> MemtierClient {
-        MemtierClient { target, params, warmup_until, seq: 0 }
+        MemtierClient {
+            target,
+            params,
+            warmup_until,
+            seq: 0,
+        }
     }
 
     fn fire(&mut self, conn: u64, api: &mut AppApi<'_, '_>) {
         self.seq += 1;
         let total = self.params.set_weight + self.params.get_weight;
         let is_set = api.rng().gen_range(0..total) < self.params.set_weight;
-        let mut p = Payload::sized(if is_set { 32 + self.params.value_size } else { 48 });
+        let mut p = Payload::sized(if is_set {
+            32 + self.params.value_size
+        } else {
+            48
+        });
         // Tag: SET bit | connection | sequence (connection in bits 32..56).
         p.tag = (if is_set { SET_BIT } else { 0 }) | (conn << 32) | (self.seq & 0xFFFF_FFFF);
         api.send_udp(CLIENT_PORT, self.target, p);
@@ -157,7 +179,9 @@ pub fn run_memcached(params: MemtierParams, config: Config, seed: u64) -> MacroR
         Box::new(MemtierClient::new(target, params, warmup_until)),
     );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(params.warmup + params.duration);
+    tb.vmm
+        .network_mut()
+        .run_for(params.warmup + params.duration);
     MacroResult::collect(&tb, "memcached.latency_us", params.duration)
 }
 
@@ -185,7 +209,11 @@ mod tests {
     #[test]
     fn memcached_reports_throughput_and_latency() {
         let r = run_memcached(quick(), Config::NoCont, 3);
-        assert!(r.throughput_per_s > 1_000.0, "resp/s = {}", r.throughput_per_s);
+        assert!(
+            r.throughput_per_s > 1_000.0,
+            "resp/s = {}",
+            r.throughput_per_s
+        );
         assert!(r.latency_us.mean > 0.0);
         assert!(r.latency_us.count > 100);
     }

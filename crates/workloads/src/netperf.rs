@@ -100,7 +100,9 @@ impl Application for TcpStreamServer {
     fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
 
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        let Some((seq, TcpKind::Data)) = msg.tcp else { return };
+        let Some((seq, TcpKind::Data)) = msg.tcp else {
+            return;
+        };
         if api.now() >= self.warmup_until {
             api.count("netperf.rx_bytes", msg.payload.len as f64);
             api.record("netperf.rx_t_ns", api.now().as_nanos() as f64);
@@ -122,7 +124,13 @@ impl TcpStreamClient {
     fn send_one(&mut self, api: &mut AppApi<'_, '_>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        api.send_tcp(CLIENT_PORT, self.target, seq, TcpKind::Data, Payload::sized(self.msg_size));
+        api.send_tcp(
+            CLIENT_PORT,
+            self.target,
+            seq,
+            TcpKind::Data,
+            Payload::sized(self.msg_size),
+        );
     }
 }
 
@@ -185,7 +193,9 @@ impl Application for TcpRrServer {
     fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
 
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        let Some((seq, TcpKind::Data)) = msg.tcp else { return };
+        let Some((seq, TcpKind::Data)) = msg.tcp else {
+            return;
+        };
         let mut p = Payload::sized(msg.payload.len);
         p.tag = msg.payload.tag;
         p.sent_at = msg.payload.sent_at;
@@ -248,7 +258,10 @@ impl Default for Netperf {
 impl Netperf {
     /// With a given message size.
     pub fn with_size(msg_size: u32) -> Netperf {
-        Netperf { msg_size, ..Default::default() }
+        Netperf {
+            msg_size,
+            ..Default::default()
+        }
     }
 
     /// Runs UDP_RR on `config`; returns the latency summary (microseconds).
@@ -283,8 +296,15 @@ impl Netperf {
             .iter()
             .copied()
             .collect();
-        assert!(stats.count() > 0, "UDP_RR produced no transactions on {config:?}");
-        NetperfRun { latency_us: Some(stats.summary()), throughput_mbps: None, testbed: tb }
+        assert!(
+            stats.count() > 0,
+            "UDP_RR produced no transactions on {config:?}"
+        );
+        NetperfRun {
+            latency_us: Some(stats.summary()),
+            throughput_mbps: None,
+            testbed: tb,
+        }
     }
 
     /// Runs TCP_RR on `config`; returns the latency summary (microseconds).
@@ -302,7 +322,12 @@ impl Netperf {
             "netperf-client",
             &tb.client.clone(),
             [CLIENT_PORT],
-            Box::new(TcpRrClient { target, msg_size: self.msg_size, warmup_until, seq: 0 }),
+            Box::new(TcpRrClient {
+                target,
+                msg_size: self.msg_size,
+                warmup_until,
+                seq: 0,
+            }),
         );
         tb.start(&[server, client]);
         tb.vmm.network_mut().run_for(self.warmup + self.duration);
@@ -314,8 +339,15 @@ impl Netperf {
             .iter()
             .copied()
             .collect();
-        assert!(stats.count() > 0, "TCP_RR produced no transactions on {config:?}");
-        NetperfRun { latency_us: Some(stats.summary()), throughput_mbps: None, testbed: tb }
+        assert!(
+            stats.count() > 0,
+            "TCP_RR produced no transactions on {config:?}"
+        );
+        NetperfRun {
+            latency_us: Some(stats.summary()),
+            throughput_mbps: None,
+            testbed: tb,
+        }
     }
 
     /// Runs TCP_STREAM on `config`; returns the throughput summary (Mbit/s
@@ -347,7 +379,10 @@ impl Netperf {
         // Bin arrivals into 100 ms windows and summarize Mbit/s.
         let times = tb.vmm.network().store().samples("netperf.rx_t_ns").to_vec();
         let lens = tb.vmm.network().store().samples("netperf.rx_len").to_vec();
-        assert!(!times.is_empty(), "TCP_STREAM delivered nothing on {config:?}");
+        assert!(
+            !times.is_empty(),
+            "TCP_STREAM delivered nothing on {config:?}"
+        );
         let bin_ns = 100_000_000.0;
         let t0 = self.warmup.as_nanos() as f64;
         let nbins = ((self.duration.as_nanos() as f64) / bin_ns).ceil() as usize;
@@ -356,8 +391,10 @@ impl Netperf {
             let idx = (((t - t0) / bin_ns) as usize).min(bytes.len() - 1);
             bytes[idx] += l;
         }
-        let stats: OnlineStats =
-            bytes.iter().map(|b| b * 8.0 / (bin_ns / 1e9) / 1e6).collect();
+        let stats: OnlineStats = bytes
+            .iter()
+            .map(|b| b * 8.0 / (bin_ns / 1e9) / 1e6)
+            .collect();
         NetperfRun {
             latency_us: None,
             throughput_mbps: Some(stats.summary()),
@@ -383,8 +420,16 @@ mod tests {
     fn udp_rr_measures_latency() {
         let run = quick().udp_rr(Config::NoCont, 1);
         let lat = run.latency_us.unwrap();
-        assert!(lat.count > 100, "expected many transactions, got {}", lat.count);
-        assert!(lat.mean > 10.0 && lat.mean < 2_000.0, "latency {} us", lat.mean);
+        assert!(
+            lat.count > 100,
+            "expected many transactions, got {}",
+            lat.count
+        );
+        assert!(
+            lat.mean > 10.0 && lat.mean < 2_000.0,
+            "latency {} us",
+            lat.mean
+        );
     }
 
     #[test]
@@ -404,7 +449,10 @@ mod tests {
     #[test]
     fn nat_throughput_below_nocont() {
         let nat = quick().tcp_stream(Config::Nat, 1).throughput_mbps.unwrap();
-        let nocont = quick().tcp_stream(Config::NoCont, 1).throughput_mbps.unwrap();
+        let nocont = quick()
+            .tcp_stream(Config::NoCont, 1)
+            .throughput_mbps
+            .unwrap();
         assert!(
             nat.mean < nocont.mean,
             "NAT {} should be below NoCont {}",
@@ -415,14 +463,20 @@ mod tests {
 
     #[test]
     fn throughput_grows_with_message_size() {
-        let small = Netperf { msg_size: 64, ..quick() }
-            .tcp_stream(Config::NoCont, 1)
-            .throughput_mbps
-            .unwrap();
-        let large = Netperf { msg_size: 4096, ..quick() }
-            .tcp_stream(Config::NoCont, 1)
-            .throughput_mbps
-            .unwrap();
+        let small = Netperf {
+            msg_size: 64,
+            ..quick()
+        }
+        .tcp_stream(Config::NoCont, 1)
+        .throughput_mbps
+        .unwrap();
+        let large = Netperf {
+            msg_size: 4096,
+            ..quick()
+        }
+        .tcp_stream(Config::NoCont, 1)
+        .throughput_mbps
+        .unwrap();
         assert!(large.mean > small.mean * 2.0);
     }
 
@@ -431,17 +485,30 @@ mod tests {
         // 5% loss on the endpoint links: the closed loop must keep making
         // progress by retransmitting, not wedge.
         use nestless::topology::{build_with, BuildOpts};
-        let opts = BuildOpts { endpoint_link_loss: 0.05, ..BuildOpts::default() };
+        let opts = BuildOpts {
+            endpoint_link_loss: 0.05,
+            ..BuildOpts::default()
+        };
         let np = quick();
         let mut tb = build_with(Config::NoCont, 8, &opts);
         let target = tb.target;
         let warmup_until = SimTime::ZERO + np.warmup;
-        let s = tb.install("srv", &tb.server.clone(), [SERVER_PORT], Box::new(UdpEchoServer));
+        let s = tb.install(
+            "srv",
+            &tb.server.clone(),
+            [SERVER_PORT],
+            Box::new(UdpEchoServer),
+        );
         let c = tb.install(
             "cli",
             &tb.client.clone(),
             [CLIENT_PORT],
-            Box::new(UdpRrClient { target, msg_size: 1280, warmup_until, next_tag: 0 }),
+            Box::new(UdpRrClient {
+                target,
+                msg_size: 1280,
+                warmup_until,
+                next_tag: 0,
+            }),
         );
         tb.start(&[s, c]);
         tb.vmm.network_mut().run_for(np.warmup + np.duration);
@@ -461,7 +528,12 @@ mod tests {
         let udp = quick().udp_rr(Config::NoCont, 2).latency_us.unwrap();
         let tcp = quick().tcp_rr(Config::NoCont, 2).latency_us.unwrap();
         assert!(tcp.count > 100);
-        assert!((tcp.mean - udp.mean).abs() / udp.mean < 0.1, "udp {} vs tcp {}", udp.mean, tcp.mean);
+        assert!(
+            (tcp.mean - udp.mean).abs() / udp.mean < 0.1,
+            "udp {} vs tcp {}",
+            udp.mean,
+            tcp.mean
+        );
     }
 
     #[test]

@@ -60,9 +60,19 @@ impl NginxServer {
     /// the spiky "software itself" cost of §5.2.2.
     pub fn new(file_size: u32, containerized: bool) -> NginxServer {
         let service = if containerized {
-            ServiceProfile { base_us: 34.0, jitter_frac: 0.5, spike_prob: 0.018, spike_mult: 18.0 }
+            ServiceProfile {
+                base_us: 34.0,
+                jitter_frac: 0.5,
+                spike_prob: 0.018,
+                spike_mult: 18.0,
+            }
         } else {
-            ServiceProfile { base_us: 26.0, jitter_frac: 0.35, spike_prob: 0.01, spike_mult: 8.0 }
+            ServiceProfile {
+                base_us: 26.0,
+                jitter_frac: 0.35,
+                spike_prob: 0.01,
+                spike_mult: 8.0,
+            }
         };
         NginxServer { service, file_size }
     }
@@ -96,7 +106,13 @@ impl Wrk2Client {
     /// Creates the driver.
     pub fn new(target: SockAddr, params: Wrk2Params, warmup_until: SimTime) -> Wrk2Client {
         let interval = SimDuration::nanos(1_000_000_000 / params.rate_per_s);
-        Wrk2Client { target, params, warmup_until, interval, seq: 0 }
+        Wrk2Client {
+            target,
+            params,
+            warmup_until,
+            interval,
+            seq: 0,
+        }
     }
 
     fn fire(&mut self, api: &mut AppApi<'_, '_>) {
@@ -121,7 +137,11 @@ impl Application for Wrk2Client {
     }
 
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        assert_eq!(msg.payload.len, self.params.file_size + 220, "full file served");
+        assert_eq!(
+            msg.payload.len,
+            self.params.file_size + 220,
+            "full file served"
+        );
         if api.now() >= self.warmup_until {
             let latency = api.now().since(msg.payload.sent_at);
             api.record("nginx.latency_us", latency.as_micros_f64());
@@ -148,7 +168,9 @@ pub fn run_nginx(params: Wrk2Params, config: Config, seed: u64) -> MacroResult {
         Box::new(Wrk2Client::new(target, params, warmup_until)),
     );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(params.warmup + params.duration);
+    tb.vmm
+        .network_mut()
+        .run_for(params.warmup + params.duration);
     MacroResult::collect(&tb, "nginx.latency_us", params.duration)
 }
 

@@ -117,7 +117,12 @@ mod tests {
 
     #[test]
     fn service_profile_samples_in_band() {
-        let p = ServiceProfile { base_us: 10.0, jitter_frac: 0.2, spike_prob: 0.0, spike_mult: 1.0 };
+        let p = ServiceProfile {
+            base_us: 10.0,
+            jitter_frac: 0.2,
+            spike_prob: 0.0,
+            spike_mult: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..100 {
             let d = p.sample(&mut rng);
@@ -127,9 +132,16 @@ mod tests {
 
     #[test]
     fn spikes_inflate_tail() {
-        let p = ServiceProfile { base_us: 10.0, jitter_frac: 0.0, spike_prob: 0.5, spike_mult: 10.0 };
+        let p = ServiceProfile {
+            base_us: 10.0,
+            jitter_frac: 0.0,
+            spike_prob: 0.5,
+            spike_mult: 10.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
-        let spiky = (0..1000).filter(|_| p.sample(&mut rng).as_nanos() > 50_000).count();
+        let spiky = (0..1000)
+            .filter(|_| p.sample(&mut rng).as_nanos() > 50_000)
+            .count();
         assert!((350..650).contains(&spiky));
     }
 }

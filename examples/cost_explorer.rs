@@ -16,7 +16,10 @@ fn load_trace(args: &[String]) -> Trace {
         let text = std::fs::read_to_string(path).expect("readable CSV trace");
         return parse_csv(&text).expect("valid trace CSV");
     }
-    let users = args.first().and_then(|s| s.parse().ok()).unwrap_or(PAPER_USER_COUNT);
+    let users = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_USER_COUNT);
     let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
     synthetic_trace(users, seed)
 }
@@ -48,7 +51,11 @@ fn main() {
 
     println!("\nsavings histogram (savers only):");
     let hist = report.histogram(10);
-    let peak = (1..hist.bins()).map(|i| hist.count(i)).max().unwrap_or(1).max(1);
+    let peak = (1..hist.bins())
+        .map(|i| hist.count(i))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for (lo, hi, count) in hist.iter_bins() {
         let bar = "#".repeat((count * 40 / peak) as usize);
         println!("  {lo:>4.0}-{hi:<4.0}% {count:>4} {bar}");

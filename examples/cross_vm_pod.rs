@@ -38,7 +38,10 @@ impl Application for Chat {
         api.send_udp(8081, self.dst, Payload::sized(200));
     }
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        api.record("rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        api.record(
+            "rtt_us",
+            api.now().since(msg.payload.sent_at).as_micros_f64(),
+        );
         if self.sent < 100 {
             self.sent += 1;
             api.send_udp(8081, self.dst, Payload::sized(200));
@@ -61,8 +64,7 @@ fn main() {
         vec![
             ContainerSpec::new("frontend", "app:1")
                 .with_resources(ResourceRequest::new(3000, 1024)),
-            ContainerSpec::new("backend", "app:1")
-                .with_resources(ResourceRequest::new(3000, 1024)),
+            ContainerSpec::new("backend", "app:1").with_resources(ResourceRequest::new(3000, 1024)),
         ],
     );
 
@@ -71,7 +73,10 @@ fn main() {
     cp.register_node(&vmm, vm0);
     cp.register_node(&vmm, vm1);
     let id = {
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         cp.deploy_pod(&mut ctx, pod).expect("cross-VM deployment")
     };
     let rec = cp.pod(id);
@@ -94,10 +99,16 @@ fn main() {
         SharedStation::new(),
         Box::new(EchoSrv),
     );
-    let srv_dev = vmm
-        .network_mut()
-        .add_device("backend", CpuLocation::Vm(srv_att.vm.0), Box::new(srv));
-    vmm.network_mut().connect(srv_dev, PortId::P0, srv_att.net.attach.0, srv_att.net.attach.1, Default::default());
+    let srv_dev =
+        vmm.network_mut()
+            .add_device("backend", CpuLocation::Vm(srv_att.vm.0), Box::new(srv));
+    vmm.network_mut().connect(
+        srv_dev,
+        PortId::P0,
+        srv_att.net.attach.0,
+        srv_att.net.attach.1,
+        Default::default(),
+    );
 
     let target = SockAddr::new(srv_att.net.ip, 8080);
     let cli = Endpoint::new(
@@ -106,15 +117,26 @@ fn main() {
         [8081],
         costs,
         SharedStation::new(),
-        Box::new(Chat { dst: target, sent: 0 }),
+        Box::new(Chat {
+            dst: target,
+            sent: 0,
+        }),
     );
-    let cli_dev = vmm
-        .network_mut()
-        .add_device("frontend", CpuLocation::Vm(cli_att.vm.0), Box::new(cli));
-    vmm.network_mut().connect(cli_dev, PortId::P0, cli_att.net.attach.0, cli_att.net.attach.1, Default::default());
+    let cli_dev =
+        vmm.network_mut()
+            .add_device("frontend", CpuLocation::Vm(cli_att.vm.0), Box::new(cli));
+    vmm.network_mut().connect(
+        cli_dev,
+        PortId::P0,
+        cli_att.net.attach.0,
+        cli_att.net.attach.1,
+        Default::default(),
+    );
 
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
     vmm.network_mut().run_for(SimDuration::millis(100));
     let rtts = vmm.network().store().samples("rtt_us");
     println!(
@@ -130,7 +152,10 @@ fn main() {
     let m1 = volumes.mount(&vol, srv_att.vm);
     m0.write("state/progress.json", br#"{"done":42}"#.to_vec());
     let read_back = m1.read("state/progress.json").expect("visible cross-VM");
-    println!("shared volume: frontend wrote {} bytes, backend read them back", read_back.len());
+    println!(
+        "shared volume: frontend wrote {} bytes, backend read them back",
+        read_back.len()
+    );
 
     // §4.3.2 — a MemPipe for bulk transfer between the fractions.
     let (tx, rx) = mempipe(cli_att.vm, srv_att.vm, 64);

@@ -19,7 +19,10 @@ struct Pong;
 impl Application for Pong {
     fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        println!("  [pod] got {} bytes from {} -> answering", msg.payload.len, msg.src);
+        println!(
+            "  [pod] got {} bytes from {} -> answering",
+            msg.payload.len, msg.src
+        );
         let mut p = Payload::sized(4);
         p.tag = msg.payload.tag;
         api.send_udp(9000, msg.src, p);
@@ -53,14 +56,22 @@ fn main() {
 
     // Step 1-2: the orchestrator asks for a NIC on the pod's networking
     // domain; the VMM hot-plugs it.
-    let resp = vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: true });
-    let QmpResponse::NicAdded(nic) = resp else { panic!("hot-plug refused: {resp:?}") };
+    let resp = vmm.qmp(QmpCommand::NetdevAdd {
+        vm: 0,
+        bridge: "br0".into(),
+        coalesce: true,
+    });
+    let QmpResponse::NicAdded(nic) = resp else {
+        panic!("hot-plug refused: {resp:?}")
+    };
     println!("hot-plugged NIC over QMP; VMM reports MAC {}", nic.mac);
 
     // Step 3-4: the in-VM agent locates the NIC by MAC and configures it.
     let agent = VmAgent::new(VmId(0));
     let pod_ip = subnet.host(50);
-    let conf = agent.configure_pod_nic(&vmm, &nic.mac, pod_ip, subnet).expect("agent finds NIC");
+    let conf = agent
+        .configure_pod_nic(&vmm, &nic.mac, pod_ip, subnet)
+        .expect("agent finds NIC");
     println!("agent configured {} on the pod NIC", pod_ip);
 
     // Attach the pod's socket owner directly at the NIC (no guest bridge,
@@ -76,29 +87,44 @@ fn main() {
         SharedStation::new(),
         Box::new(Pong),
     );
-    let pod_dev = vmm.network_mut().add_device("pod", CpuLocation::Vm(0), Box::new(pod_ep));
-    vmm.network_mut().connect(pod_dev, PortId::P0, conf.attach.0, conf.attach.1, Default::default());
+    let pod_dev = vmm
+        .network_mut()
+        .add_device("pod", CpuLocation::Vm(0), Box::new(pod_ep));
+    vmm.network_mut().connect(
+        pod_dev,
+        PortId::P0,
+        conf.attach.0,
+        conf.attach.1,
+        Default::default(),
+    );
 
     // A peer on the host bridge to talk to the pod.
     let (br_dev, br_port) = {
         let h = vmm.bridge_by_name("br0").expect("bridge exists");
         vmm.alloc_bridge_port(h)
     };
-    let peer_iface = simnet::IfaceConf::new(peer_mac, peer_ip, subnet)
-        .with_neigh(pod_ip, conf.iface.mac);
+    let peer_iface =
+        simnet::IfaceConf::new(peer_mac, peer_ip, subnet).with_neigh(pod_ip, conf.iface.mac);
     let peer_ep = Endpoint::new(
         "peer",
         vec![peer_iface],
         [9001],
         costs,
         SharedStation::new(),
-        Box::new(Ping { dst: SockAddr::new(pod_ip, 9000) }),
+        Box::new(Ping {
+            dst: SockAddr::new(pod_ip, 9000),
+        }),
     );
-    let peer_dev = vmm.network_mut().add_device("peer", CpuLocation::Host, Box::new(peer_ep));
-    vmm.network_mut().connect(peer_dev, PortId::P0, br_dev, br_port, Default::default());
+    let peer_dev = vmm
+        .network_mut()
+        .add_device("peer", CpuLocation::Host, Box::new(peer_ep));
+    vmm.network_mut()
+        .connect(peer_dev, PortId::P0, br_dev, br_port, Default::default());
 
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, pod_dev, START_TOKEN);
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, peer_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, pod_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, peer_dev, START_TOKEN);
     vmm.network_mut().run_for(SimDuration::millis(10));
     println!(
         "done: {} events simulated, {} frames dropped",

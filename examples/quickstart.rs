@@ -21,7 +21,10 @@ fn main() {
     let mut results = Vec::new();
     for config in [Config::Nat, Config::BrFusion, Config::NoCont] {
         let lat = netperf.udp_rr(config, 7).latency_us.expect("latency");
-        let tput = netperf.tcp_stream(config, 7).throughput_mbps.expect("throughput");
+        let tput = netperf
+            .tcp_stream(config, 7)
+            .throughput_mbps
+            .expect("throughput");
         println!(
             "  {:<9} UDP_RR {:>7.1} us (+-{:.1})   TCP_STREAM {:>7.0} Mbit/s",
             config.label(),

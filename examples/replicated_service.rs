@@ -49,7 +49,10 @@ impl Application for RoundRobin {
         self.fire(api);
     }
     fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
-        api.record("lb.rtt_us", api.now().since(msg.payload.sent_at).as_micros_f64());
+        api.record(
+            "lb.rtt_us",
+            api.now().since(msg.payload.sent_at).as_micros_f64(),
+        );
         if self.sent < self.want {
             self.fire(api);
         }
@@ -57,7 +60,11 @@ impl Application for RoundRobin {
 }
 
 fn main() {
-    let mut cluster = ClusterBuilder::new().cni(CniKind::BrFusion).vms(3).seed(5).build();
+    let mut cluster = ClusterBuilder::new()
+        .cni(CniKind::BrFusion)
+        .vms(3)
+        .seed(5)
+        .build();
 
     // Declare 3 replicas of a single-container service pod.
     let template = PodSpec::new(
@@ -69,10 +76,16 @@ fn main() {
     let mut rsc = ReplicaSetController::new();
     let rs = rsc.create(template, 3);
     let report = {
-        let mut ctx = ClusterCtx { vmm: &mut cluster.vmm, engines: &mut cluster.engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut cluster.vmm,
+            engines: &mut cluster.engines,
+        };
         rsc.reconcile(&mut cluster.control_plane, &mut ctx)
     };
-    println!("reconcile: created {} replicas ({} failed)", report.created, report.failed);
+    println!(
+        "reconcile: created {} replicas ({} failed)",
+        report.created, report.failed
+    );
     assert_eq!(rsc.get(rs).ready(), 3);
 
     // Attach an application to each replica's hot-plugged pod NIC.
@@ -84,7 +97,12 @@ fn main() {
             pod, att.vm, att.net.ip, att.net.mac
         );
         targets.push(SockAddr::new(att.net.ip, 8080));
-        cluster.attach_app(&att, &format!("replica{i}"), [8080], Box::new(Replica { id: i }));
+        cluster.attach_app(
+            &att,
+            &format!("replica{i}"),
+            [8080],
+            Box::new(Replica { id: i }),
+        );
     }
 
     // A host-side load balancer fires 600 requests round-robin. It lives
@@ -118,16 +136,25 @@ fn main() {
         [9000],
         sock_cost,
         simnet::SharedStation::new(),
-        Box::new(RoundRobin { targets, next: 0, want: 600, sent: 0 }),
+        Box::new(RoundRobin {
+            targets,
+            next: 0,
+            want: 600,
+            sent: 0,
+        }),
     );
-    let lb_dev = cluster
-        .vmm
-        .network_mut()
-        .add_device("lb", metrics::CpuLocation::Host, Box::new(lb));
-    cluster
-        .vmm
-        .network_mut()
-        .connect(lb_dev, simnet::PortId::P0, br_dev, br_port, Default::default());
+    let lb_dev =
+        cluster
+            .vmm
+            .network_mut()
+            .add_device("lb", metrics::CpuLocation::Host, Box::new(lb));
+    cluster.vmm.network_mut().connect(
+        lb_dev,
+        simnet::PortId::P0,
+        br_dev,
+        br_port,
+        Default::default(),
+    );
     cluster
         .vmm
         .network_mut()
@@ -143,6 +170,9 @@ fn main() {
         rtts.iter().sum::<f64>() / rtts.len() as f64
     );
     for i in 0..3 {
-        println!("  replica {i}: {} requests", store.counter(&format!("replica{i}.served")));
+        println!(
+            "  replica {i}: {} requests",
+            store.counter(&format!("replica{i}.served"))
+        );
     }
 }

@@ -22,7 +22,11 @@ fn netperf() -> Netperf {
 fn fig2_nested_nat_degrades_throughput_and_latency() {
     let np = netperf();
     let nat_t = np.tcp_stream(Config::Nat, 1).throughput_mbps.unwrap().mean;
-    let nocont_t = np.tcp_stream(Config::NoCont, 1).throughput_mbps.unwrap().mean;
+    let nocont_t = np
+        .tcp_stream(Config::NoCont, 1)
+        .throughput_mbps
+        .unwrap()
+        .mean;
     let degradation = 1.0 - nat_t / nocont_t;
     assert!(
         (0.45..=0.75).contains(&degradation),
@@ -41,20 +45,34 @@ fn fig2_nested_nat_degrades_throughput_and_latency() {
 #[test]
 fn fig4_brfusion_restores_single_level_performance() {
     let np = netperf();
-    let brf_t = np.tcp_stream(Config::BrFusion, 2).throughput_mbps.unwrap().mean;
-    let nocont_t = np.tcp_stream(Config::NoCont, 2).throughput_mbps.unwrap().mean;
+    let brf_t = np
+        .tcp_stream(Config::BrFusion, 2)
+        .throughput_mbps
+        .unwrap()
+        .mean;
+    let nocont_t = np
+        .tcp_stream(Config::NoCont, 2)
+        .throughput_mbps
+        .unwrap()
+        .mean;
     let nat_t = np.tcp_stream(Config::Nat, 2).throughput_mbps.unwrap().mean;
     assert!(
         (brf_t - nocont_t).abs() / nocont_t < 0.035,
         "BrFusion must be within 3.5% of NoCont (got {brf_t} vs {nocont_t})"
     );
     let ratio = brf_t / nat_t;
-    assert!((1.8..=3.2).contains(&ratio), "BrFusion/NAT throughput {ratio} (paper ~2.1x)");
+    assert!(
+        (1.8..=3.2).contains(&ratio),
+        "BrFusion/NAT throughput {ratio} (paper ~2.1x)"
+    );
 
     let brf_l = np.udp_rr(Config::BrFusion, 2).latency_us.unwrap().mean;
     let nat_l = np.udp_rr(Config::Nat, 2).latency_us.unwrap().mean;
     let cut = 1.0 - brf_l / nat_l;
-    assert!((0.12..=0.35).contains(&cut), "latency reduction {cut} (paper ~0.184)");
+    assert!(
+        (0.12..=0.35).contains(&cut),
+        "latency reduction {cut} (paper ~0.184)"
+    );
 }
 
 #[test]
@@ -62,23 +80,32 @@ fn fig4_nat_scales_worst_with_message_size() {
     // "BrFusion scales like NoCont with message sizes, while NAT scales
     // more slowly": compare 1024B -> 8192B growth.
     let grow = |config| {
-        let small = Netperf { msg_size: 1024, ..netperf() }
-            .tcp_stream(config, 3)
-            .throughput_mbps
-            .unwrap()
-            .mean;
-        let large = Netperf { msg_size: 8192, ..netperf() }
-            .tcp_stream(config, 3)
-            .throughput_mbps
-            .unwrap()
-            .mean;
+        let small = Netperf {
+            msg_size: 1024,
+            ..netperf()
+        }
+        .tcp_stream(config, 3)
+        .throughput_mbps
+        .unwrap()
+        .mean;
+        let large = Netperf {
+            msg_size: 8192,
+            ..netperf()
+        }
+        .tcp_stream(config, 3)
+        .throughput_mbps
+        .unwrap()
+        .mean;
         large / small
     };
     let nat = grow(Config::Nat);
     let nocont = grow(Config::NoCont);
     let brfusion = grow(Config::BrFusion);
     assert!(nat < nocont, "NAT growth {nat} must trail NoCont {nocont}");
-    assert!((brfusion - nocont).abs() / nocont < 0.15, "BrFusion scales like NoCont");
+    assert!(
+        (brfusion - nocont).abs() / nocont < 0.15,
+        "BrFusion scales like NoCont"
+    );
 }
 
 #[test]
@@ -106,7 +133,10 @@ fn kafka_quick() -> KafkaParams {
 
 #[test]
 fn fig10_hostlo_order_and_stability() {
-    let np = Netperf { msg_size: 1024, ..netperf() };
+    let np = Netperf {
+        msg_size: 1024,
+        ..netperf()
+    };
     let hostlo_l = np.udp_rr(Config::Hostlo, 5).latency_us.unwrap();
     let nat_l = np.udp_rr(Config::NatCross, 5).latency_us.unwrap();
     let ovl_l = np.udp_rr(Config::Overlay, 5).latency_us.unwrap();
@@ -114,23 +144,48 @@ fn fig10_hostlo_order_and_stability() {
 
     // Latency order: SameNode < Hostlo << NAT < Overlay.
     assert!(same_l.mean < hostlo_l.mean);
-    assert!(hostlo_l.mean < nat_l.mean / 4.0, "Hostlo far below cross-VM NAT");
+    assert!(
+        hostlo_l.mean < nat_l.mean / 4.0,
+        "Hostlo far below cross-VM NAT"
+    );
     assert!(nat_l.mean < ovl_l.mean, "Overlay is the worst latency");
     // Hostlo ~2x SameNode.
     let ratio = hostlo_l.mean / same_l.mean;
-    assert!((1.5..=2.8).contains(&ratio), "Hostlo/SameNode latency {ratio} (paper ~2)");
+    assert!(
+        (1.5..=2.8).contains(&ratio),
+        "Hostlo/SameNode latency {ratio} (paper ~2)"
+    );
     // Stability: Hostlo's dispersion far below NAT/Overlay's.
     assert!(hostlo_l.cv() < 0.3 * nat_l.cv().max(ovl_l.cv()));
 
     // Throughput order: SameNode >> Overlay > Hostlo > NAT.
-    let hostlo_t = np.tcp_stream(Config::Hostlo, 5).throughput_mbps.unwrap().mean;
-    let nat_t = np.tcp_stream(Config::NatCross, 5).throughput_mbps.unwrap().mean;
-    let ovl_t = np.tcp_stream(Config::Overlay, 5).throughput_mbps.unwrap().mean;
-    let same_t = np.tcp_stream(Config::SameNode, 5).throughput_mbps.unwrap().mean;
+    let hostlo_t = np
+        .tcp_stream(Config::Hostlo, 5)
+        .throughput_mbps
+        .unwrap()
+        .mean;
+    let nat_t = np
+        .tcp_stream(Config::NatCross, 5)
+        .throughput_mbps
+        .unwrap()
+        .mean;
+    let ovl_t = np
+        .tcp_stream(Config::Overlay, 5)
+        .throughput_mbps
+        .unwrap()
+        .mean;
+    let same_t = np
+        .tcp_stream(Config::SameNode, 5)
+        .throughput_mbps
+        .unwrap()
+        .mean;
     assert!(hostlo_t > nat_t, "Hostlo beats NAT");
     assert!(ovl_t > hostlo_t, "Overlay beats Hostlo on raw throughput");
     let gap = same_t / hostlo_t;
-    assert!((4.0..=7.0).contains(&gap), "SameNode/Hostlo throughput {gap} (paper ~5.3x)");
+    assert!(
+        (4.0..=7.0).contains(&gap),
+        "SameNode/Hostlo throughput {gap} (paper ~5.3x)"
+    );
 }
 
 #[test]

@@ -70,9 +70,78 @@ fn cost_simulation_reproducible() {
     assert_eq!(t, synthetic_trace(150, 11));
 }
 
+/// A bridge network with lossy links, exercised twice with the same seed:
+/// every sample series, every counter and the full event trace must come
+/// out bit-identical. This pins down the interned store and pooled event
+/// queue — slot recycling and id assignment must not leak into results.
+#[test]
+fn engine_store_and_trace_bit_identical() {
+    use metrics::{CpuCategory, CpuLocation};
+    use simnet::bridge::Bridge;
+    use simnet::engine::{LinkParams, Network};
+    use simnet::testutil::{frame_between, CaptureSink};
+    use simnet::{MacAddr, PortId, SharedStation, StageCost};
+
+    let run = |seed: u64| {
+        let mut net = Network::new(seed);
+        net.set_tracing(true);
+        let br = net.add_device(
+            "br0",
+            CpuLocation::Host,
+            Box::new(Bridge::new(
+                3,
+                StageCost::fixed(800, 0.2, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
+        );
+        let s1 = net.add_device("s1", CpuLocation::Host, Box::new(CaptureSink::new("s1")));
+        let s2 = net.add_device("s2", CpuLocation::Host, Box::new(CaptureSink::new("s2")));
+        let lossy = LinkParams::with_latency(SimDuration::nanos(300)).with_loss(0.3);
+        net.connect(br, PortId(1), s1, PortId(0), lossy);
+        net.connect(br, PortId(2), s2, PortId(0), lossy);
+        for i in 0..200u64 {
+            let (src, dst) = if i % 2 == 0 {
+                (MacAddr::local(1), MacAddr::local(2))
+            } else {
+                (MacAddr::local(2), MacAddr::local(1))
+            };
+            net.inject_frame(
+                SimDuration::nanos(i * 50),
+                br,
+                PortId(usize::try_from(i % 2).unwrap()),
+                frame_between(src, dst, 200),
+            );
+        }
+        net.run_to_idle();
+        let samples: Vec<(String, Vec<f64>)> = net
+            .store()
+            .sample_names()
+            .map(|n| (n.to_string(), net.store().samples(n).to_vec()))
+            .collect();
+        let counters: Vec<f64> = ["s1.received", "s2.received", "link.lost", "bridge.flooded"]
+            .iter()
+            .map(|n| net.store().counter(n))
+            .collect();
+        let trace: Vec<_> = net.trace().to_vec();
+        (samples, counters, trace, net.events_processed())
+    };
+
+    let a = run(17);
+    let b = run(17);
+    assert_eq!(a.0, b.0, "sample series must be bit-identical");
+    assert_eq!(a.1, b.1, "counters must be bit-identical");
+    assert_eq!(a.2, b.2, "event trace must be bit-identical");
+    assert_eq!(a.3, b.3);
+    assert!(a.1[2] > 0.0, "loss must actually trigger in this scenario");
+    assert_ne!(run(18).1, a.1, "a different seed must lose differently");
+}
+
 #[test]
 fn boot_model_reproducible() {
-    assert_eq!(BootPipeline::brfusion().run(50, 3), BootPipeline::brfusion().run(50, 3));
+    assert_eq!(
+        BootPipeline::brfusion().run(50, 3),
+        BootPipeline::brfusion().run(50, 3)
+    );
 }
 
 #[test]

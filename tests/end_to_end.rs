@@ -4,7 +4,9 @@
 use contd::{ContainerEngine, ContainerSpec, Image, NetworkMode, ResourceRequest};
 use metrics::CpuLocation;
 use nestless::{HostloCni, SpreadScheduler};
-use orchestrator::{ClusterCtx, ControlPlane, DefaultCni, MostRequestedScheduler, PodSpec, Scheduler};
+use orchestrator::{
+    ClusterCtx, ControlPlane, DefaultCni, MostRequestedScheduler, PodSpec, Scheduler,
+};
 use simnet::device::PortId;
 use simnet::endpoint::{AppApi, Application, Endpoint, Incoming, START_TOKEN};
 use simnet::nat::Proto;
@@ -73,7 +75,10 @@ fn default_cni_pod_serves_traffic_within_a_vm() {
         ],
     );
     let id = {
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         cp.deploy_pod(&mut ctx, pod).expect("single-VM pod deploys")
     };
     let rec = cp.pod(id);
@@ -86,27 +91,57 @@ fn default_cni_pod_serves_traffic_within_a_vm() {
     let cli_att = &rec.attachments[1];
     let srv = Endpoint::new(
         "srv",
-        vec![srv_att.net.iface.clone().with_neigh(cli_att.net.ip, cli_att.net.mac)],
+        vec![srv_att
+            .net
+            .iface
+            .clone()
+            .with_neigh(cli_att.net.ip, cli_att.net.mac)],
         [8080],
         costs,
         SharedStation::new(),
         Box::new(Echo { port: 8080 }),
     );
-    let srv_dev = vmm.network_mut().add_device("srv", CpuLocation::Vm(vm.0), Box::new(srv));
-    vmm.network_mut().connect(srv_dev, PortId::P0, srv_att.net.attach.0, srv_att.net.attach.1, Default::default());
+    let srv_dev = vmm
+        .network_mut()
+        .add_device("srv", CpuLocation::Vm(vm.0), Box::new(srv));
+    vmm.network_mut().connect(
+        srv_dev,
+        PortId::P0,
+        srv_att.net.attach.0,
+        srv_att.net.attach.1,
+        Default::default(),
+    );
     let cli = Endpoint::new(
         "cli",
-        vec![cli_att.net.iface.clone().with_neigh(srv_att.net.ip, srv_att.net.mac)],
+        vec![cli_att
+            .net
+            .iface
+            .clone()
+            .with_neigh(srv_att.net.ip, srv_att.net.mac)],
         [8081],
         costs,
         SharedStation::new(),
-        Box::new(Burst { dst: SockAddr::new(srv_att.net.ip, 8080), port: 8081, want: 50 }),
+        Box::new(Burst {
+            dst: SockAddr::new(srv_att.net.ip, 8080),
+            port: 8081,
+            want: 50,
+        }),
     );
-    let cli_dev = vmm.network_mut().add_device("cli", CpuLocation::Vm(vm.0), Box::new(cli));
-    vmm.network_mut().connect(cli_dev, PortId::P0, cli_att.net.attach.0, cli_att.net.attach.1, Default::default());
+    let cli_dev = vmm
+        .network_mut()
+        .add_device("cli", CpuLocation::Vm(vm.0), Box::new(cli));
+    vmm.network_mut().connect(
+        cli_dev,
+        PortId::P0,
+        cli_att.net.attach.0,
+        cli_att.net.attach.1,
+        Default::default(),
+    );
 
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
     vmm.network_mut().run_for(SimDuration::millis(100));
     assert_eq!(vmm.network().store().counter("e2e.replies"), 50.0);
 }
@@ -135,12 +170,13 @@ fn hostlo_cni_deploys_and_serves_cross_vm() {
         ],
     );
     // Whole-pod scheduling refuses it...
-    assert!(MostRequestedScheduler
-        .place(&pod, cp.nodes())
-        .is_err());
+    assert!(MostRequestedScheduler.place(&pod, cp.nodes()).is_err());
     // ...the Hostlo control plane deploys it.
     let id = {
-        let mut ctx = ClusterCtx { vmm: &mut vmm, engines: &mut engines };
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
         cp.deploy_pod(&mut ctx, pod).expect("cross-VM pod deploys")
     };
     let rec = cp.pod(id);
@@ -152,22 +188,51 @@ fn hostlo_cni_deploys_and_serves_cross_vm() {
     let costs = vmm.costs().socket;
     let a = &rec.attachments[0];
     let b = &rec.attachments[1];
-    let srv = Endpoint::new("b", vec![b.net.iface.clone()], [8080], costs, SharedStation::new(), Box::new(Echo { port: 8080 }));
-    let srv_dev = vmm.network_mut().add_device("b", CpuLocation::Vm(b.vm.0), Box::new(srv));
-    vmm.network_mut().connect(srv_dev, PortId::P0, b.net.attach.0, b.net.attach.1, Default::default());
+    let srv = Endpoint::new(
+        "b",
+        vec![b.net.iface.clone()],
+        [8080],
+        costs,
+        SharedStation::new(),
+        Box::new(Echo { port: 8080 }),
+    );
+    let srv_dev = vmm
+        .network_mut()
+        .add_device("b", CpuLocation::Vm(b.vm.0), Box::new(srv));
+    vmm.network_mut().connect(
+        srv_dev,
+        PortId::P0,
+        b.net.attach.0,
+        b.net.attach.1,
+        Default::default(),
+    );
     let cli = Endpoint::new(
         "a",
         vec![a.net.iface.clone()],
         [8081],
         costs,
         SharedStation::new(),
-        Box::new(Burst { dst: SockAddr::new(b.net.ip, 8080), port: 8081, want: 25 }),
+        Box::new(Burst {
+            dst: SockAddr::new(b.net.ip, 8080),
+            port: 8081,
+            want: 25,
+        }),
     );
-    let cli_dev = vmm.network_mut().add_device("a", CpuLocation::Vm(a.vm.0), Box::new(cli));
-    vmm.network_mut().connect(cli_dev, PortId::P0, a.net.attach.0, a.net.attach.1, Default::default());
+    let cli_dev = vmm
+        .network_mut()
+        .add_device("a", CpuLocation::Vm(a.vm.0), Box::new(cli));
+    vmm.network_mut().connect(
+        cli_dev,
+        PortId::P0,
+        a.net.attach.0,
+        a.net.attach.1,
+        Default::default(),
+    );
 
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
-    vmm.network_mut().schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
+    vmm.network_mut()
+        .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
     vmm.network_mut().run_for(SimDuration::millis(100));
     assert_eq!(vmm.network().store().counter("e2e.replies"), 25.0);
 
@@ -203,17 +268,26 @@ fn qmp_hot_plug_visible_to_agent_and_datapath() {
     let mut vmm = Vmm::new(24);
     vmm.create_bridge("br0", 4);
     vmm.create_vm(VmSpec::paper_eval("vm0"));
-    let QmpResponse::NicAdded(nic) =
-        vmm.qmp(QmpCommand::NetdevAdd { vm: 0, bridge: "br0".into(), coalesce: true })
-    else {
+    let QmpResponse::NicAdded(nic) = vmm.qmp(QmpCommand::NetdevAdd {
+        vm: 0,
+        bridge: "br0".into(),
+        coalesce: true,
+    }) else {
         panic!("hot-plug refused")
     };
     let conf = VmAgent::new(VmId(0))
         .configure_pod_nic(&vmm, &nic.mac, subnet.host(50), subnet)
         .expect("agent finds the NIC by MAC");
     // The guest attach point is live in the same network the VMM owns.
-    assert!(vmm.network().peer(conf.attach.0, PortId::P1).is_some(), "backend wired");
-    assert_eq!(vmm.network().peer(conf.attach.0, conf.attach.1), None, "guest side free");
+    assert!(
+        vmm.network().peer(conf.attach.0, PortId::P1).is_some(),
+        "backend wired"
+    );
+    assert_eq!(
+        vmm.network().peer(conf.attach.0, conf.attach.1),
+        None,
+        "guest side free"
+    );
 }
 
 /// A Service VIP round-robins new flows across BrFusion pod NICs, with
@@ -223,7 +297,11 @@ fn service_vip_balances_across_brfusion_pods() {
     use nestless::{ClusterBuilder, CniKind};
     use orchestrator::Service;
 
-    let mut cluster = ClusterBuilder::new().cni(CniKind::BrFusion).vms(2).seed(31).build();
+    let mut cluster = ClusterBuilder::new()
+        .cni(CniKind::BrFusion)
+        .vms(2)
+        .seed(31)
+        .build();
     let pod = PodSpec::new(
         "web",
         vec![
@@ -275,8 +353,10 @@ fn service_vip_balances_across_brfusion_pods() {
     let mac = simnet::MacAddr::local(0x00F3_00FF);
     let ip = client_net.host(99);
     cluster.host_nat_ctl.add_neigh(PortId(0), ip, mac);
-    let iface = simnet::IfaceConf::new(mac, ip, client_net)
-        .with_gateway(client_net.host(1), cluster.host_nat_ctl.iface_mac(PortId(0)));
+    let iface = simnet::IfaceConf::new(mac, ip, client_net).with_gateway(
+        client_net.host(1),
+        cluster.host_nat_ctl.iface_mac(PortId(0)),
+    );
     let sock = cluster.vmm.costs().socket;
     let ep = Endpoint::new(
         "sixflows",
@@ -295,13 +375,24 @@ fn service_vip_balances_across_brfusion_pods() {
         .vmm
         .network_mut()
         .connect(dev, PortId::P0, host_nat, PortId(0), Default::default());
-    cluster.vmm.network_mut().schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
+    cluster
+        .vmm
+        .network_mut()
+        .schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
     cluster.run_for(SimDuration::millis(50));
 
     let store = cluster.vmm.network().store();
-    assert_eq!(store.counter("nat.lb_assigned"), 6.0, "six new flows balanced");
+    assert_eq!(
+        store.counter("nat.lb_assigned"),
+        6.0,
+        "six new flows balanced"
+    );
     for i in 0..3 {
         assert_eq!(store.counter(&format!("svc.r{i}")), 2.0, "backend {i}");
     }
-    assert_eq!(store.counter("svc.replies"), 6.0, "all replies reached the client");
+    assert_eq!(
+        store.counter("svc.replies"),
+        6.0,
+        "all replies reached the client"
+    );
 }

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is an immutable, cheaply cloneable byte buffer. Clones share
+//! the underlying allocation (an `Arc<[u8]>` or a `&'static [u8]`), which is
+//! the property the simulator's zero-copy frame payloads rely on: forwarding
+//! a frame through N hops must not copy its body N times.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice (no allocation, clones are pointer copies).
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(data)),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// The underlying bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            b.as_slice().as_ptr(),
+            "clone must not copy"
+        );
+    }
+
+    #[test]
+    fn static_and_sliceness() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(&s[..], b"hello");
+        assert!(Bytes::new().is_empty());
+    }
+}

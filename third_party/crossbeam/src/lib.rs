@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam` — only the [`queue::ArrayQueue`]
+//! surface this workspace uses. Lock-free performance is not reproduced
+//! (a mutexed ring is plenty for the simulator's control paths); the
+//! semantics — bounded, MPMC, FIFO, `push` fails when full — are.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded MPMC FIFO queue.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero (same contract as crossbeam).
+        pub fn new(cap: usize) -> ArrayQueue<T> {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        /// Appends `value`; returns it back as `Err` when the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if q.len() == self.cap {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Removes the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when the queue holds `capacity` elements.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.cap
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    impl<T> std::fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("cap", &self.cap)
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::ArrayQueue;
+
+        #[test]
+        fn bounded_fifo() {
+            let q = ArrayQueue::new(2);
+            assert!(q.push(1).is_ok());
+            assert!(q.push(2).is_ok());
+            assert_eq!(q.push(3), Err(3));
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

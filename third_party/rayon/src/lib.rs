@@ -1,0 +1,191 @@
+//! Offline stand-in for `rayon`'s parallel-iterator surface as used by this
+//! workspace: `slice.par_iter().map(f).collect()` and friends.
+//!
+//! Work is executed on scoped OS threads, one chunk per available core, and
+//! results are returned **in input order** — the property the deterministic
+//! sweeps rely on (`rayon` guarantees order-preserving collect; so do we).
+
+use std::num::NonZeroUsize;
+
+/// The prelude: import to get `par_iter`/`into_par_iter` on slices and Vecs.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A "parallel iterator": a list of items plus a mapping pipeline.
+///
+/// The stand-in materializes eagerly: adapters collect the source into a
+/// `Vec`, `map` fans the closure out across scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a parallel iterator by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by `par_iter`.
+    type Item: 'a;
+    /// `self.par_iter()` — iterate shared references in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// `self.into_par_iter()` — iterate owned items in parallel.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// The operations this workspace applies to parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes the iterator into its (ordered) items.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Maps `f` over all items on a pool of scoped threads, preserving
+    /// input order in the output.
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        let items = self.into_items();
+        ParIter {
+            items: parallel_map(items, &f),
+        }
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Filters items (executed inline; filtering is never hot here).
+    fn filter<F>(self, f: F) -> ParIter<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool,
+    {
+        ParIter {
+            items: self.into_items().into_iter().filter(|x| f(x)).collect(),
+        }
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Maps `f` over `items` using scoped threads, one contiguous chunk per
+/// worker, and reassembles results in order.
+fn parallel_map<T: Send, R: Send, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

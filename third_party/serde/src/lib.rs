@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde abstracts over serializers with a visitor architecture; this
+//! vendored replacement collapses the data model to one concrete [`Value`]
+//! tree (exactly what `serde_json` needs, and JSON is the only format this
+//! workspace serializes). The `#[derive(Serialize, Deserialize)]` macros are
+//! provided by the sibling `serde_derive` stub and generate `to_value` /
+//! `from_value` implementations that follow serde's **externally tagged**
+//! encoding, so JSON produced by or fed to the real serde round-trips
+//! identically for the types in this repository.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer (kept apart to round-trip u64 > i64::MAX).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map. Keys are arbitrary values; JSON emission requires
+    /// them to be strings (same restriction as serde_json).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map whose keys are strings.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?.iter().find_map(|(k, v)| match k {
+            Value::Str(s) if s == key => Some(v),
+            _ => None,
+        })
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn msg(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the common data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the common data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if (*self as i128) < 0 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let (ok, val) = match *v {
+                    Value::U64(u) => (u <= <$t>::MAX as u64, u as $t),
+                    Value::I64(i) => (
+                        i >= <$t>::MIN as i64 && i128::from(i) <= <$t>::MAX as i128,
+                        i as $t,
+                    ),
+                    Value::F64(f) => (f.fract() == 0.0, f as $t),
+                    _ => (false, 0 as $t),
+                };
+                if ok {
+                    Ok(val)
+                } else {
+                    Err(DeError::expected("integer", stringify!($t)))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(u) => Ok(u as f64),
+            Value::I64(i) => Ok(i as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "array"))?;
+        if seq.len() != N {
+            return Err(DeError::msg(format!(
+                "expected {N} elements, got {}",
+                seq.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let mut it = seq.iter();
+                let out = ($(
+                    {
+                        let _ = $idx;
+                        $name::from_value(
+                            it.next().ok_or_else(|| DeError::expected("element", "tuple"))?,
+                        )?
+                    },
+                )+);
+                if it.next().is_some() {
+                    return Err(DeError::msg("trailing tuple elements"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let v: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        let val = v.to_value();
+        assert_eq!(Option::<Vec<u32>>::from_value(&val).unwrap(), v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let a = [1u8, 2, 3, 4, 5, 6];
+        let val = a.to_value();
+        assert_eq!(<[u8; 6]>::from_value(&val).unwrap(), a);
+        assert!(<[u8; 6]>::from_value(&Value::Seq(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+        assert_eq!(i64::from_value(&Value::I64(-5)).unwrap(), -5);
+        assert!(u32::from_value(&Value::I64(-5)).is_err());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (String::from("p50"), 1.5f64, String::from("us"));
+        let val = t.to_value();
+        assert_eq!(<(String, f64, String)>::from_value(&val).unwrap(), t);
+    }
+}

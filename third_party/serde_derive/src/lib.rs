@@ -1,0 +1,409 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking `proc_macro::TokenStream` directly
+//! (no `syn`/`quote` — the registry is unreachable in this build
+//! environment) and emits `serde::Serialize` / `serde::Deserialize` impls
+//! against the vendored Value-based serde. Encoding matches serde's
+//! defaults for the shapes this workspace uses: structs as maps, newtype
+//! structs transparent, tuple structs as sequences, enums externally
+//! tagged. Generics and `#[serde(...)]` attributes are not supported (the
+//! workspace uses neither).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B, ...);` with the field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Serialize must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize must parse")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type expression: everything until a `,` at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        i += 1; // ','
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str({f:?}.to_string()), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\
+                 ::serde::Value::Str({vn:?}.to_string()), \
+                 ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                     ::serde::Value::Str({vn:?}.to_string()), \
+                     ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str({f:?}.to_string()), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                     ::serde::Value::Str({vn:?}.to_string()), \
+                     ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f)).collect();
+            format!(
+                "if v.as_map().is_none() {{ \
+                     return Err(::serde::DeError::expected(\"map\", {name:?})); \
+                 }} \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"sequence\", {name:?}))?; \
+                 if seq.len() != {n} {{ \
+                     return Err(::serde::DeError::expected(\"{n} elements\", {name:?})); \
+                 }} \
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// `field: from_value(v.get("field").unwrap_or(&Null))?` — missing keys
+/// deserialize from `Null`, which succeeds only for `Option` fields.
+fn named_field_init(f: &str) -> String {
+    format!(
+        "{f}: ::serde::Deserialize::from_value(\
+             v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("{vn:?} => return Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let unit_block = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let Some(s) = v.as_str() {{ \
+                 match s {{ {} _ => return Err(::serde::DeError::msg(\
+                     format!(\"unknown variant `{{s}}` of {name}\"))), }} \
+             }}",
+            unit_arms.join(" ")
+        )
+    };
+    let tagged: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let tagged_block = if tagged.is_empty() {
+        String::new()
+    } else {
+        let arms: Vec<String> = tagged.iter().map(|v| de_variant_arm(name, v)).collect();
+        format!(
+            "if let Some(m) = v.as_map() {{ \
+                 if m.len() == 1 {{ \
+                     if let ::serde::Value::Str(tag) = &m[0].0 {{ \
+                         let inner = &m[0].1; let _ = inner; \
+                         match tag.as_str() {{ {} _ => return Err(::serde::DeError::msg(\
+                             format!(\"unknown variant `{{tag}}` of {name}\"))), }} \
+                     }} \
+                 }} \
+             }}",
+            arms.join(" ")
+        )
+    };
+    format!(
+        "{unit_block} {tagged_block} \
+         Err(::serde::DeError::expected(\"externally tagged enum\", {name:?}))"
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in string block"),
+        VariantKind::Tuple(1) => {
+            format!("{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),")
+        }
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "{vn:?} => {{ \
+                     let seq = inner.as_seq()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"sequence\", {name:?}))?; \
+                     if seq.len() != {n} {{ \
+                         return Err(::serde::DeError::expected(\"{n} elements\", {name:?})); \
+                     }} \
+                     return Ok({name}::{vn}({})); \
+                 }}",
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "{vn:?} => {{ \
+                     if inner.as_map().is_none() {{ \
+                         return Err(::serde::DeError::expected(\"map\", {name:?})); \
+                     }} \
+                     return Ok({name}::{vn} {{ {} }}); \
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
