@@ -1,26 +1,35 @@
 //! Standalone event-throughput harness for the simnet DES engine.
 //!
-//! Runs the same bridge-forwarding scenario as `benches/engine.rs` but as a
-//! plain binary so before/after numbers can be recorded without the
-//! criterion feature:
+//! Two scenarios, run as a plain binary so before/after numbers can be
+//! recorded without the criterion feature:
+//!
+//! * `bridge_forwarding` — the PR-1 fast-path microbenchmark: one bridge
+//!   unicasting `frames` frames into a sink, repeated `reps` times.
+//! * `multihost_sharded` — the 4-host [`build_multihost`] topology run for
+//!   a fixed slice of simulated time, sequentially and through
+//!   [`ShardedNetwork`] at 1/2/4/8 shards. Each sharded run's merged
+//!   samples, counters, and event count are checksummed against the
+//!   sequential run (the engine's bit-identical determinism contract), and
+//!   wall-clock rates land in `results/engine_parallel.json`.
 //!
 //! ```text
 //! cargo run --release -p nestless-bench --bin engine_throughput [reps] [frames]
 //! ```
-//!
-//! Prints one JSON object with the per-rep best (peak) and median
-//! events/sec; `results/engine_baseline.json` records these for the engine
-//! fast-path change.
 
 use metrics::{CpuCategory, CpuLocation};
 use simnet::bridge::Bridge;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
-use simnet::engine::{LinkParams, Network};
+use simnet::engine::{LinkParams, Network, SampleStore};
 use simnet::shared::SharedStation;
-use simnet::testutil::{frame_between, CaptureSink};
-use simnet::{MacAddr, SimDuration};
+use simnet::testutil::{build_multihost, frame_between, CaptureSink, MultihostSpec};
+use simnet::{MacAddr, ShardedNetwork, SimDuration, SimTime};
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
+
+/// Simulated horizon of one multihost rep (2 ms keeps a debug-build rep
+/// subsecond while still processing ~100k events in release).
+const MULTIHOST_HORIZON: SimTime = SimTime(2_000_000);
 
 fn build_net(frames: u64) -> Network {
     let mut net = Network::new(1);
@@ -53,6 +62,142 @@ fn build_net(frames: u64) -> Network {
     net
 }
 
+fn build_multihost_net() -> Network {
+    let mut net = Network::new(0xBEEF);
+    // loss = 0 so the ping-pong flows persist for the whole horizon and
+    // every rep processes the same number of events.
+    build_multihost(
+        &mut net,
+        &MultihostSpec {
+            hosts: 4,
+            local_flows: 4,
+            loss: 0.0,
+            ..MultihostSpec::default()
+        },
+    );
+    net
+}
+
+/// Order-independent digest of a run's observable outcome: event count
+/// plus every sample series and counter, bit-exact.
+fn outcome_digest(store: &SampleStore, events: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    events.hash(&mut h);
+    let mut names: Vec<&str> = store.sample_names().collect();
+    names.sort_unstable();
+    for n in names {
+        n.hash(&mut h);
+        for v in store.samples(n) {
+            v.to_bits().hash(&mut h);
+        }
+    }
+    let mut names: Vec<&str> = store.counter_names().collect();
+    names.sort_unstable();
+    for n in names {
+        n.hash(&mut h);
+        store.counter(n).to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// (median, peak) of `rates`.
+fn summarize(mut rates: Vec<f64>) -> (f64, f64) {
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (rates[rates.len() / 2], *rates.last().unwrap())
+}
+
+fn bridge_forwarding(reps: usize, frames: u64) {
+    // Warm-up rep (page in code, size allocator pools).
+    build_net(frames).run_to_idle();
+
+    let mut rates = Vec::with_capacity(reps);
+    let mut total_events = 0u64;
+    for _ in 0..reps {
+        let mut net = build_net(frames);
+        let start = Instant::now();
+        net.run_to_idle();
+        let elapsed = start.elapsed();
+        total_events += net.events_processed();
+        rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
+    }
+    let (median, peak) = summarize(rates);
+
+    println!(
+        "{{\"scenario\":\"bridge_forwarding\",\"reps\":{reps},\"frames_per_rep\":{frames},\
+         \"events_total\":{total_events},\
+         \"events_per_sec_median\":{median:.0},\"events_per_sec_peak\":{peak:.0}}}"
+    );
+}
+
+fn multihost_sharded(reps: usize) {
+    // Sequential reference: outcome digest + wall-clock rates.
+    build_multihost_net().run_until(MULTIHOST_HORIZON); // warm-up
+    let mut rates = Vec::with_capacity(reps);
+    let mut reference = None;
+    for _ in 0..reps {
+        let mut net = build_multihost_net();
+        let start = Instant::now();
+        net.run_until(MULTIHOST_HORIZON);
+        let elapsed = start.elapsed();
+        rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
+        reference = Some((
+            outcome_digest(net.store(), net.events_processed()),
+            net.events_processed(),
+        ));
+    }
+    let (seq_median, seq_peak) = summarize(rates);
+    let (ref_digest, events_per_rep) = reference.unwrap();
+
+    let mut shard_rows = Vec::new();
+    for want in [1usize, 2, 4, 8] {
+        let mut rates = Vec::with_capacity(reps);
+        let mut got = 0;
+        let mut identical = true;
+        for _ in 0..reps {
+            let mut sn = ShardedNetwork::new(build_multihost_net(), want);
+            got = sn.nshards();
+            let start = Instant::now();
+            sn.run_until(MULTIHOST_HORIZON);
+            let report = sn.into_report();
+            // The merge is part of the cost of getting usable results.
+            let elapsed = start.elapsed();
+            rates.push(report.events_processed as f64 / elapsed.as_secs_f64());
+            identical &= outcome_digest(&report.store, report.events_processed) == ref_digest;
+        }
+        let (median, peak) = summarize(rates);
+        shard_rows.push(format!(
+            "{{\"shards_wanted\":{want},\"shards_got\":{got},\
+             \"events_per_sec_median\":{median:.0},\"events_per_sec_peak\":{peak:.0},\
+             \"speedup_vs_sequential_median\":{:.3},\"bit_identical\":{identical}}}",
+            median / seq_median
+        ));
+        assert!(
+            identical,
+            "sharded run ({want} shards) diverged from the sequential engine"
+        );
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput (crates/bench/src/bin/engine_throughput.rs)\",\n  \
+         \"scenario\": \"multihost_sharded\",\n  \
+         \"topology\": {{\"hosts\": 4, \"local_flows\": 4, \"uplink_latency_ns\": 20000, \"loss\": 0.0}},\n  \
+         \"sim_horizon_ns\": {},\n  \"reps\": {reps},\n  \"events_per_rep\": {events_per_rep},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"sequential\": {{\"events_per_sec_median\": {seq_median:.0}, \"events_per_sec_peak\": {seq_peak:.0}}},\n  \
+         \"sharded\": [\n    {}\n  ],\n  \
+         \"note\": \"bit_identical asserts the merged sharded outcome (samples, counters, event count) equals the sequential run's, bit for bit. Wall-clock speedup is bounded by host_cores: on a single-core host the shard workers serialize on one CPU and the numbers measure coordinator+merge overhead, not scaling.\"\n}}\n",
+        MULTIHOST_HORIZON.0,
+        shard_rows.join(",\n    ")
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/engine_parallel.json", &json))
+    {
+        eprintln!("warning: could not write results/engine_parallel.json: {e}");
+    }
+}
+
 fn arg_or(arg: Option<String>, name: &str, default: u64) -> u64 {
     match arg {
         None => default,
@@ -72,26 +217,6 @@ fn main() {
     let reps = usize::try_from(arg_or(args.next(), "reps", 30)).unwrap();
     let frames = arg_or(args.next(), "frames", 10_000);
 
-    // Warm-up rep (page in code, size allocator pools).
-    build_net(frames).run_to_idle();
-
-    let mut rates = Vec::with_capacity(reps);
-    let mut total_events = 0u64;
-    for _ in 0..reps {
-        let mut net = build_net(frames);
-        let start = Instant::now();
-        net.run_to_idle();
-        let elapsed = start.elapsed();
-        total_events += net.events_processed();
-        rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
-    }
-    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = rates[rates.len() / 2];
-    let peak = *rates.last().unwrap();
-
-    println!(
-        "{{\"scenario\":\"bridge_forwarding\",\"reps\":{reps},\"frames_per_rep\":{frames},\
-         \"events_total\":{total_events},\
-         \"events_per_sec_median\":{median:.0},\"events_per_sec_peak\":{peak:.0}}}"
-    );
+    bridge_forwarding(reps, frames);
+    multihost_sharded(reps.min(10));
 }

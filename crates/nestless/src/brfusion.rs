@@ -183,6 +183,9 @@ mod tests {
         let nat_dev =
             vmm.network_mut()
                 .add_device("host-nat", metrics::CpuLocation::Host, Box::new(router));
+        // The NAT serves on the shared host station: co-shard it with the
+        // bridges for sharded runs.
+        vmm.bind_host_station_user(nat_dev);
         let (br_dev, br_port) = vmm.alloc_bridge_port(br);
         vmm.network_mut()
             .connect(nat_dev, PortId(1), br_dev, br_port, Default::default());

@@ -2,9 +2,12 @@
 //!
 //! A [`Network`] owns every [`Device`], the link table, the event queue, the
 //! global clock, the CPU account and the sample store. Determinism: events
-//! are ordered by `(time, insertion sequence)`, and all randomness flows from
-//! one seeded [`StdRng`], so a given (topology, workload, seed) reproduces
-//! bit-identical results.
+//! are ordered by the *intrinsic* key `(time, source device, per-source
+//! sequence)`, and all randomness flows from per-device RNG streams derived
+//! from the network seed, so a given (topology, workload, seed) reproduces
+//! bit-identical results — independently of how the event heap happens to
+//! interleave unrelated devices, and therefore independently of how the
+//! network is later sharded across threads (see `parallel.rs`).
 //!
 //! # Fast path
 //!
@@ -15,9 +18,25 @@
 //!   not a `String` hash — the `&str` API survives as a shim;
 //! * the link table is a dense per-device, port-indexed vector, making
 //!   `peer`/`is_linked`/delivery O(1) array loads;
-//! * the heap orders 24-byte [`EventKey`]s while event payloads live in a
-//!   pooled slab, so heap sifts never memcpy a [`Frame`] and the
+//! * the heap orders small fixed-size [`EventKey`]s while event payloads
+//!   live in a pooled slab, so heap sifts never memcpy a [`Frame`] and the
 //!   steady-state loop allocates nothing.
+//!
+//! # Event ordering
+//!
+//! Every scheduled event carries an [`EventTag`] `(at, src, seq)`:
+//!
+//! * `at` — the simulated delivery time;
+//! * `src` — the id of the *emitting* device ([`EXTERNAL_SRC`] for frames
+//!   and timers injected by the harness);
+//! * `seq` — a counter that is monotonic *per source*.
+//!
+//! The tag is a total order (each source numbers its own emissions), it is a
+//! property of the emission itself rather than of global heap insertion
+//! order, and simultaneous events from one source still process in FIFO
+//! order. This is what makes the sharded engine exact: the sequential pop
+//! order restricted to any subset of devices equals that subset's own local
+//! pop order, so per-shard executions are slices of the sequential one.
 
 use crate::device::{Device, DeviceId, PortId};
 use crate::frame::Frame;
@@ -27,6 +46,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Propagation parameters of a link between two device ports.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +84,21 @@ impl Default for LinkParams {
     }
 }
 
+/// Source id tagged onto harness-injected events ([`Network::inject_frame`],
+/// [`Network::schedule_timer`]); real devices use their own (small) ids.
+pub(crate) const EXTERNAL_SRC: u32 = u32::MAX;
+
+/// The intrinsic identity of a scheduled event: delivery time, emitting
+/// source, and the source's own emission counter. Unique per event and
+/// independent of heap insertion order — the determinism anchor for the
+/// sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct EventTag {
+    pub(crate) at: SimTime,
+    pub(crate) src: u32,
+    pub(crate) seq: u64,
+}
+
 #[derive(Debug)]
 enum EventKind {
     Frame {
@@ -79,17 +114,16 @@ enum EventKind {
 
 /// What the binary heap actually orders: a small fixed-size key. The
 /// payload ([`EventKind`], which embeds a whole [`Frame`]) stays put in the
-/// pool slab at `slot`, so heap sifts move 24 bytes instead of ~100+.
+/// pool slab at `slot`, so heap sifts move a few words instead of ~100+.
 #[derive(Debug, Clone, Copy)]
 struct EventKey {
-    at: SimTime,
-    seq: u64,
+    tag: EventTag,
     slot: u32,
 }
 
 impl PartialEq for EventKey {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.tag == other.tag
     }
 }
 impl Eq for EventKey {}
@@ -100,9 +134,9 @@ impl PartialOrd for EventKey {
 }
 impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // `seq` is unique, so (at, seq) is already a total order; `slot`
-        // deliberately does not participate.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        // `(src, seq)` is unique, so the tag is already a total order;
+        // `slot` deliberately does not participate.
+        self.tag.cmp(&other.tag)
     }
 }
 
@@ -142,11 +176,36 @@ impl EventPool {
     }
 }
 
+/// SplitMix64 finalizer — used to derive independent per-device RNG seeds
+/// from the single network seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of device `stream`'s RNG from the network seed.
+fn mix_seed(seed: u64, stream: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(stream))
+}
+
 struct DeviceSlot {
     name: String,
     loc: CpuLocation,
     dev: Option<Box<dyn Device>>,
+    /// This device's private RNG stream (jitter, stalls, loss draws for
+    /// frames *it* emits). Seeded from `mix_seed(network_seed, id)`, so
+    /// draws depend only on this device's own event sequence — never on how
+    /// unrelated devices interleave in the heap or across shards.
+    rng: StdRng,
+    /// Per-source emission counter backing [`EventTag::seq`].
+    emit_seq: u64,
 }
+
+/// One record of the sample journal kept by shard networks: which series,
+/// what value, in per-shard chronological order.
+type JournalEntry = (MetricId, f64);
 
 /// Collected measurements: named sample vectors (latencies, sizes...) and
 /// named counters (bytes delivered, frames dropped...).
@@ -161,6 +220,10 @@ pub struct SampleStore {
     interner: Interner,
     samples: Vec<Vec<f64>>,
     counters: Vec<f64>,
+    /// When set (shard stores only), samples are appended to this single
+    /// chronological journal instead of the per-series vectors; the
+    /// sharded-run merge replays journals in global event order.
+    journal: Option<Vec<JournalEntry>>,
 }
 
 impl SampleStore {
@@ -178,7 +241,10 @@ impl SampleStore {
     /// Records one sample under `id`.
     #[inline]
     pub fn record_id(&mut self, id: MetricId, value: f64) {
-        self.samples[id.index()].push(value);
+        match &mut self.journal {
+            Some(j) => j.push((id, value)),
+            None => self.samples[id.index()].push(value),
+        }
     }
 
     /// Adds `delta` to counter `id`.
@@ -228,6 +294,10 @@ impl SampleStore {
 
     /// Names of all sample series (in first-intern order — deterministic
     /// for a deterministic run, unlike the old `HashMap` key order).
+    ///
+    /// For a store merged from a sharded run the order is first-intern
+    /// order *of the merge*, which need not match a sequential run's; the
+    /// name *set* and every per-name series do match.
     pub fn sample_names(&self) -> impl Iterator<Item = &str> {
         self.interner
             .names()
@@ -235,6 +305,47 @@ impl SampleStore {
             .filter(|&(i, _)| !self.samples[i].is_empty())
             .map(|(_, n)| n)
     }
+
+    /// Names of all counters with a nonzero value, in first-intern order
+    /// (same caveat as [`sample_names`](SampleStore::sample_names) for
+    /// merged stores).
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.interner
+            .names()
+            .enumerate()
+            .filter(|&(i, _)| self.counters[i] != 0.0)
+            .map(|(_, n)| n)
+    }
+
+    /// Switches the store to journal mode (shard stores). Pre-existing
+    /// per-series samples stay put; the merge emits them first.
+    pub(crate) fn enable_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Number of journal entries recorded so far (0 when not journaling).
+    #[inline]
+    pub(crate) fn journal_len(&self) -> usize {
+        self.journal.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Decomposes the store for the sharded-run merge.
+    pub(crate) fn into_parts(self) -> StoreParts {
+        StoreParts {
+            names: self.interner.names().map(String::from).collect(),
+            samples: self.samples,
+            counters: self.counters,
+            journal: self.journal.unwrap_or_default(),
+        }
+    }
+}
+
+/// A [`SampleStore`] decomposed for merging (see `parallel.rs`).
+pub(crate) struct StoreParts {
+    pub(crate) names: Vec<String>,
+    pub(crate) samples: Vec<Vec<f64>>,
+    pub(crate) counters: Vec<f64>,
+    pub(crate) journal: Vec<JournalEntry>,
 }
 
 /// One entry of the (optional) event trace.
@@ -249,7 +360,7 @@ pub struct TraceEntry {
 }
 
 /// Cap on stored trace entries (tracing is a debugging aid, not a log).
-const TRACE_CAP: usize = 100_000;
+pub(crate) const TRACE_CAP: usize = 100_000;
 
 /// One endpoint's view of a link: who is on the other side, and with what
 /// propagation parameters.
@@ -258,6 +369,37 @@ struct Link {
     peer: DeviceId,
     peer_port: PortId,
     params: LinkParams,
+}
+
+/// A frame crossing shards: the full intrinsic tag plus the delivery
+/// coordinates, ferried over a channel and pushed into the destination
+/// shard's heap (see `parallel.rs`).
+#[derive(Debug)]
+pub(crate) struct RemoteEvent {
+    pub(crate) tag: EventTag,
+    pub(crate) dev: DeviceId,
+    pub(crate) port: PortId,
+    pub(crate) frame: Frame,
+}
+
+/// Per-event bookkeeping kept by shard networks: the event's tag plus how
+/// many journal records and trace entries it produced. The merge replays
+/// these logs in frontier order to reconstruct the exact sequential
+/// interleaving of samples and traces.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LogEntry {
+    pub(crate) tag: EventTag,
+    pub(crate) recs: u32,
+    pub(crate) traces: u32,
+}
+
+/// A shard network's view of the partition: which shard owns each device,
+/// which shard *this* network is, and the outbox of frames addressed to
+/// other shards.
+struct ShardCtx {
+    shard_of: Arc<Vec<u32>>,
+    me: u32,
+    outbox: Vec<RemoteEvent>,
 }
 
 /// The simulated network: device graph + event queue + clock + accounting.
@@ -269,14 +411,20 @@ pub struct Network {
     queue: BinaryHeap<Reverse<EventKey>>,
     pool: EventPool,
     now: SimTime,
-    seq: u64,
+    /// Emission counter for harness injections (source [`EXTERNAL_SRC`]).
+    inject_seq: u64,
     processed: u64,
     dropped_no_link: u64,
     cpu: CpuAccount,
-    rng: StdRng,
+    seed: u64,
     store: SampleStore,
     link_lost: MetricId,
     trace: Option<Vec<TraceEntry>>,
+    /// Device pairs the partitioner must keep in one shard (e.g. devices
+    /// serializing on one shared station).
+    affinity: Vec<(DeviceId, DeviceId)>,
+    shard: Option<ShardCtx>,
+    event_log: Option<Vec<LogEntry>>,
 }
 
 impl Network {
@@ -290,14 +438,17 @@ impl Network {
             queue: BinaryHeap::new(),
             pool: EventPool::default(),
             now: SimTime::ZERO,
-            seq: 0,
+            inject_seq: 0,
             processed: 0,
             dropped_no_link: 0,
             cpu: CpuAccount::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             store,
             link_lost,
             trace: None,
+            affinity: Vec::new(),
+            shard: None,
+            event_log: None,
         }
     }
 
@@ -326,9 +477,25 @@ impl Network {
             name: name.into(),
             loc,
             dev: Some(dev),
+            rng: StdRng::seed_from_u64(mix_seed(self.seed, id.0 as u64)),
+            emit_seq: 0,
         });
         self.links.push(Vec::new());
         id
+    }
+
+    /// Declares that `a` and `b` must land in the same shard when this
+    /// network is partitioned (see `parallel::PartitionPlan`). Needed for
+    /// devices coupled through state the device graph cannot see — above
+    /// all a [`SharedStation`](crate::shared::SharedStation) serialized
+    /// across devices. A no-op for sequential runs.
+    pub fn bind_same_shard(&mut self, a: DeviceId, b: DeviceId) {
+        self.affinity.push((a, b));
+    }
+
+    /// Same-shard constraints declared so far.
+    pub(crate) fn affinity(&self) -> &[(DeviceId, DeviceId)] {
+        &self.affinity
     }
 
     /// The link slot for `(dev, port)`, growing the port row to fit.
@@ -373,6 +540,11 @@ impl Network {
     /// Peer of `(dev, port)` if linked.
     pub fn peer(&self, dev: DeviceId, port: PortId) -> Option<(DeviceId, PortId)> {
         self.link_at(dev, port).map(|l| (l.peer, l.peer_port))
+    }
+
+    /// Propagation parameters of the link at `(dev, port)`, if linked.
+    pub fn link_params(&self, dev: DeviceId, port: PortId) -> Option<LinkParams> {
+        self.link_at(dev, port).map(|l| l.params)
     }
 
     /// All links, each reported once as `(a, pa, b, pb)` with `a < b` (or
@@ -469,20 +641,205 @@ impl Network {
 
     /// Schedules a frame to arrive at `(dev, port)` after `delay`.
     pub fn inject_frame(&mut self, delay: SimDuration, dev: DeviceId, port: PortId, frame: Frame) {
-        self.push(self.now + delay, EventKind::Frame { dev, port, frame });
+        let tag = self.next_inject_tag(self.now + delay);
+        self.route_frame(tag, dev, port, frame);
     }
 
     /// Schedules a timer for `dev` after `delay` — used to start
     /// applications at t=0 or at staggered offsets.
     pub fn schedule_timer(&mut self, delay: SimDuration, dev: DeviceId, token: u64) {
-        self.push(self.now + delay, EventKind::Timer { dev, token });
+        let tag = self.next_inject_tag(self.now + delay);
+        debug_assert!(
+            self.shard
+                .as_ref()
+                .is_none_or(|sh| sh.shard_of[dev.0] == sh.me),
+            "timer scheduled on a foreign shard's device"
+        );
+        self.push_keyed(tag, EventKind::Timer { dev, token });
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Next tag for a harness-injected event.
+    fn next_inject_tag(&mut self, at: SimTime) -> EventTag {
+        let seq = self.inject_seq;
+        self.inject_seq += 1;
+        EventTag {
+            at,
+            src: EXTERNAL_SRC,
+            seq,
+        }
+    }
+
+    /// Queues an event locally.
+    fn push_keyed(&mut self, tag: EventTag, kind: EventKind) {
         let slot = self.pool.insert(kind);
-        self.queue.push(Reverse(EventKey { at, seq, slot }));
+        self.queue.push(Reverse(EventKey { tag, slot }));
+    }
+
+    /// Routes a frame delivery: into the local heap, or — when this network
+    /// is a shard and the destination lives elsewhere — into the outbox.
+    fn route_frame(&mut self, tag: EventTag, dev: DeviceId, port: PortId, frame: Frame) {
+        if let Some(sh) = &mut self.shard {
+            if sh.shard_of[dev.0] != sh.me {
+                sh.outbox.push(RemoteEvent {
+                    tag,
+                    dev,
+                    port,
+                    frame,
+                });
+                return;
+            }
+        }
+        self.push_keyed(tag, EventKind::Frame { dev, port, frame });
+    }
+
+    /// Pushes a frame that arrived from another shard.
+    pub(crate) fn push_remote(&mut self, ev: RemoteEvent) {
+        debug_assert!(ev.tag.at >= self.now, "remote event in this shard's past");
+        self.push_keyed(
+            ev.tag,
+            EventKind::Frame {
+                dev: ev.dev,
+                port: ev.port,
+                frame: ev.frame,
+            },
+        );
+    }
+
+    /// Drains the outbox of frames addressed to other shards.
+    pub(crate) fn take_outbox(&mut self) -> Vec<RemoteEvent> {
+        match &mut self.shard {
+            Some(sh) => std::mem::take(&mut sh.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Delivery time of the earliest queued event, if any.
+    pub(crate) fn peek_next_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(k)| k.tag.at)
+    }
+
+    /// Processes every queued event with `at < until` (the epoch window of
+    /// the sharded engine).
+    pub(crate) fn run_window(&mut self, until: SimTime) {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.tag.at >= until {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Takes the event log (shard networks only).
+    pub(crate) fn take_event_log(&mut self) -> Vec<LogEntry> {
+        self.event_log.take().unwrap_or_default()
+    }
+
+    /// Takes the trace buffer.
+    pub(crate) fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Takes the sample store, leaving an empty one behind.
+    pub(crate) fn take_store(&mut self) -> SampleStore {
+        std::mem::take(&mut self.store)
+    }
+
+    /// Takes the CPU account, leaving an empty one behind.
+    pub(crate) fn take_cpu(&mut self) -> CpuAccount {
+        std::mem::take(&mut self.cpu)
+    }
+
+    /// Splits an un-run network into one [`Network`] per shard of `plan`.
+    ///
+    /// Every shard keeps the full link table and a full-length device vector
+    /// (foreign slots are stubs), so device ids keep working unchanged; the
+    /// heap contents are distributed by destination device. Shard stores
+    /// record through journals and every shard keeps an event log, which is
+    /// what lets `parallel::ShardedNetwork::into_report` reconstruct the
+    /// exact sequential interleaving.
+    ///
+    /// # Panics
+    /// Panics if events have already been processed: devices cache
+    /// [`MetricId`]s from the store they first record into, so the split
+    /// must happen before any device runs.
+    pub(crate) fn split(mut self, shard_of: &Arc<Vec<u32>>, nshards: usize) -> Vec<Network> {
+        assert_eq!(
+            self.processed, 0,
+            "a network must be sharded before any event is processed"
+        );
+        assert_eq!(shard_of.len(), self.devices.len());
+        // Distribute queued events to their destination shard.
+        let mut initial: Vec<Vec<(EventTag, EventKind)>> =
+            (0..nshards).map(|_| Vec::new()).collect();
+        while let Some(Reverse(key)) = self.queue.pop() {
+            let kind = self.pool.take(key.slot);
+            let dev = match &kind {
+                EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
+            };
+            initial[shard_of[dev.0] as usize].push((key.tag, kind));
+        }
+        let names: Vec<String> = self.devices.iter().map(|d| d.name.clone()).collect();
+        let locs: Vec<CpuLocation> = self.devices.iter().map(|d| d.loc).collect();
+        let mut slots: Vec<Option<DeviceSlot>> = self.devices.into_iter().map(Some).collect();
+        let tracing = self.trace.is_some();
+        let mut master_store = Some(self.store);
+        let mut initial = initial.into_iter();
+        (0..nshards)
+            .map(|s| {
+                let devices: Vec<DeviceSlot> = (0..slots.len())
+                    .map(|i| {
+                        if shard_of[i] as usize == s {
+                            slots[i].take().expect("device assigned to two shards")
+                        } else {
+                            // Foreign stub: name/location kept for lookups,
+                            // no device, a throwaway RNG.
+                            DeviceSlot {
+                                name: names[i].clone(),
+                                loc: locs[i],
+                                dev: None,
+                                rng: StdRng::seed_from_u64(0),
+                                emit_seq: 0,
+                            }
+                        }
+                    })
+                    .collect();
+                // Shard 0 inherits the master store (pre-run interned ids
+                // stay valid there); others start fresh.
+                let mut store = if s == 0 {
+                    master_store.take().unwrap()
+                } else {
+                    SampleStore::default()
+                };
+                store.enable_journal();
+                let link_lost = store.metric_id("link.lost");
+                let mut net = Network {
+                    devices,
+                    links: self.links.clone(),
+                    queue: BinaryHeap::new(),
+                    pool: EventPool::default(),
+                    now: self.now,
+                    inject_seq: self.inject_seq,
+                    processed: 0,
+                    dropped_no_link: 0,
+                    cpu: CpuAccount::new(),
+                    seed: self.seed,
+                    store,
+                    link_lost,
+                    trace: tracing.then(Vec::new),
+                    affinity: Vec::new(),
+                    shard: Some(ShardCtx {
+                        shard_of: Arc::clone(shard_of),
+                        me: s as u32,
+                        outbox: Vec::new(),
+                    }),
+                    event_log: Some(Vec::new()),
+                };
+                for (tag, kind) in initial.next().unwrap() {
+                    net.push_keyed(tag, kind);
+                }
+                net
+            })
+            .collect()
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
@@ -490,12 +847,21 @@ impl Network {
         let Some(Reverse(key)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(key.at >= self.now, "event in the past");
-        self.now = key.at;
+        debug_assert!(key.tag.at >= self.now, "event in the past");
+        self.now = key.tag.at;
         self.processed += 1;
         let kind = self.pool.take(key.slot);
         let dev_id = match &kind {
             EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
+        };
+        let logging = self.event_log.is_some();
+        let (recs_before, traces_before) = if logging {
+            (
+                self.store.journal_len(),
+                self.trace.as_ref().map_or(0, Vec::len),
+            )
+        } else {
+            (0, 0)
         };
         if let Some(trace) = &mut self.trace {
             if trace.len() < TRACE_CAP {
@@ -504,7 +870,7 @@ impl Network {
                     EventKind::Timer { token, .. } => format!("timer {token}"),
                 };
                 trace.push(TraceEntry {
-                    at: key.at,
+                    at: key.tag.at,
                     device: self.devices[dev_id.0].name.clone(),
                     what,
                 });
@@ -527,6 +893,15 @@ impl Network {
             }
         }
         self.devices[dev_id.0].dev = Some(dev);
+        if logging {
+            let recs = (self.store.journal_len() - recs_before) as u32;
+            let traces = (self.trace.as_ref().map_or(0, Vec::len) - traces_before) as u32;
+            self.event_log.as_mut().unwrap().push(LogEntry {
+                tag: key.tag,
+                recs,
+                traces,
+            });
+        }
         true
     }
 
@@ -534,7 +909,7 @@ impl Network {
     /// Events at exactly `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(Reverse(key)) = self.queue.peek() {
-            if key.at > deadline {
+            if key.tag.at > deadline {
                 break;
             }
             self.step();
@@ -590,9 +965,11 @@ impl<'a> DevCtx<'a> {
         self.loc
     }
 
-    /// Seeded RNG for jitter sampling.
+    /// This device's private RNG stream for jitter sampling. Derived from
+    /// `(network seed, device id)`, so the draw sequence depends only on
+    /// this device's own events — not on global event interleaving.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.net.rng
+        &mut self.net.devices[self.id.0].rng
     }
 
     /// Charges CPU time in `cat` at this device's location.
@@ -619,21 +996,22 @@ impl<'a> DevCtx<'a> {
             }) => {
                 if params.loss_prob > 0.0 {
                     use rand::Rng;
-                    if self.net.rng.gen_bool(params.loss_prob) {
+                    if self.net.devices[self.id.0].rng.gen_bool(params.loss_prob) {
                         let id = self.net.link_lost;
                         self.net.store.add_id(id, 1.0);
                         return;
                     }
                 }
                 let at = when + params.latency;
-                self.net.push(
+                let slot = &mut self.net.devices[self.id.0];
+                let seq = slot.emit_seq;
+                slot.emit_seq += 1;
+                let tag = EventTag {
                     at,
-                    EventKind::Frame {
-                        dev: peer,
-                        port: peer_port,
-                        frame,
-                    },
-                );
+                    src: self.id.0 as u32,
+                    seq,
+                };
+                self.net.route_frame(tag, peer, peer_port, frame);
             }
             None => {
                 self.net.dropped_no_link += 1;
@@ -656,8 +1034,16 @@ impl<'a> DevCtx<'a> {
     /// Schedules `on_timer(token)` for this device after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.net.now + delay;
-        self.net.push(
+        let slot = &mut self.net.devices[self.id.0];
+        let seq = slot.emit_seq;
+        slot.emit_seq += 1;
+        let tag = EventTag {
             at,
+            src: self.id.0 as u32,
+            seq,
+        };
+        self.net.push_keyed(
+            tag,
             EventKind::Timer {
                 dev: self.id,
                 token,
@@ -817,13 +1203,57 @@ mod tests {
     fn events_are_fifo_at_equal_times() {
         let mut net = Network::new(0);
         let sink = net.add_device("sink", CpuLocation::Host, Box::new(Sink));
-        // Two frames at the same instant: insertion order must be preserved,
-        // which we observe through the per-event count.
+        // Two frames at the same instant: injection order must be preserved,
+        // which the per-source `seq` of the event tag guarantees.
         net.inject_frame(SimDuration::micros(1), sink, PortId::P0, test_frame());
         net.inject_frame(SimDuration::micros(1), sink, PortId::P0, test_frame());
         net.run_to_idle();
         assert_eq!(net.store().samples("sink.arrivals").len(), 2);
         assert_eq!(net.events_processed(), 2);
+    }
+
+    #[test]
+    fn device_emissions_at_equal_times_stay_fifo() {
+        // A device emitting several frames due at the same instant must
+        // deliver them in emission order (per-source seq is monotonic).
+        struct Burst;
+        impl Device for Burst {
+            fn kind(&self) -> DeviceKind {
+                DeviceKind::Other
+            }
+            fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+                let when = ctx.now();
+                for i in 0..4 {
+                    let mut payload = Payload::sized(100);
+                    payload.tag = i;
+                    let f = Frame::udp(
+                        frame.src_mac,
+                        frame.dst_mac,
+                        frame.ip.src_sock().unwrap(),
+                        frame.ip.dst_sock().unwrap(),
+                        payload,
+                    );
+                    ctx.transmit_at(when, PortId::P0, f);
+                }
+            }
+        }
+        struct TagSink;
+        impl Device for TagSink {
+            fn kind(&self) -> DeviceKind {
+                DeviceKind::Endpoint
+            }
+            fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+                let tag = frame.ip.transport.payload().unwrap().tag;
+                ctx.record("tags", tag as f64);
+            }
+        }
+        let mut net = Network::new(0);
+        let b = net.add_device("burst", CpuLocation::Host, Box::new(Burst));
+        let s = net.add_device("sink", CpuLocation::Host, Box::new(TagSink));
+        net.connect(b, PortId::P0, s, PortId::P0, LinkParams::default());
+        net.inject_frame(SimDuration::ZERO, b, PortId::P1, test_frame());
+        net.run_to_idle();
+        assert_eq!(net.store().samples("tags"), &[0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -888,6 +1318,8 @@ mod tests {
         let names: Vec<&str> = store.sample_names().collect();
         // Counters without samples are not sample series.
         assert_eq!(names, ["z", "a"]);
+        let counters: Vec<&str> = store.counter_names().collect();
+        assert_eq!(counters, ["counter_only"]);
     }
 
     #[test]
@@ -906,6 +1338,8 @@ mod tests {
         assert_eq!(net.peer(b, PortId(0)), Some((a, PortId(3))));
         // Beyond the row end is simply unlinked, not a panic.
         assert_eq!(net.peer(a, PortId(4)), None);
+        assert_eq!(net.link_params(a, PortId(3)), Some(LinkParams::default()));
+        assert_eq!(net.link_params(a, PortId(4)), None);
     }
 
     #[test]
@@ -963,6 +1397,10 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_results() {
+        // Per-device RNG streams: the draw sequence of each device depends
+        // only on (seed, device id) and the device's own event order, so a
+        // given seed reproduces results bit-for-bit — including with jitter
+        // and loss enabled.
         let run = |seed| {
             let mut net = Network::new(seed);
             let pipe = net.add_device(
@@ -973,13 +1411,54 @@ mod tests {
                 }),
             );
             let sink = net.add_device("sink", CpuLocation::Host, Box::new(Sink));
-            net.connect(pipe, PortId::P1, sink, PortId::P0, LinkParams::default());
+            net.connect(
+                pipe,
+                PortId::P1,
+                sink,
+                PortId::P0,
+                LinkParams::default().with_loss(0.2),
+            );
             for i in 0..10 {
                 net.inject_frame(SimDuration::micros(i), pipe, PortId::P0, test_frame());
             }
             net.run_to_idle();
-            net.store().samples("sink.arrivals").to_vec()
+            (
+                net.store().samples("sink.arrivals").to_vec(),
+                net.store().counter("link.lost"),
+            )
         };
         assert_eq!(run(42), run(42));
+        // Loss draws actually happened (pipe's stream, loss 0.2 over 10).
+        let (arrivals, lost) = run(42);
+        assert_eq!(arrivals.len() as f64 + lost, 10.0);
+    }
+
+    #[test]
+    fn device_rng_streams_are_independent() {
+        // Adding an unrelated device (and its draws) must not perturb
+        // another device's stream: streams are keyed by device id.
+        use rand::Rng;
+        let mut a = Network::new(7);
+        let d0 = a.add_device("d0", CpuLocation::Host, Box::new(Sink));
+        let mut b = Network::new(7);
+        let e0 = b.add_device("d0", CpuLocation::Host, Box::new(Sink));
+        let _extra = b.add_device("extra", CpuLocation::Host, Box::new(Sink));
+        let x: u64 = {
+            let mut ctx = DevCtx {
+                net: &mut a,
+                id: d0,
+                loc: CpuLocation::Host,
+            };
+            ctx.rng().gen()
+        };
+        let y: u64 = {
+            let mut ctx = DevCtx {
+                net: &mut b,
+                id: e0,
+                loc: CpuLocation::Host,
+            };
+            ctx.rng().gen()
+        };
+        assert_eq!(x, y, "same (seed, device id) must yield the same stream");
     }
 }

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod frame;
 pub mod nat;
 pub mod nic;
+pub mod parallel;
 pub mod rate;
 pub mod shared;
 pub mod testutil;
@@ -60,5 +61,6 @@ pub use device::{Device, DeviceId, DeviceKind, PortId, Station};
 pub use endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
 pub use engine::{DevCtx, LinkParams, Network, SampleStore};
 pub use frame::{Frame, Payload, TcpKind, Transport};
+pub use parallel::{shards_from_env, PartitionPlan, RunReport, ShardedNetwork};
 pub use shared::SharedStation;
 pub use time::{SimDuration, SimTime};

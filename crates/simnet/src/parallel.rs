@@ -1,0 +1,693 @@
+//! The parallel sharded engine: conservative lookahead without losing a
+//! single bit of determinism.
+//!
+//! # Partitioning
+//!
+//! [`PartitionPlan::partition`] splits the device graph into *islands* that
+//! must never be separated, then balances islands across shards:
+//!
+//! * devices joined by a **zero-latency link** stay together (a frame could
+//!   cross instantly, so no lookahead exists across such a link);
+//! * devices located in the **same VM** stay together (they serialize on
+//!   shared guest state — stations, kernel queues);
+//! * devices bound by [`Network::bind_same_shard`] stay together (coupling
+//!   the device graph cannot see, above all a
+//!   [`SharedStation`](crate::shared::SharedStation) serialized across
+//!   devices — e.g. every host bridge of one machine sharing the host
+//!   kernel's station).
+//!
+//! The paper's topologies are naturally host-shaped: intra-host plumbing
+//! (veth, TAP, virtio/vhost, bridges) is glued by these rules while
+//! physical inter-host links carry real latency, so islands are host
+//! islands and the cut runs exactly along cross-host links.
+//!
+//! # Conservative epochs
+//!
+//! The epoch `E` is the minimum latency over cross-shard links. Shards run
+//! in lockstep windows `[t, t+E)` where `t` is the global minimum pending
+//! event time: a frame emitted in a window at time `s ≥ t` arrives at
+//! `s + latency ≥ t + E`, i.e. no earlier than the *next* window, so a
+//! shard can never receive an event in its past. Cross-shard frames travel
+//! through per-epoch outboxes over `std::sync::mpsc` channels and are
+//! pushed into the destination heap before the next window starts.
+//!
+//! # Bit-identical determinism
+//!
+//! Three mechanisms make the sharded run reproduce the sequential engine
+//! exactly (not just statistically):
+//!
+//! 1. **Intrinsic event keys** `(time, source, per-source seq)` (see
+//!    `engine.rs`): heap order does not depend on insertion order, so each
+//!    shard's pop order equals the sequential pop order restricted to that
+//!    shard's devices.
+//! 2. **Per-device RNG streams** seeded from `(network seed, device id)`:
+//!    jitter/loss draws depend only on a device's own event sequence, never
+//!    on how unrelated devices interleave.
+//! 3. **Merge by frontier order**: each shard keeps an event log and a
+//!    sample journal; [`ShardedNetwork::into_report`] replays them with a
+//!    k-way frontier merge (always consume the shard whose next logged
+//!    event has the smallest key) which provably reconstructs the exact
+//!    sequential interleaving — equal-time causal chains never cross
+//!    shards because cross-shard links have latency ≥ E > 0.
+//!
+//! CPU time is aggregated by summing per-shard [`CpuAccount`]s (integer
+//! nanoseconds — exact); counters are summed per shard in shard order
+//! (counter deltas in this codebase are integer-valued, so f64 addition is
+//! exact far beyond any realistic run length).
+
+use crate::device::DeviceId;
+use crate::engine::{EventTag, LogEntry, Network, RemoteEvent, SampleStore, TraceEntry, TRACE_CAP};
+use crate::time::{SimDuration, SimTime};
+use metrics::{CpuAccount, CpuLocation};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// Reads the `SIMNET_SHARDS` environment knob (default 1). Values below 1
+/// or unparsable values read as 1.
+pub fn shards_from_env() -> usize {
+    std::env::var("SIMNET_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Minimal union-find over device indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Assignment of every device to a shard, plus the epoch derived from the
+/// cut. Produced by [`PartitionPlan::partition`].
+pub struct PartitionPlan {
+    pub(crate) shard_of: Arc<Vec<u32>>,
+    nshards: usize,
+    epoch: SimDuration,
+}
+
+impl PartitionPlan {
+    /// Partitions `net` into at most `want` shards.
+    ///
+    /// Islands (see module docs) are kept intact and balanced across
+    /// shards longest-processing-time-first; the actual shard count is
+    /// `min(want, number of islands)`, so a topology whose devices are all
+    /// glued together falls back to a single shard.
+    pub fn partition(net: &Network, want: usize) -> PartitionPlan {
+        let n = net.device_count();
+        let mut uf = UnionFind::new(n);
+        let links = net.links();
+        for &(a, pa, b, _) in &links {
+            let p = net.link_params(a, pa).expect("listed link has params");
+            if p.latency == SimDuration::ZERO {
+                uf.union(a.0, b.0);
+            }
+        }
+        let mut vm_anchor: HashMap<u32, usize> = HashMap::new();
+        for i in 0..n {
+            if let CpuLocation::Vm(vm) = net.device_location(DeviceId(i)) {
+                match vm_anchor.get(&vm) {
+                    Some(&anchor) => uf.union(anchor, i),
+                    None => {
+                        vm_anchor.insert(vm, i);
+                    }
+                }
+            }
+        }
+        for &(a, b) in net.affinity() {
+            uf.union(a.0, b.0);
+        }
+
+        // Islands in order of their smallest device id (deterministic).
+        let mut island_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut islands: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let r = uf.find(i);
+            let idx = *island_of_root.entry(r).or_insert_with(|| {
+                islands.push(Vec::new());
+                islands.len() - 1
+            });
+            islands[idx].push(i);
+        }
+
+        let nshards = want.max(1).min(islands.len().max(1));
+        // LPT greedy balance: biggest islands first (ties: lowest device
+        // id), each to the least-loaded shard (ties: lowest shard).
+        let mut order: Vec<usize> = (0..islands.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(islands[i].len()), islands[i][0]));
+        let mut load = vec![0usize; nshards];
+        let mut shard_of = vec![0u32; n];
+        for &i in &order {
+            let s = (0..nshards).min_by_key(|&s| (load[s], s)).unwrap();
+            load[s] += islands[i].len();
+            for &d in &islands[i] {
+                shard_of[d] = s as u32;
+            }
+        }
+
+        // Epoch: minimum latency over links whose endpoints landed in
+        // different shards. No cross links (disconnected islands) means
+        // unbounded lookahead.
+        let mut epoch: Option<SimDuration> = None;
+        if nshards > 1 {
+            for &(a, pa, b, _) in &links {
+                if shard_of[a.0] != shard_of[b.0] {
+                    let lat = net.link_params(a, pa).unwrap().latency;
+                    epoch = Some(epoch.map_or(lat, |e| e.min(lat)));
+                }
+            }
+        }
+        let epoch = match epoch {
+            Some(e) => {
+                debug_assert!(
+                    e > SimDuration::ZERO,
+                    "zero-latency links are glued, the cut cannot cross one"
+                );
+                e
+            }
+            None => {
+                if nshards > 1 {
+                    SimDuration(u64::MAX)
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+        };
+        PartitionPlan {
+            shard_of: Arc::new(shard_of),
+            nshards,
+            epoch,
+        }
+    }
+
+    /// Number of shards in the plan (≥ 1).
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The conservative lookahead window: the minimum cross-shard link
+    /// latency (zero for single-shard plans, `u64::MAX` ns when no link
+    /// crosses the cut).
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// The shard owning `dev`.
+    pub fn shard_of(&self, dev: DeviceId) -> usize {
+        self.shard_of[dev.0] as usize
+    }
+}
+
+/// Everything a finished (sharded or single-shard) run yields: the merged
+/// sample store, CPU account, trace, and engine counters. For any shard
+/// count the contents are bit-identical to a sequential [`Network`] run of
+/// the same topology, workload and seed.
+pub struct RunReport {
+    /// Merged sample store. Per-name samples and counters match the
+    /// sequential run exactly; only the (unobservable) name enumeration
+    /// order may differ.
+    pub store: SampleStore,
+    /// Merged CPU account (integer nanoseconds; exact).
+    pub cpu: CpuAccount,
+    /// Merged event trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEntry>,
+    /// Total events processed across all shards.
+    pub events_processed: u64,
+    /// Total frames dropped on unlinked ports across all shards.
+    pub dropped_no_link: u64,
+    /// Final simulated time.
+    pub now: SimTime,
+}
+
+enum Cmd {
+    /// Deliver the incoming cross-shard frames, then process every local
+    /// event with `at < until`.
+    Run {
+        until: SimTime,
+        incoming: Vec<RemoteEvent>,
+    },
+}
+
+struct Reply {
+    shard: usize,
+    next_at: Option<SimTime>,
+    outbox: Vec<RemoteEvent>,
+}
+
+fn worker(shard: usize, net: &mut Network, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    while let Ok(Cmd::Run { until, incoming }) = rx.recv() {
+        for ev in incoming {
+            net.push_remote(ev);
+        }
+        net.run_window(until);
+        if tx
+            .send(Reply {
+                shard,
+                next_at: net.peek_next_at(),
+                outbox: net.take_outbox(),
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// A [`Network`] split across shards, each running its own slab/heap event
+/// loop on its own thread, synchronized by conservative epochs.
+///
+/// Build a topology on a plain [`Network`] (injecting initial frames and
+/// timers as usual), then hand it to [`ShardedNetwork::new`] *before
+/// running any event*. `run_until`/`run_to_idle` mirror the sequential
+/// API; [`into_report`](ShardedNetwork::into_report) merges the shards
+/// back into one [`RunReport`].
+pub struct ShardedNetwork {
+    nets: Vec<Network>,
+    plan: PartitionPlan,
+    /// Cross-shard frames awaiting delivery at the next window.
+    pending: Vec<Vec<RemoteEvent>>,
+    now: SimTime,
+}
+
+impl ShardedNetwork {
+    /// Shards `net` into at most `want` shards (see
+    /// [`PartitionPlan::partition`] for the actual count).
+    ///
+    /// # Panics
+    /// Panics if `net` has already processed events — sharding must happen
+    /// between topology construction and the first run.
+    pub fn new(net: Network, want: usize) -> ShardedNetwork {
+        let now = net.now();
+        let plan = PartitionPlan::partition(&net, want);
+        let nshards = plan.nshards();
+        let nets = if nshards == 1 {
+            // Single shard: keep the network whole and run it directly —
+            // trivially identical to the sequential engine.
+            vec![net]
+        } else {
+            net.split(&plan.shard_of, nshards)
+        };
+        ShardedNetwork {
+            nets,
+            plan,
+            pending: (0..nshards).map(|_| Vec::new()).collect(),
+            now,
+        }
+    }
+
+    /// Shards `net` according to the `SIMNET_SHARDS` environment variable
+    /// (default 1).
+    pub fn from_env(net: Network) -> ShardedNetwork {
+        ShardedNetwork::new(net, shards_from_env())
+    }
+
+    /// The partition in effect.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// Actual number of shards (≥ 1, at most the requested count).
+    pub fn nshards(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Current simulated time (the deadline of the last `run_until`, or
+    /// the last processed event time after `run_to_idle`).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Enables (or disables) event tracing on every shard.
+    pub fn set_tracing(&mut self, on: bool) {
+        for net in &mut self.nets {
+            net.set_tracing(on);
+        }
+    }
+
+    /// Runs until the clock reaches `deadline`; events at exactly
+    /// `deadline` are processed (sequential `run_until` semantics).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_epochs(deadline);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Drains every remaining event.
+    pub fn run_to_idle(&mut self) {
+        self.run_epochs(SimTime(u64::MAX - 1));
+        let last = self.nets.iter().map(|n| n.now()).max().unwrap_or(self.now);
+        if last > self.now {
+            self.now = last;
+        }
+    }
+
+    /// The epoch-barrier scheduler: repeatedly pick the global minimum
+    /// pending time `t`, let every shard process `[t, min(t+E, deadline+1))`
+    /// in parallel, then exchange cross-shard frames.
+    fn run_epochs(&mut self, deadline: SimTime) {
+        if self.nets.len() == 1 {
+            let net = &mut self.nets[0];
+            if deadline == SimTime(u64::MAX - 1) {
+                net.run_to_idle();
+            } else {
+                net.run_until(deadline);
+            }
+            return;
+        }
+        let epoch = self.plan.epoch.0;
+        let nshards = self.nets.len();
+        let shard_of = Arc::clone(&self.plan.shard_of);
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut next_at: Vec<Option<SimTime>> =
+            self.nets.iter().map(Network::peek_next_at).collect();
+        std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
+            let mut cmd_txs = Vec::with_capacity(nshards);
+            for (i, net) in self.nets.iter_mut().enumerate() {
+                let (tx, rx) = std::sync::mpsc::channel::<Cmd>();
+                let rtx = reply_tx.clone();
+                scope.spawn(move || worker(i, net, rx, rtx));
+                cmd_txs.push(tx);
+            }
+            drop(reply_tx);
+            loop {
+                // Global minimum over shard heaps and undelivered frames.
+                let mut t: Option<SimTime> = None;
+                for s in 0..nshards {
+                    let pend_min = pending[s].iter().map(|e| e.tag.at).min();
+                    for cand in [next_at[s], pend_min].into_iter().flatten() {
+                        t = Some(t.map_or(cand, |cur| cur.min(cand)));
+                    }
+                }
+                let Some(t) = t else { break };
+                if t > deadline {
+                    break;
+                }
+                let until = SimTime(t.0.saturating_add(epoch).min(deadline.0.saturating_add(1)));
+                for (s, tx) in cmd_txs.iter().enumerate() {
+                    tx.send(Cmd::Run {
+                        until,
+                        incoming: std::mem::take(&mut pending[s]),
+                    })
+                    .expect("shard worker exited early");
+                }
+                for _ in 0..nshards {
+                    let r = reply_rx.recv().expect("shard worker panicked");
+                    next_at[r.shard] = r.next_at;
+                    for ev in r.outbox {
+                        pending[shard_of[ev.dev.0] as usize].push(ev);
+                    }
+                }
+            }
+            // Dropping the command senders terminates the workers.
+        });
+        // Frames addressed beyond the deadline wait for the next run call.
+        self.pending = pending;
+    }
+
+    /// Merges the shards back into one [`RunReport`]. The k-way frontier
+    /// merge over per-shard event logs reconstructs the exact sequential
+    /// interleaving of samples and trace entries (see module docs).
+    pub fn into_report(mut self) -> RunReport {
+        let now = self.now;
+        if self.nets.len() == 1 {
+            let net = &mut self.nets[0];
+            return RunReport {
+                events_processed: net.events_processed(),
+                dropped_no_link: net.dropped_no_link(),
+                store: net.take_store(),
+                cpu: net.take_cpu(),
+                trace: net.take_trace(),
+                now,
+            };
+        }
+        let n = self.nets.len();
+        let mut cpu = CpuAccount::new();
+        let mut events_processed = 0;
+        let mut dropped_no_link = 0;
+        let mut logs: Vec<Vec<LogEntry>> = Vec::with_capacity(n);
+        let mut traces: Vec<Vec<TraceEntry>> = Vec::with_capacity(n);
+        let mut parts = Vec::with_capacity(n);
+        for net in &mut self.nets {
+            events_processed += net.events_processed();
+            dropped_no_link += net.dropped_no_link();
+            cpu.merge(&net.take_cpu());
+            logs.push(net.take_event_log());
+            traces.push(net.take_trace());
+            parts.push(net.take_store().into_parts());
+        }
+
+        let mut store = SampleStore::default();
+        // Samples recorded before the split live in shard 0's per-series
+        // vectors and precede every event.
+        for (i, name) in parts[0].names.iter().enumerate() {
+            if !parts[0].samples[i].is_empty() {
+                let id = store.metric_id(name);
+                for &v in &parts[0].samples[i] {
+                    store.record_id(id, v);
+                }
+            }
+        }
+
+        // Frontier merge: repeatedly consume the shard whose next logged
+        // event has the smallest intrinsic key, replaying its journal
+        // records and trace entries. Keys are globally unique, and an
+        // inductive argument over event availability shows this recovers
+        // the sequential processing order exactly.
+        let mut idmap: Vec<Vec<Option<metrics::MetricId>>> =
+            parts.iter().map(|p| vec![None; p.names.len()]).collect();
+        let mut li = vec![0usize; n];
+        let mut ji = vec![0usize; n];
+        let mut ti = vec![0usize; n];
+        let mut trace = Vec::new();
+        loop {
+            let mut best: Option<(usize, EventTag)> = None;
+            for s in 0..n {
+                if let Some(e) = logs[s].get(li[s]) {
+                    if best.is_none_or(|(_, bt)| e.tag < bt) {
+                        best = Some((s, e.tag));
+                    }
+                }
+            }
+            let Some((s, _)) = best else { break };
+            let e = logs[s][li[s]];
+            li[s] += 1;
+            for _ in 0..e.recs {
+                let (mid, v) = parts[s].journal[ji[s]];
+                ji[s] += 1;
+                let oid = match idmap[s][mid.index()] {
+                    Some(id) => id,
+                    None => {
+                        let id = store.metric_id(&parts[s].names[mid.index()]);
+                        idmap[s][mid.index()] = Some(id);
+                        id
+                    }
+                };
+                store.record_id(oid, v);
+            }
+            for _ in 0..e.traces {
+                if trace.len() < TRACE_CAP {
+                    trace.push(traces[s][ti[s]].clone());
+                }
+                ti[s] += 1;
+            }
+        }
+
+        // Counters: summed per shard in shard order. Deltas are
+        // integer-valued throughout the codebase, so f64 addition here is
+        // exact and order-insensitive.
+        for p in &parts {
+            for (i, name) in p.names.iter().enumerate() {
+                if p.counters[i] != 0.0 {
+                    store.add(name, p.counters[i]);
+                }
+            }
+        }
+
+        RunReport {
+            store,
+            cpu,
+            trace,
+            events_processed,
+            dropped_no_link,
+            now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PortId;
+    use crate::engine::LinkParams;
+    use crate::testutil::CaptureSink;
+    use metrics::CpuLocation;
+
+    fn sink(net: &mut Network, name: &str, loc: CpuLocation) -> DeviceId {
+        net.add_device(name, loc, Box::new(CaptureSink::new(name)))
+    }
+
+    #[test]
+    fn every_device_lands_in_exactly_one_shard() {
+        let mut net = Network::new(0);
+        let lat = LinkParams::with_latency(SimDuration::micros(10));
+        let mut firsts = Vec::new();
+        for h in 0..4 {
+            let a = sink(&mut net, format!("h{h}.a").as_str(), CpuLocation::Host);
+            let b = sink(&mut net, format!("h{h}.b").as_str(), CpuLocation::Host);
+            net.connect(a, PortId(0), b, PortId(0), LinkParams::default());
+            firsts.push(a);
+        }
+        for w in firsts.windows(2) {
+            net.connect(w[0], PortId(1), w[1], PortId(2), lat);
+        }
+        let plan = PartitionPlan::partition(&net, 4);
+        assert_eq!(plan.nshards(), 4);
+        let mut count = vec![0usize; plan.nshards()];
+        for i in 0..net.device_count() {
+            let s = plan.shard_of(DeviceId(i));
+            assert!(s < plan.nshards());
+            count[s] += 1;
+        }
+        assert_eq!(count.iter().sum::<usize>(), net.device_count());
+        assert!(count.iter().all(|&c| c == 2), "islands balance 2-2-2-2");
+    }
+
+    #[test]
+    fn cross_shard_links_are_no_shorter_than_the_epoch() {
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "a", CpuLocation::Host);
+        let b = sink(&mut net, "b", CpuLocation::Host);
+        let c = sink(&mut net, "c", CpuLocation::Host);
+        net.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(5)),
+        );
+        net.connect(
+            b,
+            PortId(1),
+            c,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(20)),
+        );
+        let plan = PartitionPlan::partition(&net, 3);
+        assert_eq!(plan.nshards(), 3);
+        assert_eq!(plan.epoch(), SimDuration::micros(5));
+        for (x, px, y, _) in net.links() {
+            if plan.shard_of(x) != plan.shard_of(y) {
+                assert!(net.link_params(x, px).unwrap().latency >= plan.epoch());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latency_cross_host_link_forces_single_shard() {
+        // Two would-be hosts joined by a zero-latency link: no lookahead
+        // exists, so the partitioner must glue them and fall back to one
+        // shard however many were requested.
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "host0", CpuLocation::Host);
+        let b = sink(&mut net, "host1", CpuLocation::Host);
+        net.connect(a, PortId(0), b, PortId(0), LinkParams::default());
+        let plan = PartitionPlan::partition(&net, 8);
+        assert_eq!(plan.nshards(), 1, "zero-latency cut is impossible");
+        assert_eq!(plan.epoch(), SimDuration::ZERO);
+        let sharded = ShardedNetwork::new(Network::new(0), 8);
+        assert_eq!(sharded.nshards(), 1, "empty network is one shard");
+    }
+
+    #[test]
+    fn same_vm_devices_are_glued() {
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "vm1.a", CpuLocation::Vm(1));
+        let b = sink(&mut net, "vm1.b", CpuLocation::Vm(1));
+        let c = sink(&mut net, "vm2.c", CpuLocation::Vm(2));
+        net.connect(
+            a,
+            PortId(0),
+            c,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(3)),
+        );
+        net.connect(
+            b,
+            PortId(0),
+            c,
+            PortId(1),
+            LinkParams::with_latency(SimDuration::micros(3)),
+        );
+        let plan = PartitionPlan::partition(&net, 8);
+        assert_eq!(plan.nshards(), 2);
+        assert_eq!(plan.shard_of(a), plan.shard_of(b), "same VM, same shard");
+        assert_ne!(plan.shard_of(a), plan.shard_of(c));
+    }
+
+    #[test]
+    fn bind_same_shard_affinity_is_honored() {
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "a", CpuLocation::Host);
+        let b = sink(&mut net, "b", CpuLocation::Host);
+        net.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(3)),
+        );
+        assert_eq!(PartitionPlan::partition(&net, 2).nshards(), 2);
+        net.bind_same_shard(a, b);
+        let plan = PartitionPlan::partition(&net, 2);
+        assert_eq!(plan.nshards(), 1, "affinity glued the only two islands");
+    }
+
+    #[test]
+    fn shards_from_env_parses_and_defaults() {
+        // Serialize around the env var (tests run in parallel).
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_SHARDS");
+        assert_eq!(shards_from_env(), 1);
+        std::env::set_var("SIMNET_SHARDS", "4");
+        assert_eq!(shards_from_env(), 4);
+        std::env::set_var("SIMNET_SHARDS", "0");
+        assert_eq!(shards_from_env(), 1);
+        std::env::set_var("SIMNET_SHARDS", "nope");
+        assert_eq!(shards_from_env(), 1);
+        std::env::remove_var("SIMNET_SHARDS");
+    }
+}

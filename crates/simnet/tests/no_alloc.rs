@@ -1,0 +1,156 @@
+//! Flood paths clone a frame once per egress port (`bridge.rs`,
+//! `veth.rs`); payload bodies are refcounted [`bytes::Bytes`], so those
+//! clones — and the whole warmed event loop around them — must not
+//! allocate. A counting global allocator enforces it.
+//!
+//! The counter is thread-local so the two tests (which cargo runs on
+//! separate threads) cannot interfere with each other.
+
+use bytes::Bytes;
+use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::addr::{Ip4, MacAddr, SockAddr};
+use nestless_simnet::bridge::Bridge;
+use nestless_simnet::costs::StageCost;
+use nestless_simnet::device::PortId;
+use nestless_simnet::engine::{LinkParams, Network};
+use nestless_simnet::frame::{Frame, Payload};
+use nestless_simnet::shared::SharedStation;
+use nestless_simnet::testutil::MacBouncer;
+use nestless_simnet::time::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count (this thread) across `f`.
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+fn sock(d: u8, port: u16) -> SockAddr {
+    SockAddr::new(Ip4::new(10, 0, 0, d), port)
+}
+
+#[test]
+fn frame_clone_with_body_is_allocation_free() {
+    let frame = Frame::udp(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        sock(1, 1000),
+        sock(2, 2000),
+        Payload::bytes(Bytes::from(vec![7u8; 1024])),
+    );
+    let mut clones: Vec<Frame> = Vec::with_capacity(16);
+    let n = allocations(|| {
+        for _ in 0..16 {
+            clones.push(frame.clone());
+        }
+    });
+    assert_eq!(n, 0, "cloning a frame with a refcounted body allocated");
+    let orig = frame.ip.transport.payload().unwrap().body.as_ref().unwrap();
+    for c in &clones {
+        let body = c.ip.transport.payload().unwrap().body.as_ref().unwrap();
+        assert_eq!(
+            body.as_slice().as_ptr(),
+            orig.as_slice().as_ptr(),
+            "clones must share the body storage"
+        );
+    }
+}
+
+#[test]
+fn warm_bridge_flood_steady_state_is_allocation_free() {
+    // A bridge flooding broadcast frames (with a 512 B body) to three
+    // endpoints that count and drop them. After warm-up — FDB entry
+    // learned, metric ids interned, event slab and heap at capacity —
+    // whole injection+flood+delivery rounds must not allocate.
+    let mut net = Network::new(3);
+    let bridge = net.add_device(
+        "br",
+        CpuLocation::Host,
+        Box::new(Bridge::new(
+            4,
+            StageCost::fixed(800, 0.1, CpuCategory::Sys).with_jitter(0.05),
+            SharedStation::new(),
+        )),
+    );
+    for p in 1..4u32 {
+        let sink = net.add_device(
+            format!("sink{p}"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("sink{p}"),
+                MacAddr::local(100 + p),
+                64,
+                StageCost::fixed(500, 0.1, CpuCategory::Usr),
+                false,
+            )),
+        );
+        net.connect(
+            sink,
+            PortId::P0,
+            bridge,
+            PortId(p as usize),
+            LinkParams::default(),
+        );
+    }
+    let body = Bytes::from(vec![0xAB; 512]);
+    let src = MacAddr::local(1);
+    let round = |net: &mut Network| {
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            Frame::udp(
+                src,
+                MacAddr::BROADCAST,
+                sock(1, 1000),
+                sock(255, 2000),
+                Payload::bytes(body.clone()),
+            ),
+        );
+        net.run_to_idle();
+    };
+    for _ in 0..64 {
+        round(&mut net);
+    }
+    let n = allocations(|| {
+        for _ in 0..512 {
+            round(&mut net);
+        }
+    });
+    assert_eq!(n, 0, "warmed flood steady state allocated");
+    // The rounds actually flooded: 64 warm-up + 512 measured, 3 strays each.
+    assert_eq!(net.store().counter("bridge.flooded"), 576.0);
+    assert_eq!(net.store().counter("sink1.stray"), 576.0);
+}

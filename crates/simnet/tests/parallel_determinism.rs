@@ -1,0 +1,177 @@
+//! The sharded-engine determinism contract: for any shard count, a run is
+//! bit-identical to the sequential engine — sample-for-sample,
+//! counter-for-counter, trace-for-trace — on a ≥4-host topology with
+//! jitter and frame loss enabled.
+
+use metrics::CpuAccount;
+use nestless_simnet::engine::{Network, SampleStore, TraceEntry};
+use nestless_simnet::testutil::{build_multihost, MultihostSpec};
+use nestless_simnet::time::{SimDuration, SimTime};
+use nestless_simnet::ShardedNetwork;
+use std::collections::BTreeMap;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn spec() -> MultihostSpec {
+    MultihostSpec {
+        hosts: 4,
+        local_flows: 3,
+        payload_len: 200,
+        uplink_latency: SimDuration::micros(20),
+        loss: 0.02,
+        jitter: 0.08,
+    }
+}
+
+fn build() -> Network {
+    let mut net = Network::new(SEED);
+    build_multihost(&mut net, &spec());
+    net.set_tracing(true);
+    net
+}
+
+/// Store contents keyed by name, so enumeration order (which is
+/// documented as unspecified for merged stores) does not matter.
+fn snapshot(store: &SampleStore) -> (BTreeMap<String, Vec<f64>>, BTreeMap<String, f64>) {
+    let samples = store
+        .sample_names()
+        .map(|n| (n.to_string(), store.samples(n).to_vec()))
+        .collect();
+    let counters = store
+        .counter_names()
+        .map(|n| (n.to_string(), store.counter(n)))
+        .collect();
+    (samples, counters)
+}
+
+struct Outcome {
+    samples: BTreeMap<String, Vec<f64>>,
+    counters: BTreeMap<String, f64>,
+    cpu: CpuAccount,
+    trace: Vec<TraceEntry>,
+    events: u64,
+    dropped: u64,
+    now: SimTime,
+}
+
+fn sequential() -> Outcome {
+    let mut net = build();
+    net.run_until(SimTime(2_000_000));
+    let (samples, counters) = snapshot(net.store());
+    Outcome {
+        samples,
+        counters,
+        cpu: net.cpu().clone(),
+        trace: net.trace().to_vec(),
+        events: net.events_processed(),
+        dropped: net.dropped_no_link(),
+        now: net.now(),
+    }
+}
+
+fn sharded(want: usize) -> (usize, Outcome) {
+    let mut sn = ShardedNetwork::new(build(), want);
+    sn.run_until(SimTime(2_000_000));
+    let nshards = sn.nshards();
+    let report = sn.into_report();
+    let (samples, counters) = snapshot(&report.store);
+    (
+        nshards,
+        Outcome {
+            samples,
+            counters,
+            cpu: report.cpu,
+            trace: report.trace,
+            events: report.events_processed,
+            dropped: report.dropped_no_link,
+            now: report.now,
+        },
+    )
+}
+
+fn assert_identical(label: &str, a: &Outcome, b: &Outcome) {
+    assert_eq!(a.events, b.events, "{label}: events processed");
+    assert_eq!(a.dropped, b.dropped, "{label}: dropped frames");
+    assert_eq!(a.now, b.now, "{label}: final clock");
+    assert_eq!(a.cpu, b.cpu, "{label}: CPU account");
+    assert_eq!(
+        a.counters, b.counters,
+        "{label}: counters differ (bit-exact f64 compare)"
+    );
+    assert_eq!(
+        a.samples.keys().collect::<Vec<_>>(),
+        b.samples.keys().collect::<Vec<_>>(),
+        "{label}: sample series sets"
+    );
+    for (name, vals) in &a.samples {
+        assert_eq!(vals, &b.samples[name], "{label}: samples of {name}");
+    }
+    assert_eq!(a.trace.len(), b.trace.len(), "{label}: trace length");
+    assert_eq!(a.trace, b.trace, "{label}: trace entries");
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_to_sequential() {
+    let seq = sequential();
+    assert!(seq.events > 10_000, "scenario generates real load");
+    assert!(
+        seq.counters.get("link.lost").copied().unwrap_or(0.0) > 0.0,
+        "loss draws actually exercised"
+    );
+    for want in [1, 2, 8] {
+        let (nshards, out) = sharded(want);
+        if want == 1 {
+            assert_eq!(nshards, 1);
+        } else {
+            assert!(nshards > 1, "≥4-host topology must actually shard");
+        }
+        assert_identical(&format!("{want} shards (got {nshards})"), &seq, &out);
+    }
+}
+
+#[test]
+fn sharded_runs_are_reproducible_across_invocations() {
+    // Thread scheduling must not leak into results: two identical sharded
+    // runs are bit-identical to each other.
+    let (n1, a) = sharded(2);
+    let (n2, b) = sharded(2);
+    assert_eq!(n1, n2);
+    assert_identical("repeat", &a, &b);
+}
+
+#[test]
+fn run_to_idle_and_env_knob_match_sequential() {
+    // A finite workload (no local flows; loss kills every cross chain
+    // eventually): run_to_idle across shards equals sequential, and the
+    // SIMNET_SHARDS knob is honored by from_env.
+    let finite = MultihostSpec {
+        hosts: 4,
+        local_flows: 0,
+        loss: 0.3,
+        ..MultihostSpec::default()
+    };
+    let build_finite = || {
+        let mut net = Network::new(7);
+        build_multihost(&mut net, &finite);
+        net
+    };
+    let mut seq = build_finite();
+    seq.run_to_idle();
+    let (seq_samples, seq_counters) = snapshot(seq.store());
+
+    let mut sn = ShardedNetwork::new(build_finite(), 4);
+    sn.run_to_idle();
+    assert_eq!(sn.now(), seq.now(), "idle clock stops at last event");
+    let report = sn.into_report();
+    let (samples, counters) = snapshot(&report.store);
+    assert_eq!(seq_samples, samples);
+    assert_eq!(seq_counters, counters);
+    assert_eq!(seq.events_processed(), report.events_processed);
+
+    // from_env honors SIMNET_SHARDS (serialize: tests may run in parallel
+    // but no other test in this binary touches the variable).
+    std::env::set_var("SIMNET_SHARDS", "3");
+    let sn = ShardedNetwork::from_env(build_finite());
+    assert_eq!(sn.nshards(), 3);
+    std::env::remove_var("SIMNET_SHARDS");
+}

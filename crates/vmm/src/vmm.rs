@@ -77,6 +77,7 @@ pub struct Vmm {
     costs: CostModel,
     host: HostSpec,
     host_station: SharedStation,
+    host_station_anchor: Option<DeviceId>,
     vms: Vec<Vm>,
     bridges: Vec<BridgeInfo>,
     hostlos: Vec<HostloInfo>,
@@ -97,6 +98,7 @@ impl Vmm {
             costs,
             host,
             host_station: SharedStation::new(),
+            host_station_anchor: None,
             vms: Vec::new(),
             bridges: Vec::new(),
             hostlos: Vec::new(),
@@ -137,8 +139,25 @@ impl Vmm {
     }
 
     /// The host kernel's network-stack station (bridges, host NAT).
+    ///
+    /// Any device that serves frames on this station must also be
+    /// registered with [`Vmm::bind_host_station_user`] so the sharded
+    /// engine keeps every sharer in one partition shard.
     pub fn host_station(&self) -> SharedStation {
         self.host_station.clone()
+    }
+
+    /// Pins `dev` — a device serving on the shared host station — to the
+    /// same partition shard as every other host-station user. A station
+    /// shared across shards would be served concurrently and break the
+    /// sharded engine's bit-identical determinism, so call this for every
+    /// device built on [`Vmm::host_station`]. Bridges created through
+    /// [`Vmm::create_bridge`] are registered automatically.
+    pub fn bind_host_station_user(&mut self, dev: DeviceId) {
+        match self.host_station_anchor {
+            Some(anchor) => self.net.bind_same_shard(anchor, dev),
+            None => self.host_station_anchor = Some(dev),
+        }
     }
 
     /// Creates a host bridge with room for `capacity` ports.
@@ -153,6 +172,7 @@ impl Vmm {
                 self.host_station.clone(),
             )),
         );
+        self.bind_host_station_user(dev);
         self.bridges.push(BridgeInfo {
             name,
             dev,

@@ -136,6 +136,64 @@ fn engine_store_and_trace_bit_identical() {
     assert_ne!(run(18).1, a.1, "a different seed must lose differently");
 }
 
+/// The sharded engine honors `SIMNET_SHARDS` (the CI matrix runs this file
+/// with the variable set to 1 and 4) and produces bit-identical samples,
+/// counters, and event counts for whatever shard count is in effect.
+#[test]
+fn sharded_engine_matches_sequential_under_env_knob() {
+    use simnet::engine::Network;
+    use simnet::testutil::{build_multihost, MultihostSpec};
+    use simnet::{shards_from_env, ShardedNetwork, SimTime};
+    use std::collections::BTreeMap;
+
+    let spec = MultihostSpec {
+        hosts: 4,
+        local_flows: 2,
+        loss: 0.05,
+        ..MultihostSpec::default()
+    };
+    let build = || {
+        let mut net = Network::new(0xD15C);
+        build_multihost(&mut net, &spec);
+        net
+    };
+    let snapshot = |store: &simnet::SampleStore| {
+        let samples: BTreeMap<String, Vec<f64>> = store
+            .sample_names()
+            .map(|n| (n.to_string(), store.samples(n).to_vec()))
+            .collect();
+        let counters: BTreeMap<String, f64> = store
+            .counter_names()
+            .map(|n| (n.to_string(), store.counter(n)))
+            .collect();
+        (samples, counters)
+    };
+
+    let mut seq = build();
+    seq.run_until(SimTime(1_000_000));
+    let expected = snapshot(seq.store());
+
+    let mut sn = ShardedNetwork::from_env(build());
+    sn.run_until(SimTime(1_000_000));
+    let shards = sn.nshards();
+    let report = sn.into_report();
+    assert_eq!(
+        snapshot(&report.store),
+        expected,
+        "{shards}-shard run (SIMNET_SHARDS={:?}) diverged from sequential",
+        std::env::var("SIMNET_SHARDS").ok()
+    );
+    assert_eq!(seq.events_processed(), report.events_processed);
+    assert_eq!(seq.cpu(), &report.cpu);
+    // Sanity on the knob plumbing itself (unset defaults to 1 shard; the
+    // partitioner caps the request at the island count).
+    assert_eq!(
+        shards,
+        shards_from_env().min(5),
+        "4 host islands + core = 5 max shards"
+    );
+}
+
 #[test]
 fn boot_model_reproducible() {
     assert_eq!(
