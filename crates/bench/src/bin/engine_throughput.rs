@@ -11,12 +11,15 @@
 //!   samples, counters, and event count are checksummed against the
 //!   sequential run (the engine's bit-identical determinism contract), and
 //!   wall-clock rates land in `results/engine_parallel.json`.
+//! * `observability_overhead` — the multihost workload re-run under each
+//!   flight-recorder mode (off / counters / full); rates and the
+//!   relative cost land in `results/observability_overhead.json`.
 //!
 //! ```text
 //! cargo run --release -p nestless-bench --bin engine_throughput [reps] [frames]
 //! ```
 
-use metrics::{CpuCategory, CpuLocation};
+use metrics::{CpuCategory, CpuLocation, TraceConfig};
 use simnet::bridge::Bridge;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
@@ -198,6 +201,78 @@ fn multihost_sharded(reps: usize) {
     }
 }
 
+/// Flight-recorder overhead: the same multihost workload under each
+/// [`TraceConfig`] mode. `off` is the engine default, so its rate *is*
+/// the baseline every other benchmark in this binary measures — the row
+/// exists to make the "tracing off costs nothing" claim checkable from
+/// the JSON (`off` must stay within a few percent of the
+/// `multihost_sharded` sequential median from the same run).
+fn observability_overhead(reps: usize) {
+    struct Mode {
+        label: &'static str,
+        cfg: fn() -> TraceConfig,
+    }
+    let modes = [
+        Mode {
+            label: "off",
+            cfg: TraceConfig::default,
+        },
+        Mode {
+            label: "counters",
+            cfg: TraceConfig::counters,
+        },
+        Mode {
+            label: "full",
+            cfg: TraceConfig::full,
+        },
+    ];
+
+    build_multihost_net().run_until(MULTIHOST_HORIZON); // warm-up
+    let mut rows = Vec::new();
+    let mut off_median = None;
+    for mode in &modes {
+        let mut rates = Vec::with_capacity(reps);
+        let mut spans_emitted = 0;
+        let mut stage_rows = 0;
+        for _ in 0..reps {
+            let mut net = build_multihost_net();
+            net.set_trace_config((mode.cfg)());
+            let start = Instant::now();
+            net.run_until(MULTIHOST_HORIZON);
+            let elapsed = start.elapsed();
+            rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
+            spans_emitted = net.spans_emitted();
+            stage_rows = net.stages().iter().count();
+        }
+        let (median, peak) = summarize(rates);
+        let off = *off_median.get_or_insert(median);
+        rows.push(format!(
+            "{{\"mode\":\"{}\",\"events_per_sec_median\":{median:.0},\
+             \"events_per_sec_peak\":{peak:.0},\"relative_to_off_median\":{:.3},\
+             \"spans_emitted_per_rep\":{spans_emitted},\"stage_rows\":{stage_rows}}}",
+            mode.label,
+            median / off
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput (crates/bench/src/bin/engine_throughput.rs)\",\n  \
+         \"scenario\": \"observability_overhead\",\n  \
+         \"topology\": {{\"hosts\": 4, \"local_flows\": 4, \"uplink_latency_ns\": 20000, \"loss\": 0.0}},\n  \
+         \"sim_horizon_ns\": {},\n  \"reps\": {reps},\n  \
+         \"modes\": [\n    {}\n  ],\n  \
+         \"note\": \"off is the engine default (every device still calls DevCtx::stage_frame, which early-returns); counters adds per-stage integer aggregates + a fixed histogram; full additionally mints trace ids and records one span per stage visit into the bounded ring.\"\n}}\n",
+        MULTIHOST_HORIZON.0,
+        rows.join(",\n    ")
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/observability_overhead.json", &json))
+    {
+        eprintln!("warning: could not write results/observability_overhead.json: {e}");
+    }
+}
+
 fn arg_or(arg: Option<String>, name: &str, default: u64) -> u64 {
     match arg {
         None => default,
@@ -219,4 +294,5 @@ fn main() {
 
     bridge_forwarding(reps, frames);
     multihost_sharded(reps.min(10));
+    observability_overhead(reps.min(10));
 }

@@ -114,11 +114,23 @@ impl CpuAccount {
         locs
     }
 
-    /// Merges another account into this one.
+    /// Merges another account into this one. Cell-wise integer addition,
+    /// so merging is exact, commutative and associative — shard-local
+    /// accounts fold to the same total in any order.
     pub fn merge(&mut self, other: &CpuAccount) {
         for (&k, &v) in &other.ns {
             *self.ns.entry(k).or_insert(0) += v;
         }
+    }
+
+    /// Folds shard-local accounts into one merged account (the journal
+    /// merge entry point of the sharded engine).
+    pub fn fold<'a>(accounts: impl IntoIterator<Item = &'a CpuAccount>) -> CpuAccount {
+        let mut out = CpuAccount::new();
+        for a in accounts {
+            out.merge(a);
+        }
+        out
     }
 
     /// Difference `self - other` per cell, saturating at zero. Used to
@@ -228,6 +240,35 @@ mod tests {
         let d = a.saturating_sub(&b);
         assert_eq!(d.get(CpuLocation::Host, CpuCategory::Guest), 10);
         assert_eq!(d.get(CpuLocation::Host, CpuCategory::Usr), 0);
+    }
+
+    #[test]
+    fn fold_is_order_independent_and_associative() {
+        let mut shards = Vec::new();
+        for i in 0..4u64 {
+            let mut a = CpuAccount::new();
+            a.charge(CpuLocation::Host, CpuCategory::Sys, 100 + i);
+            a.charge(CpuLocation::Host, CpuCategory::Soft, 10 * i);
+            a.charge(CpuLocation::Vm(i as u32 % 2), CpuCategory::Usr, 7 * i + 1);
+            shards.push(a);
+        }
+        let forward = CpuAccount::fold(&shards);
+        let reversed = CpuAccount::fold(shards.iter().rev());
+        assert_eq!(forward, reversed, "fold order must not matter");
+        // ((a+b)+(c+d)) == fold(a..d): associativity of cell-wise sums.
+        let mut left = CpuAccount::fold(&shards[..2]);
+        let right = CpuAccount::fold(&shards[2..]);
+        left.merge(&right);
+        assert_eq!(left, forward);
+        assert_eq!(
+            forward.get(CpuLocation::Host, CpuCategory::Sys),
+            4 * 100 + (1 + 2 + 3)
+        );
+    }
+
+    #[test]
+    fn fold_of_nothing_is_empty() {
+        assert_eq!(CpuAccount::fold([]), CpuAccount::new());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! index. Ids are assigned in first-intern order by a single-threaded
 //! owner, so a deterministic simulation assigns deterministic ids.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A dense handle for an interned metric name.
@@ -14,7 +15,7 @@ use std::collections::HashMap;
 /// Ids are small consecutive integers (`0, 1, 2, ...` in first-intern
 /// order) and are only meaningful relative to the [`Interner`] that issued
 /// them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MetricId(u32);
 
 impl MetricId {
@@ -22,6 +23,18 @@ impl MetricId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuilds an id from a dense index (the inverse of [`index`]; only
+    /// meaningful against the interner the index came from).
+    ///
+    /// [`index`]: MetricId::index
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> MetricId {
+        MetricId(u32::try_from(i).expect("metric index exceeds u32"))
     }
 }
 

@@ -19,6 +19,7 @@
 
 pub mod cdf;
 pub mod cpu;
+pub mod flight;
 pub mod histogram;
 pub mod intern;
 pub mod series;
@@ -26,6 +27,10 @@ pub mod stats;
 
 pub use cdf::Cdf;
 pub use cpu::{CpuAccount, CpuBreakdown, CpuCategory, CpuLocation};
+pub use flight::{
+    ChromeTrace, FlightStamp, Log2Hist, RunSnapshot, SpanAccounting, SpanId, SpanRecord, SpanRing,
+    StageAgg, StageTable, TraceAccounting, TraceConfig, TraceMode,
+};
 pub use histogram::Histogram;
 pub use intern::{Interner, MetricId};
 pub use series::{Series, SeriesPoint};

@@ -26,6 +26,7 @@ struct BridgeIds {
     flooded: MetricId,
     same_port_drop: MetricId,
     switched: MetricId,
+    stage: MetricId,
 }
 
 impl BridgeIds {
@@ -34,6 +35,7 @@ impl BridgeIds {
             flooded: ctx.metric("bridge.flooded"),
             same_port_drop: ctx.metric("bridge.same_port_drop"),
             switched: ctx.metric("bridge.switched"),
+            stage: ctx.metric("stage.bridge"),
         }
     }
 }
@@ -93,10 +95,11 @@ impl Device for Bridge {
         DeviceKind::Bridge
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < self.nports, "frame on nonexistent bridge port");
         let ids = *self.ids.get_or_insert_with(|| BridgeIds::resolve(ctx));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        ctx.stage_frame(ids.stage, &mut frame, done);
 
         // Learn the source address on the ingress port.
         if !frame.src_mac.is_multicast() {

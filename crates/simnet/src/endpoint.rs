@@ -106,6 +106,7 @@ struct EndpointIds {
     delivered: MetricId,
     sent: MetricId,
     unroutable: MetricId,
+    stage: MetricId,
 }
 
 impl EndpointIds {
@@ -116,6 +117,7 @@ impl EndpointIds {
             delivered: ctx.metric(&format!("{name}.delivered")),
             sent: ctx.metric("endpoint.sent"),
             unroutable: ctx.metric("endpoint.send_unroutable"),
+            stage: ctx.metric("stage.endpoint"),
         }
     }
 }
@@ -310,7 +312,7 @@ impl Device for Endpoint {
         DeviceKind::Endpoint
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(
             port.0 < self.ifaces.len(),
             "frame on nonexistent endpoint port"
@@ -337,8 +339,10 @@ impl Device for Endpoint {
             return;
         };
 
-        // Receive syscall cost.
-        self.station.serve(&self.sock_cost, frame.wire_len(), ctx);
+        // Receive syscall cost. The span closes the frame's flight path at
+        // its delivery point.
+        let done = self.station.serve(&self.sock_cost, frame.wire_len(), ctx);
+        ctx.stage_frame(ids.stage, &mut frame, done);
         ctx.count_id(ids.delivered, 1.0);
 
         let tcp = match &frame.ip.transport {

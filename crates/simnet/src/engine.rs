@@ -41,7 +41,10 @@
 use crate::device::{Device, DeviceId, PortId};
 use crate::frame::Frame;
 use crate::time::{SimDuration, SimTime};
-use metrics::{CpuAccount, CpuCategory, CpuLocation, Interner, MetricId};
+use metrics::{
+    CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, MetricId, SpanId, SpanRecord,
+    SpanRing, StageTable, TraceConfig, TraceMode,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -201,6 +204,10 @@ struct DeviceSlot {
     rng: StdRng,
     /// Per-source emission counter backing [`EventTag::seq`].
     emit_seq: u64,
+    /// Per-device span counter backing [`SpanId::seq`]. Like `emit_seq`,
+    /// it advances only with this device's own events, so span identities
+    /// are intrinsic — independent of heap interleaving and sharding.
+    span_seq: u64,
 }
 
 /// One record of the sample journal kept by shard networks: which series,
@@ -317,6 +324,15 @@ impl SampleStore {
             .map(|(_, n)| n)
     }
 
+    /// The name behind an interned id (for exporters resolving stage and
+    /// series names).
+    ///
+    /// # Panics
+    /// Panics if `id` was issued by a different store.
+    pub fn name_of(&self, id: MetricId) -> &str {
+        self.interner.name(id)
+    }
+
     /// Switches the store to journal mode (shard stores). Pre-existing
     /// per-series samples stay put; the merge emits them first.
     pub(crate) fn enable_journal(&mut self) {
@@ -383,14 +399,15 @@ pub(crate) struct RemoteEvent {
 }
 
 /// Per-event bookkeeping kept by shard networks: the event's tag plus how
-/// many journal records and trace entries it produced. The merge replays
-/// these logs in frontier order to reconstruct the exact sequential
-/// interleaving of samples and traces.
+/// many journal records, trace entries and retained spans it produced. The
+/// merge replays these logs in frontier order to reconstruct the exact
+/// sequential interleaving of samples, traces and spans.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct LogEntry {
     pub(crate) tag: EventTag,
     pub(crate) recs: u32,
     pub(crate) traces: u32,
+    pub(crate) spans: u32,
 }
 
 /// A shard network's view of the partition: which shard owns each device,
@@ -420,6 +437,21 @@ pub struct Network {
     store: SampleStore,
     link_lost: MetricId,
     trace: Option<Vec<TraceEntry>>,
+    /// Trace entries that did not fit under [`TRACE_CAP`] (previously the
+    /// trace silently truncated).
+    trace_dropped: u64,
+    /// Flight-recorder configuration (off / counters-only / full spans).
+    flight: TraceConfig,
+    /// Retained span records (only written in [`TraceMode::Full`]).
+    spans: SpanRing,
+    /// Per-stage frame/latency/CPU aggregates (written in `Counters` and
+    /// `Full` modes).
+    stages: StageTable,
+    /// CPU ns charged so far while handling the current event; reset per
+    /// event, consumed by [`DevCtx::stage_frame`] for span attribution.
+    event_cpu_ns: u64,
+    /// Portion of `event_cpu_ns` already attributed to a stage.
+    event_cpu_claimed: u64,
     /// Device pairs the partitioner must keep in one shard (e.g. devices
     /// serializing on one shared station).
     affinity: Vec<(DeviceId, DeviceId)>,
@@ -446,10 +478,58 @@ impl Network {
             store,
             link_lost,
             trace: None,
+            trace_dropped: 0,
+            flight: TraceConfig::off(),
+            spans: SpanRing::default(),
+            stages: StageTable::new(),
+            event_cpu_ns: 0,
+            event_cpu_claimed: 0,
             affinity: Vec::new(),
             shard: None,
             event_log: None,
         }
+    }
+
+    /// Configures the flight recorder. Must be called before any event is
+    /// processed (devices observe the mode from their first frame on).
+    pub fn set_trace_config(&mut self, cfg: TraceConfig) {
+        self.flight = cfg;
+        self.spans = match cfg.mode {
+            TraceMode::Full => SpanRing::with_cap(cfg.span_cap),
+            _ => SpanRing::default(),
+        };
+    }
+
+    /// The active flight-recorder configuration.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.flight
+    }
+
+    /// Span records retained so far (empty unless [`TraceMode::Full`]).
+    pub fn spans(&self) -> &[SpanRecord] {
+        self.spans.spans()
+    }
+
+    /// Spans emitted in total (kept + dropped at the span cap).
+    pub fn spans_emitted(&self) -> u64 {
+        self.spans.emitted()
+    }
+
+    /// Spans dropped because the span ring was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Per-stage latency/CPU aggregates (empty when the recorder is off).
+    pub fn stages(&self) -> &StageTable {
+        &self.stages
+    }
+
+    /// Trace entries dropped at [`TRACE_CAP`]. Before the flight recorder
+    /// the trace silently truncated; now every overflow is counted and
+    /// surfaced in run snapshots.
+    pub fn dropped_traces(&self) -> u64 {
+        self.trace_dropped
     }
 
     /// Enables (or disables) event tracing. Traced runs record every
@@ -479,6 +559,7 @@ impl Network {
             dev: Some(dev),
             rng: StdRng::seed_from_u64(mix_seed(self.seed, id.0 as u64)),
             emit_seq: 0,
+            span_seq: 0,
         });
         self.links.push(Vec::new());
         id
@@ -739,6 +820,16 @@ impl Network {
         self.trace.take().unwrap_or_default()
     }
 
+    /// Takes the span ring, leaving an empty one behind.
+    pub(crate) fn take_spans(&mut self) -> SpanRing {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Takes the stage table, leaving an empty one behind.
+    pub(crate) fn take_stages(&mut self) -> StageTable {
+        std::mem::take(&mut self.stages)
+    }
+
     /// Takes the sample store, leaving an empty one behind.
     pub(crate) fn take_store(&mut self) -> SampleStore {
         std::mem::take(&mut self.store)
@@ -799,6 +890,7 @@ impl Network {
                                 dev: None,
                                 rng: StdRng::seed_from_u64(0),
                                 emit_seq: 0,
+                                span_seq: 0,
                             }
                         }
                     })
@@ -826,6 +918,20 @@ impl Network {
                     store,
                     link_lost,
                     trace: tracing.then(Vec::new),
+                    trace_dropped: 0,
+                    // Every shard runs the master's recorder config with the
+                    // *global* span cap: a shard's share of the sequential
+                    // first-cap spans is a prefix of its own emission order,
+                    // so per-shard cap == global cap retains a superset of
+                    // what the merge keeps (see `parallel::into_report`).
+                    flight: self.flight,
+                    spans: match self.flight.mode {
+                        TraceMode::Full => SpanRing::with_cap(self.flight.span_cap),
+                        _ => SpanRing::default(),
+                    },
+                    stages: StageTable::new(),
+                    event_cpu_ns: 0,
+                    event_cpu_claimed: 0,
                     affinity: Vec::new(),
                     shard: Some(ShardCtx {
                         shard_of: Arc::clone(shard_of),
@@ -855,13 +961,14 @@ impl Network {
             EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
         };
         let logging = self.event_log.is_some();
-        let (recs_before, traces_before) = if logging {
+        let (recs_before, traces_before, spans_before) = if logging {
             (
                 self.store.journal_len(),
                 self.trace.as_ref().map_or(0, Vec::len),
+                self.spans.spans().len(),
             )
         } else {
-            (0, 0)
+            (0, 0, 0)
         };
         if let Some(trace) = &mut self.trace {
             if trace.len() < TRACE_CAP {
@@ -874,8 +981,12 @@ impl Network {
                     device: self.devices[dev_id.0].name.clone(),
                     what,
                 });
+            } else {
+                self.trace_dropped += 1;
             }
         }
+        self.event_cpu_ns = 0;
+        self.event_cpu_claimed = 0;
         let mut dev = self.devices[dev_id.0]
             .dev
             .take()
@@ -896,10 +1007,12 @@ impl Network {
         if logging {
             let recs = (self.store.journal_len() - recs_before) as u32;
             let traces = (self.trace.as_ref().map_or(0, Vec::len) - traces_before) as u32;
+            let spans = (self.spans.spans().len() - spans_before) as u32;
             self.event_log.as_mut().unwrap().push(LogEntry {
                 tag: key.tag,
                 recs,
                 traces,
+                spans,
             });
         }
         true
@@ -932,6 +1045,11 @@ impl Network {
 
     fn charge_at(&mut self, loc: CpuLocation, cat: CpuCategory, d: SimDuration) {
         self.cpu.charge(loc, cat, d.as_nanos());
+        // Stage attribution: everything charged since the last stage_frame
+        // call within this event belongs to the next staged span. One add;
+        // the mirror charge below is *not* double-counted (it is the same
+        // work, seen from the host).
+        self.event_cpu_ns += d.as_nanos();
         // Work executed inside a VM is vCPU time the host hands to the
         // guest: mirror it into the host's `guest` bucket, as `top` on the
         // host would report it (figs. 14/15 rely on this attribution).
@@ -939,6 +1057,58 @@ impl Network {
             self.cpu
                 .charge(CpuLocation::Host, CpuCategory::Guest, d.as_nanos());
         }
+    }
+
+    /// Records one per-packet stage crossing: aggregates into the stage
+    /// table and, in full mode, emits a span and restamps `frame` so the
+    /// next stage parents to this one. Called through
+    /// [`DevCtx::stage_frame`], never directly.
+    fn flight_stage(
+        &mut self,
+        id: DeviceId,
+        loc: CpuLocation,
+        stage: MetricId,
+        frame: &mut Frame,
+        done: SimTime,
+    ) {
+        let enter = self.now.as_nanos();
+        let exit = done.as_nanos().max(enter);
+        let cpu_ns = self.event_cpu_ns - self.event_cpu_claimed;
+        self.event_cpu_claimed = self.event_cpu_ns;
+        self.stages.record(stage, exit - enter, cpu_ns);
+        if self.flight.mode != TraceMode::Full {
+            return;
+        }
+        let slot = &mut self.devices[id.0];
+        slot.span_seq += 1;
+        let span = SpanId {
+            src: id.0 as u32,
+            seq: slot.span_seq,
+        };
+        let parent = frame.flight.parent;
+        // First staged stage on a frame's path mints the trace id from the
+        // span identity: unique, non-zero, and as deterministic as the
+        // span sequence itself.
+        let trace = if frame.flight.trace != 0 {
+            frame.flight.trace
+        } else {
+            ((span.src as u64 + 1) << 40) | span.seq
+        };
+        frame.flight = FlightStamp {
+            trace,
+            parent: span,
+        };
+        self.spans.push(SpanRecord {
+            trace,
+            span,
+            parent,
+            stage,
+            dev: span.src,
+            loc,
+            enter,
+            exit,
+            cpu_ns,
+        });
     }
 }
 
@@ -1078,6 +1248,29 @@ impl<'a> DevCtx<'a> {
     /// Bumps a counter (shim; interns `name` each call).
     pub fn count(&mut self, name: &str, delta: f64) {
         self.net.store.add(name, delta);
+    }
+
+    /// Marks `frame` as having crossed a per-packet stage of this device:
+    /// the frame entered at `now()` and leaves at `done` (usually the
+    /// station's service-completion time, i.e. what the device passes to
+    /// [`transmit_at`](DevCtx::transmit_at)).
+    ///
+    /// With the recorder off this is a single branch. In counters mode it
+    /// feeds the per-stage aggregate table; in full mode it additionally
+    /// emits a [`SpanRecord`] — attributing all CPU charged by this device
+    /// since its previous staged stage within the current event — and
+    /// restamps `frame` so the next stage parents to this span. Call it
+    /// once per stage, after the stage's [`charge`](DevCtx::charge)s,
+    /// before cloning/transmitting the frame.
+    ///
+    /// `stage` is an interned stage name (convention: `"stage.<name>"`),
+    /// obtained from [`metric`](DevCtx::metric) and cached by the device.
+    #[inline]
+    pub fn stage_frame(&mut self, stage: MetricId, frame: &mut Frame, done: SimTime) {
+        if self.net.flight.mode == TraceMode::Off {
+            return;
+        }
+        self.net.flight_stage(self.id, self.loc, stage, frame, done);
     }
 }
 

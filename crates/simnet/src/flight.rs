@@ -1,0 +1,196 @@
+//! Exporters for the packet flight recorder: turn a finished run — a
+//! sequential [`Network`] or a merged [`RunReport`] — into the two
+//! portable artifacts of the observability layer:
+//!
+//! * a [`RunSnapshot`]: counters, sample summaries, CPU attribution by
+//!   location × category, per-stage latency CDFs and recorder
+//!   bookkeeping, serialized to JSON by benches into `results/`;
+//! * a [`ChromeTrace`]: the retained spans as Chrome `trace_event` JSON,
+//!   loadable directly in Perfetto or `chrome://tracing`, one process
+//!   per CPU location and one thread per device.
+//!
+//! Both exporters are pure reads — they never perturb the run they
+//! describe, so exporting after `run_to_idle` is always safe.
+
+use crate::device::DeviceId;
+use crate::engine::{Network, SampleStore};
+use crate::parallel::RunReport;
+use metrics::flight::{
+    cpu_cells, LatencyCdf, SampleSummary, SpanAccounting, StageSnapshot, TraceAccounting,
+    SNAPSHOT_SCHEMA,
+};
+use metrics::{ChromeTrace, CpuLocation, RunSnapshot, SpanRecord, StageTable};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Chrome-trace process id of a CPU location: the host is pid 1, VM
+/// `i` is pid `1000 + i`.
+pub fn pid_of(loc: CpuLocation) -> u64 {
+    match loc {
+        CpuLocation::Host => 1,
+        CpuLocation::Vm(i) => 1000 + u64::from(i),
+    }
+}
+
+fn counters_map(store: &SampleStore) -> BTreeMap<String, f64> {
+    store
+        .counter_names()
+        .map(|n| (n.to_string(), store.counter(n)))
+        .collect()
+}
+
+fn samples_map(store: &SampleStore) -> BTreeMap<String, SampleSummary> {
+    store
+        .sample_names()
+        .map(|n| (n.to_string(), SampleSummary::of(store.samples(n))))
+        .collect()
+}
+
+/// Per-stage snapshots with exact percentiles where the span ring kept
+/// every record of a stage, log2-bucket bounds otherwise.
+fn stages_map(
+    table: &StageTable,
+    store: &SampleStore,
+    spans: &[SpanRecord],
+) -> BTreeMap<String, StageSnapshot> {
+    let mut lat: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for r in spans {
+        lat.entry(r.stage.index())
+            .or_default()
+            .push(r.latency_ns() as f64);
+    }
+    table
+        .iter()
+        .map(|(id, agg)| {
+            let exact = lat.get(&id.index()).map_or(&[][..], Vec::as_slice);
+            (
+                store.name_of(id).to_string(),
+                StageSnapshot {
+                    frames: agg.frames,
+                    cpu_ns: agg.cpu_ns,
+                    latency_ns: LatencyCdf::from_agg_and_latencies(agg, exact),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Snapshot of a finished sequential [`Network`] run.
+pub fn snapshot_network(net: &Network, label: &str) -> RunSnapshot {
+    RunSnapshot {
+        schema: SNAPSHOT_SCHEMA.to_string(),
+        label: label.to_string(),
+        sim_now_ns: net.now().0,
+        events_processed: net.events_processed(),
+        dropped_no_link: net.dropped_no_link(),
+        trace_mode: net.trace_config().mode.label().to_string(),
+        counters: counters_map(net.store()),
+        samples: samples_map(net.store()),
+        cpu: cpu_cells(net.cpu()),
+        stages: stages_map(net.stages(), net.store(), net.spans()),
+        spans: SpanAccounting {
+            emitted: net.spans_emitted(),
+            kept: net.spans().len() as u64,
+            dropped: net.spans_dropped(),
+        },
+        trace_entries: TraceAccounting {
+            kept: net.trace().len() as u64,
+            dropped: net.dropped_traces(),
+        },
+    }
+}
+
+/// Snapshot of a merged [`RunReport`] (sharded or single-shard run).
+/// Bit-identical to [`snapshot_network`] of the equivalent sequential
+/// run, except for the unobservable map orderings already normalized by
+/// the `BTreeMap` keys.
+pub fn snapshot_report(report: &RunReport, label: &str) -> RunSnapshot {
+    RunSnapshot {
+        schema: SNAPSHOT_SCHEMA.to_string(),
+        label: label.to_string(),
+        sim_now_ns: report.now.0,
+        events_processed: report.events_processed,
+        dropped_no_link: report.dropped_no_link,
+        trace_mode: report.trace_mode.label().to_string(),
+        counters: counters_map(&report.store),
+        samples: samples_map(&report.store),
+        cpu: cpu_cells(&report.cpu),
+        stages: stages_map(&report.stages, &report.store, &report.spans),
+        spans: SpanAccounting {
+            emitted: report.spans_emitted,
+            kept: report.spans.len() as u64,
+            dropped: report.spans_dropped,
+        },
+        trace_entries: TraceAccounting {
+            kept: report.trace.len() as u64,
+            dropped: report.trace_dropped,
+        },
+    }
+}
+
+/// Shared body of the Chrome-trace exporters: metadata rows for every
+/// (location, device) seen in the spans, then one `X` event per span.
+fn chrome_from(
+    spans: &[SpanRecord],
+    store: &SampleStore,
+    mut dev_name: impl FnMut(u32) -> String,
+) -> ChromeTrace {
+    let mut out = ChromeTrace::new();
+    let mut procs: BTreeSet<u64> = BTreeSet::new();
+    let mut threads: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for r in spans {
+        let pid = pid_of(r.loc);
+        if procs.insert(pid) {
+            out.add_process(pid, r.loc.to_string());
+        }
+        if threads.insert((pid, u64::from(r.dev))) {
+            out.add_thread(pid, u64::from(r.dev), dev_name(r.dev));
+        }
+    }
+    for r in spans {
+        out.add_span(r, store.name_of(r.stage), pid_of(r.loc), u64::from(r.dev));
+    }
+    out
+}
+
+/// Chrome `trace_event` export of a sequential [`Network`] run.
+pub fn chrome_trace_network(net: &Network) -> ChromeTrace {
+    chrome_from(net.spans(), net.store(), |d| {
+        net.device_name(DeviceId(d as usize)).to_string()
+    })
+}
+
+/// Chrome `trace_event` export of a merged [`RunReport`].
+pub fn chrome_trace_report(report: &RunReport) -> ChromeTrace {
+    chrome_from(&report.spans, &report.store, |d| {
+        report
+            .device_names
+            .get(d as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("dev{d}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pids_separate_host_and_vms() {
+        assert_eq!(pid_of(CpuLocation::Host), 1);
+        assert_eq!(pid_of(CpuLocation::Vm(0)), 1000);
+        assert_eq!(pid_of(CpuLocation::Vm(7)), 1007);
+    }
+
+    #[test]
+    fn empty_network_snapshots_cleanly() {
+        let net = Network::new(1);
+        let snap = snapshot_network(&net, "empty");
+        assert_eq!(snap.schema, SNAPSHOT_SCHEMA);
+        assert_eq!(snap.label, "empty");
+        assert_eq!(snap.trace_mode, "off");
+        assert!(snap.stages.is_empty());
+        assert_eq!(snap.spans.emitted, 0);
+        let trace = chrome_trace_network(&net);
+        assert!(trace.is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 use crate::addr::{Ip4, MacAddr, SockAddr};
 use crate::time::SimTime;
 use bytes::Bytes;
+use metrics::FlightStamp;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -200,6 +201,11 @@ pub struct Frame {
     pub dst_mac: MacAddr,
     /// L3 content.
     pub ip: Ipv4,
+    /// Flight-recorder context (per-frame trace id + last stage span).
+    /// Not part of the frame's wire content: it compares equal to
+    /// everything, so frame equality stays a statement about headers and
+    /// payload.
+    pub flight: FlightStamp,
 }
 
 impl Frame {
@@ -228,6 +234,7 @@ impl Frame {
                     payload,
                 },
             },
+            flight: FlightStamp::default(),
         }
     }
 
@@ -257,6 +264,7 @@ impl Frame {
                     payload,
                 },
             },
+            flight: FlightStamp::default(),
         }
     }
 
@@ -269,6 +277,9 @@ impl Frame {
         outer_src: Ip4,
         outer_dst: Ip4,
     ) -> Frame {
+        // The envelope inherits the inner frame's flight context so one
+        // trace follows the packet across the encapsulation boundary.
+        let flight = self.flight;
         Frame {
             src_mac: outer_src_mac,
             dst_mac: outer_dst_mac,
@@ -281,14 +292,23 @@ impl Frame {
                     inner: Box::new(self),
                 },
             },
+            flight,
         }
     }
 
     /// Unwraps a VXLAN envelope, returning `(vni, inner)` or the frame
     /// unchanged if it is not VXLAN.
     pub fn vxlan_decap(self) -> Result<(u32, Frame), Frame> {
+        let flight = self.flight;
         match self.ip.transport {
-            Transport::Vxlan { vni, inner } => Ok((vni, *inner)),
+            Transport::Vxlan { vni, inner } => {
+                // Carry the (possibly restamped) outer context back onto
+                // the inner frame: stages after decap parent to the last
+                // stage the envelope crossed.
+                let mut inner = *inner;
+                inner.flight = flight;
+                Ok((vni, inner))
+            }
             _ => Err(self),
         }
     }

@@ -231,6 +231,7 @@ struct NatIds {
     conntrack_new: MetricId,
     lb_assigned: MetricId,
     translated: MetricId,
+    stage: MetricId,
 }
 
 impl NatIds {
@@ -245,6 +246,7 @@ impl NatIds {
             conntrack_new: ctx.metric("nat.conntrack_new"),
             lb_assigned: ctx.metric("nat.lb_assigned"),
             translated: ctx.metric("nat.translated"),
+            stage: ctx.metric("stage.nat"),
         }
     }
 }
@@ -339,6 +341,9 @@ impl Device for NatRouter {
             return;
         }
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        // Staged right after service so frames the chain drops (TTL, no
+        // route, no neighbour) still leave a span ending at this hop.
+        ctx.stage_frame(ids.stage, &mut frame, done);
 
         if frame.ip.ttl == 0 {
             ctx.count_id(ids.drop_ttl, 1.0);

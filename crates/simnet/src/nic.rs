@@ -33,7 +33,8 @@ pub const DEFAULT_RING_SIZE: usize = 256;
 pub struct VirtioNic {
     cost: StageCost,
     station: SharedStation,
-    frames_id: Option<MetricId>,
+    /// Interned (frames counter, flight stage) ids.
+    ids: Option<(MetricId, MetricId)>,
 }
 
 impl VirtioNic {
@@ -42,7 +43,7 @@ impl VirtioNic {
         VirtioNic {
             cost,
             station,
-            frames_id: None,
+            ids: None,
         }
     }
 }
@@ -52,13 +53,14 @@ impl Device for VirtioNic {
         DeviceKind::VirtioNic
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "virtio frontend has two ports");
-        let frames_id = *self
-            .frames_id
-            .get_or_insert_with(|| ctx.metric("virtio.frames"));
+        let (frames_id, stage) = *self
+            .ids
+            .get_or_insert_with(|| (ctx.metric("virtio.frames"), ctx.metric("stage.virtio")));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
         ctx.count_id(frames_id, 1.0);
+        ctx.stage_frame(stage, &mut frame, done);
         let out = if port == PortId::P0 {
             PortId::P1
         } else {
@@ -98,6 +100,7 @@ struct VhostIds {
     ring_full: MetricId,
     kicks: MetricId,
     suppressed: MetricId,
+    stage: MetricId,
 }
 
 impl Vhost {
@@ -141,13 +144,14 @@ impl Device for Vhost {
         DeviceKind::Vhost
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "vhost has two ports");
         let ids = *self.ids.get_or_insert_with(|| VhostIds {
             frames: ctx.metric("vhost.frames"),
             ring_full: ctx.metric("vhost.ring_full"),
             kicks: ctx.metric("vhost.kicks"),
             suppressed: ctx.metric("vhost.suppressed"),
+            stage: ctx.metric("stage.vhost"),
         });
         ctx.count_id(ids.frames, 1.0);
 
@@ -172,6 +176,7 @@ impl Device for Vhost {
         }
         let done = self.station.serve(&self.per_frame, frame.wire_len(), ctx);
         self.inflight[dir].push_back(done);
+        ctx.stage_frame(ids.stage, &mut frame, done);
         ctx.transmit_at(done, Self::out_port(port), frame);
     }
 }
@@ -181,12 +186,18 @@ impl Device for Vhost {
 pub struct PhysNic {
     cost: StageCost,
     station: SharedStation,
+    /// Interned flight stage id.
+    stage_id: Option<MetricId>,
 }
 
 impl PhysNic {
     /// Creates a physical NIC with its DMA/descriptor cost.
     pub fn new(cost: StageCost, station: SharedStation) -> PhysNic {
-        PhysNic { cost, station }
+        PhysNic {
+            cost,
+            station,
+            stage_id: None,
+        }
     }
 }
 
@@ -195,9 +206,13 @@ impl Device for PhysNic {
         DeviceKind::PhysNic
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "physical NIC has two ports");
+        let stage = *self
+            .stage_id
+            .get_or_insert_with(|| ctx.metric("stage.physnic"));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
+        ctx.stage_frame(stage, &mut frame, done);
         let out = if port == PortId::P0 {
             PortId::P1
         } else {

@@ -50,15 +50,19 @@
 //!    sequential interleaving — equal-time causal chains never cross
 //!    shards because cross-shard links have latency ≥ E > 0.
 //!
-//! CPU time is aggregated by summing per-shard [`CpuAccount`]s (integer
-//! nanoseconds — exact); counters are summed per shard in shard order
-//! (counter deltas in this codebase are integer-valued, so f64 addition is
-//! exact far beyond any realistic run length).
+//! CPU time is aggregated by folding per-shard [`CpuAccount`]s
+//! ([`CpuAccount::fold`] — integer nanoseconds, exact); counters are
+//! summed per shard in shard order (counter deltas in this codebase are
+//! integer-valued, so f64 addition is exact far beyond any realistic run
+//! length). Flight-recorder spans ride the same frontier merge as sample
+//! journals: each [`LogEntry`] carries its span count, replay restores
+//! exact sequential emission order, and re-capping against the global
+//! span cap reproduces the sequential kept/dropped split bit for bit.
 
 use crate::device::DeviceId;
 use crate::engine::{EventTag, LogEntry, Network, RemoteEvent, SampleStore, TraceEntry, TRACE_CAP};
 use crate::time::{SimDuration, SimTime};
-use metrics::{CpuAccount, CpuLocation};
+use metrics::{CpuAccount, CpuLocation, SpanRecord, SpanRing, StageTable, TraceMode};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -236,6 +240,26 @@ pub struct RunReport {
     pub cpu: CpuAccount,
     /// Merged event trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEntry>,
+    /// Trace entries dropped at [`TRACE_CAP`], summed over shard-local
+    /// drops and merge re-cap skips — exactly the sequential drop count.
+    pub trace_dropped: u64,
+    /// Flight-recorder spans retained under the span cap, in exact
+    /// sequential emission order (empty unless the recorder ran in
+    /// [`TraceMode::Full`]).
+    pub spans: Vec<SpanRecord>,
+    /// Spans emitted in total (kept + dropped at the span cap).
+    pub spans_emitted: u64,
+    /// Spans dropped at the span cap (shard-local drops plus merge
+    /// re-cap skips — exactly the sequential drop count).
+    pub spans_dropped: u64,
+    /// Per-stage latency/CPU aggregates. Stage ids resolve through
+    /// [`store`](RunReport::store) (same interner).
+    pub stages: StageTable,
+    /// The recorder mode the run was configured with.
+    pub trace_mode: TraceMode,
+    /// Name of every device, indexed by device id (exporters resolve
+    /// span `dev` fields through this).
+    pub device_names: Vec<String>,
     /// Total events processed across all shards.
     pub events_processed: u64,
     /// Total frames dropped on unlinked ports across all shards.
@@ -444,9 +468,20 @@ impl ShardedNetwork {
         let now = self.now;
         if self.nets.len() == 1 {
             let net = &mut self.nets[0];
+            let (spans, spans_dropped) = net.take_spans().into_parts();
+            let device_names = (0..net.device_count())
+                .map(|i| net.device_name(DeviceId(i)).to_string())
+                .collect();
             return RunReport {
                 events_processed: net.events_processed(),
                 dropped_no_link: net.dropped_no_link(),
+                trace_dropped: net.dropped_traces(),
+                spans_emitted: spans.len() as u64 + spans_dropped,
+                spans,
+                spans_dropped,
+                stages: net.take_stages(),
+                trace_mode: net.trace_config().mode,
+                device_names,
                 store: net.take_store(),
                 cpu: net.take_cpu(),
                 trace: net.take_trace(),
@@ -454,20 +489,41 @@ impl ShardedNetwork {
             };
         }
         let n = self.nets.len();
-        let mut cpu = CpuAccount::new();
         let mut events_processed = 0;
         let mut dropped_no_link = 0;
+        let mut trace_dropped = 0;
+        let trace_mode = self.nets[0].trace_config().mode;
+        let span_cap = self.nets[0].trace_config().span_cap;
+        let device_names: Vec<String> = (0..self.nets[0].device_count())
+            .map(|i| self.nets[0].device_name(DeviceId(i)).to_string())
+            .collect();
+        let mut cpus = Vec::with_capacity(n);
         let mut logs: Vec<Vec<LogEntry>> = Vec::with_capacity(n);
         let mut traces: Vec<Vec<TraceEntry>> = Vec::with_capacity(n);
+        let mut shard_spans: Vec<Vec<SpanRecord>> = Vec::with_capacity(n);
+        let mut shard_stages: Vec<StageTable> = Vec::with_capacity(n);
+        let mut spans = SpanRing::with_cap(span_cap);
         let mut parts = Vec::with_capacity(n);
         for net in &mut self.nets {
             events_processed += net.events_processed();
             dropped_no_link += net.dropped_no_link();
-            cpu.merge(&net.take_cpu());
+            trace_dropped += net.dropped_traces();
+            cpus.push(net.take_cpu());
             logs.push(net.take_event_log());
             traces.push(net.take_trace());
+            let (sp, locally_dropped) = net.take_spans().into_parts();
+            // A span dropped at a shard's ring sits at local emission index
+            // ≥ cap, hence at sequential emission index ≥ cap (a shard's
+            // emission order is a subsequence of the sequential order), so
+            // it is exactly a span the sequential run also dropped.
+            spans.add_dropped(locally_dropped);
+            shard_spans.push(sp);
+            shard_stages.push(net.take_stages());
             parts.push(net.take_store().into_parts());
         }
+        // Satellite of the flight recorder: shard-local CPU accounts fold
+        // cell-wise (exact, order-independent).
+        let cpu = CpuAccount::fold(&cpus);
 
         let mut store = SampleStore::default();
         // Samples recorded before the split live in shard 0's per-series
@@ -481,16 +537,44 @@ impl ShardedNetwork {
             }
         }
 
+        // Lazily maps a shard-local metric id into the merged store,
+        // interning the name on first sight (shared by sample records,
+        // span stage ids and the stage-table fold below).
+        fn remap_id(
+            store: &mut SampleStore,
+            map: &mut [Option<metrics::MetricId>],
+            names: &[String],
+            mid: metrics::MetricId,
+        ) -> metrics::MetricId {
+            match map[mid.index()] {
+                Some(id) => id,
+                None => {
+                    let id = store.metric_id(&names[mid.index()]);
+                    map[mid.index()] = Some(id);
+                    id
+                }
+            }
+        }
+
         // Frontier merge: repeatedly consume the shard whose next logged
         // event has the smallest intrinsic key, replaying its journal
-        // records and trace entries. Keys are globally unique, and an
-        // inductive argument over event availability shows this recovers
-        // the sequential processing order exactly.
+        // records, trace entries and span records. Keys are globally
+        // unique, and an inductive argument over event availability shows
+        // this recovers the sequential processing order exactly.
+        //
+        // Span re-cap: the replayed span sequence is the sequential
+        // emission order minus shard-locally dropped spans, and every
+        // locally dropped span has sequential emission index ≥ cap (see
+        // the collection loop above), so the first `cap` replayed spans
+        // are exactly the sequential kept set; the rest are re-dropped
+        // here, which [`SpanRing::push`] counts. The same argument covers
+        // trace entries at [`TRACE_CAP`].
         let mut idmap: Vec<Vec<Option<metrics::MetricId>>> =
             parts.iter().map(|p| vec![None; p.names.len()]).collect();
         let mut li = vec![0usize; n];
         let mut ji = vec![0usize; n];
         let mut ti = vec![0usize; n];
+        let mut si = vec![0usize; n];
         let mut trace = Vec::new();
         loop {
             let mut best: Option<(usize, EventTag)> = None;
@@ -507,22 +591,33 @@ impl ShardedNetwork {
             for _ in 0..e.recs {
                 let (mid, v) = parts[s].journal[ji[s]];
                 ji[s] += 1;
-                let oid = match idmap[s][mid.index()] {
-                    Some(id) => id,
-                    None => {
-                        let id = store.metric_id(&parts[s].names[mid.index()]);
-                        idmap[s][mid.index()] = Some(id);
-                        id
-                    }
-                };
+                let oid = remap_id(&mut store, &mut idmap[s], &parts[s].names, mid);
                 store.record_id(oid, v);
             }
             for _ in 0..e.traces {
                 if trace.len() < TRACE_CAP {
                     trace.push(traces[s][ti[s]].clone());
+                } else {
+                    trace_dropped += 1;
                 }
                 ti[s] += 1;
             }
+            for _ in 0..e.spans {
+                let mut rec = shard_spans[s][si[s]];
+                si[s] += 1;
+                rec.stage = remap_id(&mut store, &mut idmap[s], &parts[s].names, rec.stage);
+                spans.push(rec);
+            }
+        }
+
+        // Per-stage aggregates fold cell-wise (integer sums, min/max,
+        // histogram bucket adds) — exact and order-independent, so shard
+        // order is as good as sequential order.
+        let mut stages = StageTable::default();
+        for (s, table) in shard_stages.iter().enumerate() {
+            let map = &mut idmap[s];
+            let names = &parts[s].names;
+            stages.merge_with(table, |mid| remap_id(&mut store, map, names, mid));
         }
 
         // Counters: summed per shard in shard order. Deltas are
@@ -536,10 +631,18 @@ impl ShardedNetwork {
             }
         }
 
+        let (spans, spans_dropped) = spans.into_parts();
         RunReport {
             store,
             cpu,
             trace,
+            trace_dropped,
+            spans_emitted: spans.len() as u64 + spans_dropped,
+            spans,
+            spans_dropped,
+            stages,
+            trace_mode,
+            device_names,
             events_processed,
             dropped_no_link,
             now,

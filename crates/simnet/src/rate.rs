@@ -29,7 +29,8 @@ pub struct RateLimiter {
     cost: StageCost,
     station: SharedStation,
     buckets: [Bucket; 2],
-    paced_id: Option<MetricId>,
+    /// Interned (paced counter, flight stage) ids.
+    ids: Option<(MetricId, MetricId)>,
 }
 
 impl RateLimiter {
@@ -55,7 +56,7 @@ impl RateLimiter {
             cost,
             station,
             buckets: [bucket; 2],
-            paced_id: None,
+            ids: None,
         }
     }
 }
@@ -65,11 +66,11 @@ impl Device for RateLimiter {
         DeviceKind::Other
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "rate limiter has two ports");
-        let paced_id = *self
-            .paced_id
-            .get_or_insert_with(|| ctx.metric("shaper.paced"));
+        let (paced_id, stage) = *self
+            .ids
+            .get_or_insert_with(|| (ctx.metric("shaper.paced"), ctx.metric("stage.shaper")));
         let served = self.station.serve(&self.cost, frame.wire_len(), ctx);
         let now = ctx.now();
         let b = &mut self.buckets[port.0];
@@ -90,6 +91,7 @@ impl Device for RateLimiter {
         };
         if b.tokens >= len {
             b.tokens -= len;
+            ctx.stage_frame(stage, &mut frame, served);
             ctx.transmit_at(served, out, frame);
         } else {
             // Pace: wait for the deficit to accrue, queued behind any
@@ -100,6 +102,8 @@ impl Device for RateLimiter {
             let departure = (b.settled_at + delay).max(served);
             b.settled_at = departure;
             ctx.count_id(paced_id, 1.0);
+            // The span covers the pacing delay: exit = actual departure.
+            ctx.stage_frame(stage, &mut frame, departure);
             ctx.transmit_at(departure, out, frame);
         }
     }

@@ -17,7 +17,8 @@ use metrics::MetricId;
 pub struct VethPair {
     cost: StageCost,
     station: SharedStation,
-    crossings_id: Option<MetricId>,
+    /// Interned (crossings counter, flight stage) ids.
+    ids: Option<(MetricId, MetricId)>,
 }
 
 impl VethPair {
@@ -27,7 +28,7 @@ impl VethPair {
         VethPair {
             cost,
             station,
-            crossings_id: None,
+            ids: None,
         }
     }
 }
@@ -37,13 +38,14 @@ impl Device for VethPair {
         DeviceKind::Veth
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "veth pair has exactly two ends");
-        let id = *self
-            .crossings_id
-            .get_or_insert_with(|| ctx.metric("veth.crossings"));
+        let (crossings, stage) = *self
+            .ids
+            .get_or_insert_with(|| (ctx.metric("veth.crossings"), ctx.metric("stage.veth")));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        ctx.count_id(id, 1.0);
+        ctx.count_id(crossings, 1.0);
+        ctx.stage_frame(stage, &mut frame, done);
         let out = if port == PortId::P0 {
             PortId::P1
         } else {
@@ -64,7 +66,8 @@ pub struct Loopback {
     nports: usize,
     cost: StageCost,
     station: SharedStation,
-    frames_id: Option<MetricId>,
+    /// Interned (frames counter, flight stage) ids.
+    ids: Option<(MetricId, MetricId)>,
 }
 
 impl Loopback {
@@ -78,7 +81,7 @@ impl Loopback {
             nports,
             cost,
             station,
-            frames_id: None,
+            ids: None,
         }
     }
 }
@@ -88,13 +91,14 @@ impl Device for Loopback {
         DeviceKind::Loopback
     }
 
-    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < self.nports, "frame on nonexistent loopback port");
-        let id = *self
-            .frames_id
-            .get_or_insert_with(|| ctx.metric("loopback.frames"));
+        let (frames, stage) = *self
+            .ids
+            .get_or_insert_with(|| (ctx.metric("loopback.frames"), ctx.metric("stage.loopback")));
         let done = self.station.serve(&self.cost, frame.wire_len(), ctx);
-        ctx.count_id(id, 1.0);
+        ctx.count_id(frames, 1.0);
+        ctx.stage_frame(stage, &mut frame, done);
         for p in 0..self.nports {
             if p != port.0 && ctx.is_linked(PortId(p)) {
                 ctx.transmit_at(done, PortId(p), frame.clone());

@@ -3,11 +3,17 @@
 //! clones — and the whole warmed event loop around them — must not
 //! allocate. A counting global allocator enforces it.
 //!
-//! The counter is thread-local so the two tests (which cargo runs on
+//! The flight recorder rides the same budget: with tracing *off* (the
+//! default; enforced by the warm-flood test, whose bridge now passes
+//! through `DevCtx::stage_frame`) and in *counters-only* mode the warmed
+//! steady state must stay allocation-free. Only `TraceMode::Full` may
+//! allocate (the span ring grows).
+//!
+//! The counter is thread-local so the tests (which cargo runs on
 //! separate threads) cannot interfere with each other.
 
 use bytes::Bytes;
-use metrics::{CpuCategory, CpuLocation};
+use metrics::{CpuCategory, CpuLocation, TraceConfig, TraceMode};
 use nestless_simnet::addr::{Ip4, MacAddr, SockAddr};
 use nestless_simnet::bridge::Bridge;
 use nestless_simnet::costs::StageCost;
@@ -153,4 +159,76 @@ fn warm_bridge_flood_steady_state_is_allocation_free() {
     // The rounds actually flooded: 64 warm-up + 512 measured, 3 strays each.
     assert_eq!(net.store().counter("bridge.flooded"), 576.0);
     assert_eq!(net.store().counter("sink1.stray"), 576.0);
+    // The default config is the recorder's off mode — the budget above
+    // therefore proves `TraceMode::Off` adds zero allocations.
+    assert_eq!(net.trace_config().mode, TraceMode::Off);
+}
+
+#[test]
+fn warm_counters_mode_steady_state_is_allocation_free() {
+    // Same scenario as above but with the flight recorder in
+    // counters-only mode: per-stage aggregates (integer counters plus a
+    // fixed 64-bucket histogram) must record without allocating once the
+    // stage table row exists.
+    let mut net = Network::new(3);
+    net.set_trace_config(TraceConfig::counters());
+    let bridge = net.add_device(
+        "br",
+        CpuLocation::Host,
+        Box::new(Bridge::new(
+            4,
+            StageCost::fixed(800, 0.1, CpuCategory::Sys).with_jitter(0.05),
+            SharedStation::new(),
+        )),
+    );
+    for p in 1..4u32 {
+        let sink = net.add_device(
+            format!("sink{p}"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("sink{p}"),
+                MacAddr::local(100 + p),
+                64,
+                StageCost::fixed(500, 0.1, CpuCategory::Usr),
+                false,
+            )),
+        );
+        net.connect(
+            sink,
+            PortId::P0,
+            bridge,
+            PortId(p as usize),
+            LinkParams::default(),
+        );
+    }
+    let body = Bytes::from(vec![0xAB; 512]);
+    let src = MacAddr::local(1);
+    let round = |net: &mut Network| {
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            Frame::udp(
+                src,
+                MacAddr::BROADCAST,
+                sock(1, 1000),
+                sock(255, 2000),
+                Payload::bytes(body.clone()),
+            ),
+        );
+        net.run_to_idle();
+    };
+    for _ in 0..64 {
+        round(&mut net);
+    }
+    let n = allocations(|| {
+        for _ in 0..512 {
+            round(&mut net);
+        }
+    });
+    assert_eq!(n, 0, "warmed counters-only steady state allocated");
+    let stages: Vec<_> = net.stages().iter().collect();
+    assert_eq!(stages.len(), 1, "bridge stage aggregated");
+    assert_eq!(stages[0].1.frames, 576, "every flood round recorded");
+    assert_eq!(net.spans_emitted(), 0, "counters mode emits no spans");
 }

@@ -3,7 +3,7 @@
 //! counter-for-counter, trace-for-trace — on a ≥4-host topology with
 //! jitter and frame loss enabled.
 
-use metrics::CpuAccount;
+use metrics::{CpuAccount, SpanId, SpanRecord, StageAgg, StageTable, TraceConfig};
 use nestless_simnet::engine::{Network, SampleStore, TraceEntry};
 use nestless_simnet::testutil::{build_multihost, MultihostSpec};
 use nestless_simnet::time::{SimDuration, SimTime};
@@ -27,6 +27,7 @@ fn build() -> Network {
     let mut net = Network::new(SEED);
     build_multihost(&mut net, &spec());
     net.set_tracing(true);
+    net.set_trace_config(TraceConfig::full());
     net
 }
 
@@ -44,11 +45,46 @@ fn snapshot(store: &SampleStore) -> (BTreeMap<String, Vec<f64>>, BTreeMap<String
     (samples, counters)
 }
 
+/// A span with its stage id resolved to a name, so the (unobservable)
+/// interner enumeration order of a merged store cannot leak into the
+/// comparison. Everything else is compared bit for bit.
+type NamedSpan = (u64, SpanId, SpanId, String, u32, u64, u64, u64);
+
+fn named_spans(spans: &[SpanRecord], store: &SampleStore) -> Vec<NamedSpan> {
+    spans
+        .iter()
+        .map(|r| {
+            (
+                r.trace,
+                r.span,
+                r.parent,
+                store.name_of(r.stage).to_string(),
+                r.dev,
+                r.enter,
+                r.exit,
+                r.cpu_ns,
+            )
+        })
+        .collect()
+}
+
+fn named_stages(table: &StageTable, store: &SampleStore) -> BTreeMap<String, StageAgg> {
+    table
+        .iter()
+        .map(|(id, agg)| (store.name_of(id).to_string(), agg.clone()))
+        .collect()
+}
+
 struct Outcome {
     samples: BTreeMap<String, Vec<f64>>,
     counters: BTreeMap<String, f64>,
     cpu: CpuAccount,
     trace: Vec<TraceEntry>,
+    trace_dropped: u64,
+    spans: Vec<NamedSpan>,
+    spans_emitted: u64,
+    spans_dropped: u64,
+    stages: BTreeMap<String, StageAgg>,
     events: u64,
     dropped: u64,
     now: SimTime,
@@ -63,6 +99,11 @@ fn sequential() -> Outcome {
         counters,
         cpu: net.cpu().clone(),
         trace: net.trace().to_vec(),
+        trace_dropped: net.dropped_traces(),
+        spans: named_spans(net.spans(), net.store()),
+        spans_emitted: net.spans_emitted(),
+        spans_dropped: net.spans_dropped(),
+        stages: named_stages(net.stages(), net.store()),
         events: net.events_processed(),
         dropped: net.dropped_no_link(),
         now: net.now(),
@@ -81,6 +122,11 @@ fn sharded(want: usize) -> (usize, Outcome) {
             samples,
             counters,
             cpu: report.cpu,
+            trace_dropped: report.trace_dropped,
+            spans: named_spans(&report.spans, &report.store),
+            spans_emitted: report.spans_emitted,
+            spans_dropped: report.spans_dropped,
+            stages: named_stages(&report.stages, &report.store),
             trace: report.trace,
             events: report.events_processed,
             dropped: report.dropped_no_link,
@@ -108,6 +154,12 @@ fn assert_identical(label: &str, a: &Outcome, b: &Outcome) {
     }
     assert_eq!(a.trace.len(), b.trace.len(), "{label}: trace length");
     assert_eq!(a.trace, b.trace, "{label}: trace entries");
+    assert_eq!(a.trace_dropped, b.trace_dropped, "{label}: trace drops");
+    assert_eq!(a.spans.len(), b.spans.len(), "{label}: span count");
+    assert_eq!(a.spans, b.spans, "{label}: span records");
+    assert_eq!(a.spans_emitted, b.spans_emitted, "{label}: spans emitted");
+    assert_eq!(a.spans_dropped, b.spans_dropped, "{label}: spans dropped");
+    assert_eq!(a.stages, b.stages, "{label}: per-stage aggregates");
 }
 
 #[test]
@@ -118,6 +170,8 @@ fn sharded_runs_are_bit_identical_to_sequential() {
         seq.counters.get("link.lost").copied().unwrap_or(0.0) > 0.0,
         "loss draws actually exercised"
     );
+    assert!(seq.spans_emitted > 1_000, "flight recorder captured spans");
+    assert!(!seq.stages.is_empty(), "stage table populated");
     for want in [1, 2, 8] {
         let (nshards, out) = sharded(want);
         if want == 1 {
@@ -126,6 +180,38 @@ fn sharded_runs_are_bit_identical_to_sequential() {
             assert!(nshards > 1, "≥4-host topology must actually shard");
         }
         assert_identical(&format!("{want} shards (got {nshards})"), &seq, &out);
+    }
+}
+
+#[test]
+fn span_cap_overflow_merges_bit_identically() {
+    // A tiny span cap forces drops at every shard ring AND re-drops at
+    // the merge; the kept prefix and the drop count must still match the
+    // sequential run exactly.
+    let build_capped = || {
+        let mut net = Network::new(SEED);
+        build_multihost(&mut net, &spec());
+        net.set_trace_config(TraceConfig::full().with_span_cap(64));
+        net
+    };
+    let mut seq = build_capped();
+    seq.run_until(SimTime(2_000_000));
+    assert!(seq.spans_dropped() > 0, "cap of 64 must overflow");
+    assert_eq!(seq.spans().len(), 64);
+    let seq_spans = named_spans(seq.spans(), seq.store());
+
+    for want in [2, 8] {
+        let mut sn = ShardedNetwork::new(build_capped(), want);
+        sn.run_until(SimTime(2_000_000));
+        assert!(sn.nshards() > 1);
+        let report = sn.into_report();
+        assert_eq!(
+            named_spans(&report.spans, &report.store),
+            seq_spans,
+            "{want} shards: kept spans"
+        );
+        assert_eq!(report.spans_dropped, seq.spans_dropped(), "{want} shards");
+        assert_eq!(report.spans_emitted, seq.spans_emitted(), "{want} shards");
     }
 }
 

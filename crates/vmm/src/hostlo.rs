@@ -10,6 +10,7 @@
 //! work for every frame — that is the host-kernel CPU cost the paper
 //! measures in §5.3.4 (and notes is mis-attributed to host `sys`).
 
+use metrics::MetricId;
 use simnet::costs::StageCost;
 use simnet::device::{Device, DeviceKind, PortId};
 use simnet::engine::DevCtx;
@@ -34,6 +35,8 @@ pub struct HostloTap {
     cost_per_queue: StageCost,
     mode: FanoutMode,
     station: SharedStation,
+    /// Interned (frames counter, queue-copies counter, flight stage) ids.
+    ids: Option<(MetricId, MetricId, MetricId)>,
 }
 
 impl HostloTap {
@@ -50,6 +53,7 @@ impl HostloTap {
             cost_per_queue,
             mode,
             station,
+            ids: None,
         }
     }
 
@@ -66,7 +70,14 @@ impl Device for HostloTap {
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < self.nqueues, "frame on nonexistent hostlo queue");
-        ctx.count("hostlo.frames", 1.0);
+        let (frames_id, copies_id, stage) = *self.ids.get_or_insert_with(|| {
+            (
+                ctx.metric("hostlo.frames"),
+                ctx.metric("hostlo.queue_copies"),
+                ctx.metric("stage.hostlo"),
+            )
+        });
+        ctx.count_id(frames_id, 1.0);
         // Copies serialize on the TAP's kernel worker; destination queues
         // are served before the echo back into the sender's own queue, so
         // the echo never delays actual deliveries.
@@ -83,8 +94,13 @@ impl Device for HostloTap {
             let done = self
                 .station
                 .serve(&self.cost_per_queue, frame.wire_len(), ctx);
-            ctx.count("hostlo.queue_copies", 1.0);
-            ctx.transmit_at(done, PortId(q), frame.clone());
+            ctx.count_id(copies_id, 1.0);
+            // One span per queue copy: each clone carries its own parent
+            // link, so a recipient's downstream path nests under the copy
+            // that actually reached it.
+            let mut copy = frame.clone();
+            ctx.stage_frame(stage, &mut copy, done);
+            ctx.transmit_at(done, PortId(q), copy);
         }
     }
 }
