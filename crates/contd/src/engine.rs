@@ -125,6 +125,22 @@ impl ContainerEngine {
         self.dataplane.as_mut()
     }
 
+    /// Installs a dataplane built after construction (a CNI plugin falling
+    /// back to the classic bridge+NAT path builds one lazily).
+    ///
+    /// # Panics
+    /// Panics if the engine already has a dataplane or `dp` belongs to a
+    /// different VM.
+    pub fn install_dataplane(&mut self, dp: NodeDataplane) {
+        assert!(
+            self.dataplane.is_none(),
+            "engine on {:?} already has a dataplane",
+            self.vm
+        );
+        assert_eq!(dp.vm, self.vm, "dataplane belongs to a different VM");
+        self.dataplane = Some(dp);
+    }
+
     /// Creates and starts a container.
     ///
     /// With [`NetworkMode::Bridge`] the engine plumbs the default dataplane

@@ -18,11 +18,98 @@
 //! i.e. it includes NAT, at the host level": the plugin publishes the pod's
 //! ports on the *host* NAT instead of a guest NAT.
 
+use contd::{NodeDataplane, PortMapping};
 use orchestrator::{ClusterCtx, CniError, CniPlugin, PodAttachment, PodSpec, VmAgent};
+use parking_lot::Mutex;
 use simnet::device::PortId;
 use simnet::nat::{DnatRule, NatControl};
-use simnet::{Ip4, Ip4Net, SockAddr};
-use vmm::{QmpCommand, QmpResponse, VmId};
+use simnet::{Ip4, Ip4Net, SimDuration, SimTime, SockAddr};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vmm::{NicId, QmpCommand, QmpResponse, VmId, VmState};
+
+/// True for management-channel failures worth retrying: a dead socket or a
+/// crashed (restartable) VM, as opposed to a misconfiguration the VMM will
+/// refuse forever.
+pub(crate) fn transient_qmp_error(desc: &str) -> bool {
+    desc.contains("unreachable") || desc.contains("injected") || desc.contains("crashed")
+}
+
+/// A container of a pod parked on the degraded (classic nested) path.
+#[derive(Debug, Clone)]
+struct DegradedContainer {
+    idx: usize,
+    vm: VmId,
+    ports: Vec<PortMapping>,
+}
+
+/// A pod on the degraded path, waiting to be re-promoted to fused NICs.
+#[derive(Debug, Clone)]
+struct DegradedPod {
+    pod: String,
+    containers: Vec<DegradedContainer>,
+    degraded_at: SimTime,
+    attempts: u32,
+    backoff: SimDuration,
+    next_retry: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    fallbacks: u64,
+    repromotions: u64,
+    abandoned: u64,
+    fallback_reasons: Vec<String>,
+    repromotion_latency_ns: Vec<u64>,
+    repromoted: Vec<(String, Vec<PodAttachment>)>,
+}
+
+/// Cloneable observability handle onto a [`BrFusionCni`]'s degraded-mode
+/// state machine: how many pods fell back to the nested path, how many were
+/// re-promoted, and how long each spent degraded.
+#[derive(Debug, Clone, Default)]
+pub struct BrFusionStats(Arc<Mutex<StatsInner>>);
+
+impl BrFusionStats {
+    /// Pods that fell back to the classic nested path.
+    pub fn fallbacks(&self) -> u64 {
+        self.0.lock().fallbacks
+    }
+
+    /// Pods re-promoted to fused NICs after a fallback.
+    pub fn repromotions(&self) -> u64 {
+        self.0.lock().repromotions
+    }
+
+    /// Pods abandoned on the nested path (retry budget exhausted or a
+    /// permanent refusal during re-promotion).
+    pub fn abandoned(&self) -> u64 {
+        self.0.lock().abandoned
+    }
+
+    /// Time each re-promoted pod spent on the degraded path, in ns.
+    pub fn repromotion_latency_ns(&self) -> Vec<u64> {
+        self.0.lock().repromotion_latency_ns.clone()
+    }
+
+    /// The fault that sent each fallen-back pod to the nested path.
+    pub fn fallback_reasons(&self) -> Vec<String> {
+        self.0.lock().fallback_reasons.clone()
+    }
+
+    /// Drains the fused attachments produced by re-promotions since the
+    /// last call; workloads re-bind to these like a pod restarting onto
+    /// repaired networking.
+    pub fn take_repromoted(&self) -> Vec<(String, Vec<PodAttachment>)> {
+        std::mem::take(&mut self.0.lock().repromoted)
+    }
+}
+
+/// A per-container fusing failure, split by whether retrying can help.
+enum FuseErr {
+    Transient(String),
+    Fatal(String),
+}
 
 /// The BrFusion CNI plugin.
 pub struct BrFusionCni {
@@ -37,6 +124,14 @@ pub struct BrFusionCni {
     host_nat: NatControl,
     /// Host NAT port facing the bridge (where pod neighbors are learned).
     host_nat_bridge_port: PortId,
+    /// docker0 capacity for lazily-built fallback dataplanes.
+    fallback_bridge_capacity: usize,
+    /// Host-subnet address given to each VM's fallback dataplane.
+    fallback_vm_ip: BTreeMap<VmId, Ip4>,
+    /// Pods currently on the degraded path, oldest first.
+    degraded: Vec<DegradedPod>,
+    /// Shared counters.
+    stats: BrFusionStats,
 }
 
 impl BrFusionCni {
@@ -60,7 +155,27 @@ impl BrFusionCni {
             next_host: first_host,
             host_nat,
             host_nat_bridge_port,
+            fallback_bridge_capacity: 16,
+            fallback_vm_ip: BTreeMap::new(),
+            degraded: Vec::new(),
+            stats: BrFusionStats::default(),
         }
+    }
+
+    /// Backoff before the first re-promotion attempt; doubles per retry.
+    pub const REPROMOTE_BACKOFF: SimDuration = SimDuration::millis(50);
+
+    /// Re-promotion attempts per degraded pod before giving up on it.
+    pub const MAX_REPROMOTE_ATTEMPTS: u32 = 6;
+
+    /// The observability handle (cloneable, shared with the plugin).
+    pub fn stats(&self) -> BrFusionStats {
+        self.stats.clone()
+    }
+
+    /// Pods currently parked on the degraded nested path.
+    pub fn degraded_pods(&self) -> usize {
+        self.degraded.len()
     }
 
     /// Allocates the next pod IP.
@@ -68,6 +183,235 @@ impl BrFusionCni {
         let ip = self.subnet.host(self.next_host);
         self.next_host += 1;
         ip
+    }
+
+    /// Hot-plugs, configures and publishes one fused pod NIC. Shared by
+    /// first-try setup and re-promotion; existing publications of the same
+    /// ports are replaced (re-promotion points them away from the VM).
+    fn fuse_container(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        vm: VmId,
+        idx: usize,
+        ports: &[PortMapping],
+    ) -> Result<(PodAttachment, NicId), FuseErr> {
+        // Step 1-2: ask the VMM for a NIC on the pod's networking domain.
+        let resp = ctx.vmm.qmp(QmpCommand::NetdevAdd {
+            vm: vm.0,
+            bridge: self.bridge.clone(),
+            coalesce: true,
+        });
+        // Step 3: the VMM answers with the NIC identifier (MAC).
+        let nic = match resp {
+            QmpResponse::NicAdded(nic) => nic,
+            QmpResponse::Error { ref desc } if transient_qmp_error(desc) => {
+                return Err(FuseErr::Transient(format!(
+                    "VMM refused netdev_add: {desc}"
+                )))
+            }
+            resp => return Err(FuseErr::Fatal(format!("VMM refused netdev_add: {resp:?}"))),
+        };
+        // Step 4: the VM agent configures the NIC inside the VM and gives
+        // it to the pod.
+        let ip = self.alloc_ip();
+        let agent = VmAgent::new(vm);
+        let conf = agent
+            .configure_pod_nic(ctx.vmm, &nic.mac, ip, self.subnet)
+            .ok_or_else(|| FuseErr::Fatal(format!("agent cannot find NIC {}", nic.mac)))?;
+
+        // Host-level NAT keeps its usual role: publish the pod's ports and
+        // learn the pod as a neighbor on the bridge.
+        let mac = conf.iface.mac;
+        self.host_nat.add_neigh(self.host_nat_bridge_port, ip, mac);
+        for pm in ports {
+            self.host_nat.remove_dnat(pm.proto, pm.host_port);
+            self.host_nat.add_dnat(DnatRule {
+                proto: pm.proto,
+                match_ip: None,
+                match_port: pm.host_port,
+                to: SockAddr::new(ip, pm.container_port),
+            });
+        }
+
+        // The pod routes outbound traffic via the host NAT.
+        let gw_ip = self.host_nat.iface_ip(self.host_nat_bridge_port);
+        let gw_mac = self.host_nat.iface_mac(self.host_nat_bridge_port);
+        let iface = conf.iface.with_gateway(gw_ip, gw_mac);
+
+        Ok((
+            PodAttachment {
+                container_idx: idx,
+                vm,
+                net: contd::ContainerNet {
+                    ip,
+                    mac,
+                    attach: conf.attach,
+                    iface,
+                },
+            },
+            NicId(nic.nic),
+        ))
+    }
+
+    /// Builds (once per VM) the classic bridge+NAT dataplane behind the
+    /// VM's boot NIC, for pods that cannot get a fused NIC right now.
+    fn ensure_fallback_dataplane(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        vm: VmId,
+    ) -> Result<(), CniError> {
+        let engine = ctx
+            .engines
+            .get(&vm)
+            .ok_or_else(|| CniError::fatal(format!("no container engine on {vm:?}")))?;
+        if engine.dataplane().is_some() {
+            if !self.fallback_vm_ip.contains_key(&vm) {
+                return Err(CniError::fatal(format!(
+                    "{vm:?} runs a foreign default dataplane"
+                )));
+            }
+            return Ok(());
+        }
+        // The boot (non-hot-plugged) NIC anchors the nested path.
+        let eth0 = ctx
+            .vmm
+            .vm(vm)
+            .nics
+            .iter()
+            .find(|n| n.active && !n.hot_plugged && !n.hostlo)
+            .map(|n| vmm::NicInfo {
+                nic: n.id,
+                vm,
+                mac: n.mac,
+                guest_attach: n.guest_attach,
+                vhost: n.vhost,
+            })
+            .ok_or_else(|| {
+                CniError::retryable(format!("{vm:?} has no boot NIC for the nested fallback"))
+            })?;
+        let vm_ip = self.alloc_ip();
+        let dp = NodeDataplane::new(
+            ctx.vmm,
+            vm,
+            &eth0,
+            vm_ip,
+            self.subnet,
+            self.fallback_bridge_capacity,
+        );
+        let gw_ip = self.host_nat.iface_ip(self.host_nat_bridge_port);
+        let gw_mac = self.host_nat.iface_mac(self.host_nat_bridge_port);
+        dp.set_default_route(gw_ip, gw_mac);
+        self.host_nat
+            .add_neigh(self.host_nat_bridge_port, vm_ip, dp.vm_mac);
+        ctx.engines
+            .get_mut(&vm)
+            .expect("presence checked above")
+            .install_dataplane(dp);
+        self.fallback_vm_ip.insert(vm, vm_ip);
+        Ok(())
+    }
+
+    /// Wires the whole pod through the classic nested path (fig. 1's
+    /// bridge+NAT inside the VM, double NAT to the outside) and parks it
+    /// for re-promotion.
+    fn fallback(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        placement: &[VmId],
+        reason: String,
+    ) -> Result<Vec<PodAttachment>, CniError> {
+        let now = ctx.vmm.network().now();
+        let mut out = Vec::with_capacity(pod.containers.len());
+        let mut containers = Vec::with_capacity(pod.containers.len());
+        for (idx, c) in pod.containers.iter().enumerate() {
+            let vm = placement[idx];
+            if ctx.vmm.vm(vm).state != VmState::Running {
+                return Err(CniError::retryable(format!("{vm:?} is not running")));
+            }
+            self.ensure_fallback_dataplane(ctx, vm)?;
+            let vm_ip = self.fallback_vm_ip[&vm];
+            let engine = ctx.engines.get_mut(&vm).expect("dataplane ensured");
+            let dp = engine.dataplane_mut().expect("dataplane ensured");
+            let net = dp.attach_container(ctx.vmm, &c.name, &c.ports);
+            // Publish on the host NAT towards the VM: the guest NAT's own
+            // DNAT (installed by attach_container) finishes the job.
+            for pm in &c.ports {
+                self.host_nat.remove_dnat(pm.proto, pm.host_port);
+                self.host_nat.add_dnat(DnatRule {
+                    proto: pm.proto,
+                    match_ip: None,
+                    match_port: pm.host_port,
+                    to: SockAddr::new(vm_ip, pm.host_port),
+                });
+            }
+            containers.push(DegradedContainer {
+                idx,
+                vm,
+                ports: c.ports.clone(),
+            });
+            out.push(PodAttachment {
+                container_idx: idx,
+                vm,
+                net,
+            });
+        }
+        {
+            let mut s = self.stats.0.lock();
+            s.fallbacks += 1;
+            s.fallback_reasons.push(reason);
+        }
+        self.degraded.push(DegradedPod {
+            pod: pod.name.clone(),
+            containers,
+            degraded_at: now,
+            attempts: 0,
+            backoff: Self::REPROMOTE_BACKOFF,
+            next_retry: now + Self::REPROMOTE_BACKOFF,
+        });
+        Ok(out)
+    }
+
+    /// One re-promotion attempt for a degraded pod: hot-plug a fused NIC
+    /// per container and move the publications over. On any failure the
+    /// attempt unwinds (NICs unplugged, publications re-pointed at the VM)
+    /// and the pod stays degraded.
+    fn try_repromote(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        dp: &DegradedPod,
+    ) -> Result<Vec<PodAttachment>, FuseErr> {
+        let mut atts = Vec::with_capacity(dp.containers.len());
+        let mut plugged: Vec<(VmId, NicId)> = Vec::new();
+        for c in &dp.containers {
+            match self.fuse_container(ctx, c.vm, c.idx, &c.ports) {
+                Ok((att, nic)) => {
+                    plugged.push((c.vm, nic));
+                    atts.push(att);
+                }
+                Err(e) => {
+                    for &(vm, nic) in &plugged {
+                        ctx.vmm.detach_nic(vm, nic);
+                    }
+                    for c2 in &dp.containers {
+                        let Some(&vm_ip) = self.fallback_vm_ip.get(&c2.vm) else {
+                            continue;
+                        };
+                        for pm in &c2.ports {
+                            self.host_nat.remove_dnat(pm.proto, pm.host_port);
+                            self.host_nat.add_dnat(DnatRule {
+                                proto: pm.proto,
+                                match_ip: None,
+                                match_port: pm.host_port,
+                                to: SockAddr::new(vm_ip, pm.host_port),
+                            });
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(atts)
     }
 }
 
@@ -84,70 +428,74 @@ impl CniPlugin for BrFusionCni {
     ) -> Result<Vec<PodAttachment>, CniError> {
         // BrFusion de-duplicates the stack on one VM; cross-VM pods are
         // Hostlo's job.
-        let first = placement.first().ok_or_else(|| CniError {
-            reason: "empty placement".to_owned(),
-        })?;
+        let first = placement
+            .first()
+            .ok_or_else(|| CniError::fatal("empty placement"))?;
         if placement.iter().any(|vm| vm != first) {
-            return Err(CniError {
-                reason: "BrFusion wires per-VM pods; use Hostlo for cross-VM".to_owned(),
-            });
+            return Err(CniError::fatal(
+                "BrFusion wires per-VM pods; use Hostlo for cross-VM",
+            ));
         }
 
         let mut out = Vec::with_capacity(pod.containers.len());
+        let mut plugged: Vec<(VmId, NicId)> = Vec::new();
         for (idx, c) in pod.containers.iter().enumerate() {
             let vm = placement[idx];
-            // Step 1-2: ask the VMM for a NIC on the pod's networking domain.
-            let resp = ctx.vmm.qmp(QmpCommand::NetdevAdd {
-                vm: vm.0,
-                bridge: self.bridge.clone(),
-                coalesce: true,
-            });
-            // Step 3: the VMM answers with the NIC identifier (MAC).
-            let QmpResponse::NicAdded(nic) = resp else {
-                return Err(CniError {
-                    reason: format!("VMM refused netdev_add: {resp:?}"),
-                });
-            };
-            // Step 4: the VM agent configures the NIC inside the VM and
-            // gives it to the pod.
-            let ip = self.alloc_ip();
-            let agent = VmAgent::new(vm);
-            let conf = agent
-                .configure_pod_nic(ctx.vmm, &nic.mac, ip, self.subnet)
-                .ok_or_else(|| CniError {
-                    reason: format!("agent cannot find NIC {}", nic.mac),
-                })?;
-
-            // Host-level NAT keeps its usual role: publish the pod's ports
-            // and learn the pod as a neighbor on the bridge.
-            let mac = conf.iface.mac;
-            self.host_nat.add_neigh(self.host_nat_bridge_port, ip, mac);
-            for pm in &c.ports {
-                self.host_nat.add_dnat(DnatRule {
-                    proto: pm.proto,
-                    match_ip: None,
-                    match_port: pm.host_port,
-                    to: SockAddr::new(ip, pm.container_port),
-                });
+            match self.fuse_container(ctx, vm, idx, &c.ports) {
+                Ok((att, nic)) => {
+                    plugged.push((vm, nic));
+                    out.push(att);
+                }
+                // A transient management-channel fault: unwind whatever was
+                // fused for this pod and wire it all through the classic
+                // nested path instead (graceful degraded mode).
+                Err(FuseErr::Transient(reason)) => {
+                    for &(pvm, nic) in &plugged {
+                        ctx.vmm.detach_nic(pvm, nic);
+                    }
+                    return self.fallback(ctx, pod, placement, reason);
+                }
+                Err(FuseErr::Fatal(reason)) => return Err(CniError::fatal(reason)),
             }
-
-            // The pod routes outbound traffic via the host NAT.
-            let gw_ip = self.host_nat.iface_ip(self.host_nat_bridge_port);
-            let gw_mac = self.host_nat.iface_mac(self.host_nat_bridge_port);
-            let iface = conf.iface.with_gateway(gw_ip, gw_mac);
-
-            out.push(PodAttachment {
-                container_idx: idx,
-                vm,
-                net: contd::ContainerNet {
-                    ip,
-                    mac,
-                    attach: conf.attach,
-                    iface,
-                },
-            });
         }
         Ok(out)
+    }
+
+    fn maintain(&mut self, ctx: &mut ClusterCtx<'_>) -> usize {
+        let now = ctx.vmm.network().now();
+        let mut repromoted = 0;
+        let mut still = Vec::new();
+        for mut pod in std::mem::take(&mut self.degraded) {
+            if now < pod.next_retry {
+                still.push(pod);
+                continue;
+            }
+            match self.try_repromote(ctx, &pod) {
+                Ok(atts) => {
+                    repromoted += 1;
+                    let mut s = self.stats.0.lock();
+                    s.repromotions += 1;
+                    s.repromotion_latency_ns
+                        .push(now.since(pod.degraded_at).as_nanos());
+                    s.repromoted.push((pod.pod.clone(), atts));
+                }
+                Err(FuseErr::Transient(_)) => {
+                    pod.attempts += 1;
+                    if pod.attempts >= Self::MAX_REPROMOTE_ATTEMPTS {
+                        self.stats.0.lock().abandoned += 1;
+                    } else {
+                        pod.backoff = pod.backoff.saturating_mul(2);
+                        pod.next_retry = now + pod.backoff;
+                        still.push(pod);
+                    }
+                }
+                Err(FuseErr::Fatal(_)) => {
+                    self.stats.0.lock().abandoned += 1;
+                }
+            }
+        }
+        self.degraded = still;
+        repromoted
     }
 }
 

@@ -156,18 +156,15 @@ impl ClusterBuilder {
         }
 
         // Control plane with the matching scheduler + plugin.
+        let mut brfusion_stats = None;
         let (scheduler, cni): (Box<dyn Scheduler>, Box<dyn CniPlugin>) = match self.cni {
             CniKind::Default => (Box::new(MostRequestedScheduler), Box::new(DefaultCni)),
-            CniKind::BrFusion => (
-                Box::new(MostRequestedScheduler),
-                Box::new(BrFusionCni::new(
-                    "br0",
-                    CLUSTER_NET,
-                    100,
-                    host_nat_ctl.clone(),
-                    PortId(1),
-                )),
-            ),
+            CniKind::BrFusion => {
+                let plugin =
+                    BrFusionCni::new("br0", CLUSTER_NET, 100, host_nat_ctl.clone(), PortId(1));
+                brfusion_stats = Some(plugin.stats());
+                (Box::new(MostRequestedScheduler), Box::new(plugin))
+            }
             CniKind::Hostlo => (Box::new(SpreadScheduler), Box::new(HostloCni::new())),
         };
         let mut control_plane = ControlPlane::new(scheduler, cni);
@@ -182,6 +179,7 @@ impl ClusterBuilder {
             bridge,
             host_nat_ctl,
             host_nat,
+            brfusion_stats,
             kind: self.cni,
         }
     }
@@ -201,6 +199,9 @@ pub struct Cluster {
     pub host_nat_ctl: NatControl,
     /// The host NAT device (its port 0 faces the external client subnet).
     pub host_nat: DeviceId,
+    /// Fault-handling statistics of the BrFusion plugin (None for other
+    /// CNI kinds).
+    pub brfusion_stats: Option<crate::brfusion::BrFusionStats>,
     kind: CniKind,
 }
 
@@ -262,6 +263,16 @@ impl Cluster {
     /// Runs the datacenter for `d` of simulated time.
     pub fn run_for(&mut self, d: SimDuration) {
         self.vmm.network_mut().run_for(d);
+    }
+
+    /// One CNI repair pass: degraded pods whose backoff has elapsed get a
+    /// re-promotion attempt. Returns how many pods were repaired.
+    pub fn repair(&mut self) -> usize {
+        let mut ctx = ClusterCtx {
+            vmm: &mut self.vmm,
+            engines: &mut self.engines,
+        };
+        self.control_plane.repair_network(&mut ctx)
     }
 }
 

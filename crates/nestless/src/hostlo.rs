@@ -60,9 +60,7 @@ impl CniPlugin for HostloCni {
         placement: &[VmId],
     ) -> Result<Vec<PodAttachment>, CniError> {
         if placement.len() != pod.containers.len() {
-            return Err(CniError {
-                reason: "placement/container arity mismatch".to_owned(),
-            });
+            return Err(CniError::fatal("placement/container arity mismatch"));
         }
         // Distinct VMs, in first-seen order.
         let mut vms: Vec<VmId> = Vec::new();
@@ -83,8 +81,13 @@ impl CniPlugin for HostloCni {
             vms: vms.iter().map(|v| v.0).collect(),
         });
         let QmpResponse::HostloCreated { endpoints } = resp else {
-            return Err(CniError {
-                reason: format!("VMM refused hostlo_create: {resp:?}"),
+            // A dead management socket or crashed VM is transient: the
+            // control plane may retry the whole setup after a backoff.
+            let reason = format!("VMM refused hostlo_create: {resp:?}");
+            return Err(if crate::brfusion::transient_qmp_error(&reason) {
+                CniError::retryable(reason)
+            } else {
+                CniError::fatal(reason)
             });
         };
 
@@ -97,26 +100,22 @@ impl CniPlugin for HostloCni {
         for (idx, _c) in pod.containers.iter().enumerate() {
             let vm = placement[idx];
             if used.contains(&vm) {
-                return Err(CniError {
-                    reason: format!(
-                        "two containers of pod {} share VM {vm:?}: a hostlo endpoint is a \
-                         single attachment; co-locate them behind one endpoint explicitly",
-                        pod.name
-                    ),
-                });
+                return Err(CniError::fatal(format!(
+                    "two containers of pod {} share VM {vm:?}: a hostlo endpoint is a \
+                     single attachment; co-locate them behind one endpoint explicitly",
+                    pod.name
+                )));
             }
             used.push(vm);
             let ep = endpoints
                 .iter()
                 .find(|e| e.vm == vm.0)
-                .ok_or_else(|| CniError {
-                    reason: format!("no hostlo endpoint for {vm:?}"),
-                })?;
+                .ok_or_else(|| CniError::fatal(format!("no hostlo endpoint for {vm:?}")))?;
             let agent = VmAgent::new(vm);
             let conf = agent
                 .configure_hostlo_nic(ctx.vmm, &ep.mac, POD_LOCALHOST, HOSTLO_SUBNET)
-                .ok_or_else(|| CniError {
-                    reason: format!("agent cannot find hostlo endpoint {}", ep.mac),
+                .ok_or_else(|| {
+                    CniError::fatal(format!("agent cannot find hostlo endpoint {}", ep.mac))
                 })?;
             out.push(PodAttachment {
                 container_idx: idx,
@@ -142,9 +141,9 @@ impl HostloCni {
     ) -> Result<Vec<PodAttachment>, CniError> {
         let n = pod.containers.len();
         if n < 2 {
-            return Err(CniError {
-                reason: "a 1-container pod has no intra-pod traffic to wire".to_owned(),
-            });
+            return Err(CniError::fatal(
+                "a 1-container pod has no intra-pod traffic to wire",
+            ));
         }
         let costs = ctx.vmm.costs().clone();
         let station = ctx.vmm.guest_station(vm);

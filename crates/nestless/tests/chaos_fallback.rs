@@ -1,0 +1,236 @@
+//! Fault-injection integration: a management-channel fault during BrFusion
+//! hot-plug sends the pod to the classic nested path (bridge + double NAT),
+//! the degraded path still serves traffic, and once the fault clears the
+//! repair pass re-promotes the pod to a fused NIC.
+
+extern crate nestless;
+
+use contd::{ContainerSpec, DOCKER_SUBNET};
+use metrics::CpuLocation;
+use nestless::{BrFusionStats, Cluster, ClusterBuilder, CniKind, CLIENT_NET, HOST_NET};
+use orchestrator::PodSpec;
+use simnet::device::{DeviceId, PortId};
+use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
+use simnet::engine::LinkParams;
+use simnet::nat::Proto;
+use simnet::shared::SharedStation;
+use simnet::{MacAddr, Payload, SimDuration, SockAddr};
+
+const SERVICE_PORT: u16 = 7000;
+
+/// Echoes every request back to its sender.
+struct Echo;
+impl Application for Echo {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        let mut p = Payload::sized(8);
+        p.tag = msg.payload.tag;
+        api.send_udp(SERVICE_PORT, msg.src, p);
+    }
+}
+
+/// Sends one probe per START trigger, from a fresh source port each time so
+/// every probe opens a new conntrack flow (the previous flow's entries
+/// would otherwise pin replies to the old backend).
+struct Probe {
+    service: SockAddr,
+    probes: u16,
+}
+impl Application for Probe {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        let src = 7100 + self.probes;
+        self.probes += 1;
+        let mut p = Payload::sized(100);
+        p.tag = self.probes as u64;
+        api.send_udp(src, self.service, p);
+    }
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count("chaos.pong", 1.0);
+        api.count(&format!("chaos.pong.{}", msg.payload.tag), 1.0);
+    }
+}
+
+/// Wires an external client endpoint to the host NAT's client-facing port.
+/// Probes target the NAT's external address: the published DNAT rules point
+/// it at the pod wherever it currently lives.
+fn attach_client(cluster: &mut Cluster, probe_ports: u16) -> (DeviceId, SockAddr) {
+    let client_ip = CLIENT_NET.host(100);
+    let client_mac = MacAddr::local(0x00E9_0000);
+    let service = SockAddr::new(cluster.host_nat_ctl.iface_ip(PortId(0)), SERVICE_PORT);
+    cluster
+        .host_nat_ctl
+        .add_neigh(PortId(0), client_ip, client_mac);
+    let iface = IfaceConf::new(client_mac, client_ip, CLIENT_NET).with_gateway(
+        CLIENT_NET.host(1),
+        cluster.host_nat_ctl.iface_mac(PortId(0)),
+    );
+    let sock_cost = cluster.vmm.costs().socket;
+    let ep = Endpoint::new(
+        "client",
+        vec![iface],
+        7100..7100 + probe_ports,
+        sock_cost,
+        SharedStation::new(),
+        Box::new(Probe { service, probes: 0 }),
+    );
+    let dev = cluster
+        .vmm
+        .network_mut()
+        .add_device("client", CpuLocation::Host, Box::new(ep));
+    cluster.vmm.network_mut().connect(
+        dev,
+        PortId::P0,
+        cluster.host_nat,
+        PortId(0),
+        LinkParams::default(),
+    );
+    (dev, service)
+}
+
+fn service_pod() -> PodSpec {
+    PodSpec::new(
+        "web",
+        vec![ContainerSpec::new("srv", "app:1").with_port(Proto::Udp, SERVICE_PORT, SERVICE_PORT)],
+    )
+}
+
+fn brfusion_cluster() -> (Cluster, BrFusionStats) {
+    let cluster = ClusterBuilder::new()
+        .cni(CniKind::BrFusion)
+        .vms(1)
+        .seed(5)
+        .build();
+    let stats = cluster.brfusion_stats.clone().expect("BrFusion stats");
+    (cluster, stats)
+}
+
+#[test]
+fn qmp_fault_degrades_then_repromotes() {
+    let (mut cluster, stats) = brfusion_cluster();
+
+    // The hot-plug request hits an injected management-socket fault.
+    cluster.vmm.fail_next_qmp(1);
+    let id = cluster.deploy(service_pod()).expect("degrades, not fails");
+    let atts = cluster.attachments(id).to_vec();
+
+    // The pod landed on the nested path: address from the guest docker
+    // bridge, no hot-plugged NIC, fault recorded.
+    assert_eq!(stats.fallbacks(), 1);
+    assert!(
+        DOCKER_SUBNET.contains(atts[0].net.ip),
+        "{:?}",
+        atts[0].net.ip
+    );
+    assert!(cluster
+        .vmm
+        .vm(atts[0].vm)
+        .nics
+        .iter()
+        .all(|n| !n.hot_plugged));
+    assert!(stats.fallback_reasons()[0].contains("injected"));
+
+    // The degraded path serves traffic end to end (double NAT).
+    cluster.attach_app(&atts[0], "srv-degraded", [SERVICE_PORT], Box::new(Echo));
+    let (client, _service) = attach_client(&mut cluster, 2);
+    cluster
+        .vmm
+        .network_mut()
+        .schedule_timer(SimDuration::ZERO, client, START_TOKEN);
+    cluster.run_for(SimDuration::millis(10));
+    let store = cluster.vmm.network().store();
+    assert_eq!(store.counter("chaos.pong.1"), 1.0, "degraded path replies");
+
+    // The repair pass respects the backoff: nothing to do yet.
+    assert_eq!(cluster.repair(), 0);
+    assert_eq!(stats.repromotions(), 0);
+
+    // Once the backoff elapses (fault long gone), one pass re-promotes.
+    cluster.run_for(SimDuration::millis(60));
+    assert_eq!(cluster.repair(), 1);
+    assert_eq!(stats.repromotions(), 1);
+    assert_eq!(stats.abandoned(), 0);
+    let repromoted = stats.take_repromoted();
+    assert_eq!(repromoted.len(), 1);
+    let (pod_name, new_atts) = &repromoted[0];
+    assert_eq!(pod_name, "web");
+    // Fused again: host-subnet address on a hot-plugged NIC.
+    assert!(HOST_NET.contains(new_atts[0].net.ip));
+    let nic = cluster
+        .vmm
+        .vm(new_atts[0].vm)
+        .nic_by_mac(new_atts[0].net.mac)
+        .expect("fused NIC exists");
+    assert!(nic.hot_plugged);
+    // The pod spent at least the first backoff degraded.
+    assert!(stats.repromotion_latency_ns()[0] >= SimDuration::millis(50).as_nanos());
+
+    // The workload re-binds onto the fused NIC and the service address
+    // (host DNAT re-pointed) reaches it.
+    cluster.attach_app(&new_atts[0], "srv-fused", [SERVICE_PORT], Box::new(Echo));
+    cluster
+        .vmm
+        .network_mut()
+        .schedule_timer(SimDuration::ZERO, client, START_TOKEN);
+    cluster.run_for(SimDuration::millis(10));
+    let store = cluster.vmm.network().store();
+    assert_eq!(store.counter("chaos.pong.2"), 1.0, "fused path replies");
+    assert_eq!(store.counter("chaos.pong"), 2.0);
+}
+
+#[test]
+fn qmp_outage_window_degrades_by_sim_time() {
+    let (mut cluster, stats) = brfusion_cluster();
+    // An outage covering the deployment instant: same effect as fail-next,
+    // but driven purely by simulated time.
+    let now = cluster.vmm.network().now();
+    cluster
+        .vmm
+        .inject_qmp_outage(now, now + SimDuration::millis(5));
+    let id = cluster.deploy(service_pod()).expect("degrades");
+    assert_eq!(stats.fallbacks(), 1);
+    assert!(DOCKER_SUBNET.contains(cluster.attachments(id)[0].net.ip));
+
+    // Past the outage the repair pass succeeds on its first attempt.
+    cluster.run_for(SimDuration::millis(60));
+    assert_eq!(cluster.repair(), 1);
+    assert_eq!(stats.repromotions(), 1);
+}
+
+#[test]
+fn persistent_fault_bounds_the_retry_budget() {
+    let (mut cluster, stats) = brfusion_cluster();
+    // The management socket never recovers.
+    cluster.vmm.fail_next_qmp(u32::MAX);
+    cluster.deploy(service_pod()).expect("degrades");
+    assert_eq!(stats.fallbacks(), 1);
+
+    // Every re-promotion attempt fails; backoff doubles from 50 ms, so
+    // 6 attempts complete well within 16 s of simulated time.
+    for _ in 0..8 {
+        cluster.run_for(SimDuration::secs(2));
+        cluster.repair();
+    }
+    assert_eq!(stats.repromotions(), 0);
+    assert_eq!(stats.abandoned(), 1, "retry budget must be bounded");
+    // Abandoned pods leave the repair queue: further passes are no-ops.
+    assert_eq!(cluster.repair(), 0);
+}
+
+#[test]
+fn crashed_vm_fault_recovers_after_restart() {
+    let (mut cluster, stats) = brfusion_cluster();
+    let vm = *cluster.engines.keys().next().expect("one node");
+
+    // Deploy healthy first so the pod is fused.
+    let id = cluster.deploy(service_pod()).expect("healthy deploy");
+    assert_eq!(stats.fallbacks(), 0);
+    assert!(HOST_NET.contains(cluster.attachments(id)[0].net.ip));
+
+    // Crash the VM: hot-plug requests are refused while it is down, so a
+    // second pod degrades... but fallback needs a running VM too, so the
+    // deploy-level retry loop rides out the crash window instead.
+    cluster.vmm.crash_vm(vm);
+    cluster.vmm.restart_vm(vm);
+    let id2 = cluster.deploy(service_pod()).expect("post-restart deploy");
+    assert!(HOST_NET.contains(cluster.attachments(id2)[0].net.ip));
+}

@@ -52,6 +52,13 @@ pub struct ControlPlane {
 }
 
 impl ControlPlane {
+    /// How many times a transient CNI failure is retried per deployment
+    /// (the initial attempt plus `CNI_RETRIES` more).
+    pub const CNI_RETRIES: u32 = 3;
+
+    /// Backoff before the first CNI retry; doubles per further attempt.
+    pub const CNI_BACKOFF: simnet::SimDuration = simnet::SimDuration::millis(10);
+
     /// Creates a control plane with a scheduler and a CNI plugin.
     pub fn new(scheduler: Box<dyn Scheduler>, cni: Box<dyn CniPlugin>) -> ControlPlane {
         ControlPlane {
@@ -187,10 +194,36 @@ impl ControlPlane {
             .iter()
             .map(|n| self.nodes[n.0].vm)
             .collect();
-        let attachments = self
-            .cni
-            .setup(ctx, &spec, &vm_placement)
-            .map_err(DeployError::Network)?;
+        // Transient CNI failures (a wedged management socket, a crashed
+        // VM mid-restart) are retried with exponential backoff; the wait
+        // advances simulated time so outage windows actually pass. A
+        // final failure rolls the committed allocations back.
+        let mut backoff = Self::CNI_BACKOFF;
+        let mut attempt = 0;
+        let attachments = loop {
+            match self.cni.setup(ctx, &spec, &vm_placement) {
+                Ok(atts) => break atts,
+                Err(e) if e.retryable && attempt < Self::CNI_RETRIES => {
+                    attempt += 1;
+                    ctx.vmm.network_mut().run_for(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => {
+                    for (c, &node) in spec.containers.iter().zip(&placement.assignments) {
+                        let n = &mut self.nodes[node.0];
+                        n.allocated = contd::ResourceRequest::new(
+                            n.allocated
+                                .cpu_millis
+                                .saturating_sub(c.resources.cpu_millis),
+                            n.allocated
+                                .memory_mib
+                                .saturating_sub(c.resources.memory_mib),
+                        );
+                    }
+                    return Err(DeployError::Network(e));
+                }
+            }
+        };
 
         // Create the containers (network handled above).
         for (c, &vm) in spec.containers.iter().zip(&vm_placement) {
@@ -211,6 +244,14 @@ impl ControlPlane {
             live: true,
         });
         Ok(id)
+    }
+
+    /// One repair pass over degraded pod networking: asks the CNI plugin
+    /// to restore any pods it downgraded during a fault (BrFusion pods on
+    /// the fallback nested path re-promote here). Returns how many pods
+    /// were repaired. Call it periodically, like a kubelet sync loop.
+    pub fn repair_network(&mut self, ctx: &mut ClusterCtx<'_>) -> usize {
+        self.cni.maintain(ctx)
     }
 }
 
@@ -359,6 +400,110 @@ mod tests {
         let (moved, failed) = cp.drain_node(&mut ctx, node);
         assert!(moved.is_empty());
         assert_eq!(failed, vec![id]);
+    }
+
+    /// A plugin that fails the first `fail` setups, then delegates to the
+    /// default plugin. `retryable` selects the failure class.
+    struct FlakyCni {
+        fail: u32,
+        retryable: bool,
+        calls: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl CniPlugin for FlakyCni {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn setup(
+            &mut self,
+            ctx: &mut ClusterCtx<'_>,
+            pod: &PodSpec,
+            placement: &[VmId],
+        ) -> Result<Vec<PodAttachment>, crate::cni::CniError> {
+            self.calls.set(self.calls.get() + 1);
+            if self.calls.get() <= self.fail {
+                return Err(if self.retryable {
+                    crate::cni::CniError::retryable("injected transient fault")
+                } else {
+                    crate::cni::CniError::fatal("injected permanent fault")
+                });
+            }
+            DefaultCni.setup(ctx, pod, placement)
+        }
+    }
+
+    fn flaky_cluster(
+        fail: u32,
+        retryable: bool,
+    ) -> (
+        Vmm,
+        BTreeMap<VmId, ContainerEngine>,
+        ControlPlane,
+        std::rc::Rc<std::cell::Cell<u32>>,
+    ) {
+        let (vmm, engines, _) = cluster(1);
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut cp = ControlPlane::new(
+            Box::new(MostRequestedScheduler),
+            Box::new(FlakyCni {
+                fail,
+                retryable,
+                calls: calls.clone(),
+            }),
+        );
+        for node_vm in engines.keys() {
+            cp.register_node(&vmm, *node_vm);
+        }
+        (vmm, engines, cp, calls)
+    }
+
+    #[test]
+    fn transient_cni_failure_is_retried_with_backoff() {
+        let (mut vmm, mut engines, mut cp, calls) = flaky_cluster(2, true);
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let id = cp.deploy_pod(&mut ctx, pod("p0", 100)).unwrap();
+        assert_eq!(calls.get(), 3, "two failures then success");
+        assert_eq!(cp.pod(id).attachments.len(), 2);
+        // The two backoffs (10ms + 20ms) advanced simulated time.
+        let now = vmm.network().now();
+        assert!(
+            now.since(simnet::SimTime::ZERO) >= simnet::SimDuration::millis(30),
+            "backoff must advance sim time, now={now:?}"
+        );
+    }
+
+    #[test]
+    fn fatal_cni_failure_rolls_back_allocations() {
+        let (mut vmm, mut engines, mut cp, calls) = flaky_cluster(1, false);
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        // 2 x 2000 mCPU fills the 5000 node; a fatal CNI error must not
+        // leave that committed.
+        let err = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap_err();
+        assert!(matches!(err, DeployError::Network(ref e) if !e.retryable));
+        assert_eq!(calls.get(), 1, "fatal errors are not retried");
+        assert_eq!(cp.nodes()[0].allocated, ResourceRequest::default());
+        // The freed capacity is immediately usable.
+        cp.deploy_pod(&mut ctx, pod("p1", 2000)).unwrap();
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let (mut vmm, mut engines, mut cp, calls) = flaky_cluster(u32::MAX, true);
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let err = cp.deploy_pod(&mut ctx, pod("p0", 2000)).unwrap_err();
+        assert!(matches!(err, DeployError::Network(_)));
+        assert_eq!(calls.get(), 1 + ControlPlane::CNI_RETRIES);
+        // Allocations rolled back even on retryable exhaustion.
+        assert_eq!(cp.nodes()[0].allocated, ResourceRequest::default());
     }
 
     #[test]

@@ -39,6 +39,27 @@ pub struct PodAttachment {
 pub struct CniError {
     /// Human-readable cause.
     pub reason: String,
+    /// True when the fault is transient (e.g. a dead management socket)
+    /// and the control plane may retry the setup after a backoff.
+    pub retryable: bool,
+}
+
+impl CniError {
+    /// A permanent failure: retrying the same setup cannot succeed.
+    pub fn fatal(reason: impl Into<String>) -> CniError {
+        CniError {
+            reason: reason.into(),
+            retryable: false,
+        }
+    }
+
+    /// A transient failure worth retrying after a backoff.
+    pub fn retryable(reason: impl Into<String>) -> CniError {
+        CniError {
+            reason: reason.into(),
+            retryable: true,
+        }
+    }
 }
 
 impl fmt::Display for CniError {
@@ -63,6 +84,14 @@ pub trait CniPlugin {
         pod: &PodSpec,
         placement: &[VmId],
     ) -> Result<Vec<PodAttachment>, CniError>;
+
+    /// Periodic repair pass: plugins that degraded a pod's networking
+    /// during a fault (e.g. BrFusion falling back to the nested path) try
+    /// to restore the preferred wiring here. Returns how many pods were
+    /// repaired this pass. The default plugin has nothing to repair.
+    fn maintain(&mut self, _ctx: &mut ClusterCtx<'_>) -> usize {
+        0
+    }
 }
 
 /// The default plugin: each container goes through the VM's bridge+NAT
@@ -82,23 +111,22 @@ impl CniPlugin for DefaultCni {
         placement: &[VmId],
     ) -> Result<Vec<PodAttachment>, CniError> {
         // VM-local network virtualization cannot span VMs (§2, issue 2).
-        let first = placement.first().ok_or_else(|| CniError {
-            reason: "empty placement".to_owned(),
-        })?;
+        let first = placement
+            .first()
+            .ok_or_else(|| CniError::fatal("empty placement"))?;
         if placement.iter().any(|vm| vm != first) {
-            return Err(CniError {
-                reason: "default CNI cannot wire a cross-VM pod".to_owned(),
-            });
+            return Err(CniError::fatal("default CNI cannot wire a cross-VM pod"));
         }
         let mut out = Vec::with_capacity(pod.containers.len());
         for (idx, c) in pod.containers.iter().enumerate() {
             let vm = placement[idx];
-            let engine = ctx.engines.get_mut(&vm).ok_or_else(|| CniError {
-                reason: format!("no container engine on {vm:?}"),
-            })?;
-            let dp = engine.dataplane_mut().ok_or_else(|| CniError {
-                reason: format!("no default dataplane on {vm:?}"),
-            })?;
+            let engine = ctx
+                .engines
+                .get_mut(&vm)
+                .ok_or_else(|| CniError::fatal(format!("no container engine on {vm:?}")))?;
+            let dp = engine
+                .dataplane_mut()
+                .ok_or_else(|| CniError::fatal(format!("no default dataplane on {vm:?}")))?;
             let net = dp.attach_container(ctx.vmm, &c.name, &c.ports);
             out.push(PodAttachment {
                 container_idx: idx,

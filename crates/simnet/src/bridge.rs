@@ -20,6 +20,10 @@ use std::collections::HashMap;
 /// Default FDB entry lifetime (Linux default is 300 s).
 pub const DEFAULT_AGEING: SimDuration = SimDuration::secs(300);
 
+/// Default FDB capacity (entries). Linux bridges bound their FDB hash
+/// table; without a cap, MAC churn grows the map without limit.
+pub const DEFAULT_FDB_CAP: usize = 1024;
+
 /// Interned counter ids, resolved on the first frame and cached.
 #[derive(Clone, Copy)]
 struct BridgeIds {
@@ -46,6 +50,7 @@ pub struct Bridge {
     cost: StageCost,
     station: SharedStation,
     ageing: SimDuration,
+    fdb_cap: usize,
     fdb: HashMap<MacAddr, (PortId, SimTime)>,
     ids: Option<BridgeIds>,
 }
@@ -60,6 +65,7 @@ impl Bridge {
             cost,
             station,
             ageing: DEFAULT_AGEING,
+            fdb_cap: DEFAULT_FDB_CAP,
             fdb: HashMap::new(),
             ids: None,
         }
@@ -71,22 +77,61 @@ impl Bridge {
         self
     }
 
+    /// Overrides the FDB capacity.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity.
+    pub fn with_fdb_cap(mut self, cap: usize) -> Bridge {
+        assert!(cap > 0, "FDB capacity must be positive");
+        self.fdb_cap = cap;
+        self
+    }
+
     /// Number of ports.
     pub fn nports(&self) -> usize {
         self.nports
     }
 
-    /// Current FDB size (live entries only are counted at lookup time; this
-    /// includes possibly-stale entries).
+    /// Current FDB size. Aged entries are evicted when looked up and when
+    /// learning past the capacity, so the count stays bounded by
+    /// [`with_fdb_cap`](Bridge::with_fdb_cap) even under MAC churn.
     pub fn fdb_len(&self) -> usize {
         self.fdb.len()
     }
 
-    fn lookup(&self, mac: MacAddr, now: SimTime) -> Option<PortId> {
-        self.fdb
-            .get(&mac)
-            .filter(|(_, learned)| now.since(*learned) <= self.ageing)
-            .map(|(p, _)| *p)
+    fn lookup(&mut self, mac: MacAddr, now: SimTime) -> Option<PortId> {
+        match self.fdb.get(&mac) {
+            Some(&(p, learned)) if now.since(learned) <= self.ageing => Some(p),
+            Some(_) => {
+                // Stale hit: evict on the miss so the FDB only retains
+                // entries that can still switch frames.
+                self.fdb.remove(&mac);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Learns `mac` on `port`, evicting past the capacity: aged entries
+    /// first, then — if the table is full of live entries — the least
+    /// recently learned one (ties broken on the MAC bytes, so eviction
+    /// never depends on hash-map iteration order).
+    fn learn(&mut self, mac: MacAddr, port: PortId, now: SimTime) {
+        if self.fdb.len() >= self.fdb_cap && !self.fdb.contains_key(&mac) {
+            let ageing = self.ageing;
+            self.fdb
+                .retain(|_, &mut (_, learned)| now.since(learned) <= ageing);
+            while self.fdb.len() >= self.fdb_cap {
+                let victim = self
+                    .fdb
+                    .iter()
+                    .min_by_key(|&(m, &(_, learned))| (learned, m.0))
+                    .map(|(m, _)| *m)
+                    .expect("non-empty FDB at capacity");
+                self.fdb.remove(&victim);
+            }
+        }
+        self.fdb.insert(mac, (port, now));
     }
 }
 
@@ -103,7 +148,7 @@ impl Device for Bridge {
 
         // Learn the source address on the ingress port.
         if !frame.src_mac.is_multicast() {
-            self.fdb.insert(frame.src_mac, (port, ctx.now()));
+            self.learn(frame.src_mac, port, ctx.now());
         }
 
         if frame.dst_mac.is_multicast() {
@@ -341,6 +386,50 @@ mod tests {
         net.run_to_idle();
         // Both the unknown-unicast and the multicast frame flooded.
         assert_eq!(net.store().counter("bridge.flooded"), 2.0);
+    }
+
+    #[test]
+    fn fdb_evicts_aged_on_capacity_and_lookup_miss() {
+        let mut br = Bridge::new(
+            2,
+            StageCost::fixed(1_000, 0.0, CpuCategory::Sys),
+            SharedStation::new(),
+        )
+        .with_fdb_cap(4)
+        .with_ageing(SimDuration::secs(1));
+        // Fill to capacity at t=0.
+        for i in 0..4 {
+            br.learn(MacAddr::local(i), PortId(0), SimTime::ZERO);
+        }
+        assert_eq!(br.fdb_len(), 4);
+        // Two seconds later every entry is aged: learning a fifth MAC
+        // evicts all of them instead of growing past the cap.
+        let later = SimTime::ZERO + SimDuration::secs(2);
+        br.learn(MacAddr::local(10), PortId(1), later);
+        assert_eq!(br.fdb_len(), 1, "aged entries evicted on insert");
+        assert_eq!(br.lookup(MacAddr::local(10), later), Some(PortId(1)));
+        // MAC churn with live entries: the least recently learned entry is
+        // evicted, and the FDB never exceeds its capacity.
+        for i in 0..10u32 {
+            br.learn(
+                MacAddr::local(100 + i),
+                PortId(0),
+                later + SimDuration::micros(u64::from(i)),
+            );
+        }
+        assert_eq!(br.fdb_len(), 4, "capacity bounds the live FDB");
+        let t = later + SimDuration::micros(20);
+        assert_eq!(br.lookup(MacAddr::local(109), t), Some(PortId(0)));
+        assert_eq!(
+            br.lookup(MacAddr::local(100), t),
+            None,
+            "oldest churned out"
+        );
+        // A stale entry found by lookup is dropped on the miss, so
+        // fdb_len no longer reports entries that cannot switch frames.
+        let much_later = later + SimDuration::secs(5);
+        assert_eq!(br.lookup(MacAddr::local(109), much_later), None);
+        assert_eq!(br.fdb_len(), 3, "stale entry evicted by the lookup miss");
     }
 
     #[test]

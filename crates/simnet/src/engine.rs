@@ -39,6 +39,7 @@
 //! pop order, so per-shard executions are slices of the sequential one.
 
 use crate::device::{Device, DeviceId, PortId};
+use crate::fault::{FaultIds, FaultPlan};
 use crate::frame::Frame;
 use crate::time::{SimDuration, SimTime};
 use metrics::{
@@ -457,6 +458,12 @@ pub struct Network {
     affinity: Vec<(DeviceId, DeviceId)>,
     shard: Option<ShardCtx>,
     event_log: Option<Vec<LogEntry>>,
+    /// Scheduled fault plan (see `fault.rs`); shared read-only with every
+    /// shard when the network is split.
+    fault: Option<Arc<FaultPlan>>,
+    /// Fault counter ids, interned into *this* network's store (re-interned
+    /// per shard store on split).
+    fault_ids: Option<FaultIds>,
 }
 
 impl Network {
@@ -487,7 +494,30 @@ impl Network {
             affinity: Vec::new(),
             shard: None,
             event_log: None,
+            fault: None,
+            fault_ids: None,
         }
+    }
+
+    /// Installs a deterministic fault plan (see [`FaultPlan`]). Faults draw
+    /// from the emitting device's own RNG stream, so a faulted scenario is
+    /// bit-identical across shard counts.
+    ///
+    /// # Panics
+    /// Panics if events have already been processed: fault windows are part
+    /// of the scenario, not something to mutate mid-run.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            self.processed, 0,
+            "install fault plans before running the network"
+        );
+        self.fault_ids = Some(FaultIds::intern(&mut self.store));
+        self.fault = Some(Arc::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_deref()
     }
 
     /// Configures the flight recorder. Must be called before any event is
@@ -904,6 +934,7 @@ impl Network {
                 };
                 store.enable_journal();
                 let link_lost = store.metric_id("link.lost");
+                let fault_ids = self.fault.as_ref().map(|_| FaultIds::intern(&mut store));
                 let mut net = Network {
                     devices,
                     links: self.links.clone(),
@@ -939,6 +970,8 @@ impl Network {
                         outbox: Vec::new(),
                     }),
                     event_log: Some(Vec::new()),
+                    fault: self.fault.clone(),
+                    fault_ids,
                 };
                 for (tag, kind) in initial.next().unwrap() {
                     net.push_keyed(tag, kind);
@@ -1172,7 +1205,41 @@ impl<'a> DevCtx<'a> {
                         return;
                     }
                 }
-                let at = when + params.latency;
+                // Scheduled fault injection, drawn from this device's own
+                // RNG *after* the link's base loss draw — plan-free runs
+                // keep their exact draw sequences.
+                let mut extra = SimDuration::ZERO;
+                let mut duplicate = false;
+                if self.net.fault.is_some() {
+                    let net = &mut *self.net;
+                    let plan = net.fault.as_deref().expect("fault plan checked above");
+                    let out = plan.outcome(self.id, port, when, &mut net.devices[self.id.0].rng);
+                    let ids = net.fault_ids.expect("fault ids interned with the plan");
+                    if out.down {
+                        net.store.add_id(ids.down, 1.0);
+                        return;
+                    }
+                    if out.lost {
+                        net.store.add_id(ids.lost, 1.0);
+                        return;
+                    }
+                    if out.corrupt {
+                        net.store.add_id(ids.corrupt, 1.0);
+                        return;
+                    }
+                    if out.duplicate {
+                        net.store.add_id(ids.duplicated, 1.0);
+                        duplicate = true;
+                    }
+                    if out.reordered {
+                        net.store.add_id(ids.reordered, 1.0);
+                    }
+                    if out.stalled {
+                        net.store.add_id(ids.stalled, 1.0);
+                    }
+                    extra = out.extra;
+                }
+                let at = when + params.latency + extra;
                 let slot = &mut self.net.devices[self.id.0];
                 let seq = slot.emit_seq;
                 slot.emit_seq += 1;
@@ -1181,7 +1248,21 @@ impl<'a> DevCtx<'a> {
                     src: self.id.0 as u32,
                     seq,
                 };
-                self.net.route_frame(tag, peer, peer_port, frame);
+                if duplicate {
+                    let dup = frame.clone();
+                    self.net.route_frame(tag, peer, peer_port, frame);
+                    let slot = &mut self.net.devices[self.id.0];
+                    let seq = slot.emit_seq;
+                    slot.emit_seq += 1;
+                    let tag = EventTag {
+                        at,
+                        src: self.id.0 as u32,
+                        seq,
+                    };
+                    self.net.route_frame(tag, peer, peer_port, dup);
+                } else {
+                    self.net.route_frame(tag, peer, peer_port, frame);
+                }
             }
             None => {
                 self.net.dropped_no_link += 1;

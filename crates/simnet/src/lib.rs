@@ -45,6 +45,7 @@ pub mod costs;
 pub mod device;
 pub mod endpoint;
 pub mod engine;
+pub mod fault;
 pub mod flight;
 pub mod frame;
 pub mod nat;
@@ -61,6 +62,7 @@ pub use costs::{CostModel, StageCost};
 pub use device::{Device, DeviceId, DeviceKind, PortId, Station};
 pub use endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
 pub use engine::{DevCtx, LinkParams, Network, SampleStore};
+pub use fault::{FaultPlan, LinkFault, LinkFaultKind, StallWindow};
 pub use flight::{chrome_trace_network, chrome_trace_report, snapshot_network, snapshot_report};
 pub use frame::{Frame, Payload, TcpKind, Transport};
 pub use parallel::{shards_from_env, PartitionPlan, RunReport, ShardedNetwork};

@@ -194,6 +194,18 @@ impl NatControl {
         self.0.lock().dnat.len()
     }
 
+    /// Removes every DNAT rule matching `proto` + `match_port` (an
+    /// `iptables -D` analogue; used when a publication moves to a new
+    /// backend). Returns how many rules were removed. Established flows
+    /// keep their conntrack entry, exactly like the kernel.
+    pub fn remove_dnat(&self, proto: Proto, match_port: u16) -> usize {
+        let mut cfg = self.0.lock();
+        let before = cfg.dnat.len();
+        cfg.dnat
+            .retain(|r| !(r.proto == proto && r.match_port == match_port));
+        before - cfg.dnat.len()
+    }
+
     /// Installs a round-robin load-balancing rule for a service VIP.
     ///
     /// # Panics
@@ -226,6 +238,7 @@ struct NatIds {
     drop_ttl: MetricId,
     drop_no_route: MetricId,
     drop_no_neigh: MetricId,
+    drop_port_exhausted: MetricId,
     routed: MetricId,
     conntrack_hit: MetricId,
     conntrack_new: MetricId,
@@ -241,6 +254,7 @@ impl NatIds {
             drop_ttl: ctx.metric("nat.drop_ttl"),
             drop_no_route: ctx.metric("nat.drop_no_route"),
             drop_no_neigh: ctx.metric("nat.drop_no_neigh"),
+            drop_port_exhausted: ctx.metric("nat.drop_port_exhausted"),
             routed: ctx.metric("nat.routed"),
             conntrack_hit: ctx.metric("nat.conntrack_hit"),
             conntrack_new: ctx.metric("nat.conntrack_new"),
@@ -310,13 +324,39 @@ impl NatRouter {
         self.conntrack.len()
     }
 
-    fn alloc_nat_port(&mut self) -> u16 {
-        let p = self.next_nat_port;
-        self.next_nat_port = self
-            .next_nat_port
-            .checked_add(1)
-            .unwrap_or(Self::NAT_PORT_BASE);
-        p
+    /// Allocates a masquerade source port on interface address `ip`,
+    /// skipping ports still held by a live conntrack entry (the previous
+    /// free-running counter handed out in-use ports after wrapping at
+    /// `u16::MAX`, letting two flows share a source port). Returns `None`
+    /// when every port of the range is genuinely in use.
+    fn alloc_nat_port(&mut self, ip: Ip4, proto: Proto, now: crate::time::SimTime) -> Option<u16> {
+        let timeout = self.conntrack_timeout;
+        // One pass over conntrack: every port a live entry holds on `ip`,
+        // in either direction (reply keys address the masquerade side as
+        // `dst`; forward entries carry it as `new_src`).
+        let in_use: HashSet<u16> = self
+            .conntrack
+            .iter()
+            .filter(|(k, e)| k.proto == proto && now.since(e.last_used) <= timeout)
+            .flat_map(|(k, e)| {
+                [k.dst, e.new_src]
+                    .into_iter()
+                    .filter(|s| s.ip == ip)
+                    .map(|s| s.port)
+            })
+            .collect();
+        let range = u32::from(u16::MAX) - u32::from(Self::NAT_PORT_BASE) + 1;
+        for _ in 0..range {
+            let p = self.next_nat_port;
+            self.next_nat_port = self
+                .next_nat_port
+                .checked_add(1)
+                .unwrap_or(Self::NAT_PORT_BASE);
+            if !in_use.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
     }
 }
 
@@ -439,7 +479,14 @@ impl Device for NatRouter {
                 return;
             };
             let new_src = if cfg.masquerade.contains(&route.port) {
-                SockAddr::new(cfg.ifaces[route.port.0].ip, self.alloc_nat_port())
+                let ip = cfg.ifaces[route.port.0].ip;
+                match self.alloc_nat_port(ip, proto, ctx.now()) {
+                    Some(p) => SockAddr::new(ip, p),
+                    None => {
+                        ctx.count_id(ids.drop_port_exhausted, 1.0);
+                        return;
+                    }
+                }
             } else {
                 src_sock
             };
@@ -687,6 +734,112 @@ mod tests {
         net.run_to_idle();
         assert_eq!(net.cpu().get(CpuLocation::Vm(1), CpuCategory::Soft), 1_000);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 1_000);
+    }
+
+    /// A live conntrack pair holding masquerade port `p` towards `remote`.
+    fn hold_port(r: &mut NatRouter, ip: Ip4, p: u16, remote: SockAddr, now: crate::time::SimTime) {
+        let held = SockAddr::new(ip, p);
+        let pod = SockAddr::new(Ip4::new(172, 17, 0, 2), p); // arbitrary inside addr
+        r.conntrack.insert(
+            ConnKey {
+                proto: Proto::Udp,
+                src: pod,
+                dst: remote,
+            },
+            ConnEntry {
+                new_src: held,
+                new_dst: remote,
+                last_used: now,
+            },
+        );
+        r.conntrack.insert(
+            ConnKey {
+                proto: Proto::Udp,
+                src: remote,
+                dst: held,
+            },
+            ConnEntry {
+                new_src: remote,
+                new_dst: pod,
+                last_used: now,
+            },
+        );
+    }
+
+    #[test]
+    fn nat_port_wraparound_skips_live_ports() {
+        let mut r = router();
+        let ip = Ip4::new(192, 168, 0, 1);
+        let now = crate::time::SimTime::ZERO;
+        let remote = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
+        // A live flow holds the first port of the range; pin the allocator
+        // to the top so the next allocation wraps.
+        hold_port(&mut r, ip, NatRouter::NAT_PORT_BASE, remote, now);
+        r.next_nat_port = u16::MAX;
+        assert_eq!(r.alloc_nat_port(ip, Proto::Udp, now), Some(u16::MAX));
+        // The wrap lands on NAT_PORT_BASE, which is in use: skipped.
+        assert_eq!(
+            r.alloc_nat_port(ip, Proto::Udp, now),
+            Some(NatRouter::NAT_PORT_BASE + 1)
+        );
+        // An *expired* holder does not block its port.
+        let after_timeout = now + NatRouter::DEFAULT_CONNTRACK_TIMEOUT + SimDuration::secs(1);
+        r.next_nat_port = NatRouter::NAT_PORT_BASE;
+        assert_eq!(
+            r.alloc_nat_port(ip, Proto::Udp, after_timeout),
+            Some(NatRouter::NAT_PORT_BASE)
+        );
+    }
+
+    #[test]
+    fn nat_port_exhaustion_errors_cleanly() {
+        let mut r = router();
+        let ip = Ip4::new(192, 168, 0, 1);
+        let now = crate::time::SimTime::ZERO;
+        // Every port of the masquerade range held by a live flow (each with
+        // a distinct remote so the conntrack keys stay unique).
+        for p in NatRouter::NAT_PORT_BASE..=u16::MAX {
+            let remote = SockAddr::new(Ip4::new(192, 168, 0, 100), p);
+            hold_port(&mut r, ip, p, remote, now);
+        }
+        assert_eq!(r.alloc_nat_port(ip, Proto::Udp, now), None);
+        // Releasing one port makes exactly that port allocatable again.
+        let freed = NatRouter::NAT_PORT_BASE + 7;
+        r.conntrack.retain(|k, e| {
+            k.dst != SockAddr::new(ip, freed) && e.new_src != SockAddr::new(ip, freed)
+        });
+        r.next_nat_port = NatRouter::NAT_PORT_BASE;
+        assert_eq!(r.alloc_nat_port(ip, Proto::Udp, now), Some(freed));
+    }
+
+    #[test]
+    fn masquerade_port_exhaustion_drops_and_counts() {
+        let mut net = Network::new(0);
+        let mut r = router();
+        r.add_route(Route {
+            net: Ip4Net::new(Ip4::UNSPECIFIED, 0),
+            port: PortId(0),
+            via: Some(Ip4::new(192, 168, 0, 100)),
+        });
+        let now = crate::time::SimTime::ZERO;
+        let ip = Ip4::new(192, 168, 0, 1);
+        for p in NatRouter::NAT_PORT_BASE..=u16::MAX {
+            let remote = SockAddr::new(Ip4::new(192, 168, 0, 100), p);
+            hold_port(&mut r, ip, p, remote, now);
+        }
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        // A new masquerade flow finds no free port: dropped, counted.
+        let f = Frame::udp(
+            MacAddr::local(2),
+            MacAddr::local(11),
+            SockAddr::new(Ip4::new(172, 17, 0, 2), 4242),
+            SockAddr::new(Ip4::new(10, 1, 2, 3), 9999),
+            Payload::sized(64),
+        );
+        net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
+        net.run_to_idle();
+        assert_eq!(net.store().counter("nat.drop_port_exhausted"), 1.0);
+        assert_eq!(net.store().counter("ext.received"), 0.0);
     }
 
     #[test]

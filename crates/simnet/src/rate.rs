@@ -97,9 +97,17 @@ impl Device for RateLimiter {
             // Pace: wait for the deficit to accrue, queued behind any
             // frame already waiting (settled_at may be in the future).
             let deficit = len - b.tokens;
-            b.tokens = 0.0;
             let delay = SimDuration::nanos((deficit / self.rate_bytes_per_ns).ceil() as u64);
-            let departure = (b.settled_at + delay).max(served);
+            let earliest = b.settled_at + delay;
+            let departure = earliest.max(served);
+            // Exact accounting: at `earliest` the bucket holds whatever the
+            // ceil'd delay over-accrued beyond the deficit, and any extra
+            // wait until a service-clamped departure keeps earning credit
+            // (both were previously zeroed, silently discarding it).
+            let at_earliest =
+                (b.tokens + delay.as_nanos() as f64 * self.rate_bytes_per_ns - len).max(0.0);
+            let clamp_credit = departure.since(earliest).as_nanos() as f64 * self.rate_bytes_per_ns;
+            b.tokens = (at_earliest + clamp_credit).min(self.burst_bytes);
             b.settled_at = departure;
             ctx.count_id(paced_id, 1.0);
             // The span covers the pacing delay: exit = actual departure.
@@ -185,6 +193,44 @@ mod tests {
         // Only the 100ns-per-frame service cost, no pacing delays.
         assert!(last <= 2_000.0, "burst delayed to {last} ns");
         assert_eq!(net.store().counter("shaper.paced"), 0.0);
+    }
+
+    #[test]
+    fn clamped_departure_keeps_earned_credit() {
+        // 8 Gbit/s = 1 byte/ns, burst 1000B, slow 10µs service stage.
+        let mut net = Network::new(0);
+        let shaper = net.add_device(
+            "tbf",
+            CpuLocation::Host,
+            Box::new(RateLimiter::new(
+                8_000_000_000,
+                1_000,
+                StageCost::fixed(10_000, 0.0, CpuCategory::Sys),
+                SharedStation::new(),
+            )),
+        );
+        let sink = net.add_device(
+            "sink",
+            CpuLocation::Host,
+            Box::new(CaptureSink::new("sink")),
+        );
+        net.connect(shaper, PortId::P1, sink, PortId::P0, LinkParams::default());
+        // Three 1000-wire-byte frames at t=0. Frame 1 spends the burst;
+        // frame 2 is paced but its departure is clamped to the 20µs service
+        // completion, during which a full 1000B of credit accrues. Frame 3
+        // must therefore pass unpaced. The old code zeroed the bucket on
+        // every paced departure, pacing frame 3 too.
+        for _ in 0..3 {
+            net.inject_frame(
+                SimDuration::ZERO,
+                shaper,
+                PortId::P0,
+                frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
+            );
+        }
+        net.run_to_idle();
+        assert_eq!(net.store().counter("sink.received"), 3.0);
+        assert_eq!(net.store().counter("shaper.paced"), 1.0);
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! jitter and frame loss enabled.
 
 use metrics::{CpuAccount, SpanId, SpanRecord, StageAgg, StageTable, TraceConfig};
+use nestless_simnet::device::{DeviceId, PortId};
 use nestless_simnet::engine::{Network, SampleStore, TraceEntry};
 use nestless_simnet::testutil::{build_multihost, MultihostSpec};
 use nestless_simnet::time::{SimDuration, SimTime};
-use nestless_simnet::ShardedNetwork;
+use nestless_simnet::{FaultPlan, LinkFault, LinkFaultKind, ShardedNetwork, StallWindow};
 use std::collections::BTreeMap;
 
 const SEED: u64 = 0xC0FFEE;
@@ -180,6 +181,153 @@ fn sharded_runs_are_bit_identical_to_sequential() {
             assert!(nshards > 1, "≥4-host topology must actually shard");
         }
         assert_identical(&format!("{want} shards (got {nshards})"), &seq, &out);
+    }
+}
+
+/// A seed-derived schedule exercising every fault kind on the multihost
+/// uplinks: a flapping host-0 uplink (both directions), lossy/corrupting/
+/// duplicating/reordering windows on the other uplinks, plus device stalls.
+/// Device ids follow `build_multihost`'s creation order: core is device 0,
+/// then each host contributes a bridge, `2 * local_flows` bouncers and a
+/// cross bouncer; the uplink leaves each host bridge on its last port.
+fn fault_plan(spec: &MultihostSpec) -> FaultPlan {
+    let per_host = 2 + 2 * spec.local_flows;
+    let host_bridge = |h: usize| DeviceId(1 + h * per_host);
+    let uplink_port = PortId(2 * spec.local_flows + 1);
+    FaultPlan::new()
+        // Host-0 uplink flaps: 4 cable pulls of 100 us, 150 us apart.
+        .link_flap(
+            host_bridge(0),
+            uplink_port,
+            SimTime(200_000),
+            SimDuration::micros(100),
+            SimDuration::micros(150),
+            4,
+        )
+        .link_flap(
+            DeviceId(0),
+            PortId(0),
+            SimTime(200_000),
+            SimDuration::micros(100),
+            SimDuration::micros(150),
+            4,
+        )
+        .link_fault(LinkFault {
+            dev: host_bridge(1),
+            port: uplink_port,
+            from: SimTime(0),
+            until: SimTime(2_000_000),
+            kind: LinkFaultKind::Loss(0.2),
+        })
+        .link_fault(LinkFault {
+            dev: DeviceId(0),
+            port: PortId(1),
+            from: SimTime(300_000),
+            until: SimTime(1_500_000),
+            kind: LinkFaultKind::Corrupt(0.15),
+        })
+        .link_fault(LinkFault {
+            dev: host_bridge(2),
+            port: uplink_port,
+            from: SimTime(100_000),
+            until: SimTime(1_800_000),
+            kind: LinkFaultKind::Duplicate(0.3),
+        })
+        .link_fault(LinkFault {
+            dev: DeviceId(0),
+            port: PortId(2),
+            from: SimTime(0),
+            until: SimTime(2_000_000),
+            kind: LinkFaultKind::Reorder {
+                prob: 0.25,
+                max_extra: SimDuration::micros(30),
+            },
+        })
+        // Stalls land on host bridges: their local-flow forwarding emits
+        // throughout the run, so the windows are guaranteed to catch
+        // frames (cross-host chains die to loss early on).
+        .stall(StallWindow {
+            dev: host_bridge(3),
+            from: SimTime(500_000),
+            until: SimTime(900_000),
+            extra: SimDuration::micros(20),
+        })
+        .stall(StallWindow {
+            dev: host_bridge(1),
+            from: SimTime(1_000_000),
+            until: SimTime(1_100_000),
+            extra: SimDuration::micros(5),
+        })
+}
+
+fn build_faulted() -> Network {
+    let mut net = build();
+    net.install_fault_plan(fault_plan(&spec()));
+    net
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_shard_counts() {
+    let mut seq_net = build_faulted();
+    seq_net.run_until(SimTime(2_000_000));
+    let (samples, counters) = snapshot(seq_net.store());
+    let seq = Outcome {
+        samples,
+        counters,
+        cpu: seq_net.cpu().clone(),
+        trace: seq_net.trace().to_vec(),
+        trace_dropped: seq_net.dropped_traces(),
+        spans: named_spans(seq_net.spans(), seq_net.store()),
+        spans_emitted: seq_net.spans_emitted(),
+        spans_dropped: seq_net.spans_dropped(),
+        stages: named_stages(seq_net.stages(), seq_net.store()),
+        events: seq_net.events_processed(),
+        dropped: seq_net.dropped_no_link(),
+        now: seq_net.now(),
+    };
+    // Every fault kind actually fired in the window.
+    for name in [
+        "fault.link_down",
+        "fault.lost",
+        "fault.corrupt",
+        "fault.duplicated",
+        "fault.reordered",
+        "fault.stalled",
+    ] {
+        assert!(
+            seq.counters.get(name).copied().unwrap_or(0.0) > 0.0,
+            "{name} never fired; the plan does not exercise it"
+        );
+    }
+
+    for want in [1, 2, 8] {
+        let mut sn = ShardedNetwork::new(build_faulted(), want);
+        sn.run_until(SimTime(2_000_000));
+        let nshards = sn.nshards();
+        if want > 1 {
+            assert!(nshards > 1, "≥4-host topology must actually shard");
+        }
+        let report = sn.into_report();
+        let (samples, counters) = snapshot(&report.store);
+        let out = Outcome {
+            samples,
+            counters,
+            cpu: report.cpu,
+            trace_dropped: report.trace_dropped,
+            spans: named_spans(&report.spans, &report.store),
+            spans_emitted: report.spans_emitted,
+            spans_dropped: report.spans_dropped,
+            stages: named_stages(&report.stages, &report.store),
+            trace: report.trace,
+            events: report.events_processed,
+            dropped: report.dropped_no_link,
+            now: report.now,
+        };
+        assert_identical(
+            &format!("faulted, {want} shards (got {nshards})"),
+            &seq,
+            &out,
+        );
     }
 }
 

@@ -81,6 +81,13 @@ pub enum QmpResponse {
 impl Vmm {
     /// Executes one management command, QMP-style.
     pub fn qmp(&mut self, cmd: QmpCommand) -> QmpResponse {
+        // Injected management-channel faults claim the command before any
+        // dispatch, exactly like a dead monitor socket would.
+        if self.qmp_fault_fires() {
+            return QmpResponse::Error {
+                desc: "management socket unreachable (injected fault)".to_owned(),
+            };
+        }
         match cmd {
             QmpCommand::NetdevAdd {
                 vm,
@@ -90,6 +97,11 @@ impl Vmm {
                 if vm as usize >= self.vms().len() {
                     return QmpResponse::Error {
                         desc: format!("no such VM: {vm}"),
+                    };
+                }
+                if self.vm(VmId(vm)).state == crate::vm::VmState::Crashed {
+                    return QmpResponse::Error {
+                        desc: format!("VM {vm} has crashed"),
                     };
                 }
                 let Some(br) = self.bridge_by_name(&bridge) else {
@@ -300,6 +312,61 @@ mod tests {
         }
         // The VMM still works afterwards.
         assert!(vmm.qmp_json(r#"{"QueryNics":{"vm":0}}"#).contains("Nics"));
+    }
+
+    #[test]
+    fn injected_outage_rejects_commands_by_sim_time() {
+        use simnet::{SimDuration, SimTime};
+        let mut vmm = vmm_with_vm();
+        vmm.inject_qmp_outage(SimTime::ZERO, SimTime::ZERO + SimDuration::micros(50));
+        let r = vmm.qmp(QmpCommand::QueryNics { vm: 0 });
+        assert!(matches!(r, QmpResponse::Error { ref desc } if desc.contains("injected")));
+        assert_eq!(vmm.qmp_faults_injected(), 1);
+        // Past the window the socket works again.
+        vmm.network_mut().run_for(SimDuration::micros(100));
+        assert!(matches!(
+            vmm.qmp(QmpCommand::QueryNics { vm: 0 }),
+            QmpResponse::Nics(_)
+        ));
+        assert_eq!(vmm.qmp_faults_injected(), 1);
+    }
+
+    #[test]
+    fn fail_next_qmp_claims_exactly_n_commands() {
+        let mut vmm = vmm_with_vm();
+        vmm.fail_next_qmp(2);
+        for _ in 0..2 {
+            assert!(matches!(
+                vmm.qmp(QmpCommand::QueryNics { vm: 0 }),
+                QmpResponse::Error { .. }
+            ));
+        }
+        assert!(matches!(
+            vmm.qmp(QmpCommand::QueryNics { vm: 0 }),
+            QmpResponse::Nics(_)
+        ));
+        assert_eq!(vmm.qmp_faults_injected(), 2);
+    }
+
+    #[test]
+    fn crashed_vm_refuses_netdev_add() {
+        let mut vmm = vmm_with_vm();
+        vmm.crash_vm(crate::vm::VmId(0));
+        let r = vmm.qmp(QmpCommand::NetdevAdd {
+            vm: 0,
+            bridge: "br0".into(),
+            coalesce: false,
+        });
+        assert!(matches!(r, QmpResponse::Error { ref desc } if desc.contains("crashed")));
+        vmm.restart_vm(crate::vm::VmId(0));
+        assert!(matches!(
+            vmm.qmp(QmpCommand::NetdevAdd {
+                vm: 0,
+                bridge: "br0".into(),
+                coalesce: false,
+            }),
+            QmpResponse::NicAdded(_)
+        ));
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum VmState {
     Running,
     /// Shut down.
     Stopped,
+    /// Died unexpectedly (fault injection); restartable.
+    Crashed,
 }
 
 /// Resources requested for a VM (the evaluation uses 5 vCPUs / 4 GB, §5.1).
@@ -88,9 +90,11 @@ pub struct Vm {
 }
 
 impl Vm {
-    /// Active NICs only.
+    /// Active NICs only. A crashed VM reports none: its guest side is gone,
+    /// so the management channel and the in-VM agent both come up empty.
     pub fn active_nics(&self) -> impl Iterator<Item = &VmNic> {
-        self.nics.iter().filter(|n| n.active)
+        let crashed = self.state == VmState::Crashed;
+        self.nics.iter().filter(move |n| n.active && !crashed)
     }
 
     /// Looks up an active NIC by MAC.

@@ -83,6 +83,12 @@ pub struct Vmm {
     hostlos: Vec<HostloInfo>,
     nic_seq: u32,
     hostlo_fanout: FanoutMode,
+    /// Sim-time windows during which the management socket is unreachable.
+    qmp_outages: Vec<(simnet::SimTime, simnet::SimTime)>,
+    /// Fail the next N management commands unconditionally.
+    qmp_fail_next: u32,
+    /// Management commands rejected by injected faults so far.
+    qmp_faults_injected: u64,
 }
 
 impl Vmm {
@@ -104,6 +110,9 @@ impl Vmm {
             hostlos: Vec::new(),
             nic_seq: 0,
             hostlo_fanout: FanoutMode::AllQueues,
+            qmp_outages: Vec::new(),
+            qmp_fail_next: 0,
+            qmp_faults_injected: 0,
         }
     }
 
@@ -252,6 +261,57 @@ impl Vmm {
     /// nothing injects traffic to them anymore).
     pub fn stop_vm(&mut self, vm: VmId) {
         self.vms[vm.0 as usize].state = VmState::Stopped;
+    }
+
+    /// Crashes a VM (fault injection). The VM stops reporting NICs and
+    /// refuses management commands until [`Vmm::restart_vm`].
+    pub fn crash_vm(&mut self, vm: VmId) {
+        self.vms[vm.0 as usize].state = VmState::Crashed;
+    }
+
+    /// Restarts a crashed or stopped VM. Its NIC inventory survives, as a
+    /// rebooted QEMU re-creates devices from its command line.
+    pub fn restart_vm(&mut self, vm: VmId) {
+        let v = &mut self.vms[vm.0 as usize];
+        assert!(
+            v.state != VmState::Created,
+            "boot VMs through create_vm, not restart_vm"
+        );
+        v.state = VmState::Running;
+    }
+
+    /// Makes the management socket unreachable for the sim-time window
+    /// `[from, until)`: every command issued inside it fails. Models a
+    /// wedged QEMU main loop or a dropped monitor connection.
+    pub fn inject_qmp_outage(&mut self, from: simnet::SimTime, until: simnet::SimTime) {
+        assert!(from < until, "outage window must be non-empty");
+        self.qmp_outages.push((from, until));
+    }
+
+    /// Fails the next `n` management commands regardless of sim time.
+    pub fn fail_next_qmp(&mut self, n: u32) {
+        self.qmp_fail_next += n;
+    }
+
+    /// Management commands rejected by injected faults so far.
+    pub fn qmp_faults_injected(&self) -> u64 {
+        self.qmp_faults_injected
+    }
+
+    /// True when an injected fault claims the command issued now; bumps the
+    /// injected-fault counter. Called at the top of the QMP dispatcher.
+    pub(crate) fn qmp_fault_fires(&mut self) -> bool {
+        if self.qmp_fail_next > 0 {
+            self.qmp_fail_next -= 1;
+            self.qmp_faults_injected += 1;
+            return true;
+        }
+        let now = self.net.now();
+        if self.qmp_outages.iter().any(|&(f, u)| f <= now && now < u) {
+            self.qmp_faults_injected += 1;
+            return true;
+        }
+        false
     }
 
     fn next_mac(&mut self) -> (NicId, MacAddr) {
@@ -525,6 +585,22 @@ mod tests {
         let _b = vmm.create_vm(VmSpec::paper_eval("b"));
         assert_eq!(vmm.provisioned_vcpus(), 10);
         vmm.stop_vm(a);
+        assert_eq!(vmm.provisioned_vcpus(), 5);
+    }
+
+    #[test]
+    fn crash_hides_nics_until_restart() {
+        let mut vmm = Vmm::new(0);
+        let br = vmm.create_bridge("br0", 8);
+        let vm = vmm.create_vm(VmSpec::paper_eval("vm0"));
+        let nic = vmm.add_nic(vm, br, false, false);
+        vmm.crash_vm(vm);
+        assert_eq!(vmm.vm(vm).state, VmState::Crashed);
+        assert!(vmm.vm(vm).nic_by_mac(nic.mac).is_none());
+        assert_eq!(vmm.provisioned_vcpus(), 0);
+        vmm.restart_vm(vm);
+        assert_eq!(vmm.vm(vm).state, VmState::Running);
+        assert_eq!(vmm.vm(vm).nic_by_mac(nic.mac).unwrap().id, nic.nic);
         assert_eq!(vmm.provisioned_vcpus(), 5);
     }
 
