@@ -14,10 +14,18 @@
 //! * `observability_overhead` — the multihost workload re-run under each
 //!   flight-recorder mode (off / counters / full); rates and the
 //!   relative cost land in `results/observability_overhead.json`.
+//! * `multicore` — an 8-host topology swept over 1/2/4/8 shards in both
+//!   synchronization modes (conservative and optimistic), each checked
+//!   bit-identical against the sequential run; speedups, sync statistics
+//!   and the detected core count land in `results/engine_multicore.json`
+//!   (consumed by the CI perf gate, `tools/perfgate.rs`).
 //!
 //! ```text
-//! cargo run --release -p nestless-bench --bin engine_throughput [reps] [frames]
+//! cargo run --release -p nestless-bench --bin engine_throughput [reps] [frames] [scenario]
 //! ```
+//!
+//! `scenario` is `all` (default), `bridge`, `multihost`, `observability`
+//! or `multicore` — CI jobs use it to run exactly the slice they gate on.
 
 use metrics::{CpuCategory, CpuLocation, TraceConfig};
 use simnet::bridge::Bridge;
@@ -273,6 +281,128 @@ fn observability_overhead(reps: usize) {
     }
 }
 
+/// The multicore sweep: an 8-host topology (9 islands, so an 8-shard
+/// request really yields 8 shards) swept over shard counts and both
+/// synchronization modes. Every configuration is digest-checked against
+/// the sequential run — the sweep doubles as the cross-mode determinism
+/// gate — and the JSON carries everything `tools/perfgate.rs` needs:
+/// per-row speedups, sync statistics, and the detected core count (so
+/// the gate can skip scaling assertions on single-core runners).
+fn multicore(reps: usize) {
+    let build = || {
+        let mut net = Network::new(0xBEEF);
+        build_multihost(
+            &mut net,
+            &MultihostSpec {
+                hosts: 8,
+                local_flows: 4,
+                loss: 0.0,
+                ..MultihostSpec::default()
+            },
+        );
+        net
+    };
+    build().run_until(MULTIHOST_HORIZON); // warm-up
+                                          // Interleaved, paired design: every rep runs the sequential engine and
+                                          // then each sharded configuration back to back, and each config's
+                                          // speedup is the ratio against *that rep's* sequential rate. Machine
+                                          // noise (frequency drift, a background task waking up) then lands on
+                                          // both sides of each ratio instead of skewing whichever half of the
+                                          // sweep it happened to overlap.
+    let configs: Vec<(bool, usize)> = [false, true]
+        .into_iter()
+        .flat_map(|o| [1usize, 2, 4, 8].into_iter().map(move |w| (o, w)))
+        .collect();
+    let mut seq_rates = Vec::with_capacity(reps);
+    let mut cfg_rates: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); configs.len()];
+    let mut cfg_ratios: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); configs.len()];
+    let mut cfg_got = vec![0usize; configs.len()];
+    let mut cfg_identical = vec![true; configs.len()];
+    let mut cfg_stats = vec![simnet::SyncStats::default(); configs.len()];
+    let mut reference = None;
+    for _ in 0..reps {
+        let mut net = build();
+        let start = Instant::now();
+        net.run_until(MULTIHOST_HORIZON);
+        let elapsed = start.elapsed();
+        let seq_rate = net.events_processed() as f64 / elapsed.as_secs_f64();
+        seq_rates.push(seq_rate);
+        reference = Some((
+            outcome_digest(net.store(), net.events_processed()),
+            net.events_processed(),
+        ));
+        let ref_digest = reference.as_ref().unwrap().0;
+        for (c, &(optimistic, want)) in configs.iter().enumerate() {
+            let mut sn = ShardedNetwork::new(build(), want);
+            sn.set_optimistic(optimistic);
+            cfg_got[c] = sn.nshards();
+            let start = Instant::now();
+            sn.run_until(MULTIHOST_HORIZON);
+            cfg_stats[c] = sn.sync_stats();
+            let report = sn.into_report();
+            // The merge is part of the cost of getting usable results.
+            let elapsed = start.elapsed();
+            let rate = report.events_processed as f64 / elapsed.as_secs_f64();
+            cfg_rates[c].push(rate);
+            cfg_ratios[c].push(rate / seq_rate);
+            cfg_identical[c] &=
+                outcome_digest(&report.store, report.events_processed) == ref_digest;
+        }
+    }
+    let (seq_median, seq_peak) = summarize(seq_rates);
+    let (_, events_per_rep) = reference.unwrap();
+
+    let mut rows = Vec::new();
+    for (c, &(optimistic, want)) in configs.iter().enumerate() {
+        let mode = if optimistic {
+            "optimistic"
+        } else {
+            "conservative"
+        };
+        let identical = cfg_identical[c];
+        let stats = &cfg_stats[c];
+        let (median, peak) = summarize(cfg_rates[c].clone());
+        let (ratio_median, _) = summarize(cfg_ratios[c].clone());
+        rows.push(format!(
+            "{{\"mode\":\"{mode}\",\"shards_wanted\":{want},\"shards_got\":{},\
+             \"events_per_sec_median\":{median:.0},\"events_per_sec_peak\":{peak:.0},\
+             \"speedup_vs_sequential_median\":{ratio_median:.3},\
+             \"speedup_vs_sequential_peak\":{:.3},\"bit_identical\":{identical},\
+             \"sync\":{{\"rounds\":{},\"spec_commits\":{},\"spec_rollbacks\":{},\"spec_denied\":{}}}}}",
+            cfg_got[c],
+            peak / seq_peak,
+            stats.rounds,
+            stats.spec_commits,
+            stats.spec_rollbacks,
+            stats.spec_denied,
+        ));
+        assert!(
+            identical,
+            "{mode} run ({want} shards) diverged from the sequential engine"
+        );
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput (crates/bench/src/bin/engine_throughput.rs)\",\n  \
+         \"scenario\": \"multicore\",\n  \
+         \"topology\": {{\"hosts\": 8, \"local_flows\": 4, \"uplink_latency_ns\": 20000, \"loss\": 0.0}},\n  \
+         \"sim_horizon_ns\": {},\n  \"reps\": {reps},\n  \"events_per_rep\": {events_per_rep},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"sequential\": {{\"events_per_sec_median\": {seq_median:.0}, \"events_per_sec_peak\": {seq_peak:.0}}},\n  \
+         \"sweep\": [\n    {}\n  ],\n  \
+         \"note\": \"bit_identical asserts the merged sharded outcome equals the sequential run's, bit for bit, in both synchronization modes. Reps interleave the sequential engine with every configuration; speedup_vs_sequential_median is the median of paired per-rep ratios and speedup_vs_sequential_peak is peak-rate over sequential peak-rate (the noise-robust statistic the perf gate asserts floors on). Wall-clock speedup is bounded by host_cores: on a single-core host the rows measure coordinator overhead, not scaling; the perf gate only asserts scaling when host_cores >= 4.\"\n}}\n",
+        MULTIHOST_HORIZON.0,
+        rows.join(",\n    ")
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/engine_multicore.json", &json))
+    {
+        eprintln!("warning: could not write results/engine_multicore.json: {e}");
+    }
+}
+
 fn arg_or(arg: Option<String>, name: &str, default: u64) -> u64 {
     match arg {
         None => default,
@@ -291,8 +421,26 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let reps = usize::try_from(arg_or(args.next(), "reps", 30)).unwrap();
     let frames = arg_or(args.next(), "frames", 10_000);
+    let scenario = args.next().unwrap_or_else(|| "all".to_string());
 
-    bridge_forwarding(reps, frames);
-    multihost_sharded(reps.min(10));
-    observability_overhead(reps.min(10));
+    match scenario.as_str() {
+        "all" => {
+            bridge_forwarding(reps, frames);
+            multihost_sharded(reps.min(10));
+            observability_overhead(reps.min(10));
+            multicore(reps.min(5));
+        }
+        "bridge" => bridge_forwarding(reps, frames),
+        "multihost" => multihost_sharded(reps.min(10)),
+        "observability" => observability_overhead(reps.min(10)),
+        "multicore" => multicore(reps.min(5)),
+        other => {
+            eprintln!(
+                "error: unknown scenario {other:?} \
+                 (expected all|bridge|multihost|observability|multicore)"
+            );
+            eprintln!("usage: engine_throughput [reps] [frames] [scenario]");
+            std::process::exit(2);
+        }
+    }
 }

@@ -29,7 +29,7 @@ pub use cdf::Cdf;
 pub use cpu::{CpuAccount, CpuBreakdown, CpuCategory, CpuLocation};
 pub use flight::{
     ChromeTrace, FlightStamp, Log2Hist, RunSnapshot, SpanAccounting, SpanId, SpanRecord, SpanRing,
-    StageAgg, StageTable, TraceAccounting, TraceConfig, TraceMode,
+    SpanRingMark, StageAgg, StageTable, TraceAccounting, TraceConfig, TraceMode,
 };
 pub use histogram::Histogram;
 pub use intern::{Interner, MetricId};

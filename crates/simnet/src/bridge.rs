@@ -181,6 +181,22 @@ impl Device for Bridge {
             }
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        // Forkable iff the station is private to this bridge; a station
+        // shared with other devices (one kernel, many stages) cannot be
+        // deep-copied piecemeal, so such shards stay conservative.
+        let station = self.station.fork_private()?;
+        Some(Box::new(Bridge {
+            nports: self.nports,
+            cost: self.cost,
+            station,
+            ageing: self.ageing,
+            fdb_cap: self.fdb_cap,
+            fdb: self.fdb.clone(),
+            ids: self.ids,
+        }))
+    }
 }
 
 #[cfg(test)]

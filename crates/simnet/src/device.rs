@@ -64,6 +64,20 @@ pub trait Device: Send {
     fn on_timer(&mut self, token: u64, ctx: &mut DevCtx<'_>) {
         let _ = (token, ctx);
     }
+
+    /// Deep-copies this device's state for the optimistic shard engine's
+    /// snapshots (see `parallel.rs`). A fork must share *nothing* mutable
+    /// with the original — in particular a
+    /// [`SharedStation`](crate::shared::SharedStation) may only be forked
+    /// when it is private to this device
+    /// ([`fork_private`](crate::shared::SharedStation::fork_private)).
+    ///
+    /// The default returns `None`, which declares the device
+    /// non-snapshotable; a shard containing such a device gracefully
+    /// degrades to conservative synchronization instead of speculating.
+    fn fork(&self) -> Option<Box<dyn Device>> {
+        None
+    }
 }
 
 /// FIFO single-server service station: the queueing discipline shared by all

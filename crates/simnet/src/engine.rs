@@ -44,7 +44,7 @@ use crate::frame::Frame;
 use crate::time::{SimDuration, SimTime};
 use metrics::{
     CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, MetricId, SpanId, SpanRecord,
-    SpanRing, StageTable, TraceConfig, TraceMode,
+    SpanRing, SpanRingMark, StageTable, TraceConfig, TraceMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,7 +103,7 @@ pub(crate) struct EventTag {
     pub(crate) seq: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum EventKind {
     Frame {
         dev: DeviceId,
@@ -146,7 +146,7 @@ impl Ord for EventKey {
 
 /// Slab of in-flight event payloads plus a free list. Slots are recycled,
 /// so after warm-up the event loop performs no allocation per event.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct EventPool {
     slots: Vec<Option<EventKind>>,
     free: Vec<u32>,
@@ -346,6 +346,36 @@ impl SampleStore {
         self.journal.as_ref().map_or(0, Vec::len)
     }
 
+    /// Captures the store's position for a later
+    /// [`rewind`](SampleStore::rewind) — the optimistic engine's snapshot
+    /// half. Journal entries, interned names and per-series sample vectors
+    /// are append-only in journal mode, so the mark stores lengths plus one
+    /// copy of the (mutable) counter values.
+    pub(crate) fn mark(&self) -> StoreMark {
+        debug_assert!(
+            self.journal.is_some(),
+            "store marks are only meaningful for journaling shard stores"
+        );
+        StoreMark {
+            names: self.interner.len(),
+            counters: self.counters.clone(),
+            journal_len: self.journal_len(),
+        }
+    }
+
+    /// Rolls the store back to a previously captured
+    /// [`mark`](SampleStore::mark), forgetting names interned since (a
+    /// deterministic replay re-interns them with the same ids), truncating
+    /// the journal, and restoring counter values.
+    pub(crate) fn rewind(&mut self, mark: StoreMark) {
+        self.interner.truncate(mark.names);
+        self.samples.truncate(mark.names);
+        self.counters = mark.counters;
+        if let Some(j) = &mut self.journal {
+            j.truncate(mark.journal_len);
+        }
+    }
+
     /// Decomposes the store for the sharded-run merge.
     pub(crate) fn into_parts(self) -> StoreParts {
         StoreParts {
@@ -355,6 +385,14 @@ impl SampleStore {
             journal: self.journal.unwrap_or_default(),
         }
     }
+}
+
+/// An append position of a [`SampleStore`], captured by
+/// [`SampleStore::mark`] and restored by [`SampleStore::rewind`].
+pub(crate) struct StoreMark {
+    names: usize,
+    counters: Vec<f64>,
+    journal_len: usize,
 }
 
 /// A [`SampleStore`] decomposed for merging (see `parallel.rs`).
@@ -391,7 +429,7 @@ struct Link {
 /// A frame crossing shards: the full intrinsic tag plus the delivery
 /// coordinates, ferried over a channel and pushed into the destination
 /// shard's heap (see `parallel.rs`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct RemoteEvent {
     pub(crate) tag: EventTag,
     pub(crate) dev: DeviceId,
@@ -409,6 +447,42 @@ pub(crate) struct LogEntry {
     pub(crate) recs: u32,
     pub(crate) traces: u32,
     pub(crate) spans: u32,
+}
+
+/// One local device's share of an [`EngineSnapshot`]: the forked device
+/// plus its RNG stream and emission counters.
+struct SlotSnapshot {
+    idx: usize,
+    dev: Box<dyn Device>,
+    rng: StdRng,
+    emit_seq: u64,
+    span_seq: u64,
+}
+
+/// A restorable copy of a shard [`Network`]'s complete observable state,
+/// taken between events by [`Network::snapshot`] for the optimistic
+/// (time-warp-lite) synchronization mode in `parallel.rs`. Append-only
+/// structures (journal, trace, event log, span ring, interner) are stored
+/// as truncation positions; small mutable state (heap, pool, counters,
+/// CPU account, stage table, devices) is cloned.
+pub(crate) struct EngineSnapshot {
+    /// Delivery time of the earliest committed event at snapshot time —
+    /// the shard's conservative floor while it speculates.
+    pub(crate) next_at: Option<SimTime>,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    pool: EventPool,
+    now: SimTime,
+    inject_seq: u64,
+    processed: u64,
+    dropped_no_link: u64,
+    cpu: CpuAccount,
+    store: StoreMark,
+    trace_len: usize,
+    trace_dropped: u64,
+    spans: SpanRingMark,
+    stages: StageTable,
+    event_log_len: usize,
+    devices: Vec<SlotSnapshot>,
 }
 
 /// A shard network's view of the partition: which shard owns each device,
@@ -870,6 +944,91 @@ impl Network {
         std::mem::take(&mut self.cpu)
     }
 
+    /// Captures everything the optimistic shard engine must restore on a
+    /// straggler rollback: clock, heap + payload pool, counters, CPU
+    /// account, store/trace/span/event-log positions, stage aggregates,
+    /// and a deep fork of every local device (with its RNG stream and
+    /// emission counters).
+    ///
+    /// Returns `None` when any local device refuses to
+    /// [`fork`](Device::fork) — the shard then degrades gracefully to
+    /// conservative synchronization. Must be called between events with a
+    /// drained outbox (the worker drains it before snapshotting).
+    ///
+    /// The fault plan needs no entry here: [`FaultPlan`] is immutable and
+    /// evaluated per emission from the emitting device's RNG, so restoring
+    /// the device RNGs restores the fault draw sequence too.
+    pub(crate) fn snapshot(&self) -> Option<EngineSnapshot> {
+        debug_assert!(
+            self.shard.as_ref().is_none_or(|sh| sh.outbox.is_empty()),
+            "snapshot with an undrained outbox"
+        );
+        let mut devices = Vec::new();
+        for (idx, slot) in self.devices.iter().enumerate() {
+            if let Some(dev) = &slot.dev {
+                devices.push(SlotSnapshot {
+                    idx,
+                    dev: dev.fork()?,
+                    rng: slot.rng.clone(),
+                    emit_seq: slot.emit_seq,
+                    span_seq: slot.span_seq,
+                });
+            }
+        }
+        Some(EngineSnapshot {
+            next_at: self.peek_next_at(),
+            queue: self.queue.clone(),
+            pool: self.pool.clone(),
+            now: self.now,
+            inject_seq: self.inject_seq,
+            processed: self.processed,
+            dropped_no_link: self.dropped_no_link,
+            cpu: self.cpu.clone(),
+            store: self.store.mark(),
+            trace_len: self.trace.as_ref().map_or(0, Vec::len),
+            trace_dropped: self.trace_dropped,
+            spans: self.spans.mark(),
+            stages: self.stages.clone(),
+            event_log_len: self.event_log.as_ref().map_or(0, Vec::len),
+            devices,
+        })
+    }
+
+    /// Rolls the network back to `snap`, discarding every event processed,
+    /// sample recorded, span emitted and device mutation made since the
+    /// matching [`snapshot`](Network::snapshot).
+    pub(crate) fn restore(&mut self, snap: EngineSnapshot) {
+        self.queue = snap.queue;
+        self.pool = snap.pool;
+        self.now = snap.now;
+        self.inject_seq = snap.inject_seq;
+        self.processed = snap.processed;
+        self.dropped_no_link = snap.dropped_no_link;
+        self.cpu = snap.cpu;
+        self.store.rewind(snap.store);
+        if let Some(trace) = &mut self.trace {
+            trace.truncate(snap.trace_len);
+        }
+        self.trace_dropped = snap.trace_dropped;
+        self.spans.rewind(snap.spans);
+        self.stages = snap.stages;
+        if let Some(log) = &mut self.event_log {
+            log.truncate(snap.event_log_len);
+        }
+        self.event_cpu_ns = 0;
+        self.event_cpu_claimed = 0;
+        for s in snap.devices {
+            let slot = &mut self.devices[s.idx];
+            slot.dev = Some(s.dev);
+            slot.rng = s.rng;
+            slot.emit_seq = s.emit_seq;
+            slot.span_seq = s.span_seq;
+        }
+        if let Some(sh) = &mut self.shard {
+            sh.outbox.clear();
+        }
+    }
+
     /// Splits an un-run network into one [`Network`] per shard of `plan`.
     ///
     /// Every shard keeps the full link table and a full-length device vector
@@ -1041,12 +1200,18 @@ impl Network {
             let recs = (self.store.journal_len() - recs_before) as u32;
             let traces = (self.trace.as_ref().map_or(0, Vec::len) - traces_before) as u32;
             let spans = (self.spans.spans().len() - spans_before) as u32;
-            self.event_log.as_mut().unwrap().push(LogEntry {
-                tag: key.tag,
-                recs,
-                traces,
-                spans,
-            });
+            // An event that recorded nothing adds nothing to the merged
+            // interleaving — skipping its entry keeps the log (and the
+            // frontier merge, which is O(log length)) proportional to the
+            // *observability* volume rather than the event volume.
+            if recs | traces | spans != 0 {
+                self.event_log.as_mut().unwrap().push(LogEntry {
+                    tag: key.tag,
+                    recs,
+                    traces,
+                    spans,
+                });
+            }
         }
         true
     }

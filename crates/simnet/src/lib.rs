@@ -53,6 +53,7 @@ pub mod nic;
 pub mod parallel;
 pub mod rate;
 pub mod shared;
+pub mod spsc;
 pub mod testutil;
 pub mod time;
 pub mod veth;
@@ -65,6 +66,8 @@ pub use engine::{DevCtx, LinkParams, Network, SampleStore};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, StallWindow};
 pub use flight::{chrome_trace_network, chrome_trace_report, snapshot_network, snapshot_report};
 pub use frame::{Frame, Payload, TcpKind, Transport};
-pub use parallel::{shards_from_env, PartitionPlan, RunReport, ShardedNetwork};
+pub use parallel::{
+    optimistic_from_env, shards_from_env, PartitionPlan, RunReport, ShardedNetwork, SyncStats,
+};
 pub use shared::SharedStation;
 pub use time::{SimDuration, SimTime};

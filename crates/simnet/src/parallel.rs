@@ -1,4 +1,5 @@
-//! The parallel sharded engine: conservative lookahead without losing a
+//! The parallel sharded engine: adaptive conservative lookahead, lock-free
+//! cross-shard rings, and opt-in optimistic execution — without losing a
 //! single bit of determinism.
 //!
 //! # Partitioning
@@ -21,15 +22,73 @@
 //! physical inter-host links carry real latency, so islands are host
 //! islands and the cut runs exactly along cross-host links.
 //!
-//! # Conservative epochs
+//! # Adaptive conservative lookahead
 //!
-//! The epoch `E` is the minimum latency over cross-shard links. Shards run
-//! in lockstep windows `[t, t+E)` where `t` is the global minimum pending
-//! event time: a frame emitted in a window at time `s ≥ t` arrives at
-//! `s + latency ≥ t + E`, i.e. no earlier than the *next* window, so a
-//! shard can never receive an event in its past. Cross-shard frames travel
-//! through per-epoch outboxes over `std::sync::mpsc` channels and are
-//! pushed into the destination heap before the next window starts.
+//! The plan records a **per-pair minimum latency matrix** over the cut.
+//! Each round, shard `d` may safely process every event strictly below
+//!
+//! ```text
+//! bound(d) = min over s≠d with a link s→d of  floor(s) + minlat(s, d)
+//! ```
+//!
+//! where `floor(s)` is `s`'s committed progress floor (its heap minimum,
+//! folded with the minimum arrival time of frames already in flight to
+//! `s`). A frame `s` emits at time `τ ≥ floor(s)` arrives no earlier than
+//! `τ + minlat(s, d) ≥ bound(d)`, so the window is causally closed. This
+//! strictly dominates the fixed global window `[t, t+E)` of the earlier
+//! coordinator: a shard is only throttled by the shards that can actually
+//! reach it, at the latency of the links that reach it. Shards with no
+//! processable events, no pending arrivals and no speculation verdict are
+//! not dispatched at all — on one core this is the difference between a
+//! round costing `2n` channel hops and costing only what the active
+//! shards need.
+//!
+//! # Cross-shard data plane
+//!
+//! Frames cross the cut through bounded **lock-free SPSC rings**
+//! ([`crate::spsc`]), one per directed shard pair that shares at least one
+//! link. A shard flushes its outbox once per round as a handful of
+//! per-destination *batches* (`Vec<RemoteEvent>` tagged with the round
+//! number) instead of routing every frame through the coordinator: the
+//! control plane (tiny `Cmd`/`Reply` messages over `mpsc`) never touches
+//! frame payloads. Receivers drain exactly the batches tagged with an
+//! earlier round than the one they are executing — the round tag, not
+//! thread scheduling, decides visibility, which keeps every decision the
+//! coordinator makes a pure function of deterministic state.
+//!
+//! # Optimistic mode (time-warp-lite)
+//!
+//! With [`ShardedNetwork::set_optimistic`] (or `SIMNET_OPTIMISTIC=1`), a
+//! shard that exhausts its conservative bound may *speculate* ahead up to
+//! a bounded window beyond it. Before speculating it takes a full
+//! [`EngineSnapshot`] (heap, pool, RNG streams, CPU account, store mark,
+//! trace/span marks, forked devices). Speculative cross-shard frames are
+//! **held**, never released — no anti-messages exist in this protocol, so
+//! mis-speculation can never propagate. The coordinator resolves each
+//! speculation with a per-round disposition:
+//!
+//! * **Rollback** when a straggler (an in-flight frame at or below the
+//!   speculated clock) is detected: the worker restores the snapshot,
+//!   re-queues the arrivals it drained while speculating, and replays
+//!   conservatively. Every structure the run can observe — samples,
+//!   counters, journal, traces, spans, stage table, CPU account, device
+//!   state, RNG cursors — is restored, which is what keeps optimistic
+//!   runs bit-identical to conservative ones.
+//! * **Commit** when a greatest-fixpoint check proves no straggler can
+//!   exist: starting from all speculating shards, repeatedly discard any
+//!   shard whose speculated clock is not strictly below the earliest
+//!   possible arrival from every peer — where a still-committing peer
+//!   contributes the *concrete* minimum of its held frames (real data,
+//!   which is what breaks the circular wait a floor-only rule would
+//!   deadlock on). Surviving shards release their held batches and adopt
+//!   the speculated state wholesale.
+//!
+//! If speculations are pending but nothing can run and nothing can
+//! commit, the coordinator rolls back every speculation — always sound —
+//! so the protocol is live by construction. Fault plans need no snapshot
+//! state: a [`FaultPlan`](crate::fault::FaultPlan) is immutable and its
+//! probabilistic draws come from device RNG streams, which the snapshot
+//! already restores.
 //!
 //! # Bit-identical determinism
 //!
@@ -50,6 +109,11 @@
 //!    sequential interleaving — equal-time causal chains never cross
 //!    shards because cross-shard links have latency ≥ E > 0.
 //!
+//! Optimistic execution preserves all three: committed speculation ran
+//! exactly the events a conservative run would have run, in the same
+//! intrinsic order, on the same RNG cursors; rolled-back speculation
+//! leaves no observable residue.
+//!
 //! CPU time is aggregated by folding per-shard [`CpuAccount`]s
 //! ([`CpuAccount::fold`] — integer nanoseconds, exact); counters are
 //! summed per shard in shard order (counter deltas in this codebase are
@@ -60,7 +124,10 @@
 //! span cap reproduces the sequential kept/dropped split bit for bit.
 
 use crate::device::DeviceId;
-use crate::engine::{EventTag, LogEntry, Network, RemoteEvent, SampleStore, TraceEntry, TRACE_CAP};
+use crate::engine::{
+    EngineSnapshot, EventTag, LogEntry, Network, RemoteEvent, SampleStore, TraceEntry, TRACE_CAP,
+};
+use crate::spsc::{self, Consumer, Producer};
 use crate::time::{SimDuration, SimTime};
 use metrics::{CpuAccount, CpuLocation, SpanRecord, SpanRing, StageTable, TraceMode};
 use std::collections::HashMap;
@@ -76,6 +143,29 @@ pub fn shards_from_env() -> usize {
         .filter(|&n| n >= 1)
         .unwrap_or(1)
 }
+
+/// Reads the `SIMNET_OPTIMISTIC` environment knob: `1` or `true` enables
+/// optimistic (time-warp-lite) synchronization, anything else — including
+/// the variable being unset — selects conservative mode.
+pub fn optimistic_from_env() -> bool {
+    std::env::var("SIMNET_OPTIMISTIC")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
+/// Capacity of each cross-shard ring, in batches. A sender pushes at most
+/// two batches per destination per round (a committed flush plus a
+/// speculative release) and receivers drain every eligible batch on their
+/// next dispatch, so steady-state occupancy stays below four; the slack
+/// absorbs rounds where the receiver is idle-skipped.
+const RING_CAP: usize = 16;
+
+/// How far past its conservative bound a shard may speculate, in units of
+/// the partition epoch.
+const SPEC_WINDOW_EPOCHS: u64 = 4;
 
 /// Minimal union-find over device indices.
 struct UnionFind {
@@ -107,12 +197,16 @@ impl UnionFind {
     }
 }
 
-/// Assignment of every device to a shard, plus the epoch derived from the
-/// cut. Produced by [`PartitionPlan::partition`].
+/// Assignment of every device to a shard, plus the lookahead structure
+/// derived from the cut. Produced by [`PartitionPlan::partition`].
 pub struct PartitionPlan {
     pub(crate) shard_of: Arc<Vec<u32>>,
     nshards: usize,
     epoch: SimDuration,
+    /// `nshards × nshards` row-major matrix of the minimum link latency
+    /// between each ordered shard pair; `u64::MAX` where no link crosses
+    /// that pair. Links are bidirectional, so the matrix is symmetric.
+    min_lat: Vec<u64>,
 }
 
 impl PartitionPlan {
@@ -174,15 +268,21 @@ impl PartitionPlan {
             }
         }
 
-        // Epoch: minimum latency over links whose endpoints landed in
-        // different shards. No cross links (disconnected islands) means
-        // unbounded lookahead.
+        // Per-pair minimum latency over links whose endpoints landed in
+        // different shards; the scalar epoch (minimum over the whole cut)
+        // is kept as the speculation-window unit and for compatibility.
+        let mut min_lat = vec![u64::MAX; nshards * nshards];
         let mut epoch: Option<SimDuration> = None;
         if nshards > 1 {
             for &(a, pa, b, _) in &links {
-                if shard_of[a.0] != shard_of[b.0] {
+                let (sa, sb) = (shard_of[a.0] as usize, shard_of[b.0] as usize);
+                if sa != sb {
                     let lat = net.link_params(a, pa).unwrap().latency;
                     epoch = Some(epoch.map_or(lat, |e| e.min(lat)));
+                    let cell = &mut min_lat[sa * nshards + sb];
+                    *cell = (*cell).min(lat.0);
+                    let cell = &mut min_lat[sb * nshards + sa];
+                    *cell = (*cell).min(lat.0);
                 }
             }
         }
@@ -206,6 +306,7 @@ impl PartitionPlan {
             shard_of: Arc::new(shard_of),
             nshards,
             epoch,
+            min_lat,
         }
     }
 
@@ -214,9 +315,10 @@ impl PartitionPlan {
         self.nshards
     }
 
-    /// The conservative lookahead window: the minimum cross-shard link
-    /// latency (zero for single-shard plans, `u64::MAX` ns when no link
-    /// crosses the cut).
+    /// The minimum latency over the whole cut (zero for single-shard
+    /// plans, `u64::MAX` ns when no link crosses the cut). The adaptive
+    /// coordinator bounds each shard by the per-pair matrix instead, but
+    /// this scalar remains the unit of the speculation window.
     pub fn epoch(&self) -> SimDuration {
         self.epoch
     }
@@ -225,6 +327,32 @@ impl PartitionPlan {
     pub fn shard_of(&self, dev: DeviceId) -> usize {
         self.shard_of[dev.0] as usize
     }
+
+    /// Minimum latency of any link from shard `s` to shard `d`
+    /// (`u64::MAX` when no link connects them).
+    pub(crate) fn min_lat(&self, s: usize, d: usize) -> u64 {
+        self.min_lat[s * self.nshards + d]
+    }
+}
+
+/// Synchronization statistics of a sharded run: how many coordinator
+/// rounds it took and how speculation fared. Purely observational — the
+/// simulation outcome never depends on them — but fully deterministic for
+/// a given topology, seed, shard count and mode, because every dispatch
+/// and disposition decision is a function of round-tagged state only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Coordinator rounds executed.
+    pub rounds: u64,
+    /// Speculations whose state was adopted wholesale.
+    pub spec_commits: u64,
+    /// Speculations discarded because a straggler arrived (or to break a
+    /// cross-shard commit deadlock).
+    pub spec_rollbacks: u64,
+    /// Shards that declined speculation permanently because a device
+    /// could not be forked ([`Device::fork`](crate::device::Device::fork)
+    /// returned `None`); they degrade to conservative synchronization.
+    pub spec_denied: u64,
 }
 
 /// Everything a finished (sharded or single-shard) run yields: the merged
@@ -266,44 +394,617 @@ pub struct RunReport {
     pub dropped_no_link: u64,
     /// Final simulated time.
     pub now: SimTime,
+    /// Coordinator round and speculation statistics (all zero for
+    /// single-shard runs, which bypass the coordinator).
+    pub sync: SyncStats,
+}
+
+/// A round-tagged batch of cross-shard frames traveling through an SPSC
+/// ring. The tag makes visibility deterministic: a receiver executing
+/// round `r` consumes exactly the batches tagged `< r`, regardless of how
+/// threads were scheduled.
+struct RingBatch {
+    round: u64,
+    events: Vec<RemoteEvent>,
+}
+
+/// What the coordinator decided about a shard's pending speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// No verdict yet — keep holding the speculative state.
+    Hold,
+    /// Proven safe: adopt the speculative state, release held frames.
+    Commit,
+    /// A straggler exists (or liveness demands it): restore the snapshot.
+    Rollback,
+}
+
+/// One dispatched coordinator round for one shard.
+struct RoundCmd {
+    round: u64,
+    /// Process every committed event strictly below this bound.
+    bound: SimTime,
+    /// Optimistic mode: may speculate up to (strictly below) this target
+    /// after exhausting `bound`. Equal to `bound` in conservative mode.
+    target: SimTime,
+    disposition: Disposition,
 }
 
 enum Cmd {
-    /// Deliver the incoming cross-shard frames, then process every local
-    /// event with `at < until`.
-    Run {
-        until: SimTime,
-        incoming: Vec<RemoteEvent>,
+    Round(RoundCmd),
+    /// Epoch-tagged shutdown: sent only after the coordinator has
+    /// collected every reply of `round`, so no worker can be mid-push
+    /// into a ring when its peer exits. Replaces the implicit
+    /// close-by-dropping-the-sender termination, which raced the final
+    /// exchange (a shard could park on a drained channel while its last
+    /// outbox was still undelivered).
+    Terminate {
+        #[cfg_attr(not(debug_assertions), allow(dead_code))]
+        round: u64,
     },
+}
+
+/// What the coordinator knows about a shard's pending speculation.
+#[derive(Debug, Clone)]
+struct SpecInfo {
+    /// Speculated clock: the time of the last speculatively processed
+    /// event. Any in-flight frame at or below it is a straggler.
+    now: SimTime,
+    /// Minimum over the post-speculation heap (folded with arrivals
+    /// drained while the speculation was pending): if committed, the
+    /// shard's *future* emissions happen at or after this.
+    floor: Option<SimTime>,
+    /// Per-destination minimum arrival time of the held frames — the
+    /// concrete effect the speculation would have on each peer.
+    held_min: Vec<Option<SimTime>>,
 }
 
 struct Reply {
     shard: usize,
-    next_at: Option<SimTime>,
-    outbox: Vec<RemoteEvent>,
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    round: u64,
+    /// Committed progress floor: heap minimum, or for a pending
+    /// speculation the snapshot's heap minimum folded with drained
+    /// arrivals (speculative progress is never reported as progress).
+    floor: Option<SimTime>,
+    /// Per-destination minimum arrival time of batches pushed this round.
+    sent_min: Vec<Option<SimTime>>,
+    spec: Option<SpecInfo>,
+    spec_capable: bool,
+    committed: bool,
+    rolled_back: bool,
 }
 
-fn worker(shard: usize, net: &mut Network, rx: Receiver<Cmd>, tx: Sender<Reply>) {
-    while let Ok(Cmd::Run { until, incoming }) = rx.recv() {
-        for ev in incoming {
-            net.push_remote(ev);
+/// A shard's in-progress speculation, held worker-side.
+struct Spec {
+    snapshot: EngineSnapshot,
+    /// Time of the last speculatively processed event.
+    now: SimTime,
+    /// Committed floor to report while pending: the snapshot's heap
+    /// minimum, folded with arrivals drained since.
+    committed_floor: Option<SimTime>,
+    /// Post-speculation heap minimum, folded with drained arrivals.
+    heap_floor: Option<SimTime>,
+    /// Clones of every arrival drained while pending — re-queued on
+    /// rollback (the originals went into the speculative heap, which the
+    /// snapshot restore discards).
+    drained: Vec<RemoteEvent>,
+    /// Speculative cross-shard output, held per destination until commit.
+    held: Vec<Vec<RemoteEvent>>,
+    /// Per-destination minimum arrival time of `held`.
+    held_min: Vec<Option<SimTime>>,
+}
+
+/// Ring endpoints of one shard: `incoming[s]` receives from shard `s`,
+/// `outgoing[d]` sends to shard `d`; `None` where no link crosses the
+/// pair (no traffic is possible, so no ring exists).
+struct WorkerChans {
+    incoming: Vec<Option<Consumer<RingBatch>>>,
+    outgoing: Vec<Option<Producer<RingBatch>>>,
+}
+
+fn omin(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Flushes the shard's committed outbox into per-destination round-tagged
+/// batches, folding each batch's minimum arrival time into `sent_min`.
+fn flush_outbox(
+    net: &mut Network,
+    chans: &mut WorkerChans,
+    shard_of: &[u32],
+    round: u64,
+    sent_min: &mut [Option<SimTime>],
+) {
+    let out = net.take_outbox();
+    if out.is_empty() {
+        return;
+    }
+    let n = chans.outgoing.len();
+    let mut batches: Vec<Vec<RemoteEvent>> = (0..n).map(|_| Vec::new()).collect();
+    for ev in out {
+        batches[shard_of[ev.dev.0] as usize].push(ev);
+    }
+    for (d, events) in batches.into_iter().enumerate() {
+        if events.is_empty() {
+            continue;
         }
-        net.run_window(until);
-        if tx
-            .send(Reply {
-                shard,
-                next_at: net.peek_next_at(),
-                outbox: net.take_outbox(),
-            })
-            .is_err()
-        {
+        let min = events.iter().map(|e| e.tag.at).min();
+        sent_min[d] = omin(sent_min[d], min);
+        chans.outgoing[d]
+            .as_mut()
+            .expect("cross-shard frame on a pair without a link")
+            .push(RingBatch { round, events });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    shard: usize,
+    net: &mut Network,
+    chans: &mut WorkerChans,
+    shard_of: &[u32],
+    optimistic: bool,
+    mut spec_capable: bool,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+) {
+    let mut spec: Option<Spec> = None;
+    let mut last_round = 0u64;
+    while let Ok(cmd) = rx.recv() {
+        let cmd = match cmd {
+            Cmd::Round(c) => c,
+            Cmd::Terminate { round } => {
+                debug_assert!(round >= last_round, "terminated from a stale round");
+                debug_assert!(spec.is_none(), "terminated with unresolved speculation");
+                break;
+            }
+        };
+        debug_assert!(cmd.round > last_round, "rounds are strictly monotonic");
+        last_round = cmd.round;
+        let reply = round_step(
+            shard,
+            net,
+            chans,
+            shard_of,
+            optimistic,
+            &mut spec_capable,
+            &mut spec,
+            &cmd,
+        );
+        if tx.send(reply).is_err() {
             break;
         }
     }
 }
 
+/// One shard's work for one dispatched round: apply the verdict, drain the
+/// rings, run the committed window, optionally speculate. Shared verbatim by
+/// the threaded workers and the single-core inline backend, so both execute
+/// the identical protocol.
+#[allow(clippy::too_many_arguments)]
+fn round_step(
+    shard: usize,
+    net: &mut Network,
+    chans: &mut WorkerChans,
+    shard_of: &[u32],
+    optimistic: bool,
+    spec_capable: &mut bool,
+    spec: &mut Option<Spec>,
+    cmd: &RoundCmd,
+) -> Reply {
+    let nshards = chans.incoming.len();
+    let mut sent_min: Vec<Option<SimTime>> = vec![None; nshards];
+    let mut committed = false;
+    let mut rolled_back = false;
+    match cmd.disposition {
+        Disposition::Commit => {
+            // Adopt the speculative state: drop the snapshot, forget
+            // the drained log, release the held output.
+            let sp = spec.take().expect("commit without a pending speculation");
+            for (d, events) in sp.held.into_iter().enumerate() {
+                if events.is_empty() {
+                    continue;
+                }
+                sent_min[d] = sp.held_min[d];
+                chans.outgoing[d]
+                    .as_mut()
+                    .expect("held frames on a pair without a link")
+                    .push(RingBatch {
+                        round: cmd.round,
+                        events,
+                    });
+            }
+            committed = true;
+        }
+        Disposition::Rollback => {
+            let sp = spec.take().expect("rollback without a pending speculation");
+            net.restore(sp.snapshot);
+            for ev in sp.drained {
+                net.push_remote(ev);
+            }
+            rolled_back = true;
+        }
+        Disposition::Hold => {}
+    }
+    // Drain every batch published before this round. The round tag —
+    // not thread scheduling — decides what is visible, so drains (and
+    // with them every commit/rollback decision downstream) are
+    // deterministic.
+    let mut arrivals: Vec<RemoteEvent> = Vec::new();
+    for cons in chans.incoming.iter_mut().flatten() {
+        while cons.peek().is_some_and(|b| b.round < cmd.round) {
+            let batch = cons.try_pop().expect("peeked batch pops");
+            arrivals.extend(batch.events);
+        }
+    }
+    if let Some(sp) = spec.as_mut() {
+        // Still speculating, no verdict: arrivals must lie in the
+        // speculation's future (the coordinator rolls back first
+        // otherwise). They join the speculative heap and are logged
+        // for re-queueing should the speculation fail.
+        for ev in arrivals {
+            debug_assert!(
+                ev.tag.at > sp.now,
+                "straggler reached a still-pending speculation"
+            );
+            sp.committed_floor = omin(sp.committed_floor, Some(ev.tag.at));
+            sp.heap_floor = omin(sp.heap_floor, Some(ev.tag.at));
+            sp.drained.push(ev.clone());
+            net.push_remote(ev);
+        }
+    } else {
+        for ev in arrivals {
+            net.push_remote(ev);
+        }
+        net.run_window(cmd.bound);
+        flush_outbox(net, chans, shard_of, cmd.round, &mut sent_min);
+        if optimistic
+            && *spec_capable
+            && cmd.target > cmd.bound
+            && net.peek_next_at().is_some_and(|t| t < cmd.target)
+        {
+            match net.snapshot() {
+                Some(snapshot) => {
+                    net.run_window(cmd.target);
+                    let mut held: Vec<Vec<RemoteEvent>> =
+                        (0..nshards).map(|_| Vec::new()).collect();
+                    for ev in net.take_outbox() {
+                        held[shard_of[ev.dev.0] as usize].push(ev);
+                    }
+                    let held_min = held
+                        .iter()
+                        .map(|v| v.iter().map(|e| e.tag.at).min())
+                        .collect();
+                    *spec = Some(Spec {
+                        now: net.now(),
+                        committed_floor: snapshot.next_at,
+                        heap_floor: net.peek_next_at(),
+                        snapshot,
+                        drained: Vec::new(),
+                        held,
+                        held_min,
+                    });
+                }
+                None => *spec_capable = false,
+            }
+        }
+    }
+    let floor = match spec.as_ref() {
+        Some(sp) => sp.committed_floor,
+        None => net.peek_next_at(),
+    };
+    Reply {
+        shard,
+        round: cmd.round,
+        floor,
+        sent_min,
+        spec: spec.as_ref().map(|sp| SpecInfo {
+            now: sp.now,
+            floor: sp.heap_floor,
+            held_min: sp.held_min.clone(),
+        }),
+        spec_capable: *spec_capable,
+        committed,
+        rolled_back,
+    }
+}
+
+/// One round's coordinator decisions, shared by the threaded and the
+/// single-core inline backend so both dispatch the identical protocol.
+struct RoundPlan {
+    bound: Vec<SimTime>,
+    target: Vec<SimTime>,
+    disp: Vec<Disposition>,
+    dispatch: Vec<bool>,
+    optimistic: bool,
+}
+
+impl RoundPlan {
+    fn cmd_for(&self, d: usize, round: u64) -> RoundCmd {
+        RoundCmd {
+            round,
+            bound: self.bound[d],
+            target: if self.optimistic {
+                self.target[d]
+            } else {
+                self.bound[d]
+            },
+            disposition: self.disp[d],
+        }
+    }
+}
+
+/// Computes one coordinator round: adaptive per-shard bounds, speculation
+/// dispositions, and the dispatch set. Returns `None` when no committed
+/// work remains below the deadline and no speculation is pending — the
+/// run-loop termination condition.
+// Matrix-style s/d double-indexing is the clearest shape for the
+// relaxations; iterator rewrites obscure the symmetry.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn plan_round(
+    plan: &PartitionPlan,
+    deadline: SimTime,
+    deadline_cap: SimTime,
+    spec_window: u64,
+    optimistic: bool,
+    floors: &[Option<SimTime>],
+    pending_in: &[Option<SimTime>],
+    spec_capable: &[bool],
+    spec: &[Option<SpecInfo>],
+) -> Option<RoundPlan> {
+    let nshards = floors.len();
+    let eff: Vec<Option<SimTime>> = (0..nshards)
+        .map(|s| omin(floors[s], pending_in[s]))
+        .collect();
+    let work_left = eff.iter().flatten().any(|&t| t <= deadline);
+    let spec_pending = spec.iter().any(Option::is_some);
+    if !work_left && !spec_pending {
+        return None;
+    }
+    // Emission promises: the earliest sim time at which each shard could
+    // still emit a cross-shard frame. A shard's own floor/pending is not
+    // enough — an idle relay re-emits whatever reaches it, and a shard's
+    // *own* output can come back around a cycle — so the promises must be
+    // relaxed transitively over the shard graph (Bellman–Ford; cross-shard
+    // latencies are positive, so this converges).
+    let mut promise = eff.clone();
+    loop {
+        let mut changed = false;
+        for s in 0..nshards {
+            let Some(p) = promise[s] else { continue };
+            for d in 0..nshards {
+                if s == d {
+                    continue;
+                }
+                let lat = plan.min_lat(s, d);
+                if lat == u64::MAX {
+                    continue;
+                }
+                let cand = SimTime(p.0.saturating_add(lat));
+                if promise[d].is_none_or(|cur| cand < cur) {
+                    promise[d] = Some(cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Adaptive bound: the earliest time a frame from any peer could still
+    // arrive at `d`, given the relaxed promises and the per-pair minimum
+    // latencies.
+    let bound: Vec<SimTime> = (0..nshards)
+        .map(|d| {
+            let mut b = deadline_cap.0;
+            for s in 0..nshards {
+                if s == d {
+                    continue;
+                }
+                let lat = plan.min_lat(s, d);
+                if lat == u64::MAX {
+                    continue;
+                }
+                if let Some(f) = promise[s] {
+                    b = b.min(f.0.saturating_add(lat));
+                }
+            }
+            SimTime(b)
+        })
+        .collect();
+    let target: Vec<SimTime> = (0..nshards)
+        .map(|d| SimTime(bound[d].0.saturating_add(spec_window).min(deadline_cap.0)))
+        .collect();
+    // Dispositions. (a) A pending arrival at or below the speculated
+    // clock is a straggler: roll back.
+    let mut disp = vec![Disposition::Hold; nshards];
+    for d in 0..nshards {
+        if let Some(si) = &spec[d] {
+            if pending_in[d].is_some_and(|p| p <= si.now) {
+                disp[d] = Disposition::Rollback;
+            }
+        }
+    }
+    // (b) Greatest-fixpoint commit set: start from every still-held
+    // speculation and discard any whose speculated clock is not strictly
+    // below the earliest possible arrival from each peer. A peer still in
+    // the set contributes its *concrete* held-frame minimum (plus its
+    // post-speculation floor for frames it has not emitted yet); a
+    // discarded or conservative peer contributes its committed promise.
+    // Arrivals propagate transitively (the same relay/cycle argument as
+    // for the bounds), so each candidate set is checked against promises
+    // relaxed under the hypothesis that the whole set commits. The
+    // fixpoint is the largest mutually consistent commit set.
+    let mut in_set: Vec<bool> = (0..nshards)
+        .map(|d| spec[d].is_some() && disp[d] == Disposition::Hold)
+        .collect();
+    loop {
+        // Hypothetical promises: in-set shards start from their
+        // post-speculation heap floor, everyone else from their committed
+        // eff; edges out of in-set shards also carry the held frames'
+        // concrete minima.
+        let mut p: Vec<Option<SimTime>> = (0..nshards)
+            .map(|s| {
+                if in_set[s] {
+                    omin(spec[s].as_ref().unwrap().floor, pending_in[s])
+                } else {
+                    eff[s]
+                }
+            })
+            .collect();
+        let edge = |src: usize, dst: usize, from: Option<SimTime>| {
+            let lat = plan.min_lat(src, dst);
+            if lat == u64::MAX {
+                return None;
+            }
+            let moving = from.map(|f| SimTime(f.0.saturating_add(lat)));
+            if in_set[src] {
+                omin(spec[src].as_ref().unwrap().held_min[dst], moving)
+            } else {
+                moving
+            }
+        };
+        loop {
+            let mut changed = false;
+            for s in 0..nshards {
+                for d in 0..nshards {
+                    if s == d {
+                        continue;
+                    }
+                    let Some(cand) = edge(s, d, p[s]) else {
+                        continue;
+                    };
+                    if p[d].is_none_or(|cur| cand < cur) {
+                        p[d] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let safe_of: Vec<SimTime> = (0..nshards)
+            .map(|d| {
+                let mut safe = deadline_cap;
+                for s in 0..nshards {
+                    if s == d {
+                        continue;
+                    }
+                    if let Some(c) = edge(s, d, p[s]) {
+                        safe = safe.min(c);
+                    }
+                }
+                safe
+            })
+            .collect();
+        let mut shrunk = false;
+        for d in 0..nshards {
+            if !in_set[d] {
+                continue;
+            }
+            if safe_of[d] <= spec[d].as_ref().unwrap().now {
+                in_set[d] = false;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    for d in 0..nshards {
+        if in_set[d] {
+            disp[d] = Disposition::Commit;
+        }
+    }
+    // Dispatch only shards with something to do: a verdict to apply,
+    // arrivals to drain, committed events below their bound, or
+    // (optimistic) events within speculation reach.
+    let mut dispatch = vec![false; nshards];
+    for d in 0..nshards {
+        let has_spec = spec[d].is_some();
+        dispatch[d] = disp[d] != Disposition::Hold
+            || pending_in[d].is_some()
+            || (!has_spec && floors[d].is_some_and(|f| f < bound[d]))
+            || (optimistic
+                && !has_spec
+                && spec_capable[d]
+                && floors[d].is_some_and(|f| f < target[d]));
+    }
+    // Liveness breaker: speculations are pending but nothing can run and
+    // nothing could commit — discard them all (always sound) so
+    // conservative progress resumes.
+    if !dispatch.iter().any(|&b| b) {
+        debug_assert!(spec_pending, "idle round without pending speculation");
+        for d in 0..nshards {
+            if spec[d].is_some() {
+                disp[d] = Disposition::Rollback;
+                dispatch[d] = true;
+            }
+        }
+    }
+    Some(RoundPlan {
+        bound,
+        target,
+        disp,
+        dispatch,
+        optimistic,
+    })
+}
+
+/// Folds one shard's round reply into the coordinator state. Folding is
+/// commutative (indexed writes, min-folds, counter bumps), so reply
+/// arrival order — thread scheduling in the threaded backend, shard index
+/// order inline — cannot affect the outcome.
+fn fold_reply(
+    r: Reply,
+    floors: &mut [Option<SimTime>],
+    spec_capable: &mut [bool],
+    stats: &mut SyncStats,
+    spec: &mut [Option<SpecInfo>],
+    new_pending: &mut [Option<SimTime>],
+) {
+    floors[r.shard] = r.floor;
+    if r.committed {
+        stats.spec_commits += 1;
+    }
+    if r.rolled_back {
+        stats.spec_rollbacks += 1;
+    }
+    if !r.spec_capable && spec_capable[r.shard] {
+        spec_capable[r.shard] = false;
+        stats.spec_denied += 1;
+    }
+    spec[r.shard] = r.spec;
+    for (np, sent) in new_pending.iter_mut().zip(&r.sent_min) {
+        *np = omin(*np, *sent);
+    }
+}
+
+/// A dispatched shard drained everything older than this round, so only
+/// this round's sends remain; an idle shard accumulates.
+fn apply_pending(
+    pending_in: &mut [Option<SimTime>],
+    new_pending: &[Option<SimTime>],
+    dispatch: &[bool],
+) {
+    for d in 0..pending_in.len() {
+        pending_in[d] = if dispatch[d] {
+            new_pending[d]
+        } else {
+            omin(pending_in[d], new_pending[d])
+        };
+    }
+}
+
 /// A [`Network`] split across shards, each running its own slab/heap event
-/// loop on its own thread, synchronized by conservative epochs.
+/// loop on its own thread, synchronized by adaptive conservative bounds
+/// with optional speculation.
 ///
 /// Build a topology on a plain [`Network`] (injecting initial frames and
 /// timers as usual), then hand it to [`ShardedNetwork::new`] *before
@@ -313,8 +1014,22 @@ fn worker(shard: usize, net: &mut Network, rx: Receiver<Cmd>, tx: Sender<Reply>)
 pub struct ShardedNetwork {
     nets: Vec<Network>,
     plan: PartitionPlan,
-    /// Cross-shard frames awaiting delivery at the next window.
-    pending: Vec<Vec<RemoteEvent>>,
+    chans: Vec<WorkerChans>,
+    /// Committed progress floor per shard, persisted across run calls.
+    floors: Vec<Option<SimTime>>,
+    /// Minimum arrival time of undrained in-flight frames per receiving
+    /// shard, persisted across run calls (the frames themselves persist
+    /// in the rings).
+    pending_in: Vec<Option<SimTime>>,
+    /// False once a shard reported an unforkable device; it stays
+    /// conservative for the rest of the run.
+    spec_capable: Vec<bool>,
+    /// Strictly monotonic round counter, persisted across run calls so
+    /// ring batches left over at a deadline stay older than every future
+    /// round.
+    round: u64,
+    optimistic: bool,
+    stats: SyncStats,
     now: SimTime,
 }
 
@@ -336,18 +1051,52 @@ impl ShardedNetwork {
         } else {
             net.split(&plan.shard_of, nshards)
         };
+        // One ring per directed pair that shares a link; pairs without a
+        // link can never exchange frames.
+        let mut incoming: Vec<Vec<Option<Consumer<RingBatch>>>> = (0..nshards)
+            .map(|_| (0..nshards).map(|_| None).collect())
+            .collect();
+        let mut outgoing: Vec<Vec<Option<Producer<RingBatch>>>> = (0..nshards)
+            .map(|_| (0..nshards).map(|_| None).collect())
+            .collect();
+        if nshards > 1 {
+            for s in 0..nshards {
+                for d in 0..nshards {
+                    if s != d && plan.min_lat(s, d) != u64::MAX {
+                        let (p, c) = spsc::channel(RING_CAP);
+                        outgoing[s][d] = Some(p);
+                        incoming[d][s] = Some(c);
+                    }
+                }
+            }
+        }
+        let chans = incoming
+            .into_iter()
+            .zip(outgoing)
+            .map(|(incoming, outgoing)| WorkerChans { incoming, outgoing })
+            .collect();
+        let floors = nets.iter().map(Network::peek_next_at).collect();
         ShardedNetwork {
             nets,
             plan,
-            pending: (0..nshards).map(|_| Vec::new()).collect(),
+            chans,
+            floors,
+            pending_in: vec![None; nshards],
+            spec_capable: vec![true; nshards],
+            round: 0,
+            optimistic: false,
+            stats: SyncStats::default(),
             now,
         }
     }
 
     /// Shards `net` according to the `SIMNET_SHARDS` environment variable
-    /// (default 1).
+    /// (default 1) and selects the synchronization mode from
+    /// `SIMNET_OPTIMISTIC`.
     pub fn from_env(net: Network) -> ShardedNetwork {
-        ShardedNetwork::new(net, shards_from_env())
+        let mut sharded = ShardedNetwork::new(net, shards_from_env());
+        sharded.set_optimistic(optimistic_from_env());
+        sharded
     }
 
     /// The partition in effect.
@@ -364,6 +1113,24 @@ impl ShardedNetwork {
     /// the last processed event time after `run_to_idle`).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Selects optimistic (time-warp-lite) or conservative
+    /// synchronization for subsequent run calls. Either setting yields
+    /// bit-identical results; optimistic mode trades snapshot work for
+    /// progress past the conservative bound.
+    pub fn set_optimistic(&mut self, on: bool) {
+        self.optimistic = on;
+    }
+
+    /// Whether optimistic synchronization is currently selected.
+    pub fn optimistic(&self) -> bool {
+        self.optimistic
+    }
+
+    /// Coordinator round and speculation statistics accumulated so far.
+    pub fn sync_stats(&self) -> SyncStats {
+        self.stats
     }
 
     /// Enables (or disables) event tracing on every shard.
@@ -397,9 +1164,10 @@ impl ShardedNetwork {
         }
     }
 
-    /// The epoch-barrier scheduler: repeatedly pick the global minimum
-    /// pending time `t`, let every shard process `[t, min(t+E, deadline+1))`
-    /// in parallel, then exchange cross-shard frames.
+    /// The round coordinator (see module docs): compute per-shard
+    /// adaptive bounds from the committed floors, resolve speculation
+    /// dispositions, dispatch only the shards with something to do, and
+    /// fold replies back into the floors.
     fn run_epochs(&mut self, deadline: SimTime) {
         if self.nets.len() == 1 {
             let net = &mut self.nets[0];
@@ -410,55 +1178,146 @@ impl ShardedNetwork {
             }
             return;
         }
-        let epoch = self.plan.epoch.0;
+        // On a single hardware thread, worker threads buy no parallelism
+        // and every round pays futex wakeups + context switches both ways.
+        // The inline backend runs the identical protocol (same plan_round,
+        // same round_step, same rings) on the coordinator thread instead.
+        // `SIMNET_INLINE=1`/`=0` overrides the core-count heuristic so
+        // either backend can be pinned for testing.
+        let inline = match std::env::var("SIMNET_INLINE") {
+            Ok(v) => v == "1",
+            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()) == 1,
+        };
+        if inline {
+            self.run_epochs_inline(deadline);
+        } else {
+            self.run_epochs_threaded(deadline);
+        }
+    }
+
+    fn run_epochs_threaded(&mut self, deadline: SimTime) {
+        let deadline_cap = SimTime(deadline.0.saturating_add(1));
         let nshards = self.nets.len();
+        let spec_window = self.plan.epoch.0.saturating_mul(SPEC_WINDOW_EPOCHS);
         let shard_of = Arc::clone(&self.plan.shard_of);
-        let mut pending = std::mem::take(&mut self.pending);
-        let mut next_at: Vec<Option<SimTime>> =
-            self.nets.iter().map(Network::peek_next_at).collect();
+        let optimistic = self.optimistic;
+        let plan = &self.plan;
+        let floors = &mut self.floors;
+        let pending_in = &mut self.pending_in;
+        let spec_capable = &mut self.spec_capable;
+        let round = &mut self.round;
+        let stats = &mut self.stats;
         std::thread::scope(|scope| {
             let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
             let mut cmd_txs = Vec::with_capacity(nshards);
-            for (i, net) in self.nets.iter_mut().enumerate() {
+            for (i, (net, ch)) in self.nets.iter_mut().zip(self.chans.iter_mut()).enumerate() {
                 let (tx, rx) = std::sync::mpsc::channel::<Cmd>();
                 let rtx = reply_tx.clone();
-                scope.spawn(move || worker(i, net, rx, rtx));
+                let so = Arc::clone(&shard_of);
+                let capable = spec_capable[i];
+                scope.spawn(move || worker(i, net, ch, &so, optimistic, capable, rx, rtx));
                 cmd_txs.push(tx);
             }
             drop(reply_tx);
-            loop {
-                // Global minimum over shard heaps and undelivered frames.
-                let mut t: Option<SimTime> = None;
-                for s in 0..nshards {
-                    let pend_min = pending[s].iter().map(|e| e.tag.at).min();
-                    for cand in [next_at[s], pend_min].into_iter().flatten() {
-                        t = Some(t.map_or(cand, |cur| cur.min(cand)));
+            // Coordinator-side view of pending speculations. All of them
+            // resolve before this function returns (the loop cannot end
+            // while one is pending), so the view need not persist.
+            let mut spec: Vec<Option<SpecInfo>> = (0..nshards).map(|_| None).collect();
+            while let Some(rp) = plan_round(
+                plan,
+                deadline,
+                deadline_cap,
+                spec_window,
+                optimistic,
+                floors,
+                pending_in,
+                spec_capable,
+                &spec,
+            ) {
+                *round += 1;
+                stats.rounds += 1;
+                let ndisp = rp.dispatch.iter().filter(|&&b| b).count();
+                for (d, tx) in cmd_txs.iter().enumerate() {
+                    if !rp.dispatch[d] {
+                        continue;
                     }
+                    tx.send(Cmd::Round(rp.cmd_for(d, *round)))
+                        .expect("shard worker exited early");
                 }
-                let Some(t) = t else { break };
-                if t > deadline {
-                    break;
+                let mut new_pending: Vec<Option<SimTime>> = vec![None; nshards];
+                for _ in 0..ndisp {
+                    // A panicked worker drops only its own sender clone, so
+                    // a plain recv() would block forever on the survivors;
+                    // the timeout turns a dead shard into a loud failure.
+                    let r = reply_rx
+                        .recv_timeout(std::time::Duration::from_secs(120))
+                        .expect("shard worker died or stalled");
+                    debug_assert_eq!(r.round, *round, "reply from a stale round");
+                    fold_reply(r, floors, spec_capable, stats, &mut spec, &mut new_pending);
                 }
-                let until = SimTime(t.0.saturating_add(epoch).min(deadline.0.saturating_add(1)));
-                for (s, tx) in cmd_txs.iter().enumerate() {
-                    tx.send(Cmd::Run {
-                        until,
-                        incoming: std::mem::take(&mut pending[s]),
-                    })
-                    .expect("shard worker exited early");
-                }
-                for _ in 0..nshards {
-                    let r = reply_rx.recv().expect("shard worker panicked");
-                    next_at[r.shard] = r.next_at;
-                    for ev in r.outbox {
-                        pending[shard_of[ev.dev.0] as usize].push(ev);
-                    }
-                }
+                apply_pending(pending_in, &new_pending, &rp.dispatch);
             }
-            // Dropping the command senders terminates the workers.
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Terminate { round: *round });
+            }
         });
-        // Frames addressed beyond the deadline wait for the next run call.
-        self.pending = pending;
+    }
+
+    // The dispatch loop indexes four parallel per-shard arrays; a range
+    // loop keeps the disjoint field borrows obvious.
+    #[allow(clippy::needless_range_loop)]
+    fn run_epochs_inline(&mut self, deadline: SimTime) {
+        let deadline_cap = SimTime(deadline.0.saturating_add(1));
+        let nshards = self.nets.len();
+        let spec_window = self.plan.epoch.0.saturating_mul(SPEC_WINDOW_EPOCHS);
+        let shard_of = Arc::clone(&self.plan.shard_of);
+        let optimistic = self.optimistic;
+        let mut spec: Vec<Option<SpecInfo>> = (0..nshards).map(|_| None).collect();
+        // Worker-side speculation state (snapshots, held frames). Specs
+        // always resolve before run_epochs returns, so this need not
+        // persist on `self`.
+        let mut specs: Vec<Option<Spec>> = (0..nshards).map(|_| None).collect();
+        while let Some(rp) = plan_round(
+            &self.plan,
+            deadline,
+            deadline_cap,
+            spec_window,
+            optimistic,
+            &self.floors,
+            &self.pending_in,
+            &self.spec_capable,
+            &spec,
+        ) {
+            self.round += 1;
+            self.stats.rounds += 1;
+            let mut new_pending: Vec<Option<SimTime>> = vec![None; nshards];
+            for d in 0..nshards {
+                if !rp.dispatch[d] {
+                    continue;
+                }
+                let cmd = rp.cmd_for(d, self.round);
+                let mut capable = self.spec_capable[d];
+                let r = round_step(
+                    d,
+                    &mut self.nets[d],
+                    &mut self.chans[d],
+                    &shard_of,
+                    optimistic,
+                    &mut capable,
+                    &mut specs[d],
+                    &cmd,
+                );
+                fold_reply(
+                    r,
+                    &mut self.floors,
+                    &mut self.spec_capable,
+                    &mut self.stats,
+                    &mut spec,
+                    &mut new_pending,
+                );
+            }
+            apply_pending(&mut self.pending_in, &new_pending, &rp.dispatch);
+        }
     }
 
     /// Merges the shards back into one [`RunReport`]. The k-way frontier
@@ -466,6 +1325,7 @@ impl ShardedNetwork {
     /// interleaving of samples and trace entries (see module docs).
     pub fn into_report(mut self) -> RunReport {
         let now = self.now;
+        let sync = self.stats;
         if self.nets.len() == 1 {
             let net = &mut self.nets[0];
             let (spans, spans_dropped) = net.take_spans().into_parts();
@@ -486,6 +1346,7 @@ impl ShardedNetwork {
                 cpu: net.take_cpu(),
                 trace: net.take_trace(),
                 now,
+                sync,
             };
         }
         let n = self.nets.len();
@@ -646,6 +1507,7 @@ impl ShardedNetwork {
             events_processed,
             dropped_no_link,
             now,
+            sync,
         }
     }
 }
@@ -716,6 +1578,40 @@ mod tests {
                 assert!(net.link_params(x, px).unwrap().latency >= plan.epoch());
             }
         }
+    }
+
+    #[test]
+    fn min_lat_matrix_is_per_pair_and_symmetric() {
+        // a —5µs— b —20µs— c, three shards: the a↔b pair must see 5µs,
+        // the b↔c pair 20µs, and the unlinked a↔c pair no bound at all —
+        // the whole point of adaptive lookahead over a scalar epoch.
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "a", CpuLocation::Host);
+        let b = sink(&mut net, "b", CpuLocation::Host);
+        let c = sink(&mut net, "c", CpuLocation::Host);
+        net.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(5)),
+        );
+        net.connect(
+            b,
+            PortId(1),
+            c,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(20)),
+        );
+        let plan = PartitionPlan::partition(&net, 3);
+        assert_eq!(plan.nshards(), 3);
+        let (sa, sb, sc) = (plan.shard_of(a), plan.shard_of(b), plan.shard_of(c));
+        assert_eq!(plan.min_lat(sa, sb), SimDuration::micros(5).0);
+        assert_eq!(plan.min_lat(sb, sa), SimDuration::micros(5).0);
+        assert_eq!(plan.min_lat(sb, sc), SimDuration::micros(20).0);
+        assert_eq!(plan.min_lat(sc, sb), SimDuration::micros(20).0);
+        assert_eq!(plan.min_lat(sa, sc), u64::MAX, "no direct link");
+        assert_eq!(plan.min_lat(sc, sa), u64::MAX, "no direct link");
     }
 
     #[test]
@@ -792,5 +1688,20 @@ mod tests {
         std::env::set_var("SIMNET_SHARDS", "nope");
         assert_eq!(shards_from_env(), 1);
         std::env::remove_var("SIMNET_SHARDS");
+    }
+
+    #[test]
+    fn optimistic_from_env_parses_and_defaults() {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_OPTIMISTIC");
+        assert!(!optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "1");
+        assert!(optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "true");
+        assert!(optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "0");
+        assert!(!optimistic_from_env());
+        std::env::remove_var("SIMNET_OPTIMISTIC");
     }
 }

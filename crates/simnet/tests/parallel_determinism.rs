@@ -1,14 +1,23 @@
-//! The sharded-engine determinism contract: for any shard count, a run is
+//! The sharded-engine determinism contract: for any shard count and
+//! either synchronization mode (conservative or optimistic), a run is
 //! bit-identical to the sequential engine — sample-for-sample,
 //! counter-for-counter, trace-for-trace — on a ≥4-host topology with
 //! jitter and frame loss enabled.
 
-use metrics::{CpuAccount, SpanId, SpanRecord, StageAgg, StageTable, TraceConfig};
+use metrics::{
+    CpuAccount, CpuCategory, CpuLocation, SpanId, SpanRecord, StageAgg, StageTable, TraceConfig,
+};
+use nestless_simnet::addr::MacAddr;
+use nestless_simnet::bridge::Bridge;
+use nestless_simnet::costs::StageCost;
 use nestless_simnet::device::{DeviceId, PortId};
-use nestless_simnet::engine::{Network, SampleStore, TraceEntry};
-use nestless_simnet::testutil::{build_multihost, MultihostSpec};
+use nestless_simnet::engine::{LinkParams, Network, SampleStore, TraceEntry};
+use nestless_simnet::shared::SharedStation;
+use nestless_simnet::testutil::{build_multihost, frame_between, MacBouncer, MultihostSpec};
 use nestless_simnet::time::{SimDuration, SimTime};
-use nestless_simnet::{FaultPlan, LinkFault, LinkFaultKind, ShardedNetwork, StallWindow};
+use nestless_simnet::{
+    FaultPlan, LinkFault, LinkFaultKind, ShardedNetwork, StallWindow, SyncStats,
+};
 use std::collections::BTreeMap;
 
 const SEED: u64 = 0xC0FFEE;
@@ -91,9 +100,8 @@ struct Outcome {
     now: SimTime,
 }
 
-fn sequential() -> Outcome {
-    let mut net = build();
-    net.run_until(SimTime(2_000_000));
+/// Snapshot of a finished sequential network.
+fn outcome_of_net(net: &mut Network) -> Outcome {
     let (samples, counters) = snapshot(net.store());
     Outcome {
         samples,
@@ -111,29 +119,39 @@ fn sequential() -> Outcome {
     }
 }
 
-fn sharded(want: usize) -> (usize, Outcome) {
-    let mut sn = ShardedNetwork::new(build(), want);
-    sn.run_until(SimTime(2_000_000));
-    let nshards = sn.nshards();
+/// Snapshot of a merged sharded run.
+fn outcome_of_sharded(sn: ShardedNetwork) -> Outcome {
     let report = sn.into_report();
     let (samples, counters) = snapshot(&report.store);
-    (
-        nshards,
-        Outcome {
-            samples,
-            counters,
-            cpu: report.cpu,
-            trace_dropped: report.trace_dropped,
-            spans: named_spans(&report.spans, &report.store),
-            spans_emitted: report.spans_emitted,
-            spans_dropped: report.spans_dropped,
-            stages: named_stages(&report.stages, &report.store),
-            trace: report.trace,
-            events: report.events_processed,
-            dropped: report.dropped_no_link,
-            now: report.now,
-        },
-    )
+    Outcome {
+        samples,
+        counters,
+        cpu: report.cpu,
+        trace_dropped: report.trace_dropped,
+        spans: named_spans(&report.spans, &report.store),
+        spans_emitted: report.spans_emitted,
+        spans_dropped: report.spans_dropped,
+        stages: named_stages(&report.stages, &report.store),
+        trace: report.trace,
+        events: report.events_processed,
+        dropped: report.dropped_no_link,
+        now: report.now,
+    }
+}
+
+fn sequential() -> Outcome {
+    let mut net = build();
+    net.run_until(SimTime(2_000_000));
+    outcome_of_net(&mut net)
+}
+
+fn sharded(want: usize, optimistic: bool) -> (usize, SyncStats, Outcome) {
+    let mut sn = ShardedNetwork::new(build(), want);
+    sn.set_optimistic(optimistic);
+    sn.run_until(SimTime(2_000_000));
+    let nshards = sn.nshards();
+    let stats = sn.sync_stats();
+    (nshards, stats, outcome_of_sharded(sn))
 }
 
 fn assert_identical(label: &str, a: &Outcome, b: &Outcome) {
@@ -173,14 +191,25 @@ fn sharded_runs_are_bit_identical_to_sequential() {
     );
     assert!(seq.spans_emitted > 1_000, "flight recorder captured spans");
     assert!(!seq.stages.is_empty(), "stage table populated");
-    for want in [1, 2, 8] {
-        let (nshards, out) = sharded(want);
-        if want == 1 {
-            assert_eq!(nshards, 1);
-        } else {
-            assert!(nshards > 1, "≥4-host topology must actually shard");
+    for optimistic in [false, true] {
+        for want in [1, 2, 8] {
+            let (nshards, _, out) = sharded(want, optimistic);
+            if want == 1 {
+                assert_eq!(nshards, 1);
+            } else {
+                assert!(nshards > 1, "≥4-host topology must actually shard");
+            }
+            let mode = if optimistic {
+                "optimistic"
+            } else {
+                "conservative"
+            };
+            assert_identical(
+                &format!("{mode}, {want} shards (got {nshards})"),
+                &seq,
+                &out,
+            );
         }
-        assert_identical(&format!("{want} shards (got {nshards})"), &seq, &out);
     }
 }
 
@@ -267,24 +296,10 @@ fn build_faulted() -> Network {
 }
 
 #[test]
-fn faulted_runs_are_bit_identical_across_shard_counts() {
+fn faulted_runs_are_bit_identical_across_shard_counts_and_modes() {
     let mut seq_net = build_faulted();
     seq_net.run_until(SimTime(2_000_000));
-    let (samples, counters) = snapshot(seq_net.store());
-    let seq = Outcome {
-        samples,
-        counters,
-        cpu: seq_net.cpu().clone(),
-        trace: seq_net.trace().to_vec(),
-        trace_dropped: seq_net.dropped_traces(),
-        spans: named_spans(seq_net.spans(), seq_net.store()),
-        spans_emitted: seq_net.spans_emitted(),
-        spans_dropped: seq_net.spans_dropped(),
-        stages: named_stages(seq_net.stages(), seq_net.store()),
-        events: seq_net.events_processed(),
-        dropped: seq_net.dropped_no_link(),
-        now: seq_net.now(),
-    };
+    let seq = outcome_of_net(&mut seq_net);
     // Every fault kind actually fired in the window.
     for name in [
         "fault.link_down",
@@ -300,34 +315,27 @@ fn faulted_runs_are_bit_identical_across_shard_counts() {
         );
     }
 
-    for want in [1, 2, 8] {
-        let mut sn = ShardedNetwork::new(build_faulted(), want);
-        sn.run_until(SimTime(2_000_000));
-        let nshards = sn.nshards();
-        if want > 1 {
-            assert!(nshards > 1, "≥4-host topology must actually shard");
+    for optimistic in [false, true] {
+        for want in [1, 2, 8] {
+            let mut sn = ShardedNetwork::new(build_faulted(), want);
+            sn.set_optimistic(optimistic);
+            sn.run_until(SimTime(2_000_000));
+            let nshards = sn.nshards();
+            if want > 1 {
+                assert!(nshards > 1, "≥4-host topology must actually shard");
+            }
+            let mode = if optimistic {
+                "optimistic"
+            } else {
+                "conservative"
+            };
+            let out = outcome_of_sharded(sn);
+            assert_identical(
+                &format!("faulted, {mode}, {want} shards (got {nshards})"),
+                &seq,
+                &out,
+            );
         }
-        let report = sn.into_report();
-        let (samples, counters) = snapshot(&report.store);
-        let out = Outcome {
-            samples,
-            counters,
-            cpu: report.cpu,
-            trace_dropped: report.trace_dropped,
-            spans: named_spans(&report.spans, &report.store),
-            spans_emitted: report.spans_emitted,
-            spans_dropped: report.spans_dropped,
-            stages: named_stages(&report.stages, &report.store),
-            trace: report.trace,
-            events: report.events_processed,
-            dropped: report.dropped_no_link,
-            now: report.now,
-        };
-        assert_identical(
-            &format!("faulted, {want} shards (got {nshards})"),
-            &seq,
-            &out,
-        );
     }
 }
 
@@ -365,12 +373,46 @@ fn span_cap_overflow_merges_bit_identically() {
 
 #[test]
 fn sharded_runs_are_reproducible_across_invocations() {
-    // Thread scheduling must not leak into results: two identical sharded
-    // runs are bit-identical to each other.
-    let (n1, a) = sharded(2);
-    let (n2, b) = sharded(2);
-    assert_eq!(n1, n2);
-    assert_identical("repeat", &a, &b);
+    // Thread scheduling must not leak into results — or even into the
+    // coordinator's synchronization statistics: two identical sharded
+    // runs are bit-identical to each other, speculation verdicts
+    // included.
+    for optimistic in [false, true] {
+        let (n1, s1, a) = sharded(2, optimistic);
+        let (n2, s2, b) = sharded(2, optimistic);
+        assert_eq!(n1, n2);
+        assert_eq!(s1, s2, "sync stats are deterministic");
+        assert_identical("repeat", &a, &b);
+    }
+}
+
+#[test]
+fn split_runs_match_single_runs() {
+    // Regression test for the coordinator shutdown race: the earlier
+    // sentinel-close termination could strand a shard's final outbox when
+    // a `run_until` deadline landed between an emission and its delivery.
+    // With epoch-tagged termination and persistent rings, driving the
+    // clock in four steps must be indistinguishable from one step — in
+    // both synchronization modes.
+    for optimistic in [false, true] {
+        let mut whole = ShardedNetwork::new(build(), 4);
+        whole.set_optimistic(optimistic);
+        whole.run_until(SimTime(2_000_000));
+        let whole = outcome_of_sharded(whole);
+
+        let mut split = ShardedNetwork::new(build(), 4);
+        split.set_optimistic(optimistic);
+        for step in 1..=4u64 {
+            split.run_until(SimTime(step * 500_000));
+        }
+        let split = outcome_of_sharded(split);
+        let mode = if optimistic {
+            "optimistic"
+        } else {
+            "conservative"
+        };
+        assert_identical(&format!("split vs whole ({mode})"), &whole, &split);
+    }
 }
 
 #[test]
@@ -408,4 +450,225 @@ fn run_to_idle_and_env_knob_match_sequential() {
     let sn = ShardedNetwork::from_env(build_finite());
     assert_eq!(sn.nshards(), 3);
     std::env::remove_var("SIMNET_SHARDS");
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic-specific scenarios: a topology that forces stragglers (and
+// hence rollbacks) and one that guarantees commits, both bit-identical to
+// the sequential engine either way.
+
+const BOUNCER_COST_NS: u64 = 600;
+
+fn bouncer_cost() -> StageCost {
+    StageCost::fixed(BOUNCER_COST_NS, 0.2, CpuCategory::Usr).with_jitter(0.05)
+}
+
+fn bridge_cost() -> StageCost {
+    StageCost::fixed(400, 0.1, CpuCategory::Sys).with_jitter(0.05)
+}
+
+/// One dense island (bridge + local ping-pong pair) and one sparse
+/// single-bouncer island across a 20 µs uplink, with a cross ping-pong
+/// chain threaded through both. Whenever the dense shard exhausts its
+/// conservative bound it speculates ~80 µs ahead, and the sparse shard's
+/// next reply (arriving ~21 µs after the bound) is a guaranteed straggler
+/// — every cross round trip forces a rollback.
+fn straggler_net() -> Network {
+    let mut net = Network::new(0xBEEF);
+    let (ma1, ma2, mb) = (MacAddr::local(1), MacAddr::local(2), MacAddr::local(3));
+    let br = net.add_device(
+        "br",
+        CpuLocation::Host,
+        Box::new(Bridge::new(3, bridge_cost(), SharedStation::new())),
+    );
+    let a1 = net.add_device(
+        "a1",
+        CpuLocation::Host,
+        Box::new(MacBouncer::new("a1", ma1, 200, bouncer_cost(), false)),
+    );
+    let a2 = net.add_device(
+        "a2",
+        CpuLocation::Host,
+        Box::new(MacBouncer::new("a2", ma2, 200, bouncer_cost(), false)),
+    );
+    let b = net.add_device(
+        "b",
+        CpuLocation::Host,
+        Box::new(MacBouncer::new("b", mb, 200, bouncer_cost(), false)),
+    );
+    net.connect(a1, PortId::P0, br, PortId(0), LinkParams::default());
+    net.connect(a2, PortId::P0, br, PortId(1), LinkParams::default());
+    net.connect(
+        br,
+        PortId(2),
+        b,
+        PortId::P0,
+        LinkParams::with_latency(SimDuration::micros(20)),
+    );
+    // Dense local ping-pong through the bridge.
+    net.inject_frame(
+        SimDuration::ZERO,
+        a2,
+        PortId::P0,
+        frame_between(ma1, ma2, 200),
+    );
+    // Cross chain: b replies to a1, a1 replies to b, forever.
+    net.inject_frame(
+        SimDuration::ZERO,
+        b,
+        PortId::P0,
+        frame_between(ma1, mb, 200),
+    );
+    net
+}
+
+#[test]
+fn forced_straggler_rolls_back_and_stays_bit_identical() {
+    let mut seq = straggler_net();
+    seq.run_until(SimTime(1_000_000));
+    let seq = outcome_of_net(&mut seq);
+    assert!(seq.events > 1_000, "dense flow generates real load");
+
+    let mut conservative = ShardedNetwork::new(straggler_net(), 2);
+    assert_eq!(conservative.nshards(), 2);
+    conservative.run_until(SimTime(1_000_000));
+    assert_eq!(
+        conservative.sync_stats().spec_rollbacks,
+        0,
+        "conservative mode never speculates"
+    );
+    let conservative = outcome_of_sharded(conservative);
+    assert_identical("conservative", &seq, &conservative);
+
+    let mut optimistic = ShardedNetwork::new(straggler_net(), 2);
+    optimistic.set_optimistic(true);
+    optimistic.run_until(SimTime(1_000_000));
+    let stats = optimistic.sync_stats();
+    assert!(
+        stats.spec_rollbacks >= 1,
+        "cross replies behind an ~80 µs speculation must force rollbacks, got {stats:?}"
+    );
+    assert_eq!(stats.spec_denied, 0, "every device in this net is forkable");
+    let optimistic = outcome_of_sharded(optimistic);
+    assert_identical("optimistic with rollbacks", &seq, &optimistic);
+}
+
+/// Two dense islands joined by an uplink that carries (almost) no
+/// traffic: both shards speculate past their bounds every round and the
+/// commit fixpoint proves them safe against each other's post-speculation
+/// floors. Exercises snapshot-commit adoption rather than rollback.
+fn commit_net() -> Network {
+    let mut net = Network::new(0xF00D);
+    let mut mac = 0u32;
+    let mut next_mac = || {
+        mac += 1;
+        MacAddr::local(mac)
+    };
+    let mut bridges = Vec::new();
+    for h in 0..2 {
+        let br = net.add_device(
+            format!("h{h}.br"),
+            CpuLocation::Host,
+            Box::new(Bridge::new(3, bridge_cost(), SharedStation::new())),
+        );
+        let (ma, mb) = (next_mac(), next_mac());
+        let a = net.add_device(
+            format!("h{h}.a"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("h{h}.a"),
+                ma,
+                200,
+                bouncer_cost(),
+                false,
+            )),
+        );
+        let b = net.add_device(
+            format!("h{h}.b"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("h{h}.b"),
+                mb,
+                200,
+                bouncer_cost(),
+                false,
+            )),
+        );
+        net.connect(a, PortId::P0, br, PortId(0), LinkParams::default());
+        net.connect(b, PortId::P0, br, PortId(1), LinkParams::default());
+        net.inject_frame(
+            SimDuration::nanos(h as u64 * 131),
+            b,
+            PortId::P0,
+            frame_between(ma, mb, 200),
+        );
+        bridges.push(br);
+    }
+    net.connect(
+        bridges[0],
+        PortId(2),
+        bridges[1],
+        PortId(2),
+        LinkParams::with_latency(SimDuration::micros(20)),
+    );
+    net
+}
+
+#[test]
+fn independent_islands_commit_speculation_and_stay_bit_identical() {
+    let mut seq = commit_net();
+    seq.run_until(SimTime(1_000_000));
+    let seq = outcome_of_net(&mut seq);
+
+    let mut sn = ShardedNetwork::new(commit_net(), 2);
+    assert_eq!(sn.nshards(), 2);
+    sn.set_optimistic(true);
+    sn.run_until(SimTime(1_000_000));
+    let stats = sn.sync_stats();
+    assert!(
+        stats.spec_commits >= 1,
+        "mutually idle uplink must let speculation commit, got {stats:?}"
+    );
+    let out = outcome_of_sharded(sn);
+    assert_identical("optimistic with commits", &seq, &out);
+}
+
+#[test]
+fn inline_and_threaded_backends_are_bit_identical() {
+    // The coordinator picks its execution backend (scoped worker threads
+    // vs inline round_step calls on the coordinator thread) from the host
+    // core count; SIMNET_INLINE pins it either way. Both must produce
+    // identical outcomes *and* identical SyncStats — reply folding is
+    // commutative, so backend choice may never show up in results.
+    // (Serialize: no other test in this binary touches SIMNET_INLINE;
+    // a concurrent reader would merely pick a backend explicitly, which
+    // this very test proves equivalent.)
+    let run = |inline: bool, optimistic: bool| {
+        std::env::set_var("SIMNET_INLINE", if inline { "1" } else { "0" });
+        let mut sn = ShardedNetwork::new(build(), 4);
+        sn.set_optimistic(optimistic);
+        sn.run_until(SimTime(2_000_000));
+        let stats = sn.sync_stats();
+        let out = outcome_of_sharded(sn);
+        std::env::remove_var("SIMNET_INLINE");
+        (stats, out)
+    };
+    for optimistic in [false, true] {
+        let (inline_stats, inline_out) = run(true, optimistic);
+        let (threaded_stats, threaded_out) = run(false, optimistic);
+        let mode = if optimistic {
+            "optimistic"
+        } else {
+            "conservative"
+        };
+        assert_eq!(
+            inline_stats, threaded_stats,
+            "{mode}: sync stats must not depend on the backend"
+        );
+        assert_identical(
+            &format!("{mode}: inline vs threaded"),
+            &inline_out,
+            &threaded_out,
+        );
+    }
 }

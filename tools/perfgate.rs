@@ -1,0 +1,307 @@
+//! CI perf-regression gate for the `engine_throughput` bench outputs.
+//!
+//! Compares the freshly produced `results/*.json` against baselines
+//! committed under `ci/baselines/`, gating only on **machine-independent
+//! ratios** (never absolute event rates, which vary with runner hardware):
+//!
+//! * `observability_overhead.json` — each mode's `relative_to_off_median`
+//!   (throughput relative to tracing-off on the *same* machine) may not
+//!   regress by more than 15% against the baseline.
+//! * `engine_multicore.json` — every sweep row must be `bit_identical`;
+//!   the conservative 4-shard row's `speedup_vs_sequential_peak` (the
+//!   noise-robust paired statistic: peak rate over the sequential peak
+//!   from the same interleaved run) must stay ≥ 0.85 (the
+//!   coordinator-overhead floor on a single core) and ≥ 2.0 when the
+//!   runner actually has ≥ 4 cores; and when the baseline was recorded on
+//!   a runner with the same core count, per-row peak speedups may not
+//!   regress by more than 15%.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfgate check <results_dir> <baselines_dir>
+//! perfgate selftest
+//! ```
+//!
+//! `selftest` feeds the comparator an injected 30% regression (and a
+//! non-bit-identical sweep row) and exits non-zero unless both are
+//! caught — CI runs it first so a silently broken gate cannot pass.
+
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Allowed relative regression on any gated ratio.
+const TOLERANCE: f64 = 0.15;
+/// Coordinator-overhead floor: 4 conservative shards on any machine.
+const OVERHEAD_FLOOR: f64 = 0.85;
+/// Scaling floor: 4 conservative shards on a ≥4-core machine.
+const SCALING_FLOOR: f64 = 2.0;
+
+#[derive(Default)]
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn fail(&mut self, msg: String) {
+        eprintln!("perfgate: FAIL: {msg}");
+        self.failures.push(msg);
+    }
+
+    /// Gates `cur >= base * (1 - TOLERANCE)` for a higher-is-better ratio.
+    fn ratio_floor(&mut self, what: &str, cur: f64, base: f64) {
+        let floor = base * (1.0 - TOLERANCE);
+        if cur < floor {
+            self.fail(format!(
+                "{what}: {cur:.3} regressed more than {:.0}% below baseline {base:.3} (floor {floor:.3})",
+                TOLERANCE * 100.0
+            ));
+        } else {
+            println!("perfgate: ok: {what}: {cur:.3} (baseline {base:.3}, floor {floor:.3})");
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        Value::F64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn f64_at(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(as_f64)
+}
+
+fn bool_at(v: &Value, key: &str) -> Option<bool> {
+    match v.get(key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn str_at<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn seq_at<'v>(v: &'v Value, key: &str) -> &'v [Value] {
+    v.get(key).and_then(Value::as_seq).unwrap_or(&[])
+}
+
+/// Gate the flight-recorder overhead ratios against the baseline.
+fn check_observability(gate: &mut Gate, cur: &Value, base: &Value) {
+    let cur_modes = seq_at(cur, "modes");
+    let base_modes = seq_at(base, "modes");
+    if base_modes.is_empty() {
+        gate.fail("observability baseline has no modes".to_string());
+    }
+    for bm in base_modes {
+        let label = str_at(bm, "mode").unwrap_or("?");
+        let Some(base_ratio) = f64_at(bm, "relative_to_off_median") else {
+            gate.fail(format!("observability baseline mode {label}: no ratio"));
+            continue;
+        };
+        let Some(cm) = cur_modes.iter().find(|m| str_at(m, "mode") == Some(label)) else {
+            gate.fail(format!("observability results are missing mode {label}"));
+            continue;
+        };
+        let Some(cur_ratio) = f64_at(cm, "relative_to_off_median") else {
+            gate.fail(format!("observability results mode {label}: no ratio"));
+            continue;
+        };
+        gate.ratio_floor(
+            &format!("observability relative_to_off[{label}]"),
+            cur_ratio,
+            base_ratio,
+        );
+    }
+}
+
+/// Gate the multicore sweep: determinism everywhere, coordinator
+/// overhead and (where the hardware allows) scaling on the conservative
+/// 4-shard row, plus baseline-relative speedups on like-for-like runners.
+fn check_multicore(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
+    let rows = seq_at(cur, "sweep");
+    if rows.is_empty() {
+        gate.fail("multicore results have no sweep rows".to_string());
+        return;
+    }
+    let host_cores = f64_at(cur, "host_cores").unwrap_or(1.0) as u64;
+    for row in rows {
+        let mode = str_at(row, "mode").unwrap_or("?");
+        let shards = f64_at(row, "shards_got").unwrap_or(0.0) as u64;
+        if bool_at(row, "bit_identical") != Some(true) {
+            gate.fail(format!(
+                "multicore {mode}/{shards} shards: not bit-identical to the sequential engine"
+            ));
+        }
+    }
+    let four = rows.iter().find(|r| {
+        str_at(r, "mode") == Some("conservative") && f64_at(r, "shards_got") == Some(4.0)
+    });
+    match four.and_then(|r| f64_at(r, "speedup_vs_sequential_peak")) {
+        None => gate.fail("multicore sweep has no conservative 4-shard row".to_string()),
+        Some(speedup) => {
+            if speedup < OVERHEAD_FLOOR {
+                gate.fail(format!(
+                    "multicore conservative/4 shards: speedup {speedup:.3} below the \
+                     {OVERHEAD_FLOOR} coordinator-overhead floor"
+                ));
+            } else {
+                println!(
+                    "perfgate: ok: multicore conservative/4 speedup {speedup:.3} \
+                     (overhead floor {OVERHEAD_FLOOR})"
+                );
+            }
+            if host_cores >= 4 {
+                if speedup < SCALING_FLOOR {
+                    gate.fail(format!(
+                        "multicore conservative/4 shards: speedup {speedup:.3} below the \
+                         {SCALING_FLOOR}x scaling floor on a {host_cores}-core runner"
+                    ));
+                } else {
+                    println!(
+                        "perfgate: ok: multicore conservative/4 speedup {speedup:.3} \
+                         on {host_cores} cores (scaling floor {SCALING_FLOOR})"
+                    );
+                }
+            } else {
+                println!(
+                    "perfgate: skip: scaling floor not asserted on a \
+                     {host_cores}-core runner (needs >= 4)"
+                );
+            }
+        }
+    }
+    // Baseline-relative speedups only compare like-for-like hardware.
+    if let Some(base) = base {
+        if f64_at(base, "host_cores") == f64_at(cur, "host_cores") {
+            for brow in seq_at(base, "sweep") {
+                let mode = str_at(brow, "mode").unwrap_or("?");
+                let shards = f64_at(brow, "shards_wanted").unwrap_or(0.0) as u64;
+                let (Some(bs), Some(crow)) = (
+                    f64_at(brow, "speedup_vs_sequential_peak"),
+                    rows.iter().find(|r| {
+                        str_at(r, "mode") == Some(mode)
+                            && f64_at(r, "shards_wanted") == f64_at(brow, "shards_wanted")
+                    }),
+                ) else {
+                    continue;
+                };
+                if let Some(cs) = f64_at(crow, "speedup_vs_sequential_peak") {
+                    gate.ratio_floor(&format!("multicore speedup[{mode}/{shards}]"), cs, bs);
+                }
+            }
+        } else {
+            println!(
+                "perfgate: skip: baseline recorded on different core count; \
+                 speedup ratios not compared"
+            );
+        }
+    }
+}
+
+fn run_check(results: &Path, baselines: &Path) -> ExitCode {
+    let mut gate = Gate::default();
+    match (
+        load(&results.join("observability_overhead.json")),
+        load(&baselines.join("observability_overhead.json")),
+    ) {
+        (Ok(cur), Ok(base)) => check_observability(&mut gate, &cur, &base),
+        (Err(e), _) | (_, Err(e)) => gate.fail(e),
+    }
+    match load(&results.join("engine_multicore.json")) {
+        Ok(cur) => {
+            let base = load(&baselines.join("engine_multicore.json")).ok();
+            check_multicore(&mut gate, &cur, base.as_ref());
+        }
+        Err(e) => gate.fail(e),
+    }
+    if gate.failures.is_empty() {
+        println!("perfgate: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: {} gate(s) failed", gate.failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn fixture(json: &str) -> Value {
+    serde_json::from_str(json).expect("selftest fixture must parse")
+}
+
+/// Feed the comparator a hand-built 30% regression and a determinism
+/// violation; the gate itself is broken unless it catches all of them.
+fn selftest() -> ExitCode {
+    let base = fixture(
+        r#"{"modes": [
+            {"mode": "off", "relative_to_off_median": 1.0},
+            {"mode": "counters", "relative_to_off_median": 0.95},
+            {"mode": "full", "relative_to_off_median": 0.80}
+        ]}"#,
+    );
+    let regressed = fixture(
+        r#"{"modes": [
+            {"mode": "off", "relative_to_off_median": 1.0},
+            {"mode": "counters", "relative_to_off_median": 0.94},
+            {"mode": "full", "relative_to_off_median": 0.56}
+        ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_observability(&mut gate, &regressed, &base);
+    let caught_ratio = gate.failures.len() == 1;
+
+    let bad_sweep = fixture(
+        r#"{"host_cores": 1, "sweep": [
+            {"mode": "conservative", "shards_wanted": 4, "shards_got": 4,
+             "speedup_vs_sequential_peak": 0.55, "bit_identical": false}
+        ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_multicore(&mut gate, &bad_sweep, None);
+    // Expect exactly two failures: bit_identical and the overhead floor.
+    let caught_sweep = gate.failures.len() == 2;
+
+    let ok_sweep = fixture(
+        r#"{"host_cores": 1, "sweep": [
+            {"mode": "conservative", "shards_wanted": 4, "shards_got": 4,
+             "speedup_vs_sequential_peak": 0.9, "bit_identical": true}
+        ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_observability(&mut gate, &base, &base);
+    check_multicore(&mut gate, &ok_sweep, None);
+    let clean_passes = gate.failures.is_empty();
+
+    if caught_ratio && caught_sweep && clean_passes {
+        println!("perfgate: selftest passed (regressions caught, clean run passes)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perfgate: selftest FAILED (ratio caught: {caught_ratio}, \
+             sweep caught: {caught_sweep}, clean passes: {clean_passes})"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("selftest") => selftest(),
+        Some("check") if args.len() == 3 => run_check(Path::new(&args[1]), Path::new(&args[2])),
+        _ => {
+            eprintln!("usage: perfgate check <results_dir> <baselines_dir> | perfgate selftest");
+            ExitCode::from(2)
+        }
+    }
+}
