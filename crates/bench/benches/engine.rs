@@ -9,6 +9,7 @@ use simnet::device::PortId;
 use simnet::engine::{LinkParams, Network};
 use simnet::shared::SharedStation;
 use simnet::testutil::{frame_between, CaptureSink};
+use simnet::StopCondition;
 use simnet::{MacAddr, SimDuration};
 
 fn bridge_forwarding(c: &mut Criterion) {
@@ -45,7 +46,7 @@ fn bridge_forwarding(c: &mut Criterion) {
                 net
             },
             |mut net| {
-                net.run_to_idle();
+                net.run(StopCondition::Idle);
                 net.events_processed()
             },
             BatchSize::SmallInput,

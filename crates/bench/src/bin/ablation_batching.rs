@@ -28,7 +28,7 @@ fn main() {
 
 mod helpers {
     use nestless::topology::{build_with, BuildOpts, Config};
-    use simnet::{AppApi, Application, Incoming, Payload, SimDuration, TcpKind};
+    use simnet::{AppApi, Application, Incoming, Payload, SimDuration, StopCondition, TcpKind};
 
     pub fn tput(opts: &BuildOpts, size: u32) -> f64 {
         struct Srv;
@@ -95,7 +95,7 @@ mod helpers {
         );
         tb.start(&[s, c]);
         let dur = SimDuration::millis(400);
-        tb.vmm.network_mut().run_for(dur);
+        tb.vmm.network_mut().run(StopCondition::For(dur));
         tb.vmm.network().store().counter("rx_bytes") * 8.0 / dur.as_secs_f64() / 1e6
     }
 
@@ -140,7 +140,9 @@ mod helpers {
             Box::new(Rr { target, size, n: 0 }),
         );
         tb.start(&[s, c]);
-        tb.vmm.network_mut().run_for(SimDuration::millis(300));
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(SimDuration::millis(300)));
         let xs = tb.vmm.network().store().samples("rtt_us");
         xs.iter().sum::<f64>() / xs.len() as f64
     }

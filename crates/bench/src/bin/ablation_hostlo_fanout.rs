@@ -6,6 +6,7 @@
 
 use nestless::topology::{build_with, BuildOpts, Config};
 use nestless_bench::Figure;
+use simnet::StopCondition;
 use simnet::{AppApi, Application, Incoming, Payload, SimDuration};
 use vmm::FanoutMode;
 
@@ -56,7 +57,9 @@ fn run(mode: FanoutMode) -> (f64, f64) {
         Box::new(Rr { target, n: 0 }),
     );
     tb.start(&[s, c]);
-    tb.vmm.network_mut().run_for(SimDuration::millis(300));
+    tb.vmm
+        .network_mut()
+        .run(StopCondition::For(SimDuration::millis(300)));
     let xs = tb.vmm.network().store().samples("rtt_us");
     let lat = xs.iter().sum::<f64>() / xs.len() as f64;
     let copies = tb.vmm.network().store().counter("hostlo.queue_copies");

@@ -13,6 +13,7 @@ use simnet::engine::{LinkParams, Network};
 use simnet::nic::Vhost;
 use simnet::shared::SharedStation;
 use simnet::testutil::{frame_between, CaptureSink};
+use simnet::StopCondition;
 use simnet::{MacAddr, SimDuration};
 
 fn run(ring: usize, burst: u64) -> (f64, f64) {
@@ -44,7 +45,7 @@ fn run(ring: usize, burst: u64) -> (f64, f64) {
             frame_between(MacAddr::local(1), MacAddr::local(2), 1024),
         );
     }
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     (
         net.store().counter("sink.received"),
         net.store().counter("vhost.ring_full"),

@@ -7,6 +7,7 @@
 use nestless::topology::{build_with, BuildOpts, Config};
 use nestless_bench::Figure;
 use simnet::costs::StageCost;
+use simnet::StopCondition;
 use workloads::netperf::Netperf;
 
 fn run_with(opts: &BuildOpts, seed: u64) -> f64 {
@@ -36,7 +37,7 @@ fn run_with(opts: &BuildOpts, seed: u64) -> f64 {
     tb.start(&[server, client]);
     tb.vmm
         .network_mut()
-        .run_for(simnet::SimDuration::millis(300));
+        .run(StopCondition::For(simnet::SimDuration::millis(300)));
     let samples = tb.vmm.network().store().samples("rtt_us");
     samples.iter().sum::<f64>() / samples.len() as f64
 }

@@ -7,6 +7,7 @@
 use nestless::topology::{BuildOpts, Config};
 use nestless_bench::Figure;
 use simnet::SimDuration;
+use simnet::StopCondition;
 use workloads::netperf::Netperf;
 
 fn main() {
@@ -106,7 +107,7 @@ fn run_tput(opts: &BuildOpts, size: u32) -> f64 {
     );
     tb.start(&[s, c]);
     let dur = simnet::SimDuration::millis(400);
-    tb.vmm.network_mut().run_for(dur);
+    tb.vmm.network_mut().run(StopCondition::For(dur));
     tb.vmm.network().store().counter("rx_bytes") * 8.0 / dur.as_secs_f64() / 1e6
 }
 
@@ -154,7 +155,7 @@ fn run_lat(opts: &BuildOpts, size: u32) -> f64 {
     tb.start(&[s, c]);
     tb.vmm
         .network_mut()
-        .run_for(simnet::SimDuration::millis(300));
+        .run(StopCondition::For(simnet::SimDuration::millis(300)));
     let xs = tb.vmm.network().store().samples("rtt_us");
     xs.iter().sum::<f64>() / xs.len() as f64
 }

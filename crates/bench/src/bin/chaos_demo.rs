@@ -35,7 +35,7 @@ use simnet::nat::Proto;
 use simnet::shared::SharedStation;
 use simnet::{
     snapshot_network, FaultPlan, LinkFault, LinkFaultKind, MacAddr, SimDuration, SimTime, SockAddr,
-    StallWindow,
+    StallWindow, StopCondition,
 };
 
 /// Interval between client requests.
@@ -241,10 +241,6 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
         .vms(1)
         .seed(seed)
         .build();
-    let stats = cluster
-        .brfusion_stats
-        .clone()
-        .unwrap_or_else(|| die("BrFusion cluster must expose stats"));
     cluster
         .vmm
         .network_mut()
@@ -288,7 +284,7 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
     let id = cluster
         .deploy(pod)
         .unwrap_or_else(|e| die(&format!("deploy under QMP outage must degrade, got {e:?}")));
-    if stats.fallbacks() != 1 {
+    if cluster.cni_status().fallbacks != 1 {
         die("deploy under QMP outage did not fall back");
     }
     let atts = cluster.attachments(id).to_vec();
@@ -321,8 +317,8 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
     if cluster.repair() != 1 {
         die("repair pass at 55 ms must re-promote the pod");
     }
-    let repromoted = stats.take_repromoted();
-    let (_, new_atts) = &repromoted[0];
+    let repromoted = cluster.drain_repaired();
+    let new_atts = &repromoted[0].outcome.attachments;
     cluster.attach_app(
         &new_atts[0],
         "srv-fused",
@@ -354,7 +350,8 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
             fused_rtt.push(*rtt);
         }
     }
-    let latency = stats.repromotion_latency_ns();
+    let stats = cluster.cni_status();
+    let latency = stats.repromotion_latency_ns.clone();
     let snapshot: RunSnapshot = snapshot_network(cluster.vmm.network(), "chaos_demo.brfusion");
     let snapshot_json = round_trip("RunSnapshot", &snapshot);
     if let Err(e) = std::fs::create_dir_all("results")
@@ -364,11 +361,11 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
     }
 
     BrFusionReport {
-        fallbacks: stats.fallbacks(),
-        fallback_reason: stats.fallback_reasons().swap_remove(0),
-        repromotions: stats.repromotions(),
+        fallbacks: stats.fallbacks,
+        fallback_reason: stats.fallback_reasons[0].clone(),
+        repromotions: stats.repromotions,
         repromotion_latency_ms: latency[0] as f64 / 1e6,
-        abandoned: stats.abandoned(),
+        abandoned: stats.abandoned,
         phases,
         rtt_degraded_p50_us: median(degraded_rtt),
         rtt_fused_p50_us: median(fused_rtt),
@@ -414,7 +411,9 @@ fn run_hostlo(seed: u64) -> HostloReport {
     );
     tb.vmm.network_mut().install_fault_plan(plan);
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(SimDuration::millis(60));
+    tb.vmm
+        .network_mut()
+        .run(StopCondition::For(SimDuration::millis(60)));
 
     let store = tb.vmm.network().store();
     let delivered = store.samples("hostlo.reply_seq").to_vec();

@@ -1,0 +1,287 @@
+//! Hybrid fast-path throughput harness: how much wall-clock does the
+//! flow-level fast path buy on deep forwarding paths?
+//!
+//! The scenario is built to be the fast path's home turf while staying an
+//! honest packet-level workload: `CHAINS` disconnected relay chains, each
+//! a ping-pong bouncer pair separated by `RELAYS` two-port learning
+//! bridges. Packet level pays one event per bridge hop per frame; hybrid
+//! collapses a steady chain crossing into a single synthesized delivery,
+//! so the event (and wall-clock) gap is roughly the relay depth, less
+//! probe/learning overhead.
+//!
+//! Reps are paired: each rep runs packet fidelity then hybrid back to
+//! back and the speedup is that rep's ratio, so machine noise lands on
+//! both sides. Three checks are asserted and recorded in the JSON
+//! (consumed by `tools/perfgate.rs check_hybrid`):
+//!
+//! * **speedup** — hybrid effective frames/s over packet (target ≥ 10×
+//!   here; the CI gate floors at 5× for noisy runners),
+//! * **fidelity tolerance** — hybrid must deliver within ±15% of the
+//!   packet run's frames and total CPU over the same simulated horizon
+//!   (synthesized deliveries replay learned per-hop CPU, so the accounts
+//!   stay figure-comparable),
+//! * **determinism** — the hybrid run's merged outcome digest is
+//!   bit-identical at 1/2/8 shards (`SimConfig`-selected, not env).
+//!
+//! ```text
+//! cargo run --release -p nestless-bench --bin engine_hybrid [reps]
+//! ```
+
+use metrics::CpuAccount;
+use metrics::{CpuCategory, CpuLocation};
+use simnet::bridge::Bridge;
+use simnet::costs::StageCost;
+use simnet::device::PortId;
+use simnet::engine::{LinkParams, Network, SampleStore};
+use simnet::shared::SharedStation;
+use simnet::testutil::{frame_between, MacBouncer};
+use simnet::time::{SimDuration, SimTime};
+use simnet::{Fidelity, MacAddr, SimConfig, StopCondition};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Parallel relay chains; each is its own partition island, so 1/2/8
+/// shard requests all materialize exactly.
+const CHAINS: usize = 8;
+
+/// Two-port learning bridges between the bouncer pair of each chain —
+/// the per-frame event depth hybrid gets to skip.
+const RELAYS: usize = 48;
+
+/// Simulated horizon; long enough that learning (≤ ~3 round trips per
+/// direction) is noise against the steady phase.
+const HORIZON: SimTime = SimTime(10_000_000);
+
+const PAYLOAD: u32 = 200;
+
+fn build() -> Network {
+    let mut net = Network::new(0x48CB);
+    let bouncer_cost = StageCost::fixed(600, 0.2, CpuCategory::Usr).with_jitter(0.05);
+    let relay_cost = StageCost::fixed(400, 0.1, CpuCategory::Sys).with_jitter(0.05);
+    for c in 0..CHAINS {
+        let ma = MacAddr::local((2 * c + 1) as u32);
+        let mb = MacAddr::local((2 * c + 2) as u32);
+        let a = net.add_device(
+            format!("c{c}.a"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("c{c}.a"),
+                ma,
+                PAYLOAD,
+                bouncer_cost,
+                false,
+            )),
+        );
+        let b = net.add_device(
+            format!("c{c}.b"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("c{c}.b"),
+                mb,
+                PAYLOAD,
+                bouncer_cost,
+                false,
+            )),
+        );
+        let mut prev = (a, PortId::P0);
+        for r in 0..RELAYS {
+            let br = net.add_device(
+                format!("c{c}.r{r}"),
+                CpuLocation::Host,
+                Box::new(Bridge::new(2, relay_cost, SharedStation::new())),
+            );
+            net.connect(prev.0, prev.1, br, PortId(0), LinkParams::default());
+            prev = (br, PortId(1));
+        }
+        net.connect(prev.0, prev.1, b, PortId::P0, LinkParams::default());
+        // Kick the pair off; staggered starts decorrelate the chains.
+        net.inject_frame(
+            SimDuration::nanos((c as u64) * 137),
+            b,
+            PortId::P0,
+            frame_between(ma, mb, PAYLOAD),
+        );
+    }
+    net
+}
+
+/// Frames actually delivered to a bouncer (the goodput both fidelities
+/// are compared on).
+fn frames_delivered(store: &SampleStore) -> f64 {
+    store
+        .counter_names()
+        .filter(|n| n.ends_with(".bounced"))
+        .map(|n| store.counter(n))
+        .sum()
+}
+
+fn cpu_total(cpu: &CpuAccount) -> u64 {
+    cpu.total()
+}
+
+/// Order-independent digest of a run's observable outcome.
+fn outcome_digest(store: &SampleStore, events: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    events.hash(&mut h);
+    let mut names: Vec<&str> = store.sample_names().collect();
+    names.sort_unstable();
+    for n in names {
+        n.hash(&mut h);
+        for v in store.samples(n) {
+            v.to_bits().hash(&mut h);
+        }
+    }
+    let mut names: Vec<&str> = store.counter_names().collect();
+    names.sort_unstable();
+    for n in names {
+        n.hash(&mut h);
+        store.counter(n).to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+struct RunOut {
+    frames: f64,
+    cpu_ns: u64,
+    events: u64,
+    elapsed: f64,
+    fastpath_frames: f64,
+    escalations: f64,
+}
+
+fn run_once(fidelity: Fidelity) -> RunOut {
+    let mut net = build();
+    net.set_fidelity(fidelity);
+    let start = Instant::now();
+    net.run(StopCondition::Until(HORIZON));
+    let elapsed = start.elapsed().as_secs_f64();
+    RunOut {
+        frames: frames_delivered(net.store()),
+        cpu_ns: cpu_total(net.cpu()),
+        events: net.events_processed(),
+        elapsed,
+        fastpath_frames: net.store().counter("flow.fastpath_frames"),
+        escalations: net.store().counter("flow.escalations"),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// ±15%: the paper-figure comparability budget hybrid must stay inside.
+const TOLERANCE: f64 = 0.15;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("reps must be a positive integer"))
+        .unwrap_or(5)
+        .max(1);
+
+    // Warm-up (page in code, size allocator pools).
+    run_once(Fidelity::Packet);
+    run_once(Fidelity::Hybrid);
+
+    let mut speedups = Vec::with_capacity(reps);
+    let mut packet_rates = Vec::with_capacity(reps);
+    let mut hybrid_rates = Vec::with_capacity(reps);
+    let mut packet = None;
+    let mut hybrid = None;
+    for _ in 0..reps {
+        let p = run_once(Fidelity::Packet);
+        let h = run_once(Fidelity::Hybrid);
+        let (pr, hr) = (p.frames / p.elapsed, h.frames / h.elapsed);
+        packet_rates.push(pr);
+        hybrid_rates.push(hr);
+        speedups.push(hr / pr);
+        packet = Some(p);
+        hybrid = Some(h);
+    }
+    let (packet, hybrid) = (packet.unwrap(), hybrid.unwrap());
+    let speedup_median = median(speedups);
+
+    // Fidelity tolerance: same horizon, comparable goodput and CPU.
+    let frames_ratio = hybrid.frames / packet.frames;
+    let cpu_ratio = hybrid.cpu_ns as f64 / packet.cpu_ns as f64;
+    assert!(
+        (frames_ratio - 1.0).abs() <= TOLERANCE,
+        "hybrid goodput diverged from packet level: {:.0} vs {:.0} frames ({frames_ratio:.3})",
+        hybrid.frames,
+        packet.frames
+    );
+    assert!(
+        (cpu_ratio - 1.0).abs() <= TOLERANCE,
+        "hybrid CPU account diverged from packet level: ratio {cpu_ratio:.3}"
+    );
+    assert!(
+        hybrid.fastpath_frames > 0.0,
+        "hybrid run never took the fast path — scenario is broken"
+    );
+
+    // Determinism: hybrid merged outcome bit-identical at 1/2/8 shards.
+    let mut shard_rows = Vec::new();
+    let mut ref_digest = None;
+    let mut bit_identical = true;
+    for want in [1usize, 2, 8] {
+        let mut sn = SimConfig::new()
+            .shards(want)
+            .fidelity(Fidelity::Hybrid)
+            .build(build());
+        let got = sn.nshards();
+        sn.run(StopCondition::Until(HORIZON));
+        let report = sn.into_report();
+        let digest = outcome_digest(&report.store, report.events_processed);
+        let identical = *ref_digest.get_or_insert(digest) == digest;
+        bit_identical &= identical;
+        shard_rows.push(format!(
+            "{{\"shards_wanted\":{want},\"shards_got\":{got},\"bit_identical\":{identical}}}"
+        ));
+        assert!(
+            identical,
+            "hybrid run at {want} shards diverged from the 1-shard outcome"
+        );
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_hybrid (crates/bench/src/bin/engine_hybrid.rs)\",\n  \
+         \"scenario\": \"relay_chains\",\n  \
+         \"topology\": {{\"chains\": {CHAINS}, \"relays_per_chain\": {RELAYS}, \"payload\": {PAYLOAD}}},\n  \
+         \"sim_horizon_ns\": {},\n  \"reps\": {reps},\n  \"host_cores\": {host_cores},\n  \
+         \"packet\": {{\"frames\": {:.0}, \"events\": {}, \"frames_per_sec_median\": {:.0}, \"cpu_ns\": {}}},\n  \
+         \"hybrid\": {{\"frames\": {:.0}, \"events\": {}, \"frames_per_sec_median\": {:.0}, \"cpu_ns\": {}, \
+         \"fastpath_frames\": {:.0}, \"escalations\": {:.0}}},\n  \
+         \"speedup_median\": {speedup_median:.3},\n  \
+         \"event_ratio\": {:.3},\n  \
+         \"frames_ratio\": {frames_ratio:.3},\n  \"cpu_ratio\": {cpu_ratio:.3},\n  \
+         \"tolerance\": {TOLERANCE},\n  \"bit_identical\": {bit_identical},\n  \
+         \"sharded\": [\n    {}\n  ],\n  \
+         \"note\": \"speedup_median is the median of paired per-rep ratios of effective frames/s (frames delivered over wall-clock) between hybrid and packet fidelity on the same topology and horizon. frames_ratio/cpu_ratio must stay within tolerance of 1.0: the fast path synthesizes deliveries and replays learned per-hop CPU, so figure-level outputs remain comparable. bit_identical asserts the merged hybrid outcome digest is equal at 1/2/8 shards.\"\n}}\n",
+        HORIZON.0,
+        packet.frames,
+        packet.events,
+        median(packet_rates),
+        packet.cpu_ns,
+        hybrid.frames,
+        hybrid.events,
+        median(hybrid_rates),
+        hybrid.cpu_ns,
+        hybrid.fastpath_frames,
+        hybrid.escalations,
+        packet.events as f64 / hybrid.events as f64,
+        shard_rows.join(",\n    ")
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/engine_hybrid.json", &json))
+    {
+        eprintln!("warning: could not write results/engine_hybrid.json: {e}");
+    }
+
+    assert!(
+        speedup_median >= 10.0,
+        "hybrid fast path under target: {speedup_median:.2}x < 10x effective frames/s"
+    );
+}

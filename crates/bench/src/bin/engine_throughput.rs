@@ -34,6 +34,7 @@ use simnet::device::PortId;
 use simnet::engine::{LinkParams, Network, SampleStore};
 use simnet::shared::SharedStation;
 use simnet::testutil::{build_multihost, frame_between, CaptureSink, MultihostSpec};
+use simnet::StopCondition;
 use simnet::{MacAddr, ShardedNetwork, SimDuration, SimTime};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -119,14 +120,14 @@ fn summarize(mut rates: Vec<f64>) -> (f64, f64) {
 
 fn bridge_forwarding(reps: usize, frames: u64) {
     // Warm-up rep (page in code, size allocator pools).
-    build_net(frames).run_to_idle();
+    build_net(frames).run(StopCondition::Idle);
 
     let mut rates = Vec::with_capacity(reps);
     let mut total_events = 0u64;
     for _ in 0..reps {
         let mut net = build_net(frames);
         let start = Instant::now();
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let elapsed = start.elapsed();
         total_events += net.events_processed();
         rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
@@ -142,13 +143,13 @@ fn bridge_forwarding(reps: usize, frames: u64) {
 
 fn multihost_sharded(reps: usize) {
     // Sequential reference: outcome digest + wall-clock rates.
-    build_multihost_net().run_until(MULTIHOST_HORIZON); // warm-up
+    build_multihost_net().run(StopCondition::Until(MULTIHOST_HORIZON)); // warm-up
     let mut rates = Vec::with_capacity(reps);
     let mut reference = None;
     for _ in 0..reps {
         let mut net = build_multihost_net();
         let start = Instant::now();
-        net.run_until(MULTIHOST_HORIZON);
+        net.run(StopCondition::Until(MULTIHOST_HORIZON));
         let elapsed = start.elapsed();
         rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
         reference = Some((
@@ -168,7 +169,7 @@ fn multihost_sharded(reps: usize) {
             let mut sn = ShardedNetwork::new(build_multihost_net(), want);
             got = sn.nshards();
             let start = Instant::now();
-            sn.run_until(MULTIHOST_HORIZON);
+            sn.run(StopCondition::Until(MULTIHOST_HORIZON));
             let report = sn.into_report();
             // The merge is part of the cost of getting usable results.
             let elapsed = start.elapsed();
@@ -235,7 +236,7 @@ fn observability_overhead(reps: usize) {
         },
     ];
 
-    build_multihost_net().run_until(MULTIHOST_HORIZON); // warm-up
+    build_multihost_net().run(StopCondition::Until(MULTIHOST_HORIZON)); // warm-up
     let mut rows = Vec::new();
     let mut off_median = None;
     for mode in &modes {
@@ -246,7 +247,7 @@ fn observability_overhead(reps: usize) {
             let mut net = build_multihost_net();
             net.set_trace_config((mode.cfg)());
             let start = Instant::now();
-            net.run_until(MULTIHOST_HORIZON);
+            net.run(StopCondition::Until(MULTIHOST_HORIZON));
             let elapsed = start.elapsed();
             rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
             spans_emitted = net.spans_emitted();
@@ -302,13 +303,13 @@ fn multicore(reps: usize) {
         );
         net
     };
-    build().run_until(MULTIHOST_HORIZON); // warm-up
-                                          // Interleaved, paired design: every rep runs the sequential engine and
-                                          // then each sharded configuration back to back, and each config's
-                                          // speedup is the ratio against *that rep's* sequential rate. Machine
-                                          // noise (frequency drift, a background task waking up) then lands on
-                                          // both sides of each ratio instead of skewing whichever half of the
-                                          // sweep it happened to overlap.
+    build().run(StopCondition::Until(MULTIHOST_HORIZON)); // warm-up
+                                                          // Interleaved, paired design: every rep runs the sequential engine and
+                                                          // then each sharded configuration back to back, and each config's
+                                                          // speedup is the ratio against *that rep's* sequential rate. Machine
+                                                          // noise (frequency drift, a background task waking up) then lands on
+                                                          // both sides of each ratio instead of skewing whichever half of the
+                                                          // sweep it happened to overlap.
     let configs: Vec<(bool, usize)> = [false, true]
         .into_iter()
         .flat_map(|o| [1usize, 2, 4, 8].into_iter().map(move |w| (o, w)))
@@ -323,7 +324,7 @@ fn multicore(reps: usize) {
     for _ in 0..reps {
         let mut net = build();
         let start = Instant::now();
-        net.run_until(MULTIHOST_HORIZON);
+        net.run(StopCondition::Until(MULTIHOST_HORIZON));
         let elapsed = start.elapsed();
         let seq_rate = net.events_processed() as f64 / elapsed.as_secs_f64();
         seq_rates.push(seq_rate);
@@ -337,7 +338,7 @@ fn multicore(reps: usize) {
             sn.set_optimistic(optimistic);
             cfg_got[c] = sn.nshards();
             let start = Instant::now();
-            sn.run_until(MULTIHOST_HORIZON);
+            sn.run(StopCondition::Until(MULTIHOST_HORIZON));
             cfg_stats[c] = sn.sync_stats();
             let report = sn.into_report();
             // The merge is part of the cost of getting usable results.

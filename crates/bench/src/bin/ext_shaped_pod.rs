@@ -13,6 +13,7 @@ use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START
 use simnet::engine::{LinkParams, Network};
 use simnet::rate::RateLimiter;
 use simnet::shared::SharedStation;
+use simnet::StopCondition;
 use simnet::{Ip4, Ip4Net, MacAddr, Payload, SimDuration, SockAddr, TcpKind};
 
 struct Srv;
@@ -123,7 +124,7 @@ fn run(rate_mbps: u64) -> (f64, f64) {
     net.schedule_timer(SimDuration::ZERO, srv_d, START_TOKEN);
     net.schedule_timer(SimDuration::ZERO, cli_d, START_TOKEN);
     let dur = SimDuration::millis(400);
-    net.run_for(dur);
+    net.run(StopCondition::For(dur));
     let tput = net.store().counter("rx_bytes") * 8.0 / dur.as_secs_f64() / 1e6;
     let rtts = net.store().samples("probe_rtt_us");
     let lat = rtts.iter().sum::<f64>() / rtts.len().max(1) as f64;

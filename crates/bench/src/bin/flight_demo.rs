@@ -16,6 +16,7 @@ use metrics::{ChromeTrace, RunSnapshot, TraceConfig};
 use nestless::topology::{build, Config, Testbed, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::frame::Payload;
+use simnet::StopCondition;
 use simnet::{chrome_trace_network, snapshot_network, SimDuration, SockAddr};
 
 /// Echoes every request back to its sender.
@@ -65,7 +66,9 @@ fn traced_hostlo_run(rounds: u64) -> Testbed {
         }),
     );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(SimDuration::secs(1));
+    tb.vmm
+        .network_mut()
+        .run(StopCondition::For(SimDuration::secs(1)));
     tb
 }
 

@@ -8,6 +8,7 @@
 
 use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
+use simnet::StopCondition;
 use simnet::{Payload, SimDuration, SockAddr};
 
 struct Echo;
@@ -47,7 +48,9 @@ fn main() {
             Box::new(Once { dst: target }),
         );
         tb.start(&[s, c]);
-        tb.vmm.network_mut().run_for(SimDuration::millis(50));
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(SimDuration::millis(50)));
 
         println!(
             "== {:?} ({} hops) ==",

@@ -1,0 +1,88 @@
+//! Figure-fidelity contract for hybrid mode: every fig02–fig15 runner
+//! builds its testbed through `nestless::topology::build`, which honors
+//! the `SIMNET_FIDELITY` env override — so running the figure suite with
+//! `SIMNET_FIDELITY=hybrid` must reproduce the packet-level numbers
+//! within the ±15% comparability budget. This test exercises exactly
+//! that seam on a netperf sweep across every topology `Config` the
+//! figures use (NAT, NoCont, BrFusion, SameNode, Hostlo, NatCross,
+//! Overlay), for both metrics the figures plot (UDP_RR latency and
+//! TCP_STREAM throughput).
+//!
+//! Single test function on purpose: it mutates the process environment,
+//! and an integration-test binary with one test has no one to race.
+
+use nestless::topology::Config;
+use simnet::time::SimDuration;
+use workloads::netperf::Netperf;
+
+const TOLERANCE: f64 = 0.15;
+
+fn netperf() -> Netperf {
+    Netperf {
+        msg_size: 1024,
+        duration: SimDuration::millis(60),
+        warmup: SimDuration::millis(20),
+        window: 64,
+    }
+}
+
+fn sweep(label: &str) -> Vec<(Config, f64, f64)> {
+    let configs = [
+        Config::Nat,
+        Config::NoCont,
+        Config::BrFusion,
+        Config::SameNode,
+        Config::Hostlo,
+        Config::NatCross,
+        Config::Overlay,
+    ];
+    configs
+        .into_iter()
+        .map(|c| {
+            let np = netperf();
+            let lat = np
+                .udp_rr(c, 7)
+                .latency_us
+                .unwrap_or_else(|| panic!("{label}: no latency on {c:?}"))
+                .mean;
+            let tput = np
+                .tcp_stream(c, 7)
+                .throughput_mbps
+                .unwrap_or_else(|| panic!("{label}: no throughput on {c:?}"))
+                .mean;
+            (c, lat, tput)
+        })
+        .collect()
+}
+
+#[test]
+fn hybrid_figures_stay_within_tolerance_of_packet() {
+    assert!(
+        std::env::var_os("SIMNET_FIDELITY").is_none(),
+        "test owns SIMNET_FIDELITY"
+    );
+    let packet = sweep("packet");
+
+    std::env::set_var("SIMNET_FIDELITY", "hybrid");
+    let hybrid = sweep("hybrid");
+    std::env::remove_var("SIMNET_FIDELITY");
+
+    for ((c, plat, ptput), (_, hlat, htput)) in packet.iter().zip(&hybrid) {
+        let lat_err = (hlat / plat - 1.0).abs();
+        let tput_err = (htput / ptput - 1.0).abs();
+        assert!(
+            lat_err <= TOLERANCE,
+            "{c:?}: hybrid UDP_RR latency {hlat:.1}us vs packet {plat:.1}us \
+             ({:.1}% > {:.0}%)",
+            lat_err * 100.0,
+            TOLERANCE * 100.0
+        );
+        assert!(
+            tput_err <= TOLERANCE,
+            "{c:?}: hybrid TCP_STREAM throughput {htput:.1} vs packet {ptput:.1} Mbit/s \
+             ({:.1}% > {:.0}%)",
+            tput_err * 100.0,
+            TOLERANCE * 100.0
+        );
+    }
+}

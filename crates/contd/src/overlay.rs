@@ -236,6 +236,7 @@ mod tests {
     use simnet::testutil::CaptureSink;
     use simnet::time::SimDuration;
     use simnet::SockAddr;
+    use simnet::StopCondition;
 
     fn inner_frame(src_mac: MacAddr, dst_mac: MacAddr) -> Frame {
         Frame::udp(
@@ -303,7 +304,7 @@ mod tests {
             PortId::P0,
             inner_frame(a_mac, b_mac),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vtep.encapsulated"), 1.0);
         assert_eq!(net.store().counter("vtep.decapsulated"), 1.0);
         assert_eq!(net.store().counter("sink.received"), 1.0);
@@ -334,7 +335,7 @@ mod tests {
             Ip4::new(1, 1, 1, 1),
         );
         net.inject_frame(SimDuration::ZERO, vtep, PortId::P1, outer);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vtep.drop_wrong_vni"), 1.0);
     }
 
@@ -360,7 +361,7 @@ mod tests {
             PortId::P0,
             inner_frame(MacAddr::local(5), MacAddr::local(6)),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vtep.drop_unknown_dst"), 1.0);
     }
 
@@ -386,7 +387,7 @@ mod tests {
             PortId::P1,
             inner_frame(MacAddr::local(5), MacAddr::local(6)),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vtep.drop_not_vxlan"), 1.0);
     }
 

@@ -19,13 +19,14 @@
 //! ports on the *host* NAT instead of a guest NAT.
 
 use contd::{NodeDataplane, PortMapping};
-use orchestrator::{ClusterCtx, CniError, CniPlugin, PodAttachment, PodSpec, VmAgent};
-use parking_lot::Mutex;
+use orchestrator::{
+    ClusterCtx, CniError, CniOutcome, CniPlugin, CniStatus, PodAttachment, PodSpec, RepairedPod,
+    VmAgent,
+};
 use simnet::device::PortId;
 use simnet::nat::{DnatRule, NatControl};
 use simnet::{Ip4, Ip4Net, SimDuration, SimTime, SockAddr};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use vmm::{NicId, QmpCommand, QmpResponse, VmId, VmState};
 
 /// True for management-channel failures worth retrying: a dead socket or a
@@ -54,57 +55,6 @@ struct DegradedPod {
     next_retry: SimTime,
 }
 
-#[derive(Debug, Default)]
-struct StatsInner {
-    fallbacks: u64,
-    repromotions: u64,
-    abandoned: u64,
-    fallback_reasons: Vec<String>,
-    repromotion_latency_ns: Vec<u64>,
-    repromoted: Vec<(String, Vec<PodAttachment>)>,
-}
-
-/// Cloneable observability handle onto a [`BrFusionCni`]'s degraded-mode
-/// state machine: how many pods fell back to the nested path, how many were
-/// re-promoted, and how long each spent degraded.
-#[derive(Debug, Clone, Default)]
-pub struct BrFusionStats(Arc<Mutex<StatsInner>>);
-
-impl BrFusionStats {
-    /// Pods that fell back to the classic nested path.
-    pub fn fallbacks(&self) -> u64 {
-        self.0.lock().fallbacks
-    }
-
-    /// Pods re-promoted to fused NICs after a fallback.
-    pub fn repromotions(&self) -> u64 {
-        self.0.lock().repromotions
-    }
-
-    /// Pods abandoned on the nested path (retry budget exhausted or a
-    /// permanent refusal during re-promotion).
-    pub fn abandoned(&self) -> u64 {
-        self.0.lock().abandoned
-    }
-
-    /// Time each re-promoted pod spent on the degraded path, in ns.
-    pub fn repromotion_latency_ns(&self) -> Vec<u64> {
-        self.0.lock().repromotion_latency_ns.clone()
-    }
-
-    /// The fault that sent each fallen-back pod to the nested path.
-    pub fn fallback_reasons(&self) -> Vec<String> {
-        self.0.lock().fallback_reasons.clone()
-    }
-
-    /// Drains the fused attachments produced by re-promotions since the
-    /// last call; workloads re-bind to these like a pod restarting onto
-    /// repaired networking.
-    pub fn take_repromoted(&self) -> Vec<(String, Vec<PodAttachment>)> {
-        std::mem::take(&mut self.0.lock().repromoted)
-    }
-}
-
 /// A per-container fusing failure, split by whether retrying can help.
 enum FuseErr {
     Transient(String),
@@ -130,8 +80,10 @@ pub struct BrFusionCni {
     fallback_vm_ip: BTreeMap<VmId, Ip4>,
     /// Pods currently on the degraded path, oldest first.
     degraded: Vec<DegradedPod>,
-    /// Shared counters.
-    stats: BrFusionStats,
+    /// Fault-handling counters reported through [`CniPlugin::status`].
+    stats: CniStatus,
+    /// Re-promotions accumulated for [`CniPlugin::drain_repaired`].
+    repaired: Vec<RepairedPod>,
 }
 
 impl BrFusionCni {
@@ -158,7 +110,8 @@ impl BrFusionCni {
             fallback_bridge_capacity: 16,
             fallback_vm_ip: BTreeMap::new(),
             degraded: Vec::new(),
-            stats: BrFusionStats::default(),
+            stats: CniStatus::default(),
+            repaired: Vec::new(),
         }
     }
 
@@ -167,16 +120,6 @@ impl BrFusionCni {
 
     /// Re-promotion attempts per degraded pod before giving up on it.
     pub const MAX_REPROMOTE_ATTEMPTS: u32 = 6;
-
-    /// The observability handle (cloneable, shared with the plugin).
-    pub fn stats(&self) -> BrFusionStats {
-        self.stats.clone()
-    }
-
-    /// Pods currently parked on the degraded nested path.
-    pub fn degraded_pods(&self) -> usize {
-        self.degraded.len()
-    }
 
     /// Allocates the next pod IP.
     fn alloc_ip(&mut self) -> Ip4 {
@@ -320,7 +263,7 @@ impl BrFusionCni {
         pod: &PodSpec,
         placement: &[VmId],
         reason: String,
-    ) -> Result<Vec<PodAttachment>, CniError> {
+    ) -> Result<CniOutcome, CniError> {
         let now = ctx.vmm.network().now();
         let mut out = Vec::with_capacity(pod.containers.len());
         let mut containers = Vec::with_capacity(pod.containers.len());
@@ -356,11 +299,9 @@ impl BrFusionCni {
                 net,
             });
         }
-        {
-            let mut s = self.stats.0.lock();
-            s.fallbacks += 1;
-            s.fallback_reasons.push(reason);
-        }
+        self.stats.fallbacks += 1;
+        self.stats.fallback_reasons.push(reason.clone());
+        self.stats.degraded_pods += 1;
         self.degraded.push(DegradedPod {
             pod: pod.name.clone(),
             containers,
@@ -369,7 +310,7 @@ impl BrFusionCni {
             backoff: Self::REPROMOTE_BACKOFF,
             next_retry: now + Self::REPROMOTE_BACKOFF,
         });
-        Ok(out)
+        Ok(CniOutcome::degraded(out, reason))
     }
 
     /// One re-promotion attempt for a degraded pod: hot-plug a fused NIC
@@ -425,7 +366,7 @@ impl CniPlugin for BrFusionCni {
         ctx: &mut ClusterCtx<'_>,
         pod: &PodSpec,
         placement: &[VmId],
-    ) -> Result<Vec<PodAttachment>, CniError> {
+    ) -> Result<CniOutcome, CniError> {
         // BrFusion de-duplicates the stack on one VM; cross-VM pods are
         // Hostlo's job.
         let first = placement
@@ -458,7 +399,7 @@ impl CniPlugin for BrFusionCni {
                 Err(FuseErr::Fatal(reason)) => return Err(CniError::fatal(reason)),
             }
         }
-        Ok(out)
+        Ok(CniOutcome::nominal(out))
     }
 
     fn maintain(&mut self, ctx: &mut ClusterCtx<'_>) -> usize {
@@ -473,16 +414,19 @@ impl CniPlugin for BrFusionCni {
             match self.try_repromote(ctx, &pod) {
                 Ok(atts) => {
                     repromoted += 1;
-                    let mut s = self.stats.0.lock();
-                    s.repromotions += 1;
-                    s.repromotion_latency_ns
+                    self.stats.repromotions += 1;
+                    self.stats
+                        .repromotion_latency_ns
                         .push(now.since(pod.degraded_at).as_nanos());
-                    s.repromoted.push((pod.pod.clone(), atts));
+                    self.repaired.push(RepairedPod {
+                        pod: pod.pod.clone(),
+                        outcome: CniOutcome::nominal(atts),
+                    });
                 }
                 Err(FuseErr::Transient(_)) => {
                     pod.attempts += 1;
                     if pod.attempts >= Self::MAX_REPROMOTE_ATTEMPTS {
-                        self.stats.0.lock().abandoned += 1;
+                        self.stats.abandoned += 1;
                     } else {
                         pod.backoff = pod.backoff.saturating_mul(2);
                         pod.next_retry = now + pod.backoff;
@@ -490,12 +434,24 @@ impl CniPlugin for BrFusionCni {
                     }
                 }
                 Err(FuseErr::Fatal(_)) => {
-                    self.stats.0.lock().abandoned += 1;
+                    self.stats.abandoned += 1;
                 }
             }
         }
         self.degraded = still;
+        self.stats.degraded_pods = self.degraded.len();
         repromoted
+    }
+
+    fn status(&self) -> CniStatus {
+        CniStatus {
+            degraded_pods: self.degraded.len(),
+            ..self.stats.clone()
+        }
+    }
+
+    fn drain_repaired(&mut self) -> Vec<RepairedPod> {
+        std::mem::take(&mut self.repaired)
     }
 }
 
@@ -558,7 +514,9 @@ mod tests {
             vmm: &mut vmm,
             engines: &mut engines,
         };
-        let atts = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap();
+        let out = cni.setup(&mut ctx, &pod(), &[VmId(0)]).unwrap();
+        assert!(out.health.is_nominal());
+        let atts = out.attachments;
         assert_eq!(atts.len(), 1);
         let a = &atts[0];
         // Pod IP from the host subnet.
@@ -594,7 +552,10 @@ mod tests {
             vmm: &mut vmm,
             engines: &mut engines,
         };
-        let atts = cni.setup(&mut ctx, &two, &[VmId(0), VmId(0)]).unwrap();
+        let atts = cni
+            .setup(&mut ctx, &two, &[VmId(0), VmId(0)])
+            .unwrap()
+            .attachments;
         assert_ne!(atts[0].net.ip, atts[1].net.ip);
         assert_ne!(atts[0].net.mac, atts[1].net.mac);
     }

@@ -20,6 +20,7 @@ use simnet::endpoint::{Application, Endpoint, START_TOKEN};
 use simnet::engine::LinkParams;
 use simnet::nat::{Interface, NatControl, NatRouter};
 use simnet::shared::SharedStation;
+use simnet::StopCondition;
 use simnet::{Ip4Net, MacAddr, SimDuration};
 use std::collections::BTreeMap;
 use vmm::{BridgeHandle, VmId, VmSpec, Vmm};
@@ -60,6 +61,7 @@ pub struct ClusterBuilder {
     vm_spec: VmSpec,
     cni: CniKind,
     seed: u64,
+    fidelity: Option<simnet::Fidelity>,
 }
 
 impl Default for ClusterBuilder {
@@ -69,6 +71,7 @@ impl Default for ClusterBuilder {
             vm_spec: VmSpec::paper_eval("node"),
             cni: CniKind::BrFusion,
             seed: 0,
+            fidelity: None,
         }
     }
 }
@@ -104,9 +107,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Simulation fidelity; when not pinned here the cluster honors the
+    /// `SIMNET_FIDELITY` env override like every figure runner.
+    pub fn fidelity(mut self, f: simnet::Fidelity) -> ClusterBuilder {
+        self.fidelity = Some(f);
+        self
+    }
+
     /// Assembles the cluster.
     pub fn build(self) -> Cluster {
         let mut vmm = Vmm::new(self.seed);
+        if let Some(f) = self.fidelity.or_else(simnet::config::fidelity_from_env) {
+            vmm.network_mut().set_fidelity(f);
+        }
         let bridge = vmm.create_bridge("br0", 16 + 2 * self.vms);
 
         // Host NAT fronting the bridge (every model keeps host-level NAT).
@@ -156,13 +169,11 @@ impl ClusterBuilder {
         }
 
         // Control plane with the matching scheduler + plugin.
-        let mut brfusion_stats = None;
         let (scheduler, cni): (Box<dyn Scheduler>, Box<dyn CniPlugin>) = match self.cni {
             CniKind::Default => (Box::new(MostRequestedScheduler), Box::new(DefaultCni)),
             CniKind::BrFusion => {
                 let plugin =
                     BrFusionCni::new("br0", CLUSTER_NET, 100, host_nat_ctl.clone(), PortId(1));
-                brfusion_stats = Some(plugin.stats());
                 (Box::new(MostRequestedScheduler), Box::new(plugin))
             }
             CniKind::Hostlo => (Box::new(SpreadScheduler), Box::new(HostloCni::new())),
@@ -179,7 +190,6 @@ impl ClusterBuilder {
             bridge,
             host_nat_ctl,
             host_nat,
-            brfusion_stats,
             kind: self.cni,
         }
     }
@@ -199,9 +209,6 @@ pub struct Cluster {
     pub host_nat_ctl: NatControl,
     /// The host NAT device (its port 0 faces the external client subnet).
     pub host_nat: DeviceId,
-    /// Fault-handling statistics of the BrFusion plugin (None for other
-    /// CNI kinds).
-    pub brfusion_stats: Option<crate::brfusion::BrFusionStats>,
     kind: CniKind,
 }
 
@@ -262,7 +269,7 @@ impl Cluster {
 
     /// Runs the datacenter for `d` of simulated time.
     pub fn run_for(&mut self, d: SimDuration) {
-        self.vmm.network_mut().run_for(d);
+        self.vmm.network_mut().run(StopCondition::For(d));
     }
 
     /// One CNI repair pass: degraded pods whose backoff has elapsed get a
@@ -273,6 +280,18 @@ impl Cluster {
             engines: &mut self.engines,
         };
         self.control_plane.repair_network(&mut ctx)
+    }
+
+    /// The CNI plugin's fault-handling state (all-zero for plugins
+    /// without a degraded mode).
+    pub fn cni_status(&self) -> orchestrator::CniStatus {
+        self.control_plane.cni_status()
+    }
+
+    /// Drains pods whose preferred wiring was restored by [`Cluster::repair`],
+    /// with their new attachments; pod records are updated in place.
+    pub fn drain_repaired(&mut self) -> Vec<orchestrator::RepairedPod> {
+        self.control_plane.drain_repaired()
     }
 }
 

@@ -13,8 +13,8 @@
 
 use orchestrator::NodeId;
 use orchestrator::{
-    ClusterCtx, CniError, CniPlugin, Node, Placement, PodAttachment, PodSpec, SchedError,
-    Scheduler, VmAgent,
+    ClusterCtx, CniError, CniOutcome, CniPlugin, Node, Placement, PodAttachment, PodSpec,
+    QueueBinding, SchedError, Scheduler, VmAgent,
 };
 use simnet::veth::Loopback;
 use simnet::{Ip4, Ip4Net};
@@ -58,7 +58,7 @@ impl CniPlugin for HostloCni {
         ctx: &mut ClusterCtx<'_>,
         pod: &PodSpec,
         placement: &[VmId],
-    ) -> Result<Vec<PodAttachment>, CniError> {
+    ) -> Result<CniOutcome, CniError> {
         if placement.len() != pod.containers.len() {
             return Err(CniError::fatal("placement/container arity mismatch"));
         }
@@ -96,6 +96,7 @@ impl CniPlugin for HostloCni {
         // that VM's endpoint (it is "used exclusively by the fraction of
         // the pod that is placed there").
         let mut out = Vec::with_capacity(pod.containers.len());
+        let mut queues = Vec::with_capacity(pod.containers.len());
         let mut used: Vec<VmId> = Vec::new();
         for (idx, _c) in pod.containers.iter().enumerate() {
             let vm = placement[idx];
@@ -117,6 +118,12 @@ impl CniPlugin for HostloCni {
                 .ok_or_else(|| {
                     CniError::fatal(format!("agent cannot find hostlo endpoint {}", ep.mac))
                 })?;
+            queues.push(QueueBinding {
+                container_idx: idx,
+                vm,
+                device: conf.attach.0,
+                queue: conf.attach.1,
+            });
             out.push(PodAttachment {
                 container_idx: idx,
                 vm,
@@ -128,7 +135,7 @@ impl CniPlugin for HostloCni {
                 },
             });
         }
-        Ok(out)
+        Ok(CniOutcome::nominal(out).with_queues(queues))
     }
 }
 
@@ -138,7 +145,7 @@ impl HostloCni {
         ctx: &mut ClusterCtx<'_>,
         pod: &PodSpec,
         vm: VmId,
-    ) -> Result<Vec<PodAttachment>, CniError> {
+    ) -> Result<CniOutcome, CniError> {
         let n = pod.containers.len();
         if n < 2 {
             return Err(CniError::fatal(
@@ -153,10 +160,17 @@ impl HostloCni {
             Box::new(Loopback::new(n, costs.loopback, station)),
         );
         let mut out = Vec::with_capacity(n);
+        let mut queues = Vec::with_capacity(n);
         for idx in 0..n {
             let mac = simnet::MacAddr::local(0x00E0_0000 + (self.pods_wired << 8) + idx as u32);
             let iface = simnet::IfaceConf::new(mac, POD_LOCALHOST, HOSTLO_SUBNET)
                 .with_broadcast_unresolved();
+            queues.push(QueueBinding {
+                container_idx: idx,
+                vm,
+                device: lo,
+                queue: simnet::PortId(idx),
+            });
             out.push(PodAttachment {
                 container_idx: idx,
                 vm,
@@ -168,7 +182,7 @@ impl HostloCni {
                 },
             });
         }
-        Ok(out)
+        Ok(CniOutcome::nominal(out).with_queues(queues))
     }
 }
 
@@ -232,9 +246,14 @@ mod tests {
             vmm: &mut vmm,
             engines: &mut engines,
         };
-        let atts = HostloCni::new()
+        let out = HostloCni::new()
             .setup(&mut ctx, &two_container_pod(), &[VmId(0), VmId(1)])
             .unwrap();
+        // Every container's queue binding is reported in the outcome, on
+        // distinct VMs.
+        assert_eq!(out.queues.len(), 2);
+        assert_ne!(out.queues[0].vm, out.queues[1].vm);
+        let atts = out.attachments;
         assert_eq!(atts.len(), 2);
         // Both fractions share the pod-localhost address...
         assert_eq!(atts[0].net.ip, POD_LOCALHOST);
@@ -255,11 +274,15 @@ mod tests {
             vmm: &mut vmm,
             engines: &mut engines,
         };
-        let atts = HostloCni::new()
+        let out = HostloCni::new()
             .setup(&mut ctx, &two_container_pod(), &[VmId(0), VmId(0)])
             .unwrap();
+        // Same loopback device, distinct queues — and the bindings say so.
+        assert_eq!(out.queues.len(), 2);
+        assert_eq!(out.queues[0].device, out.queues[1].device);
+        assert_ne!(out.queues[0].queue, out.queues[1].queue);
+        let atts = out.attachments;
         assert_eq!(atts.len(), 2);
-        // Same loopback device, distinct ports.
         assert_eq!(atts[0].net.attach.0, atts[1].net.attach.0);
         assert_ne!(atts[0].net.attach.1, atts[1].net.attach.1);
         assert_eq!(atts[0].net.ip, POD_LOCALHOST);

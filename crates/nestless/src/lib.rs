@@ -24,7 +24,7 @@ pub mod mempipe;
 pub mod topology;
 pub mod volumes;
 
-pub use brfusion::{BrFusionCni, BrFusionStats};
+pub use brfusion::BrFusionCni;
 pub use deploy::{Cluster, ClusterBuilder, CniKind};
 pub use hostlo::{HostloCni, SpreadScheduler, HOSTLO_SUBNET, POD_LOCALHOST};
 pub use mempipe::{mempipe, MemPipeRx, MemPipeTx, PipeEmpty, PipeFull};

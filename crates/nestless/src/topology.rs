@@ -189,6 +189,9 @@ pub struct BuildOpts {
     /// Frame-loss probability injected on the endpoint attachment links
     /// (failure injection; 0 = healthy).
     pub endpoint_link_loss: f64,
+    /// Simulation fidelity; `None` honors the `SIMNET_FIDELITY` env
+    /// override (the one every figure runner inherits), `Some` pins it.
+    pub fidelity: Option<simnet::Fidelity>,
 }
 
 impl Default for BuildOpts {
@@ -198,6 +201,7 @@ impl Default for BuildOpts {
             suppression_primary: true,
             hostlo_fanout: vmm::FanoutMode::AllQueues,
             endpoint_link_loss: 0.0,
+            fidelity: None,
         }
     }
 }
@@ -211,6 +215,9 @@ pub fn build(config: Config, seed: u64) -> Testbed {
 pub fn build_with(config: Config, seed: u64, opts: &BuildOpts) -> Testbed {
     let mut tb = build_inner(config, seed, opts);
     tb.endpoint_link_loss = opts.endpoint_link_loss;
+    if let Some(f) = opts.fidelity.or_else(simnet::config::fidelity_from_env) {
+        tb.vmm.network_mut().set_fidelity(f);
+    }
     tb
 }
 
@@ -396,6 +403,7 @@ fn build_brfusion(seed: u64, opts: &BuildOpts) -> Testbed {
         };
         cni.setup(&mut ctx, &pod, &[vm])
             .expect("BrFusion CNI setup")
+            .attachments
     };
     let att = &atts[0];
 
@@ -439,6 +447,7 @@ fn build_same_node(seed: u64, opts: &BuildOpts) -> Testbed {
         HostloCni::new()
             .setup(&mut ctx, &pod_two(), &[vm, vm])
             .expect("same-node CNI setup")
+            .attachments
     };
     let slot = |a: &orchestrator::PodAttachment| Slot {
         attach: a.net.attach,
@@ -472,6 +481,7 @@ fn build_hostlo(seed: u64, opts: &BuildOpts) -> Testbed {
         HostloCni::new()
             .setup(&mut ctx, &pod_two(), &[vm0, vm1])
             .expect("hostlo CNI setup")
+            .attachments
     };
     let slot = |a: &orchestrator::PodAttachment, vm: VmId| Slot {
         attach: a.net.attach,
@@ -593,6 +603,7 @@ mod tests {
     use simnet::endpoint::{AppApi, Incoming};
     use simnet::frame::Payload;
     use simnet::SimDuration;
+    use simnet::StopCondition;
 
     /// Echo server for smoke tests.
     struct Echo;
@@ -633,7 +644,9 @@ mod tests {
             Box::new(OneShot { target }),
         );
         tb.start(&[server, client]);
-        tb.vmm.network_mut().run_for(SimDuration::secs(1));
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(SimDuration::secs(1)));
         let rtts = tb.vmm.network().store().samples("rtt_us");
         assert_eq!(
             rtts.len(),

@@ -7,7 +7,8 @@ extern crate nestless;
 
 use contd::{ContainerSpec, DOCKER_SUBNET};
 use metrics::CpuLocation;
-use nestless::{BrFusionStats, Cluster, ClusterBuilder, CniKind, CLIENT_NET, HOST_NET};
+use nestless::{Cluster, ClusterBuilder, CniKind, CLIENT_NET, HOST_NET};
+use orchestrator::PodNetHealth;
 use orchestrator::PodSpec;
 use simnet::device::{DeviceId, PortId};
 use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
@@ -94,19 +95,17 @@ fn service_pod() -> PodSpec {
     )
 }
 
-fn brfusion_cluster() -> (Cluster, BrFusionStats) {
-    let cluster = ClusterBuilder::new()
+fn brfusion_cluster() -> Cluster {
+    ClusterBuilder::new()
         .cni(CniKind::BrFusion)
         .vms(1)
         .seed(5)
-        .build();
-    let stats = cluster.brfusion_stats.clone().expect("BrFusion stats");
-    (cluster, stats)
+        .build()
 }
 
 #[test]
 fn qmp_fault_degrades_then_repromotes() {
-    let (mut cluster, stats) = brfusion_cluster();
+    let mut cluster = brfusion_cluster();
 
     // The hot-plug request hits an injected management-socket fault.
     cluster.vmm.fail_next_qmp(1);
@@ -114,8 +113,13 @@ fn qmp_fault_degrades_then_repromotes() {
     let atts = cluster.attachments(id).to_vec();
 
     // The pod landed on the nested path: address from the guest docker
-    // bridge, no hot-plugged NIC, fault recorded.
-    assert_eq!(stats.fallbacks(), 1);
+    // bridge, no hot-plugged NIC, fault recorded — and the pod record says
+    // it is degraded.
+    assert_eq!(cluster.cni_status().fallbacks, 1);
+    assert!(matches!(
+        cluster.control_plane.pod(id).net_health,
+        PodNetHealth::Degraded { ref reason } if reason.contains("injected")
+    ));
     assert!(
         DOCKER_SUBNET.contains(atts[0].net.ip),
         "{:?}",
@@ -127,7 +131,7 @@ fn qmp_fault_degrades_then_repromotes() {
         .nics
         .iter()
         .all(|n| !n.hot_plugged));
-    assert!(stats.fallback_reasons()[0].contains("injected"));
+    assert!(cluster.cni_status().fallback_reasons[0].contains("injected"));
 
     // The degraded path serves traffic end to end (double NAT).
     cluster.attach_app(&atts[0], "srv-degraded", [SERVICE_PORT], Box::new(Echo));
@@ -142,17 +146,23 @@ fn qmp_fault_degrades_then_repromotes() {
 
     // The repair pass respects the backoff: nothing to do yet.
     assert_eq!(cluster.repair(), 0);
-    assert_eq!(stats.repromotions(), 0);
+    assert_eq!(cluster.cni_status().repromotions, 0);
 
     // Once the backoff elapses (fault long gone), one pass re-promotes.
     cluster.run_for(SimDuration::millis(60));
     assert_eq!(cluster.repair(), 1);
-    assert_eq!(stats.repromotions(), 1);
-    assert_eq!(stats.abandoned(), 0);
-    let repromoted = stats.take_repromoted();
+    let stats = cluster.cni_status();
+    assert_eq!(stats.repromotions, 1);
+    assert_eq!(stats.abandoned, 0);
+    // The pod spent at least the first backoff degraded.
+    assert!(stats.repromotion_latency_ns[0] >= SimDuration::millis(50).as_nanos());
+    let repromoted = cluster.drain_repaired();
     assert_eq!(repromoted.len(), 1);
-    let (pod_name, new_atts) = &repromoted[0];
-    assert_eq!(pod_name, "web");
+    assert_eq!(repromoted[0].pod, "web");
+    let new_atts = &repromoted[0].outcome.attachments;
+    // Draining also flipped the pod record back to nominal wiring.
+    assert!(cluster.control_plane.pod(id).net_health.is_nominal());
+    assert_eq!(cluster.attachments(id)[0].net.ip, new_atts[0].net.ip);
     // Fused again: host-subnet address on a hot-plugged NIC.
     assert!(HOST_NET.contains(new_atts[0].net.ip));
     let nic = cluster
@@ -161,8 +171,6 @@ fn qmp_fault_degrades_then_repromotes() {
         .nic_by_mac(new_atts[0].net.mac)
         .expect("fused NIC exists");
     assert!(nic.hot_plugged);
-    // The pod spent at least the first backoff degraded.
-    assert!(stats.repromotion_latency_ns()[0] >= SimDuration::millis(50).as_nanos());
 
     // The workload re-binds onto the fused NIC and the service address
     // (host DNAT re-pointed) reaches it.
@@ -179,7 +187,7 @@ fn qmp_fault_degrades_then_repromotes() {
 
 #[test]
 fn qmp_outage_window_degrades_by_sim_time() {
-    let (mut cluster, stats) = brfusion_cluster();
+    let mut cluster = brfusion_cluster();
     // An outage covering the deployment instant: same effect as fail-next,
     // but driven purely by simulated time.
     let now = cluster.vmm.network().now();
@@ -187,22 +195,24 @@ fn qmp_outage_window_degrades_by_sim_time() {
         .vmm
         .inject_qmp_outage(now, now + SimDuration::millis(5));
     let id = cluster.deploy(service_pod()).expect("degrades");
-    assert_eq!(stats.fallbacks(), 1);
+    assert_eq!(cluster.cni_status().fallbacks, 1);
     assert!(DOCKER_SUBNET.contains(cluster.attachments(id)[0].net.ip));
 
     // Past the outage the repair pass succeeds on its first attempt.
     cluster.run_for(SimDuration::millis(60));
     assert_eq!(cluster.repair(), 1);
-    assert_eq!(stats.repromotions(), 1);
+    assert_eq!(cluster.cni_status().repromotions, 1);
 }
 
 #[test]
 fn persistent_fault_bounds_the_retry_budget() {
-    let (mut cluster, stats) = brfusion_cluster();
+    let mut cluster = brfusion_cluster();
     // The management socket never recovers.
     cluster.vmm.fail_next_qmp(u32::MAX);
     cluster.deploy(service_pod()).expect("degrades");
-    assert_eq!(stats.fallbacks(), 1);
+    let status = cluster.cni_status();
+    assert_eq!(status.fallbacks, 1);
+    assert_eq!(status.degraded_pods, 1);
 
     // Every re-promotion attempt fails; backoff doubles from 50 ms, so
     // 6 attempts complete well within 16 s of simulated time.
@@ -210,20 +220,24 @@ fn persistent_fault_bounds_the_retry_budget() {
         cluster.run_for(SimDuration::secs(2));
         cluster.repair();
     }
-    assert_eq!(stats.repromotions(), 0);
-    assert_eq!(stats.abandoned(), 1, "retry budget must be bounded");
+    let status = cluster.cni_status();
+    assert_eq!(status.repromotions, 0);
+    assert_eq!(status.abandoned, 1, "retry budget must be bounded");
+    assert_eq!(status.degraded_pods, 0, "abandoned pods leave the queue");
     // Abandoned pods leave the repair queue: further passes are no-ops.
     assert_eq!(cluster.repair(), 0);
+    assert!(cluster.drain_repaired().is_empty());
 }
 
 #[test]
 fn crashed_vm_fault_recovers_after_restart() {
-    let (mut cluster, stats) = brfusion_cluster();
+    let mut cluster = brfusion_cluster();
     let vm = *cluster.engines.keys().next().expect("one node");
 
     // Deploy healthy first so the pod is fused.
     let id = cluster.deploy(service_pod()).expect("healthy deploy");
-    assert_eq!(stats.fallbacks(), 0);
+    assert_eq!(cluster.cni_status().fallbacks, 0);
+    assert!(cluster.control_plane.pod(id).net_health.is_nominal());
     assert!(HOST_NET.contains(cluster.attachments(id)[0].net.ip));
 
     // Crash the VM: hot-plug requests are refused while it is down, so a

@@ -12,6 +12,7 @@ use nestless::topology::{build, Config, Testbed, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::engine::Network;
 use simnet::frame::Payload;
+use simnet::StopCondition;
 use simnet::{chrome_trace_network, snapshot_network, SimDuration, SockAddr};
 
 /// Echoes every request back to its sender.
@@ -63,7 +64,9 @@ fn traced_run(config: Config) -> Testbed {
         }),
     );
     tb.start(&[server, client]);
-    tb.vmm.network_mut().run_for(SimDuration::secs(1));
+    tb.vmm
+        .network_mut()
+        .run(StopCondition::For(SimDuration::secs(1)));
     tb
 }
 

@@ -7,6 +7,7 @@ extern crate nestless;
 use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
 use proptest::prelude::*;
 use simnet::endpoint::{AppApi, Application, Incoming};
+use simnet::StopCondition;
 use simnet::{Payload, SimDuration, SockAddr};
 
 struct Echo;
@@ -62,7 +63,9 @@ fn run(config: Config, seed: u64, size: u32, want: u64) -> (f64, Vec<f64>) {
         }),
     );
     tb.start(&[s, c]);
-    tb.vmm.network_mut().run_for(SimDuration::millis(200));
+    tb.vmm
+        .network_mut()
+        .run(StopCondition::For(SimDuration::millis(200)));
     (
         tb.vmm.network().store().counter("prop.replies"),
         tb.vmm.network().store().samples("prop.rtt_ns").to_vec(),

@@ -1,10 +1,13 @@
 //! The control plane: node registry, pod deployment, CNI dispatch.
 
-use crate::cni::{ClusterCtx, CniPlugin, PodAttachment};
+use crate::cni::{
+    ClusterCtx, CniPlugin, CniStatus, PodAttachment, PodNetHealth, QueueBinding, RepairedPod,
+};
 use crate::node::{Node, NodeId};
 use crate::pod::{PodId, PodSpec};
 use crate::scheduler::{Placement, SchedError, Scheduler};
 use contd::{Image, NetworkMode};
+use simnet::StopCondition;
 use std::fmt;
 use vmm::{VmId, Vmm};
 
@@ -19,6 +22,11 @@ pub struct PodRecord {
     pub placement: Placement,
     /// Per-container network attachments from the CNI plugin.
     pub attachments: Vec<PodAttachment>,
+    /// Whether the pod got the plugin's preferred wiring or a degraded
+    /// fallback (as of deployment; repairs are reported by the plugin).
+    pub net_health: PodNetHealth,
+    /// Shared-queue bindings (queue-multiplexing plugins only).
+    pub queues: Vec<QueueBinding>,
     /// False once deleted (ids stay stable; records are tombstoned).
     pub live: bool,
 }
@@ -200,12 +208,12 @@ impl ControlPlane {
         // final failure rolls the committed allocations back.
         let mut backoff = Self::CNI_BACKOFF;
         let mut attempt = 0;
-        let attachments = loop {
+        let outcome = loop {
             match self.cni.setup(ctx, &spec, &vm_placement) {
-                Ok(atts) => break atts,
+                Ok(outcome) => break outcome,
                 Err(e) if e.retryable && attempt < Self::CNI_RETRIES => {
                     attempt += 1;
-                    ctx.vmm.network_mut().run_for(backoff);
+                    ctx.vmm.network_mut().run(StopCondition::For(backoff));
                     backoff = backoff.saturating_mul(2);
                 }
                 Err(e) => {
@@ -240,7 +248,9 @@ impl ControlPlane {
             id,
             spec,
             placement,
-            attachments,
+            attachments: outcome.attachments,
+            net_health: outcome.health,
+            queues: outcome.queues,
             live: true,
         });
         Ok(id)
@@ -252,6 +262,31 @@ impl ControlPlane {
     /// were repaired. Call it periodically, like a kubelet sync loop.
     pub fn repair_network(&mut self, ctx: &mut ClusterCtx<'_>) -> usize {
         self.cni.maintain(ctx)
+    }
+
+    /// The CNI plugin's fault-handling state (all-zero for plugins without
+    /// a degraded mode).
+    pub fn cni_status(&self) -> CniStatus {
+        self.cni.status()
+    }
+
+    /// Drains the pods whose preferred wiring the plugin restored since
+    /// the last call, updating their records to the repaired attachments.
+    pub fn drain_repaired(&mut self) -> Vec<RepairedPod> {
+        let repaired = self.cni.drain_repaired();
+        for r in &repaired {
+            if let Some(rec) = self
+                .pods
+                .iter_mut()
+                .rev()
+                .find(|p| p.live && p.spec.name == r.pod)
+            {
+                rec.attachments = r.outcome.attachments.clone();
+                rec.net_health = r.outcome.health.clone();
+                rec.queues = r.outcome.queues.clone();
+            }
+        }
+        repaired
     }
 }
 
@@ -419,7 +454,7 @@ mod tests {
             ctx: &mut ClusterCtx<'_>,
             pod: &PodSpec,
             placement: &[VmId],
-        ) -> Result<Vec<PodAttachment>, crate::cni::CniError> {
+        ) -> Result<crate::cni::CniOutcome, crate::cni::CniError> {
             self.calls.set(self.calls.get() + 1);
             if self.calls.get() <= self.fail {
                 return Err(if self.retryable {

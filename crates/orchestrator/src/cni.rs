@@ -9,6 +9,7 @@
 
 use crate::pod::PodSpec;
 use contd::{ContainerEngine, ContainerNet};
+use simnet::device::{DeviceId, PortId};
 use std::collections::BTreeMap;
 use std::fmt;
 use vmm::{VmId, Vmm};
@@ -32,6 +33,115 @@ pub struct PodAttachment {
     /// Attachment point + interface configuration for the workload
     /// endpoint.
     pub net: ContainerNet,
+}
+
+/// How a pod's wiring ended up relative to the plugin's preferred design.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PodNetHealth {
+    /// The preferred wiring is in place (fused NIC, hostlo endpoint, ...).
+    #[default]
+    Nominal,
+    /// Functional, but on a degraded fallback path pending repair (e.g.
+    /// BrFusion parked the pod on the classic nested dataplane).
+    Degraded {
+        /// The fault that forced the downgrade.
+        reason: String,
+    },
+}
+
+impl PodNetHealth {
+    /// True when the preferred wiring is in place.
+    pub fn is_nominal(&self) -> bool {
+        matches!(self, PodNetHealth::Nominal)
+    }
+}
+
+/// One container's binding onto a shared loopback/TAP queue: the device and
+/// queue port the pod fraction's localhost traffic rides on. Produced by
+/// queue-multiplexing plugins (Hostlo); NIC-per-pod plugins bind none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueBinding {
+    /// Index into `pod.containers`.
+    pub container_idx: usize,
+    /// VM the bound container runs on.
+    pub vm: VmId,
+    /// The shared loopback/TAP device.
+    pub device: DeviceId,
+    /// The queue (port) reserved for this container on that device.
+    pub queue: PortId,
+}
+
+/// Structured result of a CNI setup: the per-container attachments plus
+/// everything the control plane previously had to fish out of plugin-
+/// specific side channels — wiring health and shared-queue bindings.
+#[derive(Debug, Clone, Default)]
+pub struct CniOutcome {
+    /// Per-container network attachments, indexed like `pod.containers`.
+    pub attachments: Vec<PodAttachment>,
+    /// Whether the pod got the plugin's preferred wiring.
+    pub health: PodNetHealth,
+    /// Shared-queue bindings (one per container for queue-multiplexing
+    /// plugins, empty otherwise).
+    pub queues: Vec<QueueBinding>,
+}
+
+impl CniOutcome {
+    /// An outcome on the preferred wiring with no queue bindings.
+    pub fn nominal(attachments: Vec<PodAttachment>) -> CniOutcome {
+        CniOutcome {
+            attachments,
+            health: PodNetHealth::Nominal,
+            queues: Vec::new(),
+        }
+    }
+
+    /// An outcome parked on a degraded fallback path.
+    pub fn degraded(attachments: Vec<PodAttachment>, reason: impl Into<String>) -> CniOutcome {
+        CniOutcome {
+            attachments,
+            health: PodNetHealth::Degraded {
+                reason: reason.into(),
+            },
+            queues: Vec::new(),
+        }
+    }
+
+    /// Attaches shared-queue bindings to the outcome.
+    pub fn with_queues(mut self, queues: Vec<QueueBinding>) -> CniOutcome {
+        self.queues = queues;
+        self
+    }
+}
+
+/// Point-in-time report of a plugin's fault-handling state machine,
+/// queryable through [`CniPlugin::status`] for any plugin (plugins without
+/// a degraded mode report the default all-zero status).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CniStatus {
+    /// Pods currently parked on a degraded path.
+    pub degraded_pods: usize,
+    /// Pods that ever fell back to a degraded path.
+    pub fallbacks: u64,
+    /// Pods restored to the preferred wiring after a fallback.
+    pub repromotions: u64,
+    /// Pods abandoned on the degraded path (retry budget exhausted or a
+    /// permanent refusal during repair).
+    pub abandoned: u64,
+    /// The fault that sent each fallen-back pod to the degraded path.
+    pub fallback_reasons: Vec<String>,
+    /// Time each restored pod spent degraded, in ns.
+    pub repromotion_latency_ns: Vec<u64>,
+}
+
+/// A pod whose preferred wiring was restored by [`CniPlugin::maintain`];
+/// drained via [`CniPlugin::drain_repaired`] so harnesses can re-bind
+/// workloads onto the new attachments.
+#[derive(Debug, Clone)]
+pub struct RepairedPod {
+    /// Pod name (as in its [`PodSpec`]).
+    pub pod: String,
+    /// The restored wiring.
+    pub outcome: CniOutcome,
 }
 
 /// CNI failure.
@@ -83,7 +193,7 @@ pub trait CniPlugin {
         ctx: &mut ClusterCtx<'_>,
         pod: &PodSpec,
         placement: &[VmId],
-    ) -> Result<Vec<PodAttachment>, CniError>;
+    ) -> Result<CniOutcome, CniError>;
 
     /// Periodic repair pass: plugins that degraded a pod's networking
     /// during a fault (e.g. BrFusion falling back to the nested path) try
@@ -91,6 +201,18 @@ pub trait CniPlugin {
     /// repaired this pass. The default plugin has nothing to repair.
     fn maintain(&mut self, _ctx: &mut ClusterCtx<'_>) -> usize {
         0
+    }
+
+    /// The plugin's fault-handling state, for observability. Plugins
+    /// without a degraded mode report the all-zero default.
+    fn status(&self) -> CniStatus {
+        CniStatus::default()
+    }
+
+    /// Drains the pods whose preferred wiring [`CniPlugin::maintain`]
+    /// restored since the last call.
+    fn drain_repaired(&mut self) -> Vec<RepairedPod> {
+        Vec::new()
     }
 }
 
@@ -109,7 +231,7 @@ impl CniPlugin for DefaultCni {
         ctx: &mut ClusterCtx<'_>,
         pod: &PodSpec,
         placement: &[VmId],
-    ) -> Result<Vec<PodAttachment>, CniError> {
+    ) -> Result<CniOutcome, CniError> {
         // VM-local network virtualization cannot span VMs (§2, issue 2).
         let first = placement
             .first()
@@ -134,7 +256,7 @@ impl CniPlugin for DefaultCni {
                 net,
             });
         }
-        Ok(out)
+        Ok(CniOutcome::nominal(out))
     }
 }
 
@@ -180,9 +302,12 @@ mod tests {
             vmm: &mut vmm,
             engines: &mut engines,
         };
-        let atts = DefaultCni
+        let out = DefaultCni
             .setup(&mut ctx, &pod, &[VmId(0), VmId(0)])
             .unwrap();
+        assert!(out.health.is_nominal());
+        assert!(out.queues.is_empty());
+        let atts = out.attachments;
         assert_eq!(atts.len(), 2);
         assert_ne!(atts[0].net.ip, atts[1].net.ip);
         assert!(atts.iter().all(|a| a.vm == VmId(0)));

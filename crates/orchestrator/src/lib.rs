@@ -20,7 +20,10 @@ pub mod service;
 
 pub use agent::{ConfiguredNic, VmAgent};
 pub use api::{ControlPlane, DeployError, PodRecord};
-pub use cni::{ClusterCtx, CniError, CniPlugin, DefaultCni, PodAttachment};
+pub use cni::{
+    ClusterCtx, CniError, CniOutcome, CniPlugin, CniStatus, DefaultCni, PodAttachment,
+    PodNetHealth, QueueBinding, RepairedPod,
+};
 pub use node::{Node, NodeId};
 pub use pod::{PodId, PodSpec};
 pub use replicaset::{ReconcileReport, ReplicaSet, ReplicaSetController, ReplicaSetId};

@@ -203,6 +203,7 @@ impl Device for Bridge {
 mod tests {
     use super::*;
     use crate::addr::{Ip4, SockAddr};
+    use crate::engine::StopCondition;
     use crate::engine::{LinkParams, Network};
     use crate::frame::Payload;
     use crate::testutil::{frame_between, CaptureSink};
@@ -250,7 +251,7 @@ mod tests {
             PortId(0),
             frame_between(a, b, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("bridge.flooded"), 1.0);
         assert_eq!(net.store().counter("sink1.received"), 1.0);
         assert_eq!(net.store().counter("sink2.received"), 1.0);
@@ -262,7 +263,7 @@ mod tests {
             PortId(1),
             frame_between(b, a, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("bridge.switched"), 1.0);
         assert_eq!(net.store().counter("sink0.received"), 1.0);
         // no extra flood
@@ -279,7 +280,7 @@ mod tests {
             PortId(2),
             frame_between(a, MacAddr::BROADCAST, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink0.received"), 1.0);
         assert_eq!(net.store().counter("sink1.received"), 1.0);
         assert_eq!(
@@ -308,7 +309,7 @@ mod tests {
             PortId(0),
             frame_between(b, a, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("bridge.same_port_drop"), 1.0);
         // Now a->b arrives on port 0 and b is learned on port 0 too.
         net.inject_frame(
@@ -317,7 +318,7 @@ mod tests {
             PortId(0),
             frame_between(a, b, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("bridge.same_port_drop"), 2.0);
     }
 
@@ -332,16 +333,18 @@ mod tests {
             PortId(0),
             frame_between(a, b, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // After ageing, a is forgotten: a frame to a floods again.
-        net.run_until(crate::time::SimTime::ZERO + DEFAULT_AGEING + SimDuration::secs(1));
+        net.run(StopCondition::Until(
+            crate::time::SimTime::ZERO + DEFAULT_AGEING + SimDuration::secs(1),
+        ));
         net.inject_frame(
             SimDuration::ZERO,
             bridge,
             PortId(1),
             frame_between(b, a, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("bridge.flooded"), 2.0);
     }
 
@@ -354,7 +357,7 @@ mod tests {
             PortId(0),
             frame_between(MacAddr::local(1), MacAddr::local(2), 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Sys), 1_000);
     }
 
@@ -376,7 +379,7 @@ mod tests {
             PortId(0),
             frame_between(a, b, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let arr = net.store().samples("sink1.arrival_ns").to_vec();
         assert_eq!(arr, vec![1_000.0, 2_000.0]);
     }
@@ -391,7 +394,7 @@ mod tests {
             PortId(0),
             frame_between(mcast, MacAddr::local(9), 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // Frame towards mcast from another port must flood (not unicast).
         net.inject_frame(
             SimDuration::ZERO,
@@ -399,7 +402,7 @@ mod tests {
             PortId(1),
             frame_between(MacAddr::local(9), mcast, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // Both the unknown-unicast and the multicast frame flooded.
         assert_eq!(net.store().counter("bridge.flooded"), 2.0);
     }

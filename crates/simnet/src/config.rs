@@ -1,0 +1,280 @@
+//! One place to configure a simulation run.
+//!
+//! [`SimConfig`] is the unified front door for every engine knob that used
+//! to be scattered across constructors and ad-hoc `std::env` reads: shard
+//! count, synchronization mode, coordinator backend, flight recorder,
+//! event tracing, the fault plan, and the simulation [`Fidelity`].
+//!
+//! The `SIMNET_*` environment variables still work, but they are demoted
+//! to *overrides parsed here and nowhere else*:
+//!
+//! | Variable           | Effect                                          |
+//! |--------------------|-------------------------------------------------|
+//! | `SIMNET_SHARDS`    | shard count (default 1)                         |
+//! | `SIMNET_OPTIMISTIC`| `1`/`true` → optimistic synchronization          |
+//! | `SIMNET_INLINE`    | `1` inline / `0` threaded coordinator backend    |
+//! | `SIMNET_FIDELITY`  | `packet` (default), `hybrid`, or `flowonly`      |
+//!
+//! Typical use:
+//!
+//! ```
+//! use nestless_simnet::{Network, SimConfig};
+//!
+//! let net = Network::new(42);
+//! // ... build the topology, inject frames/timers ...
+//! let mut sim = SimConfig::new().shards(2).build(net);
+//! ```
+
+use crate::engine::Network;
+use crate::fault::FaultPlan;
+use crate::flow::Fidelity;
+use crate::parallel::ShardedNetwork;
+use metrics::TraceConfig;
+
+/// Reads the `SIMNET_SHARDS` environment knob (default 1). Values below 1
+/// or unparsable values read as 1.
+pub fn shards_from_env() -> usize {
+    std::env::var("SIMNET_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Reads the `SIMNET_OPTIMISTIC` environment knob: `1` or `true` enables
+/// optimistic (time-warp-lite) synchronization, anything else — including
+/// the variable being unset — selects conservative mode.
+pub fn optimistic_from_env() -> bool {
+    std::env::var("SIMNET_OPTIMISTIC")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
+/// Reads the `SIMNET_INLINE` environment knob: `Some(true)` pins the
+/// inline coordinator backend, any other set value pins the threaded one,
+/// unset defers to the core-count heuristic.
+pub fn inline_from_env() -> Option<bool> {
+    std::env::var("SIMNET_INLINE").ok().map(|v| v.trim() == "1")
+}
+
+/// Reads the `SIMNET_FIDELITY` environment knob: `packet`, `hybrid`, or
+/// `flowonly`/`flow-only`/`flow_only`. Unset or unrecognized values read
+/// as `None` (caller keeps its programmed default).
+pub fn fidelity_from_env() -> Option<Fidelity> {
+    let v = std::env::var("SIMNET_FIDELITY").ok()?;
+    match v.trim().to_ascii_lowercase().as_str() {
+        "packet" => Some(Fidelity::Packet),
+        "hybrid" => Some(Fidelity::Hybrid),
+        "flowonly" | "flow-only" | "flow_only" => Some(Fidelity::FlowOnly),
+        _ => None,
+    }
+}
+
+/// Builder for a fully configured simulation (see module docs).
+///
+/// Defaults match a plain `ShardedNetwork::new(net, 1)`: one shard,
+/// conservative synchronization, backend by core-count heuristic, flight
+/// recorder off, no event trace, no fault plan, packet fidelity.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    shards: Option<usize>,
+    optimistic: bool,
+    inline: Option<bool>,
+    trace: TraceConfig,
+    tracing: bool,
+    fault: Option<FaultPlan>,
+    fidelity: Fidelity,
+}
+
+impl SimConfig {
+    /// A config with every knob at its default.
+    pub fn new() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// A config seeded entirely from the `SIMNET_*` environment: the
+    /// defaults of [`SimConfig::new`] with every set variable applied.
+    pub fn from_env() -> SimConfig {
+        SimConfig::new().env_overrides()
+    }
+
+    /// Applies any set `SIMNET_*` environment variable on top of the
+    /// current values — the standard pattern for binaries that program
+    /// defaults but let the environment win.
+    pub fn env_overrides(mut self) -> SimConfig {
+        if std::env::var("SIMNET_SHARDS").is_ok() {
+            self.shards = Some(shards_from_env());
+        }
+        if std::env::var("SIMNET_OPTIMISTIC").is_ok() {
+            self.optimistic = optimistic_from_env();
+        }
+        if let Some(inline) = inline_from_env() {
+            self.inline = Some(inline);
+        }
+        if let Some(f) = fidelity_from_env() {
+            self.fidelity = f;
+        }
+        self
+    }
+
+    /// Shard-count target (the partitioner may produce fewer).
+    pub fn shards(mut self, n: usize) -> SimConfig {
+        self.shards = Some(n.max(1));
+        self
+    }
+
+    /// Optimistic (time-warp-lite) vs conservative synchronization.
+    pub fn optimistic(mut self, on: bool) -> SimConfig {
+        self.optimistic = on;
+        self
+    }
+
+    /// Pins the coordinator backend (`Some(true)` inline, `Some(false)`
+    /// threaded); `None` defers to `SIMNET_INLINE` then the core count.
+    pub fn inline(mut self, inline: Option<bool>) -> SimConfig {
+        self.inline = inline;
+        self
+    }
+
+    /// Flight-recorder configuration.
+    pub fn trace(mut self, cfg: TraceConfig) -> SimConfig {
+        self.trace = cfg;
+        self
+    }
+
+    /// Full event tracing (every event's time/device/content retained).
+    pub fn tracing(mut self, on: bool) -> SimConfig {
+        self.tracing = on;
+        self
+    }
+
+    /// Installs a deterministic fault plan.
+    pub fn fault(mut self, plan: FaultPlan) -> SimConfig {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Simulation fidelity (packet / hybrid / flow-only).
+    pub fn fidelity(mut self, f: Fidelity) -> SimConfig {
+        self.fidelity = f;
+        self
+    }
+
+    /// The configured fidelity (for harness-side branching).
+    pub fn fidelity_mode(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// The configured shard target (1 when unset).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1)
+    }
+
+    /// Applies the whole configuration to `net` (which must not have
+    /// processed events yet) and shards it.
+    pub fn build(self, mut net: Network) -> ShardedNetwork {
+        net.set_trace_config(self.trace);
+        if self.tracing {
+            net.set_tracing(true);
+        }
+        if let Some(plan) = self.fault {
+            net.install_fault_plan(plan);
+        }
+        net.set_fidelity(self.fidelity);
+        let mut sharded = ShardedNetwork::new(net, self.shards.unwrap_or(1));
+        sharded.set_optimistic(self.optimistic);
+        sharded.set_inline(self.inline);
+        sharded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All env tests share one lock: they mutate process-global state.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn shards_from_env_parses_and_defaults() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_SHARDS");
+        assert_eq!(shards_from_env(), 1);
+        std::env::set_var("SIMNET_SHARDS", "4");
+        assert_eq!(shards_from_env(), 4);
+        std::env::set_var("SIMNET_SHARDS", "0");
+        assert_eq!(shards_from_env(), 1);
+        std::env::set_var("SIMNET_SHARDS", "nope");
+        assert_eq!(shards_from_env(), 1);
+        std::env::remove_var("SIMNET_SHARDS");
+    }
+
+    #[test]
+    fn optimistic_from_env_parses_and_defaults() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_OPTIMISTIC");
+        assert!(!optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "1");
+        assert!(optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "true");
+        assert!(optimistic_from_env());
+        std::env::set_var("SIMNET_OPTIMISTIC", "0");
+        assert!(!optimistic_from_env());
+        std::env::remove_var("SIMNET_OPTIMISTIC");
+    }
+
+    #[test]
+    fn inline_and_fidelity_env_knobs_parse() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_INLINE");
+        assert_eq!(inline_from_env(), None);
+        std::env::set_var("SIMNET_INLINE", "1");
+        assert_eq!(inline_from_env(), Some(true));
+        std::env::set_var("SIMNET_INLINE", "0");
+        assert_eq!(inline_from_env(), Some(false));
+        std::env::remove_var("SIMNET_INLINE");
+
+        std::env::remove_var("SIMNET_FIDELITY");
+        assert_eq!(fidelity_from_env(), None);
+        std::env::set_var("SIMNET_FIDELITY", "hybrid");
+        assert_eq!(fidelity_from_env(), Some(Fidelity::Hybrid));
+        std::env::set_var("SIMNET_FIDELITY", "Flow-Only");
+        assert_eq!(fidelity_from_env(), Some(Fidelity::FlowOnly));
+        std::env::set_var("SIMNET_FIDELITY", "bogus");
+        assert_eq!(fidelity_from_env(), None);
+        std::env::remove_var("SIMNET_FIDELITY");
+    }
+
+    #[test]
+    fn env_overrides_apply_on_top_of_programmed_defaults() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_SHARDS");
+        std::env::remove_var("SIMNET_OPTIMISTIC");
+        std::env::remove_var("SIMNET_INLINE");
+        std::env::set_var("SIMNET_FIDELITY", "hybrid");
+        let cfg = SimConfig::new()
+            .shards(4)
+            .fidelity(Fidelity::Packet)
+            .env_overrides();
+        assert_eq!(cfg.shard_count(), 4, "unset vars keep programmed values");
+        assert_eq!(cfg.fidelity_mode(), Fidelity::Hybrid, "set vars override");
+        std::env::remove_var("SIMNET_FIDELITY");
+    }
+
+    #[test]
+    fn build_wires_every_knob() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_SHARDS");
+        let net = Network::new(7);
+        let sim = SimConfig::new()
+            .optimistic(true)
+            .inline(Some(true))
+            .fidelity(Fidelity::Hybrid)
+            .build(net);
+        assert_eq!(sim.nshards(), 1, "empty topology is one shard");
+        assert!(sim.optimistic());
+    }
+}

@@ -78,6 +78,15 @@ pub trait Device: Send {
     fn fork(&self) -> Option<Box<dyn Device>> {
         None
     }
+
+    /// Whether the flow-level fast path may skip this device for steady
+    /// flows (hybrid fidelity). Pure forwarders keep the default `true`;
+    /// devices whose per-frame work changes outcomes — a rate shaper
+    /// deciding pacing, for example — must return `false`, which pins
+    /// every flow crossing them to packet level.
+    fn flow_bypass(&self) -> bool {
+        true
+    }
 }
 
 /// FIFO single-server service station: the queueing discipline shared by all

@@ -371,6 +371,7 @@ impl Device for Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StopCondition;
     use crate::engine::{LinkParams, Network};
     use metrics::CpuLocation;
 
@@ -452,7 +453,7 @@ mod tests {
     #[test]
     fn request_reply_roundtrip() {
         let mut net = net_pair();
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("echo.started"), 1.0);
         assert_eq!(net.store().samples("rtt_ns").len(), 1);
         // send 1us + link 1us, then the reply send queues behind the
@@ -472,7 +473,7 @@ mod tests {
             Payload::sized(10),
         );
         net.inject_frame(SimDuration::ZERO, crate::device::DeviceId(1), PortId::P0, f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("server.filtered_l3"), 1.0);
     }
 
@@ -487,7 +488,7 @@ mod tests {
             Payload::sized(10),
         );
         net.inject_frame(SimDuration::ZERO, crate::device::DeviceId(1), PortId::P0, f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("server.filtered_l2"), 1.0);
     }
 
@@ -519,7 +520,7 @@ mod tests {
         );
         let id = net.add_device("e", CpuLocation::Host, Box::new(e));
         net.schedule_timer(SimDuration::ZERO, id, START_TOKEN);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("endpoint.send_unroutable"), 1.0);
     }
 
@@ -558,7 +559,7 @@ mod tests {
         );
         net.connect(id, PortId::P0, sink, PortId::P0, LinkParams::default());
         net.schedule_timer(SimDuration::ZERO, id, START_TOKEN);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 1.0);
         assert_eq!(net.store().counter("endpoint.sent"), 1.0);
     }
@@ -596,7 +597,7 @@ mod tests {
         );
         net.connect(id, PortId::P0, sink, PortId::P0, LinkParams::default());
         net.schedule_timer(SimDuration::ZERO, id, START_TOKEN);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // 10us compute + 1us socket send
         assert_eq!(net.store().samples("sink.arrival_ns"), &[11_000.0]);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Usr), 11_000);

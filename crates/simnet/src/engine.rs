@@ -38,9 +38,10 @@
 //! order restricted to any subset of devices equals that subset's own local
 //! pop order, so per-shard executions are slices of the sequential one.
 
-use crate::device::{Device, DeviceId, PortId};
+use crate::device::{Device, DeviceId, DeviceKind, PortId};
 use crate::fault::{FaultIds, FaultPlan};
-use crate::frame::Frame;
+use crate::flow::{EmitAction, Fidelity, FlowKey, FlowProbe, FlowTable, FlowTag, FlowUpdate};
+use crate::frame::{Frame, Transport};
 use crate::time::{SimDuration, SimTime};
 use metrics::{
     CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, MetricId, SpanId, SpanRecord,
@@ -113,6 +114,13 @@ enum EventKind {
     Timer {
         dev: DeviceId,
         token: u64,
+    },
+    /// A delivered flow probe advertised back to its origin endpoint
+    /// (`dev` is the origin, whose shard owns the flow's state). Absorbed
+    /// by the engine itself — no device dispatch.
+    FlowAdvert {
+        dev: DeviceId,
+        update: Box<FlowUpdate>,
     },
 }
 
@@ -197,6 +205,11 @@ fn mix_seed(seed: u64, stream: u64) -> u64 {
 struct DeviceSlot {
     name: String,
     loc: CpuLocation,
+    /// Classification captured at [`Network::add_device`] so the flow fast
+    /// path can test it without borrowing the device box.
+    kind: DeviceKind,
+    /// Cached [`Device::flow_bypass`] answer (same reason).
+    bypass: bool,
     dev: Option<Box<dyn Device>>,
     /// This device's private RNG stream (jitter, stalls, loss draws for
     /// frames *it* emits). Seeded from `mix_seed(network_seed, id)`, so
@@ -426,15 +439,22 @@ struct Link {
     params: LinkParams,
 }
 
-/// A frame crossing shards: the full intrinsic tag plus the delivery
-/// coordinates, ferried over a channel and pushed into the destination
+/// What a cross-shard event delivers: a frame to a device port, or a flow
+/// advert to the flow table of the origin's shard.
+#[derive(Debug, Clone)]
+pub(crate) enum RemotePayload {
+    Frame { port: PortId, frame: Frame },
+    Advert(Box<FlowUpdate>),
+}
+
+/// An event crossing shards: the full intrinsic tag plus the destination
+/// device and payload, ferried over a ring and pushed into the destination
 /// shard's heap (see `parallel.rs`).
 #[derive(Debug, Clone)]
 pub(crate) struct RemoteEvent {
     pub(crate) tag: EventTag,
     pub(crate) dev: DeviceId,
-    pub(crate) port: PortId,
-    pub(crate) frame: Frame,
+    pub(crate) payload: RemotePayload,
 }
 
 /// Per-event bookkeeping kept by shard networks: the event's tag plus how
@@ -482,6 +502,7 @@ pub(crate) struct EngineSnapshot {
     spans: SpanRingMark,
     stages: StageTable,
     event_log_len: usize,
+    flow: Option<FlowTable>,
     devices: Vec<SlotSnapshot>,
 }
 
@@ -538,6 +559,14 @@ pub struct Network {
     /// Fault counter ids, interned into *this* network's store (re-interned
     /// per shard store on split).
     fault_ids: Option<FaultIds>,
+    /// Flow-level fast path state (`None` in [`Fidelity::Packet`], the
+    /// default — packet runs pay nothing for the table's existence).
+    flow: Option<FlowTable>,
+    /// CPU charged while handling the current event, broken out per
+    /// (location, category) so riding flow probes can record per-hop
+    /// costs. Cleared each event; only written while a flow table is
+    /// installed.
+    event_charges: Vec<(CpuLocation, CpuCategory, u64)>,
 }
 
 impl Network {
@@ -570,6 +599,8 @@ impl Network {
             event_log: None,
             fault: None,
             fault_ids: None,
+            flow: None,
+            event_charges: Vec::new(),
         }
     }
 
@@ -592,6 +623,30 @@ impl Network {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_deref()
+    }
+
+    /// Selects the simulation fidelity (see [`Fidelity`]). `Packet`
+    /// removes the flow table; `Hybrid`/`FlowOnly` install a fresh one.
+    ///
+    /// # Panics
+    /// Panics if events have already been processed: fidelity is part of
+    /// the scenario, not something to flip mid-run.
+    pub fn set_fidelity(&mut self, f: Fidelity) {
+        assert_eq!(
+            self.processed, 0,
+            "select fidelity before running the network"
+        );
+        self.flow = match f {
+            Fidelity::Packet => None,
+            _ => Some(FlowTable::new(f, &mut self.store)),
+        };
+    }
+
+    /// The active simulation fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.flow
+            .as_ref()
+            .map_or(Fidelity::Packet, FlowTable::fidelity)
     }
 
     /// Configures the flight recorder. Must be called before any event is
@@ -657,9 +712,13 @@ impl Network {
         dev: Box<dyn Device>,
     ) -> DeviceId {
         let id = DeviceId(self.devices.len());
+        let kind = dev.kind();
+        let bypass = dev.flow_bypass();
         self.devices.push(DeviceSlot {
             name: name.into(),
             loc,
+            kind,
+            bypass,
             dev: Some(dev),
             rng: StdRng::seed_from_u64(mix_seed(self.seed, id.0 as u64)),
             emit_seq: 0,
@@ -868,8 +927,7 @@ impl Network {
                 sh.outbox.push(RemoteEvent {
                     tag,
                     dev,
-                    port,
-                    frame,
+                    payload: RemotePayload::Frame { port, frame },
                 });
                 return;
             }
@@ -877,17 +935,37 @@ impl Network {
         self.push_keyed(tag, EventKind::Frame { dev, port, frame });
     }
 
-    /// Pushes a frame that arrived from another shard.
+    /// Routes a flow advert to the shard owning the flow's origin device
+    /// (whose flow table holds the entry), or absorbs it locally.
+    fn route_advert(&mut self, tag: EventTag, dev: DeviceId, update: Box<FlowUpdate>) {
+        if let Some(sh) = &mut self.shard {
+            if sh.shard_of[dev.0] != sh.me {
+                sh.outbox.push(RemoteEvent {
+                    tag,
+                    dev,
+                    payload: RemotePayload::Advert(update),
+                });
+                return;
+            }
+        }
+        self.push_keyed(tag, EventKind::FlowAdvert { dev, update });
+    }
+
+    /// Pushes an event that arrived from another shard.
     pub(crate) fn push_remote(&mut self, ev: RemoteEvent) {
         debug_assert!(ev.tag.at >= self.now, "remote event in this shard's past");
-        self.push_keyed(
-            ev.tag,
-            EventKind::Frame {
+        let kind = match ev.payload {
+            RemotePayload::Frame { port, frame } => EventKind::Frame {
                 dev: ev.dev,
-                port: ev.port,
-                frame: ev.frame,
+                port,
+                frame,
             },
-        );
+            RemotePayload::Advert(update) => EventKind::FlowAdvert {
+                dev: ev.dev,
+                update,
+            },
+        };
+        self.push_keyed(ev.tag, kind);
     }
 
     /// Drains the outbox of frames addressed to other shards.
@@ -990,6 +1068,7 @@ impl Network {
             spans: self.spans.mark(),
             stages: self.stages.clone(),
             event_log_len: self.event_log.as_ref().map_or(0, Vec::len),
+            flow: self.flow.clone(),
             devices,
         })
     }
@@ -1017,6 +1096,8 @@ impl Network {
         }
         self.event_cpu_ns = 0;
         self.event_cpu_claimed = 0;
+        self.event_charges.clear();
+        self.flow = snap.flow;
         for s in snap.devices {
             let slot = &mut self.devices[s.idx];
             slot.dev = Some(s.dev);
@@ -1054,7 +1135,9 @@ impl Network {
         while let Some(Reverse(key)) = self.queue.pop() {
             let kind = self.pool.take(key.slot);
             let dev = match &kind {
-                EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
+                EventKind::Frame { dev, .. }
+                | EventKind::Timer { dev, .. }
+                | EventKind::FlowAdvert { dev, .. } => *dev,
             };
             initial[shard_of[dev.0] as usize].push((key.tag, kind));
         }
@@ -1076,6 +1159,8 @@ impl Network {
                             DeviceSlot {
                                 name: names[i].clone(),
                                 loc: locs[i],
+                                kind: DeviceKind::Other,
+                                bypass: false,
                                 dev: None,
                                 rng: StdRng::seed_from_u64(0),
                                 emit_seq: 0,
@@ -1094,6 +1179,13 @@ impl Network {
                 store.enable_journal();
                 let link_lost = store.metric_id("link.lost");
                 let fault_ids = self.fault.as_ref().map(|_| FaultIds::intern(&mut store));
+                // Each shard gets a fresh, empty flow table at the master's
+                // fidelity: flow state accrues from events, and every event
+                // touching a flow's state runs on its origin's shard.
+                let flow = self
+                    .flow
+                    .as_ref()
+                    .map(|f| FlowTable::new(f.fidelity(), &mut store));
                 let mut net = Network {
                     devices,
                     links: self.links.clone(),
@@ -1131,6 +1223,8 @@ impl Network {
                     event_log: Some(Vec::new()),
                     fault: self.fault.clone(),
                     fault_ids,
+                    flow,
+                    event_charges: Vec::new(),
                 };
                 for (tag, kind) in initial.next().unwrap() {
                     net.push_keyed(tag, kind);
@@ -1150,7 +1244,9 @@ impl Network {
         self.processed += 1;
         let kind = self.pool.take(key.slot);
         let dev_id = match &kind {
-            EventKind::Frame { dev, .. } | EventKind::Timer { dev, .. } => *dev,
+            EventKind::Frame { dev, .. }
+            | EventKind::Timer { dev, .. }
+            | EventKind::FlowAdvert { dev, .. } => *dev,
         };
         let logging = self.event_log.is_some();
         let (recs_before, traces_before, spans_before) = if logging {
@@ -1167,6 +1263,10 @@ impl Network {
                 let what = match &kind {
                     EventKind::Frame { frame, .. } => format!("frame {frame}"),
                     EventKind::Timer { token, .. } => format!("timer {token}"),
+                    EventKind::FlowAdvert { update, .. } => format!(
+                        "flow advert {}:{} lat {}ns",
+                        update.key.src_port, update.key.dst_port, update.lat
+                    ),
                 };
                 trace.push(TraceEntry {
                     at: key.tag.at,
@@ -1179,23 +1279,44 @@ impl Network {
         }
         self.event_cpu_ns = 0;
         self.event_cpu_claimed = 0;
-        let mut dev = self.devices[dev_id.0]
-            .dev
-            .take()
-            .unwrap_or_else(|| panic!("device {} re-entered", self.devices[dev_id.0].name));
-        let loc = self.devices[dev_id.0].loc;
-        {
-            let mut ctx = DevCtx {
-                net: self,
-                id: dev_id,
-                loc,
-            };
-            match kind {
-                EventKind::Frame { port, frame, .. } => dev.on_frame(port, frame, &mut ctx),
-                EventKind::Timer { token, .. } => dev.on_timer(token, &mut ctx),
+        self.event_charges.clear();
+        match kind {
+            // Adverts are absorbed by the engine itself — the flow table is
+            // the addressee; no device is dispatched (and the origin slot
+            // may even be mid-flight elsewhere in optimistic mode).
+            EventKind::FlowAdvert { update, .. } => {
+                if let Some(flow) = &mut self.flow {
+                    flow.absorb(*update, &mut self.store);
+                }
+            }
+            mut kind => {
+                // A delivered probe stamp becomes an advert back to the
+                // origin before the endpoint sees the frame.
+                if let EventKind::Frame { port, frame, .. } = &mut kind {
+                    if self.flow.is_some() && frame.flow.is_some() {
+                        self.flow_deliver(dev_id, *port, frame);
+                    }
+                }
+                let mut dev = self.devices[dev_id.0]
+                    .dev
+                    .take()
+                    .unwrap_or_else(|| panic!("device {} re-entered", self.devices[dev_id.0].name));
+                let loc = self.devices[dev_id.0].loc;
+                {
+                    let mut ctx = DevCtx {
+                        net: self,
+                        id: dev_id,
+                        loc,
+                    };
+                    match kind {
+                        EventKind::Frame { port, frame, .. } => dev.on_frame(port, frame, &mut ctx),
+                        EventKind::Timer { token, .. } => dev.on_timer(token, &mut ctx),
+                        EventKind::FlowAdvert { .. } => unreachable!("absorbed above"),
+                    }
+                }
+                self.devices[dev_id.0].dev = Some(dev);
             }
         }
-        self.devices[dev_id.0].dev = Some(dev);
         if logging {
             let recs = (self.store.journal_len() - recs_before) as u32;
             let traces = (self.trace.as_ref().map_or(0, Vec::len) - traces_before) as u32;
@@ -1216,33 +1337,64 @@ impl Network {
         true
     }
 
-    /// Runs until the clock reaches `deadline` or the queue empties.
-    /// Events at exactly `deadline` are processed.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(key)) = self.queue.peek() {
-            if key.tag.at > deadline {
-                break;
+    /// Runs the network until `stop` is reached (or the queue empties).
+    ///
+    /// `Until(t)` processes every event with `at < t` — events at exactly
+    /// `t` are **excluded** — then advances the clock to `t`. This is the
+    /// same window semantics the sharded engine's epochs use, so a
+    /// deadline slices a scenario identically at every shard count. (The
+    /// retired `run_until` processed `at == t` events in the sequential
+    /// backend but not in the threaded one.)
+    pub fn run(&mut self, stop: StopCondition) {
+        match stop {
+            StopCondition::Until(deadline) => {
+                self.run_window(deadline);
+                if self.now < deadline {
+                    self.now = deadline;
+                }
             }
-            self.step();
+            StopCondition::For(d) => {
+                let deadline = self.now + d;
+                self.run(StopCondition::Until(deadline));
+            }
+            StopCondition::Idle => while self.step() {},
         }
-        if self.now < deadline {
-            self.now = deadline;
-        }
+    }
+
+    /// Runs until the clock reaches `deadline`; events at exactly
+    /// `deadline` are excluded.
+    #[deprecated(note = "use run(StopCondition::Until(deadline))")]
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run(StopCondition::Until(deadline));
     }
 
     /// Runs for `d` of simulated time from now.
+    #[deprecated(note = "use run(StopCondition::For(d))")]
     pub fn run_for(&mut self, d: SimDuration) {
-        let deadline = self.now + d;
-        self.run_until(deadline);
+        self.run(StopCondition::For(d));
     }
 
     /// Drains every remaining event (useful for short finite workloads).
+    #[deprecated(note = "use run(StopCondition::Idle)")]
     pub fn run_to_idle(&mut self) {
-        while self.step() {}
+        self.run(StopCondition::Idle);
     }
 
     fn charge_at(&mut self, loc: CpuLocation, cat: CpuCategory, d: SimDuration) {
         self.cpu.charge(loc, cat, d.as_nanos());
+        // Per-hop attribution for flow probes (merged by (loc, cat); the
+        // vector stays tiny — an event rarely touches more than two).
+        if self.flow.is_some() {
+            let ns = d.as_nanos();
+            match self
+                .event_charges
+                .iter_mut()
+                .find(|(l, c, _)| *l == loc && *c == cat)
+            {
+                Some(e) => e.2 += ns,
+                None => self.event_charges.push((loc, cat, ns)),
+            }
+        }
         // Stage attribution: everything charged since the last stage_frame
         // call within this event belongs to the next staged span. One add;
         // the mirror charge below is *not* double-counted (it is the same
@@ -1308,6 +1460,201 @@ impl Network {
             cpu_ns,
         });
     }
+
+    /// The flow fast path's emission hook, called from
+    /// [`DevCtx::transmit_at`] whenever a flow table is installed.
+    ///
+    /// Returns `Some(frame)` when the emission must continue packet level
+    /// (possibly now carrying a probe stamp), `None` when it was absorbed
+    /// analytically — a synthesized delivery event has been scheduled
+    /// directly onto the learned path's destination.
+    fn flow_emit(
+        &mut self,
+        id: DeviceId,
+        port: PortId,
+        when: SimTime,
+        mut frame: Frame,
+    ) -> Option<Frame> {
+        // A riding probe records every hop it crosses: egress point,
+        // bypass consent, NAT involvement, link lossiness and the CPU the
+        // hop charged while handling this event.
+        if frame.flow.is_some() {
+            let origin = frame.flow.0.as_ref().map(|p| p.key.origin);
+            if origin != Some(id) {
+                let slot = &self.devices[id.0];
+                let lossless = self
+                    .link_at(id, port)
+                    .is_none_or(|l| l.params.loss_prob == 0.0);
+                let bypass = slot.bypass;
+                let nat = slot.kind == DeviceKind::NatRouter;
+                let probe = frame.flow.0.as_deref_mut().expect("checked above");
+                probe.hops.push((id, port));
+                probe.ok &= bypass && lossless;
+                probe.has_nat |= nat;
+                for &(loc, cat, ns) in &self.event_charges {
+                    match probe
+                        .cpu
+                        .iter_mut()
+                        .find(|(l, c, _)| *l == loc && *c == cat)
+                    {
+                        Some(e) => e.2 += ns,
+                        None => probe.cpu.push((loc, cat, ns)),
+                    }
+                }
+            }
+            return Some(frame);
+        }
+        // Only endpoint emissions start flows; traced frames stay packet
+        // level end to end so traces and span trees remain complete.
+        let slot = &self.devices[id.0];
+        if slot.kind != DeviceKind::Endpoint
+            || self.trace.is_some()
+            || self.flight.mode == TraceMode::Full
+            || frame.flight.trace != 0
+        {
+            return Some(frame);
+        }
+        let Some(key) = FlowKey::classify(id, &frame) else {
+            return Some(frame);
+        };
+        let bypass = slot.bypass;
+        let fault = self.fault.clone();
+        let fault_active = move |hops: &[(DeviceId, PortId)], from: SimTime, lat: u64| {
+            fault.as_deref().is_some_and(|p| {
+                let until = SimTime(from.0.saturating_add(lat).saturating_add(1));
+                p.any_active(hops, from, until)
+            })
+        };
+        let flow = self.flow.as_mut().expect("flow_emit requires a table");
+        match flow.on_emit(&key, when, &fault_active, &mut self.store) {
+            EmitAction::Packet => Some(frame),
+            EmitAction::Probe => {
+                let lossless = self
+                    .link_at(id, port)
+                    .is_none_or(|l| l.params.loss_prob == 0.0);
+                frame.flow = FlowTag::stamp(FlowProbe {
+                    key,
+                    born: when,
+                    hops: vec![(id, port)],
+                    cpu: Vec::new(),
+                    ok: bypass && lossless,
+                    has_nat: false,
+                });
+                Some(frame)
+            }
+            EmitAction::Fast => {
+                let flow = self.flow.as_ref().expect("table checked above");
+                let path = flow.path(&key).expect("fast emission has a learned path");
+                let at = when + SimDuration::nanos(path.latency());
+                let dst = path.dst;
+                let dst_port = path.dst_port;
+                let frames_id = flow.fastpath_frames_id();
+                let bytes_id = flow.fastpath_bytes_id();
+                let cpu_replay = path.cpu.clone();
+                let mut synth = path.template.clone();
+                // The live payload (and TCP stream state) rides the
+                // synthesized delivery so endpoint semantics survive.
+                match (&mut synth.ip.transport, frame.ip.transport) {
+                    (Transport::Udp { payload: tp, .. }, Transport::Udp { payload, .. }) => {
+                        *tp = payload;
+                    }
+                    (
+                        Transport::Tcp {
+                            payload: tp,
+                            seq: ts,
+                            kind: tk,
+                            ..
+                        },
+                        Transport::Tcp {
+                            payload, seq, kind, ..
+                        },
+                    ) => {
+                        *tp = payload;
+                        *ts = seq;
+                        *tk = kind;
+                    }
+                    _ => {}
+                }
+                synth.flight = FlightStamp::default();
+                synth.flow = FlowTag::default();
+                let wire = f64::from(synth.wire_len());
+                // Replay the learned per-hop CPU (with the Vm→Host guest
+                // mirror `charge_at` applies) so figure-level attribution
+                // stays comparable to packet runs. No RNG is consulted:
+                // the fast path makes no draws, which is what keeps a
+                // hybrid scenario bit-identical across shard counts.
+                for (loc, cat, ns) in cpu_replay {
+                    self.cpu.charge(loc, cat, ns);
+                    if let CpuLocation::Vm(_) = loc {
+                        self.cpu.charge(CpuLocation::Host, CpuCategory::Guest, ns);
+                    }
+                }
+                self.store.add_id(frames_id, 1.0);
+                self.store.add_id(bytes_id, wire);
+                let slot = &mut self.devices[id.0];
+                let seq = slot.emit_seq;
+                slot.emit_seq += 1;
+                let tag = EventTag {
+                    at,
+                    src: id.0 as u32,
+                    seq,
+                };
+                self.route_frame(tag, dst, dst_port, synth);
+                None
+            }
+        }
+    }
+
+    /// Converts a probe delivered to an endpoint into a [`FlowUpdate`]
+    /// advert scheduled back to the origin's flow table one observed
+    /// path-latency later (an RTT after emission — the soonest a real
+    /// stack could learn anything about its path). Non-endpoint
+    /// deliveries keep the stamp riding.
+    fn flow_deliver(&mut self, dev: DeviceId, port: PortId, frame: &mut Frame) {
+        if self.devices[dev.0].kind != DeviceKind::Endpoint {
+            return;
+        }
+        let Some(probe) = frame.flow.take() else {
+            return;
+        };
+        let mut template = frame.clone();
+        template.flight = FlightStamp::default();
+        let lat = self.now.since(probe.born).as_nanos();
+        let origin = probe.key.origin;
+        let update = Box::new(FlowUpdate {
+            key: probe.key,
+            dst: dev,
+            dst_port: port,
+            template,
+            lat,
+            hops: probe.hops,
+            cpu: probe.cpu,
+            ok: probe.ok,
+            has_nat: probe.has_nat,
+        });
+        let slot = &mut self.devices[dev.0];
+        let seq = slot.emit_seq;
+        slot.emit_seq += 1;
+        let tag = EventTag {
+            at: self.now + SimDuration::nanos(lat),
+            src: dev.0 as u32,
+            seq,
+        };
+        self.route_advert(tag, origin, update);
+    }
+}
+
+/// When [`Network::run`] (and the sharded engine's `run`) should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Process every event strictly before this instant, then advance the
+    /// clock to it. Events at exactly the deadline are excluded — the
+    /// same window semantics at every shard count.
+    Until(SimTime),
+    /// [`Until`](StopCondition::Until) at `now + d`.
+    For(SimDuration),
+    /// Drain the event queue completely.
+    Idle,
 }
 
 /// The capability handle a device receives while handling an event.
@@ -1356,6 +1703,17 @@ impl<'a> DevCtx<'a> {
     /// Dropped (and counted) if the port is unlinked.
     pub fn transmit_at(&mut self, when: SimTime, port: PortId, frame: Frame) {
         debug_assert!(when >= self.net.now, "transmit in the past");
+        // Hybrid/flow-only fidelity: let the flow table classify this
+        // emission first — it may absorb it entirely (synthesized
+        // delivery) or hand it back stamped with a path probe.
+        let frame = if self.net.flow.is_some() {
+            match self.net.flow_emit(self.id, port, when, frame) {
+                Some(f) => f,
+                None => return,
+            }
+        } else {
+            frame
+        };
         match self.net.link_at(self.id, port) {
             Some(Link {
                 peer,
@@ -1592,7 +1950,7 @@ mod tests {
             LinkParams::with_latency(SimDuration::micros(3)),
         );
         net.inject_frame(SimDuration::micros(1), pipe, PortId::P0, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // 1us inject + 5us pipe delay + 3us link
         assert_eq!(net.store().samples("sink.arrivals"), &[9_000.0]);
         assert_eq!(net.store().counter("pipe.frames"), 1.0);
@@ -1611,7 +1969,7 @@ mod tests {
             }),
         );
         net.inject_frame(SimDuration::ZERO, pipe, PortId::P0, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.dropped_no_link(), 1);
     }
 
@@ -1626,7 +1984,7 @@ mod tests {
             }),
         );
         net.inject_frame(SimDuration::ZERO, pipe, PortId::P0, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.cpu().get(CpuLocation::Vm(3), CpuCategory::Sys), 10);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 10);
     }
@@ -1634,7 +1992,7 @@ mod tests {
     #[test]
     fn run_until_advances_clock_even_when_idle() {
         let mut net = Network::new(0);
-        net.run_until(SimTime(5_000));
+        net.run(StopCondition::Until(SimTime(5_000)));
         assert_eq!(net.now(), SimTime(5_000));
     }
 
@@ -1646,7 +2004,7 @@ mod tests {
         // which the per-source `seq` of the event tag guarantees.
         net.inject_frame(SimDuration::micros(1), sink, PortId::P0, test_frame());
         net.inject_frame(SimDuration::micros(1), sink, PortId::P0, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().samples("sink.arrivals").len(), 2);
         assert_eq!(net.events_processed(), 2);
     }
@@ -1691,7 +2049,7 @@ mod tests {
         let s = net.add_device("sink", CpuLocation::Host, Box::new(TagSink));
         net.connect(b, PortId::P0, s, PortId::P0, LinkParams::default());
         net.inject_frame(SimDuration::ZERO, b, PortId::P1, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().samples("tags"), &[0.0, 1.0, 2.0, 3.0]);
     }
 
@@ -1798,7 +2156,7 @@ mod tests {
         let mut net = Network::new(0);
         let s = net.add_device("scatter", CpuLocation::Host, Box::new(Scatter));
         net.inject_frame(SimDuration::ZERO, s, PortId::P0, test_frame());
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.dropped_no_link(), 1);
     }
 
@@ -1819,7 +2177,7 @@ mod tests {
         for i in 0..1_000 {
             net.inject_frame(SimDuration::micros(i), pipe, PortId::P0, test_frame());
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.events_processed(), 2_000);
         // At most the initial 1000 injected events were pending at once.
         assert!(
@@ -1860,7 +2218,7 @@ mod tests {
             for i in 0..10 {
                 net.inject_frame(SimDuration::micros(i), pipe, PortId::P0, test_frame());
             }
-            net.run_to_idle();
+            net.run(StopCondition::Idle);
             (
                 net.store().samples("sink.arrivals").to_vec(),
                 net.store().counter("link.lost"),

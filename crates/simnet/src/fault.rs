@@ -207,6 +207,21 @@ impl FaultPlan {
         &self.stalls
     }
 
+    /// True when any fault window (link fault on a matching hop, or a
+    /// stall on a matching device) overlaps `[from, until)` for any of
+    /// `hops`. Pure — no RNG draws. The flow table uses this to escalate
+    /// steady flows back to packet level whenever a fault could touch a
+    /// synthesized flight, so faults are always applied by the real
+    /// per-packet machinery.
+    pub fn any_active(&self, hops: &[(DeviceId, PortId)], from: SimTime, until: SimTime) -> bool {
+        self.link_faults.iter().any(|f| {
+            f.from < until && from < f.until && hops.iter().any(|&(d, p)| d == f.dev && p == f.port)
+        }) || self
+            .stalls
+            .iter()
+            .any(|s| s.from < until && from < s.until && hops.iter().any(|&(d, _)| d == s.dev))
+    }
+
     /// True when a hard-down window covers an emission from `(dev, port)`
     /// at `when`. Pure (no RNG); harnesses use it to align workload
     /// assertions with the schedule.
@@ -306,6 +321,7 @@ impl FaultIds {
 mod tests {
     use super::*;
     use crate::device::{Device, DeviceKind};
+    use crate::engine::StopCondition;
     use crate::engine::{DevCtx, LinkParams, Network};
     use crate::frame::Frame;
     use crate::testutil::{frame_between, CaptureSink};
@@ -364,7 +380,7 @@ mod tests {
         inject(&mut net, relay, 0); // before the window: delivered
         inject(&mut net, relay, 10); // inside: dropped
         inject(&mut net, relay, 20); // after: delivered
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 2.0);
         assert_eq!(net.store().counter("fault.link_down"), 1.0);
     }
@@ -403,7 +419,7 @@ mod tests {
         });
         let (mut net, relay) = relay_net(plan);
         inject(&mut net, relay, 0);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 2.0);
         assert_eq!(net.store().counter("fault.duplicated"), 1.0);
     }
@@ -428,7 +444,7 @@ mod tests {
         let (mut net, relay) = relay_net(plan);
         inject(&mut net, relay, 1); // corrupt window
         inject(&mut net, relay, 10); // loss window
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 0.0);
         assert_eq!(net.store().counter("fault.corrupt"), 1.0);
         assert_eq!(net.store().counter("fault.lost"), 1.0);
@@ -445,7 +461,7 @@ mod tests {
         let (mut net, relay) = relay_net(plan);
         inject(&mut net, relay, 0); // stalled: 1us link + 50us stall
         inject(&mut net, relay, 20); // after the window: 1us link only
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(
             net.store().samples("sink.arrival_ns"),
             &[21_000.0, 51_000.0]
@@ -468,7 +484,7 @@ mod tests {
         let (mut net, relay) = relay_net(plan);
         inject(&mut net, relay, 0); // delayed by 1ns..=100us past its 1us link
         inject(&mut net, relay, 1); // outside the window: on time at 2us
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let mut arrivals = net.store().samples("sink.arrival_ns").to_vec();
         arrivals.sort_by(f64::total_cmp);
         assert_eq!(arrivals.len(), 2);
@@ -499,7 +515,7 @@ mod tests {
             for i in 0..50 {
                 inject(&mut net, relay, i);
             }
-            net.run_to_idle();
+            net.run(StopCondition::Idle);
             (
                 net.store().counter("sink.received"),
                 net.store().counter("fault.lost"),
@@ -523,7 +539,7 @@ mod tests {
             PortId::P0,
             frame_between(MacAddr::local(1), MacAddr::local(2), 10),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         net.install_fault_plan(FaultPlan::new());
     }
 

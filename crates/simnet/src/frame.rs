@@ -6,6 +6,7 @@
 //! Per-byte costs are computed from [`Frame::wire_len`].
 
 use crate::addr::{Ip4, MacAddr, SockAddr};
+use crate::flow::FlowTag;
 use crate::time::SimTime;
 use bytes::Bytes;
 use metrics::FlightStamp;
@@ -206,6 +207,9 @@ pub struct Frame {
     /// everything, so frame equality stays a statement about headers and
     /// payload.
     pub flight: FlightStamp,
+    /// Flow-learning probe stamp (hybrid fidelity only). Also equality-
+    /// transparent and empty by default; packet-level runs never set it.
+    pub flow: FlowTag,
 }
 
 impl Frame {
@@ -235,6 +239,7 @@ impl Frame {
                 },
             },
             flight: FlightStamp::default(),
+            flow: FlowTag::default(),
         }
     }
 
@@ -265,6 +270,7 @@ impl Frame {
                 },
             },
             flight: FlightStamp::default(),
+            flow: FlowTag::default(),
         }
     }
 
@@ -280,6 +286,11 @@ impl Frame {
         // The envelope inherits the inner frame's flight context so one
         // trace follows the packet across the encapsulation boundary.
         let flight = self.flight;
+        // Flow probes deliberately die at the encapsulation boundary:
+        // overlay paths are never flow-modeled (the tunnel hops would be
+        // invisible to the learned path's fault-escalation checks).
+        let mut inner = self;
+        inner.flow = FlowTag::default();
         Frame {
             src_mac: outer_src_mac,
             dst_mac: outer_dst_mac,
@@ -289,15 +300,17 @@ impl Frame {
                 ttl: Self::DEFAULT_TTL,
                 transport: Transport::Vxlan {
                     vni,
-                    inner: Box::new(self),
+                    inner: Box::new(inner),
                 },
             },
             flight,
+            flow: FlowTag::default(),
         }
     }
 
     /// Unwraps a VXLAN envelope, returning `(vni, inner)` or the frame
     /// unchanged if it is not VXLAN.
+    #[allow(clippy::result_large_err)] // Err IS the frame, handed back by value
     pub fn vxlan_decap(self) -> Result<(u32, Frame), Frame> {
         let flight = self.flight;
         match self.ip.transport {

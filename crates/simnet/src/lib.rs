@@ -41,12 +41,14 @@
 
 pub mod addr;
 pub mod bridge;
+pub mod config;
 pub mod costs;
 pub mod device;
 pub mod endpoint;
 pub mod engine;
 pub mod fault;
 pub mod flight;
+pub mod flow;
 pub mod frame;
 pub mod nat;
 pub mod nic;
@@ -59,12 +61,14 @@ pub mod time;
 pub mod veth;
 
 pub use addr::{Ip4, Ip4Net, MacAddr, SockAddr};
+pub use config::SimConfig;
 pub use costs::{CostModel, StageCost};
 pub use device::{Device, DeviceId, DeviceKind, PortId, Station};
 pub use endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
-pub use engine::{DevCtx, LinkParams, Network, SampleStore};
+pub use engine::{DevCtx, LinkParams, Network, SampleStore, StopCondition};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, StallWindow};
 pub use flight::{chrome_trace_network, chrome_trace_report, snapshot_network, snapshot_report};
+pub use flow::Fidelity;
 pub use frame::{Frame, Payload, TcpKind, Transport};
 pub use parallel::{
     optimistic_from_env, shards_from_env, PartitionPlan, RunReport, ShardedNetwork, SyncStats,

@@ -541,6 +541,7 @@ impl Device for NatRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StopCondition;
     use crate::engine::{LinkParams, Network};
     use crate::frame::Payload;
     use crate::testutil::CaptureSink;
@@ -610,7 +611,7 @@ mod tests {
         let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
         let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("pod.received"), 1.0);
         assert_eq!(net.store().counter("nat.conntrack_new"), 1.0);
     }
@@ -629,7 +630,7 @@ mod tests {
         let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
         let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
 
         // Pod replies: 172.17.0.2:80 -> client (as it saw it).
         let pod_addr = SockAddr::new(Ip4::new(172, 17, 0, 2), 80);
@@ -641,7 +642,7 @@ mod tests {
             Payload::sized(64),
         );
         net.inject_frame(SimDuration::ZERO, rid, PortId(1), reply);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("ext.received"), 1.0);
         assert_eq!(net.store().counter("nat.conntrack_hit"), 1.0);
     }
@@ -668,7 +669,7 @@ mod tests {
             Payload::sized(64),
         );
         net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("ext.received"), 1.0);
         assert_eq!(net.store().counter("nat.conntrack_new"), 1.0);
     }
@@ -682,7 +683,7 @@ mod tests {
             SockAddr::new(Ip4::new(8, 8, 8, 8), 53),
         );
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("nat.drop_no_route"), 1.0);
         assert_eq!(
             net.store().counter("pod.received") + net.store().counter("ext.received"),
@@ -700,7 +701,7 @@ mod tests {
         );
         f.ip.ttl = 0;
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("nat.drop_ttl"), 1.0);
     }
 
@@ -720,7 +721,7 @@ mod tests {
             SockAddr::new(Ip4::new(192, 168, 0, 1), 8081),
         );
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("nat.drop_no_neigh"), 1.0);
     }
 
@@ -731,7 +732,7 @@ mod tests {
         let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
         let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
         net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.cpu().get(CpuLocation::Vm(1), CpuCategory::Soft), 1_000);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 1_000);
     }
@@ -837,7 +838,7 @@ mod tests {
             Payload::sized(64),
         );
         net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("nat.drop_port_exhausted"), 1.0);
         assert_eq!(net.store().counter("ext.received"), 0.0);
     }
@@ -870,7 +871,7 @@ mod tests {
             );
             net.inject_frame(SimDuration::ZERO, rid, PortId(1), f);
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("nat.conntrack_new"), 2.0);
         assert_eq!(net.store().counter("ext2.received"), 2.0);
         let _ = &mut sink;

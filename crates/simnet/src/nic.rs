@@ -226,6 +226,7 @@ impl Device for PhysNic {
 mod tests {
     use super::*;
     use crate::addr::MacAddr;
+    use crate::engine::StopCondition;
     use crate::engine::{LinkParams, Network};
     use crate::testutil::{frame_between, CaptureSink};
     use crate::time::SimDuration;
@@ -271,7 +272,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 100),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("host.received"), 3.0);
         assert_eq!(net.store().counter("vhost.kicks"), 3.0);
         // 3 kicks (3000) + 3 frames (500 + 146 bytes wire)
@@ -291,7 +292,7 @@ mod tests {
             PortId::P0,
             frame_between(MacAddr::local(1), MacAddr::local(2), 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // kick 3000 + frame 646 = 3646 ns; no batching delay.
         assert_eq!(net.store().samples("host.arrival_ns"), &[3_646.0]);
     }
@@ -308,7 +309,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 100),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("host.received"), 5.0);
         assert_eq!(net.store().counter("vhost.kicks"), 1.0);
         assert_eq!(net.store().counter("vhost.suppressed"), 4.0);
@@ -342,7 +343,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 100),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vhost.ring_full"), 6.0);
         assert_eq!(net.store().counter("host.received"), 4.0);
         // Once drained, the ring accepts traffic again.
@@ -352,7 +353,7 @@ mod tests {
             PortId::P0,
             frame_between(MacAddr::local(1), MacAddr::local(2), 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("host.received"), 5.0);
     }
 
@@ -372,7 +373,7 @@ mod tests {
             PortId::P0,
             frame_between(MacAddr::local(1), MacAddr::local(2), 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vhost.kicks"), 2.0);
     }
 
@@ -393,7 +394,7 @@ mod tests {
             PortId::P1,
             frame_between(MacAddr::local(2), MacAddr::local(1), 10),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("host.received"), 1.0);
         assert_eq!(net.store().counter("vm.received"), 1.0);
     }
@@ -417,7 +418,7 @@ mod tests {
             PortId::P1,
             frame_between(MacAddr::local(1), MacAddr::local(2), 10),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("s.received"), 1.0);
         assert_eq!(net.cpu().get(CpuLocation::Vm(7), CpuCategory::Sys), 2_000);
         assert_eq!(net.cpu().get(CpuLocation::Host, CpuCategory::Guest), 2_000);
@@ -442,7 +443,7 @@ mod tests {
             PortId::P0,
             frame_between(MacAddr::local(1), MacAddr::local(2), 10),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("s.received"), 1.0);
     }
 }

@@ -125,8 +125,10 @@
 
 use crate::device::DeviceId;
 use crate::engine::{
-    EngineSnapshot, EventTag, LogEntry, Network, RemoteEvent, SampleStore, TraceEntry, TRACE_CAP,
+    EngineSnapshot, EventTag, LogEntry, Network, RemoteEvent, SampleStore, StopCondition,
+    TraceEntry, TRACE_CAP,
 };
+use crate::flow::Fidelity;
 use crate::spsc::{self, Consumer, Producer};
 use crate::time::{SimDuration, SimTime};
 use metrics::{CpuAccount, CpuLocation, SpanRecord, SpanRing, StageTable, TraceMode};
@@ -134,27 +136,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-/// Reads the `SIMNET_SHARDS` environment knob (default 1). Values below 1
-/// or unparsable values read as 1.
-pub fn shards_from_env() -> usize {
-    std::env::var("SIMNET_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
-}
-
-/// Reads the `SIMNET_OPTIMISTIC` environment knob: `1` or `true` enables
-/// optimistic (time-warp-lite) synchronization, anything else — including
-/// the variable being unset — selects conservative mode.
-pub fn optimistic_from_env() -> bool {
-    std::env::var("SIMNET_OPTIMISTIC")
-        .map(|v| {
-            let v = v.trim();
-            v == "1" || v.eq_ignore_ascii_case("true")
-        })
-        .unwrap_or(false)
-}
+pub use crate::config::{optimistic_from_env, shards_from_env};
 
 /// Capacity of each cross-shard ring, in batches. A sender pushes at most
 /// two batches per destination per round (a committed flush plus a
@@ -332,6 +314,43 @@ impl PartitionPlan {
     /// (`u64::MAX` when no link connects them).
     pub(crate) fn min_lat(&self, s: usize, d: usize) -> u64 {
         self.min_lat[s * self.nshards + d]
+    }
+
+    /// Transitively closes the latency matrix (all-pairs shortest paths
+    /// over the shard graph). Required whenever a flow table is installed:
+    /// a synthesized fast-path delivery (or its advert) crosses directly
+    /// from the origin's shard to the destination's, skipping the
+    /// intermediate shards' event loops, so *any* connected ordered pair
+    /// may exchange events. The closure stays a sound lookahead for both
+    /// traffic kinds — a packet hop uses a direct link (≥ the pair's
+    /// closed distance) and a synthesized delivery arrives after an
+    /// *observed* end-to-end latency, which is at least the link-latency
+    /// shortest path between the two shards.
+    pub(crate) fn relax(&mut self) {
+        let n = self.nshards;
+        for k in 0..n {
+            for s in 0..n {
+                let via = self.min_lat[s * n + k];
+                if via == u64::MAX {
+                    continue;
+                }
+                for d in 0..n {
+                    let rest = self.min_lat[k * n + d];
+                    if rest == u64::MAX {
+                        continue;
+                    }
+                    let cand = via.saturating_add(rest);
+                    let cell = &mut self.min_lat[s * n + d];
+                    if cand < *cell {
+                        *cell = cand;
+                    }
+                }
+            }
+        }
+        // Cycles can close the diagonal; self-pairs never exchange events.
+        for s in 0..n {
+            self.min_lat[s * n + s] = u64::MAX;
+        }
     }
 }
 
@@ -761,7 +780,7 @@ fn plan_round(
     let eff: Vec<Option<SimTime>> = (0..nshards)
         .map(|s| omin(floors[s], pending_in[s]))
         .collect();
-    let work_left = eff.iter().flatten().any(|&t| t <= deadline);
+    let work_left = eff.iter().flatten().any(|&t| t < deadline);
     let spec_pending = spec.iter().any(Option::is_some);
     if !work_left && !spec_pending {
         return None;
@@ -1029,6 +1048,9 @@ pub struct ShardedNetwork {
     /// round.
     round: u64,
     optimistic: bool,
+    /// Backend selection: `Some` pins inline/threaded; `None` defers to
+    /// `SIMNET_INLINE`, then the core-count heuristic.
+    inline: Option<bool>,
     stats: SyncStats,
     now: SimTime,
 }
@@ -1042,7 +1064,12 @@ impl ShardedNetwork {
     /// between topology construction and the first run.
     pub fn new(net: Network, want: usize) -> ShardedNetwork {
         let now = net.now();
-        let plan = PartitionPlan::partition(&net, want);
+        let mut plan = PartitionPlan::partition(&net, want);
+        if net.fidelity() != Fidelity::Packet {
+            // Flow fast-path traffic can cross directly between any two
+            // connected shards (see `PartitionPlan::relax`).
+            plan.relax();
+        }
         let nshards = plan.nshards();
         let nets = if nshards == 1 {
             // Single shard: keep the network whole and run it directly —
@@ -1051,8 +1078,9 @@ impl ShardedNetwork {
         } else {
             net.split(&plan.shard_of, nshards)
         };
-        // One ring per directed pair that shares a link; pairs without a
-        // link can never exchange frames.
+        // One ring per directed pair that can exchange events: pairs
+        // sharing a link, plus — after the flow-fidelity closure — any
+        // transitively connected pair. Disconnected pairs never ring.
         let mut incoming: Vec<Vec<Option<Consumer<RingBatch>>>> = (0..nshards)
             .map(|_| (0..nshards).map(|_| None).collect())
             .collect();
@@ -1085,6 +1113,7 @@ impl ShardedNetwork {
             spec_capable: vec![true; nshards],
             round: 0,
             optimistic: false,
+            inline: None,
             stats: SyncStats::default(),
             now,
         }
@@ -1093,10 +1122,9 @@ impl ShardedNetwork {
     /// Shards `net` according to the `SIMNET_SHARDS` environment variable
     /// (default 1) and selects the synchronization mode from
     /// `SIMNET_OPTIMISTIC`.
+    #[deprecated(note = "use SimConfig::from_env().build(net)")]
     pub fn from_env(net: Network) -> ShardedNetwork {
-        let mut sharded = ShardedNetwork::new(net, shards_from_env());
-        sharded.set_optimistic(optimistic_from_env());
-        sharded
+        crate::config::SimConfig::from_env().build(net)
     }
 
     /// The partition in effect.
@@ -1140,28 +1168,58 @@ impl ShardedNetwork {
         }
     }
 
-    /// Runs until the clock reaches `deadline`; events at exactly
-    /// `deadline` are processed (sequential `run_until` semantics).
-    pub fn run_until(&mut self, deadline: SimTime) {
-        self.run_epochs(deadline);
-        if self.now < deadline {
-            self.now = deadline;
+    /// Pins the coordinator backend: `Some(true)` inline (coordinator
+    /// thread runs the shards), `Some(false)` threaded, `None` (default)
+    /// defers to `SIMNET_INLINE`, then the core-count heuristic.
+    pub fn set_inline(&mut self, inline: Option<bool>) {
+        self.inline = inline;
+    }
+
+    /// Runs the sharded network until `stop` (see [`StopCondition`]).
+    ///
+    /// `Until(t)` processes every event with `at < t` — events at exactly
+    /// `t` are **excluded**, identically to the sequential
+    /// [`Network::run`], so a deadline slices a scenario the same way at
+    /// every shard count.
+    pub fn run(&mut self, stop: StopCondition) {
+        match stop {
+            StopCondition::Until(deadline) => {
+                self.run_epochs(deadline);
+                if self.now < deadline {
+                    self.now = deadline;
+                }
+            }
+            StopCondition::For(d) => {
+                let deadline = self.now + d;
+                self.run(StopCondition::Until(deadline));
+            }
+            StopCondition::Idle => {
+                self.run_epochs(SimTime(u64::MAX));
+                let last = self.nets.iter().map(|n| n.now()).max().unwrap_or(self.now);
+                if last > self.now {
+                    self.now = last;
+                }
+            }
         }
+    }
+
+    /// Runs until the clock reaches `deadline`; events at exactly
+    /// `deadline` are excluded.
+    #[deprecated(note = "use run(StopCondition::Until(deadline))")]
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run(StopCondition::Until(deadline));
     }
 
     /// Runs for `d` of simulated time from now.
+    #[deprecated(note = "use run(StopCondition::For(d))")]
     pub fn run_for(&mut self, d: SimDuration) {
-        let deadline = self.now + d;
-        self.run_until(deadline);
+        self.run(StopCondition::For(d));
     }
 
     /// Drains every remaining event.
+    #[deprecated(note = "use run(StopCondition::Idle)")]
     pub fn run_to_idle(&mut self) {
-        self.run_epochs(SimTime(u64::MAX - 1));
-        let last = self.nets.iter().map(|n| n.now()).max().unwrap_or(self.now);
-        if last > self.now {
-            self.now = last;
-        }
+        self.run(StopCondition::Idle);
     }
 
     /// The round coordinator (see module docs): compute per-shard
@@ -1171,10 +1229,10 @@ impl ShardedNetwork {
     fn run_epochs(&mut self, deadline: SimTime) {
         if self.nets.len() == 1 {
             let net = &mut self.nets[0];
-            if deadline == SimTime(u64::MAX - 1) {
-                net.run_to_idle();
+            if deadline == SimTime(u64::MAX) {
+                net.run(StopCondition::Idle);
             } else {
-                net.run_until(deadline);
+                net.run(StopCondition::Until(deadline));
             }
             return;
         }
@@ -1182,12 +1240,13 @@ impl ShardedNetwork {
         // and every round pays futex wakeups + context switches both ways.
         // The inline backend runs the identical protocol (same plan_round,
         // same round_step, same rings) on the coordinator thread instead.
+        // `set_inline` (usually via `SimConfig`) pins a backend; otherwise
         // `SIMNET_INLINE=1`/`=0` overrides the core-count heuristic so
-        // either backend can be pinned for testing.
-        let inline = match std::env::var("SIMNET_INLINE") {
-            Ok(v) => v == "1",
-            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()) == 1,
-        };
+        // either backend can be selected for testing.
+        let inline = self
+            .inline
+            .or_else(crate::config::inline_from_env)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()) == 1);
         if inline {
             self.run_epochs_inline(deadline);
         } else {
@@ -1196,7 +1255,10 @@ impl ShardedNetwork {
     }
 
     fn run_epochs_threaded(&mut self, deadline: SimTime) {
-        let deadline_cap = SimTime(deadline.0.saturating_add(1));
+        // The cap IS the deadline: shard windows are exclusive (`at <
+        // bound`), so events at exactly the deadline stay queued — the
+        // same boundary the sequential engine's `run` applies.
+        let deadline_cap = deadline;
         let nshards = self.nets.len();
         let spec_window = self.plan.epoch.0.saturating_mul(SPEC_WINDOW_EPOCHS);
         let shard_of = Arc::clone(&self.plan.shard_of);
@@ -1267,7 +1329,7 @@ impl ShardedNetwork {
     // loop keeps the disjoint field borrows obvious.
     #[allow(clippy::needless_range_loop)]
     fn run_epochs_inline(&mut self, deadline: SimTime) {
-        let deadline_cap = SimTime(deadline.0.saturating_add(1));
+        let deadline_cap = deadline;
         let nshards = self.nets.len();
         let spec_window = self.plan.epoch.0.saturating_mul(SPEC_WINDOW_EPOCHS);
         let shard_of = Arc::clone(&self.plan.shard_of);
@@ -1675,33 +1737,34 @@ mod tests {
     }
 
     #[test]
-    fn shards_from_env_parses_and_defaults() {
-        // Serialize around the env var (tests run in parallel).
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        let _g = LOCK.lock().unwrap();
-        std::env::remove_var("SIMNET_SHARDS");
-        assert_eq!(shards_from_env(), 1);
-        std::env::set_var("SIMNET_SHARDS", "4");
-        assert_eq!(shards_from_env(), 4);
-        std::env::set_var("SIMNET_SHARDS", "0");
-        assert_eq!(shards_from_env(), 1);
-        std::env::set_var("SIMNET_SHARDS", "nope");
-        assert_eq!(shards_from_env(), 1);
-        std::env::remove_var("SIMNET_SHARDS");
-    }
-
-    #[test]
-    fn optimistic_from_env_parses_and_defaults() {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        let _g = LOCK.lock().unwrap();
-        std::env::remove_var("SIMNET_OPTIMISTIC");
-        assert!(!optimistic_from_env());
-        std::env::set_var("SIMNET_OPTIMISTIC", "1");
-        assert!(optimistic_from_env());
-        std::env::set_var("SIMNET_OPTIMISTIC", "true");
-        assert!(optimistic_from_env());
-        std::env::set_var("SIMNET_OPTIMISTIC", "0");
-        assert!(!optimistic_from_env());
-        std::env::remove_var("SIMNET_OPTIMISTIC");
+    fn relax_closes_the_latency_matrix_transitively() {
+        let mut net = Network::new(0);
+        let a = sink(&mut net, "a", CpuLocation::Host);
+        let b = sink(&mut net, "b", CpuLocation::Host);
+        let c = sink(&mut net, "c", CpuLocation::Host);
+        net.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(5)),
+        );
+        net.connect(
+            b,
+            PortId(1),
+            c,
+            PortId(0),
+            LinkParams::with_latency(SimDuration::micros(20)),
+        );
+        let mut plan = PartitionPlan::partition(&net, 3);
+        let (sa, sc) = (plan.shard_of(a), plan.shard_of(c));
+        assert_eq!(plan.min_lat(sa, sc), u64::MAX);
+        plan.relax();
+        assert_eq!(plan.min_lat(sa, sc), SimDuration::micros(25).0);
+        assert_eq!(plan.min_lat(sc, sa), SimDuration::micros(25).0);
+        // Direct pairs keep their (already-minimal) latency and the
+        // diagonal stays unreachable.
+        assert_eq!(plan.min_lat(sa, plan.shard_of(b)), SimDuration::micros(5).0);
+        assert_eq!(plan.min_lat(sa, sa), u64::MAX);
     }
 }

@@ -66,6 +66,12 @@ impl Device for RateLimiter {
         DeviceKind::Other
     }
 
+    // Pacing decisions depend on every frame: flows crossing a shaper
+    // must stay packet level or rate limits would be silently violated.
+    fn flow_bypass(&self) -> bool {
+        false
+    }
+
     fn on_frame(&mut self, port: PortId, mut frame: Frame, ctx: &mut DevCtx<'_>) {
         assert!(port.0 < 2, "rate limiter has two ports");
         let (paced_id, stage) = *self
@@ -120,6 +126,7 @@ impl Device for RateLimiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StopCondition;
     use metrics::{CpuCategory, CpuLocation};
     use simnet_test_helpers::*;
 
@@ -162,7 +169,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let arrivals = net.store().samples("sink.arrival_ns");
         assert_eq!(arrivals.len(), 100);
         let last = arrivals.iter().copied().fold(0.0, f64::max);
@@ -187,7 +194,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let arrivals = net.store().samples("sink.arrival_ns");
         let last = arrivals.iter().copied().fold(0.0, f64::max);
         // Only the 100ns-per-frame service cost, no pacing delays.
@@ -228,7 +235,7 @@ mod tests {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 1000 - 46),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 3.0);
         assert_eq!(net.store().counter("shaper.paced"), 1.0);
     }
@@ -247,7 +254,7 @@ mod tests {
                 );
             }
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("sink.received"), 4.0);
         assert_eq!(net.store().counter("shaper.paced"), 0.0);
     }

@@ -111,6 +111,7 @@ impl Device for Loopback {
 mod tests {
     use super::*;
     use crate::addr::MacAddr;
+    use crate::engine::StopCondition;
     use crate::engine::{LinkParams, Network};
     use crate::testutil::{frame_between, CaptureSink};
     use crate::time::SimDuration;
@@ -144,7 +145,7 @@ mod tests {
             PortId::P1,
             frame_between(MacAddr::local(2), MacAddr::local(1), 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("a.received"), 1.0);
         assert_eq!(net.store().counter("b.received"), 1.0);
         assert_eq!(net.store().counter("veth.crossings"), 2.0);
@@ -173,7 +174,7 @@ mod tests {
         let f = frame_between(MacAddr::local(1), MacAddr::local(2), 64);
         net.inject_frame(SimDuration::ZERO, v1, PortId::P0, f.clone());
         net.inject_frame(SimDuration::ZERO, v2, PortId::P0, f);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().samples("s1.arrival_ns"), &[1_000.0]);
         assert_eq!(
             net.store().samples("s2.arrival_ns"),
@@ -212,7 +213,7 @@ mod tests {
             PortId(1),
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 64),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("c0.received"), 1.0);
         assert_eq!(net.store().counter("c1.received"), 0.0, "no echo to sender");
         assert_eq!(net.store().counter("c2.received"), 1.0);

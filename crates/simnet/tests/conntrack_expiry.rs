@@ -3,6 +3,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
 use simnet::engine::{LinkParams, Network};
@@ -66,9 +67,9 @@ fn reply() -> Frame {
 fn reply_within_timeout_is_translated() {
     let (mut net, nat) = testbed(SimDuration::secs(120));
     net.inject_frame(SimDuration::ZERO, nat, PortId(0), forward());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     net.inject_frame(SimDuration::secs(60), nat, PortId(1), reply());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert_eq!(net.store().counter("ext.received"), 1.0);
     assert_eq!(net.store().counter("nat.conntrack_hit"), 1.0);
 }
@@ -77,11 +78,11 @@ fn reply_within_timeout_is_translated() {
 fn reply_after_timeout_loses_translation() {
     let (mut net, nat) = testbed(SimDuration::secs(120));
     net.inject_frame(SimDuration::ZERO, nat, PortId(0), forward());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     // The reply arrives long after the entry expired: it is treated as a
     // new flow (src stays the pod address), not reverse-translated.
     net.inject_frame(SimDuration::secs(300), nat, PortId(1), reply());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert_eq!(net.store().counter("nat.conntrack_hit"), 0.0);
     // It still routes (dst is on-link), but as a fresh conntrack entry.
     assert!(net.store().counter("nat.conntrack_new") >= 2.0);
@@ -91,7 +92,7 @@ fn reply_after_timeout_loses_translation() {
 fn refreshed_entries_survive() {
     let (mut net, nat) = testbed(SimDuration::secs(120));
     net.inject_frame(SimDuration::ZERO, nat, PortId(0), forward());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     // Keep the flow alive with traffic every 100 s; at t=400 s the entry
     // must still translate because each use refreshed it.
     for t in [100u64, 200, 300, 400] {
@@ -101,10 +102,10 @@ fn refreshed_entries_survive() {
             PortId(0),
             forward(),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
     }
     net.inject_frame(SimDuration::secs(50), nat, PortId(1), reply());
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert!(net.store().counter("ext.received") >= 1.0);
     assert!(net.store().counter("nat.conntrack_hit") >= 1.0);
 }

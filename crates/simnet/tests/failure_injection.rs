@@ -5,6 +5,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
 use simnet::engine::{LinkParams, Network};
@@ -43,7 +44,7 @@ fn lossy_net(p: f64, frames: u64, seed: u64) -> Network {
             frame_between(MacAddr::local(1), MacAddr::local(2), 64),
         );
     }
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     net
 }
 

@@ -4,6 +4,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
 use simnet::engine::{LinkParams, Network};
@@ -85,7 +86,7 @@ fn new_flows_rotate_across_backends() {
     for i in 0..6 {
         net.inject_frame(SimDuration::ZERO, nat, PortId(0), request(40_000 + i));
     }
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert_eq!(net.store().counter("nat.lb_assigned"), 6.0);
     assert_eq!(net.store().counter("podside.received"), 6.0);
 }
@@ -103,7 +104,7 @@ fn established_flows_stick_to_their_backend() {
     for _ in 0..3 {
         net.inject_frame(SimDuration::ZERO, nat, PortId(0), request(55_555));
     }
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert_eq!(net.store().counter("nat.lb_assigned"), 1.0);
     assert_eq!(net.store().counter("nat.conntrack_hit"), 2.0);
 }
@@ -123,6 +124,6 @@ fn lb_rules_do_not_shadow_other_ports() {
     let mut f = request(1);
     f.ip.transport.set_dst_port(9999);
     net.inject_frame(SimDuration::ZERO, nat, PortId(0), f);
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
     assert_eq!(net.store().counter("nat.lb_assigned"), 0.0);
 }

@@ -23,6 +23,7 @@ use nestless_simnet::frame::{Frame, Payload};
 use nestless_simnet::shared::SharedStation;
 use nestless_simnet::testutil::MacBouncer;
 use nestless_simnet::time::SimDuration;
+use nestless_simnet::StopCondition;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -145,7 +146,7 @@ fn warm_bridge_flood_steady_state_is_allocation_free() {
                 Payload::bytes(body.clone()),
             ),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
     };
     for _ in 0..64 {
         round(&mut net);
@@ -216,7 +217,7 @@ fn warm_counters_mode_steady_state_is_allocation_free() {
                 Payload::bytes(body.clone()),
             ),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
     };
     for _ in 0..64 {
         round(&mut net);

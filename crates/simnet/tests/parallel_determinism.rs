@@ -18,6 +18,7 @@ use nestless_simnet::time::{SimDuration, SimTime};
 use nestless_simnet::{
     FaultPlan, LinkFault, LinkFaultKind, ShardedNetwork, StallWindow, SyncStats,
 };
+use nestless_simnet::{SimConfig, StopCondition};
 use std::collections::BTreeMap;
 
 const SEED: u64 = 0xC0FFEE;
@@ -141,14 +142,14 @@ fn outcome_of_sharded(sn: ShardedNetwork) -> Outcome {
 
 fn sequential() -> Outcome {
     let mut net = build();
-    net.run_until(SimTime(2_000_000));
+    net.run(StopCondition::Until(SimTime(2_000_000)));
     outcome_of_net(&mut net)
 }
 
 fn sharded(want: usize, optimistic: bool) -> (usize, SyncStats, Outcome) {
     let mut sn = ShardedNetwork::new(build(), want);
     sn.set_optimistic(optimistic);
-    sn.run_until(SimTime(2_000_000));
+    sn.run(StopCondition::Until(SimTime(2_000_000)));
     let nshards = sn.nshards();
     let stats = sn.sync_stats();
     (nshards, stats, outcome_of_sharded(sn))
@@ -298,7 +299,7 @@ fn build_faulted() -> Network {
 #[test]
 fn faulted_runs_are_bit_identical_across_shard_counts_and_modes() {
     let mut seq_net = build_faulted();
-    seq_net.run_until(SimTime(2_000_000));
+    seq_net.run(StopCondition::Until(SimTime(2_000_000)));
     let seq = outcome_of_net(&mut seq_net);
     // Every fault kind actually fired in the window.
     for name in [
@@ -319,7 +320,7 @@ fn faulted_runs_are_bit_identical_across_shard_counts_and_modes() {
         for want in [1, 2, 8] {
             let mut sn = ShardedNetwork::new(build_faulted(), want);
             sn.set_optimistic(optimistic);
-            sn.run_until(SimTime(2_000_000));
+            sn.run(StopCondition::Until(SimTime(2_000_000)));
             let nshards = sn.nshards();
             if want > 1 {
                 assert!(nshards > 1, "≥4-host topology must actually shard");
@@ -351,14 +352,14 @@ fn span_cap_overflow_merges_bit_identically() {
         net
     };
     let mut seq = build_capped();
-    seq.run_until(SimTime(2_000_000));
+    seq.run(StopCondition::Until(SimTime(2_000_000)));
     assert!(seq.spans_dropped() > 0, "cap of 64 must overflow");
     assert_eq!(seq.spans().len(), 64);
     let seq_spans = named_spans(seq.spans(), seq.store());
 
     for want in [2, 8] {
         let mut sn = ShardedNetwork::new(build_capped(), want);
-        sn.run_until(SimTime(2_000_000));
+        sn.run(StopCondition::Until(SimTime(2_000_000)));
         assert!(sn.nshards() > 1);
         let report = sn.into_report();
         assert_eq!(
@@ -397,13 +398,13 @@ fn split_runs_match_single_runs() {
     for optimistic in [false, true] {
         let mut whole = ShardedNetwork::new(build(), 4);
         whole.set_optimistic(optimistic);
-        whole.run_until(SimTime(2_000_000));
+        whole.run(StopCondition::Until(SimTime(2_000_000)));
         let whole = outcome_of_sharded(whole);
 
         let mut split = ShardedNetwork::new(build(), 4);
         split.set_optimistic(optimistic);
         for step in 1..=4u64 {
-            split.run_until(SimTime(step * 500_000));
+            split.run(StopCondition::Until(SimTime(step * 500_000)));
         }
         let split = outcome_of_sharded(split);
         let mode = if optimistic {
@@ -432,11 +433,11 @@ fn run_to_idle_and_env_knob_match_sequential() {
         net
     };
     let mut seq = build_finite();
-    seq.run_to_idle();
+    seq.run(StopCondition::Idle);
     let (seq_samples, seq_counters) = snapshot(seq.store());
 
     let mut sn = ShardedNetwork::new(build_finite(), 4);
-    sn.run_to_idle();
+    sn.run(StopCondition::Idle);
     assert_eq!(sn.now(), seq.now(), "idle clock stops at last event");
     let report = sn.into_report();
     let (samples, counters) = snapshot(&report.store);
@@ -444,10 +445,10 @@ fn run_to_idle_and_env_knob_match_sequential() {
     assert_eq!(seq_counters, counters);
     assert_eq!(seq.events_processed(), report.events_processed);
 
-    // from_env honors SIMNET_SHARDS (serialize: tests may run in parallel
-    // but no other test in this binary touches the variable).
+    // SimConfig::from_env honors SIMNET_SHARDS (serialize: tests may run in
+    // parallel but no other test in this binary touches the variable).
     std::env::set_var("SIMNET_SHARDS", "3");
-    let sn = ShardedNetwork::from_env(build_finite());
+    let sn = SimConfig::from_env().build(build_finite());
     assert_eq!(sn.nshards(), 3);
     std::env::remove_var("SIMNET_SHARDS");
 }
@@ -525,13 +526,13 @@ fn straggler_net() -> Network {
 #[test]
 fn forced_straggler_rolls_back_and_stays_bit_identical() {
     let mut seq = straggler_net();
-    seq.run_until(SimTime(1_000_000));
+    seq.run(StopCondition::Until(SimTime(1_000_000)));
     let seq = outcome_of_net(&mut seq);
     assert!(seq.events > 1_000, "dense flow generates real load");
 
     let mut conservative = ShardedNetwork::new(straggler_net(), 2);
     assert_eq!(conservative.nshards(), 2);
-    conservative.run_until(SimTime(1_000_000));
+    conservative.run(StopCondition::Until(SimTime(1_000_000)));
     assert_eq!(
         conservative.sync_stats().spec_rollbacks,
         0,
@@ -542,7 +543,7 @@ fn forced_straggler_rolls_back_and_stays_bit_identical() {
 
     let mut optimistic = ShardedNetwork::new(straggler_net(), 2);
     optimistic.set_optimistic(true);
-    optimistic.run_until(SimTime(1_000_000));
+    optimistic.run(StopCondition::Until(SimTime(1_000_000)));
     let stats = optimistic.sync_stats();
     assert!(
         stats.spec_rollbacks >= 1,
@@ -617,13 +618,13 @@ fn commit_net() -> Network {
 #[test]
 fn independent_islands_commit_speculation_and_stay_bit_identical() {
     let mut seq = commit_net();
-    seq.run_until(SimTime(1_000_000));
+    seq.run(StopCondition::Until(SimTime(1_000_000)));
     let seq = outcome_of_net(&mut seq);
 
     let mut sn = ShardedNetwork::new(commit_net(), 2);
     assert_eq!(sn.nshards(), 2);
     sn.set_optimistic(true);
-    sn.run_until(SimTime(1_000_000));
+    sn.run(StopCondition::Until(SimTime(1_000_000)));
     let stats = sn.sync_stats();
     assert!(
         stats.spec_commits >= 1,
@@ -647,7 +648,7 @@ fn inline_and_threaded_backends_are_bit_identical() {
         std::env::set_var("SIMNET_INLINE", if inline { "1" } else { "0" });
         let mut sn = ShardedNetwork::new(build(), 4);
         sn.set_optimistic(optimistic);
-        sn.run_until(SimTime(2_000_000));
+        sn.run(StopCondition::Until(SimTime(2_000_000)));
         let stats = sn.sync_stats();
         let out = outcome_of_sharded(sn);
         std::env::remove_var("SIMNET_INLINE");

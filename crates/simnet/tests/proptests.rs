@@ -5,6 +5,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use proptest::prelude::*;
 use simnet::bridge::Bridge;
 use simnet::costs::StageCost;
@@ -161,7 +162,7 @@ proptest! {
             Payload::sized(64),
         );
         net.inject_frame(SimDuration::ZERO, nat, PortId(0), fwd);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         prop_assert_eq!(net.store().counter("pod.received"), 1.0);
 
         // Reply: backend -> whatever source the pod observed.
@@ -173,7 +174,7 @@ proptest! {
             Payload::sized(64),
         );
         net.inject_frame(SimDuration::ZERO, nat, PortId(1), reply);
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         prop_assert_eq!(net.store().counter("ext.received"), 1.0);
         prop_assert_eq!(net.store().counter("nat.conntrack_hit"), 1.0);
     }
@@ -201,12 +202,12 @@ proptest! {
         // Teach the bridge both addresses.
         net.inject_frame(SimDuration::ZERO, bridge, PortId(src_port), frame_between(a, b, 10));
         net.inject_frame(SimDuration::ZERO, bridge, PortId(dst_port), frame_between(b, a, 10));
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let before: f64 = (0..nports).map(|p| net.store().counter(&format!("s{p}.received"))).sum();
 
         // Now a -> b must land only on dst_port.
         net.inject_frame(SimDuration::ZERO, bridge, PortId(src_port), frame_between(a, b, 10));
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let after: f64 = (0..nports).map(|p| net.store().counter(&format!("s{p}.received"))).sum();
         prop_assert_eq!(after - before, 1.0, "exactly one delivery after learning");
     }
@@ -235,7 +236,7 @@ proptest! {
                     frame_between(MacAddr::local(1), MacAddr::local(2), (o % 1400) as u32),
                 );
             }
-            net.run_to_idle();
+            net.run(StopCondition::Idle);
             (
                 net.events_processed(),
                 net.cpu().total(),

@@ -3,6 +3,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use proptest::prelude::*;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
@@ -42,7 +43,7 @@ proptest! {
                 frame_between(MacAddr::local(1), MacAddr::local(2), 64),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let departures = net.store().samples("sink.arrival_ns");
         prop_assert_eq!(departures.len(), arrivals.len());
         // FIFO order and minimum spacing of one service time.
@@ -92,7 +93,7 @@ proptest! {
         for _ in 0..n2 {
             net.inject_frame(SimDuration::ZERO, v2, PortId::P0, frame_between(MacAddr::local(3), MacAddr::local(4), 64));
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let mut all: Vec<f64> = net.store().samples("s1.arrival_ns").to_vec();
         all.extend_from_slice(net.store().samples("s2.arrival_ns"));
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -3,6 +3,7 @@
 extern crate nestless_simnet as simnet;
 
 use metrics::{CpuCategory, CpuLocation};
+use nestless_simnet::StopCondition;
 use simnet::costs::StageCost;
 use simnet::device::PortId;
 use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
@@ -45,7 +46,7 @@ fn tracing_records_hops_in_time_order() {
         PortId::P0,
         simnet::testutil::frame_between(MacAddr::local(1), MacAddr::local(2), 64),
     );
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
 
     let trace = net.trace();
     let hops: Vec<&str> = trace.iter().map(|e| e.device.as_str()).collect();
@@ -102,7 +103,7 @@ fn multi_homed_endpoint_routes_per_interface() {
     net.connect(ep_dev, PortId(0), wan, PortId::P0, LinkParams::default());
     net.connect(ep_dev, PortId(1), lan, PortId::P0, LinkParams::default());
     net.schedule_timer(SimDuration::ZERO, ep_dev, START_TOKEN);
-    net.run_to_idle();
+    net.run(StopCondition::Idle);
 
     // The on-link message left iface 1, the remote one left iface 0 via
     // its gateway.

@@ -113,6 +113,7 @@ mod tests {
     use simnet::testutil::{frame_between, CaptureSink};
     use simnet::time::SimDuration;
     use simnet::MacAddr;
+    use simnet::StopCondition;
 
     fn build(mode: FanoutMode, nqueues: usize) -> (Network, simnet::DeviceId) {
         let mut net = Network::new(0);
@@ -146,7 +147,7 @@ mod tests {
             PortId(1),
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         for q in 0..3 {
             assert_eq!(
                 net.store().counter(&format!("vm{q}.received")),
@@ -166,7 +167,7 @@ mod tests {
             PortId(1),
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vm0.received"), 1.0);
         assert_eq!(net.store().counter("vm1.received"), 0.0);
         assert_eq!(net.store().counter("vm2.received"), 1.0);
@@ -182,7 +183,7 @@ mod tests {
             PortId(0),
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         // Four copies at 1us each, serialized: arrivals at 1,2,3,4us.
         let mut arrivals: Vec<f64> = (0..4)
             .flat_map(|q| net.store().samples(&format!("vm{q}.arrival_ns")).to_vec())
@@ -216,7 +217,7 @@ mod tests {
             PortId(0),
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 100),
         );
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         assert_eq!(net.store().counter("vm2.received"), 1.0);
         assert_eq!(net.store().counter("hostlo.queue_copies"), 1.0);
         assert_eq!(net.dropped_no_link(), 0);

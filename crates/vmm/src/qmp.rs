@@ -197,6 +197,7 @@ impl Vmm {
 mod tests {
     use super::*;
     use crate::vm::VmSpec;
+    use simnet::StopCondition;
 
     fn vmm_with_vm() -> Vmm {
         let mut vmm = Vmm::new(0);
@@ -323,7 +324,8 @@ mod tests {
         assert!(matches!(r, QmpResponse::Error { ref desc } if desc.contains("injected")));
         assert_eq!(vmm.qmp_faults_injected(), 1);
         // Past the window the socket works again.
-        vmm.network_mut().run_for(SimDuration::micros(100));
+        vmm.network_mut()
+            .run(StopCondition::For(SimDuration::micros(100)));
         assert!(matches!(
             vmm.qmp(QmpCommand::QueryNics { vm: 0 }),
             QmpResponse::Nics(_)

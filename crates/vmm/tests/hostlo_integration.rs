@@ -8,6 +8,7 @@ use metrics::CpuLocation;
 use simnet::device::PortId;
 use simnet::engine::LinkParams;
 use simnet::testutil::{frame_between, CaptureSink};
+use simnet::StopCondition;
 use simnet::{MacAddr, SimDuration};
 use vmm::{FanoutMode, VmSpec, Vmm};
 
@@ -52,7 +53,8 @@ fn four_vm_pod_broadcasts_to_every_fraction() {
         ep.guest_attach.1,
         frame_between(MacAddr::local(1), MacAddr::BROADCAST, 200),
     );
-    vmm.network_mut().run_for(SimDuration::millis(5));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(5)));
     // All four fractions see the frame (including the sender's own queue:
     // the echo comes back up through its virtio).
     for i in 0..4 {
@@ -75,7 +77,8 @@ fn tap_copies_charge_the_host_not_the_guests() {
         ep.guest_attach.1,
         frame_between(MacAddr::local(1), MacAddr::BROADCAST, 1000),
     );
-    vmm.network_mut().run_for(SimDuration::millis(5));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(5)));
     let cpu = vmm.network().cpu();
     // Host sys includes the TAP copies + vhost work.
     assert!(cpu.get(CpuLocation::Host, metrics::CpuCategory::Sys) > 0);
@@ -101,7 +104,8 @@ fn sustained_load_serializes_on_the_tap_worker() {
             frame_between(MacAddr::local(1), MacAddr::BROADCAST, 1024),
         );
     }
-    vmm.network_mut().run_for(SimDuration::secs(1));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::secs(1)));
     // Both copies of all 200 frames happened...
     assert_eq!(vmm.network().store().counter("hostlo.queue_copies"), 400.0);
     // ...and the peer saw them in order, spaced by the copy service time.

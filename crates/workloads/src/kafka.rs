@@ -12,6 +12,7 @@ use crate::report::{MacroResult, ServiceProfile};
 use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::frame::Payload;
+use simnet::StopCondition;
 use simnet::{SimDuration, SimTime, SockAddr};
 
 /// Producer-perf parameters (Table 1).
@@ -165,7 +166,7 @@ pub fn run_kafka(params: KafkaParams, config: Config, seed: u64) -> MacroResult 
     tb.start(&[server, client]);
     tb.vmm
         .network_mut()
-        .run_for(params.warmup + params.duration);
+        .run(StopCondition::For(params.warmup + params.duration));
     let mut r = MacroResult::collect(&tb, "kafka.latency_us", params.duration);
     // Throughput in messages/s, not batches/s.
     r.throughput_per_s =

@@ -13,6 +13,7 @@ use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
 use rand::Rng;
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::frame::Payload;
+use simnet::StopCondition;
 use simnet::{SimDuration, SimTime, SockAddr};
 
 /// memtier parameters (Table 1 defaults).
@@ -181,7 +182,7 @@ pub fn run_memcached(params: MemtierParams, config: Config, seed: u64) -> MacroR
     tb.start(&[server, client]);
     tb.vmm
         .network_mut()
-        .run_for(params.warmup + params.duration);
+        .run(StopCondition::For(params.warmup + params.duration));
     MacroResult::collect(&tb, "memcached.latency_us", params.duration)
 }
 

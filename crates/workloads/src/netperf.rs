@@ -15,6 +15,7 @@ use metrics::{OnlineStats, Summary};
 use nestless::topology::{build, Config, Testbed, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::frame::{Payload, TcpKind};
+use simnet::StopCondition;
 use simnet::{SimDuration, SimTime, SockAddr};
 
 /// Message sizes swept by figs. 2, 4 and 10 (bytes).
@@ -287,7 +288,9 @@ impl Netperf {
             }),
         );
         tb.start(&[server, client]);
-        tb.vmm.network_mut().run_for(self.warmup + self.duration);
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(self.warmup + self.duration));
         let stats: OnlineStats = tb
             .vmm
             .network()
@@ -330,7 +333,9 @@ impl Netperf {
             }),
         );
         tb.start(&[server, client]);
-        tb.vmm.network_mut().run_for(self.warmup + self.duration);
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(self.warmup + self.duration));
         let stats: OnlineStats = tb
             .vmm
             .network()
@@ -374,7 +379,9 @@ impl Netperf {
             }),
         );
         tb.start(&[server, client]);
-        tb.vmm.network_mut().run_for(self.warmup + self.duration);
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(self.warmup + self.duration));
 
         // Bin arrivals into 100 ms windows and summarize Mbit/s.
         let times = tb.vmm.network().store().samples("netperf.rx_t_ns").to_vec();
@@ -511,7 +518,9 @@ mod tests {
             }),
         );
         tb.start(&[s, c]);
-        tb.vmm.network_mut().run_for(np.warmup + np.duration);
+        tb.vmm
+            .network_mut()
+            .run(StopCondition::For(np.warmup + np.duration));
         let store = tb.vmm.network().store();
         assert!(store.counter("link.lost") > 0.0, "loss must actually occur");
         assert!(store.counter("netperf.rr_timeouts") > 0.0, "timeouts fired");

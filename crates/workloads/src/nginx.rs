@@ -15,6 +15,7 @@ use crate::report::{MacroResult, ServiceProfile};
 use nestless::topology::{build, Config, CLIENT_PORT, SERVER_PORT};
 use simnet::endpoint::{AppApi, Application, Incoming};
 use simnet::frame::Payload;
+use simnet::StopCondition;
 use simnet::{SimDuration, SimTime, SockAddr};
 
 /// wrk2 parameters (Table 1).
@@ -170,7 +171,7 @@ pub fn run_nginx(params: Wrk2Params, config: Config, seed: u64) -> MacroResult {
     tb.start(&[server, client]);
     tb.vmm
         .network_mut()
-        .run_for(params.warmup + params.duration);
+        .run(StopCondition::For(params.warmup + params.duration));
     MacroResult::collect(&tb, "nginx.latency_us", params.duration)
 }
 

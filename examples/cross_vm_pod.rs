@@ -14,6 +14,7 @@ use orchestrator::{ClusterCtx, ControlPlane, PodSpec};
 use simnet::device::PortId;
 use simnet::endpoint::{AppApi, Application, Endpoint, Incoming, START_TOKEN};
 use simnet::shared::SharedStation;
+use simnet::StopCondition;
 use simnet::{Payload, SimDuration, SockAddr};
 use std::collections::BTreeMap;
 use vmm::{VmSpec, Vmm};
@@ -137,7 +138,8 @@ fn main() {
         .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
     vmm.network_mut()
         .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
-    vmm.network_mut().run_for(SimDuration::millis(100));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(100)));
     let rtts = vmm.network().store().samples("rtt_us");
     println!(
         "intra-pod localhost over hostlo: {} round trips, avg {:.1} us",

@@ -11,6 +11,7 @@ use orchestrator::VmAgent;
 use simnet::device::PortId;
 use simnet::endpoint::{AppApi, Application, Endpoint, Incoming, START_TOKEN};
 use simnet::shared::SharedStation;
+use simnet::StopCondition;
 use simnet::{Ip4, Ip4Net, Payload, SimDuration, SockAddr};
 use vmm::{QmpCommand, QmpResponse, VmId, VmSpec, Vmm};
 
@@ -125,7 +126,8 @@ fn main() {
         .schedule_timer(SimDuration::ZERO, pod_dev, START_TOKEN);
     vmm.network_mut()
         .schedule_timer(SimDuration::ZERO, peer_dev, START_TOKEN);
-    vmm.network_mut().run_for(SimDuration::millis(10));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(10)));
     println!(
         "done: {} events simulated, {} frames dropped",
         vmm.network().events_processed(),

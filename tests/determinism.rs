@@ -7,6 +7,7 @@ use contd::BootPipeline;
 use nestless::topology::Config;
 use nestless_bench::{Mode, Sweep};
 use simnet::SimDuration;
+use simnet::StopCondition;
 use workloads::netperf::Netperf;
 use workloads::{run_memcached, MemtierParams};
 
@@ -112,7 +113,7 @@ fn engine_store_and_trace_bit_identical() {
                 frame_between(src, dst, 200),
             );
         }
-        net.run_to_idle();
+        net.run(StopCondition::Idle);
         let samples: Vec<(String, Vec<f64>)> = net
             .store()
             .sample_names()
@@ -143,7 +144,7 @@ fn engine_store_and_trace_bit_identical() {
 fn sharded_engine_matches_sequential_under_env_knob() {
     use simnet::engine::Network;
     use simnet::testutil::{build_multihost, MultihostSpec};
-    use simnet::{shards_from_env, ShardedNetwork, SimTime};
+    use simnet::{shards_from_env, SimConfig, SimTime};
     use std::collections::BTreeMap;
 
     let spec = MultihostSpec {
@@ -170,11 +171,11 @@ fn sharded_engine_matches_sequential_under_env_knob() {
     };
 
     let mut seq = build();
-    seq.run_until(SimTime(1_000_000));
+    seq.run(StopCondition::Until(SimTime(1_000_000)));
     let expected = snapshot(seq.store());
 
-    let mut sn = ShardedNetwork::from_env(build());
-    sn.run_until(SimTime(1_000_000));
+    let mut sn = SimConfig::from_env().build(build());
+    sn.run(StopCondition::Until(SimTime(1_000_000)));
     let shards = sn.nshards();
     let report = sn.into_report();
     assert_eq!(

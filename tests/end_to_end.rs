@@ -11,6 +11,7 @@ use simnet::device::PortId;
 use simnet::endpoint::{AppApi, Application, Endpoint, Incoming, START_TOKEN};
 use simnet::nat::Proto;
 use simnet::shared::SharedStation;
+use simnet::StopCondition;
 use simnet::{Ip4, Ip4Net, Payload, SimDuration, SockAddr};
 use std::collections::BTreeMap;
 use vmm::{VmId, VmSpec, Vmm};
@@ -142,7 +143,8 @@ fn default_cni_pod_serves_traffic_within_a_vm() {
         .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
     vmm.network_mut()
         .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
-    vmm.network_mut().run_for(SimDuration::millis(100));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(100)));
     assert_eq!(vmm.network().store().counter("e2e.replies"), 50.0);
 }
 
@@ -233,7 +235,8 @@ fn hostlo_cni_deploys_and_serves_cross_vm() {
         .schedule_timer(SimDuration::ZERO, srv_dev, START_TOKEN);
     vmm.network_mut()
         .schedule_timer(SimDuration::ZERO, cli_dev, START_TOKEN);
-    vmm.network_mut().run_for(SimDuration::millis(100));
+    vmm.network_mut()
+        .run(StopCondition::For(SimDuration::millis(100)));
     assert_eq!(vmm.network().store().counter("e2e.replies"), 25.0);
 
     // The hostlo TAP did the multiplexing on the host.

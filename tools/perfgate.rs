@@ -37,6 +37,10 @@ const TOLERANCE: f64 = 0.15;
 const OVERHEAD_FLOOR: f64 = 0.85;
 /// Scaling floor: 4 conservative shards on a ≥4-core machine.
 const SCALING_FLOOR: f64 = 2.0;
+/// Hybrid fast-path floor: the relay-chain scenario targets ≥10x but the
+/// gate floors at 5x so a noisy runner cannot flake the build while a
+/// broken fast path (≈1x) still fails loudly.
+const HYBRID_FLOOR: f64 = 5.0;
 
 #[derive(Default)]
 struct Gate {
@@ -210,6 +214,49 @@ fn check_multicore(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
     }
 }
 
+/// Gate the hybrid fast path: determinism at every shard count, the
+/// absolute speedup floor, the figure-comparability tolerances, and (vs
+/// the baseline) no speedup regression. The speedup is a paired
+/// within-machine ratio, so it is compared across runners unconditionally.
+fn check_hybrid(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
+    for row in seq_at(cur, "sharded") {
+        let shards = f64_at(row, "shards_wanted").unwrap_or(0.0) as u64;
+        if bool_at(row, "bit_identical") != Some(true) {
+            gate.fail(format!(
+                "hybrid at {shards} shards: not bit-identical to the 1-shard outcome"
+            ));
+        }
+    }
+    match f64_at(cur, "speedup_median") {
+        None => gate.fail("hybrid results have no speedup_median".to_string()),
+        Some(speedup) => {
+            if speedup < HYBRID_FLOOR {
+                gate.fail(format!(
+                    "hybrid speedup {speedup:.3} below the {HYBRID_FLOOR}x floor"
+                ));
+            } else {
+                println!("perfgate: ok: hybrid speedup {speedup:.3} (floor {HYBRID_FLOOR})");
+            }
+            if let Some(bs) = base.and_then(|b| f64_at(b, "speedup_median")) {
+                gate.ratio_floor("hybrid speedup_median", speedup, bs);
+            }
+        }
+    }
+    for key in ["frames_ratio", "cpu_ratio"] {
+        match f64_at(cur, key) {
+            None => gate.fail(format!("hybrid results have no {key}")),
+            Some(r) if (r - 1.0).abs() > TOLERANCE => gate.fail(format!(
+                "hybrid {key} {r:.3} outside the ±{:.0}% figure-comparability budget",
+                TOLERANCE * 100.0
+            )),
+            Some(r) => println!(
+                "perfgate: ok: hybrid {key} {r:.3} (within ±{:.0}%)",
+                TOLERANCE * 100.0
+            ),
+        }
+    }
+}
+
 fn run_check(results: &Path, baselines: &Path) -> ExitCode {
     let mut gate = Gate::default();
     match (
@@ -223,6 +270,13 @@ fn run_check(results: &Path, baselines: &Path) -> ExitCode {
         Ok(cur) => {
             let base = load(&baselines.join("engine_multicore.json")).ok();
             check_multicore(&mut gate, &cur, base.as_ref());
+        }
+        Err(e) => gate.fail(e),
+    }
+    match load(&results.join("engine_hybrid.json")) {
+        Ok(cur) => {
+            let base = load(&baselines.join("engine_hybrid.json")).ok();
+            check_hybrid(&mut gate, &cur, base.as_ref());
         }
         Err(e) => gate.fail(e),
     }
@@ -271,6 +325,36 @@ fn selftest() -> ExitCode {
     // Expect exactly two failures: bit_identical and the overhead floor.
     let caught_sweep = gate.failures.len() == 2;
 
+    // Hybrid gate: a broken fast path (no speedup), a determinism
+    // violation, and a fidelity drift must all be caught.
+    let bad_hybrid = fixture(
+        r#"{"speedup_median": 1.1, "frames_ratio": 1.3, "cpu_ratio": 1.0,
+            "sharded": [
+                {"shards_wanted": 1, "bit_identical": true},
+                {"shards_wanted": 8, "bit_identical": false}
+            ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_hybrid(&mut gate, &bad_hybrid, None);
+    // Expect exactly three failures: bit_identical, the speedup floor,
+    // and frames_ratio.
+    let caught_hybrid = gate.failures.len() == 3;
+
+    let ok_hybrid = fixture(
+        r#"{"speedup_median": 11.0, "frames_ratio": 0.99, "cpu_ratio": 1.01,
+            "sharded": [
+                {"shards_wanted": 1, "bit_identical": true},
+                {"shards_wanted": 2, "bit_identical": true},
+                {"shards_wanted": 8, "bit_identical": true}
+            ]}"#,
+    );
+    let regressed_hybrid = fixture(r#"{"speedup_median": 8.0}"#);
+    let mut gate = Gate::default();
+    check_hybrid(&mut gate, &regressed_hybrid, Some(&ok_hybrid));
+    // 8.0 vs baseline 11.0 is a >15% regression (plus two missing-ratio
+    // failures for the stripped-down fixture).
+    let caught_hybrid_regression = gate.failures.iter().any(|f| f.contains("speedup_median"));
+
     let ok_sweep = fixture(
         r#"{"host_cores": 1, "sweep": [
             {"mode": "conservative", "shards_wanted": 4, "shards_got": 4,
@@ -280,15 +364,18 @@ fn selftest() -> ExitCode {
     let mut gate = Gate::default();
     check_observability(&mut gate, &base, &base);
     check_multicore(&mut gate, &ok_sweep, None);
+    check_hybrid(&mut gate, &ok_hybrid, Some(&ok_hybrid));
     let clean_passes = gate.failures.is_empty();
 
-    if caught_ratio && caught_sweep && clean_passes {
+    if caught_ratio && caught_sweep && caught_hybrid && caught_hybrid_regression && clean_passes {
         println!("perfgate: selftest passed (regressions caught, clean run passes)");
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "perfgate: selftest FAILED (ratio caught: {caught_ratio}, \
-             sweep caught: {caught_sweep}, clean passes: {clean_passes})"
+             sweep caught: {caught_sweep}, hybrid caught: {caught_hybrid}, \
+             hybrid regression caught: {caught_hybrid_regression}, \
+             clean passes: {clean_passes})"
         );
         ExitCode::FAILURE
     }
