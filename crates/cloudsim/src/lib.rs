@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod hyper;
+pub mod index;
 pub mod online;
 pub mod resources;
 pub mod savings;
@@ -19,6 +21,10 @@ pub mod sched;
 pub mod trace;
 
 pub use catalog::{cheapest_fitting, res_from_relative, VmModel, LARGEST, M5_CATALOG};
+pub use hyper::{
+    run_hyperscale, CurvePoint, HyperConfig, HyperReport, ScenarioEvent, ScenarioStream,
+};
+pub use index::{FreeCapIndex, PlacePolicy, TieBreak};
 pub use online::{
     run_online, synthetic_online_trace, OnlineEvent, OnlineMode, OnlineReport, OnlineTrace,
 };

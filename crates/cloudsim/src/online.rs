@@ -88,11 +88,36 @@ struct LiveVm {
     bought_at: f64,
     /// `(pod, used)` per placed unit.
     units: Vec<(u32, Res)>,
+    /// Running total of `units` (the hot fit loop checks `free()` per
+    /// candidate VM; re-summing every unit there is quadratic).
+    used: Res,
 }
 
 impl LiveVm {
+    fn push_unit(&mut self, pod: u32, req: Res) {
+        self.used += req;
+        self.units.push((pod, req));
+    }
+    /// Drops every unit of `pod`, shrinking the running total.
+    fn remove_pod(&mut self, pod: u32) {
+        let mut removed = Res::ZERO;
+        self.units.retain(|&(p, r)| {
+            if p == pod {
+                removed += r;
+                false
+            } else {
+                true
+            }
+        });
+        self.used = self.used.saturating_sub(removed);
+    }
     fn used(&self) -> Res {
-        self.units.iter().map(|&(_, r)| r).sum()
+        debug_assert_eq!(
+            self.used,
+            self.units.iter().map(|&(_, r)| r).sum::<Res>(),
+            "cached used total diverged from the unit list"
+        );
+        self.used
     }
     fn free(&self) -> Res {
         self.capacity.saturating_sub(self.used())
@@ -131,7 +156,7 @@ pub fn run_online(trace: &OnlineTrace, mode: OnlineMode) -> OnlineReport {
             .filter(|v| req.fits_in(v.free()))
             .max_by_key(|v| v.used().size_key());
         match target {
-            Some(v) => v.units.push((pod, req)),
+            Some(v) => v.push_unit(pod, req),
             None => {
                 let model = cheapest_fitting(req).expect("unit exceeds largest model");
                 *bought += 1;
@@ -140,6 +165,7 @@ pub fn run_online(trace: &OnlineTrace, mode: OnlineMode) -> OnlineReport {
                     price_per_h: model.price_per_h,
                     bought_at: now,
                     units: vec![(pod, req)],
+                    used: req,
                 });
             }
         }
@@ -162,7 +188,7 @@ pub fn run_online(trace: &OnlineTrace, mode: OnlineMode) -> OnlineReport {
             }
             OnlineEvent::Depart { pod } => {
                 for v in &mut vms {
-                    v.units.retain(|&(p, _)| p != *pod);
+                    v.remove_pod(*pod);
                 }
                 // Release empty VMs: bill them until now.
                 vms.retain(|v| {

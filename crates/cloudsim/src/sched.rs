@@ -23,18 +23,71 @@ use serde::Serialize;
 pub type PlacedContainer = (usize, usize, Res);
 
 /// A bought VM and its assigned containers.
+///
+/// The total request is maintained incrementally (`used` is a running
+/// sum, not a rescan), so the hot fit loops in [`kube_schedule_with`] and
+/// [`hostlo_improve`] stop re-summing every container on every check.
+/// Mutation goes through [`SimVm::push`] / [`SimVm::retain`] / etc. to
+/// keep the cache in lockstep; `used()` debug-asserts cache == rescan.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimVm {
     /// Model name (resolved against the catalog).
     pub model: VmModel,
-    /// Containers placed on this VM.
-    pub containers: Vec<PlacedContainer>,
+    containers: Vec<PlacedContainer>,
+    used: Res,
 }
 
 impl SimVm {
-    /// Total requested resources.
+    /// An empty VM of the given model.
+    pub fn new(model: VmModel) -> SimVm {
+        SimVm {
+            model,
+            containers: Vec::new(),
+            used: Res::ZERO,
+        }
+    }
+
+    /// A VM pre-loaded with containers (computes the running total once).
+    pub fn with_containers(model: VmModel, containers: Vec<PlacedContainer>) -> SimVm {
+        let used = containers.iter().map(|&(_, _, r)| r).sum();
+        SimVm {
+            model,
+            containers,
+            used,
+        }
+    }
+
+    /// Containers placed on this VM.
+    pub fn containers(&self) -> &[PlacedContainer] {
+        &self.containers
+    }
+
+    /// Places a container, growing the running total.
+    pub fn push(&mut self, pc: PlacedContainer) {
+        self.used += pc.2;
+        self.containers.push(pc);
+    }
+
+    /// Removes every container (the evacuation commit).
+    pub fn clear(&mut self) {
+        self.containers.clear();
+        self.used = Res::ZERO;
+    }
+
+    /// Keeps only containers matching `keep`, re-deriving the total.
+    pub fn retain(&mut self, keep: impl FnMut(&PlacedContainer) -> bool) {
+        self.containers.retain(keep);
+        self.used = self.containers.iter().map(|&(_, _, r)| r).sum();
+    }
+
+    /// Total requested resources (cached running sum).
     pub fn used(&self) -> Res {
-        self.containers.iter().map(|&(_, _, r)| r).sum()
+        debug_assert_eq!(
+            self.used,
+            self.containers.iter().map(|&(_, _, r)| r).sum::<Res>(),
+            "cached used total diverged from the container list"
+        );
+        self.used
     }
 
     /// Free (wasted, if never fillable) resources.
@@ -127,15 +180,12 @@ pub fn kube_schedule_with(user: &TraceUser, policy: GroupingPolicy) -> Placement
                 let model = cheapest_fitting(total)
                     .unwrap_or_else(|| panic!("pod {pod_idx} exceeds the largest model"))
                     .clone();
-                placement.vms.push(SimVm {
-                    model,
-                    containers: Vec::new(),
-                });
+                placement.vms.push(SimVm::new(model));
                 placement.vms.last_mut().expect("just pushed")
             }
         };
         for (cont_idx, c) in pod.containers.iter().enumerate() {
-            vm.containers.push((pod_idx, cont_idx, c.res));
+            vm.push((pod_idx, cont_idx, c.res));
         }
     }
     placement
@@ -148,15 +198,12 @@ fn pack_ffd(mut conts: Vec<PlacedContainer>) -> Vec<SimVm> {
     let mut vms: Vec<SimVm> = Vec::new();
     for pc in conts {
         match vms.iter_mut().find(|v| pc.2.fits_in(v.free())) {
-            Some(v) => v.containers.push(pc),
+            Some(v) => v.push(pc),
             None => {
                 let model = cheapest_fitting(pc.2)
                     .expect("container exceeds the largest model")
                     .clone();
-                vms.push(SimVm {
-                    model,
-                    containers: vec![pc],
-                });
+                vms.push(SimVm::with_containers(model, vec![pc]));
             }
         }
     }
@@ -221,9 +268,9 @@ pub fn hostlo_improve(mut placement: Placement) -> Placement {
             }
             // All containers relocate: commit.
             for (t, pc) in moves {
-                placement.vms[t].containers.push(pc);
+                placement.vms[t].push(pc);
             }
-            placement.vms[victim].containers.clear();
+            placement.vms[victim].clear();
             evacuated = Some(victim);
             break;
         }
@@ -257,12 +304,10 @@ pub fn hostlo_improve(mut placement: Placement) -> Placement {
                     if let Some(model) = cheaper {
                         // Commit this prefix of moves and shrink.
                         for &(t, pc) in &moves {
-                            placement.vms[t].containers.push(pc);
+                            placement.vms[t].push(pc);
                         }
                         let moved: Vec<PlacedContainer> = moves.iter().map(|&(_, pc)| pc).collect();
-                        placement.vms[victim]
-                            .containers
-                            .retain(|pc| !moved.contains(pc));
+                        placement.vms[victim].retain(|pc| !moved.contains(pc));
                         // A container may appear twice with identical keys;
                         // retain() above would drop duplicates together, so
                         // assert conservation instead of guessing.

@@ -72,110 +72,153 @@ fn heavy_tail(rng: &mut StdRng, max: u32, alpha: f64) -> u32 {
     (x.round() as u32).clamp(1, max)
 }
 
+/// Generates one user with the calibrated population mix. Pulled out of
+/// the generation loop so the materialized and streaming paths share the
+/// exact RNG draw sequence (the streaming-equivalence proptest pins it).
+fn gen_user(rng: &mut StdRng, id: u32) -> TraceUser {
+    // ~10% "fleet" users: many replicas of a well-sized pod (they pack
+    // near-perfectly; Hostlo only recovers the odd straddling pod, a
+    // 1-5% saving), ~1.5% whales (large production tenants), the rest
+    // regular heavy-tailed users.
+    if rng.gen_bool(0.035) {
+        let replicas = rng.gen_range(18..55);
+        // 3 vCPU / 12.8 GiB service replicas: each needs an xlarge and
+        // leaves 1 vCPU / 3.2 GiB of waste no whole pod can use.
+        let mut pods: Vec<TracePod> = (0..replicas)
+            .map(|_| TracePod {
+                containers: vec![TraceContainer {
+                    res: res_from_relative(3.0 / 96.0, 12.8 / 384.0),
+                }],
+            })
+            .collect();
+        // Plus one 2-container sidecar pod (1 vCPU / 3 GiB each): whole
+        // it needs its own large, but its containers fit the replicas'
+        // waste — the marginal Hostlo saving.
+        pods.push(TracePod {
+            containers: vec![
+                TraceContainer {
+                    res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
+                },
+                TraceContainer {
+                    res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
+                },
+            ],
+        });
+        return TraceUser { id, pods };
+    }
+    let whale = rng.gen_bool(0.015);
+    let npods = if whale {
+        rng.gen_range(400..700)
+    } else {
+        heavy_tail(rng, 50, 1.15)
+    };
+    let mut pods = Vec::with_capacity(npods as usize);
+    for _ in 0..npods {
+        let ncont = if whale { 2 } else { heavy_tail(rng, 8, 1.4) };
+        let mut containers = Vec::with_capacity(ncont as usize);
+        let mut pod_quarters = 0u32;
+        for _ in 0..ncont {
+            // Container CPU in units of 0.25 vCPU. Whales run mid-size
+            // service containers (1-3 vCPU) whose pod totals straddle
+            // the catalog sizes; regular users are heavy-tailed small.
+            let quarters = if whale {
+                rng.gen_range(9..=11)
+            } else {
+                heavy_tail(rng, 16, 1.05)
+            };
+            // Keep pod totals under 15 vCPU: Google-trace jobs rarely
+            // request near-whole-machine pods, and this bounds the
+            // worst-case baseline waste to the sub-12xlarge regime.
+            if pod_quarters + quarters > 60 {
+                break;
+            }
+            pod_quarters += quarters;
+            let cpu_rel = f64::from(quarters) * 0.25 / 96.0;
+            // Memory roughly proportional (m5 ratio is 4 GiB/vCPU),
+            // with scatter.
+            let ratio: f64 = rng.gen_range(0.8..1.1);
+            let mem_rel = (cpu_rel * ratio).min(1.0);
+            containers.push(TraceContainer {
+                res: res_from_relative(cpu_rel, mem_rel),
+            });
+        }
+        // Keep every pod hostable on the largest model.
+        let pod = TracePod { containers };
+        if !pod.containers.is_empty() && pod.total().fits_in(crate::catalog::LARGEST.capacity()) {
+            pods.push(pod);
+        }
+    }
+    if pods.is_empty() {
+        pods.push(TracePod {
+            containers: vec![TraceContainer {
+                res: res_from_relative(0.005, 0.005),
+            }],
+        });
+    }
+    TraceUser { id, pods }
+}
+
+/// A streaming synthetic-trace generator: yields the exact user sequence
+/// of [`synthetic_trace`] one user at a time, so a million-user replay
+/// holds only the user currently being placed (plus the RNG state) in
+/// memory instead of the whole materialized [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    rng: StdRng,
+    next_id: u32,
+    remaining: usize,
+}
+
+impl TraceStream {
+    /// Streams `users` users from `seed`. Bit-identical to
+    /// `synthetic_trace(users, seed).users` in content and order.
+    pub fn new(users: usize, seed: u64) -> TraceStream {
+        TraceStream {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            remaining: users,
+        }
+    }
+
+    /// Users not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceUser;
+
+    fn next(&mut self) -> Option<TraceUser> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let user = gen_user(&mut self.rng, self.next_id);
+        self.next_id += 1;
+        Some(user)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
+
 /// Generates the synthetic Google-like trace.
 ///
 /// Calibrated so the downstream savings distribution (fig. 9) lands in the
 /// published bands: most users' pods pack perfectly into catalog sizes (no
 /// saving), a minority has pod shapes that straddle VM sizes (the paper's
 /// 6-vCPU example), and a few whales pay hundreds of dollars per hour.
+///
+/// This is the materialized form of [`TraceStream`]; hyperscale runs use
+/// the stream directly and never hold the full population.
 pub fn synthetic_trace(users: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(users);
-    for id in 0..users {
-        // ~10% "fleet" users: many replicas of a well-sized pod (they pack
-        // near-perfectly; Hostlo only recovers the odd straddling pod, a
-        // 1-5% saving), ~1.5% whales (large production tenants), the rest
-        // regular heavy-tailed users.
-        if rng.gen_bool(0.035) {
-            let replicas = rng.gen_range(18..55);
-            // 3 vCPU / 12.8 GiB service replicas: each needs an xlarge and
-            // leaves 1 vCPU / 3.2 GiB of waste no whole pod can use.
-            let mut pods: Vec<TracePod> = (0..replicas)
-                .map(|_| TracePod {
-                    containers: vec![TraceContainer {
-                        res: res_from_relative(3.0 / 96.0, 12.8 / 384.0),
-                    }],
-                })
-                .collect();
-            // Plus one 2-container sidecar pod (1 vCPU / 3 GiB each): whole
-            // it needs its own large, but its containers fit the replicas'
-            // waste — the marginal Hostlo saving.
-            pods.push(TracePod {
-                containers: vec![
-                    TraceContainer {
-                        res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
-                    },
-                    TraceContainer {
-                        res: res_from_relative(1.0 / 96.0, 3.0 / 384.0),
-                    },
-                ],
-            });
-            out.push(TraceUser {
-                id: id as u32,
-                pods,
-            });
-            continue;
-        }
-        let whale = rng.gen_bool(0.015);
-        let npods = if whale {
-            rng.gen_range(400..700)
-        } else {
-            heavy_tail(&mut rng, 50, 1.15)
-        };
-        let mut pods = Vec::with_capacity(npods as usize);
-        for _ in 0..npods {
-            let ncont = if whale {
-                2
-            } else {
-                heavy_tail(&mut rng, 8, 1.4)
-            };
-            let mut containers = Vec::with_capacity(ncont as usize);
-            let mut pod_quarters = 0u32;
-            for _ in 0..ncont {
-                // Container CPU in units of 0.25 vCPU. Whales run mid-size
-                // service containers (1-3 vCPU) whose pod totals straddle
-                // the catalog sizes; regular users are heavy-tailed small.
-                let quarters = if whale {
-                    rng.gen_range(9..=11)
-                } else {
-                    heavy_tail(&mut rng, 16, 1.05)
-                };
-                // Keep pod totals under 15 vCPU: Google-trace jobs rarely
-                // request near-whole-machine pods, and this bounds the
-                // worst-case baseline waste to the sub-12xlarge regime.
-                if pod_quarters + quarters > 60 {
-                    break;
-                }
-                pod_quarters += quarters;
-                let cpu_rel = f64::from(quarters) * 0.25 / 96.0;
-                // Memory roughly proportional (m5 ratio is 4 GiB/vCPU),
-                // with scatter.
-                let ratio: f64 = rng.gen_range(0.8..1.1);
-                let mem_rel = (cpu_rel * ratio).min(1.0);
-                containers.push(TraceContainer {
-                    res: res_from_relative(cpu_rel, mem_rel),
-                });
-            }
-            // Keep every pod hostable on the largest model.
-            let pod = TracePod { containers };
-            if !pod.containers.is_empty() && pod.total().fits_in(crate::catalog::LARGEST.capacity())
-            {
-                pods.push(pod);
-            }
-        }
-        if pods.is_empty() {
-            pods.push(TracePod {
-                containers: vec![TraceContainer {
-                    res: res_from_relative(0.005, 0.005),
-                }],
-            });
-        }
-        out.push(TraceUser {
-            id: id as u32,
-            pods,
-        });
+    Trace {
+        users: TraceStream::new(users, seed).collect(),
     }
-    Trace { users: out }
 }
 
 /// Parses a CSV trace: `user,pod,container,cpu_rel,mem_rel` with one line
@@ -280,6 +323,23 @@ mod tests {
         let max = *pod_counts.last().unwrap();
         assert!(median <= 5, "median pods/user = {median}");
         assert!(max >= 50, "max pods/user = {max}");
+    }
+
+    #[test]
+    fn stream_matches_materialized_trace() {
+        let t = synthetic_trace(120, 11);
+        let streamed: Vec<TraceUser> = TraceStream::new(120, 11).collect();
+        assert_eq!(t.users, streamed);
+    }
+
+    #[test]
+    fn stream_reports_remaining() {
+        let mut s = TraceStream::new(3, 1);
+        assert_eq!(s.len(), 3);
+        s.next().unwrap();
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.by_ref().count(), 2);
+        assert!(s.next().is_none());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 extern crate nestless_cloudsim as cloudsim;
 
+use cloudsim::trace::TraceStream;
 use cloudsim::{
-    cheapest_fitting, hostlo_improve, kube_schedule, parse_csv, Res, Trace, TraceContainer,
-    TracePod, TraceUser, LARGEST, M5_CATALOG,
+    cheapest_fitting, hostlo_improve, kube_schedule, parse_csv, synthetic_trace, FreeCapIndex,
+    PlacePolicy, Res, TieBreak, Trace, TraceContainer, TracePod, TraceUser, LARGEST, M5_CATALOG,
 };
 use proptest::prelude::*;
 
@@ -41,7 +42,7 @@ proptest! {
                 .vms
                 .iter()
                 .enumerate()
-                .filter(|(_, v)| v.containers.iter().any(|&(p, _, _)| p == pod_idx))
+                .filter(|(_, v)| v.containers().iter().any(|&(p, _, _)| p == pod_idx))
                 .map(|(i, _)| i)
                 .collect();
             prop_assert_eq!(homes.len(), 1, "pod {} split by the baseline", pod_idx);
@@ -88,6 +89,68 @@ proptest! {
         prop_assert_eq!((a + b) - b, a);
         prop_assert!(a.fits_in(a + b));
         prop_assert_eq!(a.saturating_sub(a), Res::ZERO);
+    }
+
+    /// The streaming generator is bit-identical to the materialized
+    /// trace for any `(users, seed)`: same users, same order.
+    #[test]
+    fn streaming_equals_materialized(users in 1usize..60, seed in 0u64..1_000) {
+        let t = synthetic_trace(users, seed);
+        let streamed: Vec<TraceUser> = TraceStream::new(users, seed).collect();
+        prop_assert_eq!(t.users, streamed);
+    }
+
+    /// Under arbitrary insert/remove/update churn the incremental index
+    /// (a) picks exactly what the exhaustive scan picks for every policy
+    /// and tie-break, (b) never yields an infeasible placement, and
+    /// (c) reproduces the orchestrator's legacy f64 query bit-exactly.
+    #[test]
+    fn index_matches_naive_under_churn(
+        ops in prop::collection::vec((0u8..4, 0u64..8_000, 0u64..32_000), 1..80),
+        req_cpu in 0u64..10_000,
+        req_mem in 0u64..40_000,
+    ) {
+        const POLICIES: [PlacePolicy; 3] =
+            [PlacePolicy::MostRequested, PlacePolicy::BinPack, PlacePolicy::Spread];
+        const TIES: [TieBreak; 2] = [TieBreak::SmallestId, TieBreak::LargestId];
+        let mut idx = FreeCapIndex::new();
+        let mut live: Vec<u32> = Vec::new();
+        for (step, &(op, a, b)) in ops.iter().enumerate() {
+            match op {
+                0 => live.push(idx.insert(Res::new(a, b), Res::ZERO)),
+                1 => live.push(idx.insert(Res::new(a, b), Res::new(a / 2, b / 3))),
+                2 if !live.is_empty() => {
+                    let i = (a as usize) % live.len();
+                    idx.remove(live.swap_remove(i));
+                }
+                _ if !live.is_empty() => {
+                    let id = live[(a as usize) % live.len()];
+                    let cap = idx.cap(id);
+                    idx.update_used(id, Res::new(b % (cap.cpu_m + 1), (a ^ b) % (cap.mem_mib + 1)));
+                }
+                _ => live.push(idx.insert(Res::new(b, a), Res::ZERO)),
+            }
+            // Vary the probe per step so queries hit many regimes.
+            let req = Res::new(req_cpu.rotate_left(step as u32) % 10_000, req_mem % (b + 1));
+            for p in POLICIES {
+                for t in TIES {
+                    let fast = idx.pick(req, p, t);
+                    let slow = idx.pick_naive(req, p, t);
+                    prop_assert_eq!(fast, slow, "step {} policy {:?} tie {:?}", step, p, t);
+                    if let Some(id) = fast {
+                        prop_assert!(
+                            req.fits_in(idx.cap(id).saturating_sub(idx.used(id))),
+                            "infeasible pick at step {}", step
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(
+                idx.pick_most_requested_f64(req),
+                idx.pick_most_requested_f64_naive(req),
+                "legacy f64 divergence at step {}", step
+            );
+        }
     }
 
     /// A trace serialized to CSV parses back identically.

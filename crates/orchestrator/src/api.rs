@@ -6,6 +6,7 @@ use crate::cni::{
 use crate::node::{Node, NodeId};
 use crate::pod::{PodId, PodSpec};
 use crate::scheduler::{Placement, SchedError, Scheduler};
+use cloudsim::{FreeCapIndex, Res};
 use contd::{Image, NetworkMode};
 use simnet::StopCondition;
 use std::fmt;
@@ -57,6 +58,10 @@ pub struct ControlPlane {
     pods: Vec<PodRecord>,
     scheduler: Box<dyn Scheduler>,
     cni: Box<dyn CniPlugin>,
+    /// Incremental free-capacity index mirroring `nodes` (node `i` is
+    /// index id `i`), kept in sync at every allocation change so
+    /// schedulers can skip the full-node rescan.
+    index: FreeCapIndex,
 }
 
 impl ControlPlane {
@@ -74,14 +79,32 @@ impl ControlPlane {
             pods: Vec::new(),
             scheduler,
             cni,
+            index: FreeCapIndex::new(),
         }
     }
 
     /// Registers a VM as a schedulable node.
     pub fn register_node(&mut self, vmm: &Vmm, vm: VmId) -> NodeId {
         let node = Node::from_vm(vm, &vmm.vm(vm).spec);
+        let cap = Res::new(node.capacity.cpu_millis, node.capacity.memory_mib);
         self.nodes.push(node);
+        let id = self.index.insert(cap, Res::ZERO);
+        debug_assert_eq!(id as usize, self.nodes.len() - 1, "index mirrors registry");
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// The free-capacity index over the registry (node `i` is id `i`).
+    pub fn index(&self) -> &FreeCapIndex {
+        &self.index
+    }
+
+    /// Re-syncs one node's allocation total into the index.
+    fn sync_index(&mut self, node: NodeId) {
+        let n = &self.nodes[node.0];
+        self.index.update_used(
+            node.0 as u32,
+            Res::new(n.allocated.cpu_millis, n.allocated.memory_mib),
+        );
     }
 
     /// Registered nodes.
@@ -120,6 +143,10 @@ impl ControlPlane {
                     .saturating_sub(c.resources.memory_mib),
             );
         }
+        let touched = self.pods[id.0 as usize].placement.assignments.clone();
+        for node in touched {
+            self.sync_index(node);
+        }
     }
 
     /// Live (non-deleted) pods.
@@ -144,6 +171,7 @@ impl ControlPlane {
         let drained_vm = self.nodes[node.0].vm;
         self.nodes[node.0].capacity = contd::ResourceRequest::default();
         self.nodes[node.0].allocated = contd::ResourceRequest::default();
+        self.index.reset(node.0 as u32, Res::ZERO, Res::ZERO);
 
         let victims: Vec<PodId> = self
             .pods
@@ -183,7 +211,7 @@ impl ControlPlane {
     ) -> Result<PodId, DeployError> {
         let placement = self
             .scheduler
-            .place(&spec, &self.nodes)
+            .place_indexed(&spec, &self.nodes, &self.index)
             .map_err(DeployError::Unschedulable)?;
         assert_eq!(
             placement.assignments.len(),
@@ -194,6 +222,9 @@ impl ControlPlane {
         // Commit resource allocations.
         for (c, &node) in spec.containers.iter().zip(&placement.assignments) {
             self.nodes[node.0].allocate(c.resources);
+        }
+        for &node in &placement.assignments {
+            self.sync_index(node);
         }
 
         // Resolve node -> VM for the CNI plugin.
@@ -227,6 +258,9 @@ impl ControlPlane {
                                 .memory_mib
                                 .saturating_sub(c.resources.memory_mib),
                         );
+                    }
+                    for &node in &placement.assignments {
+                        self.sync_index(node);
                     }
                     return Err(DeployError::Network(e));
                 }
@@ -539,6 +573,40 @@ mod tests {
         assert_eq!(calls.get(), 1 + ControlPlane::CNI_RETRIES);
         // Allocations rolled back even on retryable exhaustion.
         assert_eq!(cp.nodes()[0].allocated, ResourceRequest::default());
+    }
+
+    /// Regression for the index-backed control plane: on the seed
+    /// topology, every placement across deploy/delete/drain churn is
+    /// exactly what the legacy full-node scan would have chosen.
+    #[test]
+    fn indexed_placements_unchanged_on_seed_topology() {
+        let (mut vmm, mut engines, mut cp) = cluster(3);
+        let mut ctx = ClusterCtx {
+            vmm: &mut vmm,
+            engines: &mut engines,
+        };
+        let mut ids = Vec::new();
+        for (name, cpu) in [("a", 500), ("b", 1200), ("c", 700), ("d", 300), ("e", 900)] {
+            let spec = pod(name, cpu);
+            let expect = MostRequestedScheduler.place(&spec, cp.nodes()).unwrap();
+            let id = cp.deploy_pod(&mut ctx, spec).unwrap();
+            assert_eq!(cp.pod(id).placement, expect, "pod {name}");
+            ids.push(id);
+        }
+        // Free capacity and verify the next decision still matches.
+        cp.delete_pod(ids[1]);
+        let spec = pod("f", 800);
+        let expect = MostRequestedScheduler.place(&spec, cp.nodes()).unwrap();
+        let id = cp.deploy_pod(&mut ctx, spec).unwrap();
+        assert_eq!(cp.pod(id).placement, expect, "pod f after delete");
+        // Drain (capacity drops to zero) and verify again.
+        let drained = cp.pod(ids[0]).placement.assignments[0];
+        cp.drain_node(&mut ctx, drained);
+        let spec = pod("g", 400);
+        let expect = MostRequestedScheduler.place(&spec, cp.nodes()).unwrap();
+        let id = cp.deploy_pod(&mut ctx, spec).unwrap();
+        assert_eq!(cp.pod(id).placement, expect, "pod g after drain");
+        assert_ne!(cp.pod(id).placement.assignments[0], drained);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   runner actually has ≥ 4 cores; and when the baseline was recorded on
 //!   a runner with the same core count, per-row peak speedups may not
 //!   regress by more than 15%.
+//! * `cloudsim_hyperscale.json` — the indexed and naive placement engines
+//!   must produce bit-equal decision digests; the paired placements/s
+//!   ratio must stay ≥ 10x and may not regress by more than 15% against
+//!   the baseline; artifacts carrying a `full` certification section must
+//!   show a completed ≥1M-user / ≥10M-pod replay whose peak heap stayed
+//!   within the recorded growth ceiling of the 100k-user probe.
 //!
 //! Usage:
 //!
@@ -41,6 +47,11 @@ const SCALING_FLOOR: f64 = 2.0;
 /// gate floors at 5x so a noisy runner cannot flake the build while a
 /// broken fast path (≈1x) still fails loudly.
 const HYBRID_FLOOR: f64 = 5.0;
+/// Cloudsim bucket-index floor: the paired placements/s ratio at the
+/// 100k-user scenario scale. The pairing makes the ratio
+/// machine-independent (both legs replay the identical event prefix on
+/// the same runner), so the acceptance target is gated directly.
+const CLOUDSIM_FLOOR: f64 = 10.0;
 
 #[derive(Default)]
 struct Gate {
@@ -257,6 +268,99 @@ fn check_hybrid(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
     }
 }
 
+/// Gate the hyperscale cloudsim replay: identical decisions between the
+/// indexed and naive engines, the absolute paired speedup floor, no
+/// speedup regression against the baseline, and — when the artifact
+/// carries a `full` certification section (the committed baseline does;
+/// CI-scale reruns omit it) — the million-user completion and memory
+/// bound.
+fn check_cloudsim(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
+    let Some(paired) = cur.get("paired") else {
+        gate.fail("cloudsim results have no paired section".to_string());
+        return;
+    };
+    if bool_at(paired, "digest_equal") != Some(true) {
+        gate.fail(
+            "cloudsim paired: indexed and naive engines disagree on placements \
+             (decision digests differ)"
+                .to_string(),
+        );
+    } else {
+        println!("perfgate: ok: cloudsim paired decision digests bit-identical");
+    }
+    match f64_at(paired, "ratio_median") {
+        None => gate.fail("cloudsim paired results have no ratio_median".to_string()),
+        Some(ratio) => {
+            if ratio < CLOUDSIM_FLOOR {
+                gate.fail(format!(
+                    "cloudsim paired speedup {ratio:.2} below the {CLOUDSIM_FLOOR}x floor"
+                ));
+            } else {
+                println!(
+                    "perfgate: ok: cloudsim paired speedup {ratio:.2} (floor {CLOUDSIM_FLOOR})"
+                );
+            }
+            if let Some(bs) = base
+                .and_then(|b| b.get("paired"))
+                .and_then(|p| f64_at(p, "ratio_median"))
+            {
+                gate.ratio_floor("cloudsim ratio_median", ratio, bs);
+            }
+        }
+    }
+    match cur.get("full") {
+        None | Some(Value::Null) => {
+            println!("perfgate: skip: cloudsim artifact has no full certification section");
+        }
+        Some(full) => {
+            match full.get("run") {
+                None => gate.fail("cloudsim full section has no run".to_string()),
+                Some(run) => {
+                    if bool_at(run, "completed") != Some(true) {
+                        gate.fail("cloudsim full run did not complete".to_string());
+                    }
+                    let users = f64_at(run, "users").unwrap_or(0.0);
+                    if users < 1_000_000.0 {
+                        gate.fail(format!(
+                            "cloudsim full run replayed {users:.0} users (< 1M)"
+                        ));
+                    }
+                    let pods = f64_at(run, "pods_placed").unwrap_or(0.0);
+                    if pods < 10_000_000.0 {
+                        gate.fail(format!("cloudsim full run placed {pods:.0} pods (< 10M)"));
+                    }
+                    if users >= 1_000_000.0 && pods >= 10_000_000.0 {
+                        println!(
+                            "perfgate: ok: cloudsim full run: {users:.0} users, {pods:.0} pods"
+                        );
+                    }
+                }
+            }
+            match full.get("mem").and_then(|m| f64_at(m, "growth_ratio")) {
+                None => gate.fail("cloudsim full section has no mem.growth_ratio".to_string()),
+                Some(growth) => {
+                    let ceil = full
+                        .get("mem")
+                        .and_then(|m| f64_at(m, "growth_ceiling"))
+                        .unwrap_or(1.5);
+                    if growth > ceil {
+                        gate.fail(format!(
+                            "cloudsim peak heap grew {growth:.3}x from 100k to 1M users \
+                             (ceiling {ceil}): live state is no longer constant in the \
+                             user count"
+                        ));
+                    } else {
+                        println!(
+                            "perfgate: ok: cloudsim peak-heap growth {growth:.3}x \
+                             (ceiling {ceil})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn run_check(results: &Path, baselines: &Path) -> ExitCode {
     let mut gate = Gate::default();
     match (
@@ -277,6 +381,13 @@ fn run_check(results: &Path, baselines: &Path) -> ExitCode {
         Ok(cur) => {
             let base = load(&baselines.join("engine_hybrid.json")).ok();
             check_hybrid(&mut gate, &cur, base.as_ref());
+        }
+        Err(e) => gate.fail(e),
+    }
+    match load(&results.join("cloudsim_hyperscale.json")) {
+        Ok(cur) => {
+            let base = load(&baselines.join("cloudsim_hyperscale.json")).ok();
+            check_cloudsim(&mut gate, &cur, base.as_ref());
         }
         Err(e) => gate.fail(e),
     }
@@ -355,6 +466,38 @@ fn selftest() -> ExitCode {
     // failures for the stripped-down fixture).
     let caught_hybrid_regression = gate.failures.iter().any(|f| f.contains("speedup_median"));
 
+    // Cloudsim gate: a placement divergence, a dead speedup, an
+    // incomplete / undersized certification run, and a memory blow-up
+    // must all be caught.
+    let bad_cloudsim = fixture(
+        r#"{"paired": {"digest_equal": false, "ratio_median": 3.0},
+            "full": {
+                "run": {"completed": false, "users": 500000, "pods_placed": 4000000},
+                "mem": {"growth_ratio": 2.4, "growth_ceiling": 1.5}
+            }}"#,
+    );
+    let mut gate = Gate::default();
+    check_cloudsim(&mut gate, &bad_cloudsim, None);
+    // Exactly six failures: digest, speedup floor, completed, users,
+    // pods, memory growth.
+    let caught_cloudsim = gate.failures.len() == 6;
+
+    let ok_cloudsim = fixture(
+        r#"{"paired": {"digest_equal": true, "ratio_median": 30.0},
+            "full": {
+                "run": {"completed": true, "users": 1000000, "pods_placed": 15000000},
+                "mem": {"growth_ratio": 1.1, "growth_ceiling": 1.5}
+            }}"#,
+    );
+    // A CI-scale rerun omits the full section; that must not fail.
+    let ok_cloudsim_ci =
+        fixture(r#"{"paired": {"digest_equal": true, "ratio_median": 28.0}, "full": null}"#);
+    let regressed_cloudsim = fixture(r#"{"paired": {"digest_equal": true, "ratio_median": 20.0}}"#);
+    let mut gate = Gate::default();
+    check_cloudsim(&mut gate, &regressed_cloudsim, Some(&ok_cloudsim));
+    // 20.0 clears the absolute floor but is a >15% regression vs 30.0.
+    let caught_cloudsim_regression = gate.failures.iter().any(|f| f.contains("ratio_median"));
+
     let ok_sweep = fixture(
         r#"{"host_cores": 1, "sweep": [
             {"mode": "conservative", "shards_wanted": 4, "shards_got": 4,
@@ -365,9 +508,18 @@ fn selftest() -> ExitCode {
     check_observability(&mut gate, &base, &base);
     check_multicore(&mut gate, &ok_sweep, None);
     check_hybrid(&mut gate, &ok_hybrid, Some(&ok_hybrid));
+    check_cloudsim(&mut gate, &ok_cloudsim, Some(&ok_cloudsim));
+    check_cloudsim(&mut gate, &ok_cloudsim_ci, Some(&ok_cloudsim));
     let clean_passes = gate.failures.is_empty();
 
-    if caught_ratio && caught_sweep && caught_hybrid && caught_hybrid_regression && clean_passes {
+    if caught_ratio
+        && caught_sweep
+        && caught_hybrid
+        && caught_hybrid_regression
+        && caught_cloudsim
+        && caught_cloudsim_regression
+        && clean_passes
+    {
         println!("perfgate: selftest passed (regressions caught, clean run passes)");
         ExitCode::SUCCESS
     } else {
@@ -375,6 +527,8 @@ fn selftest() -> ExitCode {
             "perfgate: selftest FAILED (ratio caught: {caught_ratio}, \
              sweep caught: {caught_sweep}, hybrid caught: {caught_hybrid}, \
              hybrid regression caught: {caught_hybrid_regression}, \
+             cloudsim caught: {caught_cloudsim}, \
+             cloudsim regression caught: {caught_cloudsim_regression}, \
              clean passes: {clean_passes})"
         );
         ExitCode::FAILURE
