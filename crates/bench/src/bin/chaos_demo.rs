@@ -34,8 +34,8 @@ use simnet::frame::Payload;
 use simnet::nat::Proto;
 use simnet::shared::SharedStation;
 use simnet::{
-    snapshot_network, FaultPlan, LinkFault, LinkFaultKind, MacAddr, SimDuration, SimTime, SockAddr,
-    StallWindow, StopCondition,
+    snapshot_network, telemetry_network, FaultPlan, JournalKind, LinkFault, LinkFaultKind, MacAddr,
+    SimDuration, SimTime, SockAddr, StallWindow, StopCondition, TelemetryConfig,
 };
 
 /// Interval between client requests.
@@ -245,6 +245,13 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
         .vmm
         .network_mut()
         .set_trace_config(TraceConfig::full());
+    // A deliberately tiny journal ring: the run emits more control-plane
+    // records than 4, so the export below MUST surface a nonzero drop
+    // count (silent truncation is the bug class this demo gates on).
+    cluster
+        .vmm
+        .network_mut()
+        .set_telemetry_config(TelemetryConfig::full().with_journal_cap(4));
 
     // The fault schedule must be installed before the first event runs.
     let plan = FaultPlan::new()
@@ -358,6 +365,41 @@ fn run_brfusion(seed: u64) -> BrFusionReport {
         .and_then(|()| std::fs::write("results/chaos_demo.snapshot.json", &snapshot_json))
     {
         die(&format!("writing results/: {e}"));
+    }
+
+    // The unified telemetry export must surface the fault counters, the
+    // control-plane journal (per-kind counts survive the capped ring),
+    // and — because the 4-slot ring overflowed — an honest drop count.
+    let telem = telemetry_network(cluster.vmm.network(), "chaos_demo.brfusion");
+    let telem_json = round_trip("TelemetrySnapshot", &telem);
+    if let Err(e) = std::fs::write("results/chaos_demo.telemetry.json", &telem_json) {
+        die(&format!("writing results/chaos_demo.telemetry.json: {e}"));
+    }
+    if telem.counters.get("fault.lost").copied().unwrap_or(0) == 0 {
+        die("fault.lost must surface in the telemetry snapshot counters");
+    }
+    if telem.counters.get("fault.link_down").copied().unwrap_or(0) == 0 {
+        die("fault.link_down must surface in the telemetry snapshot counters");
+    }
+    if telem.journal_count(JournalKind::FaultOpen) == 0
+        || telem.journal_count(JournalKind::FaultOpen)
+            != telem.journal_count(JournalKind::FaultClose)
+    {
+        die("every journaled fault window must open and close");
+    }
+    if telem.journal_count(JournalKind::QmpOutage) != 1 {
+        die("the injected QMP outage must be journaled exactly once");
+    }
+    if telem.journal_count(JournalKind::CniDegrade) != 1
+        || telem.journal_count(JournalKind::CniRepromote) != 1
+    {
+        die("the degrade/re-promote cycle must be journaled");
+    }
+    if telem.journal.len() != 4 {
+        die("the 4-slot journal ring must keep exactly its capacity");
+    }
+    if telem.drops.journal == 0 {
+        die("a journal ring at capacity must expose its drop count");
     }
 
     BrFusionReport {

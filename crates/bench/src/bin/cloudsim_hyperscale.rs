@@ -30,8 +30,17 @@
 //!
 //! Defaults: 3 reps at 100,000 users, no full run (CI scale). The
 //! committed artifact is produced with `-- 3 100000 --full`.
+//!
+//! One indexed replay (the MostRequested shootout leg, or the `--full`
+//! certification run) is instrumented through the unified telemetry
+//! registry; its [`metrics::TelemetrySnapshot`] lands in
+//! `results/cloudsim_hyperscale.telemetry.json`. The decision digest
+//! stays bit-identical: telemetry fills *after* the replay, never in it.
 
-use cloudsim::{run_hyperscale, HyperConfig, HyperReport, PlacePolicy};
+use cloudsim::{
+    run_hyperscale, run_hyperscale_with_telemetry, HyperConfig, HyperReport, PlacePolicy,
+};
+use metrics::TelemetryRegistry;
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -269,6 +278,11 @@ fn main() {
     let shootout_users = if full { FULL_USERS } else { users / 10 };
     let mut shootout = Vec::new();
 
+    // One replay feeds the unified telemetry registry; the snapshot is
+    // written next to the results JSON below.
+    let mut reg = TelemetryRegistry::new();
+    let mut telemetry_label = String::new();
+
     // `--full`: certify memory first — peak heap of a complete 100k-user
     // replay, then of the 1M-user replay, same policy and rates.
     let mut full_out = None;
@@ -283,10 +297,16 @@ fn main() {
         drop(probe);
 
         reset_peak();
-        let (run, secs) = timed(&HyperConfig {
-            users: FULL_USERS,
-            ..HyperConfig::default()
-        });
+        let start = Instant::now();
+        let run = run_hyperscale_with_telemetry(
+            &HyperConfig {
+                users: FULL_USERS,
+                ..HyperConfig::default()
+            },
+            &mut reg,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        telemetry_label = format!("cloudsim_hyperscale.full_{FULL_USERS}");
         let full_peak = peak_bytes();
         let growth = full_peak as f64 / probe_peak as f64;
         println!(
@@ -333,11 +353,19 @@ fn main() {
             shootout.push(run.clone());
             continue;
         }
-        let (report, secs) = timed(&HyperConfig {
+        let cfg = HyperConfig {
             users: shootout_users.max(1_000),
             policy,
             ..HyperConfig::default()
-        });
+        };
+        let (report, secs) = if policy == PlacePolicy::MostRequested {
+            let start = Instant::now();
+            let r = run_hyperscale_with_telemetry(&cfg, &mut reg);
+            telemetry_label = format!("cloudsim_hyperscale.{policy:?}_{}", cfg.users);
+            (r, start.elapsed().as_secs_f64())
+        } else {
+            timed(&cfg)
+        };
         println!(
             "shootout {policy:?}: cost ${:.0}, peak {} VMs / {} pods, {} ticks in {secs:.1}s",
             report.total_cost, report.peak_vms, report.peak_live_pods, report.ticks
@@ -367,6 +395,24 @@ fn main() {
     {
         eprintln!("warning: could not write results/cloudsim_hyperscale.json: {e}");
     }
+
+    let snap = reg.snapshot(&telemetry_label, "full");
+    assert!(
+        snap.counters.get("hyper.placements").copied().unwrap_or(0) > 0,
+        "the instrumented replay must surface hyper.placements in the telemetry snapshot"
+    );
+    assert!(
+        snap.series.iter().any(|s| !s.points.is_empty()),
+        "the instrumented replay must export decision-curve series"
+    );
+    let telemetry_json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    if let Err(e) = std::fs::write(
+        "results/cloudsim_hyperscale.telemetry.json",
+        &telemetry_json,
+    ) {
+        eprintln!("warning: could not write results/cloudsim_hyperscale.telemetry.json: {e}");
+    }
+    println!("telemetry: {telemetry_label} -> results/cloudsim_hyperscale.telemetry.json");
 
     assert!(
         ratio_median >= SPEEDUP_FLOOR,

@@ -27,15 +27,15 @@
 //! `scenario` is `all` (default), `bridge`, `multihost`, `observability`
 //! or `multicore` — CI jobs use it to run exactly the slice they gate on.
 
-use metrics::{CpuCategory, CpuLocation, TraceConfig};
+use metrics::{CpuCategory, CpuLocation, TelemetryConfig, TraceConfig};
 use simnet::bridge::Bridge;
 use simnet::costs::StageCost;
-use simnet::device::PortId;
+use simnet::device::{DeviceId, PortId};
 use simnet::engine::{LinkParams, Network, SampleStore};
 use simnet::shared::SharedStation;
 use simnet::testutil::{build_multihost, frame_between, CaptureSink, MultihostSpec};
 use simnet::StopCondition;
-use simnet::{MacAddr, ShardedNetwork, SimDuration, SimTime};
+use simnet::{FaultPlan, MacAddr, ShardedNetwork, SimDuration, SimTime, StallWindow};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -210,55 +210,113 @@ fn multihost_sharded(reps: usize) {
     }
 }
 
-/// Flight-recorder overhead: the same multihost workload under each
-/// [`TraceConfig`] mode. `off` is the engine default, so its rate *is*
-/// the baseline every other benchmark in this binary measures — the row
-/// exists to make the "tracing off costs nothing" claim checkable from
-/// the JSON (`off` must stay within a few percent of the
-/// `multihost_sharded` sequential median from the same run).
+/// Observability overhead: the same multihost workload under each
+/// flight-recorder [`TraceConfig`] mode *and* each telemetry-plane
+/// [`TelemetryConfig`] mode. `off` (both planes off) is the engine
+/// default, so its rate *is* the baseline every other benchmark in this
+/// binary measures.
+///
+/// Every row runs at packet fidelity (hybrid would let trace-full rows
+/// pin traced frames to packet level while telemetry rows ride the fast
+/// path, comparing different effective engines) and installs the same
+/// benign mid-horizon stall plan: fault-window open/close transitions
+/// are journal record sites, so `telemetry_full` measures a branch that
+/// actually appends records instead of a dead one.
+///
+/// `telemetry_off` is measured as its own row even though it is
+/// config-identical to `off`: its ratio is the "telemetry off costs
+/// nothing" claim the perf gate floors at 0.95 (`check_telemetry` in
+/// `tools/perfgate.rs`).
 fn observability_overhead(reps: usize) {
+    /// Devices carrying the benign stall window (journal record sites).
+    const FAULTED_DEVICES: usize = 8;
     struct Mode {
         label: &'static str,
-        cfg: fn() -> TraceConfig,
+        trace: fn() -> TraceConfig,
+        telemetry: fn() -> TelemetryConfig,
     }
     let modes = [
         Mode {
             label: "off",
-            cfg: TraceConfig::default,
+            trace: TraceConfig::default,
+            telemetry: TelemetryConfig::off,
         },
         Mode {
             label: "counters",
-            cfg: TraceConfig::counters,
+            trace: TraceConfig::counters,
+            telemetry: TelemetryConfig::off,
         },
         Mode {
             label: "full",
-            cfg: TraceConfig::full,
+            trace: TraceConfig::full,
+            telemetry: TelemetryConfig::off,
+        },
+        Mode {
+            label: "telemetry_off",
+            trace: TraceConfig::default,
+            telemetry: TelemetryConfig::off,
+        },
+        Mode {
+            label: "telemetry_counters",
+            trace: TraceConfig::default,
+            telemetry: TelemetryConfig::counters,
+        },
+        Mode {
+            label: "telemetry_full",
+            trace: TraceConfig::default,
+            telemetry: TelemetryConfig::full,
+        },
+        Mode {
+            label: "both_full",
+            trace: TraceConfig::full,
+            telemetry: TelemetryConfig::full,
         },
     ];
 
-    build_multihost_net().run(StopCondition::Until(MULTIHOST_HORIZON)); // warm-up
+    let build = || {
+        let mut net = build_multihost_net();
+        let mut plan = FaultPlan::new();
+        for d in 0..FAULTED_DEVICES {
+            plan = plan.stall(StallWindow {
+                dev: DeviceId(d),
+                from: SimTime(500_000),
+                until: SimTime(1_000_000),
+                extra: SimDuration::nanos(50),
+            });
+        }
+        net.install_fault_plan(plan);
+        net
+    };
+    build().run(StopCondition::Until(MULTIHOST_HORIZON)); // warm-up
     let mut rows = Vec::new();
     let mut off_median = None;
     for mode in &modes {
         let mut rates = Vec::with_capacity(reps);
         let mut spans_emitted = 0;
         let mut stage_rows = 0;
+        let mut journal_records = 0u64;
+        let mut journal_emitted = 0u64;
         for _ in 0..reps {
-            let mut net = build_multihost_net();
-            net.set_trace_config((mode.cfg)());
+            let mut net = build();
+            net.set_trace_config((mode.trace)());
+            net.set_telemetry_config((mode.telemetry)());
             let start = Instant::now();
             net.run(StopCondition::Until(MULTIHOST_HORIZON));
             let elapsed = start.elapsed();
             rates.push(net.events_processed() as f64 / elapsed.as_secs_f64());
             spans_emitted = net.spans_emitted();
             stage_rows = net.stages().iter().count();
+            journal_records = net.journal().len() as u64;
+            journal_emitted = net.journal().counts().iter().sum::<u64>();
         }
         let (median, peak) = summarize(rates);
         let off = *off_median.get_or_insert(median);
         rows.push(format!(
             "{{\"mode\":\"{}\",\"events_per_sec_median\":{median:.0},\
              \"events_per_sec_peak\":{peak:.0},\"relative_to_off_median\":{:.3},\
-             \"spans_emitted_per_rep\":{spans_emitted},\"stage_rows\":{stage_rows}}}",
+             \"spans_emitted_per_rep\":{spans_emitted},\"stage_rows\":{stage_rows},\
+             \"journal_records_per_rep\":{journal_records},\
+             \"journal_emitted_per_rep\":{journal_emitted}}}",
             mode.label,
             median / off
         ));
@@ -267,10 +325,10 @@ fn observability_overhead(reps: usize) {
     let json = format!(
         "{{\n  \"benchmark\": \"engine_throughput (crates/bench/src/bin/engine_throughput.rs)\",\n  \
          \"scenario\": \"observability_overhead\",\n  \
-         \"topology\": {{\"hosts\": 4, \"local_flows\": 4, \"uplink_latency_ns\": 20000, \"loss\": 0.0}},\n  \
+         \"topology\": {{\"hosts\": 4, \"local_flows\": 4, \"uplink_latency_ns\": 20000, \"loss\": 0.0, \"stall_windows\": {FAULTED_DEVICES}}},\n  \
          \"sim_horizon_ns\": {},\n  \"reps\": {reps},\n  \
          \"modes\": [\n    {}\n  ],\n  \
-         \"note\": \"off is the engine default (every device still calls DevCtx::stage_frame, which early-returns); counters adds per-stage integer aggregates + a fixed histogram; full additionally mints trace ids and records one span per stage visit into the bounded ring.\"\n}}\n",
+         \"note\": \"off is the engine default (every device still calls DevCtx::stage_frame, which early-returns); counters adds per-stage integer aggregates + a fixed histogram; full additionally mints trace ids and records one span per stage visit into the bounded ring. telemetry_* rows sweep the control-plane journal the same way: off is one branch per record site, counters bumps a fixed per-kind array, full additionally appends tagged records into the bounded journal ring. Every row installs the same benign stall plan so fault-window transitions keep the journal record sites live. telemetry_off is config-identical to off; its ratio is the telemetry-off-costs-nothing claim gated at 0.95 by check_telemetry.\"\n}}\n",
         MULTIHOST_HORIZON.0,
         rows.join(",\n    ")
     );

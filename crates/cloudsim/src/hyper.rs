@@ -22,6 +22,7 @@ use crate::catalog::cheapest_fitting;
 use crate::index::{FreeCapIndex, PlacePolicy, TieBreak};
 use crate::resources::Res;
 use crate::trace::TraceStream;
+use metrics::TelemetryRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -625,6 +626,23 @@ impl Engine {
 /// Panics if the trace emits a pod no catalog model can host (the
 /// generator guarantees otherwise).
 pub fn run_hyperscale(cfg: &HyperConfig) -> HyperReport {
+    run_hyperscale_inner(cfg, None)
+}
+
+/// Same replay as [`run_hyperscale`], additionally folding the decision
+/// metrics into `reg`: placement/fleet counters, a `hyper.placements_per_tick`
+/// gauge, the end-of-replay [`FreeCapIndex::bucket_occupancy`] histogram,
+/// and the fleet curve as tick series (the x axis carries the tick
+/// number). The replay itself is untouched — equal digests with the
+/// registry-less run.
+pub fn run_hyperscale_with_telemetry(
+    cfg: &HyperConfig,
+    reg: &mut TelemetryRegistry,
+) -> HyperReport {
+    run_hyperscale_inner(cfg, Some(reg))
+}
+
+fn run_hyperscale_inner(cfg: &HyperConfig, reg: Option<&mut TelemetryRegistry>) -> HyperReport {
     let mut stream = ScenarioStream::new(cfg);
     let mut eng = Engine::new(cfg);
     let mut completed = true;
@@ -668,7 +686,7 @@ pub fn run_hyperscale(cfg: &HyperConfig) -> HyperReport {
                 eng.vm_price[vm as usize] * (eng.now - eng.vm_bought_at[vm as usize]) as f64;
         }
     }
-    HyperReport {
+    let report = HyperReport {
         policy: format!("{:?}", cfg.policy),
         naive: cfg.naive,
         users: stream.users_started(),
@@ -685,6 +703,59 @@ pub fn run_hyperscale(cfg: &HyperConfig) -> HyperReport {
         shapes: eng.shapes.len(),
         digest: eng.digest,
         curve: eng.curve,
+    };
+    if let Some(reg) = reg {
+        fill_registry(reg, &report, &eng.idx);
+    }
+    report
+}
+
+/// Folds one finished replay into the registry (see
+/// [`run_hyperscale_with_telemetry`]).
+fn fill_registry(reg: &mut TelemetryRegistry, report: &HyperReport, idx: &FreeCapIndex) {
+    for (name, v) in [
+        ("hyper.users", report.users),
+        ("hyper.pods_placed", report.pods_placed),
+        ("hyper.placements", report.placements),
+        ("hyper.vms_bought", report.vms_bought),
+        ("hyper.reclaims", report.reclaims),
+        ("hyper.tenant_exits", report.tenant_exits),
+    ] {
+        let c = reg.counter(name);
+        reg.inc(c, v);
+    }
+    for (name, v) in [
+        ("hyper.peak_vms", report.peak_vms as f64),
+        ("hyper.peak_live_pods", report.peak_live_pods as f64),
+        ("hyper.shapes", report.shapes as f64),
+        (
+            "hyper.placements_per_tick",
+            report.placements as f64 / report.ticks.max(1) as f64,
+        ),
+    ] {
+        let g = reg.gauge(name);
+        reg.set(g, v);
+    }
+    let h = reg.hist("hyper.index_bucket_occupancy");
+    for n in idx.bucket_occupancy() {
+        reg.observe(h, n);
+    }
+    for (name, pick) in [
+        ("hyper.cost_per_h", 0usize),
+        ("hyper.util_cpu_pm", 1),
+        ("hyper.live_pods", 2),
+        ("hyper.live_vms", 3),
+    ] {
+        let s = reg.series(name);
+        for p in &report.curve {
+            let v = match pick {
+                0 => p.cost_per_h,
+                1 => p.util_cpu_pm as f64,
+                2 => p.live_pods as f64,
+                _ => p.live_vms as f64,
+            };
+            reg.sample(s, p.tick, v);
+        }
     }
 }
 

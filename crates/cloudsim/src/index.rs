@@ -161,6 +161,19 @@ impl FreeCapIndex {
         self.live == 0
     }
 
+    /// Live-member count of every non-empty grid cell across all
+    /// capacity classes — the raw occupancy distribution of the bucket
+    /// index, for telemetry histograms (a skewed distribution means the
+    /// grid is degenerating towards a linear scan).
+    pub fn bucket_occupancy(&self) -> Vec<u64> {
+        self.classes
+            .iter()
+            .flat_map(|k| k.cells.iter())
+            .filter(|c| !c.is_empty())
+            .map(|c| c.len() as u64)
+            .collect()
+    }
+
     /// Current usage of node `id`.
     ///
     /// # Panics

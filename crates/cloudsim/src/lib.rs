@@ -22,7 +22,8 @@ pub mod trace;
 
 pub use catalog::{cheapest_fitting, res_from_relative, VmModel, LARGEST, M5_CATALOG};
 pub use hyper::{
-    run_hyperscale, CurvePoint, HyperConfig, HyperReport, ScenarioEvent, ScenarioStream,
+    run_hyperscale, run_hyperscale_with_telemetry, CurvePoint, HyperConfig, HyperReport,
+    ScenarioEvent, ScenarioStream,
 };
 pub use index::{FreeCapIndex, PlacePolicy, TieBreak};
 pub use online::{

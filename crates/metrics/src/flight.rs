@@ -679,6 +679,8 @@ pub struct TraceArgs {
     pub parent: Option<String>,
     /// CPU ns charged during the span.
     pub cpu_ns: Option<u64>,
+    /// Counter value for `C` counter-track events.
+    pub value: Option<f64>,
 }
 
 /// One event in Chrome `trace_event` JSON (the subset Perfetto needs:
@@ -765,6 +767,26 @@ impl ChromeTrace {
         });
     }
 
+    /// Adds one point of a counter track as a `C` counter event, so
+    /// control-plane levels (ring occupancy, degraded pods, fast-path
+    /// rate) render as graphs above the span trees on the same Perfetto
+    /// timeline. `at_ns` is sim time in nanoseconds.
+    pub fn add_counter(&mut self, track: impl Into<String>, pid: u64, at_ns: u64, value: f64) {
+        self.traceEvents.push(TraceEvent {
+            ph: "C".into(),
+            name: track.into(),
+            cat: "telemetry".into(),
+            ts: at_ns as f64 / 1_000.0,
+            dur: 0.0,
+            pid,
+            tid: 0,
+            args: TraceArgs {
+                value: Some(value),
+                ..TraceArgs::default()
+            },
+        });
+    }
+
     /// Adds one span as an `X` complete event. `stage` is the resolved
     /// stage name; `pid`/`tid` locate it on the Perfetto timeline.
     pub fn add_span(&mut self, rec: &SpanRecord, stage: impl Into<String>, pid: u64, tid: u64) {
@@ -785,6 +807,7 @@ impl ChromeTrace {
                     Some(format!("{}:{}", rec.parent.src, rec.parent.seq))
                 },
                 cpu_ns: Some(rec.cpu_ns),
+                value: None,
             },
         });
     }

@@ -36,19 +36,21 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Bucket and total counts saturate at `u64::MAX`
+    /// instead of wrapping, so a pathological merge-then-record chain can
+    /// never corrupt totals.
     pub fn record(&mut self, x: f64) {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         if x < self.lo {
-            self.underflow += 1;
+            self.underflow = self.underflow.saturating_add(1);
         } else if x >= self.hi {
-            self.overflow += 1;
+            self.overflow = self.overflow.saturating_add(1);
         } else {
             let width = (self.hi - self.lo) / self.counts.len() as f64;
             let idx = ((x - self.lo) / width) as usize;
             // Guard against floating-point edge where x is a hair below hi.
             let idx = idx.min(self.counts.len() - 1);
-            self.counts[idx] += 1;
+            self.counts[idx] = self.counts[idx].saturating_add(1);
         }
     }
 
@@ -102,7 +104,8 @@ impl Histogram {
         above as f64 / in_range as f64
     }
 
-    /// Merges a histogram with identical geometry.
+    /// Merges a histogram with identical geometry. Counts saturate at
+    /// `u64::MAX` instead of wrapping.
     ///
     /// # Panics
     /// Panics if ranges or bin counts differ.
@@ -111,11 +114,11 @@ impl Histogram {
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
         assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.underflow += other.underflow;
-        self.overflow += other.overflow;
-        self.total += other.total;
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.total = self.total.saturating_add(other.total);
     }
 }
 

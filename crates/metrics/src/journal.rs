@@ -1,0 +1,506 @@
+//! Structured control-plane event journal: typed, intrinsically-tagged
+//! records for the decisions the packet-level flight recorder never sees
+//! — flow-table promotions, fault windows, CNI degrade/repair cycles,
+//! scheduler placements, coordinator rounds.
+//!
+//! Design constraints mirror the flight recorder (`flight.rs`):
+//!
+//! 1. *Determinism*: every record emitted from inside the engine is
+//!    tagged with the intrinsic tag of the event being processed
+//!    (`(sim time, source device, per-device seq)`), which is a pure
+//!    function of the simulation. The sharded engine frontier-merges
+//!    per-shard journals back into the exact sequential order, so the
+//!    deterministic lane is bit-identical for any shard count and under
+//!    optimistic synchronization (rolled-back records are rewound via
+//!    [`JournalMark`]).
+//! 2. *Hot-path cost*: a [`JournalRecord`] is `Copy` with three `u64`
+//!    operands; counters-only mode bumps a fixed per-kind array and
+//!    allocates nothing.
+//! 3. *Bounded memory*: [`JournalRing`] keeps the first `cap` records and
+//!    counts the rest — drops are exported, never silent.
+
+use serde::{Deserialize, Serialize};
+
+/// Intrinsic identity of a journal record: the tag of the simulation
+/// event whose processing emitted it.
+///
+/// Records emitted outside event processing (harness calls between runs)
+/// use `src == u32::MAX` (the engine's external source) with a dedicated
+/// monotonic sequence; coordinator-lane records use `src == u32::MAX - 1`.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JournalTag {
+    /// Simulation time in nanoseconds.
+    pub at_ns: u64,
+    /// Source device id of the emitting event.
+    pub src: u32,
+    /// Per-source sequence number of the emitting event.
+    pub seq: u64,
+}
+
+/// What a journal record describes. The discriminant is stable (records
+/// serialize the `u8` code) — append new kinds, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum JournalKind {
+    /// Coordinator round planned (`a` = round, `b` = shards dispatched,
+    /// `c` = global floor ns).
+    CoordRound,
+    /// Speculative window committed (`a` = round, `b` = shard).
+    CoordCommit,
+    /// Speculative window rolled back (`a` = round, `b` = shard).
+    CoordRollback,
+    /// Speculative result held past its round (`a` = round, `b` = shard).
+    CoordHold,
+    /// SPSC ring high-water mark at run end (`a` = producer shard,
+    /// `b` = consumer shard, `c` = peak occupancy).
+    RingHighWater,
+    /// Flow promoted to the fast path (`a` = flow hash, `b` = hop count).
+    FlowPromote,
+    /// Flow escalated back to packet fidelity (`a` = flow hash,
+    /// `b` = reason code from [`FlowEscalateReason`]).
+    FlowEscalate,
+    /// Flow pinned to packet fidelity (`a` = flow hash).
+    FlowPin,
+    /// Fault-plan window opened (`a` = device id, `b` = port,
+    /// `c` = window index).
+    FaultOpen,
+    /// Fault-plan window closed (`a` = device id, `b` = port,
+    /// `c` = window index).
+    FaultClose,
+    /// QMP management-socket outage began (`a` = from ns, `b` = until ns).
+    QmpOutage,
+    /// CNI parked a pod on a degraded fallback path (`a` = pod/nic id,
+    /// `b` = reason code).
+    CniDegrade,
+    /// CNI re-promoted a degraded pod to the preferred wiring
+    /// (`a` = pod/nic id, `b` = dwell ns).
+    CniRepromote,
+    /// CNI repair attempt (`a` = pod/nic id, `b` = 1 if it succeeded).
+    CniRepair,
+    /// Scheduler placed a pod (`a` = pod id, `b` = node id).
+    SchedPlace,
+    /// Scheduler drained a node (`a` = node id, `b` = pods moved).
+    SchedDrain,
+}
+
+/// Number of [`JournalKind`] variants (size of the per-kind count array).
+pub const JOURNAL_KINDS: usize = 16;
+
+/// Reason codes carried in `b` of a [`JournalKind::FlowEscalate`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowEscalateReason {
+    /// The learned path stopped confirming (route change, NAT rebinding).
+    PathChanged,
+    /// The flow went idle past the idle gap and must re-learn.
+    IdleGap,
+    /// A fault window covers the flow's first hop.
+    FaultWindow,
+    /// The device pipelined/reordered, disqualifying the shortcut.
+    Pipelined,
+}
+
+impl JournalKind {
+    /// Stable lowercase label (used in snapshots and Prometheus names).
+    pub fn label(self) -> &'static str {
+        match self {
+            JournalKind::CoordRound => "coord.round",
+            JournalKind::CoordCommit => "coord.commit",
+            JournalKind::CoordRollback => "coord.rollback",
+            JournalKind::CoordHold => "coord.hold",
+            JournalKind::RingHighWater => "ring.high_water",
+            JournalKind::FlowPromote => "flow.promote",
+            JournalKind::FlowEscalate => "flow.escalate",
+            JournalKind::FlowPin => "flow.pin",
+            JournalKind::FaultOpen => "fault.open",
+            JournalKind::FaultClose => "fault.close",
+            JournalKind::QmpOutage => "qmp.outage",
+            JournalKind::CniDegrade => "cni.degrade",
+            JournalKind::CniRepromote => "cni.repromote",
+            JournalKind::CniRepair => "cni.repair",
+            JournalKind::SchedPlace => "sched.place",
+            JournalKind::SchedDrain => "sched.drain",
+        }
+    }
+
+    /// Every kind, in discriminant order (for iterating count arrays).
+    pub const ALL: [JournalKind; JOURNAL_KINDS] = [
+        JournalKind::CoordRound,
+        JournalKind::CoordCommit,
+        JournalKind::CoordRollback,
+        JournalKind::CoordHold,
+        JournalKind::RingHighWater,
+        JournalKind::FlowPromote,
+        JournalKind::FlowEscalate,
+        JournalKind::FlowPin,
+        JournalKind::FaultOpen,
+        JournalKind::FaultClose,
+        JournalKind::QmpOutage,
+        JournalKind::CniDegrade,
+        JournalKind::CniRepromote,
+        JournalKind::CniRepair,
+        JournalKind::SchedPlace,
+        JournalKind::SchedDrain,
+    ];
+}
+
+/// FNV-1a hash of a name, for carrying string identities (pod names,
+/// node names) in a journal record's fixed `u64` operands. Deterministic
+/// across runs and platforms — never derived from addresses or
+/// `RandomState`.
+pub fn journal_name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One journal record: an intrinsic tag, a kind, and three opaque
+/// operands whose meaning is documented per [`JournalKind`]. Flat and
+/// `Copy` so the ring is a plain slab and rollback is a truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Intrinsic identity (the emitting event's tag).
+    pub tag: JournalTag,
+    /// Record type.
+    pub kind: JournalKind,
+    /// First operand (see the kind's docs).
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Third operand.
+    pub c: u64,
+}
+
+/// How much journal work happens on the hot path — mirrors `TraceMode`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryMode {
+    /// No journal work at all: one branch per record site. The default.
+    #[default]
+    Off,
+    /// Per-kind counts only (a fixed array bump; allocation-free).
+    Counters,
+    /// Counts plus full records, bounded by the configured cap.
+    Full,
+}
+
+impl TelemetryMode {
+    /// Stable lowercase label (used in snapshots and bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Counters => "counters",
+            TelemetryMode::Full => "full",
+        }
+    }
+}
+
+/// Default bound on retained journal records (~3 MiB of records).
+pub const DEFAULT_JOURNAL_CAP: usize = 65_536;
+
+/// Telemetry-plane configuration, set on a network before a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Hot-path mode.
+    pub mode: TelemetryMode,
+    /// Maximum journal records retained (first-`cap` kept; rest counted
+    /// as dropped). Only meaningful in [`TelemetryMode::Full`].
+    pub journal_cap: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::off()
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default; zero-alloc, one branch per site).
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            mode: TelemetryMode::Off,
+            journal_cap: DEFAULT_JOURNAL_CAP,
+        }
+    }
+
+    /// Per-kind counts only.
+    pub fn counters() -> TelemetryConfig {
+        TelemetryConfig {
+            mode: TelemetryMode::Counters,
+            journal_cap: DEFAULT_JOURNAL_CAP,
+        }
+    }
+
+    /// Full record journaling with the default cap.
+    pub fn full() -> TelemetryConfig {
+        TelemetryConfig {
+            mode: TelemetryMode::Full,
+            journal_cap: DEFAULT_JOURNAL_CAP,
+        }
+    }
+
+    /// Same mode with a different journal cap.
+    pub fn with_journal_cap(mut self, cap: usize) -> TelemetryConfig {
+        self.journal_cap = cap;
+        self
+    }
+}
+
+/// Rollback cursor for a [`JournalRing`] (optimistic speculation support):
+/// rewinding truncates kept records and restores drop/count state.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalMark {
+    len: usize,
+    dropped: u64,
+    counts: [u64; JOURNAL_KINDS],
+}
+
+/// Bounded journal buffer: keeps the first `cap` records, counts the rest
+/// as dropped, and tracks per-kind emission counts (kept *and* dropped)
+/// in all non-off modes.
+#[derive(Debug, Clone)]
+pub struct JournalRing {
+    mode: TelemetryMode,
+    cap: usize,
+    records: Vec<JournalRecord>,
+    dropped: u64,
+    counts: [u64; JOURNAL_KINDS],
+}
+
+impl Default for JournalRing {
+    fn default() -> Self {
+        JournalRing::new(TelemetryConfig::off())
+    }
+}
+
+impl JournalRing {
+    /// A ring configured by `cfg`. In [`TelemetryMode::Full`] the record
+    /// buffer is pre-allocated to the cap so steady-state pushes never
+    /// reallocate.
+    pub fn new(cfg: TelemetryConfig) -> JournalRing {
+        JournalRing {
+            mode: cfg.mode,
+            cap: cfg.journal_cap,
+            records: match cfg.mode {
+                TelemetryMode::Full => Vec::with_capacity(cfg.journal_cap.min(DEFAULT_JOURNAL_CAP)),
+                _ => Vec::new(),
+            },
+            dropped: 0,
+            counts: [0; JOURNAL_KINDS],
+        }
+    }
+
+    /// Reconfigures the ring in place, preserving already-journaled
+    /// state where the new mode retains it: switching to `Off` clears
+    /// everything, `Counters` keeps the per-kind counts and the drop
+    /// tally but releases the records, `Full` keeps the records too,
+    /// re-dropping any beyond the new cap. This is what lets a harness
+    /// journal external records during setup and *then* finalize the
+    /// configuration (e.g. `SimConfig::build`) without losing them.
+    pub fn reconfigure(&mut self, cfg: TelemetryConfig) {
+        self.mode = cfg.mode;
+        self.cap = cfg.journal_cap;
+        match cfg.mode {
+            TelemetryMode::Off => {
+                self.records = Vec::new();
+                self.counts = [0; JOURNAL_KINDS];
+                self.dropped = 0;
+            }
+            TelemetryMode::Counters => {
+                self.records = Vec::new();
+            }
+            TelemetryMode::Full => {
+                if self.records.capacity() == 0 {
+                    self.records
+                        .reserve(cfg.journal_cap.min(DEFAULT_JOURNAL_CAP));
+                }
+                if self.records.len() > self.cap {
+                    self.dropped += (self.records.len() - self.cap) as u64;
+                    self.records.truncate(self.cap);
+                }
+            }
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// The configured record cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Records an event. Off mode is a single branch; counters mode bumps
+    /// the per-kind array; full mode also stores the record (first-`cap`
+    /// kept, the rest counted as dropped).
+    #[inline]
+    pub fn record(&mut self, tag: JournalTag, kind: JournalKind, a: u64, b: u64, c: u64) {
+        if self.mode == TelemetryMode::Off {
+            return;
+        }
+        self.counts[kind as usize] += 1;
+        if self.mode == TelemetryMode::Full {
+            if self.records.len() < self.cap {
+                self.records.push(JournalRecord { tag, kind, a, b, c });
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Re-pushes an already-built record (shard merge path): same
+    /// first-`cap` + counted-drops semantics, but per-kind counts are
+    /// *not* bumped — the merger sums the shards' count arrays instead.
+    pub fn push_merged(&mut self, rec: JournalRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Adds drops observed elsewhere (a shard's local ring overflowed
+    /// before the merge saw its records).
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Adds another ring's per-kind counts (shard merge).
+    pub fn add_counts(&mut self, other: &[u64; JOURNAL_KINDS]) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Kept records, in emission order.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Number of kept records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are kept.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records emitted but not kept (ring at capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-kind emission counts (kept + dropped), indexed by
+    /// `JournalKind as usize`.
+    pub fn counts(&self) -> &[u64; JOURNAL_KINDS] {
+        &self.counts
+    }
+
+    /// Emissions of one kind.
+    pub fn count(&self, kind: JournalKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Rollback cursor at the current state.
+    pub fn mark(&self) -> JournalMark {
+        JournalMark {
+            len: self.records.len(),
+            dropped: self.dropped,
+            counts: self.counts,
+        }
+    }
+
+    /// Rewinds to a [`mark`](JournalRing::mark) taken earlier (optimistic
+    /// rollback): records past the mark are discarded as if never emitted.
+    pub fn rewind(&mut self, mark: JournalMark) {
+        self.records.truncate(mark.len);
+        self.dropped = mark.dropped;
+        self.counts = mark.counts;
+    }
+
+    /// Consumes the ring into `(kept records, dropped count, per-kind counts)`.
+    pub fn into_parts(self) -> (Vec<JournalRecord>, u64, [u64; JOURNAL_KINDS]) {
+        (self.records, self.dropped, self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(at: u64, src: u32, seq: u64) -> JournalTag {
+        JournalTag {
+            at_ns: at,
+            src,
+            seq,
+        }
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut r = JournalRing::new(TelemetryConfig::off());
+        r.record(tag(1, 0, 1), JournalKind::FlowPromote, 1, 2, 3);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.count(JournalKind::FlowPromote), 0);
+    }
+
+    #[test]
+    fn counters_mode_counts_without_keeping() {
+        let mut r = JournalRing::new(TelemetryConfig::counters());
+        r.record(tag(1, 0, 1), JournalKind::FlowPromote, 1, 2, 3);
+        r.record(tag(2, 0, 2), JournalKind::FlowPromote, 1, 2, 3);
+        r.record(tag(3, 0, 3), JournalKind::FaultOpen, 9, 9, 9);
+        assert!(r.is_empty(), "counters mode keeps no records");
+        assert_eq!(r.count(JournalKind::FlowPromote), 2);
+        assert_eq!(r.count(JournalKind::FaultOpen), 1);
+    }
+
+    #[test]
+    fn full_mode_caps_and_counts_drops() {
+        let mut r = JournalRing::new(TelemetryConfig::full().with_journal_cap(2));
+        for i in 0..5u64 {
+            r.record(tag(i, 0, i), JournalKind::SchedPlace, i, 0, 0);
+        }
+        assert_eq!(r.len(), 2, "first-cap kept");
+        assert_eq!(r.dropped(), 3, "rest counted");
+        assert_eq!(r.count(JournalKind::SchedPlace), 5, "counts include drops");
+        assert_eq!(r.records()[0].a, 0);
+        assert_eq!(r.records()[1].a, 1);
+    }
+
+    #[test]
+    fn mark_rewind_restores_everything() {
+        let mut r = JournalRing::new(TelemetryConfig::full().with_journal_cap(2));
+        r.record(tag(1, 0, 1), JournalKind::FlowPromote, 0, 0, 0);
+        let m = r.mark();
+        r.record(tag(2, 0, 2), JournalKind::FlowEscalate, 0, 0, 0);
+        r.record(tag(3, 0, 3), JournalKind::FlowEscalate, 0, 0, 0);
+        r.record(tag(4, 0, 4), JournalKind::FlowEscalate, 0, 0, 0);
+        assert_eq!(r.dropped(), 2, "one slot was free, two pushes overflowed");
+        r.rewind(m);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.count(JournalKind::FlowEscalate), 0);
+        assert_eq!(r.count(JournalKind::FlowPromote), 1);
+    }
+
+    #[test]
+    fn kind_labels_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in JournalKind::ALL {
+            assert!(seen.insert(k.label()), "duplicate label {}", k.label());
+            assert_eq!(
+                JournalKind::ALL[k as usize],
+                k,
+                "ALL is discriminant-ordered"
+            );
+        }
+    }
+}

@@ -22,8 +22,10 @@ pub mod cpu;
 pub mod flight;
 pub mod histogram;
 pub mod intern;
+pub mod journal;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 
 pub use cdf::Cdf;
 pub use cpu::{CpuAccount, CpuBreakdown, CpuCategory, CpuLocation};
@@ -33,5 +35,13 @@ pub use flight::{
 };
 pub use histogram::Histogram;
 pub use intern::{Interner, MetricId};
+pub use journal::{
+    journal_name_hash, FlowEscalateReason, JournalKind, JournalMark, JournalRecord, JournalRing,
+    JournalTag, TelemetryConfig, TelemetryMode, DEFAULT_JOURNAL_CAP, JOURNAL_KINDS,
+};
 pub use series::{Series, SeriesPoint};
 pub use stats::{OnlineStats, Summary};
+pub use telemetry::{
+    CounterId, DropAccounting, GaugeId, HealthSummary, HistId, HistSummary, SeriesExport,
+    TelemetryRegistry, TelemetrySnapshot, TickSeries, TELEMETRY_SCHEMA,
+};

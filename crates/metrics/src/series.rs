@@ -90,6 +90,57 @@ impl Series {
         out
     }
 
+    /// Merges another series into this one: points interleave in `x`
+    /// order, and points sharing an `x` pool their summaries (combined
+    /// count, weighted mean, pooled variance, widened min/max). Merging an
+    /// empty series is the identity; merging into an empty series copies
+    /// `other` (including its unit).
+    ///
+    /// # Panics
+    /// Panics if both series are non-empty and their units differ.
+    pub fn merge(&mut self, other: &Series) {
+        if other.points.is_empty() {
+            return;
+        }
+        if self.points.is_empty() {
+            self.unit = other.unit.clone();
+            self.points = other.points.clone();
+            return;
+        }
+        assert_eq!(
+            self.unit, other.unit,
+            "cannot merge series of different units"
+        );
+        let mut merged = Vec::with_capacity(self.points.len() + other.points.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.points.len() || j < other.points.len() {
+            let take_mine = match (self.points.get(i), other.points.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a.x == b.x {
+                        merged.push(SeriesPoint {
+                            x: a.x,
+                            y: pool(&a.y, &b.y),
+                        });
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a.x < b.x
+                }
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_mine {
+                merged.push(self.points[i]);
+                i += 1;
+            } else {
+                merged.push(other.points[j]);
+                j += 1;
+            }
+        }
+        self.points = merged;
+    }
+
     /// Largest relative change between consecutive points:
     /// `max |y[i+1]-y[i]| / y[i]`. Low values mean the series is flat
     /// ("Hostlo's latency remains stable across all message sizes").
@@ -99,6 +150,33 @@ impl Series {
             .filter(|w| w[0].y.mean != 0.0)
             .map(|w| ((w[1].y.mean - w[0].y.mean) / w[0].y.mean).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Pools two summaries of disjoint sample sets: combined count, weighted
+/// mean, pooled (population) variance, widened min/max. Empty sides are
+/// identities.
+fn pool(a: &Summary, b: &Summary) -> Summary {
+    if a.count == 0 {
+        return *b;
+    }
+    if b.count == 0 {
+        return *a;
+    }
+    let (na, nb) = (a.count as f64, b.count as f64);
+    let n = na + nb;
+    let mean = (a.mean * na + b.mean * nb) / n;
+    // Pooled variance: weighted within-group variance plus between-group
+    // spread of the two means.
+    let var = (na * (a.stddev * a.stddev + (a.mean - mean) * (a.mean - mean))
+        + nb * (b.stddev * b.stddev + (b.mean - mean) * (b.mean - mean)))
+        / n;
+    Summary {
+        count: a.count.saturating_add(b.count),
+        mean,
+        stddev: var.max(0.0).sqrt(),
+        min: a.min.min(b.min),
+        max: a.max.max(b.max),
     }
 }
 
@@ -163,6 +241,37 @@ mod tests {
         assert_eq!(lines.next(), Some("x,mean,stddev,min,max,count"));
         assert_eq!(lines.next(), Some("64,10,1,9,11,3"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn merge_interleaves_and_pools() {
+        let mut a = Series::new("a", "u");
+        a.push(1.0, sum(10.0));
+        a.push(3.0, sum(30.0));
+        let mut b = Series::new("b", "u");
+        b.push(2.0, sum(20.0));
+        b.push(3.0, sum(50.0));
+        a.merge(&b);
+        let xs: Vec<f64> = a.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        let at3 = a.at(3.0).unwrap();
+        assert_eq!(at3.count, 2);
+        assert!((at3.mean - 40.0).abs() < 1e-12, "pooled mean");
+        assert_eq!(at3.min, 30.0);
+        assert_eq!(at3.max, 50.0);
+    }
+
+    #[test]
+    fn merge_empty_is_identity_both_ways() {
+        let mut a = Series::new("a", "u");
+        a.push(1.0, sum(10.0));
+        let orig = a.clone();
+        a.merge(&Series::new("b", "other-unit"));
+        assert_eq!(a, orig, "empty rhs is identity");
+        let mut empty = Series::new("e", "");
+        empty.merge(&orig);
+        assert_eq!(empty.points, orig.points, "empty lhs copies rhs");
+        assert_eq!(empty.unit, "u", "unit adopted from rhs");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 extern crate nestless_metrics as metrics;
 
-use metrics::{Cdf, Histogram, OnlineStats};
+use metrics::flight::Log2Hist;
+use metrics::{Cdf, Histogram, OnlineStats, Series, Summary};
 use proptest::prelude::*;
 
 fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
@@ -97,5 +98,145 @@ proptest! {
         let c = Cdf::from_samples(xs);
         let v = c.quantile(q).unwrap();
         prop_assert!(c.eval(v) + 1e-12 >= q);
+    }
+}
+
+/// A histogram whose counters sit near `u64::MAX` (built through serde,
+/// the only door into the private fields) for saturation edges.
+fn near_max_histogram(headroom: u64) -> Histogram {
+    let max = u64::MAX - headroom;
+    let json = format!(
+        "{{\"lo\":0.0,\"hi\":10.0,\"counts\":[{max},0,0,0],\
+         \"underflow\":{max},\"overflow\":{max},\"total\":{max}}}"
+    );
+    serde_json::from_str(&json).expect("histogram shape")
+}
+
+fn summaries() -> impl Strategy<Value = Summary> {
+    (-1e6..1e6f64, 0.0..1e3f64, 1u64..1000).prop_map(|(mean, spread, count)| Summary {
+        count,
+        mean,
+        stddev: spread,
+        min: mean - spread,
+        max: mean + spread,
+    })
+}
+
+fn series_points() -> impl Strategy<Value = Vec<(u32, Summary)>> {
+    prop::collection::vec((0u32..1000, summaries()), 0..20).prop_map(|pairs| {
+        let dedup: std::collections::BTreeMap<u32, Summary> = pairs.into_iter().collect();
+        dedup.into_iter().collect()
+    })
+}
+
+fn build_series(points: &[(u32, Summary)]) -> Series {
+    let mut s = Series::new("s", "u");
+    for (x, y) in points {
+        s.push(*x as f64, *y);
+    }
+    s
+}
+
+proptest! {
+    /// Bucket, flow and total counters saturate at `u64::MAX` instead of
+    /// wrapping, both on `record` and on `merge`.
+    #[test]
+    fn histogram_counts_saturate(headroom in 0u64..4, extra in 1u64..16) {
+        let mut h = near_max_histogram(headroom);
+        for _ in 0..(headroom + extra) {
+            h.record(0.5);   // bucket 0
+            h.record(-1.0);  // underflow
+            h.record(99.0);  // overflow
+        }
+        prop_assert_eq!(h.count(0), u64::MAX, "bucket saturates");
+        prop_assert_eq!(h.underflow(), u64::MAX);
+        prop_assert_eq!(h.overflow(), u64::MAX);
+        prop_assert_eq!(h.total(), u64::MAX);
+
+        let mut a = near_max_histogram(headroom);
+        let b = near_max_histogram(headroom);
+        a.merge(&b);
+        prop_assert_eq!(a.count(0), u64::MAX, "merge saturates");
+        prop_assert_eq!(a.total(), u64::MAX);
+    }
+
+    /// Empty ⊕ nonempty series merges are identities (in both orders),
+    /// and a merge of disjoint halves restores the original point set.
+    #[test]
+    fn series_merge_empty_and_split(points in series_points(), split in 0usize..20) {
+        let full = build_series(&points);
+        let mut a = full.clone();
+        a.merge(&Series::new("e", "u"));
+        prop_assert_eq!(&a, &full, "nonempty <- empty is identity");
+        let mut e = Series::new("e", "");
+        e.merge(&full);
+        prop_assert_eq!(&e.points, &full.points, "empty <- nonempty copies");
+
+        let split = split.min(points.len());
+        let mut left = build_series(&points[..split]);
+        let right = build_series(&points[split..]);
+        left.merge(&right);
+        prop_assert_eq!(&left.points, &full.points, "disjoint halves reassemble");
+    }
+
+    /// Merging series that share x values pools counts and widens extremes.
+    #[test]
+    fn series_merge_pools_shared_points(points in series_points(), other in summaries()) {
+        prop_assume!(!points.is_empty());
+        let mut a = build_series(&points);
+        let shared_x = points[0].0 as f64;
+        let mut b = Series::new("b", "u");
+        b.push(shared_x, other);
+        a.merge(&b);
+        prop_assert_eq!(a.points.len(), points.len(), "no duplicate x after merge");
+        let merged = a.at(shared_x).unwrap();
+        let orig = &points[0].1;
+        prop_assert_eq!(merged.count, orig.count + other.count);
+        prop_assert!(merged.min <= orig.min.min(other.min) + 1e-9);
+        prop_assert!(merged.max >= orig.max.max(other.max) - 1e-9);
+        let lo = orig.mean.min(other.mean);
+        let hi = orig.mean.max(other.mean);
+        prop_assert!(lo - 1e-6 <= merged.mean && merged.mean <= hi + 1e-6, "pooled mean bounded");
+    }
+
+    /// `Log2Hist` merges are exact and commutative.
+    #[test]
+    fn log2_hist_merge_commutes(xs in prop::collection::vec(0u64..1u64 << 40, 0..100),
+                                ys in prop::collection::vec(0u64..1u64 << 40, 0..100)) {
+        let mk = |zs: &[u64]| {
+            let mut h = Log2Hist::new();
+            for &z in zs { h.record(z); }
+            h
+        };
+        let mut ab = mk(&xs);
+        ab.merge(&mk(&ys));
+        let mut ba = mk(&ys);
+        ba.merge(&mk(&xs));
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// Decimation keeps series bounded, ordered, and is idempotent.
+    #[test]
+    fn decimation_bounded_ordered_idempotent(n in 0u64..5000, cap in 2usize..64) {
+        let mut reg = metrics::TelemetryRegistry::new().with_series_cap(cap);
+        let s = reg.series("ticks");
+        for i in 0..n {
+            reg.sample(s, i * 7, i as f64);
+        }
+        let series = &reg.tick_series()[s];
+        prop_assert!(series.points().len() < cap, "cap enforced");
+        let xs: Vec<u64> = series.points().iter().map(|p| p.0).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&xs, &sorted, "time order survives decimation");
+        let mut again = series.clone();
+        let before = again.points().to_vec();
+        again.decimate();
+        prop_assert_eq!(again.points(), &before[..], "decimate is idempotent under cap");
+        if n > 0 {
+            prop_assert_eq!(series.points()[0].0, 0, "first sample always survives");
+            prop_assert_eq!(series.ticks(), n, "every offer is counted");
+        }
     }
 }

@@ -19,13 +19,14 @@
 //! ports on the *host* NAT instead of a guest NAT.
 
 use contd::{NodeDataplane, PortMapping};
+use metrics::journal_name_hash;
 use orchestrator::{
     ClusterCtx, CniError, CniOutcome, CniPlugin, CniStatus, PodAttachment, PodSpec, RepairedPod,
     VmAgent,
 };
 use simnet::device::PortId;
 use simnet::nat::{DnatRule, NatControl};
-use simnet::{Ip4, Ip4Net, SimDuration, SimTime, SockAddr};
+use simnet::{Ip4, Ip4Net, JournalKind, SimDuration, SimTime, SockAddr};
 use std::collections::BTreeMap;
 use vmm::{NicId, QmpCommand, QmpResponse, VmId, VmState};
 
@@ -302,6 +303,12 @@ impl BrFusionCni {
         self.stats.fallbacks += 1;
         self.stats.fallback_reasons.push(reason.clone());
         self.stats.degraded_pods += 1;
+        ctx.vmm.network_mut().journal_external(
+            JournalKind::CniDegrade,
+            journal_name_hash(&pod.name),
+            pod.containers.len() as u64,
+            0,
+        );
         self.degraded.push(DegradedPod {
             pod: pod.name.clone(),
             containers,
@@ -411,19 +418,25 @@ impl CniPlugin for BrFusionCni {
                 still.push(pod);
                 continue;
             }
+            let pod_id = journal_name_hash(&pod.pod);
             match self.try_repromote(ctx, &pod) {
                 Ok(atts) => {
                     repromoted += 1;
                     self.stats.repromotions += 1;
-                    self.stats
-                        .repromotion_latency_ns
-                        .push(now.since(pod.degraded_at).as_nanos());
+                    let dwell = now.since(pod.degraded_at).as_nanos();
+                    self.stats.repromotion_latency_ns.push(dwell);
+                    let net = ctx.vmm.network_mut();
+                    net.journal_external(JournalKind::CniRepair, pod_id, 1, 0);
+                    net.journal_external(JournalKind::CniRepromote, pod_id, dwell, 0);
                     self.repaired.push(RepairedPod {
                         pod: pod.pod.clone(),
                         outcome: CniOutcome::nominal(atts),
                     });
                 }
                 Err(FuseErr::Transient(_)) => {
+                    ctx.vmm
+                        .network_mut()
+                        .journal_external(JournalKind::CniRepair, pod_id, 0, 0);
                     pod.attempts += 1;
                     if pod.attempts >= Self::MAX_REPROMOTE_ATTEMPTS {
                         self.stats.abandoned += 1;
@@ -434,6 +447,9 @@ impl CniPlugin for BrFusionCni {
                     }
                 }
                 Err(FuseErr::Fatal(_)) => {
+                    ctx.vmm
+                        .network_mut()
+                        .journal_external(JournalKind::CniRepair, pod_id, 0, 0);
                     self.stats.abandoned += 1;
                 }
             }

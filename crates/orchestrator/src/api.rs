@@ -199,6 +199,12 @@ impl ControlPlane {
                 Err(_) => failed.push(pod),
             }
         }
+        ctx.vmm.network_mut().journal_external(
+            simnet::JournalKind::SchedDrain,
+            node.0 as u64,
+            moved.len() as u64,
+            failed.len() as u64,
+        );
         (moved, failed)
     }
 
@@ -278,6 +284,12 @@ impl ControlPlane {
         }
 
         let id = PodId(self.pods.len() as u32);
+        ctx.vmm.network_mut().journal_external(
+            simnet::JournalKind::SchedPlace,
+            u64::from(id.0),
+            placement.assignments[0].0 as u64,
+            placement.assignments.len() as u64,
+        );
         self.pods.push(PodRecord {
             id,
             spec,

@@ -14,6 +14,7 @@
 //! | `SIMNET_OPTIMISTIC`| `1`/`true` → optimistic synchronization          |
 //! | `SIMNET_INLINE`    | `1` inline / `0` threaded coordinator backend    |
 //! | `SIMNET_FIDELITY`  | `packet` (default), `hybrid`, or `flowonly`      |
+//! | `SIMNET_TELEMETRY` | `off` (default), `counters`, or `full`          |
 //!
 //! Typical use:
 //!
@@ -29,7 +30,7 @@ use crate::engine::Network;
 use crate::fault::FaultPlan;
 use crate::flow::Fidelity;
 use crate::parallel::ShardedNetwork;
-use metrics::TraceConfig;
+use metrics::{TelemetryConfig, TelemetryMode, TraceConfig};
 
 /// Reads the `SIMNET_SHARDS` environment knob (default 1). Values below 1
 /// or unparsable values read as 1.
@@ -60,6 +61,19 @@ pub fn inline_from_env() -> Option<bool> {
     std::env::var("SIMNET_INLINE").ok().map(|v| v.trim() == "1")
 }
 
+/// Reads the `SIMNET_TELEMETRY` environment knob: `off`, `counters`, or
+/// `full`. Unset or unrecognized values read as `None` (caller keeps its
+/// programmed default).
+pub fn telemetry_from_env() -> Option<TelemetryMode> {
+    let v = std::env::var("SIMNET_TELEMETRY").ok()?;
+    match v.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "none" => Some(TelemetryMode::Off),
+        "counters" => Some(TelemetryMode::Counters),
+        "full" | "journal" => Some(TelemetryMode::Full),
+        _ => None,
+    }
+}
+
 /// Reads the `SIMNET_FIDELITY` environment knob: `packet`, `hybrid`, or
 /// `flowonly`/`flow-only`/`flow_only`. Unset or unrecognized values read
 /// as `None` (caller keeps its programmed default).
@@ -87,6 +101,7 @@ pub struct SimConfig {
     tracing: bool,
     fault: Option<FaultPlan>,
     fidelity: Fidelity,
+    telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -116,6 +131,12 @@ impl SimConfig {
         }
         if let Some(f) = fidelity_from_env() {
             self.fidelity = f;
+        }
+        if let Some(mode) = telemetry_from_env() {
+            self.telemetry = TelemetryConfig {
+                mode,
+                ..self.telemetry
+            };
         }
         self
     }
@@ -163,6 +184,17 @@ impl SimConfig {
         self
     }
 
+    /// Telemetry plane configuration (journal mode and ring capacity).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> SimConfig {
+        self.telemetry = cfg;
+        self
+    }
+
+    /// The configured telemetry plane (for harness-side branching).
+    pub fn telemetry_mode(&self) -> TelemetryMode {
+        self.telemetry.mode
+    }
+
     /// The configured fidelity (for harness-side branching).
     pub fn fidelity_mode(&self) -> Fidelity {
         self.fidelity
@@ -184,6 +216,7 @@ impl SimConfig {
             net.install_fault_plan(plan);
         }
         net.set_fidelity(self.fidelity);
+        net.set_telemetry_config(self.telemetry);
         let mut sharded = ShardedNetwork::new(net, self.shards.unwrap_or(1));
         sharded.set_optimistic(self.optimistic);
         sharded.set_inline(self.inline);
@@ -246,6 +279,31 @@ mod tests {
         std::env::set_var("SIMNET_FIDELITY", "bogus");
         assert_eq!(fidelity_from_env(), None);
         std::env::remove_var("SIMNET_FIDELITY");
+    }
+
+    #[test]
+    fn telemetry_env_knob_parses_and_overrides() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SIMNET_TELEMETRY");
+        assert_eq!(telemetry_from_env(), None);
+        std::env::set_var("SIMNET_TELEMETRY", "counters");
+        assert_eq!(telemetry_from_env(), Some(TelemetryMode::Counters));
+        std::env::set_var("SIMNET_TELEMETRY", "FULL");
+        assert_eq!(telemetry_from_env(), Some(TelemetryMode::Full));
+        std::env::set_var("SIMNET_TELEMETRY", "off");
+        assert_eq!(telemetry_from_env(), Some(TelemetryMode::Off));
+        std::env::set_var("SIMNET_TELEMETRY", "bogus");
+        assert_eq!(telemetry_from_env(), None);
+
+        // The override keeps a programmed journal capacity, swapping only
+        // the mode.
+        std::env::set_var("SIMNET_TELEMETRY", "full");
+        let cfg = SimConfig::new()
+            .telemetry(TelemetryConfig::counters().with_journal_cap(128))
+            .env_overrides();
+        assert_eq!(cfg.telemetry_mode(), TelemetryMode::Full);
+        assert_eq!(cfg.telemetry.journal_cap, 128);
+        std::env::remove_var("SIMNET_TELEMETRY");
     }
 
     #[test]

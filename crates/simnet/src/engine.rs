@@ -40,12 +40,15 @@
 
 use crate::device::{Device, DeviceId, DeviceKind, PortId};
 use crate::fault::{FaultIds, FaultPlan};
-use crate::flow::{EmitAction, Fidelity, FlowKey, FlowProbe, FlowTable, FlowTag, FlowUpdate};
+use crate::flow::{
+    EmitAction, Fidelity, FlowEvent, FlowKey, FlowProbe, FlowTable, FlowTag, FlowUpdate,
+};
 use crate::frame::{Frame, Transport};
 use crate::time::{SimDuration, SimTime};
 use metrics::{
-    CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, MetricId, SpanId, SpanRecord,
-    SpanRing, SpanRingMark, StageTable, TraceConfig, TraceMode,
+    CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, JournalKind, JournalMark,
+    JournalRing, JournalTag, MetricId, SpanId, SpanRecord, SpanRing, SpanRingMark, StageTable,
+    TelemetryConfig, TelemetryMode, TraceConfig, TraceMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -467,6 +470,9 @@ pub(crate) struct LogEntry {
     pub(crate) recs: u32,
     pub(crate) traces: u32,
     pub(crate) spans: u32,
+    /// Journal records *kept* by this event (drops are reconciled
+    /// wholesale at merge time, like span drops).
+    pub(crate) jrecs: u32,
 }
 
 /// One local device's share of an [`EngineSnapshot`]: the forked device
@@ -503,6 +509,9 @@ pub(crate) struct EngineSnapshot {
     stages: StageTable,
     event_log_len: usize,
     flow: Option<FlowTable>,
+    journal: JournalMark,
+    ext_jseq: u64,
+    fault_open: Vec<bool>,
     devices: Vec<SlotSnapshot>,
 }
 
@@ -567,6 +576,21 @@ pub struct Network {
     /// costs. Cleared each event; only written while a flow table is
     /// installed.
     event_charges: Vec<(CpuLocation, CpuCategory, u64)>,
+    /// Telemetry-plane configuration (off / counters / full journal).
+    telem: TelemetryConfig,
+    /// The control-plane event journal (see `metrics::journal`).
+    journal: JournalRing,
+    /// Intrinsic tag of the event currently being processed — the tag
+    /// every journal record emitted during [`step`](Network::step) carries.
+    cur_tag: JournalTag,
+    /// Sequence counter for journal records emitted outside event
+    /// processing (harness/control-plane calls between runs). Separate
+    /// from `inject_seq` so journaling never perturbs event tags.
+    ext_jseq: u64,
+    /// Open/closed state per fault-plan window (link faults first, then
+    /// stalls), scanned on emission to journal window transitions. Empty
+    /// unless telemetry is on and a fault plan is installed.
+    fault_open: Vec<bool>,
 }
 
 impl Network {
@@ -601,6 +625,11 @@ impl Network {
             fault_ids: None,
             flow: None,
             event_charges: Vec::new(),
+            telem: TelemetryConfig::off(),
+            journal: JournalRing::default(),
+            cur_tag: JournalTag::default(),
+            ext_jseq: 0,
+            fault_open: Vec::new(),
         }
     }
 
@@ -618,6 +647,7 @@ impl Network {
         );
         self.fault_ids = Some(FaultIds::intern(&mut self.store));
         self.fault = Some(Arc::new(plan));
+        self.resize_fault_open();
     }
 
     /// The installed fault plan, if any.
@@ -662,6 +692,70 @@ impl Network {
     /// The active flight-recorder configuration.
     pub fn trace_config(&self) -> TraceConfig {
         self.flight
+    }
+
+    /// Configures the telemetry plane (control-plane journal). Mirrors
+    /// [`set_trace_config`](Network::set_trace_config): call before any
+    /// event is processed. The journal ring is reconfigured in place —
+    /// records already journaled (e.g. harness records emitted during
+    /// setup, before `SimConfig::build` re-applies the configuration)
+    /// survive as long as the new mode retains them.
+    pub fn set_telemetry_config(&mut self, cfg: TelemetryConfig) {
+        self.telem = cfg;
+        self.journal.reconfigure(cfg);
+        self.resize_fault_open();
+    }
+
+    /// The active telemetry configuration.
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        self.telem
+    }
+
+    /// The control-plane journal collected so far.
+    pub fn journal(&self) -> &JournalRing {
+        &self.journal
+    }
+
+    /// Takes the journal ring, leaving a fresh one (same config) behind.
+    pub fn take_journal(&mut self) -> JournalRing {
+        std::mem::replace(&mut self.journal, JournalRing::new(self.telem))
+    }
+
+    /// (Re)sizes the fault-window transition state: one open/closed flag
+    /// per plan window when both telemetry and a fault plan are active.
+    fn resize_fault_open(&mut self) {
+        let n = match (&self.fault, self.telem.mode) {
+            (Some(plan), TelemetryMode::Counters | TelemetryMode::Full) => {
+                plan.link_faults().len() + plan.stalls().len()
+            }
+            _ => 0,
+        };
+        self.fault_open = vec![false; n];
+    }
+
+    /// Emits a journal record with the current event's intrinsic tag.
+    /// Off-mode cost: one branch inside [`JournalRing::record`].
+    #[inline]
+    fn jrec(&mut self, kind: JournalKind, a: u64, b: u64, c: u64) {
+        self.journal.record(self.cur_tag, kind, a, b, c);
+    }
+
+    /// Emits a journal record from *outside* event processing (harness or
+    /// control-plane code between runs). Tagged with the external source
+    /// and a dedicated monotonic sequence, so enabling telemetry never
+    /// perturbs event tags.
+    pub fn journal_external(&mut self, kind: JournalKind, a: u64, b: u64, c: u64) {
+        if self.telem.mode == TelemetryMode::Off {
+            return;
+        }
+        let seq = self.ext_jseq;
+        self.ext_jseq += 1;
+        let tag = JournalTag {
+            at_ns: self.now.0,
+            src: EXTERNAL_SRC,
+            seq,
+        };
+        self.journal.record(tag, kind, a, b, c);
     }
 
     /// Span records retained so far (empty unless [`TraceMode::Full`]).
@@ -1069,6 +1163,9 @@ impl Network {
             stages: self.stages.clone(),
             event_log_len: self.event_log.as_ref().map_or(0, Vec::len),
             flow: self.flow.clone(),
+            journal: self.journal.mark(),
+            ext_jseq: self.ext_jseq,
+            fault_open: self.fault_open.clone(),
             devices,
         })
     }
@@ -1098,6 +1195,9 @@ impl Network {
         self.event_cpu_claimed = 0;
         self.event_charges.clear();
         self.flow = snap.flow;
+        self.journal.rewind(snap.journal);
+        self.ext_jseq = snap.ext_jseq;
+        self.fault_open = snap.fault_open;
         for s in snap.devices {
             let slot = &mut self.devices[s.idx];
             slot.dev = Some(s.dev);
@@ -1225,7 +1325,19 @@ impl Network {
                     fault_ids,
                     flow,
                     event_charges: Vec::new(),
+                    // Every shard journals at the master's mode with the
+                    // *global* record cap: a shard's emission order is a
+                    // subsequence of the sequential order, so a record a
+                    // shard drops (local index >= cap) would have been
+                    // dropped sequentially too — per-shard cap == global
+                    // cap retains a superset of what the merge keeps.
+                    telem: self.telem,
+                    journal: JournalRing::new(self.telem),
+                    cur_tag: JournalTag::default(),
+                    ext_jseq: self.ext_jseq,
+                    fault_open: Vec::new(),
                 };
+                net.resize_fault_open();
                 for (tag, kind) in initial.next().unwrap() {
                     net.push_keyed(tag, kind);
                 }
@@ -1248,15 +1360,24 @@ impl Network {
             | EventKind::Timer { dev, .. }
             | EventKind::FlowAdvert { dev, .. } => *dev,
         };
+        // Journal records emitted while handling this event carry its
+        // intrinsic tag — a pure function of the simulation, identical at
+        // every shard count.
+        self.cur_tag = JournalTag {
+            at_ns: key.tag.at.0,
+            src: key.tag.src,
+            seq: key.tag.seq,
+        };
         let logging = self.event_log.is_some();
-        let (recs_before, traces_before, spans_before) = if logging {
+        let (recs_before, traces_before, spans_before, jrecs_before) = if logging {
             (
                 self.store.journal_len(),
                 self.trace.as_ref().map_or(0, Vec::len),
                 self.spans.spans().len(),
+                self.journal.len(),
             )
         } else {
-            (0, 0, 0)
+            (0, 0, 0, 0)
         };
         if let Some(trace) = &mut self.trace {
             if trace.len() < TRACE_CAP {
@@ -1287,6 +1408,9 @@ impl Network {
             EventKind::FlowAdvert { update, .. } => {
                 if let Some(flow) = &mut self.flow {
                     flow.absorb(*update, &mut self.store);
+                    if let Some(ev) = flow.take_event() {
+                        self.journal_flow_event(ev);
+                    }
                 }
             }
             mut kind => {
@@ -1321,20 +1445,37 @@ impl Network {
             let recs = (self.store.journal_len() - recs_before) as u32;
             let traces = (self.trace.as_ref().map_or(0, Vec::len) - traces_before) as u32;
             let spans = (self.spans.spans().len() - spans_before) as u32;
+            let jrecs = (self.journal.len() - jrecs_before) as u32;
             // An event that recorded nothing adds nothing to the merged
             // interleaving — skipping its entry keeps the log (and the
             // frontier merge, which is O(log length)) proportional to the
             // *observability* volume rather than the event volume.
-            if recs | traces | spans != 0 {
+            if recs | traces | spans | jrecs != 0 {
                 self.event_log.as_mut().unwrap().push(LogEntry {
                     tag: key.tag,
                     recs,
                     traces,
                     spans,
+                    jrecs,
                 });
             }
         }
         true
+    }
+
+    /// Translates a flow-table decision into its journal record.
+    fn journal_flow_event(&mut self, ev: FlowEvent) {
+        match ev {
+            FlowEvent::Promoted { origin, lat } => {
+                self.jrec(JournalKind::FlowPromote, origin as u64, lat, 0);
+            }
+            FlowEvent::Escalated { origin, reason } => {
+                self.jrec(JournalKind::FlowEscalate, origin as u64, reason as u64, 0);
+            }
+            FlowEvent::Pinned { origin } => {
+                self.jrec(JournalKind::FlowPin, origin as u64, 0, 0);
+            }
+        }
     }
 
     /// Runs the network until `stop` is reached (or the queue empties).
@@ -1526,7 +1667,11 @@ impl Network {
             })
         };
         let flow = self.flow.as_mut().expect("flow_emit requires a table");
-        match flow.on_emit(&key, when, &fault_active, &mut self.store) {
+        let action = flow.on_emit(&key, when, &fault_active, &mut self.store);
+        if let Some(ev) = flow.take_event() {
+            self.journal_flow_event(ev);
+        }
+        match action {
             EmitAction::Packet => Some(frame),
             EmitAction::Probe => {
                 let lossless = self
@@ -1736,6 +1881,53 @@ impl<'a> DevCtx<'a> {
                 if self.net.fault.is_some() {
                     let net = &mut *self.net;
                     let plan = net.fault.as_deref().expect("fault plan checked above");
+                    // Journal fault-window open/close transitions, observed
+                    // at this device's own emissions. Deterministic across
+                    // shard counts: a window's device lives on exactly one
+                    // shard and its emissions are totally ordered, so the
+                    // transition is detected at the same event everywhere.
+                    // Empty (one branch) unless telemetry is on.
+                    if !net.fault_open.is_empty() {
+                        let tag = net.cur_tag;
+                        let nlinks = plan.link_faults().len();
+                        for (i, w) in plan.link_faults().iter().enumerate() {
+                            if w.dev != self.id {
+                                continue;
+                            }
+                            let active = w.from <= when && when < w.until;
+                            if active != net.fault_open[i] {
+                                net.fault_open[i] = active;
+                                let kind = if active {
+                                    JournalKind::FaultOpen
+                                } else {
+                                    JournalKind::FaultClose
+                                };
+                                net.journal.record(
+                                    tag,
+                                    kind,
+                                    w.dev.0 as u64,
+                                    w.port.0 as u64,
+                                    i as u64,
+                                );
+                            }
+                        }
+                        for (j, w) in plan.stalls().iter().enumerate() {
+                            if w.dev != self.id {
+                                continue;
+                            }
+                            let active = w.from <= when && when < w.until;
+                            let i = nlinks + j;
+                            if active != net.fault_open[i] {
+                                net.fault_open[i] = active;
+                                let kind = if active {
+                                    JournalKind::FaultOpen
+                                } else {
+                                    JournalKind::FaultClose
+                                };
+                                net.journal.record(tag, kind, w.dev.0 as u64, 0, i as u64);
+                            }
+                        }
+                    }
                     let out = plan.outcome(self.id, port, when, &mut net.devices[self.id.0].rng);
                     let ids = net.fault_ids.expect("fault ids interned with the plan");
                     if out.down {

@@ -19,7 +19,10 @@ use metrics::flight::{
     cpu_cells, LatencyCdf, SampleSummary, SpanAccounting, StageSnapshot, TraceAccounting,
     SNAPSHOT_SCHEMA,
 };
-use metrics::{ChromeTrace, CpuLocation, RunSnapshot, SpanRecord, StageTable};
+use metrics::{
+    ChromeTrace, CpuLocation, HealthSummary, JournalKind, JournalRecord, RunSnapshot, SpanRecord,
+    StageTable, TelemetrySnapshot,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The Chrome-trace process id of a CPU location: the host is pid 1, VM
@@ -168,6 +171,128 @@ pub fn chrome_trace_report(report: &RunReport) -> ChromeTrace {
             .cloned()
             .unwrap_or_else(|| format!("dev{d}"))
     })
+}
+
+/// Store counters as integer telemetry counters (they are all counts or
+/// byte totals, accumulated in `f64` slots).
+fn telemetry_counters(store: &SampleStore) -> BTreeMap<String, u64> {
+    store
+        .counter_names()
+        .map(|n| (n.to_string(), store.counter(n) as u64))
+        .collect()
+}
+
+/// Flow-table hit rate: fast-path frames over all delivered frames (a
+/// packet-level delivery records one `flow.adverts` at absorption, a
+/// fast-path delivery one `flow.fastpath_frames`). 0.0 when the flow
+/// table never ran.
+fn flow_hit_rate(store: &SampleStore) -> f64 {
+    let fast = store.counter("flow.fastpath_frames");
+    let slow = store.counter("flow.adverts");
+    if fast + slow > 0.0 {
+        fast / (fast + slow)
+    } else {
+        0.0
+    }
+}
+
+/// Mean re-promotion dwell (ns) over the journal's `CniRepromote`
+/// records, whose operand `b` carries the degraded dwell time.
+fn degrade_dwell_ns(journal: &[JournalRecord]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for r in journal {
+        if r.kind == JournalKind::CniRepromote {
+            sum += r.b as f64;
+            n += 1;
+        }
+    }
+    if n > 0 {
+        sum / n as f64
+    } else {
+        0.0
+    }
+}
+
+/// Unified telemetry export of a finished sequential [`Network`] run:
+/// store counters, the deterministic journal lane with its per-kind
+/// counts and drop accounting (journal + span ring + event trace), and
+/// the derived [`HealthSummary`]. Coordinator health fields are zero by
+/// construction — no coordinator ran.
+pub fn telemetry_network(net: &Network, label: &str) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new(label, net.telemetry_config().mode.label());
+    snap.counters = telemetry_counters(net.store());
+    let journal = net.journal();
+    snap.set_journal(
+        journal.records().to_vec(),
+        journal.counts(),
+        journal.dropped(),
+    );
+    snap.drops.spans = net.spans_dropped();
+    snap.drops.trace = net.dropped_traces();
+    snap.health = HealthSummary {
+        flow_hit_rate: flow_hit_rate(net.store()),
+        degrade_dwell_ns: degrade_dwell_ns(&snap.journal),
+        ..HealthSummary::default()
+    };
+    snap
+}
+
+/// Unified telemetry export of a merged [`RunReport`]. The deterministic
+/// journal lane is bit-identical to the sequential export at any shard
+/// count; the coordinator lane (`RunReport::coord_journal`) is
+/// shard-count-dependent and therefore only folded into health fields,
+/// never into `journal`.
+pub fn telemetry_report(report: &RunReport, label: &str) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new(label, report.telemetry_mode.label());
+    snap.counters = telemetry_counters(&report.store);
+    snap.set_journal(
+        report.journal.clone(),
+        &report.journal_counts,
+        report.journal_dropped,
+    );
+    snap.drops.spans = report.spans_dropped;
+    snap.drops.trace = report.trace_dropped;
+    let spec_windows = report.sync.spec_commits + report.sync.spec_rollbacks;
+    snap.health = HealthSummary {
+        rounds: report.sync.rounds,
+        rollback_rate: if spec_windows > 0 {
+            report.sync.spec_rollbacks as f64 / spec_windows as f64
+        } else {
+            0.0
+        },
+        ring_stalls: report.sync.ring_stalls,
+        ring_high_water: report.sync.ring_high_water,
+        flow_hit_rate: flow_hit_rate(&report.store),
+        degrade_dwell_ns: degrade_dwell_ns(&snap.journal),
+    };
+    snap
+}
+
+/// Perfetto counter tracks for a telemetry snapshot: every decimated
+/// tick series becomes one `C`-phase track (pid 1, alongside the host's
+/// span rows), plus one cumulative track per journal kind replaying the
+/// kept records. Merge with [`chrome_trace_network`] /
+/// [`chrome_trace_report`] output or load standalone.
+pub fn chrome_counter_tracks(snap: &TelemetrySnapshot) -> ChromeTrace {
+    let mut out = ChromeTrace::new();
+    out.add_process(1, "telemetry".to_string());
+    for s in &snap.series {
+        for &(at_ns, v) in &s.points {
+            out.add_counter(s.name.clone(), 1, at_ns, v);
+        }
+    }
+    let mut running = [0u64; metrics::JOURNAL_KINDS];
+    for r in &snap.journal {
+        running[r.kind as usize] += 1;
+        out.add_counter(
+            format!("journal.{}", r.kind.label()),
+            1,
+            r.tag.at_ns,
+            running[r.kind as usize] as f64,
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use crate::device::{DeviceId, PortId};
 use crate::engine::SampleStore;
 use crate::frame::{Frame, Transport};
 use crate::time::SimTime;
-use metrics::{CpuCategory, CpuLocation, MetricId};
+use metrics::{CpuCategory, CpuLocation, FlowEscalateReason, MetricId};
 use std::collections::HashMap;
 
 /// How faithfully the engine simulates traffic (selected through
@@ -359,6 +359,34 @@ pub(crate) enum EmitAction {
     Fast,
 }
 
+/// A flow-table decision worth journaling. At most one per
+/// `on_emit`/`absorb` call; the engine drains it through
+/// [`FlowTable::take_event`] immediately after the call that produced it
+/// (so the slot is always empty at snapshot boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlowEvent {
+    /// A flow confirmed its path and was promoted to the fast path.
+    Promoted {
+        /// Origin endpoint's device index.
+        origin: u32,
+        /// Confirmed one-way latency (ns) at promotion time.
+        lat: u64,
+    },
+    /// A steady flow fell back to packet level.
+    Escalated {
+        /// Origin endpoint's device index.
+        origin: u32,
+        /// Why the flow left the fast path.
+        reason: FlowEscalateReason,
+    },
+    /// A flow was caught pipelining and pinned to packet level for good.
+    /// Subsumes the escalation that accompanies a pin of a steady flow.
+    Pinned {
+        /// Origin endpoint's device index.
+        origin: u32,
+    },
+}
+
 /// The per-engine flow table (present only in `Hybrid`/`FlowOnly` runs).
 ///
 /// Cloned wholesale into [`EngineSnapshot`](crate::engine::Network)
@@ -368,6 +396,8 @@ pub(crate) struct FlowTable {
     fidelity: Fidelity,
     flows: HashMap<FlowKey, FlowState>,
     ids: FlowIds,
+    /// Pending journal-worthy decision (see [`FlowEvent`]).
+    last_event: Option<FlowEvent>,
 }
 
 impl FlowTable {
@@ -377,7 +407,16 @@ impl FlowTable {
             fidelity,
             flows: HashMap::new(),
             ids: FlowIds::intern(store),
+            last_event: None,
         }
+    }
+
+    /// Drains the decision event produced by the last `on_emit`/`absorb`
+    /// call, if any. The engine calls this right after each call so the
+    /// slot never survives into a snapshot.
+    #[inline]
+    pub(crate) fn take_event(&mut self) -> Option<FlowEvent> {
+        self.last_event.take()
     }
 
     pub(crate) fn fidelity(&self) -> Fidelity {
@@ -420,6 +459,9 @@ impl FlowTable {
                     st.consistent = 0;
                     store.add_id(self.ids.escalations, 1.0);
                 }
+                self.last_event = Some(FlowEvent::Pinned {
+                    origin: key.origin.0 as u32,
+                });
                 return EmitAction::Packet;
             }
         }
@@ -431,6 +473,10 @@ impl FlowTable {
                 st.consistent = 0;
                 store.add_id(self.ids.escalations, 1.0);
                 store.add_id(self.ids.probes, 1.0);
+                self.last_event = Some(FlowEvent::Escalated {
+                    origin: key.origin.0 as u32,
+                    reason: FlowEscalateReason::IdleGap,
+                });
                 return EmitAction::Probe;
             }
             let path = st.path.as_ref().expect("steady flow has a path");
@@ -441,6 +487,10 @@ impl FlowTable {
                 st.consistent = 0;
                 store.add_id(self.ids.escalations, 1.0);
                 store.add_id(self.ids.probes, 1.0);
+                self.last_event = Some(FlowEvent::Escalated {
+                    origin: key.origin.0 as u32,
+                    reason: FlowEscalateReason::FaultWindow,
+                });
                 return EmitAction::Probe;
             }
             // Hybrid keeps revalidating; FlowOnly trusts the model.
@@ -483,6 +533,10 @@ impl FlowTable {
             // Path crosses a no-bypass device or lossy link: never model.
             if st.steady {
                 store.add_id(self.ids.escalations, 1.0);
+                self.last_event = Some(FlowEvent::Escalated {
+                    origin: update.key.origin.0 as u32,
+                    reason: FlowEscalateReason::PathChanged,
+                });
             }
             st.steady = false;
             st.consistent = 0;
@@ -498,6 +552,10 @@ impl FlowTable {
                     if st.consistent >= STEADY_AFTER {
                         st.steady = true;
                         store.add_id(self.ids.promotions, 1.0);
+                        self.last_event = Some(FlowEvent::Promoted {
+                            origin: update.key.origin.0 as u32,
+                            lat: update.lat,
+                        });
                     }
                 }
             }
@@ -506,6 +564,10 @@ impl FlowTable {
                 // rewiring): demote and start confirming the new model.
                 if st.steady {
                     store.add_id(self.ids.escalations, 1.0);
+                    self.last_event = Some(FlowEvent::Escalated {
+                        origin: update.key.origin.0 as u32,
+                        reason: FlowEscalateReason::PathChanged,
+                    });
                 }
                 st.steady = false;
                 st.consistent = 1;

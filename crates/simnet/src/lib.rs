@@ -61,13 +61,16 @@ pub mod time;
 pub mod veth;
 
 pub use addr::{Ip4, Ip4Net, MacAddr, SockAddr};
-pub use config::SimConfig;
+pub use config::{telemetry_from_env, SimConfig};
 pub use costs::{CostModel, StageCost};
 pub use device::{Device, DeviceId, DeviceKind, PortId, Station};
 pub use endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
 pub use engine::{DevCtx, LinkParams, Network, SampleStore, StopCondition};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, StallWindow};
-pub use flight::{chrome_trace_network, chrome_trace_report, snapshot_network, snapshot_report};
+pub use flight::{
+    chrome_counter_tracks, chrome_trace_network, chrome_trace_report, snapshot_network,
+    snapshot_report, telemetry_network, telemetry_report,
+};
 pub use flow::Fidelity;
 pub use frame::{Frame, Payload, TcpKind, Transport};
 pub use parallel::{
@@ -75,3 +78,10 @@ pub use parallel::{
 };
 pub use shared::SharedStation;
 pub use time::{SimDuration, SimTime};
+
+// Telemetry-plane vocabulary (defined in the `metrics` crate) re-exported
+// so simulation harnesses need only one dependency for journal access.
+pub use metrics::{
+    FlowEscalateReason, JournalKind, JournalRecord, JournalRing, JournalTag, TelemetryConfig,
+    TelemetryMode, TelemetrySnapshot,
+};

@@ -131,7 +131,10 @@ use crate::engine::{
 use crate::flow::Fidelity;
 use crate::spsc::{self, Consumer, Producer};
 use crate::time::{SimDuration, SimTime};
-use metrics::{CpuAccount, CpuLocation, SpanRecord, SpanRing, StageTable, TraceMode};
+use metrics::{
+    CpuAccount, CpuLocation, JournalKind, JournalRecord, JournalRing, JournalTag, SpanRecord,
+    SpanRing, StageTable, TelemetryConfig, TelemetryMode, TraceMode, JOURNAL_KINDS,
+};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -148,6 +151,35 @@ const RING_CAP: usize = 16;
 /// How far past its conservative bound a shard may speculate, in units of
 /// the partition epoch.
 const SPEC_WINDOW_EPOCHS: u64 = 4;
+
+/// Source id tagged onto coordinator-lane journal records (rounds,
+/// commits, rollbacks, ring stats). One below the engine's external
+/// source, so neither lane's tags can collide with a device's.
+const COORD_SRC: u32 = u32::MAX - 1;
+
+/// Emits one coordinator-lane journal record (no-op when telemetry is
+/// off; the sequence counter advances only on emission so off-mode runs
+/// leave no trace at all).
+fn coord_rec(
+    journal: &mut JournalRing,
+    seq: &mut u64,
+    at: SimTime,
+    kind: JournalKind,
+    a: u64,
+    b: u64,
+    c: u64,
+) {
+    if journal.mode() == TelemetryMode::Off {
+        return;
+    }
+    let tag = JournalTag {
+        at_ns: at.0,
+        src: COORD_SRC,
+        seq: *seq,
+    };
+    *seq += 1;
+    journal.record(tag, kind, a, b, c);
+}
 
 /// Minimal union-find over device indices.
 struct UnionFind {
@@ -372,6 +404,13 @@ pub struct SyncStats {
     /// could not be forked ([`Device::fork`](crate::device::Device::fork)
     /// returned `None`); they degrade to conservative synchronization.
     pub spec_denied: u64,
+    /// Peak occupancy observed across every cross-shard ring (gathered at
+    /// [`ShardedNetwork::into_report`]; 0 before then and for single-shard
+    /// runs).
+    pub ring_high_water: u64,
+    /// Cumulative full-ring push stalls across every cross-shard ring
+    /// (backpressure the data plane felt; gathered at `into_report`).
+    pub ring_stalls: u64,
 }
 
 /// Everything a finished (sharded or single-shard) run yields: the merged
@@ -416,6 +455,21 @@ pub struct RunReport {
     /// Coordinator round and speculation statistics (all zero for
     /// single-shard runs, which bypass the coordinator).
     pub sync: SyncStats,
+    /// Merged control-plane journal (deterministic lane), in exact
+    /// sequential emission order — bit-identical for any shard count.
+    /// Empty unless telemetry ran in [`TelemetryMode::Full`].
+    pub journal: Vec<JournalRecord>,
+    /// Journal records emitted but dropped at the cap (never silent).
+    pub journal_dropped: u64,
+    /// Per-kind journal emission counts (kept + dropped), indexed by
+    /// `JournalKind as usize`. Populated in `Counters` and `Full` modes.
+    pub journal_counts: [u64; JOURNAL_KINDS],
+    /// Coordinator-lane journal records (rounds, commits, rollbacks, ring
+    /// stats). Shard-count-dependent by nature — excluded from the
+    /// determinism guarantee that covers [`journal`](RunReport::journal).
+    pub coord_journal: Vec<JournalRecord>,
+    /// The telemetry mode the run was configured with.
+    pub telemetry_mode: TelemetryMode,
 }
 
 /// A round-tagged batch of cross-shard frames traveling through an SPSC
@@ -980,6 +1034,7 @@ fn plan_round(
 /// commutative (indexed writes, min-folds, counter bumps), so reply
 /// arrival order — thread scheduling in the threaded backend, shard index
 /// order inline — cannot affect the outcome.
+#[allow(clippy::too_many_arguments)]
 fn fold_reply(
     r: Reply,
     floors: &mut [Option<SimTime>],
@@ -987,13 +1042,45 @@ fn fold_reply(
     stats: &mut SyncStats,
     spec: &mut [Option<SpecInfo>],
     new_pending: &mut [Option<SimTime>],
+    journal: &mut JournalRing,
+    jseq: &mut u64,
+    at: SimTime,
 ) {
     floors[r.shard] = r.floor;
     if r.committed {
         stats.spec_commits += 1;
+        coord_rec(
+            journal,
+            jseq,
+            at,
+            JournalKind::CoordCommit,
+            r.round,
+            r.shard as u64,
+            0,
+        );
     }
     if r.rolled_back {
         stats.spec_rollbacks += 1;
+        coord_rec(
+            journal,
+            jseq,
+            at,
+            JournalKind::CoordRollback,
+            r.round,
+            r.shard as u64,
+            0,
+        );
+    }
+    if r.spec.is_some() && !r.committed && !r.rolled_back {
+        coord_rec(
+            journal,
+            jseq,
+            at,
+            JournalKind::CoordHold,
+            r.round,
+            r.shard as u64,
+            0,
+        );
     }
     if !r.spec_capable && spec_capable[r.shard] {
         spec_capable[r.shard] = false;
@@ -1053,6 +1140,16 @@ pub struct ShardedNetwork {
     inline: Option<bool>,
     stats: SyncStats,
     now: SimTime,
+    /// Coordinator-lane journal (rounds, commits, rollbacks, ring stats);
+    /// tagged [`COORD_SRC`], shard-count-dependent, kept out of the
+    /// deterministic lane.
+    coord_journal: JournalRing,
+    /// Sequence counter for coordinator-lane record tags.
+    coord_jseq: u64,
+    /// The master network's pre-split journal (harness records emitted
+    /// before sharding); seeds the merged ring in `into_report`. Unused
+    /// (empty) for single-shard runs, whose network keeps its own ring.
+    journal_seed: JournalRing,
 }
 
 impl ShardedNetwork {
@@ -1062,8 +1159,9 @@ impl ShardedNetwork {
     /// # Panics
     /// Panics if `net` has already processed events — sharding must happen
     /// between topology construction and the first run.
-    pub fn new(net: Network, want: usize) -> ShardedNetwork {
+    pub fn new(mut net: Network, want: usize) -> ShardedNetwork {
         let now = net.now();
+        let telem = net.telemetry_config();
         let mut plan = PartitionPlan::partition(&net, want);
         if net.fidelity() != Fidelity::Packet {
             // Flow fast-path traffic can cross directly between any two
@@ -1071,11 +1169,16 @@ impl ShardedNetwork {
             plan.relax();
         }
         let nshards = plan.nshards();
+        let mut journal_seed = JournalRing::new(telem);
         let nets = if nshards == 1 {
             // Single shard: keep the network whole and run it directly —
             // trivially identical to the sequential engine.
             vec![net]
         } else {
+            // The master's pre-split journal (harness records emitted
+            // during topology construction) seeds the merged ring —
+            // its records precede every event, like pre-split samples.
+            journal_seed = net.take_journal();
             net.split(&plan.shard_of, nshards)
         };
         // One ring per directed pair that can exchange events: pairs
@@ -1116,6 +1219,9 @@ impl ShardedNetwork {
             inline: None,
             stats: SyncStats::default(),
             now,
+            coord_journal: JournalRing::new(telem),
+            coord_jseq: 0,
+            journal_seed,
         }
     }
 
@@ -1166,6 +1272,23 @@ impl ShardedNetwork {
         for net in &mut self.nets {
             net.set_tracing(on);
         }
+    }
+
+    /// Configures the telemetry plane on every shard (plus the seed and
+    /// coordinator rings). Prefer configuring the master [`Network`]
+    /// before sharding (e.g. through `SimConfig`); this exists for parity
+    /// with [`set_tracing`](ShardedNetwork::set_tracing).
+    pub fn set_telemetry_config(&mut self, cfg: TelemetryConfig) {
+        for net in &mut self.nets {
+            net.set_telemetry_config(cfg);
+        }
+        self.journal_seed.reconfigure(cfg);
+        self.coord_journal.reconfigure(cfg);
+    }
+
+    /// The active telemetry configuration.
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        self.nets[0].telemetry_config()
     }
 
     /// Pins the coordinator backend: `Some(true)` inline (coordinator
@@ -1269,6 +1392,8 @@ impl ShardedNetwork {
         let spec_capable = &mut self.spec_capable;
         let round = &mut self.round;
         let stats = &mut self.stats;
+        let coord_journal = &mut self.coord_journal;
+        let coord_jseq = &mut self.coord_jseq;
         std::thread::scope(|scope| {
             let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
             let mut cmd_txs = Vec::with_capacity(nshards);
@@ -1299,6 +1424,16 @@ impl ShardedNetwork {
                 *round += 1;
                 stats.rounds += 1;
                 let ndisp = rp.dispatch.iter().filter(|&&b| b).count();
+                let floor = rp.bound.iter().copied().min().unwrap_or(deadline);
+                coord_rec(
+                    coord_journal,
+                    coord_jseq,
+                    floor,
+                    JournalKind::CoordRound,
+                    *round,
+                    ndisp as u64,
+                    floor.0,
+                );
                 for (d, tx) in cmd_txs.iter().enumerate() {
                     if !rp.dispatch[d] {
                         continue;
@@ -1315,7 +1450,17 @@ impl ShardedNetwork {
                         .recv_timeout(std::time::Duration::from_secs(120))
                         .expect("shard worker died or stalled");
                     debug_assert_eq!(r.round, *round, "reply from a stale round");
-                    fold_reply(r, floors, spec_capable, stats, &mut spec, &mut new_pending);
+                    fold_reply(
+                        r,
+                        floors,
+                        spec_capable,
+                        stats,
+                        &mut spec,
+                        &mut new_pending,
+                        coord_journal,
+                        coord_jseq,
+                        floor,
+                    );
                 }
                 apply_pending(pending_in, &new_pending, &rp.dispatch);
             }
@@ -1352,6 +1497,17 @@ impl ShardedNetwork {
         ) {
             self.round += 1;
             self.stats.rounds += 1;
+            let ndisp = rp.dispatch.iter().filter(|&&b| b).count();
+            let floor = rp.bound.iter().copied().min().unwrap_or(deadline);
+            coord_rec(
+                &mut self.coord_journal,
+                &mut self.coord_jseq,
+                floor,
+                JournalKind::CoordRound,
+                self.round,
+                ndisp as u64,
+                floor.0,
+            );
             let mut new_pending: Vec<Option<SimTime>> = vec![None; nshards];
             for d in 0..nshards {
                 if !rp.dispatch[d] {
@@ -1376,6 +1532,9 @@ impl ShardedNetwork {
                     &mut self.stats,
                     &mut spec,
                     &mut new_pending,
+                    &mut self.coord_journal,
+                    &mut self.coord_jseq,
+                    floor,
                 );
             }
             apply_pending(&mut self.pending_in, &new_pending, &rp.dispatch);
@@ -1387,10 +1546,34 @@ impl ShardedNetwork {
     /// interleaving of samples and trace entries (see module docs).
     pub fn into_report(mut self) -> RunReport {
         let now = self.now;
-        let sync = self.stats;
+        let mut sync = self.stats;
+        // Ring telemetry: peak occupancy (max over rings) and cumulative
+        // push stalls, read from every producer half. Journaled in the
+        // coordinator lane — shard-count-dependent by construction.
+        for (s, ch) in self.chans.iter().enumerate() {
+            for (d, prod) in ch.outgoing.iter().enumerate() {
+                let Some(p) = prod else { continue };
+                sync.ring_high_water = sync.ring_high_water.max(p.high_water() as u64);
+                sync.ring_stalls += p.stalls();
+                if p.high_water() > 0 || p.stalls() > 0 {
+                    coord_rec(
+                        &mut self.coord_journal,
+                        &mut self.coord_jseq,
+                        now,
+                        JournalKind::RingHighWater,
+                        s as u64,
+                        d as u64,
+                        p.high_water() as u64,
+                    );
+                }
+            }
+        }
+        let coord_journal = std::mem::take(&mut self.coord_journal).into_parts().0;
         if self.nets.len() == 1 {
             let net = &mut self.nets[0];
             let (spans, spans_dropped) = net.take_spans().into_parts();
+            let telemetry_mode = net.telemetry_config().mode;
+            let (journal, journal_dropped, journal_counts) = net.take_journal().into_parts();
             let device_names = (0..net.device_count())
                 .map(|i| net.device_name(DeviceId(i)).to_string())
                 .collect();
@@ -1409,6 +1592,11 @@ impl ShardedNetwork {
                 trace: net.take_trace(),
                 now,
                 sync,
+                journal,
+                journal_dropped,
+                journal_counts,
+                coord_journal,
+                telemetry_mode,
             };
         }
         let n = self.nets.len();
@@ -1420,12 +1608,21 @@ impl ShardedNetwork {
         let device_names: Vec<String> = (0..self.nets[0].device_count())
             .map(|i| self.nets[0].device_name(DeviceId(i)).to_string())
             .collect();
+        let telemetry_mode = self.nets[0].telemetry_config().mode;
         let mut cpus = Vec::with_capacity(n);
         let mut logs: Vec<Vec<LogEntry>> = Vec::with_capacity(n);
         let mut traces: Vec<Vec<TraceEntry>> = Vec::with_capacity(n);
         let mut shard_spans: Vec<Vec<SpanRecord>> = Vec::with_capacity(n);
         let mut shard_stages: Vec<StageTable> = Vec::with_capacity(n);
         let mut spans = SpanRing::with_cap(span_cap);
+        // The merged journal ring starts from the master's pre-split
+        // records (which precede every event) and re-caps replayed shard
+        // records below. Same first-cap argument as spans: a record a
+        // shard dropped sits at local emission index ≥ cap, hence at
+        // sequential index ≥ cap — exactly a record the sequential run
+        // also dropped.
+        let mut jring = std::mem::take(&mut self.journal_seed);
+        let mut shard_jrecs: Vec<Vec<JournalRecord>> = Vec::with_capacity(n);
         let mut parts = Vec::with_capacity(n);
         for net in &mut self.nets {
             events_processed += net.events_processed();
@@ -1442,6 +1639,10 @@ impl ShardedNetwork {
             spans.add_dropped(locally_dropped);
             shard_spans.push(sp);
             shard_stages.push(net.take_stages());
+            let (jrecs, jdropped, jcounts) = net.take_journal().into_parts();
+            jring.add_dropped(jdropped);
+            jring.add_counts(&jcounts);
+            shard_jrecs.push(jrecs);
             parts.push(net.take_store().into_parts());
         }
         // Satellite of the flight recorder: shard-local CPU accounts fold
@@ -1498,6 +1699,7 @@ impl ShardedNetwork {
         let mut ji = vec![0usize; n];
         let mut ti = vec![0usize; n];
         let mut si = vec![0usize; n];
+        let mut jx = vec![0usize; n];
         let mut trace = Vec::new();
         loop {
             let mut best: Option<(usize, EventTag)> = None;
@@ -1531,6 +1733,10 @@ impl ShardedNetwork {
                 rec.stage = remap_id(&mut store, &mut idmap[s], &parts[s].names, rec.stage);
                 spans.push(rec);
             }
+            for _ in 0..e.jrecs {
+                jring.push_merged(shard_jrecs[s][jx[s]]);
+                jx[s] += 1;
+            }
         }
 
         // Per-stage aggregates fold cell-wise (integer sums, min/max,
@@ -1555,6 +1761,7 @@ impl ShardedNetwork {
         }
 
         let (spans, spans_dropped) = spans.into_parts();
+        let (journal, journal_dropped, journal_counts) = jring.into_parts();
         RunReport {
             store,
             cpu,
@@ -1570,6 +1777,11 @@ impl ShardedNetwork {
             dropped_no_link,
             now,
             sync,
+            journal,
+            journal_dropped,
+            journal_counts,
+            coord_journal,
+            telemetry_mode,
         }
     }
 }

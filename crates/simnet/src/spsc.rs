@@ -54,6 +54,11 @@ pub struct Producer<T> {
     tail: usize,
     /// Last observed `head`; refreshed only when the ring looks full.
     cached_head: usize,
+    /// Peak occupancy observed right after a successful push (telemetry;
+    /// an underestimate only by the consumer's concurrent progress).
+    high_water: usize,
+    /// Pushes that found the ring full at least once before succeeding.
+    stalls: u64,
 }
 
 /// The consuming half of a ring created by [`channel`].
@@ -84,6 +89,8 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             inner: Arc::clone(&inner),
             tail: 0,
             cached_head: 0,
+            high_water: 0,
+            stalls: 0,
         },
         Consumer {
             inner,
@@ -97,6 +104,19 @@ impl<T> Producer<T> {
     /// Capacity of the ring (a power of two).
     pub fn capacity(&self) -> usize {
         self.inner.mask + 1
+    }
+
+    /// Peak occupancy observed after any successful push. Telemetry only:
+    /// the consumer may have drained concurrently, so this is a lower
+    /// bound on the true peak — but it is exact for the inline backend.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Pushes that found the ring full at least once before succeeding
+    /// (each is a producer spin — backpressure the coordinator felt).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
     }
 
     /// Pushes `value`, or returns it if the ring is full.
@@ -118,6 +138,10 @@ impl<T> Producer<T> {
         // matching `Acquire` load of `tail`.
         self.inner.tail.store(self.tail + 1, Ordering::Release);
         self.tail += 1;
+        let occupancy = self.tail - self.cached_head;
+        if occupancy > self.high_water {
+            self.high_water = occupancy;
+        }
         Ok(())
     }
 
@@ -127,10 +151,15 @@ impl<T> Producer<T> {
     /// receiver to be dispatched, and termination is only signalled after
     /// every producer has gone quiet (see `parallel.rs`).
     pub fn push(&mut self, mut value: T) {
+        let mut stalled = false;
         loop {
             match self.try_push(value) {
                 Ok(()) => return,
                 Err(v) => {
+                    if !stalled {
+                        stalled = true;
+                        self.stalls += 1;
+                    }
                     value = v;
                     std::thread::yield_now();
                 }

@@ -13,7 +13,7 @@
 //! separate threads) cannot interfere with each other.
 
 use bytes::Bytes;
-use metrics::{CpuCategory, CpuLocation, TraceConfig, TraceMode};
+use metrics::{CpuCategory, CpuLocation, JournalKind, TelemetryConfig, TraceConfig, TraceMode};
 use nestless_simnet::addr::{Ip4, MacAddr, SockAddr};
 use nestless_simnet::bridge::Bridge;
 use nestless_simnet::costs::StageCost;
@@ -22,8 +22,8 @@ use nestless_simnet::engine::{LinkParams, Network};
 use nestless_simnet::frame::{Frame, Payload};
 use nestless_simnet::shared::SharedStation;
 use nestless_simnet::testutil::MacBouncer;
-use nestless_simnet::time::SimDuration;
-use nestless_simnet::StopCondition;
+use nestless_simnet::time::{SimDuration, SimTime};
+use nestless_simnet::{FaultPlan, StallWindow, StopCondition};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -232,4 +232,92 @@ fn warm_counters_mode_steady_state_is_allocation_free() {
     assert_eq!(stages.len(), 1, "bridge stage aggregated");
     assert_eq!(stages[0].1.frames, 576, "every flood round recorded");
     assert_eq!(net.spans_emitted(), 0, "counters mode emits no spans");
+}
+
+#[test]
+fn warm_telemetry_counters_steady_state_is_allocation_free() {
+    // The control-plane journal's counters mode rides the same budget.
+    // A dense stall plan on the bridge keeps the fault-window record
+    // sites live across the whole run; each emission only bumps a fixed
+    // per-kind count array, so the warmed steady state must not
+    // allocate — and the ring stays empty.
+    let mut net = Network::new(3);
+    net.set_telemetry_config(TelemetryConfig::counters());
+    let bridge = net.add_device(
+        "br",
+        CpuLocation::Host,
+        Box::new(Bridge::new(
+            4,
+            StageCost::fixed(800, 0.1, CpuCategory::Sys).with_jitter(0.05),
+            SharedStation::new(),
+        )),
+    );
+    for p in 1..4u32 {
+        let sink = net.add_device(
+            format!("sink{p}"),
+            CpuLocation::Host,
+            Box::new(MacBouncer::new(
+                format!("sink{p}"),
+                MacAddr::local(100 + p),
+                64,
+                StageCost::fixed(500, 0.1, CpuCategory::Usr),
+                false,
+            )),
+        );
+        net.connect(
+            sink,
+            PortId::P0,
+            bridge,
+            PortId(p as usize),
+            LinkParams::default(),
+        );
+    }
+    // Windows every 4 µs (2 µs wide) out past the last measured round,
+    // so window transitions keep firing during the measured phase.
+    let mut plan = FaultPlan::new();
+    for i in 0..2048u64 {
+        plan = plan.stall(StallWindow {
+            dev: bridge,
+            from: SimTime(i * 4_000),
+            until: SimTime(i * 4_000 + 2_000),
+            extra: SimDuration::nanos(25),
+        });
+    }
+    net.install_fault_plan(plan);
+    let body = Bytes::from(vec![0xAB; 512]);
+    let src = MacAddr::local(1);
+    let round = |net: &mut Network| {
+        net.inject_frame(
+            SimDuration::ZERO,
+            bridge,
+            PortId(0),
+            Frame::udp(
+                src,
+                MacAddr::BROADCAST,
+                sock(1, 1000),
+                sock(255, 2000),
+                Payload::bytes(body.clone()),
+            ),
+        );
+        net.run(StopCondition::Idle);
+    };
+    for _ in 0..64 {
+        round(&mut net);
+    }
+    let opens_before = net.journal().counts()[JournalKind::FaultOpen as usize];
+    let n = allocations(|| {
+        for _ in 0..512 {
+            round(&mut net);
+        }
+    });
+    assert_eq!(n, 0, "warmed telemetry counters steady state allocated");
+    let j = net.journal();
+    let opens = j.counts()[JournalKind::FaultOpen as usize];
+    assert!(
+        opens > opens_before,
+        "stall windows must keep the record sites live during the \
+         measured rounds (before={opens_before}, after={opens})"
+    );
+    assert!(j.records().is_empty(), "counters mode keeps the ring empty");
+    assert_eq!(j.dropped(), 0, "an empty ring cannot drop");
 }

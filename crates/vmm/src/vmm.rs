@@ -285,6 +285,8 @@ impl Vmm {
     /// wedged QEMU main loop or a dropped monitor connection.
     pub fn inject_qmp_outage(&mut self, from: simnet::SimTime, until: simnet::SimTime) {
         assert!(from < until, "outage window must be non-empty");
+        self.net
+            .journal_external(simnet::JournalKind::QmpOutage, from.0, until.0, 0);
         self.qmp_outages.push((from, until));
     }
 

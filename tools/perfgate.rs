@@ -6,7 +6,10 @@
 //!
 //! * `observability_overhead.json` — each mode's `relative_to_off_median`
 //!   (throughput relative to tracing-off on the *same* machine) may not
-//!   regress by more than 15% against the baseline.
+//!   regress by more than 15% against the baseline. The telemetry rows
+//!   are additionally gated absolutely: `telemetry_off` (config-identical
+//!   to `off`, separately measured) must stay ≥ 0.95x of `off`, and
+//!   `telemetry_full` must have journaled records (a live branch).
 //! * `engine_multicore.json` — every sweep row must be `bit_identical`;
 //!   the conservative 4-shard row's `speedup_vs_sequential_peak` (the
 //!   noise-robust paired statistic: peak rate over the sequential peak
@@ -52,6 +55,12 @@ const HYBRID_FLOOR: f64 = 5.0;
 /// machine-independent (both legs replay the identical event prefix on
 /// the same runner), so the acceptance target is gated directly.
 const CLOUDSIM_FLOOR: f64 = 10.0;
+/// Disabled telemetry must cost nothing: the `telemetry_off` sweep row is
+/// config-identical to `off` but separately measured, so its
+/// `relative_to_off_median` *is* the zero-cost claim — two independent
+/// measurements of the same configuration, gated directly (no baseline
+/// needed; the ratio is within-machine).
+const TELEMETRY_OFF_FLOOR: f64 = 0.95;
 
 #[derive(Default)]
 struct Gate {
@@ -138,6 +147,45 @@ fn check_observability(gate: &mut Gate, cur: &Value, base: &Value) {
             cur_ratio,
             base_ratio,
         );
+    }
+}
+
+/// Gate the telemetry plane rows of the observability sweep: disabled
+/// telemetry must be measurably free, and the full-journal row must have
+/// actually journaled records (otherwise the sweep measured a dead
+/// branch and its overhead numbers are meaningless).
+fn check_telemetry(gate: &mut Gate, cur: &Value) {
+    let modes = seq_at(cur, "modes");
+    match modes
+        .iter()
+        .find(|m| str_at(m, "mode") == Some("telemetry_off"))
+    {
+        None => gate.fail("observability results have no telemetry_off mode".to_string()),
+        Some(m) => match f64_at(m, "relative_to_off_median") {
+            None => gate.fail("telemetry_off mode has no relative_to_off_median".to_string()),
+            Some(r) if r < TELEMETRY_OFF_FLOOR => gate.fail(format!(
+                "telemetry_off runs at {r:.3}x of off (floor {TELEMETRY_OFF_FLOOR}): \
+                 disabled telemetry is not free"
+            )),
+            Some(r) => {
+                println!("perfgate: ok: telemetry_off {r:.3}x of off (floor {TELEMETRY_OFF_FLOOR})")
+            }
+        },
+    }
+    match modes
+        .iter()
+        .find(|m| str_at(m, "mode") == Some("telemetry_full"))
+    {
+        None => gate.fail("observability results have no telemetry_full mode".to_string()),
+        Some(m) => match f64_at(m, "journal_records_per_rep") {
+            Some(n) if n > 0.0 => {
+                println!("perfgate: ok: telemetry_full journals {n:.0} records/rep (live branch)")
+            }
+            _ => gate.fail(
+                "telemetry_full journaled no records — the sweep measured a dead branch"
+                    .to_string(),
+            ),
+        },
     }
 }
 
@@ -367,7 +415,10 @@ fn run_check(results: &Path, baselines: &Path) -> ExitCode {
         load(&results.join("observability_overhead.json")),
         load(&baselines.join("observability_overhead.json")),
     ) {
-        (Ok(cur), Ok(base)) => check_observability(&mut gate, &cur, &base),
+        (Ok(cur), Ok(base)) => {
+            check_observability(&mut gate, &cur, &base);
+            check_telemetry(&mut gate, &cur);
+        }
         (Err(e), _) | (_, Err(e)) => gate.fail(e),
     }
     match load(&results.join("engine_multicore.json")) {
@@ -424,6 +475,30 @@ fn selftest() -> ExitCode {
     let mut gate = Gate::default();
     check_observability(&mut gate, &regressed, &base);
     let caught_ratio = gate.failures.len() == 1;
+
+    // Telemetry gate: a non-free disabled plane and a dead-branch full
+    // journal must both be caught.
+    let bad_telemetry = fixture(
+        r#"{"modes": [
+            {"mode": "off", "relative_to_off_median": 1.0},
+            {"mode": "telemetry_off", "relative_to_off_median": 0.90},
+            {"mode": "telemetry_full", "relative_to_off_median": 0.85,
+             "journal_records_per_rep": 0}
+        ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_telemetry(&mut gate, &bad_telemetry);
+    // Exactly two failures: the off floor and the dead journal branch.
+    let caught_telemetry = gate.failures.len() == 2;
+
+    let ok_telemetry = fixture(
+        r#"{"modes": [
+            {"mode": "off", "relative_to_off_median": 1.0},
+            {"mode": "telemetry_off", "relative_to_off_median": 0.99},
+            {"mode": "telemetry_full", "relative_to_off_median": 0.88,
+             "journal_records_per_rep": 1200}
+        ]}"#,
+    );
 
     let bad_sweep = fixture(
         r#"{"host_cores": 1, "sweep": [
@@ -506,6 +581,7 @@ fn selftest() -> ExitCode {
     );
     let mut gate = Gate::default();
     check_observability(&mut gate, &base, &base);
+    check_telemetry(&mut gate, &ok_telemetry);
     check_multicore(&mut gate, &ok_sweep, None);
     check_hybrid(&mut gate, &ok_hybrid, Some(&ok_hybrid));
     check_cloudsim(&mut gate, &ok_cloudsim, Some(&ok_cloudsim));
@@ -513,6 +589,7 @@ fn selftest() -> ExitCode {
     let clean_passes = gate.failures.is_empty();
 
     if caught_ratio
+        && caught_telemetry
         && caught_sweep
         && caught_hybrid
         && caught_hybrid_regression
@@ -525,6 +602,7 @@ fn selftest() -> ExitCode {
     } else {
         eprintln!(
             "perfgate: selftest FAILED (ratio caught: {caught_ratio}, \
+             telemetry caught: {caught_telemetry}, \
              sweep caught: {caught_sweep}, hybrid caught: {caught_hybrid}, \
              hybrid regression caught: {caught_hybrid_regression}, \
              cloudsim caught: {caught_cloudsim}, \
