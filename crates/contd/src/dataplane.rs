@@ -50,6 +50,9 @@ pub struct NodeDataplane {
     pub nat: DeviceId,
     /// Runtime NAT administration handle (iptables stand-in).
     pub nat_ctl: NatControl,
+    /// The guest NAT's FORWARD filter table — where the default CNI lands
+    /// NetworkPolicy chains (post-DNAT, so rules match container sockets).
+    pub nat_filter: simnet::filter::FilterControl,
     /// docker0 bridge device.
     pub docker0: DeviceId,
     /// Container subnet.
@@ -109,10 +112,15 @@ impl NodeDataplane {
             station.clone(),
         );
         let nat_ctl = router.control();
+        let nat_filter = router.filter();
         nat_ctl.masquerade_on(PortId(0));
         let nat = vmm
             .network_mut()
             .add_device(format!("{vm_name}/nat"), loc, Box::new(router));
+        // Register table and NAT config with the engine so the flow fast
+        // path escalates learned flows when rules change on this device.
+        vmm.network_mut().attach_filter(nat, nat_filter.clone());
+        vmm.network_mut().watch_nat(nat, nat_ctl.clone());
 
         let docker0 = vmm.network_mut().add_device(
             format!("{vm_name}/docker0"),
@@ -137,6 +145,7 @@ impl NodeDataplane {
             vm_mac,
             nat,
             nat_ctl,
+            nat_filter,
             docker0,
             subnet: DOCKER_SUBNET,
             next_host: 2,        // .1 is the gateway

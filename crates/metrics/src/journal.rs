@@ -82,10 +82,19 @@ pub enum JournalKind {
     SchedPlace,
     /// Scheduler drained a node (`a` = node id, `b` = pods moved).
     SchedDrain,
+    /// Filter rule installed (`a` = device id, `b` = rule id,
+    /// `c` = activation ns).
+    FilterInstall,
+    /// Filter rule removal scheduled (`a` = device id, `b` = rule id,
+    /// `c` = deactivation ns).
+    FilterRemove,
+    /// Filter chain dropped a frame (`a` = device id, `b` = rule id,
+    /// `c` = verdict code: 0 = DROP, 1 = REJECT).
+    FilterDrop,
 }
 
 /// Number of [`JournalKind`] variants (size of the per-kind count array).
-pub const JOURNAL_KINDS: usize = 16;
+pub const JOURNAL_KINDS: usize = 19;
 
 /// Reason codes carried in `b` of a [`JournalKind::FlowEscalate`] record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,6 +107,9 @@ pub enum FlowEscalateReason {
     FaultWindow,
     /// The device pipelined/reordered, disqualifying the shortcut.
     Pipelined,
+    /// A NAT/filter rule change touched the learned path; the flow must
+    /// re-validate at packet level immediately.
+    RuleChange,
 }
 
 impl JournalKind {
@@ -120,6 +132,9 @@ impl JournalKind {
             JournalKind::CniRepair => "cni.repair",
             JournalKind::SchedPlace => "sched.place",
             JournalKind::SchedDrain => "sched.drain",
+            JournalKind::FilterInstall => "filter.install",
+            JournalKind::FilterRemove => "filter.remove",
+            JournalKind::FilterDrop => "filter.drop",
         }
     }
 
@@ -141,6 +156,9 @@ impl JournalKind {
         JournalKind::CniRepair,
         JournalKind::SchedPlace,
         JournalKind::SchedDrain,
+        JournalKind::FilterInstall,
+        JournalKind::FilterRemove,
+        JournalKind::FilterDrop,
     ];
 }
 

@@ -21,10 +21,11 @@
 use contd::{NodeDataplane, PortMapping};
 use metrics::journal_name_hash;
 use orchestrator::{
-    ClusterCtx, CniError, CniOutcome, CniPlugin, CniStatus, PodAttachment, PodSpec, RepairedPod,
-    VmAgent,
+    ClusterCtx, CniError, CniOutcome, CniPlugin, CniStatus, NetworkPolicy, PodAttachment, PodSpec,
+    RepairedPod, VmAgent,
 };
-use simnet::device::PortId;
+use simnet::device::{DeviceId, PortId};
+use simnet::filter::{Chain, FilterControl};
 use simnet::nat::{DnatRule, NatControl};
 use simnet::{Ip4, Ip4Net, JournalKind, SimDuration, SimTime, SockAddr};
 use std::collections::BTreeMap;
@@ -62,6 +63,24 @@ enum FuseErr {
     Fatal(String),
 }
 
+/// Filter chains installed at one enforcement point for one pod's policy.
+#[derive(Debug, Clone)]
+struct InstalledChains {
+    dev: DeviceId,
+    ctl: FilterControl,
+    ids: Vec<u64>,
+}
+
+/// A NetworkPolicy the plugin enforces for one pod, with the chains it
+/// currently has installed. The enforcement point follows the wiring:
+/// host bridge while the pod runs on fused NICs, the fallback guest NAT
+/// while it is parked on the nested path.
+#[derive(Debug, Clone)]
+struct AppliedPolicy {
+    policy: NetworkPolicy,
+    installed: Vec<InstalledChains>,
+}
+
 /// The BrFusion CNI plugin.
 pub struct BrFusionCni {
     /// Host bridge (networking domain) pod NICs are plugged into.
@@ -85,6 +104,9 @@ pub struct BrFusionCni {
     stats: CniStatus,
     /// Re-promotions accumulated for [`CniPlugin::drain_repaired`].
     repaired: Vec<RepairedPod>,
+    /// NetworkPolicies enforced per pod name; chains migrate with the
+    /// pod's wiring (bridge <-> fallback guest NAT).
+    policies: BTreeMap<String, AppliedPolicy>,
 }
 
 impl BrFusionCni {
@@ -113,6 +135,7 @@ impl BrFusionCni {
             degraded: Vec::new(),
             stats: CniStatus::default(),
             repaired: Vec::new(),
+            policies: BTreeMap::new(),
         }
     }
 
@@ -317,6 +340,13 @@ impl BrFusionCni {
             backoff: Self::REPROMOTE_BACKOFF,
             next_retry: now + Self::REPROMOTE_BACKOFF,
         });
+        // Chain migration: a pod under a NetworkPolicy stays isolated on
+        // the double-NAT path — the chains move to the fallback guest NAT
+        // (the bridge no longer sees frames addressed to the pod).
+        if self.policies.contains_key(&pod.name) {
+            let targets: Vec<(VmId, Ip4)> = out.iter().map(|a| (a.vm, a.net.ip)).collect();
+            self.enforce_policy(ctx, &pod.name, &targets, true)?;
+        }
         Ok(CniOutcome::degraded(out, reason))
     }
 
@@ -360,6 +390,95 @@ impl BrFusionCni {
             }
         }
         Ok(atts)
+    }
+
+    /// Closes every rule window currently installed for `pod` (at the
+    /// present sim time; verdicts already rendered are unaffected). The
+    /// stored policy stays — the next [`BrFusionCni::enforce_policy`]
+    /// recompiles it at the pod's new enforcement point.
+    fn retract_chains(&mut self, ctx: &mut ClusterCtx<'_>, pod: &str) {
+        let Some(ap) = self.policies.get_mut(pod) else {
+            return;
+        };
+        let now = ctx.vmm.network().now();
+        for chains in ap.installed.drain(..) {
+            for id in chains.ids {
+                ctx.vmm
+                    .network_mut()
+                    .remove_filter(chains.dev, &chains.ctl, id, now);
+            }
+        }
+    }
+
+    /// Compiles `policy` for each pod address in `ips` onto one device's
+    /// FORWARD table, journaling every install.
+    fn install_chains(
+        ctx: &mut ClusterCtx<'_>,
+        dev: DeviceId,
+        ctl: &FilterControl,
+        policy: &NetworkPolicy,
+        ips: &[Ip4],
+    ) -> InstalledChains {
+        let now = ctx.vmm.network().now();
+        let mut ids = Vec::new();
+        for &ip in ips {
+            for rule in policy.compile(Chain::Forward, ip) {
+                ids.push(ctx.vmm.network_mut().install_filter(dev, ctl, rule, now));
+            }
+        }
+        InstalledChains {
+            dev,
+            ctl: ctl.clone(),
+            ids,
+        }
+    }
+
+    /// (Re-)installs the stored policy for `pod` at the enforcement point
+    /// implied by its current wiring: the host bridge for fused NICs, or
+    /// each VM's fallback guest NAT while `degraded`. `targets` pairs
+    /// every container address with its VM. No-op when the pod has no
+    /// stored policy.
+    fn enforce_policy(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &str,
+        targets: &[(VmId, Ip4)],
+        degraded: bool,
+    ) -> Result<usize, CniError> {
+        let Some(policy) = self.policies.get(pod).map(|ap| ap.policy.clone()) else {
+            return Ok(0);
+        };
+        self.retract_chains(ctx, pod);
+        let mut installed = Vec::new();
+        if degraded {
+            // The nested path DNATs twice; the fallback guest NAT's
+            // FORWARD hook runs post-DNAT, so frames there carry the
+            // container socket the policy talks about.
+            for &(vm, ip) in targets {
+                let engine = ctx.engines.get(&vm).ok_or_else(|| {
+                    CniError::fatal(format!("no container engine on {vm:?} for policy"))
+                })?;
+                let dp = engine.dataplane().ok_or_else(|| {
+                    CniError::fatal(format!("no fallback dataplane on {vm:?} for policy"))
+                })?;
+                let (dev, ctl) = (dp.nat, dp.nat_filter.clone());
+                installed.push(Self::install_chains(ctx, dev, &ctl, &policy, &[ip]));
+            }
+        } else {
+            // Fused NICs hang directly off the host bridge, which sees
+            // post-DNAT frames addressed to the pod itself.
+            let br = ctx
+                .vmm
+                .bridge_by_name(&self.bridge)
+                .ok_or_else(|| CniError::fatal(format!("no such bridge: {}", self.bridge)))?;
+            let dev = ctx.vmm.bridge_device(br);
+            let ctl = ctx.vmm.bridge_filter(br);
+            let ips: Vec<Ip4> = targets.iter().map(|&(_, ip)| ip).collect();
+            installed.push(Self::install_chains(ctx, dev, &ctl, &policy, &ips));
+        }
+        let count = installed.iter().map(|c| c.ids.len()).sum();
+        self.policies.get_mut(pod).expect("stored above").installed = installed;
+        Ok(count)
     }
 }
 
@@ -421,6 +540,11 @@ impl CniPlugin for BrFusionCni {
             let pod_id = journal_name_hash(&pod.pod);
             match self.try_repromote(ctx, &pod) {
                 Ok(atts) => {
+                    // Chain migration back: enforcement returns to the
+                    // host bridge, recompiled for the pod's new addresses.
+                    let targets: Vec<(VmId, Ip4)> = atts.iter().map(|a| (a.vm, a.net.ip)).collect();
+                    self.enforce_policy(ctx, &pod.pod, &targets, false)
+                        .expect("bridge exists after a successful re-promotion");
                     repromoted += 1;
                     self.stats.repromotions += 1;
                     let dwell = now.since(pod.degraded_at).as_nanos();
@@ -468,6 +592,31 @@ impl CniPlugin for BrFusionCni {
 
     fn drain_repaired(&mut self) -> Vec<RepairedPod> {
         std::mem::take(&mut self.repaired)
+    }
+
+    /// Enforcement point: the host bridge the fused NICs hang off — so
+    /// the de-duplicated dataplane stays policy-covered. While the pod is
+    /// parked on the degraded nested path the chains live on the fallback
+    /// guest NAT instead, and they migrate back on re-promotion.
+    fn apply_policy(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        attachments: &[PodAttachment],
+        policy: &NetworkPolicy,
+    ) -> Result<usize, CniError> {
+        // Replace any earlier policy for the pod.
+        self.retract_chains(ctx, &pod.name);
+        self.policies.insert(
+            pod.name.clone(),
+            AppliedPolicy {
+                policy: policy.clone(),
+                installed: Vec::new(),
+            },
+        );
+        let degraded = self.degraded.iter().any(|d| d.pod == pod.name);
+        let targets: Vec<(VmId, Ip4)> = attachments.iter().map(|a| (a.vm, a.net.ip)).collect();
+        self.enforce_policy(ctx, &pod.name, &targets, degraded)
     }
 }
 

@@ -267,6 +267,20 @@ impl Cluster {
         dev
     }
 
+    /// Applies a network policy through the control plane: chains are
+    /// installed on every live matching pod, and later deployments of
+    /// matching pods inherit the policy automatically.
+    pub fn apply_policy(
+        &mut self,
+        policy: orchestrator::NetworkPolicy,
+    ) -> Result<usize, orchestrator::CniError> {
+        let mut ctx = ClusterCtx {
+            vmm: &mut self.vmm,
+            engines: &mut self.engines,
+        };
+        self.control_plane.apply_policy(&mut ctx, policy)
+    }
+
     /// Runs the datacenter for `d` of simulated time.
     pub fn run_for(&mut self, d: SimDuration) {
         self.vmm.network_mut().run(StopCondition::For(d));

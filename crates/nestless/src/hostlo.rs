@@ -13,12 +13,14 @@
 
 use orchestrator::NodeId;
 use orchestrator::{
-    ClusterCtx, CniError, CniOutcome, CniPlugin, Node, Placement, PodAttachment, PodSpec,
-    QueueBinding, SchedError, Scheduler, VmAgent,
+    ClusterCtx, CniError, CniOutcome, CniPlugin, NetworkPolicy, Node, Placement, PodAttachment,
+    PodSpec, QueueBinding, SchedError, Scheduler, VmAgent,
 };
+use simnet::filter::Chain;
 use simnet::veth::Loopback;
 use simnet::{Ip4, Ip4Net};
-use vmm::{QmpCommand, QmpResponse, VmId};
+use std::collections::BTreeMap;
+use vmm::{HostloHandle, NicId, QmpCommand, QmpResponse, VmId};
 
 /// The link-local subnet pods' hostlo interfaces live in.
 pub const HOSTLO_SUBNET: Ip4Net = Ip4Net {
@@ -39,6 +41,9 @@ pub const POD_LOCALHOST: Ip4 = Ip4(0xA9FE_0001); // 169.254.0.1
 #[derive(Debug, Default)]
 pub struct HostloCni {
     pods_wired: u32,
+    /// TAP handle per cross-VM pod, so NetworkPolicy chains can land on
+    /// the host queues that carry the pod's localhost traffic.
+    taps: BTreeMap<String, HostloHandle>,
 }
 
 impl HostloCni {
@@ -90,6 +95,11 @@ impl CniPlugin for HostloCni {
                 CniError::fatal(reason)
             });
         };
+        // Resolve the TAP the endpoints hang off, for policy enforcement.
+        let ep0 = &endpoints[0];
+        if let Some(h) = ctx.vmm.hostlo_for_nic(VmId(ep0.vm), NicId(ep0.nic)) {
+            self.taps.insert(pod.name.clone(), h);
+        }
 
         // Step 3-4: each VM agent configures its endpoint as the pod
         // fraction's localhost. Containers co-located in the same VM share
@@ -136,6 +146,34 @@ impl CniPlugin for HostloCni {
             });
         }
         Ok(CniOutcome::nominal(out).with_queues(queues))
+    }
+
+    /// Enforcement point: the host's hostlo TAP queues. The TAP's FORWARD
+    /// hook sees every pod-localhost frame before the fan-out, so chains
+    /// there constrain which ports the pod's fractions may open to each
+    /// other even though the traffic never touches a bridge. Single-VM
+    /// pods ride an in-VM loopback with no host enforcement point and
+    /// install nothing.
+    fn apply_policy(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        pod: &PodSpec,
+        _attachments: &[PodAttachment],
+        policy: &NetworkPolicy,
+    ) -> Result<usize, CniError> {
+        let Some(&h) = self.taps.get(&pod.name) else {
+            return Ok(0);
+        };
+        let dev = ctx.vmm.hostlo_device(h);
+        let ctl = ctx.vmm.hostlo_filter(h);
+        let now = ctx.vmm.network().now();
+        let mut installed = 0;
+        // Every fraction answers on the shared pod-localhost address.
+        for rule in policy.compile(Chain::Forward, POD_LOCALHOST) {
+            ctx.vmm.network_mut().install_filter(dev, &ctl, rule, now);
+            installed += 1;
+        }
+        Ok(installed)
     }
 }
 

@@ -1,0 +1,300 @@
+//! NetworkPolicy under chaos: a BrFusion pod degraded to the nested
+//! double-NAT path at deploy time keeps its ingress policy enforced on the
+//! guest NAT, and re-promotion migrates the chains to the host bridge —
+//! with zero policy-violating deliveries in any phase.
+
+extern crate nestless;
+
+use contd::{ContainerSpec, DOCKER_SUBNET};
+use metrics::{CpuLocation, JournalKind, TelemetryConfig};
+use nestless::{Cluster, ClusterBuilder, CniKind, CLIENT_NET, HOST_NET};
+use orchestrator::{IngressRule, NetworkPolicy, PodSpec};
+use simnet::device::{DeviceId, PortId};
+use simnet::endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
+use simnet::engine::LinkParams;
+use simnet::nat::Proto;
+use simnet::shared::SharedStation;
+use simnet::{MacAddr, Payload, SimDuration, SockAddr};
+
+const SERVICE_PORT: u16 = 7000;
+/// Also published on the host NAT, but not whitelisted by the policy:
+/// traffic to it must die at the pod's current enforcement point.
+const BLOCKED_PORT: u16 = 7001;
+
+/// Echoes every request back to its sender.
+struct Echo;
+impl Application for Echo {
+    fn on_start(&mut self, _: &mut AppApi<'_, '_>) {}
+    fn on_message(&mut self, msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count("srv.requests", 1.0);
+        let mut p = Payload::sized(8);
+        p.tag = msg.payload.tag;
+        api.send_udp(SERVICE_PORT, msg.src, p);
+    }
+}
+
+/// Sends one probe per START trigger from a fresh source port (each probe
+/// opens a new conntrack flow) and counts replies under `{name}.pong`.
+/// Each client targets its own published service port.
+struct Probe {
+    name: &'static str,
+    service: SockAddr,
+    probes: u16,
+}
+impl Application for Probe {
+    fn on_start(&mut self, api: &mut AppApi<'_, '_>) {
+        let src = 7100 + self.probes;
+        self.probes += 1;
+        let mut p = Payload::sized(100);
+        p.tag = self.probes as u64;
+        api.send_udp(src, self.service, p);
+    }
+    fn on_message(&mut self, _msg: Incoming, api: &mut AppApi<'_, '_>) {
+        api.count(&format!("{}.pong", self.name), 1.0);
+    }
+}
+
+/// A client-side access switch on the host NAT's client-facing port, so
+/// several external clients can share it.
+fn client_switch(cluster: &mut Cluster) -> DeviceId {
+    use simnet::bridge::Bridge;
+    use simnet::costs::StageCost;
+    let sw = cluster.vmm.network_mut().add_device(
+        "client-sw",
+        CpuLocation::Host,
+        Box::new(Bridge::new(
+            3,
+            StageCost::fixed(200, 0.05, metrics::CpuCategory::Sys),
+            SharedStation::new(),
+        )),
+    );
+    cluster.vmm.network_mut().connect(
+        sw,
+        PortId(0),
+        cluster.host_nat,
+        PortId(0),
+        LinkParams::default(),
+    );
+    sw
+}
+
+/// Wires an external client endpoint to the client-side switch port
+/// `sw_port` (behind the host NAT's client-facing interface).
+fn attach_client(
+    cluster: &mut Cluster,
+    sw: DeviceId,
+    sw_port: u16,
+    name: &'static str,
+    host_n: u32,
+    service_port: u16,
+) -> DeviceId {
+    let client_ip = CLIENT_NET.host(host_n);
+    let client_mac = MacAddr::local(0x00E9_0000 + host_n);
+    let service = SockAddr::new(cluster.host_nat_ctl.iface_ip(PortId(0)), service_port);
+    cluster
+        .host_nat_ctl
+        .add_neigh(PortId(0), client_ip, client_mac);
+    let iface = IfaceConf::new(client_mac, client_ip, CLIENT_NET).with_gateway(
+        CLIENT_NET.host(1),
+        cluster.host_nat_ctl.iface_mac(PortId(0)),
+    );
+    let sock_cost = cluster.vmm.costs().socket;
+    let ep = Endpoint::new(
+        name,
+        vec![iface],
+        7100..7200,
+        sock_cost,
+        SharedStation::new(),
+        Box::new(Probe {
+            name,
+            service,
+            probes: 0,
+        }),
+    );
+    let dev = cluster
+        .vmm
+        .network_mut()
+        .add_device(name, CpuLocation::Host, Box::new(ep));
+    cluster.vmm.network_mut().connect(
+        dev,
+        PortId::P0,
+        sw,
+        PortId(sw_port as usize),
+        LinkParams::default(),
+    );
+    dev
+}
+
+fn service_pod() -> PodSpec {
+    PodSpec::new(
+        "web",
+        vec![ContainerSpec::new("srv", "app:1")
+            .with_port(Proto::Udp, SERVICE_PORT, SERVICE_PORT)
+            .with_port(Proto::Udp, BLOCKED_PORT, BLOCKED_PORT)],
+    )
+}
+
+/// Ingress policy whitelisting only the service port: replies pass via the
+/// conntrack preamble, NEW flows may reach SERVICE_PORT, and everything
+/// else addressed to the pod — the published-but-unlisted BLOCKED_PORT
+/// included — is dropped. (The host NAT masquerades forwarded traffic, so
+/// source-based matching can't tell clients apart here; port isolation is
+/// what a cluster-internal policy can actually enforce, as in Kubernetes
+/// with externalTrafficPolicy: Cluster.)
+fn service_port_only() -> NetworkPolicy {
+    NetworkPolicy::deny_all("service-port-only", "web")
+        .allow(IngressRule::any().proto(Proto::Udp).port(SERVICE_PORT))
+}
+
+/// One probe from each client; asserts the good client's pong counter
+/// advanced to `good_pongs` while the evil client's stayed at zero.
+fn probe_both(cluster: &mut Cluster, good: DeviceId, evil: DeviceId, good_pongs: f64, label: &str) {
+    for dev in [good, evil] {
+        cluster
+            .vmm
+            .network_mut()
+            .schedule_timer(SimDuration::ZERO, dev, START_TOKEN);
+    }
+    cluster.run_for(SimDuration::millis(10));
+    let store = cluster.vmm.network().store();
+    assert_eq!(
+        store.counter("good.pong"),
+        good_pongs,
+        "{label}: allowed client must be served"
+    );
+    assert_eq!(
+        store.counter("evil.pong"),
+        0.0,
+        "{label}: policy-violating delivery"
+    );
+}
+
+/// Devices that journaled a FilterDrop since the start of the run, in
+/// record order (the enforcement point the drop happened at).
+fn drop_devices(cluster: &Cluster) -> Vec<u64> {
+    cluster
+        .vmm
+        .network()
+        .journal()
+        .records()
+        .iter()
+        .filter(|r| r.kind == JournalKind::FilterDrop)
+        .map(|r| r.a)
+        .collect()
+}
+
+#[test]
+fn policy_follows_the_pod_across_degrade_and_repromotion() {
+    let mut cluster = ClusterBuilder::new()
+        .cni(CniKind::BrFusion)
+        .vms(1)
+        .seed(5)
+        .build();
+    cluster
+        .vmm
+        .network_mut()
+        .set_telemetry_config(TelemetryConfig::full());
+
+    // The policy is cluster state before the pod exists: deployment must
+    // pick it up wherever the pod lands.
+    assert_eq!(
+        cluster.apply_policy(service_port_only()).expect("stored"),
+        0
+    );
+
+    // Deployment degrades on an injected QMP fault: the pod lands on the
+    // nested path (guest docker bridge + double NAT).
+    cluster.vmm.fail_next_qmp(1);
+    let id = cluster.deploy(service_pod()).expect("degrades, not fails");
+    let atts = cluster.attachments(id).to_vec();
+    assert_eq!(cluster.cni_status().fallbacks, 1);
+    assert!(DOCKER_SUBNET.contains(atts[0].net.ip));
+
+    cluster.attach_app(
+        &atts[0],
+        "srv-degraded",
+        [SERVICE_PORT, BLOCKED_PORT],
+        Box::new(Echo),
+    );
+    let sw = client_switch(&mut cluster);
+    let good = attach_client(&mut cluster, sw, 1, "good", 100, SERVICE_PORT);
+    let evil = attach_client(&mut cluster, sw, 2, "evil", 200, BLOCKED_PORT);
+
+    // Degraded phase: the good client is served, the evil client is not,
+    // and the drop happened on the guest NAT (the double-NAT enforcement
+    // point — the host bridge only ever sees the VM's address).
+    probe_both(&mut cluster, good, evil, 1.0, "degraded");
+    let guest_nat = cluster.engines[&atts[0].vm]
+        .dataplane()
+        .expect("degraded pod has a dataplane")
+        .nat;
+    let drops = drop_devices(&cluster);
+    assert!(!drops.is_empty(), "evil probe must be dropped");
+    assert!(
+        drops.iter().all(|&d| d == guest_nat.0 as u64),
+        "degraded chains live on the guest NAT, drops were at {drops:?}"
+    );
+
+    // Re-promotion after the backoff: the pod returns to a fused NIC and
+    // the chains must migrate with it.
+    cluster.run_for(SimDuration::millis(60));
+    assert_eq!(cluster.repair(), 1);
+    let repromoted = cluster.drain_repaired();
+    assert_eq!(repromoted.len(), 1);
+    let new_atts = &repromoted[0].outcome.attachments;
+    assert!(HOST_NET.contains(new_atts[0].net.ip));
+    cluster.attach_app(
+        &new_atts[0],
+        "srv-fused",
+        [SERVICE_PORT, BLOCKED_PORT],
+        Box::new(Echo),
+    );
+
+    // Nominal phase: same verdicts, but the drop now happens on the host
+    // bridge (fused NICs bypass the guest NAT entirely).
+    let before = drop_devices(&cluster).len();
+    probe_both(&mut cluster, good, evil, 2.0, "re-promoted");
+    let bridge_dev = cluster.vmm.bridge_device(cluster.bridge);
+    let drops = drop_devices(&cluster);
+    assert!(drops.len() > before, "evil probe must still be dropped");
+    assert!(
+        drops[before..].iter().all(|&d| d == bridge_dev.0 as u64),
+        "nominal chains live on the host bridge, drops were at {drops:?}"
+    );
+
+    // No phase ever delivered a policy-violating frame: every request the
+    // service saw produced a pong for the good client.
+    let store = cluster.vmm.network().store();
+    assert_eq!(store.counter("srv.requests"), store.counter("good.pong"));
+}
+
+#[test]
+fn policy_applies_to_live_nominal_pods() {
+    let mut cluster = ClusterBuilder::new()
+        .cni(CniKind::BrFusion)
+        .vms(1)
+        .seed(7)
+        .build();
+
+    // Healthy deploy first, policy second: apply_policy must install on
+    // the live pod's current enforcement point (the host bridge).
+    let id = cluster.deploy(service_pod()).expect("healthy deploy");
+    assert!(cluster.control_plane.pod(id).net_health.is_nominal());
+    let atts = cluster.attachments(id).to_vec();
+    assert!(HOST_NET.contains(atts[0].net.ip));
+    let installed = cluster.apply_policy(service_port_only()).expect("installs");
+    assert!(installed >= 3, "preamble + allow + deny, got {installed}");
+
+    cluster.attach_app(
+        &atts[0],
+        "srv",
+        [SERVICE_PORT, BLOCKED_PORT],
+        Box::new(Echo),
+    );
+    let sw = client_switch(&mut cluster);
+    let good = attach_client(&mut cluster, sw, 1, "good", 100, SERVICE_PORT);
+    let evil = attach_client(&mut cluster, sw, 2, "evil", 200, BLOCKED_PORT);
+    probe_both(&mut cluster, good, evil, 1.0, "nominal");
+    let store = cluster.vmm.network().store();
+    assert!(store.counter("filter.forward.drop") >= 1.0);
+}

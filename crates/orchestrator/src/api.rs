@@ -1,10 +1,12 @@
 //! The control plane: node registry, pod deployment, CNI dispatch.
 
 use crate::cni::{
-    ClusterCtx, CniPlugin, CniStatus, PodAttachment, PodNetHealth, QueueBinding, RepairedPod,
+    ClusterCtx, CniError, CniPlugin, CniStatus, PodAttachment, PodNetHealth, QueueBinding,
+    RepairedPod,
 };
 use crate::node::{Node, NodeId};
 use crate::pod::{PodId, PodSpec};
+use crate::policy::NetworkPolicy;
 use crate::scheduler::{Placement, SchedError, Scheduler};
 use cloudsim::{FreeCapIndex, Res};
 use contd::{Image, NetworkMode};
@@ -62,6 +64,9 @@ pub struct ControlPlane {
     /// index id `i`), kept in sync at every allocation change so
     /// schedulers can skip the full-node rescan.
     index: FreeCapIndex,
+    /// Stored NetworkPolicy objects; enforced on matching live pods and
+    /// auto-applied to matching pods deployed later.
+    policies: Vec<NetworkPolicy>,
 }
 
 impl ControlPlane {
@@ -80,6 +85,7 @@ impl ControlPlane {
             scheduler,
             cni,
             index: FreeCapIndex::new(),
+            policies: Vec::new(),
         }
     }
 
@@ -299,7 +305,56 @@ impl ControlPlane {
             queues: outcome.queues,
             live: true,
         });
+
+        // NetworkPolicy objects are cluster state: a pod deployed after
+        // the policy was applied still gets its chains (K8s semantics).
+        let matching: Vec<NetworkPolicy> = self
+            .policies
+            .iter()
+            .filter(|p| p.selects(&self.pods[id.0 as usize].spec))
+            .cloned()
+            .collect();
+        for pol in &matching {
+            let rec = &self.pods[id.0 as usize];
+            let (spec, atts) = (rec.spec.clone(), rec.attachments.clone());
+            self.cni
+                .apply_policy(ctx, &spec, &atts, pol)
+                .map_err(DeployError::Network)?;
+        }
         Ok(id)
+    }
+
+    /// Applies a NetworkPolicy: compiles it onto every matching live
+    /// pod's enforcement point (the CNI plugin decides where) and stores
+    /// it so matching pods deployed later are covered too. Returns the
+    /// number of filter rules installed now.
+    pub fn apply_policy(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        policy: NetworkPolicy,
+    ) -> Result<usize, CniError> {
+        let targets: Vec<usize> = self
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.live && policy.selects(&p.spec))
+            .map(|(i, _)| i)
+            .collect();
+        let mut installed = 0;
+        for i in targets {
+            let (spec, atts) = {
+                let rec = &self.pods[i];
+                (rec.spec.clone(), rec.attachments.clone())
+            };
+            installed += self.cni.apply_policy(ctx, &spec, &atts, &policy)?;
+        }
+        self.policies.push(policy);
+        Ok(installed)
+    }
+
+    /// Stored NetworkPolicy objects, in application order.
+    pub fn policies(&self) -> &[NetworkPolicy] {
+        &self.policies
     }
 
     /// One repair pass over degraded pod networking: asks the CNI plugin

@@ -8,8 +8,10 @@
 //! models vanilla Kubernetes-on-Docker networking.
 
 use crate::pod::PodSpec;
+use crate::policy::NetworkPolicy;
 use contd::{ContainerEngine, ContainerNet};
 use simnet::device::{DeviceId, PortId};
+use simnet::filter::Chain;
 use std::collections::BTreeMap;
 use std::fmt;
 use vmm::{VmId, Vmm};
@@ -214,6 +216,22 @@ pub trait CniPlugin {
     fn drain_repaired(&mut self) -> Vec<RepairedPod> {
         Vec::new()
     }
+
+    /// Compiles `policy` into filter chains at whichever device carries
+    /// the pod's traffic for this plugin's wiring, and keeps them there
+    /// across wiring changes (degrade / re-promotion). `attachments` is
+    /// the pod's current wiring as returned by [`CniPlugin::setup`].
+    /// Returns the number of filter rules installed. The default is a
+    /// no-op: a plugin without an enforcement point isolates nothing.
+    fn apply_policy(
+        &mut self,
+        _ctx: &mut ClusterCtx<'_>,
+        _pod: &PodSpec,
+        _attachments: &[PodAttachment],
+        _policy: &NetworkPolicy,
+    ) -> Result<usize, CniError> {
+        Ok(0)
+    }
 }
 
 /// The default plugin: each container goes through the VM's bridge+NAT
@@ -257,6 +275,35 @@ impl CniPlugin for DefaultCni {
             });
         }
         Ok(CniOutcome::nominal(out))
+    }
+
+    /// Enforcement point: the nested guest's NAT router. Its FORWARD hook
+    /// runs post-DNAT, so compiled rules match the container's own socket
+    /// (ip, container port) — exactly what the policy talks about.
+    fn apply_policy(
+        &mut self,
+        ctx: &mut ClusterCtx<'_>,
+        _pod: &PodSpec,
+        attachments: &[PodAttachment],
+        policy: &NetworkPolicy,
+    ) -> Result<usize, CniError> {
+        let now = ctx.vmm.network().now();
+        let mut installed = 0;
+        for att in attachments {
+            let engine = ctx
+                .engines
+                .get(&att.vm)
+                .ok_or_else(|| CniError::fatal(format!("no container engine on {:?}", att.vm)))?;
+            let dp = engine
+                .dataplane()
+                .ok_or_else(|| CniError::fatal(format!("no default dataplane on {:?}", att.vm)))?;
+            let (dev, ctl) = (dp.nat, dp.nat_filter.clone());
+            for rule in policy.compile(Chain::Forward, att.net.ip) {
+                ctx.vmm.network_mut().install_filter(dev, &ctl, rule, now);
+                installed += 1;
+            }
+        }
+        Ok(installed)
     }
 }
 

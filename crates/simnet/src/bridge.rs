@@ -11,10 +11,12 @@ use crate::addr::MacAddr;
 use crate::costs::StageCost;
 use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
-use crate::frame::Frame;
+use crate::filter::{Chain, FilterControl, HookIds, StateTracker, Verdict, REJECT_TAG};
+use crate::frame::{Frame, Payload};
+use crate::nat::Proto;
 use crate::shared::SharedStation;
 use crate::time::{SimDuration, SimTime};
-use metrics::MetricId;
+use metrics::{JournalKind, MetricId};
 use std::collections::HashMap;
 
 /// Default FDB entry lifetime (Linux default is 300 s).
@@ -53,6 +55,14 @@ pub struct Bridge {
     fdb_cap: usize,
     fdb: HashMap<MacAddr, (PortId, SimTime)>,
     ids: Option<BridgeIds>,
+    /// FORWARD filter table (NetworkPolicy chains land here when the CNI
+    /// targets the bridge, e.g. BrFusion's fused host bridge). Never-
+    /// configured tables cost one atomic load per frame.
+    filter: FilterControl,
+    /// Device-local conntrack feeding the filter's state-match (the
+    /// bridge has no NAT conntrack to consult).
+    tracker: StateTracker,
+    filter_ids: Option<HookIds>,
 }
 
 impl Bridge {
@@ -68,7 +78,16 @@ impl Bridge {
             fdb_cap: DEFAULT_FDB_CAP,
             fdb: HashMap::new(),
             ids: None,
+            filter: FilterControl::default(),
+            tracker: StateTracker::default(),
+            filter_ids: None,
         }
+    }
+
+    /// The bridge's FORWARD filter table handle (clone it out before
+    /// boxing the device into a network).
+    pub fn filter(&self) -> FilterControl {
+        self.filter.clone()
     }
 
     /// Overrides the FDB ageing time.
@@ -161,6 +180,52 @@ impl Device for Bridge {
             return;
         }
 
+        // FORWARD filter on transiting unicast transport frames (the
+        // br_netfilter path: bridged traffic traverses the filter table).
+        // One atomic load when no rule was ever installed.
+        if !self.filter.is_empty() {
+            if let (Some(proto), Some(src), Some(dst)) = (
+                Proto::of(&frame.ip.transport),
+                frame.ip.src_sock(),
+                frame.ip.dst_sock(),
+            ) {
+                let fids = *self
+                    .filter_ids
+                    .get_or_insert_with(|| HookIds::resolve(Chain::Forward, ctx));
+                let now = ctx.now();
+                let state = self.tracker.state_of(proto, src, dst, now);
+                let (verdict, rule_id) =
+                    self.filter
+                        .eval(Chain::Forward, proto, src, dst, state, now);
+                let dev = ctx.self_id().0 as u64;
+                match verdict {
+                    Verdict::Accept => {
+                        ctx.count_id(fids.accept, 1.0);
+                        self.tracker.note(proto, src, dst, now);
+                    }
+                    Verdict::Drop => {
+                        ctx.count_id(fids.drop, 1.0);
+                        ctx.journal(JournalKind::FilterDrop, dev, rule_id, Verdict::Drop.code());
+                        return;
+                    }
+                    Verdict::Reject => {
+                        ctx.count_id(fids.reject, 1.0);
+                        ctx.journal(
+                            JournalKind::FilterDrop,
+                            dev,
+                            rule_id,
+                            Verdict::Reject.code(),
+                        );
+                        let mut p = Payload::sized(8);
+                        p.tag = REJECT_TAG;
+                        let notif = Frame::udp(frame.dst_mac, frame.src_mac, dst, src, p);
+                        ctx.transmit_at(done, port, notif);
+                        return;
+                    }
+                }
+            }
+        }
+
         match self.lookup(frame.dst_mac, ctx.now()) {
             Some(out) if out == port => {
                 // Destination learned on the ingress port: the frame does not
@@ -195,6 +260,11 @@ impl Device for Bridge {
             fdb_cap: self.fdb_cap,
             fdb: self.fdb.clone(),
             ids: self.ids,
+            // The control is shared (rules only mutate between runs; the
+            // compile cache is pure), the conntrack state is copied.
+            filter: self.filter.clone(),
+            tracker: self.tracker.clone(),
+            filter_ids: self.filter_ids,
         }))
     }
 }

@@ -40,10 +40,12 @@
 
 use crate::device::{Device, DeviceId, DeviceKind, PortId};
 use crate::fault::{FaultIds, FaultPlan};
+use crate::filter::{FilterControl, FilterRule};
 use crate::flow::{
     EmitAction, Fidelity, FlowEvent, FlowKey, FlowProbe, FlowTable, FlowTag, FlowUpdate,
 };
 use crate::frame::{Frame, Transport};
+use crate::nat::NatControl;
 use crate::time::{SimDuration, SimTime};
 use metrics::{
     CpuAccount, CpuCategory, CpuLocation, FlightStamp, Interner, JournalKind, JournalMark,
@@ -515,6 +517,19 @@ pub(crate) struct EngineSnapshot {
     devices: Vec<SlotSnapshot>,
 }
 
+/// Control-plane handles the flow fast path consults per fast-path
+/// emission: a steady flow escalates back to packet level when any
+/// registered filter/NAT control on its learned path reports a rule
+/// change (see [`crate::flow::PolicyProbeFn`]). Registered before runs
+/// via [`Network::attach_filter`]/[`Network::watch_nat`], shared
+/// read-only with every shard on split, and deliberately excluded from
+/// snapshots (controls are mutated only between runs, never rolled back).
+#[derive(Debug, Default, Clone)]
+struct PolicyRegistry {
+    filters: Vec<(DeviceId, FilterControl)>,
+    nats: Vec<(DeviceId, NatControl)>,
+}
+
 /// A shard network's view of the partition: which shard owns each device,
 /// which shard *this* network is, and the outbox of frames addressed to
 /// other shards.
@@ -591,6 +606,9 @@ pub struct Network {
     /// stalls), scanned on emission to journal window transitions. Empty
     /// unless telemetry is on and a fault plan is installed.
     fault_open: Vec<bool>,
+    /// Filter/NAT controls watched for rule changes by the flow fast
+    /// path (see [`PolicyRegistry`]).
+    policies: Arc<PolicyRegistry>,
 }
 
 impl Network {
@@ -630,6 +648,7 @@ impl Network {
             cur_tag: JournalTag::default(),
             ext_jseq: 0,
             fault_open: Vec::new(),
+            policies: Arc::new(PolicyRegistry::default()),
         }
     }
 
@@ -756,6 +775,55 @@ impl Network {
             seq,
         };
         self.journal.record(tag, kind, a, b, c);
+    }
+
+    /// Registers `ctl` as device `dev`'s filter table for the flow fast
+    /// path's rule-change escalation check. Harnesses that mutate filter
+    /// rules while a `Hybrid`/`FlowOnly` run is live (or between runs)
+    /// must register the control, or steady flows crossing `dev` keep
+    /// synthesizing deliveries until their next revalidation probe.
+    /// Packet-fidelity runs ignore the registry entirely.
+    pub fn attach_filter(&mut self, dev: DeviceId, ctl: FilterControl) {
+        Arc::make_mut(&mut self.policies).filters.push((dev, ctl));
+    }
+
+    /// Registers `ctl` as device `dev`'s NAT control for the flow fast
+    /// path's rule-change escalation check (DNAT/route/LB mutations bump
+    /// the control's change epoch). See [`attach_filter`](Network::attach_filter).
+    pub fn watch_nat(&mut self, dev: DeviceId, ctl: NatControl) {
+        Arc::make_mut(&mut self.policies).nats.push((dev, ctl));
+    }
+
+    /// Installs a filter rule on `dev`'s table, activating at `from`, and
+    /// journals the mutation (`FilterInstall`, a = device, b = rule id,
+    /// c = activation ns). Returns the rule id.
+    pub fn install_filter(
+        &mut self,
+        dev: DeviceId,
+        ctl: &FilterControl,
+        rule: FilterRule,
+        from: SimTime,
+    ) -> u64 {
+        let id = ctl.install_at(rule, from);
+        self.journal_external(JournalKind::FilterInstall, dev.0 as u64, id, from.0);
+        id
+    }
+
+    /// Deactivates filter rule `id` on `dev`'s table at `until`,
+    /// journaling the mutation (`FilterRemove`). Returns false when the
+    /// rule does not exist.
+    pub fn remove_filter(
+        &mut self,
+        dev: DeviceId,
+        ctl: &FilterControl,
+        id: u64,
+        until: SimTime,
+    ) -> bool {
+        let ok = ctl.remove_at(id, until);
+        if ok {
+            self.journal_external(JournalKind::FilterRemove, dev.0 as u64, id, until.0);
+        }
+        ok
     }
 
     /// Span records retained so far (empty unless [`TraceMode::Full`]).
@@ -1336,6 +1404,7 @@ impl Network {
                     cur_tag: JournalTag::default(),
                     ext_jseq: self.ext_jseq,
                     fault_open: Vec::new(),
+                    policies: Arc::clone(&self.policies),
                 };
                 net.resize_fault_open();
                 for (tag, kind) in initial.next().unwrap() {
@@ -1666,8 +1735,30 @@ impl Network {
                 p.any_active(hops, from, until)
             })
         };
+        let pol = Arc::clone(&self.policies);
+        let policy = move |hops: &[(DeviceId, PortId)], after: SimTime, upto: SimTime| {
+            if pol.filters.is_empty() && pol.nats.is_empty() {
+                return (false, 0u64);
+            }
+            let mut epoch = 0u64;
+            let mut changed = false;
+            for &(dev, _) in hops {
+                for (d, f) in &pol.filters {
+                    if *d == dev {
+                        epoch = epoch.wrapping_add(f.epoch());
+                        changed |= f.changed_in(after, upto);
+                    }
+                }
+                for (d, n) in &pol.nats {
+                    if *d == dev {
+                        epoch = epoch.wrapping_add(n.change_epoch());
+                    }
+                }
+            }
+            (changed, epoch)
+        };
         let flow = self.flow.as_mut().expect("flow_emit requires a table");
-        let action = flow.on_emit(&key, when, &fault_active, &mut self.store);
+        let action = flow.on_emit(&key, when, &fault_active, &policy, &mut self.store);
         if let Some(ev) = flow.take_event() {
             self.journal_flow_event(ev);
         }
@@ -2067,6 +2158,15 @@ impl<'a> DevCtx<'a> {
             return;
         }
         self.net.flight_stage(self.id, self.loc, stage, frame, done);
+    }
+
+    /// Emits a control-plane journal record carrying the current event's
+    /// intrinsic tag (used by devices for datapath-observable policy
+    /// decisions, e.g. a filter chain's DROP/REJECT verdicts). Off-mode
+    /// cost: one branch.
+    #[inline]
+    pub fn journal(&mut self, kind: JournalKind, a: u64, b: u64, c: u64) {
+        self.net.jrec(kind, a, b, c);
     }
 }
 

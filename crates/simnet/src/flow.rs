@@ -133,6 +133,18 @@ impl FlowKey {
 /// flight `[from, from+lat)` on any learned hop.
 pub(crate) type FaultProbeFn<'a> = dyn Fn(&[(DeviceId, PortId)], SimTime, u64) -> bool + 'a;
 
+/// Callback resolving the policy state of a learned path's hops. Returns
+/// `(changed, epoch)`: `changed` is true when any registered filter rule
+/// on a hop has an activation/deactivation instant in `(after, upto]`
+/// (a scheduled rule window opened or closed inside the un-checked
+/// interval); `epoch` sums the mutation epochs of every watched
+/// NAT/filter control on the hops (any between-runs rule mutation moves
+/// it). Either signal escalates the flow — the same contract FaultPlan
+/// windows get, so a rule change is never bypassed by synthesized
+/// deliveries.
+pub(crate) type PolicyProbeFn<'a> =
+    dyn Fn(&[(DeviceId, PortId)], SimTime, SimTime) -> (bool, u64) + 'a;
+
 /// The optional probe stamp a [`Frame`] carries. Like
 /// [`FlightStamp`](metrics::FlightStamp) it is transparent to frame
 /// equality and defaults to empty, so packet-level runs and frame
@@ -319,6 +331,12 @@ struct FlowState {
     /// TCP stream would otherwise pump unboundedly past the bottleneck),
     /// so the flow is pinned to packet level for good.
     pipelined: bool,
+    /// Policy-epoch sum over the learned path's hops at the last clean
+    /// check (see [`PolicyProbeFn`]).
+    policy_epoch: u64,
+    /// Upper bound of the last clean policy-window check; the next check
+    /// covers `(policy_checked, when]`.
+    policy_checked: SimTime,
     /// The current path model (kept across demotions as the comparison
     /// target for re-learning).
     path: Option<LearnedPath>,
@@ -430,18 +448,32 @@ impl FlowTable {
 
     /// Classifies one emission of `key` at `when`. `fault_active(hops,
     /// from, lat)` must report whether any fault window overlaps the
-    /// synthesized flight `[from, from+lat)` on any learned hop.
+    /// synthesized flight `[from, from+lat)` on any learned hop;
+    /// `policy(hops, after, upto)` resolves rule-change state per
+    /// [`PolicyProbeFn`].
     pub(crate) fn on_emit(
         &mut self,
         key: &FlowKey,
         when: SimTime,
         fault_active: &FaultProbeFn<'_>,
+        policy: &PolicyProbeFn<'_>,
         store: &mut SampleStore,
     ) -> EmitAction {
         let st = self.flows.entry(*key).or_default();
         st.emits += 1;
         let gap = when.0.saturating_sub(st.last_emit.0);
         st.last_emit = when;
+
+        if !st.steady {
+            // Learning flows run at packet level where rules apply for
+            // real; keep the policy stamps fresh so a later promotion
+            // starts from a clean baseline instead of inheriting a stale
+            // epoch that would trigger a spurious escalation.
+            let hops: &[(DeviceId, PortId)] = st.path.as_ref().map_or(&[], |p| &p.hops);
+            let (_, epoch) = policy(hops, when, when);
+            st.policy_epoch = epoch;
+            st.policy_checked = when;
+        }
 
         // Pipelining check: a request/response flow cannot emit again
         // before its previous frame was delivered, so an emission gap
@@ -480,9 +512,11 @@ impl FlowTable {
                 return EmitAction::Probe;
             }
             let path = st.path.as_ref().expect("steady flow has a path");
+            let lat = path.latency();
+            let has_nat = path.has_nat;
             // Fault window overlapping a learned hop: escalate so the
             // packet-level machinery applies the fault faithfully.
-            if fault_active(&path.hops, when, path.latency()) {
+            if fault_active(&path.hops, when, lat) {
                 st.steady = false;
                 st.consistent = 0;
                 store.add_id(self.ids.escalations, 1.0);
@@ -493,9 +527,30 @@ impl FlowTable {
                 });
                 return EmitAction::Probe;
             }
+            // Rule change on the learned path: a filter window opened or
+            // closed in the interval synthesized deliveries skipped over,
+            // or a NAT/filter table was mutated between runs (epoch
+            // moved). Escalate immediately — the fast path must never
+            // deliver a frame the packet-level pipeline would now drop,
+            // reject, or translate differently.
+            let (changed, epoch) = policy(&path.hops, st.policy_checked, when);
+            if changed || epoch != st.policy_epoch {
+                st.policy_epoch = epoch;
+                st.policy_checked = when;
+                st.steady = false;
+                st.consistent = 0;
+                store.add_id(self.ids.escalations, 1.0);
+                store.add_id(self.ids.probes, 1.0);
+                self.last_event = Some(FlowEvent::Escalated {
+                    origin: key.origin.0 as u32,
+                    reason: FlowEscalateReason::RuleChange,
+                });
+                return EmitAction::Probe;
+            }
+            st.policy_checked = when;
             // Hybrid keeps revalidating; FlowOnly trusts the model.
             if self.fidelity == Fidelity::Hybrid {
-                let cadence = if path.has_nat {
+                let cadence = if has_nat {
                     NAT_PROBE_EVERY
                 } else {
                     PROBE_EVERY
@@ -644,15 +699,16 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::Hybrid, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..3u64 {
             assert_eq!(
-                t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store),
+                t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store),
                 EmitAction::Probe
             );
             t.absorb(update(k, 500), &mut store);
         }
         assert_eq!(
-            t.on_emit(&k, SimTime(4000), &no_fault, &mut store),
+            t.on_emit(&k, SimTime(4000), &no_fault, &clean, &mut store),
             EmitAction::Fast
         );
         assert_eq!(store.counter("flow.steady_promotions"), 1.0);
@@ -664,15 +720,16 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::Hybrid, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..3u64 {
-            t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store);
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
             t.absorb(update(k, 500), &mut store);
         }
         // Steady; now emit again only 100 ns after the last emission —
         // under the 500 ns one-way floor, so several frames are in
         // flight and queueing governs throughput.
         assert_eq!(
-            t.on_emit(&k, SimTime(2100), &no_fault, &mut store),
+            t.on_emit(&k, SimTime(2100), &no_fault, &clean, &mut store),
             EmitAction::Packet
         );
         assert_eq!(store.counter("flow.escalations"), 1.0);
@@ -681,7 +738,13 @@ mod tests {
         t.absorb(update(k, 500), &mut store);
         for i in 0..8u64 {
             assert_eq!(
-                t.on_emit(&k, SimTime(10_000 + i * 1_000), &no_fault, &mut store),
+                t.on_emit(
+                    &k,
+                    SimTime(10_000 + i * 1_000),
+                    &no_fault,
+                    &clean,
+                    &mut store
+                ),
                 EmitAction::Packet
             );
         }
@@ -694,8 +757,9 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::Hybrid, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..3u64 {
-            t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store);
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
             t.absorb(update(k, 500), &mut store);
         }
         // A re-routed advert (different delivery device) demotes.
@@ -703,7 +767,7 @@ mod tests {
         u.dst = DeviceId(11);
         t.absorb(u, &mut store);
         assert_eq!(
-            t.on_emit(&k, SimTime(5000), &no_fault, &mut store),
+            t.on_emit(&k, SimTime(5000), &no_fault, &clean, &mut store),
             EmitAction::Probe
         );
         assert_eq!(store.counter("flow.escalations"), 1.0);
@@ -715,16 +779,59 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::Hybrid, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..3u64 {
-            t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store);
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
             t.absorb(update(k, 500), &mut store);
         }
         let fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| true;
         assert_eq!(
-            t.on_emit(&k, SimTime(4000), &fault, &mut store),
+            t.on_emit(&k, SimTime(4000), &fault, &clean, &mut store),
             EmitAction::Probe
         );
         assert_eq!(store.counter("flow.escalations"), 1.0);
+    }
+
+    #[test]
+    fn rule_change_escalates_steady_flow() {
+        let mut store = SampleStore::default();
+        let mut t = FlowTable::new(Fidelity::FlowOnly, &mut store);
+        let k = key();
+        let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
+        for i in 0..3u64 {
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
+            t.absorb(update(k, 500), &mut store);
+        }
+        assert_eq!(
+            t.on_emit(&k, SimTime(4000), &no_fault, &clean, &mut store),
+            EmitAction::Fast
+        );
+        // An epoch bump (a rule was installed/removed on a hop's table)
+        // escalates even in FlowOnly mode, which skips cadence probes.
+        let bumped = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 1u64);
+        assert_eq!(
+            t.on_emit(&k, SimTime(5000), &no_fault, &bumped, &mut store),
+            EmitAction::Probe
+        );
+        assert_eq!(store.counter("flow.escalations"), 1.0);
+        // Re-promote under the new epoch; the same epoch no longer fires.
+        for i in 0..3u64 {
+            t.on_emit(&k, SimTime(6000 + i * 1000), &no_fault, &bumped, &mut store);
+            t.absorb(update(k, 500), &mut store);
+        }
+        assert_eq!(
+            t.on_emit(&k, SimTime(9000), &no_fault, &bumped, &mut store),
+            EmitAction::Fast
+        );
+        // A scheduled rule window opening inside the skipped interval
+        // fires through the `changed` signal even at a constant epoch.
+        let window = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (true, 1u64);
+        assert_eq!(
+            t.on_emit(&k, SimTime(9500), &no_fault, &window, &mut store),
+            EmitAction::Probe
+        );
+        assert_eq!(store.counter("flow.escalations"), 2.0);
     }
 
     #[test]
@@ -733,17 +840,24 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::FlowOnly, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..3u64 {
-            t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store);
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
             t.absorb(update(k, 500), &mut store);
         }
         assert_eq!(
-            t.on_emit(&k, SimTime(4000), &no_fault, &mut store),
+            t.on_emit(&k, SimTime(4000), &no_fault, &clean, &mut store),
             EmitAction::Fast
         );
         // A long pause forces re-learning.
         assert_eq!(
-            t.on_emit(&k, SimTime(4000 + IDLE_GAP_NS + 1), &no_fault, &mut store),
+            t.on_emit(
+                &k,
+                SimTime(4000 + IDLE_GAP_NS + 1),
+                &no_fault,
+                &clean,
+                &mut store
+            ),
             EmitAction::Probe
         );
     }
@@ -754,14 +868,15 @@ mod tests {
         let mut t = FlowTable::new(Fidelity::Hybrid, &mut store);
         let k = key();
         let no_fault = |_: &[(DeviceId, PortId)], _: SimTime, _: u64| false;
+        let clean = |_: &[(DeviceId, PortId)], _: SimTime, _: SimTime| (false, 0u64);
         for i in 0..10u64 {
-            t.on_emit(&k, SimTime(i * 1000), &no_fault, &mut store);
+            t.on_emit(&k, SimTime(i * 1000), &no_fault, &clean, &mut store);
             let mut u = update(k, 500);
             u.ok = false;
             t.absorb(u, &mut store);
         }
         assert_eq!(
-            t.on_emit(&k, SimTime(20_000), &no_fault, &mut store),
+            t.on_emit(&k, SimTime(20_000), &no_fault, &clean, &mut store),
             EmitAction::Probe
         );
         assert_eq!(store.counter("flow.steady_promotions"), 0.0);

@@ -47,6 +47,7 @@ pub mod device;
 pub mod endpoint;
 pub mod engine;
 pub mod fault;
+pub mod filter;
 pub mod flight;
 pub mod flow;
 pub mod frame;
@@ -67,6 +68,10 @@ pub use device::{Device, DeviceId, DeviceKind, PortId, Station};
 pub use endpoint::{AppApi, Application, Endpoint, IfaceConf, Incoming, START_TOKEN};
 pub use engine::{DevCtx, LinkParams, Network, SampleStore, StopCondition};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, StallWindow};
+pub use filter::{
+    Chain, ConnState, FilterControl, FilterRule, HookIds, StateMask, StateTracker, Verdict,
+    NO_RULE, REJECT_TAG,
+};
 pub use flight::{
     chrome_counter_tracks, chrome_trace_network, chrome_trace_report, snapshot_network,
     snapshot_report, telemetry_network, telemetry_report,

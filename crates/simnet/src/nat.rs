@@ -11,9 +11,11 @@ use crate::addr::{Ip4, Ip4Net, MacAddr, SockAddr};
 use crate::costs::StageCost;
 use crate::device::{Device, DeviceKind, PortId};
 use crate::engine::DevCtx;
-use crate::frame::{Frame, Transport};
+use crate::filter::{Chain, ConnState, FilterControl, HookIds, Verdict, REJECT_TAG};
+use crate::frame::{Frame, Payload, Transport};
 use crate::shared::SharedStation;
-use metrics::MetricId;
+use crate::time::SimTime;
+use metrics::{JournalKind, MetricId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -27,7 +29,8 @@ pub enum Proto {
 }
 
 impl Proto {
-    fn of(t: &Transport) -> Option<Proto> {
+    /// Classifies a transport header; `None` for port-less encapsulations.
+    pub fn of(t: &Transport) -> Option<Proto> {
         match t {
             Transport::Udp { .. } => Some(Proto::Udp),
             Transport::Tcp { .. } => Some(Proto::Tcp),
@@ -126,6 +129,16 @@ struct NatConfig {
     lb: Vec<(LbRule, usize)>,
     masquerade: HashSet<PortId>,
     routes: Vec<Route>,
+    /// Conntrack flush requests queued by [`NatControl::remove_dnat`]. The
+    /// router drains them on its next frame, and every read path filters
+    /// against them, so un-published flows stop translating the instant
+    /// the rule is gone (conntrack -D alongside iptables -D).
+    flush: Vec<DnatRule>,
+    /// Bumped on every translation-affecting mutation. The flow fast path
+    /// compares it per emission (see `flow.rs`), so a rule change
+    /// escalates overlapping learned flows immediately instead of
+    /// coasting for up to `NAT_PROBE_EVERY - 1` synthesized deliveries.
+    epoch: u64,
 }
 
 impl NatConfig {
@@ -159,12 +172,16 @@ pub struct NatControl(std::sync::Arc<parking_lot::Mutex<NatConfig>>);
 impl NatControl {
     /// Adds a DNAT (port-publishing) rule.
     pub fn add_dnat(&self, rule: DnatRule) {
-        self.0.lock().dnat.push(rule);
+        let mut cfg = self.0.lock();
+        cfg.dnat.push(rule);
+        cfg.epoch += 1;
     }
 
     /// Enables masquerade (source NAT to the interface address) on `port`.
     pub fn masquerade_on(&self, port: PortId) {
-        self.0.lock().masquerade.insert(port);
+        let mut cfg = self.0.lock();
+        cfg.masquerade.insert(port);
+        cfg.epoch += 1;
     }
 
     /// Adds a static route. Routes are matched longest-prefix-first.
@@ -172,6 +189,7 @@ impl NatControl {
         let mut cfg = self.0.lock();
         cfg.routes.push(route);
         cfg.routes.sort_by_key(|r| std::cmp::Reverse(r.net.prefix));
+        cfg.epoch += 1;
     }
 
     /// Adds a neighbor (ARP) entry on interface `port`.
@@ -196,14 +214,33 @@ impl NatControl {
 
     /// Removes every DNAT rule matching `proto` + `match_port` (an
     /// `iptables -D` analogue; used when a publication moves to a new
-    /// backend). Returns how many rules were removed. Established flows
-    /// keep their conntrack entry, exactly like the kernel.
+    /// backend). Returns how many rules were removed.
+    ///
+    /// Conntrack entries established through a removed rule are flushed
+    /// (the `conntrack -D` every un-publish needs): without the flush,
+    /// established flows kept translating to the old backend forever —
+    /// after the rule said they must not.
     pub fn remove_dnat(&self, proto: Proto, match_port: u16) -> usize {
         let mut cfg = self.0.lock();
-        let before = cfg.dnat.len();
-        cfg.dnat
-            .retain(|r| !(r.proto == proto && r.match_port == match_port));
-        before - cfg.dnat.len()
+        let mut removed = Vec::new();
+        cfg.dnat.retain(|r| {
+            let hit = r.proto == proto && r.match_port == match_port;
+            if hit {
+                removed.push(*r);
+            }
+            !hit
+        });
+        let n = removed.len();
+        cfg.flush.extend(removed);
+        cfg.epoch += 1;
+        n
+    }
+
+    /// The translation-mutation epoch: bumped by every rule change. The
+    /// flow fast path stamps learned paths with it and re-validates a
+    /// flow the moment the epoch moves.
+    pub fn change_epoch(&self) -> u64 {
+        self.0.lock().epoch
     }
 
     /// Installs a round-robin load-balancing rule for a service VIP.
@@ -215,7 +252,9 @@ impl NatControl {
             !rule.backends.is_empty(),
             "a service needs at least one backend"
         );
-        self.0.lock().lb.push((rule, 0));
+        let mut cfg = self.0.lock();
+        cfg.lb.push((rule, 0));
+        cfg.epoch += 1;
     }
 }
 
@@ -223,12 +262,19 @@ impl NatControl {
 pub struct NatRouter {
     cfg: NatControl,
     conntrack: HashMap<ConnKey, ConnEntry>,
+    /// Unordered address-pair index over live conntrack entries, for the
+    /// filter table's RELATED state match (canonical low/high ip order).
+    pair_last: HashMap<(Proto, Ip4, Ip4), SimTime>,
     conntrack_timeout: crate::time::SimDuration,
     frames_since_gc: u32,
     next_nat_port: u16,
     cost: StageCost,
     station: SharedStation,
+    /// The FORWARD filter chain, evaluated post-DNAT / pre-SNAT like the
+    /// kernel's filter-table hook. Costs one atomic load until engaged.
+    filter: FilterControl,
     ids: Option<NatIds>,
+    filter_ids: Option<HookIds>,
 }
 
 /// Interned counter ids, resolved on the first frame and cached.
@@ -282,12 +328,15 @@ impl NatRouter {
         NatRouter {
             cfg,
             conntrack: HashMap::new(),
+            pair_last: HashMap::new(),
             conntrack_timeout: Self::DEFAULT_CONNTRACK_TIMEOUT,
             frames_since_gc: 0,
             next_nat_port: Self::NAT_PORT_BASE,
             cost,
             station,
+            filter: FilterControl::default(),
             ids: None,
+            filter_ids: None,
         }
     }
 
@@ -302,6 +351,12 @@ impl NatRouter {
     /// the router after inserting it into the network).
     pub fn control(&self) -> NatControl {
         self.cfg.clone()
+    }
+
+    /// The FORWARD filter-chain handle (clone and keep it to install
+    /// policy rules after inserting the router into the network).
+    pub fn filter(&self) -> FilterControl {
+        self.filter.clone()
     }
 
     /// Adds a DNAT (port-publishing) rule.
@@ -319,9 +374,97 @@ impl NatRouter {
         self.cfg.add_route(route);
     }
 
-    /// Number of live conntrack entries.
-    pub fn conntrack_len(&self) -> usize {
-        self.conntrack.len()
+    /// True when `e` has not expired at `now`. Entries stamped later than
+    /// `now` (a query older than the router's last activity) count as
+    /// live rather than panicking time-went-backwards.
+    fn entry_live(&self, e: &ConnEntry, now: SimTime) -> bool {
+        now.0.saturating_sub(e.last_used.0) <= self.conntrack_timeout.0
+    }
+
+    /// True when a flush request queued by `remove_dnat` covers this
+    /// entry: the forward direction translates *to* the removed rule's
+    /// backend, the reply direction originates *from* it.
+    fn flush_hits(rule: &DnatRule, k: &ConnKey, e: &ConnEntry) -> bool {
+        k.proto == rule.proto && (e.new_dst == rule.to || k.src == rule.to)
+    }
+
+    /// Number of live conntrack entries at `now`: expired entries and
+    /// entries covered by a pending `remove_dnat` flush are excluded,
+    /// even if the router has been idle on data and its lazy frame-path
+    /// GC never ran.
+    pub fn conntrack_len(&self, now: SimTime) -> usize {
+        let cfg = self.cfg.0.lock();
+        self.conntrack
+            .iter()
+            .filter(|(k, e)| {
+                self.entry_live(e, now) && !cfg.flush.iter().any(|r| Self::flush_hits(r, k, e))
+            })
+            .count()
+    }
+
+    /// Canonical (order-free) address-pair key for the RELATED index.
+    fn pair_key(proto: Proto, a: Ip4, b: Ip4) -> (Proto, Ip4, Ip4) {
+        if a.0 <= b.0 {
+            (proto, a, b)
+        } else {
+            (proto, b, a)
+        }
+    }
+
+    /// Resolves the conntrack state the filter table matches on, with
+    /// expiry applied: ESTABLISHED for a live tracked tuple (either
+    /// direction was installed at flow setup), RELATED for a fresh tuple
+    /// between hosts that already carry a live same-protocol flow on
+    /// other ports, NEW otherwise. Entries covered by a pending
+    /// `remove_dnat` flush never report ESTABLISHED.
+    pub fn conn_state(
+        &self,
+        proto: Proto,
+        src: SockAddr,
+        dst: SockAddr,
+        now: SimTime,
+    ) -> ConnState {
+        let cfg = self.cfg.0.lock();
+        self.conn_state_filtered(&cfg.flush, proto, src, dst, now)
+    }
+
+    /// [`conn_state`](NatRouter::conn_state) against an explicit pending
+    /// flush list (the frame path drains the list first and passes `&[]`;
+    /// the public accessor must not re-lock the config).
+    fn conn_state_filtered(
+        &self,
+        flush: &[DnatRule],
+        proto: Proto,
+        src: SockAddr,
+        dst: SockAddr,
+        now: SimTime,
+    ) -> ConnState {
+        let key = ConnKey { proto, src, dst };
+        if self.conntrack.get(&key).is_some_and(|e| {
+            self.entry_live(e, now) && !flush.iter().any(|r| Self::flush_hits(r, &key, e))
+        }) {
+            return ConnState::Established;
+        }
+        if self
+            .pair_last
+            .get(&Self::pair_key(proto, src.ip, dst.ip))
+            .is_some_and(|t| now.0.saturating_sub(t.0) <= self.conntrack_timeout.0)
+        {
+            return ConnState::Related;
+        }
+        ConnState::New
+    }
+
+    /// Drains pending `remove_dnat` flush requests, purging the conntrack
+    /// entries they cover. Runs at the head of every frame; read-only
+    /// accessors filter against the pending list instead.
+    fn drain_flush(&mut self, cfg: &mut NatConfig) {
+        if cfg.flush.is_empty() {
+            return;
+        }
+        for rule in std::mem::take(&mut cfg.flush) {
+            self.conntrack.retain(|k, e| !Self::flush_hits(&rule, k, e));
+        }
     }
 
     /// Allocates a masquerade source port on interface address `ip`,
@@ -427,7 +570,11 @@ impl Device for NatRouter {
             let timeout = self.conntrack_timeout;
             self.conntrack
                 .retain(|_, e| now.since(e.last_used) <= timeout);
+            self.pair_last.retain(|_, t| now.since(*t) <= timeout);
         }
+        // Pending rule-removal flushes land before any lookup, so a flow
+        // whose publication was just removed cannot ride its old entry.
+        self.drain_flush(&mut cfg);
 
         let key = ConnKey {
             proto,
@@ -439,13 +586,20 @@ impl Device for NatRouter {
             .get(&key)
             .filter(|e| ctx.now().since(e.last_used) <= self.conntrack_timeout)
             .copied();
-        let (new_src, new_dst) = if let Some(entry) = live {
+        // A fresh flow's conntrack install is deferred until the FORWARD
+        // filter accepts its first packet (kernel semantics: conntrack
+        // confirmation happens after the filter hooks, so a dropped NEW
+        // packet never creates state).
+        let mut pending_insert = None;
+        let (new_src, new_dst, state) = if let Some(entry) = live {
             ctx.count_id(ids.conntrack_hit, 1.0);
             let now = ctx.now();
             if let Some(e) = self.conntrack.get_mut(&key) {
                 e.last_used = now;
             }
-            (entry.new_src, entry.new_dst)
+            self.pair_last
+                .insert(Self::pair_key(proto, src_sock.ip, entry.new_dst.ip), now);
+            (entry.new_src, entry.new_dst, ConnState::Established)
         } else {
             // New flow: service VIP rules first (round-robin over
             // backends, like kube-proxy's statistic-mode chains), then the
@@ -490,21 +644,71 @@ impl Device for NatRouter {
             } else {
                 src_sock
             };
+            let state = self.conn_state_filtered(&[], proto, src_sock, new_dst, ctx.now());
+            pending_insert = Some((new_src, new_dst));
+            (new_src, new_dst, state)
+        };
+
+        // FORWARD filter: evaluated on the post-DNAT destination with the
+        // pre-SNAT source — the kernel's hook order (PREROUTING nat →
+        // routing decision → FORWARD filter → POSTROUTING nat). One
+        // atomic load when no rule was ever installed.
+        if !self.filter.is_empty() {
+            let fids = *self
+                .filter_ids
+                .get_or_insert_with(|| HookIds::resolve(Chain::Forward, ctx));
+            let (verdict, rule_id) =
+                self.filter
+                    .eval(Chain::Forward, proto, src_sock, new_dst, state, ctx.now());
+            let dev = ctx.self_id().0 as u64;
+            match verdict {
+                Verdict::Accept => ctx.count_id(fids.accept, 1.0),
+                Verdict::Drop => {
+                    ctx.count_id(fids.drop, 1.0);
+                    ctx.journal(JournalKind::FilterDrop, dev, rule_id, Verdict::Drop.code());
+                    return;
+                }
+                Verdict::Reject => {
+                    ctx.count_id(fids.reject, 1.0);
+                    ctx.journal(
+                        JournalKind::FilterDrop,
+                        dev,
+                        rule_id,
+                        Verdict::Reject.code(),
+                    );
+                    // Port-unreachable analogue: an active refusal frame
+                    // back to the sender, out the ingress interface.
+                    let mut p = Payload::sized(8);
+                    p.tag = REJECT_TAG;
+                    let notif = Frame::udp(
+                        cfg.ifaces[port.0].mac,
+                        frame.src_mac,
+                        SockAddr::new(cfg.ifaces[port.0].ip, dst_sock.port),
+                        src_sock,
+                        p,
+                    );
+                    ctx.transmit_at(done, port, notif);
+                    return;
+                }
+            }
+        }
+
+        if let Some((ns, nd)) = pending_insert {
             // Install both directions.
             let now = ctx.now();
             self.conntrack.insert(
                 key,
                 ConnEntry {
-                    new_src,
-                    new_dst,
+                    new_src: ns,
+                    new_dst: nd,
                     last_used: now,
                 },
             );
             self.conntrack.insert(
                 ConnKey {
                     proto,
-                    src: new_dst,
-                    dst: new_src,
+                    src: nd,
+                    dst: ns,
                 },
                 ConnEntry {
                     new_src: dst_sock,
@@ -512,9 +716,10 @@ impl Device for NatRouter {
                     last_used: now,
                 },
             );
+            self.pair_last
+                .insert(Self::pair_key(proto, src_sock.ip, nd.ip), now);
             ctx.count_id(ids.conntrack_new, 1.0);
-            (new_src, new_dst)
-        };
+        }
 
         frame.ip.src = new_src.ip;
         frame.ip.dst = new_dst.ip;
@@ -875,5 +1080,187 @@ mod tests {
         assert_eq!(net.store().counter("nat.conntrack_new"), 2.0);
         assert_eq!(net.store().counter("ext2.received"), 2.0);
         let _ = &mut sink;
+    }
+
+    #[test]
+    fn remove_dnat_flushes_established_conntrack() {
+        let mut net = Network::new(0);
+        let r = router();
+        let ctl = r.control();
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        assert_eq!(net.store().counter("pod.received"), 1.0);
+        // Un-publish the port. The flow above established a conntrack
+        // entry for its exact 5-tuple; without the flush, re-sending the
+        // same tuple would keep translating through that entry and reach
+        // the pod even though the rule is gone.
+        assert_eq!(ctl.remove_dnat(Proto::Udp, 8080), 1);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        assert_eq!(
+            net.store().counter("pod.received"),
+            1.0,
+            "established flow kept translating after its DNAT rule was removed"
+        );
+    }
+
+    #[test]
+    fn conntrack_len_applies_expiry_without_frame_traffic() {
+        let mut r = router().with_conntrack_timeout(SimDuration::secs(1));
+        let now = crate::time::SimTime::ZERO;
+        let remote = SockAddr::new(Ip4::new(192, 168, 0, 100), 9999);
+        hold_port(
+            &mut r,
+            Ip4::new(192, 168, 0, 1),
+            NatRouter::NAT_PORT_BASE,
+            remote,
+            now,
+        );
+        assert_eq!(r.conntrack_len(now), 2, "both directions tracked");
+        // No frames cross the router, so the lazy frame-path GC never
+        // runs; the read path must apply the timeout itself.
+        assert_eq!(r.conntrack_len(now + SimDuration::secs(2)), 0);
+    }
+
+    #[test]
+    fn conn_state_applies_expiry_and_pending_flush() {
+        let mut r = router().with_conntrack_timeout(SimDuration::secs(1));
+        let now = crate::time::SimTime::ZERO;
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        let pod = SockAddr::new(Ip4::new(172, 17, 0, 2), 80);
+        r.conntrack.insert(
+            ConnKey {
+                proto: Proto::Udp,
+                src: client,
+                dst: published,
+            },
+            ConnEntry {
+                new_src: client,
+                new_dst: pod,
+                last_used: now,
+            },
+        );
+        r.pair_last
+            .insert(NatRouter::pair_key(Proto::Udp, client.ip, pod.ip), now);
+        assert_eq!(
+            r.conn_state(Proto::Udp, client, published, now),
+            ConnState::Established
+        );
+        // Same hosts, different ports: RELATED via the address pair. The
+        // state query runs on the post-DNAT tuple (as the frame path
+        // does), so the pair is (client, pod).
+        let other = SockAddr::new(client.ip, 7777);
+        let pod_other = SockAddr::new(pod.ip, 8081);
+        assert_eq!(
+            r.conn_state(Proto::Udp, other, pod_other, now),
+            ConnState::Related
+        );
+        // Expired entries must not state-match even though the lazy GC
+        // never ran.
+        let later = now + SimDuration::secs(2);
+        assert_eq!(
+            r.conn_state(Proto::Udp, client, published, later),
+            ConnState::New
+        );
+        assert_eq!(
+            r.conn_state(Proto::Udp, other, pod_other, later),
+            ConnState::New
+        );
+        // A queued flush (rule removed, frame path not yet run) must hide
+        // matching entries from state-match immediately.
+        assert_eq!(r.control().remove_dnat(Proto::Udp, 8080), 1);
+        assert_eq!(
+            r.conn_state(Proto::Udp, client, published, now),
+            ConnState::New
+        );
+    }
+
+    #[test]
+    fn forward_filter_drop_is_silent_and_journaled() {
+        use crate::filter::{Chain, FilterRule, Verdict};
+        use metrics::{JournalKind, TelemetryConfig};
+        let mut net = Network::new(0);
+        net.set_telemetry_config(TelemetryConfig::full());
+        let r = router();
+        let filter = r.filter();
+        // FORWARD matches the post-DNAT destination: the pod's port 80.
+        filter.install(FilterRule::any(Chain::Forward, Verdict::Drop).port(80));
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        // Dropped post-DNAT: nothing reaches the pod, nothing echoes back,
+        // and no conntrack entry is confirmed for the refused flow.
+        assert_eq!(net.store().counter("pod.received"), 0.0);
+        assert_eq!(net.store().counter("ext.received"), 0.0);
+        assert_eq!(net.store().counter("nat.conntrack_new"), 0.0);
+        assert_eq!(net.store().counter("filter.forward.drop"), 1.0);
+        let drops: Vec<_> = net
+            .journal()
+            .records()
+            .iter()
+            .filter(|r| r.kind == JournalKind::FilterDrop)
+            .collect();
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].a, rid.0 as u64);
+        assert_eq!(drops[0].c, Verdict::Drop.code());
+    }
+
+    #[test]
+    fn forward_filter_reject_notifies_the_sender() {
+        use crate::filter::{Chain, FilterRule, Verdict, REJECT_TAG};
+        let mut net = Network::new(0);
+        let r = router();
+        let filter = r.filter();
+        filter.install(FilterRule::any(Chain::Forward, Verdict::Reject).port(80));
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        // The frame never reaches the pod, but the sender hears about the
+        // refusal: a notification frame comes back out the ingress port.
+        assert_eq!(net.store().counter("pod.received"), 0.0);
+        assert_eq!(net.store().counter("ext.received"), 1.0);
+        assert_eq!(net.store().counter("filter.forward.reject"), 1.0);
+        let _ = REJECT_TAG; // tag checked in filter_statematch integration test
+    }
+
+    #[test]
+    fn forward_filter_state_match_admits_replies_only() {
+        use crate::filter::{Chain, FilterRule, StateMask, Verdict};
+        let mut net = Network::new(0);
+        let r = router();
+        let ctl = r.control();
+        let filter = r.filter();
+        let (rid, _ext, _pod) = wire(&mut net, r);
+        let client = SockAddr::new(Ip4::new(192, 168, 0, 100), 5555);
+        let published = SockAddr::new(Ip4::new(192, 168, 0, 1), 8080);
+        // First exchange runs unfiltered and establishes conntrack state.
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        assert_eq!(net.store().counter("pod.received"), 1.0);
+        // Lock the table down to established traffic only.
+        filter.install(
+            FilterRule::any(Chain::Forward, Verdict::Accept).states(StateMask::ESTABLISHED),
+        );
+        filter.install(FilterRule::any(Chain::Forward, Verdict::Drop));
+        // The established flow still passes...
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(client, published));
+        net.run(StopCondition::Idle);
+        assert_eq!(net.store().counter("pod.received"), 2.0);
+        assert_eq!(net.store().counter("filter.forward.accept"), 1.0);
+        // ...but a NEW flow (different source port) is dropped.
+        let newcomer = SockAddr::new(Ip4::new(192, 168, 0, 100), 5556);
+        net.inject_frame(SimDuration::ZERO, rid, PortId(0), udp(newcomer, published));
+        net.run(StopCondition::Idle);
+        assert_eq!(net.store().counter("pod.received"), 2.0);
+        assert_eq!(net.store().counter("filter.forward.drop"), 1.0);
+        let _ = ctl;
     }
 }

@@ -10,11 +10,13 @@
 //! work for every frame — that is the host-kernel CPU cost the paper
 //! measures in §5.3.4 (and notes is mis-attributed to host `sys`).
 
-use metrics::MetricId;
+use metrics::{JournalKind, MetricId};
 use simnet::costs::StageCost;
 use simnet::device::{Device, DeviceKind, PortId};
 use simnet::engine::DevCtx;
-use simnet::frame::Frame;
+use simnet::filter::{Chain, FilterControl, HookIds, StateTracker, Verdict, REJECT_TAG};
+use simnet::frame::{Frame, Payload};
+use simnet::nat::Proto;
 use simnet::shared::SharedStation;
 
 /// How the TAP distributes a received frame to its queues.
@@ -37,6 +39,12 @@ pub struct HostloTap {
     station: SharedStation,
     /// Interned (frames counter, queue-copies counter, flight stage) ids.
     ids: Option<(MetricId, MetricId, MetricId)>,
+    /// FORWARD filter table: the Hostlo CNI lands NetworkPolicy chains on
+    /// the TAP so cross-VM pod-localhost traffic is covered on the host.
+    filter: FilterControl,
+    /// Device-local conntrack feeding the filter's state-match.
+    tracker: StateTracker,
+    filter_ids: Option<HookIds>,
 }
 
 impl HostloTap {
@@ -54,12 +62,21 @@ impl HostloTap {
             mode,
             station,
             ids: None,
+            filter: FilterControl::default(),
+            tracker: StateTracker::default(),
+            filter_ids: None,
         }
     }
 
     /// Number of queues.
     pub fn nqueues(&self) -> usize {
         self.nqueues
+    }
+
+    /// The TAP's FORWARD filter table handle (clone it out before boxing
+    /// the device into a network).
+    pub fn filter(&self) -> FilterControl {
+        self.filter.clone()
     }
 }
 
@@ -78,6 +95,56 @@ impl Device for HostloTap {
             )
         });
         ctx.count_id(frames_id, 1.0);
+
+        // FORWARD filter, evaluated once per ingress frame (not per queue
+        // copy): a verdict applies to the frame, not to each fan-out leg.
+        // One atomic load when no rule was ever installed.
+        if !self.filter.is_empty() {
+            if let (Some(proto), Some(src), Some(dst)) = (
+                Proto::of(&frame.ip.transport),
+                frame.ip.src_sock(),
+                frame.ip.dst_sock(),
+            ) {
+                let fids = *self
+                    .filter_ids
+                    .get_or_insert_with(|| HookIds::resolve(Chain::Forward, ctx));
+                let now = ctx.now();
+                let state = self.tracker.state_of(proto, src, dst, now);
+                let (verdict, rule_id) =
+                    self.filter
+                        .eval(Chain::Forward, proto, src, dst, state, now);
+                let dev = ctx.self_id().0 as u64;
+                match verdict {
+                    Verdict::Accept => {
+                        ctx.count_id(fids.accept, 1.0);
+                        self.tracker.note(proto, src, dst, now);
+                    }
+                    Verdict::Drop => {
+                        ctx.count_id(fids.drop, 1.0);
+                        ctx.journal(JournalKind::FilterDrop, dev, rule_id, Verdict::Drop.code());
+                        return;
+                    }
+                    Verdict::Reject => {
+                        ctx.count_id(fids.reject, 1.0);
+                        ctx.journal(
+                            JournalKind::FilterDrop,
+                            dev,
+                            rule_id,
+                            Verdict::Reject.code(),
+                        );
+                        let done = self
+                            .station
+                            .serve(&self.cost_per_queue, frame.wire_len(), ctx);
+                        let mut p = Payload::sized(8);
+                        p.tag = REJECT_TAG;
+                        let notif = Frame::udp(frame.dst_mac, frame.src_mac, dst, src, p);
+                        ctx.transmit_at(done, port, notif);
+                        return;
+                    }
+                }
+            }
+        }
+
         // Copies serialize on the TAP's kernel worker; destination queues
         // are served before the echo back into the sender's own queue, so
         // the echo never delays actual deliveries.

@@ -13,6 +13,7 @@ use simnet::bridge::Bridge;
 use simnet::costs::CostModel;
 use simnet::device::{DeviceId, PortId};
 use simnet::engine::{LinkParams, Network};
+use simnet::filter::FilterControl;
 use simnet::nic::{Vhost, VirtioNic};
 use simnet::shared::SharedStation;
 use simnet::MacAddr;
@@ -45,11 +46,16 @@ struct BridgeInfo {
     dev: DeviceId,
     capacity: usize,
     next_port: usize,
+    /// FORWARD filter-table handle, kept so CNIs can install
+    /// NetworkPolicy chains on the bridge after it is boxed away.
+    filter: FilterControl,
 }
 
 struct HostloInfo {
     tap: DeviceId,
     endpoints: Vec<NicInfo>,
+    /// FORWARD filter-table handle of the TAP.
+    filter: FilterControl,
 }
 
 /// Physical host description.
@@ -172,21 +178,21 @@ impl Vmm {
     /// Creates a host bridge with room for `capacity` ports.
     pub fn create_bridge(&mut self, name: impl Into<String>, capacity: usize) -> BridgeHandle {
         let name = name.into();
-        let dev = self.net.add_device(
-            name.clone(),
-            CpuLocation::Host,
-            Box::new(Bridge::new(
-                capacity,
-                self.costs.host_bridge,
-                self.host_station.clone(),
-            )),
-        );
+        let bridge = Bridge::new(capacity, self.costs.host_bridge, self.host_station.clone());
+        let filter = bridge.filter();
+        let dev = self
+            .net
+            .add_device(name.clone(), CpuLocation::Host, Box::new(bridge));
         self.bind_host_station_user(dev);
+        // Register the table with the engine so flow fast-path escalation
+        // sees rule mutations on this bridge.
+        self.net.attach_filter(dev, filter.clone());
         self.bridges.push(BridgeInfo {
             name,
             dev,
             capacity,
             next_port: 0,
+            filter,
         });
         BridgeHandle(self.bridges.len() - 1)
     }
@@ -202,6 +208,11 @@ impl Vmm {
     /// The bridge's device id.
     pub fn bridge_device(&self, h: BridgeHandle) -> DeviceId {
         self.bridges[h.0].dev
+    }
+
+    /// The bridge's FORWARD filter-table handle (NetworkPolicy chains).
+    pub fn bridge_filter(&self, h: BridgeHandle) -> FilterControl {
+        self.bridges[h.0].filter.clone()
     }
 
     /// Allocates the next free port on a bridge.
@@ -417,16 +428,19 @@ impl Vmm {
         mode: FanoutMode,
     ) -> (HostloHandle, Vec<NicInfo>) {
         assert!(vms.len() >= 2, "hostlo spans at least two VMs");
+        let tap_dev = HostloTap::new(
+            vms.len(),
+            self.costs.hostlo_queue,
+            mode,
+            SharedStation::new(),
+        );
+        let filter = tap_dev.filter();
         let tap = self.net.add_device(
             format!("hostlo{}", self.hostlos.len()),
             CpuLocation::Host,
-            Box::new(HostloTap::new(
-                vms.len(),
-                self.costs.hostlo_queue,
-                mode,
-                SharedStation::new(),
-            )),
+            Box::new(tap_dev),
         );
+        self.net.attach_filter(tap, filter.clone());
         let mut endpoints = Vec::with_capacity(vms.len());
         for (q, &vm) in vms.iter().enumerate() {
             let (nic_id, mac) = self.next_mac();
@@ -484,6 +498,7 @@ impl Vmm {
         self.hostlos.push(HostloInfo {
             tap,
             endpoints: endpoints.clone(),
+            filter,
         });
         (HostloHandle(self.hostlos.len() - 1), endpoints)
     }
@@ -496,6 +511,21 @@ impl Vmm {
     /// Endpoints of a hostlo TAP.
     pub fn hostlo_endpoints(&self, h: HostloHandle) -> &[NicInfo] {
         &self.hostlos[h.0].endpoints
+    }
+
+    /// The TAP's FORWARD filter-table handle (NetworkPolicy chains).
+    pub fn hostlo_filter(&self, h: HostloHandle) -> FilterControl {
+        self.hostlos[h.0].filter.clone()
+    }
+
+    /// Finds the hostlo TAP that owns endpoint NIC `nic` on `vm` — how a
+    /// CNI resolves the management channel's endpoint report back to the
+    /// TAP it must hang policy chains on.
+    pub fn hostlo_for_nic(&self, vm: VmId, nic: NicId) -> Option<HostloHandle> {
+        self.hostlos
+            .iter()
+            .position(|h| h.endpoints.iter().any(|e| e.vm == vm && e.nic == nic))
+            .map(HostloHandle)
     }
 }
 

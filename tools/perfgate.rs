@@ -24,6 +24,12 @@
 //!   the baseline; artifacts carrying a `full` certification section must
 //!   show a completed ≥1M-user / ≥10M-pod replay whose peak heap stayed
 //!   within the recorded growth ceiling of the 100k-user probe.
+//! * `policy_churn.json` — the compiled filter matcher must agree with
+//!   the naive first-match walk (`digest_match`), its machine-independent
+//!   verdict digests must equal the committed baseline's verbatim
+//!   (matcher semantics are frozen), the per-packet overhead between the
+//!   1k- and 100k-rule tables must stay within 15%, and every sharded
+//!   row must be bit-identical.
 //!
 //! Usage:
 //!
@@ -409,6 +415,60 @@ fn check_cloudsim(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
     }
 }
 
+/// Gate the policy-churn matcher artifact: semantic agreement with the
+/// naive walk, digest stability against the committed baseline (the
+/// digests are seed-deterministic and machine-independent, so any drift
+/// is a matcher semantics change, not noise), the per-packet overhead
+/// budget between table scales, and sharded determinism.
+fn check_policy_churn(gate: &mut Gate, cur: &Value, base: Option<&Value>) {
+    let Some(matcher) = cur.get("matcher") else {
+        gate.fail("policy_churn results have no matcher section".to_string());
+        return;
+    };
+    if bool_at(matcher, "digest_match") != Some(true) {
+        gate.fail(
+            "policy_churn: compiled matcher disagrees with the naive first-match walk".to_string(),
+        );
+    } else {
+        println!("perfgate: ok: policy_churn compiled and naive verdict digests agree");
+    }
+    if let Some(bm) = base.and_then(|b| b.get("matcher")) {
+        for key in ["digest_small", "digest_large"] {
+            match (str_at(matcher, key), str_at(bm, key)) {
+                (Some(c), Some(b)) if c != b => gate.fail(format!(
+                    "policy_churn {key}: {c} differs from baseline {b} — matcher semantics drifted"
+                )),
+                (Some(c), Some(_)) => {
+                    println!("perfgate: ok: policy_churn {key} {c} matches baseline")
+                }
+                _ => gate.fail(format!(
+                    "policy_churn: missing {key} for baseline comparison"
+                )),
+            }
+        }
+    }
+    match f64_at(cur, "overhead_ratio") {
+        None => gate.fail("policy_churn results have no overhead_ratio".to_string()),
+        Some(r) if r > 1.0 + TOLERANCE => gate.fail(format!(
+            "policy_churn: per-packet overhead at 100k rules is {r:.3}x of 1k \
+             (budget {:.2})",
+            1.0 + TOLERANCE
+        )),
+        Some(r) => println!(
+            "perfgate: ok: policy_churn per-packet overhead {r:.3}x (budget {:.2})",
+            1.0 + TOLERANCE
+        ),
+    }
+    for row in seq_at(cur, "sharded") {
+        let shards = f64_at(row, "shards_wanted").unwrap_or(0.0) as u64;
+        if bool_at(row, "bit_identical") != Some(true) {
+            gate.fail(format!(
+                "policy_churn at {shards} shards: not bit-identical to the 1-shard outcome"
+            ));
+        }
+    }
+}
+
 fn run_check(results: &Path, baselines: &Path) -> ExitCode {
     let mut gate = Gate::default();
     match (
@@ -439,6 +499,13 @@ fn run_check(results: &Path, baselines: &Path) -> ExitCode {
         Ok(cur) => {
             let base = load(&baselines.join("cloudsim_hyperscale.json")).ok();
             check_cloudsim(&mut gate, &cur, base.as_ref());
+        }
+        Err(e) => gate.fail(e),
+    }
+    match load(&results.join("policy_churn.json")) {
+        Ok(cur) => {
+            let base = load(&baselines.join("policy_churn.json")).ok();
+            check_policy_churn(&mut gate, &cur, base.as_ref());
         }
         Err(e) => gate.fail(e),
     }
@@ -573,6 +640,45 @@ fn selftest() -> ExitCode {
     // 20.0 clears the absolute floor but is a >15% regression vs 30.0.
     let caught_cloudsim_regression = gate.failures.iter().any(|f| f.contains("ratio_median"));
 
+    // Policy-churn gate: a matcher/naive disagreement, a blown per-packet
+    // overhead budget, and a determinism violation must all be caught.
+    let bad_policy = fixture(
+        r#"{"overhead_ratio": 1.6,
+            "matcher": {"digest_match": false,
+                        "digest_small": "0xaaaa", "digest_large": "0xbbbb"},
+            "sharded": [
+                {"shards_wanted": 1, "bit_identical": true},
+                {"shards_wanted": 8, "bit_identical": false}
+            ]}"#,
+    );
+    let mut gate = Gate::default();
+    check_policy_churn(&mut gate, &bad_policy, None);
+    // Exactly three failures: digest_match, the overhead budget, and the
+    // 8-shard row.
+    let caught_policy = gate.failures.len() == 3;
+
+    let ok_policy = fixture(
+        r#"{"overhead_ratio": 1.03,
+            "matcher": {"digest_match": true,
+                        "digest_small": "0xaaaa", "digest_large": "0xbbbb"},
+            "sharded": [
+                {"shards_wanted": 1, "bit_identical": true},
+                {"shards_wanted": 2, "bit_identical": true},
+                {"shards_wanted": 8, "bit_identical": true}
+            ]}"#,
+    );
+    // Same shape, different verdict digest: semantics drifted from the
+    // committed baseline even though everything else passes.
+    let drifted_policy = fixture(
+        r#"{"overhead_ratio": 1.03,
+            "matcher": {"digest_match": true,
+                        "digest_small": "0xcccc", "digest_large": "0xbbbb"},
+            "sharded": [{"shards_wanted": 1, "bit_identical": true}]}"#,
+    );
+    let mut gate = Gate::default();
+    check_policy_churn(&mut gate, &drifted_policy, Some(&ok_policy));
+    let caught_policy_drift = gate.failures.iter().any(|f| f.contains("digest_small"));
+
     let ok_sweep = fixture(
         r#"{"host_cores": 1, "sweep": [
             {"mode": "conservative", "shards_wanted": 4, "shards_got": 4,
@@ -586,6 +692,7 @@ fn selftest() -> ExitCode {
     check_hybrid(&mut gate, &ok_hybrid, Some(&ok_hybrid));
     check_cloudsim(&mut gate, &ok_cloudsim, Some(&ok_cloudsim));
     check_cloudsim(&mut gate, &ok_cloudsim_ci, Some(&ok_cloudsim));
+    check_policy_churn(&mut gate, &ok_policy, Some(&ok_policy));
     let clean_passes = gate.failures.is_empty();
 
     if caught_ratio
@@ -595,6 +702,8 @@ fn selftest() -> ExitCode {
         && caught_hybrid_regression
         && caught_cloudsim
         && caught_cloudsim_regression
+        && caught_policy
+        && caught_policy_drift
         && clean_passes
     {
         println!("perfgate: selftest passed (regressions caught, clean run passes)");
@@ -607,6 +716,8 @@ fn selftest() -> ExitCode {
              hybrid regression caught: {caught_hybrid_regression}, \
              cloudsim caught: {caught_cloudsim}, \
              cloudsim regression caught: {caught_cloudsim_regression}, \
+             policy caught: {caught_policy}, \
+             policy drift caught: {caught_policy_drift}, \
              clean passes: {clean_passes})"
         );
         ExitCode::FAILURE
